@@ -1,0 +1,155 @@
+// Ablations over the Simulator's §3.2 knobs, showing what each one
+// contributes: the LWP count, per-thread CPU binding, bound-thread cost
+// factors, communication delay, and the TS priority dynamics.
+#include <cstdio>
+
+#include "core/engine.hpp"
+#include "recorder/recorder.hpp"
+#include "solaris/program.hpp"
+#include "solaris/solaris.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+#include "workloads/splash.hpp"
+#include "workloads/synthetic.hpp"
+
+namespace {
+
+using namespace vppb;
+
+trace::Trace record(const std::function<void()>& fn) {
+  sol::Program program;
+  return rec::record_program(program, fn);
+}
+
+/// Recording with 1990s-Solaris-like library-call costs, so the bound
+/// thread factors (x6.7 create, x5.9 sync) have recorded costs to scale.
+trace::Trace record_with_op_costs(const std::function<void()>& fn) {
+  sol::Program::Options opts;
+  opts.op_costs.sync = SimTime::micros(3);
+  opts.op_costs.create = SimTime::micros(80);
+  opts.op_costs.thread_mgmt = SimTime::micros(5);
+  sol::Program program(opts);
+  return rec::record_program(program, fn);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Scheduling-knob ablations (paper §3.2)\n\n");
+
+  // ---- LWP count: threads multiplexed on fewer LWPs ----
+  {
+    const trace::Trace t = record(
+        []() { workloads::fork_join(8, SimTime::millis(40)); });
+    TextTable table;
+    table.header({"LWPs", "speed-up on 8 CPUs"});
+    for (int lwps : {1, 2, 4, 8}) {
+      core::SimConfig cfg;
+      cfg.hw.cpus = 8;
+      cfg.sched.lwps = lwps;
+      cfg.build_timeline = false;
+      table.row({strprintf("%d", lwps),
+                 strprintf("%.2f", core::simulate(t, cfg).speedup)});
+    }
+    std::printf("A. 8 independent threads, varying the LWP knob:\n%s\n",
+                table.render().c_str());
+  }
+
+  // ---- Binding threads to CPUs ----
+  {
+    const trace::Trace t = record(
+        []() { workloads::fork_join(4, SimTime::millis(40)); });
+    TextTable table;
+    table.header({"binding", "speed-up on 4 CPUs"});
+    for (int pinned_together : {0, 2, 4}) {
+      core::SimConfig cfg;
+      cfg.hw.cpus = 4;
+      cfg.build_timeline = false;
+      for (int i = 0; i < pinned_together; ++i) {
+        core::ThreadPolicy pol;
+        pol.override_binding = true;
+        pol.binding = core::Binding::kBoundCpu;
+        pol.cpu = 0;  // all pinned threads share CPU 0
+        cfg.sched.thread_policy[4 + i] = pol;
+      }
+      table.row({strprintf("%d threads pinned to CPU 0", pinned_together),
+                 strprintf("%.2f", core::simulate(t, cfg).speedup)});
+    }
+    std::printf("B. 4 independent threads, pinning some to one CPU:\n%s\n",
+                table.render().c_str());
+  }
+
+  // ---- Bound-thread cost factors (create 6.7x, sync 5.9x) ----
+  {
+    auto body = [](long flags) {
+      return [flags]() {
+        auto m = std::make_shared<sol::Mutex>();
+        for (int i = 0; i < 4; ++i) {
+          sol::thr_create_fn(
+              [m]() -> void* {
+                for (int k = 0; k < 50; ++k) {
+                  sol::ScopedLock lock(*m);
+                  sol::compute(SimTime::micros(20));
+                }
+                return nullptr;
+              },
+              flags, nullptr, "worker");
+        }
+        sol::join_all();
+      };
+    };
+    const trace::Trace unbound = record_with_op_costs(body(0));
+    const trace::Trace bound = record_with_op_costs(body(sol::THR_BOUND));
+    core::SimConfig cfg;
+    cfg.hw.cpus = 4;
+    cfg.build_timeline = false;
+    const auto u = core::simulate(unbound, cfg);
+    const auto b = core::simulate(bound, cfg);
+    std::printf("C. lock-heavy program, unbound vs THR_BOUND threads "
+                "(sync x%.1f, create x%.1f):\n",
+                cfg.cost.bound_sync_factor, cfg.cost.bound_create_factor);
+    std::printf("   unbound: predicted time %s   bound: %s (%.2fx slower)\n\n",
+                u.total.to_string().c_str(), b.total.to_string().c_str(),
+                static_cast<double>(b.total.ns()) /
+                    static_cast<double>(u.total.ns()));
+  }
+
+  // ---- Communication delay ----
+  {
+    workloads::SplashParams p{8, 0.05};
+    const trace::Trace t =
+        record([&p]() { workloads::water_spatial(p); });
+    TextTable table;
+    table.header({"comm delay", "speed-up on 8 CPUs"});
+    for (std::int64_t us : {0, 20, 100, 500}) {
+      core::SimConfig cfg;
+      cfg.hw.cpus = 8;
+      cfg.hw.comm_delay = SimTime::micros(us);
+      cfg.build_timeline = false;
+      table.row({strprintf("%lldus", static_cast<long long>(us)),
+                 strprintf("%.2f", core::simulate(t, cfg).speedup)});
+    }
+    std::printf("D. barrier-heavy program under growing communication "
+                "delay:\n%s\n",
+                table.render().c_str());
+  }
+
+  // ---- TS dynamics on/off with mixed interactive + batch threads ----
+  {
+    const trace::Trace t = record([]() {
+      workloads::pipeline(3, 60, SimTime::micros(400));
+    });
+    for (bool dynamics : {true, false}) {
+      core::SimConfig cfg;
+      cfg.hw.cpus = 2;
+      cfg.sched.ts_dynamics = dynamics;
+      if (!dynamics)
+        cfg.sched.ts_table = core::TsTable::flat(SimTime::millis(100));
+      cfg.build_timeline = false;
+      std::printf("E. pipeline on 2 CPUs, TS dynamics %s: speed-up %.2f\n",
+                  dynamics ? "on (Solaris table)" : "off (flat)",
+                  core::simulate(t, cfg).speedup);
+    }
+  }
+  return 0;
+}

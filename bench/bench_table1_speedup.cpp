@@ -1,0 +1,97 @@
+// Regenerates the paper's Table 1: measured ("real", on the reference
+// multiprocessor) and predicted speed-ups for the five SPLASH-2-style
+// applications on 2, 4 and 8 processors, with the (min–max) range of
+// five executions and the prediction error.
+//
+// Flags: --scale (problem scale), --reps, --jitter, --seed.
+#include <cstdio>
+#include <span>
+
+#include "machine/validate.hpp"
+#include "util/flags.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+#include "workloads/splash.hpp"
+
+namespace {
+
+// The paper's Table 1, for side-by-side comparison in the output.
+struct PaperRow {
+  const char* app;
+  double real[3];
+  double pred[3];
+};
+constexpr PaperRow kPaper[] = {
+    {"Ocean", {1.97, 3.87, 6.65}, {1.96, 3.85, 6.24}},
+    {"Water-spatial", {1.99, 3.95, 7.67}, {1.98, 3.91, 7.56}},
+    {"FFT", {1.55, 2.14, 2.62}, {1.55, 2.14, 2.61}},
+    {"Radix", {2.00, 3.99, 7.79}, {1.98, 3.95, 7.71}},
+    {"LU", {1.79, 3.15, 4.82}, {1.79, 3.14, 4.81}},
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace vppb;
+
+  Flags flags;
+  flags.define_double("scale", 1.0, "problem-scale multiplier");
+  flags.define_i64("reps", 5, "reference-machine executions per point");
+  flags.define_double("jitter", 0.015, "reference-machine duration jitter");
+  flags.define_i64("seed", 0x5eed, "reference-machine seed");
+  flags.parse(argc, argv);
+
+  const int cpu_counts[] = {2, 4, 8};
+
+  machine::MachineConfig mc;
+  mc.repetitions = static_cast<int>(flags.i64("reps"));
+  mc.cpu_jitter = flags.dbl("jitter");
+  mc.seed = static_cast<std::uint64_t>(flags.i64("seed"));
+
+  std::printf("Table 1: measured and predicted speed-ups\n");
+  std::printf("(real = middle of %d reference-machine executions, "
+              "(min-max) alongside; error = (real-pred)/real)\n\n",
+              mc.repetitions);
+
+  TextTable table;
+  table.header({"Application", "", "2 processors", "4 processors",
+                "8 processors"});
+
+  double worst_error = 0.0;
+  int row_idx = 0;
+  for (const auto& app : workloads::splash_suite()) {
+    const double scale = flags.dbl("scale");
+    const machine::ValidationReport report = machine::validate_workload(
+        app.name,
+        [&app, scale](int threads) {
+          app.run(workloads::SplashParams{threads, scale});
+        },
+        std::span<const int>(cpu_counts), mc);
+
+    std::vector<std::string> real_row{app.name, "Real"};
+    std::vector<std::string> pred_row{"", "Pred."};
+    std::vector<std::string> err_row{"", "Error"};
+    std::vector<std::string> paper_row{"", "Paper"};
+    for (std::size_t i = 0; i < report.points.size(); ++i) {
+      const auto& p = report.points[i];
+      real_row.push_back(strprintf("%.2f (%.2f-%.2f)", p.real_mid, p.real_min,
+                                   p.real_max));
+      pred_row.push_back(strprintf("%.2f", p.predicted));
+      err_row.push_back(strprintf("%.1f%%", 100.0 * p.error));
+      paper_row.push_back(strprintf("real %.2f / pred %.2f",
+                                    kPaper[row_idx].real[i],
+                                    kPaper[row_idx].pred[i]));
+      worst_error = std::max(worst_error, std::abs(p.error));
+    }
+    table.row(real_row);
+    table.row(pred_row);
+    table.row(err_row);
+    table.row(paper_row);
+    table.row({"", "", "", "", ""});
+    ++row_idx;
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("max |error| over all points: %.1f%% (paper: 6.2%%)\n",
+              100.0 * worst_error);
+  return 0;
+}

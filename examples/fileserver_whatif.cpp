@@ -1,0 +1,107 @@
+// What-if analysis of an I/O-bound server — exercising the I/O
+// extension (the paper's §6 future work: "our technique does not model
+// I/O ... we are currently working on solving this problem").
+//
+// A file server handles `requests` with a pool of worker threads: each
+// request is parse (CPU) → disk read (I/O latency) → format reply
+// (CPU).  Because the I/O waits release the CPU, the right pool size is
+// far larger than the CPU count; this example records ONE uni-processor
+// run per pool size and predicts the throughput curve.
+//
+// Usage: ./fileserver_whatif --cpus 4 --requests 64
+#include <cstdio>
+#include <memory>
+
+#include "core/engine.hpp"
+#include "recorder/recorder.hpp"
+#include "solaris/program.hpp"
+#include "solaris/solaris.hpp"
+#include "util/flags.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace vppb;
+
+void file_server(int workers, int requests, SimTime parse_cost,
+                 SimTime disk_latency, SimTime reply_cost) {
+  // A shared work counter guarded by a mutex: each worker claims one
+  // request at a time until none remain.
+  struct Shared {
+    sol::Mutex queue_lock;
+    int remaining;
+  };
+  auto shared = std::make_shared<Shared>();
+  shared->remaining = requests;
+  for (int w = 0; w < workers; ++w) {
+    sol::thr_create_fn(
+        [=]() -> void* {
+          for (;;) {
+            {
+              sol::ScopedLock lock(shared->queue_lock);
+              if (shared->remaining == 0) return nullptr;
+              --shared->remaining;
+            }
+            sol::compute(parse_cost);
+            sol::io_wait(disk_latency, "disk");
+            sol::compute(reply_cost);
+          }
+        },
+        0, nullptr, "server_worker");
+  }
+  sol::join_all();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags;
+  flags.define_i64("cpus", 4, "simulated processors");
+  flags.define_i64("requests", 64, "requests to serve");
+  flags.define_i64("parse-us", 400, "CPU cost to parse a request");
+  flags.define_i64("disk-us", 2000, "disk latency per request");
+  flags.define_i64("reply-us", 400, "CPU cost to format the reply");
+  flags.parse(argc, argv);
+  const int cpus = static_cast<int>(flags.i64("cpus"));
+  const int requests = static_cast<int>(flags.i64("requests"));
+
+  std::printf("file server: %d requests of parse %lldus + disk %lldus + "
+              "reply %lldus on %d CPUs\n\n",
+              requests, static_cast<long long>(flags.i64("parse-us")),
+              static_cast<long long>(flags.i64("disk-us")),
+              static_cast<long long>(flags.i64("reply-us")), cpus);
+
+  TextTable table;
+  table.header({"workers", "predicted time", "speed-up vs 1 worker"});
+  double base_ms = 0.0;
+  for (int workers = 1; workers <= 4 * cpus; workers *= 2) {
+    sol::Program program;
+    const trace::Trace log = rec::record_program(program, [&]() {
+      file_server(workers, requests, SimTime::micros(flags.i64("parse-us")),
+                  SimTime::micros(flags.i64("disk-us")),
+                  SimTime::micros(flags.i64("reply-us")));
+    });
+    core::SimConfig cfg;
+    cfg.hw.cpus = cpus;
+    cfg.build_timeline = false;
+    const core::SimResult r = core::simulate(log, cfg);
+    const double ms = r.total.seconds_d() * 1000.0;
+    if (workers == 1) base_ms = ms;
+    table.row({strprintf("%d", workers), strprintf("%.1fms", ms),
+               strprintf("%.2fx", base_ms / ms)});
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf(
+      "because the disk waits overlap, the useful pool size exceeds the "
+      "CPU count —\nthe prediction one would want before sizing a real "
+      "thread pool.\n\n"
+      "caveat (paper §4/§6): this server hands out work from a shared "
+      "queue, the very\npattern that made Raytrace/Volrend unusable with "
+      "the original recorder (one\nthread steals all tasks on one LWP).  "
+      "The io_wait extension yields the LWP, so\nrecording works, but the "
+      "per-worker request distribution is still frozen from\nthe "
+      "uni-processor run — trace-driven prediction under-estimates "
+      "dynamically\nbalanced programs.\n");
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Sweep a SPLASH-style application across processor counts and
+// scheduling policies — the flexible what-if analysis the paper's
+// introduction motivates (predicting bottlenecks at processor counts
+// you did not measure on).
+//
+// Usage:
+//   ./splash_sweep --app FFT --max-cpus 16
+//   ./splash_sweep --app Ocean --lwps 4 --comm-delay-us 100
+#include <cstdio>
+
+#include "core/engine.hpp"
+#include "recorder/recorder.hpp"
+#include "solaris/program.hpp"
+#include "util/flags.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+#include "workloads/splash.hpp"
+
+int main(int argc, char** argv) {
+  using namespace vppb;
+
+  Flags flags;
+  flags.define_string("app", "FFT", "Ocean|Water-spatial|FFT|Radix|LU");
+  flags.define_i64("max-cpus", 16, "largest processor count to predict");
+  flags.define_i64("lwps", 0, "LWP pool (0 = one per thread)");
+  flags.define_i64("comm-delay-us", 0, "inter-CPU communication delay");
+  flags.define_double("scale", 0.2, "problem scale");
+  flags.parse(argc, argv);
+
+  const auto suite = workloads::splash_suite();
+  const workloads::SplashApp* app = nullptr;
+  for (const auto& a : suite) {
+    if (a.name == flags.str("app")) app = &a;
+  }
+  if (app == nullptr) {
+    std::fprintf(stderr, "unknown app '%s'\n%s", flags.str("app").c_str(),
+                 flags.usage("splash_sweep").c_str());
+    return 1;
+  }
+
+  std::printf("%s: predicted speed-up from one uni-processor log per "
+              "thread count\n\n",
+              app->name.c_str());
+  TextTable table;
+  table.header({"CPUs", "speed-up", "efficiency", "events"});
+  for (int cpus = 1; cpus <= flags.i64("max-cpus"); cpus *= 2) {
+    // One thread per processor, one log per setup — as the paper does
+    // for the SPLASH programs.
+    sol::Program program;
+    const double scale = flags.dbl("scale");
+    const trace::Trace log = rec::record_program(program, [&]() {
+      app->run(workloads::SplashParams{cpus, scale});
+    });
+    core::SimConfig cfg;
+    cfg.hw.cpus = cpus;
+    cfg.sched.lwps = static_cast<int>(flags.i64("lwps"));
+    cfg.hw.comm_delay = SimTime::micros(flags.i64("comm-delay-us"));
+    cfg.build_timeline = false;
+    const core::SimResult r = core::simulate(log, cfg);
+    table.row({strprintf("%d", cpus), strprintf("%.2f", r.speedup),
+               strprintf("%.0f%%", 100.0 * r.speedup / cpus),
+               strprintf("%zu", log.records.size())});
+  }
+  std::printf("%s", table.render().c_str());
+  return 0;
+}

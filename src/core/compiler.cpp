@@ -1,0 +1,133 @@
+#include "core/compiler.hpp"
+
+#include "util/error.hpp"
+
+namespace vppb::core {
+
+const CompiledThread& CompiledTrace::thread(ThreadId tid) const {
+  auto it = threads.find(tid);
+  VPPB_CHECK_MSG(it != threads.end(), "no compiled thread T" << tid);
+  return it->second;
+}
+
+CompiledTrace compile(const trace::Trace& trace) {
+  trace.validate();
+  CompiledTrace out;
+  out.recorded_duration = trace.duration();
+
+  // Seed thread entries from the metadata section.
+  for (const auto& meta : trace.threads) {
+    CompiledThread ct;
+    ct.tid = meta.tid;
+    ct.name = trace.strings.get(meta.name);
+    ct.start_func = trace.strings.get(meta.start_func);
+    ct.bound = meta.bound;
+    ct.initial_priority = meta.initial_priority;
+    out.threads.emplace(meta.tid, std::move(ct));
+  }
+
+  std::map<ThreadId, SimTime> accum;       // CPU charged since last own record
+  std::map<ThreadId, Step> open;           // call seen, waiting for return
+  std::map<ThreadId, bool> seen;           // first-record bookkeeping
+  SimTime prev_at = SimTime::zero();
+
+  auto thread_of = [&out](ThreadId tid) -> CompiledThread& {
+    auto it = out.threads.find(tid);
+    VPPB_CHECK_MSG(it != out.threads.end(),
+                   "record from thread T" << tid << " with no metadata");
+    return it->second;
+  };
+
+  for (const trace::Record& r : trace.records) {
+    // Single-LWP attribution: the interval since the previous record was
+    // executed by this record's thread.
+    accum[r.tid] += r.at - prev_at;
+    prev_at = r.at;
+
+    CompiledThread& ct = thread_of(r.tid);
+    if (!seen[r.tid]) {
+      seen[r.tid] = true;
+      ct.first_record_at = r.at;
+    }
+
+    if (r.op == trace::Op::kStartCollect) {
+      // Keep the accumulated interval: compute performed before the
+      // first library call belongs to the thread that makes it.
+      continue;
+    }
+    if (r.op == trace::Op::kEndCollect) {
+      accum[r.tid] = SimTime::zero();
+      continue;
+    }
+
+    if (r.phase == trace::Phase::kCall) {
+      Step s;
+      s.cpu = accum[r.tid];
+      accum[r.tid] = SimTime::zero();
+      s.op = r.op;
+      s.obj = r.obj;
+      s.arg = r.arg;
+      s.arg2 = r.arg2;
+      s.loc = r.loc;
+      s.logged_at = r.at;
+      const bool single =
+          r.op == trace::Op::kThrExit || r.op == trace::Op::kUserMark;
+      if (single) {
+        ct.steps.push_back(s);
+      } else {
+        VPPB_CHECK_MSG(open.find(r.tid) == open.end(),
+                       "T" << r.tid << " has two open calls in the log");
+        open.emplace(r.tid, s);
+      }
+      continue;
+    }
+
+    // kReturn: close the open step.
+    auto it = open.find(r.tid);
+    VPPB_CHECK_MSG(it != open.end() && it->second.op == r.op,
+                   "return of " << trace::op_name(r.op) << " by T" << r.tid
+                                << " without a matching call");
+    Step s = it->second;
+    open.erase(it);
+    s.outcome = r.arg;
+    if (s.op == trace::Op::kIoWait) {
+      // Extension: recorded I/O latency replays as a device delay, not
+      // compute demand.
+      s.delay = r.at - s.logged_at;
+      s.op_cost = SimTime::zero();
+      accum[r.tid] = SimTime::zero();
+    } else if (s.op == trace::Op::kCondTimedwait && s.outcome == 0) {
+      // Timed out in the recording: replayed as a pure delay of the
+      // recorded length (paper §3.2); the tail interval charged to this
+      // thread was sleep, not compute.
+      s.delay = r.at - s.logged_at;
+      s.op_cost = SimTime::zero();
+      accum[r.tid] = SimTime::zero();
+    } else {
+      s.op_cost = accum[r.tid];
+      accum[r.tid] = SimTime::zero();
+    }
+    ct.steps.push_back(s);
+  }
+
+  VPPB_CHECK_MSG(open.empty(), "log ends with an unreturned call");
+
+  // Mark threads that are created by a thr_create in the log, and total
+  // up per-thread demand.
+  for (auto& [tid, ct] : out.threads) {
+    for (const Step& s : ct.steps) {
+      if (s.op == trace::Op::kThrCreate && s.outcome != 0) {
+        auto child = out.threads.find(static_cast<ThreadId>(s.outcome));
+        if (child != out.threads.end()) child->second.created_in_log = true;
+      }
+    }
+    (void)tid;
+  }
+  for (auto& [tid, ct] : out.threads) {
+    for (const Step& s : ct.steps) ct.total_cpu += s.cpu + s.op_cost;
+    (void)tid;
+  }
+  return out;
+}
+
+}  // namespace vppb::core

@@ -1,0 +1,65 @@
+// The trace compiler: turns the Recorder's interleaved one-LWP log into
+// per-thread replay programs (the paper's fig. 4 per-thread event lists,
+// augmented with the CPU demand between events).
+//
+// CPU attribution uses the single-LWP invariant: between two consecutive
+// records in the global log exactly one thread is executing — the thread
+// that produces the *later* record (the earlier record's thread either
+// kept running, in which case both records are its, or was descheduled
+// inside the library call that produced the earlier record).  Summing
+// those intervals per thread yields each thread's compute demand between
+// its own events, which is exactly what the Simulator replays.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "trace/trace.hpp"
+#include "util/time.hpp"
+
+namespace vppb::core {
+
+using trace::ThreadId;
+
+/// One replayable step: run `cpu`, apply the operation, run `op_cost`
+/// (the recorded library overhead, scaled for bound threads), continue.
+struct Step {
+  SimTime cpu;       ///< compute demand before the call
+  SimTime op_cost;   ///< library time of the call itself
+  trace::Op op = trace::Op::kThrExit;
+  trace::ObjectRef obj;
+  std::int64_t arg = 0;      ///< call argument (priority, flags, …)
+  std::int64_t arg2 = 0;     ///< secondary argument (mutex of a cond wait)
+  std::int64_t outcome = 0;  ///< return value (created tid, try success, …)
+  SimTime delay;     ///< recorded sleep length of a timed-out cond_timedwait
+  std::uint32_t loc = 0;     ///< source location of the call
+  SimTime logged_at;         ///< when the call happened in the recording
+};
+
+struct CompiledThread {
+  ThreadId tid = 0;
+  std::string name;
+  std::string start_func;
+  bool bound = false;        ///< created with THR_BOUND in the recording
+  int initial_priority = 0;
+  /// True when some thr_create in the log creates this thread; if not
+  /// (hand-written traces), the simulator spawns it at first_record_at.
+  bool created_in_log = false;
+  SimTime first_record_at;
+  std::vector<Step> steps;
+  SimTime total_cpu;  ///< sum of cpu + op_cost over all steps
+};
+
+struct CompiledTrace {
+  std::map<ThreadId, CompiledThread> threads;
+  SimTime recorded_duration;
+
+  const CompiledThread& thread(ThreadId tid) const;
+};
+
+/// Compiles a validated trace.  Throws vppb::Error on traces that cannot
+/// be replayed (e.g. a return without a call).
+CompiledTrace compile(const trace::Trace& trace);
+
+}  // namespace vppb::core

@@ -1,0 +1,92 @@
+// Simulation inputs: the hardware configuration and scheduling policies
+// of the paper's fig. 1 (boxes e and f).
+#pragma once
+
+#include <map>
+
+#include "core/ts_table.hpp"
+#include "trace/event.hpp"
+#include "util/time.hpp"
+
+namespace vppb::core {
+
+using trace::ThreadId;
+
+/// Hardware configuration (paper fig. 1, box e).
+struct HwConfig {
+  int cpus = 1;
+  /// How fast an event on one CPU propagates to another (paper §3.2):
+  /// a wakeup crossing CPUs is delivered after this delay.
+  SimTime comm_delay = SimTime::zero();
+  /// Cost of migrating a thread to a CPU it did not run on last
+  /// (cold-cache penalty knob; the paper's simulator "does not simulate
+  /// the caches" — zero by default, available for ablation).
+  SimTime migration_penalty = SimTime::zero();
+  /// Memory-bus contention: each running thread progresses at rate
+  /// 1/(1 + alpha·(running-1)).  Zero in the predictor; the reference
+  /// machine may set it to model shared-bus slowdown.
+  double memory_contention_alpha = 0.0;
+};
+
+/// How a thread may be manipulated in the Simulator (paper §3.2):
+/// unbound, bound to an LWP, or bound to a specific CPU.
+enum class Binding : std::uint8_t { kUnbound, kBoundLwp, kBoundCpu };
+
+struct ThreadPolicy {
+  /// When false the binding recorded in the log (THR_BOUND) applies;
+  /// when true this policy's binding replaces it (paper §3.2: "each
+  /// thread can individually be unbound; bound to a LWP; or bound to a
+  /// certain CPU").
+  bool override_binding = false;
+  Binding binding = Binding::kUnbound;
+  int cpu = -1;  ///< target CPU for kBoundCpu
+  /// Fixed priority override.  When set, every thr_setprio event for
+  /// this thread in the log is ignored (paper §3.2).
+  bool override_priority = false;
+  int priority = 0;
+};
+
+/// Scheduling policies (paper fig. 1, box f).
+struct SchedConfig {
+  /// Number of LWPs multiplexing the unbound threads.  0 means "one per
+  /// thread" (never a constraint).  When set, thr_setconcurrency events
+  /// in the log have no effect (paper §3.2).
+  int lwps = 0;
+  std::map<ThreadId, ThreadPolicy> thread_policy;
+  TsTable ts_table = TsTable::solaris_default();
+  /// Emulate the Solaris TS priority/quantum adjustment.  Disabled, all
+  /// LWPs keep a fixed level and quantum (ablation knob).
+  bool ts_dynamics = true;
+
+  const ThreadPolicy& policy_of(ThreadId tid) const {
+    static const ThreadPolicy kDefault{};
+    auto it = thread_policy.find(tid);
+    return it == thread_policy.end() ? kDefault : it->second;
+  }
+};
+
+/// Cost model for operations that are more expensive in configurations
+/// the uni-processor recording could not observe.
+struct CostModel {
+  /// Creating a bound thread takes 6.7× longer than an unbound one
+  /// (paper §3.2, citing the Solaris MT guide).
+  double bound_create_factor = 6.7;
+  /// Synchronization on bound threads takes 5.9× longer; the paper uses
+  /// the semaphore figure for mutexes, conditions and rwlocks as well.
+  double bound_sync_factor = 5.9;
+  /// CPU cost charged for an LWP context switch in the reference
+  /// machine.  The paper's *predictor* deliberately ignores it (§6), so
+  /// it defaults to zero here and is only set by src/machine.
+  SimTime context_switch_cost = SimTime::zero();
+};
+
+struct SimConfig {
+  HwConfig hw;
+  SchedConfig sched;
+  CostModel cost;
+  /// Record a full timeline for the Visualizer (disable for speed when
+  /// only the speed-up number is wanted).
+  bool build_timeline = true;
+};
+
+}  // namespace vppb::core

@@ -1,0 +1,1383 @@
+#include "core/engine.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+#include "core/objects.hpp"
+#include "util/error.hpp"
+
+namespace vppb::core {
+namespace {
+
+using trace::Op;
+
+constexpr int kInitialTsLevel = 29;  // the Solaris TS default user level
+
+/// Simulated thread control block.
+struct Th {
+  ThreadId tid = 0;
+  const CompiledThread* ct = nullptr;
+  std::size_t step = 0;
+
+  enum class St { kUnborn, kReady, kRunning, kBlocked, kSleeping, kDone };
+  St st = St::kUnborn;
+
+  /// kCompute runs Step::cpu then applies the op; kOpCost runs the
+  /// (possibly scaled) Step::op_cost then advances to the next step.
+  enum class Phase { kCompute, kOpCost };
+  Phase phase = Phase::kCompute;
+  SimTime remaining;
+
+  SimTime ready_at;  ///< dispatch eligibility when kReady (comm delay)
+  SimTime wake_at;   ///< timer when kSleeping
+
+  int prio = 0;
+  bool prio_overridden = false;
+  bool suspended = false;      ///< thr_suspend replay: ineligible to run
+  bool pending_suspend = false;
+  bool bound = false;
+  int bound_cpu = -1;
+  int lwp = -1;
+  int last_cpu = -1;
+  std::uint64_t lib_seq = 0;
+
+  /// What a blocked/sleeping thread is waiting for, so the waker can
+  /// finish the operation on its behalf (direct handoff).
+  enum class Wait {
+    kNone,
+    kMutex,
+    kSema,
+    kCond,            ///< in cond queue; then must acquire wait_mutex
+    kSleepThenMutex,  ///< timed-out cond_timedwait: delay, then mutex
+    kRwRead,
+    kRwWrite,
+    kJoin,
+    kJoinAny,
+    kBarrier,         ///< broadcaster blocked by the barrier rule
+    kMutexReacquire,  ///< re-taking mutexes released at a barrier block
+    kIoSleep,         ///< extension: waiting out a recorded I/O latency
+  };
+  Wait wait = Wait::kNone;
+  std::uint32_t wait_obj = 0;
+  std::uint32_t wait_mutex = 0;
+  ThreadId join_target = 0;
+
+  /// Mutexes currently held (replay bookkeeping for the barrier rule).
+  std::vector<std::uint32_t> held_mutexes;
+  /// Mutexes to re-take after a barrier-rule block, in acquire order.
+  std::vector<std::uint32_t> reacquire;
+
+  bool reaped = false;
+  bool exited = false;
+
+  // Timeline bookkeeping.
+  SimTime state_since;
+  SegState seg_state = SegState::kBlocked;
+  int seg_cpu = -1;
+  ThreadStats stats;
+  std::ptrdiff_t open_event = -1;
+
+  const Step& current_step() const { return ct->steps[step]; }
+  bool has_steps_left() const { return ct != nullptr && step < ct->steps.size(); }
+};
+
+/// Simulated LWP (kernel thread).
+struct Lwp {
+  int id = -1;
+  int ts_level = kInitialTsLevel;
+  SimTime quantum_left;
+  std::uint64_t disp_seq = 0;
+  SimTime running_total;     ///< accumulated on-CPU time (stats)
+  std::uint64_t dispatches = 0;
+  SimTime enqueued_at;       ///< when it last became dispatchable-not-running
+  ThreadId thread = ult::kNoThread;
+  struct Th* th = nullptr;   ///< cached pointer to the attached thread
+  SimTime seg_since;         ///< LWP-gantt bookkeeping
+  ThreadId seg_thread = 0;
+  int seg_cpu = -1;
+  int cpu = -1;
+  bool dedicated = false;    ///< owned by a bound thread
+  int bound_cpu = -1;
+  bool slept = false;        ///< pending sleep-return boost
+};
+
+class Engine {
+ public:
+  Engine(const CompiledTrace& compiled, const SimConfig& cfg)
+      : compiled_(compiled), cfg_(cfg) {}
+
+  SimResult run();
+
+ private:
+  // ---- setup ----
+  void init_threads();
+  Lwp& new_lwp(bool dedicated, int bound_cpu);
+
+  // ---- scheduling ----
+  void assign();
+  void attach_unbound_threads();
+  void dispatch_lwps();
+  void place(Lwp& lwp, int cpu);
+  void unplace(Lwp& lwp);
+  void emit_lwp_segment(Lwp& lwp);
+  bool dispatchable(const Lwp& lwp) const;
+  bool lwp_waiting_for_cpu() const;
+
+  // ---- execution ----
+  bool process_due_now();
+  void apply_op(Th& t);
+  void enter_op_cost(Th& t);
+  void advance_step(Th& t);
+  void finish_thread(Th& t);
+
+  // ---- blocking / waking ----
+  void block(Th& t, Th::Wait wait, std::uint32_t obj);
+  void unblock(Th& t);
+  void complete_op_for(Th& t);
+  bool try_take_mutex(Th& t, std::uint32_t mutex_id);
+  void do_unlock_mutex(Th& t, std::uint32_t mutex_id);
+  void continue_reacquire(Th& t);
+  void acquire_mutex_or_block(Th& t, std::uint32_t mutex_id);
+  void wake_from_cond(Th& t);
+  void spawn_thread(ThreadId tid, SimTime at);
+  void thread_exited(Th& t);
+  SimTime wake_delay(const Th& woken) const;
+
+  // ---- op handlers ----
+  void op_create(Th& t, const Step& s);
+  void op_join(Th& t, const Step& s);
+  void op_mutex(Th& t, const Step& s);
+  void op_sema(Th& t, const Step& s);
+  void op_cond(Th& t, const Step& s);
+  void op_rwlock(Th& t, const Step& s);
+
+  // ---- time & bookkeeping ----
+  double rate_factor() const;
+  SimTime next_event_time() const;
+  void advance_to(SimTime when);
+  void set_state(Th& t, Th::St st);
+  void emit_segment(Th& t, SimTime upto);
+  SegState seg_state_of(Th::St st) const;
+  [[noreturn]] void replay_deadlock();
+
+  Th& th(ThreadId tid);
+  bool exists(ThreadId tid) const { return threads_.count(tid) != 0; }
+
+  const CompiledTrace& compiled_;
+  const SimConfig& cfg_;
+
+  SimTime now_;
+  std::map<ThreadId, Th> threads_;
+  std::vector<Th*> thread_list_;  ///< map values in tid order (hot loops)
+  std::vector<Lwp> lwps_;
+  std::vector<ThreadId> cpu_running_;  // per CPU: running thread (by LWP)
+  std::vector<int> cpu_lwp_;           // per CPU: placed LWP id (-1 idle)
+  ObjectTable objects_;
+  std::vector<ThreadId> zombies_;      // exited, unreaped, in exit order
+  WaitQueue any_joiners_;
+  std::map<ThreadId, WaitQueue> joiners_;
+  std::uint64_t next_lib_seq_ = 1;
+  std::uint64_t next_disp_seq_ = 1;
+  int unbound_pool_size_ = 0;
+  int unbound_lwps_made_ = 0;
+  int running_count_ = 0;
+
+  SimResult result_;
+};
+
+Th& Engine::th(ThreadId tid) {
+  auto it = threads_.find(tid);
+  VPPB_CHECK_MSG(it != threads_.end(), "simulated thread T" << tid
+                                                            << " does not exist");
+  return it->second;
+}
+
+SegState Engine::seg_state_of(Th::St st) const {
+  switch (st) {
+    case Th::St::kRunning: return SegState::kRunning;
+    case Th::St::kReady: return SegState::kRunnable;
+    case Th::St::kSleeping: return SegState::kSleeping;
+    default: return SegState::kBlocked;
+  }
+}
+
+void Engine::emit_segment(Th& t, SimTime upto) {
+  if (upto > t.state_since) {
+    if (cfg_.build_timeline) {
+      result_.segments.push_back(
+          Segment{t.tid, t.state_since, upto, t.seg_state, t.seg_cpu});
+    }
+    const SimTime d = upto - t.state_since;
+    switch (t.seg_state) {
+      case SegState::kRunning: t.stats.cpu_time += d; break;
+      case SegState::kRunnable: t.stats.runnable_time += d; break;
+      case SegState::kBlocked: t.stats.blocked_time += d; break;
+      case SegState::kSleeping: t.stats.sleeping_time += d; break;
+    }
+  }
+  t.state_since = upto;
+}
+
+void Engine::set_state(Th& t, Th::St st) {
+  if (t.st == Th::St::kRunning && st != Th::St::kRunning) --running_count_;
+  if (t.st != Th::St::kRunning && st == Th::St::kRunning) ++running_count_;
+  emit_segment(t, now_);
+  t.st = st;
+  t.seg_state = seg_state_of(st);
+  if (st != Th::St::kRunning) t.seg_cpu = -1;
+}
+
+// ---------------------------------------------------------------------------
+// Setup
+
+/// Flushes the LWP's current (thread, cpu) interval to the gantt and
+/// restarts it with the current attachment/placement.
+void Engine::emit_lwp_segment(Lwp& lwp) {
+  if (cfg_.build_timeline && now_ > lwp.seg_since &&
+      (lwp.seg_thread != 0 || lwp.seg_cpu >= 0)) {
+    result_.lwp_segments.push_back(LwpSegment{
+        lwp.id, lwp.seg_since, now_, lwp.seg_thread, lwp.seg_cpu});
+  }
+  lwp.seg_since = now_;
+  lwp.seg_thread = lwp.thread == ult::kNoThread ? 0 : lwp.thread;
+  lwp.seg_cpu = lwp.cpu;
+}
+
+Lwp& Engine::new_lwp(bool dedicated, int bound_cpu) {
+  Lwp lwp;
+  lwp.id = static_cast<int>(lwps_.size());
+  lwp.quantum_left = cfg_.sched.ts_table.entry(lwp.ts_level).quantum;
+  lwp.dedicated = dedicated;
+  lwp.bound_cpu = bound_cpu;
+  lwp.enqueued_at = now_;
+  lwps_.push_back(lwp);
+  return lwps_.back();
+}
+
+void Engine::init_threads() {
+  for (const auto& [tid, ct] : compiled_.threads) {
+    Th t;
+    t.tid = tid;
+    t.ct = &ct;
+    const ThreadPolicy& pol = cfg_.sched.policy_of(tid);
+    t.prio_overridden = pol.override_priority;
+    t.prio = pol.override_priority ? pol.priority : ct.initial_priority;
+    if (pol.override_binding) {
+      t.bound = pol.binding != Binding::kUnbound;
+      t.bound_cpu = pol.binding == Binding::kBoundCpu ? pol.cpu : -1;
+    } else {
+      t.bound = ct.bound;
+    }
+    if (t.bound_cpu >= cfg_.hw.cpus) t.bound_cpu = cfg_.hw.cpus - 1;
+    threads_.emplace(tid, std::move(t));
+  }
+  thread_list_.reserve(threads_.size());
+  for (auto& [tid, t] : threads_) thread_list_.push_back(&t);
+  // Main starts at time zero; threads never created by a logged
+  // thr_create (hand-written traces) appear at their first record.
+  for (auto& [tid, t] : threads_) {
+    if (tid == 1) {
+      spawn_thread(tid, SimTime::zero());
+    } else if (!t.ct->created_in_log) {
+      spawn_thread(tid, t.ct->first_record_at);
+    }
+  }
+}
+
+void Engine::spawn_thread(ThreadId tid, SimTime at) {
+  Th& t = th(tid);
+  VPPB_CHECK_MSG(t.st == Th::St::kUnborn, "T" << tid << " spawned twice");
+  t.stats.tid = tid;
+  t.stats.created_at = at;
+  t.state_since = at;
+  if (!t.has_steps_left()) {
+    t.st = Th::St::kDone;  // metadata-only thread
+    t.exited = true;
+    return;
+  }
+  t.remaining = t.current_step().cpu;
+  t.phase = Th::Phase::kCompute;
+  t.st = Th::St::kReady;
+  t.seg_state = SegState::kRunnable;
+  t.ready_at = at;
+  t.lib_seq = next_lib_seq_++;
+  if (t.bound) {
+    Lwp& lwp = new_lwp(/*dedicated=*/true, t.bound_cpu);
+    lwp.thread = tid;
+    lwp.th = &t;
+    t.lwp = lwp.id;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Scheduling: library level (threads -> LWPs) and kernel level (LWPs -> CPUs)
+
+bool Engine::dispatchable(const Lwp& lwp) const {
+  if (lwp.th == nullptr) return false;
+  const Th& t = *lwp.th;
+  if (t.suspended) return false;
+  if (t.st == Th::St::kRunning) return true;
+  return t.st == Th::St::kReady && t.ready_at <= now_;
+}
+
+void Engine::attach_unbound_threads() {
+  // Ready, unbound, unattached threads in (priority, FIFO) order.
+  std::vector<Th*> ready;
+  for (Th* tp : thread_list_) {
+    Th& t = *tp;
+    if (!t.bound && !t.suspended && t.st == Th::St::kReady &&
+        t.ready_at <= now_ && t.lwp == -1)
+      ready.push_back(&t);
+  }
+  if (ready.empty()) return;
+  std::sort(ready.begin(), ready.end(), [](const Th* a, const Th* b) {
+    if (a->prio != b->prio) return a->prio > b->prio;
+    return a->lib_seq < b->lib_seq;
+  });
+
+  std::size_t next = 0;
+  for (Lwp& lwp : lwps_) {
+    if (next >= ready.size()) break;
+    if (lwp.dedicated || lwp.thread != ult::kNoThread) continue;
+    Th& t = *ready[next++];
+    emit_lwp_segment(lwp);
+    lwp.thread = t.tid;
+    lwp.th = &t;
+    lwp.seg_thread = t.tid;
+    t.lwp = lwp.id;
+    if (lwp.slept) {
+      // The LWP was idle (asleep in the kernel); returning to the
+      // dispatch queue boosts its TS level (ts_slpret).
+      if (cfg_.sched.ts_dynamics) {
+        lwp.ts_level = cfg_.sched.ts_table.entry(lwp.ts_level).on_sleep_return;
+        lwp.quantum_left = cfg_.sched.ts_table.entry(lwp.ts_level).quantum;
+      }
+      lwp.slept = false;
+    }
+    lwp.disp_seq = next_disp_seq_++;
+    lwp.enqueued_at = now_;
+  }
+  // Grow the unbound pool lazily up to its configured size.
+  while (next < ready.size() && unbound_lwps_made_ < unbound_pool_size_) {
+    Lwp& lwp = new_lwp(/*dedicated=*/false, -1);
+    ++unbound_lwps_made_;
+    Th& t = *ready[next++];
+    lwp.thread = t.tid;
+    lwp.th = &t;
+    lwp.seg_since = now_;
+    lwp.seg_thread = t.tid;
+    t.lwp = lwp.id;
+    lwp.disp_seq = next_disp_seq_++;
+    lwp.enqueued_at = now_;
+  }
+}
+
+void Engine::place(Lwp& lwp, int cpu) {
+  emit_lwp_segment(lwp);
+  lwp.cpu = cpu;
+  lwp.seg_cpu = cpu;
+  cpu_lwp_[static_cast<std::size_t>(cpu)] = lwp.id;
+  Th& t = *lwp.th;
+  cpu_running_[static_cast<std::size_t>(cpu)] = t.tid;
+  ++result_.cpu_stats[static_cast<std::size_t>(cpu)].dispatches;
+  ++lwp.dispatches;
+
+  const bool migrated = t.last_cpu != -1 && t.last_cpu != cpu;
+  set_state(t, Th::St::kRunning);
+  t.seg_cpu = cpu;
+  if (migrated) t.remaining += cfg_.hw.migration_penalty;
+  t.remaining += cfg_.cost.context_switch_cost;
+  t.last_cpu = cpu;
+}
+
+void Engine::unplace(Lwp& lwp) {
+  if (lwp.cpu < 0) return;
+  emit_lwp_segment(lwp);
+  lwp.seg_cpu = -1;
+  cpu_lwp_[static_cast<std::size_t>(lwp.cpu)] = -1;
+  cpu_running_[static_cast<std::size_t>(lwp.cpu)] = ult::kNoThread;
+  lwp.cpu = -1;
+  if (lwp.th != nullptr) {
+    Th& t = *lwp.th;
+    if (t.st == Th::St::kRunning) set_state(t, Th::St::kReady);
+    lwp.enqueued_at = now_;
+  }
+}
+
+void Engine::dispatch_lwps() {
+  const auto& table = cfg_.sched.ts_table;
+
+  // Starvation relief for LWPs stuck in the dispatch queue (ts_lwait).
+  if (cfg_.sched.ts_dynamics) {
+    for (Lwp& lwp : lwps_) {
+      if (lwp.cpu >= 0 || !dispatchable(lwp)) continue;
+      const TsEntry& e = table.entry(lwp.ts_level);
+      if (now_ - lwp.enqueued_at > e.max_wait) {
+        lwp.ts_level = e.on_starve;
+        lwp.quantum_left = table.entry(lwp.ts_level).quantum;
+        lwp.enqueued_at = now_;
+      }
+    }
+  }
+
+  // Waiting (dispatchable, not placed) LWPs.  CPUs are filled by
+  // linear selection of the best waiter (user priority, then TS level,
+  // then FIFO) rather than by sorting: with many LWPs and few CPUs the
+  // selection is what an O(1)-dispatch kernel queue would do, and it
+  // keeps the per-event cost proportional to the waiting count.
+  auto user_prio_of = [](const Lwp& lwp) {
+    return lwp.th == nullptr ? 0 : lwp.th->prio;
+  };
+  auto better = [&user_prio_of](const Lwp& a, const Lwp& b) {
+    const int ua = user_prio_of(a), ub = user_prio_of(b);
+    if (ua != ub) return ua > ub;
+    if (a.ts_level != b.ts_level) return a.ts_level > b.ts_level;
+    return a.disp_seq < b.disp_seq;
+  };
+  std::vector<Lwp*> waiting;
+  for (Lwp& lwp : lwps_) {
+    if (lwp.cpu < 0 && dispatchable(lwp)) waiting.push_back(&lwp);
+  }
+  if (waiting.empty()) return;
+
+  auto cpu_allowed = [](const Lwp& lwp, int cpu) {
+    return lwp.bound_cpu < 0 || lwp.bound_cpu == cpu;
+  };
+  auto take_best_for = [&](int cpu) -> Lwp* {
+    std::size_t best = waiting.size();
+    for (std::size_t i = 0; i < waiting.size(); ++i) {
+      if (!cpu_allowed(*waiting[i], cpu)) continue;
+      if (best == waiting.size() || better(*waiting[i], *waiting[best]))
+        best = i;
+    }
+    if (best == waiting.size()) return nullptr;
+    Lwp* out = waiting[best];
+    waiting.erase(waiting.begin() + static_cast<std::ptrdiff_t>(best));
+    return out;
+  };
+
+  // Fill idle CPUs.
+  for (int cpu = 0; cpu < cfg_.hw.cpus && !waiting.empty(); ++cpu) {
+    if (cpu_lwp_[static_cast<std::size_t>(cpu)] != -1) continue;
+    if (Lwp* lwp = take_best_for(cpu)) place(*lwp, cpu);
+  }
+
+  // Preemption: a waiting LWP with a strictly higher (user prio, TS
+  // level) evicts the weakest running LWP it may run on.
+  auto key = [&user_prio_of](const Lwp& lwp) {
+    return std::pair<int, int>(user_prio_of(lwp), lwp.ts_level);
+  };
+  for (;;) {
+    if (waiting.empty()) break;
+    // Strongest waiter overall.
+    std::size_t ci = 0;
+    for (std::size_t i = 1; i < waiting.size(); ++i) {
+      if (better(*waiting[i], *waiting[ci])) ci = i;
+    }
+    Lwp* contender = waiting[ci];
+    int victim_cpu = -1;
+    std::pair<int, int> victim_key = key(*contender);
+    for (int cpu = 0; cpu < cfg_.hw.cpus; ++cpu) {
+      const int lid = cpu_lwp_[static_cast<std::size_t>(cpu)];
+      if (lid < 0 || !cpu_allowed(*contender, cpu)) continue;
+      const Lwp& running = lwps_[static_cast<std::size_t>(lid)];
+      if (key(running) < victim_key) {
+        victim_key = key(running);
+        victim_cpu = cpu;
+      }
+    }
+    if (victim_cpu < 0) break;
+    Lwp& victim = lwps_[static_cast<std::size_t>(
+        cpu_lwp_[static_cast<std::size_t>(victim_cpu)])];
+    unplace(victim);
+    place(*contender, victim_cpu);
+    waiting.erase(waiting.begin() + static_cast<std::ptrdiff_t>(ci));
+  }
+}
+
+void Engine::assign() {
+  attach_unbound_threads();
+  dispatch_lwps();
+}
+
+// ---------------------------------------------------------------------------
+// Execution
+
+bool Engine::lwp_waiting_for_cpu() const {
+  for (const Lwp& lwp : lwps_) {
+    if (lwp.cpu < 0 && dispatchable(lwp)) return true;
+  }
+  return false;
+}
+
+double Engine::rate_factor() const {
+  const double alpha = cfg_.hw.memory_contention_alpha;
+  if (alpha <= 0.0 || running_count_ <= 1) return 1.0;
+  return 1.0 + alpha * static_cast<double>(running_count_ - 1);
+}
+
+SimTime Engine::next_event_time() const {
+  SimTime next = SimTime::max();
+  const double rate = rate_factor();
+  // Quantum expiry only changes anything when an LWP is waiting for a
+  // CPU; without contention the expiry (level decay + quantum refresh)
+  // is applied lazily at the next natural event, which avoids flooding
+  // long uncontended computations with expiry events.
+  const bool contended = lwp_waiting_for_cpu();
+  for (const Th* tp : thread_list_) {
+    const Th& t = *tp;
+    if (t.st == Th::St::kRunning) {
+      next = std::min(next, now_ + t.remaining.scaled(rate));
+      if (contended) {
+        const Lwp& lwp = lwps_[static_cast<std::size_t>(t.lwp)];
+        next = std::min(next, now_ + lwp.quantum_left);
+      }
+    } else if (t.st == Th::St::kReady && t.ready_at > now_) {
+      next = std::min(next, t.ready_at);
+    } else if (t.st == Th::St::kSleeping) {
+      next = std::min(next, t.wake_at);
+    }
+  }
+  return next;
+}
+
+void Engine::advance_to(SimTime when) {
+  VPPB_CHECK_MSG(when >= now_, "time went backwards in the simulator");
+  const SimTime dt = when - now_;
+  if (dt.is_zero()) return;
+  const double rate = rate_factor();
+  for (Th* tp : thread_list_) {
+    Th& t = *tp;
+    if (t.st != Th::St::kRunning) continue;
+    SimTime progress = dt.scaled(1.0 / rate);
+    if (progress > t.remaining) progress = t.remaining;
+    t.remaining -= progress;
+    Lwp& lwp = lwps_[static_cast<std::size_t>(t.lwp)];
+    lwp.quantum_left =
+        lwp.quantum_left > dt ? lwp.quantum_left - dt : SimTime::zero();
+    lwp.running_total += dt;
+    result_.cpu_stats[static_cast<std::size_t>(lwp.cpu)].busy += dt;
+  }
+  now_ = when;
+}
+
+/// Handles everything due at `now_`: sleepers waking, quantum expiries,
+/// and threads whose current phase has no demand left.  Returns true if
+/// any state changed (so the caller re-runs assignment).
+bool Engine::process_due_now() {
+  bool changed = false;
+
+  // Timer wakeups (timed-out cond_timedwait and I/O-latency replays).
+  for (Th* tp : thread_list_) {
+    Th& t = *tp;
+    if (t.st == Th::St::kSleeping && t.wake_at <= now_) {
+      if (t.wait == Th::Wait::kIoSleep) {
+        t.wait = Th::Wait::kNone;
+        set_state(t, Th::St::kReady);
+        t.ready_at = now_;
+        t.lib_seq = next_lib_seq_++;
+        complete_op_for(t);
+        changed = true;
+        continue;
+      }
+      VPPB_CHECK(t.wait == Th::Wait::kSleepThenMutex);
+      t.wait = Th::Wait::kNone;
+      const std::uint32_t mutex_id = t.wait_mutex;
+      set_state(t, Th::St::kReady);  // placeholder; acquire may re-block
+      t.ready_at = now_;
+      t.lib_seq = next_lib_seq_++;
+      acquire_mutex_or_block(t, mutex_id);
+      changed = true;
+    }
+  }
+
+  // Quantum expiry: the running LWP's level decays and — when another
+  // LWP is waiting for a CPU — it goes to the back of the dispatch
+  // queue.  Without contention the refresh happens in place.
+  const bool contended = lwp_waiting_for_cpu();
+  for (Lwp& lwp : lwps_) {
+    if (lwp.cpu < 0 || !lwp.quantum_left.is_zero()) continue;
+    if (cfg_.sched.ts_dynamics)
+      lwp.ts_level = cfg_.sched.ts_table.entry(lwp.ts_level).on_expiry;
+    lwp.quantum_left = cfg_.sched.ts_table.entry(lwp.ts_level).quantum;
+    if (contended) {
+      lwp.disp_seq = next_disp_seq_++;
+      unplace(lwp);
+      changed = true;
+    }
+  }
+
+  // Phase completions for running threads, in deterministic tid order.
+  for (Th* tp : thread_list_) {
+    Th& t = *tp;
+    if (t.st != Th::St::kRunning || !t.remaining.is_zero()) continue;
+    if (t.phase == Th::Phase::kCompute) {
+      apply_op(t);
+    } else {
+      advance_step(t);
+    }
+    changed = true;
+  }
+  return changed;
+}
+
+void Engine::apply_op(Th& t) {
+  const Step& s = t.current_step();
+
+  // Open the event entry shown by the Visualizer.
+  if (cfg_.build_timeline) {
+    SimEvent ev;
+    ev.at = now_;
+    ev.done = now_;
+    ev.tid = t.tid;
+    ev.op = s.op;
+    ev.obj = s.obj;
+    ev.outcome = s.outcome;
+    ev.loc = s.loc;
+    ev.cpu = t.last_cpu;
+    t.open_event = static_cast<std::ptrdiff_t>(result_.events.size());
+    result_.events.push_back(ev);
+  }
+
+  switch (s.op) {
+    case Op::kThrCreate: op_create(t, s); break;
+    case Op::kThrExit:
+      finish_thread(t);
+      return;
+    case Op::kThrJoin: op_join(t, s); break;
+    case Op::kThrYield: {
+      // Back of the library queue (and of the kernel queue for bound
+      // threads): detach and re-enter as runnable.
+      Lwp& lwp = lwps_[static_cast<std::size_t>(t.lwp)];
+      unplace(lwp);
+      if (!t.bound) {
+        lwp.thread = ult::kNoThread;
+        lwp.th = nullptr;
+        t.lwp = -1;
+        lwp.slept = true;
+      } else {
+        lwp.disp_seq = next_disp_seq_++;
+      }
+      t.lib_seq = next_lib_seq_++;
+      enter_op_cost(t);
+      break;
+    }
+    case Op::kThrSetPrio: {
+      const auto target = static_cast<ThreadId>(s.obj.id);
+      if (exists(target)) {
+        Th& tgt = th(target);
+        // A user-supplied priority override makes the simulator ignore
+        // the thr_setprio events for that thread (paper §3.2).
+        if (!tgt.prio_overridden) tgt.prio = static_cast<int>(s.arg);
+      }
+      enter_op_cost(t);
+      break;
+    }
+    case Op::kThrSetConcurrency:
+      // The simulator's LWP knob overrides the program (paper §3.2:
+      // "in this case the thr_setconcurrency in the program has no
+      // effect").
+      enter_op_cost(t);
+      break;
+    case Op::kThrSuspend: {
+      const auto target = static_cast<ThreadId>(s.obj.id);
+      if (exists(target)) {
+        Th& tgt = th(target);
+        if (tgt.st == Th::St::kBlocked || tgt.st == Th::St::kSleeping) {
+          tgt.pending_suspend = true;
+        } else if (tgt.st != Th::St::kDone) {
+          tgt.suspended = true;
+          if (tgt.st == Th::St::kRunning) {
+            Lwp& lwp = lwps_[static_cast<std::size_t>(tgt.lwp)];
+            unplace(lwp);
+          }
+        }
+      }
+      enter_op_cost(t);
+      break;
+    }
+    case Op::kThrContinue: {
+      const auto target = static_cast<ThreadId>(s.obj.id);
+      if (exists(target)) {
+        Th& tgt = th(target);
+        tgt.pending_suspend = false;
+        tgt.suspended = false;
+      }
+      enter_op_cost(t);
+      break;
+    }
+    case Op::kUserMark:
+    case Op::kMutexInit:
+    case Op::kMutexDestroy:
+    case Op::kSemaDestroy:
+    case Op::kCondInit:
+    case Op::kCondDestroy:
+    case Op::kRwInit:
+    case Op::kRwDestroy:
+      enter_op_cost(t);
+      break;
+    case Op::kSemaInit:
+      objects_.sema(s.obj.id).count = s.arg;
+      enter_op_cost(t);
+      break;
+    case Op::kMutexLock:
+    case Op::kMutexTrylock:
+    case Op::kMutexUnlock:
+      op_mutex(t, s);
+      break;
+    case Op::kSemaWait:
+    case Op::kSemaTrywait:
+    case Op::kSemaPost:
+      op_sema(t, s);
+      break;
+    case Op::kCondWait:
+    case Op::kCondTimedwait:
+    case Op::kCondSignal:
+    case Op::kCondBroadcast:
+      op_cond(t, s);
+      break;
+    case Op::kRwRdlock:
+    case Op::kRwTryRdlock:
+    case Op::kRwWrlock:
+    case Op::kRwTryWrlock:
+    case Op::kRwUnlock:
+      op_rwlock(t, s);
+      break;
+    case Op::kIoWait: {
+      // Extension: park the thread for the recorded device latency; the
+      // LWP is released meanwhile (an async-I/O-capable library).
+      t.wait = Th::Wait::kIoSleep;
+      t.wake_at = now_ + s.delay;
+      Lwp* lwp = t.lwp >= 0 ? &lwps_[static_cast<std::size_t>(t.lwp)] : nullptr;
+      if (lwp != nullptr) {
+        unplace(*lwp);
+        if (!t.bound) {
+          emit_lwp_segment(*lwp);
+          lwp->thread = ult::kNoThread;
+          lwp->th = nullptr;
+          lwp->seg_thread = 0;
+          t.lwp = -1;
+        }
+        lwp->slept = true;
+      }
+      set_state(t, Th::St::kSleeping);
+      break;
+    }
+    case Op::kStartCollect:
+    case Op::kEndCollect:
+      enter_op_cost(t);
+      break;
+  }
+}
+
+void Engine::enter_op_cost(Th& t) {
+  const Step& s = t.current_step();
+  double factor = 1.0;
+  if (s.op == Op::kThrCreate) {
+    // Creating a bound thread takes 6.7x longer (paper §3.2).
+    const auto child = static_cast<ThreadId>(s.outcome);
+    if (exists(child) && th(child).bound)
+      factor = cfg_.cost.bound_create_factor;
+  } else if (t.bound && trace::op_obj_kind(s.op) != trace::ObjKind::kThread &&
+             trace::op_obj_kind(s.op) != trace::ObjKind::kNone &&
+             trace::op_obj_kind(s.op) != trace::ObjKind::kMark &&
+             trace::op_obj_kind(s.op) != trace::ObjKind::kIo) {
+    // Synchronization by bound threads takes 5.9x longer (paper §3.2).
+    factor = cfg_.cost.bound_sync_factor;
+  }
+  t.phase = Th::Phase::kOpCost;
+  t.remaining = s.op_cost.scaled(factor);
+}
+
+void Engine::advance_step(Th& t) {
+  if (t.open_event >= 0) {
+    result_.events[static_cast<std::size_t>(t.open_event)].done = now_;
+    t.open_event = -1;
+  }
+  ++t.step;
+  t.phase = Th::Phase::kCompute;
+  if (!t.has_steps_left()) {
+    // Trace ended without an explicit thr_exit (hand-written traces):
+    // treat it as an exit.
+    finish_thread(t);
+    return;
+  }
+  t.remaining = t.current_step().cpu;
+}
+
+void Engine::finish_thread(Th& t) {
+  if (t.open_event >= 0) {
+    result_.events[static_cast<std::size_t>(t.open_event)].done = now_;
+    t.open_event = -1;
+  }
+  if (t.lwp >= 0) {
+    Lwp& lwp = lwps_[static_cast<std::size_t>(t.lwp)];
+    unplace(lwp);
+    emit_lwp_segment(lwp);
+    lwp.thread = ult::kNoThread;
+    lwp.th = nullptr;
+    lwp.seg_thread = 0;
+    lwp.slept = true;
+    t.lwp = -1;
+  }
+  set_state(t, Th::St::kDone);
+  t.exited = true;
+  t.stats.exited_at = now_;
+  t.step = t.ct->steps.size();
+  thread_exited(t);
+}
+
+void Engine::thread_exited(Th& t) {
+  // Specific joiners first.
+  auto it = joiners_.find(t.tid);
+  if (it != joiners_.end() && !it->second.empty()) {
+    const ThreadId j = it->second.pop();
+    Th& joiner = th(j);
+    t.reaped = true;
+    joiner.wait = Th::Wait::kNone;
+    unblock(joiner);
+    // Remaining specific joiners lose the race (ESRCH in the real API);
+    // release them too so the replay cannot hang.
+    while (!it->second.empty()) {
+      Th& also = th(it->second.pop());
+      also.wait = Th::Wait::kNone;
+      unblock(also);
+    }
+    return;
+  }
+  // Otherwise the zombie waits for a wildcard joiner.
+  if (!any_joiners_.empty()) {
+    const ThreadId j = any_joiners_.pop();
+    Th& joiner = th(j);
+    t.reaped = true;
+    joiner.wait = Th::Wait::kNone;
+    unblock(joiner);
+    return;
+  }
+  zombies_.push_back(t.tid);
+}
+
+SimTime Engine::wake_delay(const Th& woken) const {
+  // An event on one CPU propagates to another after the communication
+  // delay (paper §3.2).  Wakeups within one CPU are immediate.
+  if (cfg_.hw.cpus <= 1 || cfg_.hw.comm_delay.is_zero()) return SimTime::zero();
+  // The waker is the thread currently applying an op; threads_ lookups
+  // here would be circular, so use a conservative rule: a thread that
+  // last ran on some CPU is assumed to be woken from a different one
+  // whenever more than one CPU exists.
+  (void)woken;
+  return cfg_.hw.comm_delay;
+}
+
+void Engine::block(Th& t, Th::Wait wait, std::uint32_t obj) {
+  Lwp* lwp = t.lwp >= 0 ? &lwps_[static_cast<std::size_t>(t.lwp)] : nullptr;
+  if (lwp != nullptr) {
+    unplace(*lwp);
+    if (!t.bound) {
+      emit_lwp_segment(*lwp);
+      lwp->thread = ult::kNoThread;
+      lwp->th = nullptr;
+      lwp->seg_thread = 0;
+      t.lwp = -1;
+      lwp->slept = true;  // will boost when it picks up new work
+    } else {
+      lwp->slept = true;  // bound LWP sleeps with its thread
+    }
+  }
+  t.wait = wait;
+  t.wait_obj = obj;
+  set_state(t, Th::St::kBlocked);
+}
+
+void Engine::unblock(Th& t) {
+  VPPB_CHECK_MSG(t.st == Th::St::kBlocked || t.st == Th::St::kReady,
+                 "unblock of T" << t.tid << " in unexpected state");
+  if (t.st == Th::St::kBlocked) set_state(t, Th::St::kReady);
+  if (t.pending_suspend) {
+    // thr_suspend hit while blocked: stop at the wakeup point.
+    t.pending_suspend = false;
+    t.suspended = true;
+  }
+  t.ready_at = now_ + wake_delay(t);
+  t.lib_seq = next_lib_seq_++;
+  complete_op_for(t);
+}
+
+void Engine::complete_op_for(Th& t) {
+  // The blocking operation has succeeded on this thread's behalf; charge
+  // the recorded library cost and move on.
+  enter_op_cost(t);
+}
+
+bool Engine::try_take_mutex(Th& t, std::uint32_t mutex_id) {
+  SimMutex& m = objects_.mutex(mutex_id);
+  if (m.owner != ult::kNoThread) return false;
+  m.owner = t.tid;
+  t.held_mutexes.push_back(mutex_id);
+  return true;
+}
+
+void Engine::do_unlock_mutex(Th& t, std::uint32_t mutex_id) {
+  SimMutex& m = objects_.mutex(mutex_id);
+  VPPB_CHECK_MSG(m.owner == t.tid, "replay: T" << t.tid << " releases mutex#"
+                                               << mutex_id
+                                               << " it does not hold");
+  std::erase(t.held_mutexes, mutex_id);
+  const ThreadId next = m.waiters.pop();
+  m.owner = next;
+  if (next == ult::kNoThread) return;
+  Th& w = th(next);
+  w.held_mutexes.push_back(mutex_id);
+  if (w.wait == Th::Wait::kMutexReacquire) {
+    // Part of a barrier re-acquisition chain: keep going.
+    VPPB_CHECK(!w.reacquire.empty() && w.reacquire.front() == mutex_id);
+    w.reacquire.erase(w.reacquire.begin());
+    continue_reacquire(w);
+    return;
+  }
+  w.wait = Th::Wait::kNone;
+  unblock(w);
+}
+
+void Engine::continue_reacquire(Th& t) {
+  while (!t.reacquire.empty()) {
+    const std::uint32_t id = t.reacquire.front();
+    if (try_take_mutex(t, id)) {
+      t.reacquire.erase(t.reacquire.begin());
+      continue;
+    }
+    objects_.mutex(id).waiters.push(t.tid, t.prio);
+    t.wait = Th::Wait::kMutexReacquire;
+    t.wait_obj = id;
+    if (t.st != Th::St::kBlocked) set_state(t, Th::St::kBlocked);
+    return;
+  }
+  t.wait = Th::Wait::kNone;
+  unblock(t);
+}
+
+void Engine::acquire_mutex_or_block(Th& t, std::uint32_t mutex_id) {
+  if (try_take_mutex(t, mutex_id)) {
+    if (t.st == Th::St::kBlocked) set_state(t, Th::St::kReady);
+    t.ready_at = std::max(t.ready_at, now_);
+    t.wait = Th::Wait::kNone;
+    complete_op_for(t);
+    return;
+  }
+  objects_.mutex(mutex_id).waiters.push(t.tid, t.prio);
+  t.wait = Th::Wait::kMutex;
+  t.wait_obj = mutex_id;
+  if (t.st != Th::St::kBlocked) set_state(t, Th::St::kBlocked);
+}
+
+void Engine::wake_from_cond(Th& t) {
+  // Signalled: now contend for the mutex recorded with the wait.
+  t.wait = Th::Wait::kNone;
+  acquire_mutex_or_block(t, t.wait_mutex);
+}
+
+// ---- op handlers -----------------------------------------------------------
+
+void Engine::op_create(Th& t, const Step& s) {
+  const auto child = static_cast<ThreadId>(s.outcome);
+  if (exists(child) && th(child).st == Th::St::kUnborn) {
+    spawn_thread(child, now_);
+    Th& c = th(child);
+    c.ready_at = now_ + wake_delay(c);
+    constexpr long kThrSuspended = 0x80;  // THR_SUSPENDED
+    if ((s.arg & kThrSuspended) != 0) c.suspended = true;
+  }
+  enter_op_cost(t);
+}
+
+void Engine::op_join(Th& t, const Step& s) {
+  // A join that failed in the recording (ESRCH/EDEADLK — e.g. the final
+  // probe of a join-all loop) returns without waiting; its outcome field
+  // carries no departed thread.
+  if (s.outcome == 0) {
+    enter_op_cost(t);
+    return;
+  }
+  const auto target = static_cast<std::int64_t>(s.obj.id);
+  if (target == trace::kAnyThread) {
+    if (!zombies_.empty()) {
+      const ThreadId z = zombies_.front();
+      zombies_.erase(zombies_.begin());
+      th(z).reaped = true;
+      enter_op_cost(t);
+      return;
+    }
+    block(t, Th::Wait::kJoinAny, 0);
+    any_joiners_.push(t.tid, t.prio);
+    return;
+  }
+  const auto tgt_id = static_cast<ThreadId>(target);
+  if (!exists(tgt_id)) {
+    enter_op_cost(t);  // ESRCH in the log too; nothing to wait for
+    return;
+  }
+  Th& target_th = th(tgt_id);
+  if (target_th.exited) {
+    // Already a zombie (possibly already reaped by a wildcard join —
+    // the mismatch the paper's §6 acknowledges); complete immediately.
+    target_th.reaped = true;
+    std::erase(zombies_, tgt_id);
+    enter_op_cost(t);
+    return;
+  }
+  block(t, Th::Wait::kJoin, s.obj.id);
+  t.join_target = tgt_id;
+  joiners_[tgt_id].push(t.tid, t.prio);
+}
+
+void Engine::op_mutex(Th& t, const Step& s) {
+  SimMutex& m = objects_.mutex(s.obj.id);
+  switch (s.op) {
+    case Op::kMutexLock:
+      if (try_take_mutex(t, s.obj.id)) {
+        enter_op_cost(t);
+      } else {
+        block(t, Th::Wait::kMutex, s.obj.id);
+        m.waiters.push(t.tid, t.prio);
+      }
+      break;
+    case Op::kMutexTrylock:
+      // Paper §3.2: "if the thread gained access to the lock in the log
+      // file, the simulation will do a mutex_lock, otherwise no action
+      // is taken".
+      if (s.outcome == 1) {
+        if (try_take_mutex(t, s.obj.id)) {
+          enter_op_cost(t);
+        } else {
+          block(t, Th::Wait::kMutex, s.obj.id);
+          m.waiters.push(t.tid, t.prio);
+        }
+      } else {
+        enter_op_cost(t);
+      }
+      break;
+    case Op::kMutexUnlock:
+      do_unlock_mutex(t, s.obj.id);
+      enter_op_cost(t);
+      break;
+    default: VPPB_CHECK(false);
+  }
+}
+
+void Engine::op_sema(Th& t, const Step& s) {
+  SimSema& sem = objects_.sema(s.obj.id);
+  switch (s.op) {
+    case Op::kSemaWait:
+      if (sem.count > 0) {
+        --sem.count;
+        enter_op_cost(t);
+      } else {
+        block(t, Th::Wait::kSema, s.obj.id);
+        sem.waiters.push(t.tid, t.prio);
+      }
+      break;
+    case Op::kSemaTrywait:
+      if (s.outcome == 1) {
+        if (sem.count > 0) {
+          --sem.count;
+          enter_op_cost(t);
+        } else {
+          block(t, Th::Wait::kSema, s.obj.id);
+          sem.waiters.push(t.tid, t.prio);
+        }
+      } else {
+        enter_op_cost(t);
+      }
+      break;
+    case Op::kSemaPost: {
+      const ThreadId next = sem.waiters.pop();
+      if (next != ult::kNoThread) {
+        Th& w = th(next);
+        w.wait = Th::Wait::kNone;
+        unblock(w);  // the unit is handed to the sleeper
+      } else {
+        ++sem.count;
+      }
+      enter_op_cost(t);
+      break;
+    }
+    default: VPPB_CHECK(false);
+  }
+}
+
+void Engine::op_cond(Th& t, const Step& s) {
+  SimCond& c = objects_.cond(s.obj.id);
+  switch (s.op) {
+    case Op::kCondWait:
+    case Op::kCondTimedwait: {
+      const auto mutex_id = static_cast<std::uint32_t>(s.arg);
+      // Release the mutex exactly as the library does internally.
+      do_unlock_mutex(t, mutex_id);
+
+      if (s.op == Op::kCondTimedwait && s.outcome == 0) {
+        // Timed out in the recording: replay as a delay then re-acquire
+        // the mutex (paper §3.2).
+        t.wait = Th::Wait::kSleepThenMutex;
+        t.wait_mutex = mutex_id;
+        t.wake_at = now_ + s.delay;
+        Lwp* lwp = t.lwp >= 0 ? &lwps_[static_cast<std::size_t>(t.lwp)] : nullptr;
+        if (lwp != nullptr) {
+          unplace(*lwp);
+          if (!t.bound) {
+            lwp->thread = ult::kNoThread;
+            lwp->th = nullptr;
+            t.lwp = -1;
+          }
+          lwp->slept = true;
+        }
+        set_state(t, Th::St::kSleeping);
+        break;
+      }
+
+      // A signal recorded for this waiter may already have fired under
+      // the simulated schedule; consume it instead of sleeping forever.
+      if (c.pending_signals > 0) {
+        --c.pending_signals;
+        t.wait_mutex = mutex_id;
+        Lwp* lwp2 = t.lwp >= 0 ? &lwps_[static_cast<std::size_t>(t.lwp)] : nullptr;
+        if (lwp2 != nullptr) {
+          unplace(*lwp2);
+          if (!t.bound) {
+            lwp2->thread = ult::kNoThread;
+            lwp2->th = nullptr;
+            t.lwp = -1;
+          }
+          lwp2->slept = true;
+        }
+        set_state(t, Th::St::kBlocked);
+        wake_from_cond(t);
+        break;
+      }
+
+      block(t, Th::Wait::kCond, s.obj.id);
+      t.wait_mutex = mutex_id;
+      c.waiters.push(t.tid, t.prio);
+
+      // A pending barrier broadcast may now have enough arrivals.
+      if (c.pending &&
+          static_cast<std::int64_t>(c.waiters.size()) >= c.pending->needed) {
+        Th& caster = th(c.pending->broadcaster);
+        c.pending.reset();
+        while (!c.waiters.empty()) {
+          Th& w = th(c.waiters.pop());
+          wake_from_cond(w);
+        }
+        continue_reacquire(caster);
+      }
+      break;
+    }
+    case Op::kCondSignal: {
+      const ThreadId next = c.waiters.pop();
+      if (next != ult::kNoThread) {
+        wake_from_cond(th(next));
+      } else if (s.outcome == 1) {
+        // The recording woke a waiter; it has not arrived yet in the
+        // simulation — remember the signal for it (see SimCond).
+        ++c.pending_signals;
+      }
+      enter_op_cost(t);
+      break;
+    }
+    case Op::kCondBroadcast: {
+      const std::int64_t needed = s.outcome;  // waiters released in the log
+      if (static_cast<std::int64_t>(c.waiters.size()) >= needed) {
+        while (!c.waiters.empty()) {
+          Th& w = th(c.waiters.pop());
+          wake_from_cond(w);
+        }
+        enter_op_cost(t);
+      } else {
+        // Barrier rule (paper §6): wait until as many threads arrive at
+        // the barrier as the log released, then the last arrival
+        // triggers the release above.  The broadcaster releases any
+        // mutexes it holds (it typically holds the barrier mutex, which
+        // the still-arriving threads need) and re-takes them afterwards.
+        VPPB_CHECK_MSG(!c.pending, "two pending broadcasts on cond#"
+                                       << s.obj.id);
+        c.pending = SimCond::PendingBroadcast{t.tid, needed};
+        t.reacquire = t.held_mutexes;
+        for (const std::uint32_t id : std::vector<std::uint32_t>(t.held_mutexes))
+          do_unlock_mutex(t, id);
+        block(t, Th::Wait::kBarrier, s.obj.id);
+      }
+      break;
+    }
+    default: VPPB_CHECK(false);
+  }
+}
+
+void Engine::op_rwlock(Th& t, const Step& s) {
+  SimRwlock& rw = objects_.rwlock(s.obj.id);
+  auto rd_acquire = [&]() {
+    if (rw.writer == ult::kNoThread && rw.waiting_writers == 0) {
+      ++rw.readers;
+      enter_op_cost(t);
+    } else {
+      block(t, Th::Wait::kRwRead, s.obj.id);
+      rw.reader_q.push(t.tid, t.prio);
+    }
+  };
+  auto wr_acquire = [&]() {
+    if (rw.writer == ult::kNoThread && rw.readers == 0) {
+      rw.writer = t.tid;
+      enter_op_cost(t);
+    } else {
+      ++rw.waiting_writers;
+      block(t, Th::Wait::kRwWrite, s.obj.id);
+      rw.writer_q.push(t.tid, t.prio);
+    }
+  };
+  switch (s.op) {
+    case Op::kRwRdlock: rd_acquire(); break;
+    case Op::kRwTryRdlock:
+      if (s.outcome == 1) rd_acquire(); else enter_op_cost(t);
+      break;
+    case Op::kRwWrlock: wr_acquire(); break;
+    case Op::kRwTryWrlock:
+      if (s.outcome == 1) wr_acquire(); else enter_op_cost(t);
+      break;
+    case Op::kRwUnlock: {
+      if (rw.writer == t.tid) {
+        rw.writer = ult::kNoThread;
+      } else {
+        VPPB_CHECK_MSG(rw.readers > 0, "replay: rw_unlock of rwlock#"
+                                           << s.obj.id << " not held");
+        --rw.readers;
+      }
+      if (rw.writer == ult::kNoThread && rw.readers == 0) {
+        const ThreadId w = rw.writer_q.pop();
+        if (w != ult::kNoThread) {
+          --rw.waiting_writers;
+          rw.writer = w;
+          Th& wt = th(w);
+          wt.wait = Th::Wait::kNone;
+          unblock(wt);
+        } else {
+          while (!rw.reader_q.empty()) {
+            Th& rt = th(rw.reader_q.pop());
+            ++rw.readers;
+            rt.wait = Th::Wait::kNone;
+            unblock(rt);
+          }
+        }
+      }
+      enter_op_cost(t);
+      break;
+    }
+    default: VPPB_CHECK(false);
+  }
+}
+
+// ---------------------------------------------------------------------------
+
+void Engine::replay_deadlock() {
+  std::ostringstream os;
+  os << "replay deadlock at t=" << now_ << ":\n";
+  for (const auto& [tid, t] : threads_) {
+    os << "  T" << tid << " step " << t.step << "/" << t.ct->steps.size();
+    switch (t.st) {
+      case Th::St::kUnborn: os << " unborn"; break;
+      case Th::St::kReady: os << " ready"; break;
+      case Th::St::kRunning: os << " running"; break;
+      case Th::St::kBlocked: os << " blocked"; break;
+      case Th::St::kSleeping: os << " sleeping"; break;
+      case Th::St::kDone: os << " done"; break;
+    }
+    if (t.st == Th::St::kBlocked && t.has_steps_left())
+      os << " in " << trace::op_name(t.current_step().op);
+    os << '\n';
+  }
+  throw Error(os.str());
+}
+
+SimResult Engine::run() {
+  VPPB_CHECK_MSG(cfg_.hw.cpus >= 1, "need at least one CPU");
+  VPPB_CHECK_MSG(cfg_.sched.lwps >= 0, "negative LWP count");
+
+  unbound_pool_size_ = cfg_.sched.lwps > 0
+                           ? cfg_.sched.lwps
+                           : static_cast<int>(compiled_.threads.size());
+  cpu_running_.assign(static_cast<std::size_t>(cfg_.hw.cpus), ult::kNoThread);
+  cpu_lwp_.assign(static_cast<std::size_t>(cfg_.hw.cpus), -1);
+  result_.cpu_stats.resize(static_cast<std::size_t>(cfg_.hw.cpus));
+  for (int c = 0; c < cfg_.hw.cpus; ++c)
+    result_.cpu_stats[static_cast<std::size_t>(c)].cpu = c;
+
+  init_threads();
+
+  for (;;) {
+    bool changed = true;
+    while (changed) {
+      assign();
+      changed = process_due_now();
+    }
+
+    const SimTime next = next_event_time();
+    if (next == SimTime::max()) {
+      bool all_done = true;
+      for (const auto& [tid, t] : threads_) {
+        if (t.st != Th::St::kDone) all_done = false;
+      }
+      if (all_done) break;
+      replay_deadlock();
+    }
+    advance_to(next);
+  }
+
+  // Finalize.
+  result_.total = now_;
+  result_.recorded_duration = compiled_.recorded_duration;
+  result_.speedup = result_.total.is_zero()
+                        ? 1.0
+                        : static_cast<double>(compiled_.recorded_duration.ns()) /
+                              static_cast<double>(result_.total.ns());
+  result_.cpus = cfg_.hw.cpus;
+  result_.lwps = unbound_pool_size_;
+  for (auto& [tid, t] : threads_) {
+    // Every thread is done here; its last segment was flushed when it
+    // exited, so only the stats remain to be published.
+    result_.threads.emplace(tid, t.stats);
+  }
+  for (Lwp& lwp : lwps_) emit_lwp_segment(lwp);
+  for (const Lwp& lwp : lwps_) {
+    LwpStats ls;
+    ls.id = lwp.id;
+    ls.dedicated = lwp.dedicated;
+    ls.running = lwp.running_total;
+    ls.dispatches = lwp.dispatches;
+    ls.final_ts_level = lwp.ts_level;
+    result_.lwp_stats.push_back(ls);
+  }
+  std::sort(result_.segments.begin(), result_.segments.end(),
+            [](const Segment& a, const Segment& b) {
+              if (a.start != b.start) return a.start < b.start;
+              return a.tid < b.tid;
+            });
+  return result_;
+}
+
+}  // namespace
+
+SimResult simulate(const CompiledTrace& compiled, const SimConfig& config) {
+  Engine engine(compiled, config);
+  return engine.run();
+}
+
+SimResult simulate(const trace::Trace& trace, const SimConfig& config) {
+  return simulate(compile(trace), config);
+}
+
+double predict_speedup(const trace::Trace& trace, int cpus) {
+  SimConfig cfg;
+  cfg.hw.cpus = cpus;
+  cfg.build_timeline = false;
+  return simulate(trace, cfg).speedup;
+}
+
+}  // namespace vppb::core

@@ -1,0 +1,52 @@
+// The VPPB Simulator: event-driven simulation of a multiprocessor
+// running Solaris 2.5, replaying a compiled uni-processor trace under a
+// user-supplied hardware configuration and scheduling policy.
+//
+// Two-level scheduling, as in Solaris (paper §3.2): user threads are
+// multiplexed on LWPs by the (simulated) thread library in user-priority
+// order; LWPs are dispatched on CPUs by the (simulated) kernel in TS
+// priority order with table-driven quantum/priority adjustment.  "Each
+// (simulated) CPU picks a (simulated) LWP, which in turn picks a
+// (simulated) thread.  Each CPU executes the minimum time required for
+// one of the threads to reach an event from the thread's list."
+//
+// Replay rules (paper §3.2/§6):
+//  - try-operations succeed iff they succeeded in the log;
+//  - cond_timedwait that timed out replays as a delay of the recorded
+//    length; otherwise as a cond_wait;
+//  - a cond_broadcast that released N waiters blocks the broadcaster
+//    until N waiters have arrived (barrier behaviour);
+//  - thr_join with a wildcard joins whichever thread exits first;
+//  - creating a bound thread costs ×6.7, synchronization on bound
+//    threads ×5.9;
+//  - LWP context-switch overhead is NOT modelled (that is the
+//    reference machine's job — see src/machine).
+#pragma once
+
+#include "core/compiler.hpp"
+#include "core/config.hpp"
+#include "core/result.hpp"
+#include "trace/trace.hpp"
+
+namespace vppb::core {
+
+/// Simulates the compiled trace.  Throws vppb::Error on unreplayable
+/// traces (e.g. a replay deadlock, which indicates either a broken log
+/// or a program whose behaviour depends on the schedule — paper §6).
+///
+/// The same engine serves as the predictor and as the reference
+/// machine's core: the replay rules are necessarily identical (both are
+/// trace-driven; the recorded control flow fixes every branch), and the
+/// reference machine differentiates itself through the SimConfig cost
+/// knobs (context-switch cost, migration penalty, memory contention)
+/// plus pre-jittered compiled step demands — see src/machine.
+SimResult simulate(const CompiledTrace& compiled, const SimConfig& config);
+
+/// Convenience: compile + simulate.
+SimResult simulate(const trace::Trace& trace, const SimConfig& config);
+
+/// The headline number: predicted speed-up of the traced program on
+/// `cpus` processors (paper Table 1).
+double predict_speedup(const trace::Trace& trace, int cpus);
+
+}  // namespace vppb::core

@@ -1,0 +1,69 @@
+// Simulated synchronization objects.  Semantics mirror src/solaris
+// (priority-ordered FIFO wakeups, direct handoff), with the replay
+// rules of paper §3.2 applied by the engine.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "trace/event.hpp"
+#include "ult/wait_queue.hpp"
+
+namespace vppb::core {
+
+using ult::ThreadId;
+using ult::WaitQueue;
+
+struct SimMutex {
+  ThreadId owner = ult::kNoThread;
+  WaitQueue waiters;
+};
+
+struct SimSema {
+  std::int64_t count = 0;
+  WaitQueue waiters;
+};
+
+struct SimCond {
+  WaitQueue waiters;
+  /// Replay rule symmetric to the barrier rule: a cond_signal that woke
+  /// a waiter in the recording but finds none in the simulation (the
+  /// waiter has not arrived yet under the different schedule) is
+  /// remembered here and consumed by the next arriving waiter.  Without
+  /// it the signal would be lost and the recorded waiter would sleep
+  /// forever — the condition-variable hazard of paper §6.
+  std::int64_t pending_signals = 0;
+  /// The paper's barrier rule: a cond_broadcast that released N threads
+  /// in the recording blocks the broadcaster until N threads are
+  /// waiting in the simulation, then releases them all ("the last
+  /// thread arriving at the barrier releases all the waiting threads").
+  struct PendingBroadcast {
+    ThreadId broadcaster = ult::kNoThread;
+    std::int64_t needed = 0;
+  };
+  std::optional<PendingBroadcast> pending;
+};
+
+struct SimRwlock {
+  int readers = 0;
+  ThreadId writer = ult::kNoThread;
+  int waiting_writers = 0;
+  WaitQueue reader_q;
+  WaitQueue writer_q;
+};
+
+/// Lazily-created object tables keyed by the trace's per-kind ids.
+struct ObjectTable {
+  std::map<std::uint32_t, SimMutex> mutexes;
+  std::map<std::uint32_t, SimSema> semas;
+  std::map<std::uint32_t, SimCond> conds;
+  std::map<std::uint32_t, SimRwlock> rwlocks;
+
+  SimMutex& mutex(std::uint32_t id) { return mutexes[id]; }
+  SimSema& sema(std::uint32_t id) { return semas[id]; }
+  SimCond& cond(std::uint32_t id) { return conds[id]; }
+  SimRwlock& rwlock(std::uint32_t id) { return rwlocks[id]; }
+};
+
+}  // namespace vppb::core

@@ -1,0 +1,103 @@
+#include "core/result.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace vppb::core {
+
+const char* to_string(SegState s) {
+  switch (s) {
+    case SegState::kRunning: return "running";
+    case SegState::kRunnable: return "runnable";
+    case SegState::kBlocked: return "blocked";
+    case SegState::kSleeping: return "sleeping";
+  }
+  return "?";
+}
+
+std::vector<Segment> SimResult::thread_segments(ThreadId tid) const {
+  std::vector<Segment> out;
+  for (const Segment& s : segments) {
+    if (s.tid == tid) out.push_back(s);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const Segment& a, const Segment& b) { return a.start < b.start; });
+  return out;
+}
+
+std::vector<LwpSegment> SimResult::segments_of_lwp(int lwp) const {
+  std::vector<LwpSegment> out;
+  for (const LwpSegment& s : lwp_segments) {
+    if (s.lwp == lwp) out.push_back(s);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const LwpSegment& a, const LwpSegment& b) {
+              return a.start < b.start;
+            });
+  return out;
+}
+
+SimResult::Parallelism SimResult::parallelism_at(SimTime t) const {
+  Parallelism p;
+  for (const Segment& s : segments) {
+    if (s.start <= t && t < s.end) {
+      if (s.state == SegState::kRunning) ++p.running;
+      if (s.state == SegState::kRunnable) ++p.runnable;
+    }
+  }
+  return p;
+}
+
+std::vector<SimResult::ProfilePoint> SimResult::parallelism_profile(
+    std::size_t samples) const {
+  VPPB_CHECK_MSG(samples >= 2, "profile needs at least two samples");
+  std::vector<ProfilePoint> out;
+  out.reserve(samples);
+  for (std::size_t i = 0; i < samples; ++i) {
+    const SimTime t = SimTime::nanos(total.ns() * static_cast<std::int64_t>(i) /
+                                     static_cast<std::int64_t>(samples - 1));
+    const Parallelism p = parallelism_at(t);
+    out.push_back(ProfilePoint{t, p.running, p.runnable});
+  }
+  return out;
+}
+
+void SimResult::validate() const {
+  VPPB_CHECK_MSG(total >= SimTime::zero(), "negative total time");
+  std::map<ThreadId, std::vector<Segment>> per_thread;
+  for (const Segment& s : segments) {
+    VPPB_CHECK_MSG(s.start <= s.end, "segment with negative length");
+    VPPB_CHECK_MSG(s.end <= total, "segment past the end of the run");
+    per_thread[s.tid].push_back(s);
+  }
+  for (auto& [tid, segs] : per_thread) {
+    std::sort(segs.begin(), segs.end(), [](const Segment& a, const Segment& b) {
+      return a.start < b.start;
+    });
+    for (std::size_t i = 1; i < segs.size(); ++i) {
+      VPPB_CHECK_MSG(segs[i].start >= segs[i - 1].end,
+                     "overlapping segments for T" << tid);
+      VPPB_CHECK_MSG(segs[i].start == segs[i - 1].end,
+                     "timeline gap for T" << tid << " at " << segs[i].start);
+    }
+  }
+  // Running threads never exceed the CPU count: check at segment edges.
+  for (const Segment& probe : segments) {
+    if (probe.state != SegState::kRunning) continue;
+    int running = 0;
+    for (const Segment& s : segments) {
+      if (s.state == SegState::kRunning && s.start <= probe.start &&
+          probe.start < s.end)
+        ++running;
+    }
+    VPPB_CHECK_MSG(running <= cpus, "more running threads (" << running
+                                                             << ") than CPUs");
+  }
+  for (const SimEvent& e : events) {
+    VPPB_CHECK_MSG(e.at <= e.done, "event ends before it starts");
+    VPPB_CHECK_MSG(e.done <= total, "event past the end of the run");
+  }
+}
+
+}  // namespace vppb::core

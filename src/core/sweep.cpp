@@ -1,0 +1,91 @@
+#include "core/sweep.hpp"
+
+#include <algorithm>
+
+#include "core/engine.hpp"
+#include "util/error.hpp"
+
+namespace vppb::core {
+
+SpeedupCurve::SpeedupCurve(std::vector<SweepPoint> points)
+    : points_(std::move(points)) {
+  VPPB_CHECK_MSG(!points_.empty(), "empty speed-up curve");
+  std::sort(points_.begin(), points_.end(),
+            [](const SweepPoint& a, const SweepPoint& b) {
+              return a.cpus < b.cpus;
+            });
+}
+
+double SpeedupCurve::amdahl_serial_fraction() const {
+  // Linear regression of y = 1/S against x = 1/p:  y = f + (1-f)x,
+  // i.e. slope m = 1-f and intercept c = f; we recover f from the
+  // slope of the least-squares line.
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  const double n = static_cast<double>(points_.size());
+  for (const SweepPoint& p : points_) {
+    const double x = 1.0 / p.cpus;
+    const double y = 1.0 / std::max(1e-9, p.speedup);
+    sx += x;
+    sy += y;
+    sxx += x * x;
+    sxy += x * y;
+  }
+  const double denom = n * sxx - sx * sx;
+  double f;
+  if (std::abs(denom) < 1e-12) {
+    // Degenerate sweep (single point): attribute everything that is not
+    // explained by the point itself to serial work.
+    const SweepPoint& p = points_.front();
+    f = p.cpus > 1
+            ? (static_cast<double>(p.cpus) / p.speedup - 1.0) / (p.cpus - 1)
+            : 0.0;
+  } else {
+    const double slope = (n * sxy - sx * sy) / denom;
+    f = 1.0 - slope;  // intercept form: c = f, slope = 1 - f
+  }
+  return std::clamp(f, 0.0, 1.0);
+}
+
+double SpeedupCurve::amdahl_speedup(int cpus) const {
+  VPPB_CHECK_MSG(cpus >= 1, "need at least one CPU");
+  const double f = amdahl_serial_fraction();
+  return 1.0 / (f + (1.0 - f) / cpus);
+}
+
+int SpeedupCurve::knee(double efficiency_threshold) const {
+  int best_cpus = points_.front().cpus;
+  for (const SweepPoint& p : points_) {
+    if (p.efficiency >= efficiency_threshold) best_cpus = std::max(best_cpus, p.cpus);
+  }
+  return best_cpus;
+}
+
+const SweepPoint& SpeedupCurve::best() const {
+  return *std::max_element(points_.begin(), points_.end(),
+                           [](const SweepPoint& a, const SweepPoint& b) {
+                             return a.speedup < b.speedup;
+                           });
+}
+
+SpeedupCurve sweep_cpus(const CompiledTrace& compiled,
+                        std::span<const int> cpu_counts,
+                        const SimConfig& base) {
+  VPPB_CHECK_MSG(!cpu_counts.empty(), "empty CPU sweep");
+  std::vector<SweepPoint> points;
+  points.reserve(cpu_counts.size());
+  for (const int cpus : cpu_counts) {
+    SimConfig cfg = base;
+    cfg.hw.cpus = cpus;
+    cfg.build_timeline = false;
+    const SimResult r = simulate(compiled, cfg);
+    SweepPoint p;
+    p.cpus = cpus;
+    p.speedup = r.speedup;
+    p.efficiency = r.speedup / cpus;
+    p.total = r.total;
+    points.push_back(p);
+  }
+  return SpeedupCurve(std::move(points));
+}
+
+}  // namespace vppb::core

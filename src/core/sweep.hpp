@@ -1,0 +1,58 @@
+// Processor-count sweeps and speed-up-curve analysis.
+//
+// The paper's workflow ends with a developer reading speed-up numbers
+// off the Simulator; this module packages the common questions: what
+// does the whole curve look like, where does adding processors stop
+// paying (the knee), and what serial fraction explains the curve
+// (Amdahl fit — e.g. the paper's FFT row 1.55/2.14/2.62 is an almost
+// perfect f ~= 0.29 curve).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/compiler.hpp"
+#include "core/config.hpp"
+#include "util/time.hpp"
+
+namespace vppb::core {
+
+struct SweepPoint {
+  int cpus = 1;
+  double speedup = 1.0;
+  double efficiency = 1.0;  ///< speedup / cpus
+  SimTime total;
+};
+
+class SpeedupCurve {
+ public:
+  explicit SpeedupCurve(std::vector<SweepPoint> points);
+
+  const std::vector<SweepPoint>& points() const { return points_; }
+
+  /// Least-squares Amdahl fit: 1/S = f + (1-f)/p.  Returns the serial
+  /// fraction f clamped to [0, 1].
+  double amdahl_serial_fraction() const;
+
+  /// Predicted speed-up of the fitted Amdahl curve at `cpus`.
+  double amdahl_speedup(int cpus) const;
+
+  /// The largest swept CPU count whose efficiency still meets the
+  /// threshold (the "knee" a capacity planner cares about).  Returns
+  /// the smallest swept count when nothing qualifies.
+  int knee(double efficiency_threshold = 0.5) const;
+
+  /// Largest speed-up over the sweep.
+  const SweepPoint& best() const;
+
+ private:
+  std::vector<SweepPoint> points_;
+};
+
+/// Simulates the compiled trace at each CPU count (other parameters from
+/// `base`; its cpu count is ignored).
+SpeedupCurve sweep_cpus(const CompiledTrace& compiled,
+                        std::span<const int> cpu_counts,
+                        const SimConfig& base);
+
+}  // namespace vppb::core

@@ -1,0 +1,50 @@
+#include "core/ts_table.hpp"
+
+#include "util/error.hpp"
+
+namespace vppb::core {
+
+int TsTable::clamp(int level) const {
+  if (level < 0) return 0;
+  if (level >= kTsLevels) return kTsLevels - 1;
+  return level;
+}
+
+const TsEntry& TsTable::entry(int level) const {
+  return entries[static_cast<std::size_t>(clamp(level))];
+}
+
+TsTable TsTable::solaris_default() {
+  TsTable t;
+  for (int level = 0; level < kTsLevels; ++level) {
+    TsEntry e;
+    // Quanta fall in 40 ms steps per decade of priority: 200 ms for
+    // levels 0–9 down to 40 ms for 40–49, then 20 ms above.
+    const int decade = level / 10;
+    const std::int64_t quantum_ms = decade < 5 ? 200 - 40 * decade : 20;
+    e.quantum = SimTime::millis(quantum_ms);
+    // Using the whole quantum drops the level by 10 (CPU hogs sink).
+    e.on_expiry = level < 10 ? 0 : level - 10;
+    // Returning from sleep boosts interactive work into the 50s band.
+    e.on_sleep_return = level < 10 ? 50 : (level < 50 ? 50 + (level - 10) / 8
+                                                      : 58);
+    if (e.on_sleep_return > 59) e.on_sleep_return = 59;
+    // Starvation relief mirrors the sleep-return boost.
+    e.on_starve = e.on_sleep_return;
+    e.max_wait = SimTime::seconds(1.0);
+    t.entries[static_cast<std::size_t>(level)] = e;
+  }
+  return t;
+}
+
+TsTable TsTable::flat(SimTime quantum) {
+  VPPB_CHECK_MSG(quantum > SimTime::zero(), "flat TS table needs a quantum");
+  TsTable t;
+  for (int level = 0; level < kTsLevels; ++level) {
+    t.entries[static_cast<std::size_t>(level)] =
+        TsEntry{quantum, level, level, level, SimTime::max()};
+  }
+  return t;
+}
+
+}  // namespace vppb::core

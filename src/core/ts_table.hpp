@@ -1,0 +1,49 @@
+// The Solaris timeshare (TS) dispatch table.
+//
+// Solaris 2.5 schedules kernel threads/LWPs in the TS class through a
+// 60-level table: each level defines the time quantum and where the
+// level moves on quantum expiry (down) or on return from sleep (up).
+// The paper's simulator "emulates the priority adjustment as it is
+// handled in Solaris" and ties the time-slice length to the priority
+// (§3.2); this table is that mechanism.
+//
+// The default table reproduces the classic ts_dptbl shipped with
+// Solaris: 200 ms quanta at the lowest levels falling to 20 ms at the
+// highest, expiry dropping a level by 10, sleep return boosting into
+// the 50s band.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "util/time.hpp"
+
+namespace vppb::core {
+
+/// Number of TS priority levels (0 = weakest, 59 = strongest).
+constexpr int kTsLevels = 60;
+
+struct TsEntry {
+  SimTime quantum;   ///< ts_quantum: time slice at this level
+  int on_expiry;     ///< ts_tqexp: new level after using the full quantum
+  int on_sleep_return;  ///< ts_slpret: new level after blocking
+  int on_starve;     ///< ts_lwait: new level after waiting too long
+  SimTime max_wait;  ///< ts_maxwait: starvation threshold (zero = 1 tick)
+};
+
+class TsTable {
+ public:
+  /// The classic Solaris ts_dptbl defaults.
+  static TsTable solaris_default();
+
+  /// A flat table: fixed quantum, no priority movement.  Used by the
+  /// ablation bench to show what the TS dynamics contribute.
+  static TsTable flat(SimTime quantum);
+
+  const TsEntry& entry(int level) const;
+  int clamp(int level) const;
+
+  std::array<TsEntry, kTsLevels> entries{};
+};
+
+}  // namespace vppb::core

@@ -1,0 +1,56 @@
+#include "machine/validate.hpp"
+
+#include <cmath>
+
+#include "core/engine.hpp"
+#include "recorder/recorder.hpp"
+#include "solaris/program.hpp"
+#include "util/stats.hpp"
+
+namespace vppb::machine {
+
+double ValidationReport::max_abs_error() const {
+  double worst = 0.0;
+  for (const ValidationPoint& p : points)
+    worst = std::max(worst, std::fabs(p.error));
+  return worst;
+}
+
+ValidationReport validate_workload(std::string app, const WorkloadFn& workload,
+                                   std::span<const int> cpu_counts,
+                                   const MachineConfig& machine_config) {
+  ValidationReport report;
+  report.app = std::move(app);
+  for (const int cpus : cpu_counts) {
+    // One log per processor setup, as in the paper.
+    sol::Program program;
+    const trace::Trace trace =
+        rec::record_program(program, [&workload, cpus]() { workload(cpus); });
+    const core::CompiledTrace compiled = core::compile(trace);
+    const trace::TraceStats stats = trace::compute_stats(trace);
+
+    core::SimConfig predictor;
+    predictor.hw.cpus = cpus;
+    predictor.hw.comm_delay = machine_config.comm_delay;
+    predictor.sched.lwps = machine_config.lwps;
+    predictor.build_timeline = false;
+
+    MachineConfig mc = machine_config;
+    mc.cpus = cpus;
+
+    ValidationPoint point;
+    point.cpus = cpus;
+    point.predicted = core::simulate(compiled, predictor).speedup;
+    const MachineResult real = execute(compiled, mc);
+    point.real_mid = real.speedup_mid;
+    point.real_min = real.speedup_min;
+    point.real_max = real.speedup_max;
+    point.error = prediction_error(point.real_mid, point.predicted);
+    point.log_records = stats.records;
+    point.events_per_second = stats.events_per_second;
+    report.points.push_back(point);
+  }
+  return report;
+}
+
+}  // namespace vppb::machine

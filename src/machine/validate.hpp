@@ -1,0 +1,46 @@
+// The paper's §4 validation harness: for each processor count, record a
+// fresh uni-processor log (SPLASH-style programs create one thread per
+// processor, so "one log file was made for each processor setup"),
+// predict the speed-up with the Simulator, and measure the "real"
+// speed-up on the reference machine.  Produces the rows of Table 1.
+#pragma once
+
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "machine/machine.hpp"
+
+namespace vppb::machine {
+
+/// A workload body parameterized by worker-thread count.
+using WorkloadFn = std::function<void(int nthreads)>;
+
+struct ValidationPoint {
+  int cpus = 0;
+  double real_mid = 0.0;
+  double real_min = 0.0;
+  double real_max = 0.0;
+  double predicted = 0.0;
+  /// (real - predicted) / real, the paper's definition.
+  double error = 0.0;
+  /// Recording statistics for the §4 intrusion discussion.
+  std::size_t log_records = 0;
+  double events_per_second = 0.0;
+};
+
+struct ValidationReport {
+  std::string app;
+  std::vector<ValidationPoint> points;
+
+  /// Largest |error| across the points (the paper's headline is 6%).
+  double max_abs_error() const;
+};
+
+/// Runs the full validation for one application.
+ValidationReport validate_workload(std::string app, const WorkloadFn& workload,
+                                   std::span<const int> cpu_counts,
+                                   const MachineConfig& machine_config);
+
+}  // namespace vppb::machine

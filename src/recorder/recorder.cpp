@@ -1,0 +1,123 @@
+#include "recorder/recorder.hpp"
+
+#include <cstring>
+
+#include "ult/runtime.hpp"
+#include "util/error.hpp"
+
+namespace vppb::rec {
+namespace {
+
+/// Basename of a __FILE__-style path, for paper-like "file:line" display.
+std::string_view basename_of(const char* path) {
+  std::string_view sv(path == nullptr ? "" : path);
+  const std::size_t pos = sv.find_last_of('/');
+  return pos == std::string_view::npos ? sv : sv.substr(pos + 1);
+}
+
+}  // namespace
+
+Recorder::Recorder() : Recorder(Options{}) {}
+
+Recorder::Recorder(Options opts) : opts_(opts) {
+  trace_.records.reserve(opts_.reserve_records);
+}
+
+Recorder::Scope::Scope(Recorder& r) {
+  VPPB_CHECK_MSG(sol::probe_sink() == nullptr,
+                 "another recorder is already attached");
+  sol::set_probe_sink(&r);
+}
+
+Recorder::Scope::~Scope() { sol::set_probe_sink(nullptr); }
+
+std::uint32_t Recorder::location_of(const sol::ProbeContext& ctx) {
+  if (!opts_.capture_locations) return 0;
+  return trace_.add_location(basename_of(ctx.loc.file_name()), ctx.loc.line(),
+                             ctx.loc.function_name());
+}
+
+void Recorder::append(SimTime at, trace::ThreadId tid, trace::Phase phase,
+                      const sol::ProbeContext& ctx, std::int64_t arg) {
+  trace::Record r;
+  r.at = at;
+  r.tid = tid;
+  r.phase = phase;
+  r.op = ctx.op;
+  r.obj = ctx.obj;
+  r.arg = arg;
+  r.arg2 = ctx.arg2;
+  r.loc = location_of(ctx);
+  if (ctx.op == trace::Op::kUserMark)
+    r.arg = trace_.strings.intern(ctx.label);
+  if (opts_.ring_capacity != 0 &&
+      trace_.records.size() >= opts_.ring_capacity) {
+    // TNF-style overwrite of the oldest record (see Options comment).
+    trace_.records.erase(trace_.records.begin());
+    ++dropped_;
+  }
+  trace_.records.push_back(r);
+}
+
+void Recorder::on_call(const sol::ProbeContext& ctx) {
+  auto& rt = ult::Runtime::current();
+  const SimTime at = rt.stamp_now();
+  if (!started_) {
+    started_ = true;
+    trace::Record start;
+    start.at = at;
+    start.tid = rt.current_tid();
+    start.op = trace::Op::kStartCollect;
+    trace_.records.push_back(start);
+  }
+  append(at, rt.current_tid(), trace::Phase::kCall, ctx, ctx.arg);
+}
+
+void Recorder::on_return(const sol::ProbeContext& ctx,
+                         std::int64_t result_arg) {
+  auto& rt = ult::Runtime::current();
+  append(rt.stamp_now(), rt.current_tid(), trace::Phase::kReturn, ctx,
+         result_arg);
+}
+
+void Recorder::on_thread(trace::ThreadId tid, std::string_view name,
+                         std::string_view start_func, bool bound,
+                         int priority) {
+  trace::ThreadMeta& meta = trace_.upsert_thread(tid);
+  meta.name = trace_.strings.intern(name);
+  meta.start_func = trace_.strings.intern(start_func);
+  meta.bound = bound;
+  meta.initial_priority = priority;
+}
+
+trace::Trace Recorder::finish(SimTime program_end) {
+  if (started_) {
+    trace::Record end;
+    end.at = program_end;
+    end.tid = 1;
+    end.op = trace::Op::kEndCollect;
+    trace_.records.push_back(end);
+  }
+  // A ring-truncated log has lost its prefix (dangling returns etc.);
+  // it cannot promise the validation invariants the full log has.
+  if (dropped_ == 0) trace_.validate();
+  trace::Trace out = std::move(trace_);
+  trace_ = trace::Trace{};
+  trace_.records.reserve(opts_.reserve_records);
+  dropped_ = 0;
+  started_ = false;
+  return out;
+}
+
+trace::Trace record_program(sol::Program& program,
+                            const std::function<void()>& main_fn,
+                            Recorder::Options opts) {
+  Recorder recorder(opts);
+  {
+    Recorder::Scope attach(recorder);
+    program.run(main_fn);
+  }
+  return recorder.finish(program.last_duration());
+}
+
+}  // namespace vppb::rec

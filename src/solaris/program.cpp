@@ -1,0 +1,53 @@
+#include "solaris/program.hpp"
+
+#include "solaris/state.hpp"
+#include "util/error.hpp"
+
+namespace vppb::sol {
+
+Program::Program() : Program(Options{}) {}
+
+void Program::run(const std::function<void()>& main_fn) {
+  reset_state();
+  set_op_cost_model(opts_.op_costs);
+  ult::Runtime::Config cfg;
+  cfg.clock_mode = opts_.clock_mode;
+  cfg.stack_size = opts_.stack_size;
+  cfg.livelock_horizon = opts_.livelock_horizon;
+  cfg.max_context_switches = opts_.max_context_switches;
+  ult::Runtime rt(cfg);
+  rt.run([&main_fn]() {
+    detail::register_main_thread();
+    main_fn();
+    // Returning from main is an implicit thr_exit, and is recorded as
+    // one (the paper's fig. 2 log ends with main's thr_exit).
+    thr_exit(nullptr);
+  });
+  last_duration_ = rt.now();
+}
+
+Barrier::Barrier(int parties, std::source_location loc)
+    : m_(loc), c_(loc), parties_(parties) {
+  VPPB_CHECK_MSG(parties > 0, "barrier needs at least one party");
+}
+
+void Barrier::arrive(std::source_location loc) {
+  mutex_lock(m_.raw(), loc);
+  const std::int64_t my_generation = generation_;
+  if (++arrived_ == parties_) {
+    arrived_ = 0;
+    ++generation_;
+    cond_broadcast(c_.raw(), loc);
+  } else {
+    while (generation_ == my_generation) cond_wait(c_.raw(), m_.raw(), loc);
+  }
+  mutex_unlock(m_.raw(), loc);
+}
+
+void join_all(std::source_location loc) {
+  void* status = nullptr;
+  while (thr_join(0, nullptr, &status, loc) == SOL_OK) {
+  }
+}
+
+}  // namespace vppb::sol

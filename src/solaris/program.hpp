@@ -1,0 +1,196 @@
+// sol::Program — the harness that runs a multithreaded program on the
+// one-LWP runtime (the paper's "execution on a uni-processor"), plus
+// RAII C++ conveniences used by the workloads (the C-style API remains
+// the recorded surface).
+#pragma once
+
+#include <functional>
+#include <source_location>
+
+#include "solaris/solaris.hpp"
+#include "ult/runtime.hpp"
+#include "util/time.hpp"
+
+namespace vppb::sol {
+
+class Program {
+ public:
+  struct Options {
+    ult::ClockMode clock_mode = ult::ClockMode::kVirtual;
+    std::size_t stack_size = 256 * 1024;
+    SimTime livelock_horizon = SimTime::max();
+    std::uint64_t max_context_switches = 0;
+    /// Virtual cost of the library calls themselves (see OpCostModel).
+    OpCostModel op_costs{};
+  };
+
+  Program();  // default Options
+  explicit Program(Options opts) : opts_(opts) {}
+
+  /// Runs `main_fn` as the program's main thread (id 1) to completion.
+  /// Resets the solaris layer state, so each run is independent.
+  void run(const std::function<void()>& main_fn);
+
+  /// Duration of the last run (the uni-processor execution time).
+  SimTime last_duration() const { return last_duration_; }
+
+ private:
+  Options opts_;
+  SimTime last_duration_;
+};
+
+// ---- RAII wrappers ---------------------------------------------------------
+
+class Mutex {
+ public:
+  explicit Mutex(std::source_location loc = std::source_location::current()) {
+    mutex_init(&m_, 0, nullptr, loc);
+  }
+  ~Mutex() {
+    if (m_.impl != nullptr) mutex_destroy(&m_);
+  }
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock(std::source_location loc = std::source_location::current()) {
+    mutex_lock(&m_, loc);
+  }
+  bool try_lock(std::source_location loc = std::source_location::current()) {
+    return mutex_trylock(&m_, loc) == SOL_OK;
+  }
+  void unlock(std::source_location loc = std::source_location::current()) {
+    mutex_unlock(&m_, loc);
+  }
+  mutex_t* raw() { return &m_; }
+
+ private:
+  mutex_t m_;
+};
+
+class ScopedLock {
+ public:
+  explicit ScopedLock(Mutex& m,
+                      std::source_location loc = std::source_location::current())
+      : m_(m), loc_(loc) {
+    m_.lock(loc_);
+  }
+  ~ScopedLock() { m_.unlock(loc_); }
+  ScopedLock(const ScopedLock&) = delete;
+  ScopedLock& operator=(const ScopedLock&) = delete;
+
+ private:
+  Mutex& m_;
+  std::source_location loc_;
+};
+
+class Semaphore {
+ public:
+  explicit Semaphore(unsigned count = 0,
+                     std::source_location loc = std::source_location::current()) {
+    sema_init(&s_, count, 0, nullptr, loc);
+  }
+  ~Semaphore() {
+    if (s_.impl != nullptr) sema_destroy(&s_);
+  }
+  Semaphore(const Semaphore&) = delete;
+  Semaphore& operator=(const Semaphore&) = delete;
+
+  void wait(std::source_location loc = std::source_location::current()) {
+    sema_wait(&s_, loc);
+  }
+  bool try_wait(std::source_location loc = std::source_location::current()) {
+    return sema_trywait(&s_, loc) == SOL_OK;
+  }
+  void post(std::source_location loc = std::source_location::current()) {
+    sema_post(&s_, loc);
+  }
+  sema_t* raw() { return &s_; }
+
+ private:
+  sema_t s_;
+};
+
+class CondVar {
+ public:
+  explicit CondVar(std::source_location loc = std::source_location::current()) {
+    cond_init(&c_, 0, nullptr, loc);
+  }
+  ~CondVar() {
+    if (c_.impl != nullptr) cond_destroy(&c_);
+  }
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void wait(Mutex& m,
+            std::source_location loc = std::source_location::current()) {
+    cond_wait(&c_, m.raw(), loc);
+  }
+  /// Returns false on timeout.
+  bool timed_wait(Mutex& m, SimTime abstime,
+                  std::source_location loc = std::source_location::current()) {
+    return cond_timedwait(&c_, m.raw(), abstime, loc) == SOL_OK;
+  }
+  void signal(std::source_location loc = std::source_location::current()) {
+    cond_signal(&c_, loc);
+  }
+  void broadcast(std::source_location loc = std::source_location::current()) {
+    cond_broadcast(&c_, loc);
+  }
+  cond_t* raw() { return &c_; }
+
+ private:
+  cond_t c_;
+};
+
+class RwLock {
+ public:
+  explicit RwLock(std::source_location loc = std::source_location::current()) {
+    rwlock_init(&rw_, 0, nullptr, loc);
+  }
+  ~RwLock() {
+    if (rw_.impl != nullptr) rwlock_destroy(&rw_);
+  }
+  RwLock(const RwLock&) = delete;
+  RwLock& operator=(const RwLock&) = delete;
+
+  void rdlock(std::source_location loc = std::source_location::current()) {
+    rw_rdlock(&rw_, loc);
+  }
+  void wrlock(std::source_location loc = std::source_location::current()) {
+    rw_wrlock(&rw_, loc);
+  }
+  void unlock(std::source_location loc = std::source_location::current()) {
+    rw_unlock(&rw_, loc);
+  }
+  rwlock_t* raw() { return &rw_; }
+
+ private:
+  rwlock_t rw_;
+};
+
+/// The mutex + cond_broadcast barrier the paper's §6 discussion singles
+/// out: the Simulator models the "last thread to arrive releases all
+/// waiters" behaviour of exactly this construction.  SPLASH-style
+/// workloads synchronize phases with it.
+class Barrier {
+ public:
+  explicit Barrier(int parties,
+                   std::source_location loc = std::source_location::current());
+
+  /// Blocks until `parties` threads have arrived.
+  void arrive(std::source_location loc = std::source_location::current());
+
+  int parties() const { return parties_; }
+
+ private:
+  Mutex m_;
+  CondVar c_;
+  int parties_;
+  int arrived_ = 0;
+  std::int64_t generation_ = 0;
+};
+
+/// Joins every joinable thread until none remain (main's usual epilogue).
+void join_all(std::source_location loc = std::source_location::current());
+
+}  // namespace vppb::sol

@@ -1,0 +1,140 @@
+#include "solaris/pthread_compat.hpp"
+
+namespace vppb::sol {
+
+int vppb_pthread_attr_init(vppb_pthread_attr_t* attr) {
+  if (attr == nullptr) return SOL_EINVAL;
+  *attr = vppb_pthread_attr_t{};
+  return SOL_OK;
+}
+
+int vppb_pthread_attr_setdetachstate(vppb_pthread_attr_t* attr,
+                                     bool detached) {
+  if (attr == nullptr) return SOL_EINVAL;
+  if (detached) {
+    attr->flags |= THR_DETACHED;
+  } else {
+    attr->flags &= ~THR_DETACHED;
+  }
+  return SOL_OK;
+}
+
+int vppb_pthread_attr_setscope_system(vppb_pthread_attr_t* attr, bool system) {
+  if (attr == nullptr) return SOL_EINVAL;
+  if (system) {
+    attr->flags |= THR_BOUND;
+  } else {
+    attr->flags &= ~THR_BOUND;
+  }
+  return SOL_OK;
+}
+
+int vppb_pthread_create(vppb_pthread_t* thread,
+                        const vppb_pthread_attr_t* attr,
+                        void* (*start)(void*), void* arg,
+                        std::source_location loc) {
+  const long flags = attr != nullptr ? attr->flags : 0;
+  return thr_create(nullptr, 0, start, arg, flags, thread, loc);
+}
+
+int vppb_pthread_join(vppb_pthread_t thread, void** retval,
+                      std::source_location loc) {
+  return thr_join(thread, nullptr, retval, loc);
+}
+
+void vppb_pthread_exit(void* retval, std::source_location loc) {
+  thr_exit(retval, loc);
+}
+
+vppb_pthread_t vppb_pthread_self() { return thr_self(); }
+
+int vppb_sched_yield(std::source_location loc) { return thr_yield(loc); }
+
+int vppb_pthread_mutex_init(vppb_pthread_mutex_t* m, const void*,
+                            std::source_location loc) {
+  return m == nullptr ? SOL_EINVAL : mutex_init(&m->m, 0, nullptr, loc);
+}
+int vppb_pthread_mutex_lock(vppb_pthread_mutex_t* m,
+                            std::source_location loc) {
+  return m == nullptr ? SOL_EINVAL : mutex_lock(&m->m, loc);
+}
+int vppb_pthread_mutex_trylock(vppb_pthread_mutex_t* m,
+                               std::source_location loc) {
+  return m == nullptr ? SOL_EINVAL : mutex_trylock(&m->m, loc);
+}
+int vppb_pthread_mutex_unlock(vppb_pthread_mutex_t* m,
+                              std::source_location loc) {
+  return m == nullptr ? SOL_EINVAL : mutex_unlock(&m->m, loc);
+}
+int vppb_pthread_mutex_destroy(vppb_pthread_mutex_t* m,
+                               std::source_location loc) {
+  return m == nullptr ? SOL_EINVAL : mutex_destroy(&m->m, loc);
+}
+
+int vppb_pthread_cond_init(vppb_pthread_cond_t* c, const void*,
+                           std::source_location loc) {
+  return c == nullptr ? SOL_EINVAL : cond_init(&c->c, 0, nullptr, loc);
+}
+int vppb_pthread_cond_wait(vppb_pthread_cond_t* c, vppb_pthread_mutex_t* m,
+                           std::source_location loc) {
+  if (c == nullptr || m == nullptr) return SOL_EINVAL;
+  return cond_wait(&c->c, &m->m, loc);
+}
+int vppb_pthread_cond_timedwait(vppb_pthread_cond_t* c,
+                                vppb_pthread_mutex_t* m, SimTime abstime,
+                                std::source_location loc) {
+  if (c == nullptr || m == nullptr) return SOL_EINVAL;
+  return cond_timedwait(&c->c, &m->m, abstime, loc);
+}
+int vppb_pthread_cond_signal(vppb_pthread_cond_t* c,
+                             std::source_location loc) {
+  return c == nullptr ? SOL_EINVAL : cond_signal(&c->c, loc);
+}
+int vppb_pthread_cond_broadcast(vppb_pthread_cond_t* c,
+                                std::source_location loc) {
+  return c == nullptr ? SOL_EINVAL : cond_broadcast(&c->c, loc);
+}
+int vppb_pthread_cond_destroy(vppb_pthread_cond_t* c,
+                              std::source_location loc) {
+  return c == nullptr ? SOL_EINVAL : cond_destroy(&c->c, loc);
+}
+
+int vppb_pthread_rwlock_init(vppb_pthread_rwlock_t* rw, const void*,
+                             std::source_location loc) {
+  return rw == nullptr ? SOL_EINVAL : rwlock_init(&rw->rw, 0, nullptr, loc);
+}
+int vppb_pthread_rwlock_rdlock(vppb_pthread_rwlock_t* rw,
+                               std::source_location loc) {
+  return rw == nullptr ? SOL_EINVAL : rw_rdlock(&rw->rw, loc);
+}
+int vppb_pthread_rwlock_wrlock(vppb_pthread_rwlock_t* rw,
+                               std::source_location loc) {
+  return rw == nullptr ? SOL_EINVAL : rw_wrlock(&rw->rw, loc);
+}
+int vppb_pthread_rwlock_unlock(vppb_pthread_rwlock_t* rw,
+                               std::source_location loc) {
+  return rw == nullptr ? SOL_EINVAL : rw_unlock(&rw->rw, loc);
+}
+int vppb_pthread_rwlock_destroy(vppb_pthread_rwlock_t* rw,
+                                std::source_location loc) {
+  return rw == nullptr ? SOL_EINVAL : rwlock_destroy(&rw->rw, loc);
+}
+
+int vppb_sem_init(vppb_sem_t* s, int /*pshared*/, unsigned value,
+                  std::source_location loc) {
+  return s == nullptr ? SOL_EINVAL : sema_init(&s->s, value, 0, nullptr, loc);
+}
+int vppb_sem_wait(vppb_sem_t* s, std::source_location loc) {
+  return s == nullptr ? SOL_EINVAL : sema_wait(&s->s, loc);
+}
+int vppb_sem_trywait(vppb_sem_t* s, std::source_location loc) {
+  return s == nullptr ? SOL_EINVAL : sema_trywait(&s->s, loc);
+}
+int vppb_sem_post(vppb_sem_t* s, std::source_location loc) {
+  return s == nullptr ? SOL_EINVAL : sema_post(&s->s, loc);
+}
+int vppb_sem_destroy(vppb_sem_t* s, std::source_location loc) {
+  return s == nullptr ? SOL_EINVAL : sema_destroy(&s->s, loc);
+}
+
+}  // namespace vppb::sol

@@ -1,0 +1,131 @@
+// POSIX-threads front-end over the Solaris threads layer.
+//
+// The paper notes (§6) that "the tool can easily be adjusted to
+// support, e.g., POSIX threads with only small modifications of the
+// probes in the Recorder".  This header is that adjustment: a
+// pthread-shaped API whose calls run through the same probed solaris
+// primitives, so pthread-style programs record, simulate and visualize
+// identically.  Naming uses a vppb_ prefix (vppb_pthread_create, ...)
+// to avoid colliding with the host's <pthread.h>.
+#pragma once
+
+#include <source_location>
+
+#include "solaris/solaris.hpp"
+
+namespace vppb::sol {
+
+using vppb_pthread_t = thread_t;
+
+struct vppb_pthread_attr_t {
+  long flags = 0;  ///< THR_BOUND / THR_DETACHED / THR_DAEMON
+};
+
+struct vppb_pthread_mutex_t {
+  mutex_t m;
+};
+struct vppb_pthread_cond_t {
+  cond_t c;
+};
+struct vppb_pthread_rwlock_t {
+  rwlock_t rw;
+};
+struct vppb_sem_t {
+  sema_t s;
+};
+
+// ---- attributes -------------------------------------------------------------
+
+int vppb_pthread_attr_init(vppb_pthread_attr_t* attr);
+int vppb_pthread_attr_setdetachstate(vppb_pthread_attr_t* attr, bool detached);
+/// PTHREAD_SCOPE_SYSTEM maps to a bound thread, as on Solaris.
+int vppb_pthread_attr_setscope_system(vppb_pthread_attr_t* attr, bool system);
+
+// ---- threads ----------------------------------------------------------------
+
+int vppb_pthread_create(
+    vppb_pthread_t* thread, const vppb_pthread_attr_t* attr,
+    void* (*start)(void*), void* arg,
+    std::source_location loc = std::source_location::current());
+int vppb_pthread_join(
+    vppb_pthread_t thread, void** retval,
+    std::source_location loc = std::source_location::current());
+[[noreturn]] void vppb_pthread_exit(
+    void* retval, std::source_location loc = std::source_location::current());
+vppb_pthread_t vppb_pthread_self();
+int vppb_sched_yield(
+    std::source_location loc = std::source_location::current());
+
+// ---- mutexes ----------------------------------------------------------------
+
+int vppb_pthread_mutex_init(
+    vppb_pthread_mutex_t* m, const void* attr = nullptr,
+    std::source_location loc = std::source_location::current());
+int vppb_pthread_mutex_lock(
+    vppb_pthread_mutex_t* m,
+    std::source_location loc = std::source_location::current());
+int vppb_pthread_mutex_trylock(
+    vppb_pthread_mutex_t* m,
+    std::source_location loc = std::source_location::current());
+int vppb_pthread_mutex_unlock(
+    vppb_pthread_mutex_t* m,
+    std::source_location loc = std::source_location::current());
+int vppb_pthread_mutex_destroy(
+    vppb_pthread_mutex_t* m,
+    std::source_location loc = std::source_location::current());
+
+// ---- condition variables ------------------------------------------------------
+
+int vppb_pthread_cond_init(
+    vppb_pthread_cond_t* c, const void* attr = nullptr,
+    std::source_location loc = std::source_location::current());
+int vppb_pthread_cond_wait(
+    vppb_pthread_cond_t* c, vppb_pthread_mutex_t* m,
+    std::source_location loc = std::source_location::current());
+/// Absolute deadline in runtime time; returns SOL_ETIME on timeout
+/// (POSIX ETIMEDOUT).
+int vppb_pthread_cond_timedwait(
+    vppb_pthread_cond_t* c, vppb_pthread_mutex_t* m, SimTime abstime,
+    std::source_location loc = std::source_location::current());
+int vppb_pthread_cond_signal(
+    vppb_pthread_cond_t* c,
+    std::source_location loc = std::source_location::current());
+int vppb_pthread_cond_broadcast(
+    vppb_pthread_cond_t* c,
+    std::source_location loc = std::source_location::current());
+int vppb_pthread_cond_destroy(
+    vppb_pthread_cond_t* c,
+    std::source_location loc = std::source_location::current());
+
+// ---- rwlocks ------------------------------------------------------------------
+
+int vppb_pthread_rwlock_init(
+    vppb_pthread_rwlock_t* rw, const void* attr = nullptr,
+    std::source_location loc = std::source_location::current());
+int vppb_pthread_rwlock_rdlock(
+    vppb_pthread_rwlock_t* rw,
+    std::source_location loc = std::source_location::current());
+int vppb_pthread_rwlock_wrlock(
+    vppb_pthread_rwlock_t* rw,
+    std::source_location loc = std::source_location::current());
+int vppb_pthread_rwlock_unlock(
+    vppb_pthread_rwlock_t* rw,
+    std::source_location loc = std::source_location::current());
+int vppb_pthread_rwlock_destroy(
+    vppb_pthread_rwlock_t* rw,
+    std::source_location loc = std::source_location::current());
+
+// ---- POSIX semaphores ----------------------------------------------------------
+
+int vppb_sem_init(vppb_sem_t* s, int pshared, unsigned value,
+                  std::source_location loc = std::source_location::current());
+int vppb_sem_wait(vppb_sem_t* s,
+                  std::source_location loc = std::source_location::current());
+int vppb_sem_trywait(
+    vppb_sem_t* s, std::source_location loc = std::source_location::current());
+int vppb_sem_post(vppb_sem_t* s,
+                  std::source_location loc = std::source_location::current());
+int vppb_sem_destroy(
+    vppb_sem_t* s, std::source_location loc = std::source_location::current());
+
+}  // namespace vppb::sol

@@ -1,0 +1,196 @@
+// A source-compatible subset of the Solaris 2.X threads API
+// (thr_* / mutex_* / sema_* / cond_* / rw_*), implemented on the
+// user-level threads runtime in src/ult.
+//
+// Semantics follow the Solaris Multithreaded Programming Guide the
+// paper cites: unbound threads are multiplexed by the library on the
+// process's LWPs (exactly one LWP here, as the Recorder requires);
+// synchronization objects wake sleepers in priority order, FIFO within
+// a priority; cond_timedwait returns ETIME on timeout; try-operations
+// return EBUSY when the object is held.
+//
+// Every function takes a defaulted std::source_location so the Recorder
+// can map events to source lines — the portable substitute for the
+// paper's %i7 return-address capture plus debugger lookup.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <source_location>
+#include <string>
+
+#include "solaris/probe.hpp"
+#include "ult/runtime.hpp"
+#include "util/time.hpp"
+
+namespace vppb::sol {
+
+using thread_t = ult::ThreadId;
+
+// thr_create flags (values as in Solaris <thread.h>).
+constexpr long THR_BOUND = 0x00000001;
+constexpr long THR_NEW_LWP = 0x00000002;
+constexpr long THR_DETACHED = 0x00000040;
+constexpr long THR_SUSPENDED = 0x00000080;
+constexpr long THR_DAEMON = 0x00000100;
+
+// Error returns (the subset the API uses).
+constexpr int SOL_OK = 0;
+constexpr int SOL_EBUSY = 16;
+constexpr int SOL_EINVAL = 22;
+constexpr int SOL_ESRCH = 3;
+constexpr int SOL_EDEADLK = 45;
+constexpr int SOL_ETIME = 62;
+
+// ---- thread management ----------------------------------------------------
+
+/// C-style start routine, as in Solaris.
+using StartRoutine = void* (*)(void*);
+
+/// Registers a human-readable name for a start routine; the Recorder
+/// stores it in the trace (the paper resolves the recorded function
+/// pointer with a debugger).  Unregistered routines get "fn@<addr>".
+void register_start_routine(StartRoutine fn, std::string name);
+
+int thr_create(void* stack, std::size_t stack_size, StartRoutine start,
+               void* arg, long flags, thread_t* new_thread,
+               std::source_location loc = std::source_location::current());
+
+/// Extension: create from any callable, with an explicit name.
+int thr_create_fn(std::function<void*()> fn, long flags, thread_t* new_thread,
+                  std::string name = {},
+                  std::source_location loc = std::source_location::current());
+
+int thr_join(thread_t target, thread_t* departed, void** status,
+             std::source_location loc = std::source_location::current());
+
+[[noreturn]] void thr_exit(
+    void* status, std::source_location loc = std::source_location::current());
+
+thread_t thr_self();
+
+int thr_yield(std::source_location loc = std::source_location::current());
+
+/// Stops / resumes a thread (THR_SUSPENDED creation is also supported).
+int thr_suspend(thread_t target,
+                std::source_location loc = std::source_location::current());
+int thr_continue(thread_t target,
+                 std::source_location loc = std::source_location::current());
+
+int thr_setprio(thread_t target, int priority,
+                std::source_location loc = std::source_location::current());
+int thr_getprio(thread_t target, int* priority);
+
+/// Advises the library how many LWPs to use.  On one LWP this records
+/// the request and changes nothing — the Simulator's LWP-count knob
+/// overrides it anyway (paper §3.2).
+int thr_setconcurrency(int level,
+                       std::source_location loc = std::source_location::current());
+int thr_getconcurrency();
+
+// ---- mutexes ---------------------------------------------------------------
+
+namespace detail {
+struct MutexImpl;
+struct SemaImpl;
+struct CondImpl;
+struct RwlockImpl;
+}  // namespace detail
+
+struct mutex_t {
+  detail::MutexImpl* impl = nullptr;
+};
+struct sema_t {
+  detail::SemaImpl* impl = nullptr;
+};
+struct cond_t {
+  detail::CondImpl* impl = nullptr;
+};
+struct rwlock_t {
+  detail::RwlockImpl* impl = nullptr;
+};
+
+int mutex_init(mutex_t* m, int type = 0, void* arg = nullptr,
+               std::source_location loc = std::source_location::current());
+int mutex_lock(mutex_t* m,
+               std::source_location loc = std::source_location::current());
+int mutex_trylock(mutex_t* m,
+                  std::source_location loc = std::source_location::current());
+int mutex_unlock(mutex_t* m,
+                 std::source_location loc = std::source_location::current());
+int mutex_destroy(mutex_t* m,
+                  std::source_location loc = std::source_location::current());
+
+// ---- counting semaphores ---------------------------------------------------
+
+int sema_init(sema_t* s, unsigned count, int type = 0, void* arg = nullptr,
+              std::source_location loc = std::source_location::current());
+int sema_wait(sema_t* s,
+              std::source_location loc = std::source_location::current());
+int sema_trywait(sema_t* s,
+                 std::source_location loc = std::source_location::current());
+int sema_post(sema_t* s,
+              std::source_location loc = std::source_location::current());
+int sema_destroy(sema_t* s,
+                 std::source_location loc = std::source_location::current());
+
+// ---- condition variables ---------------------------------------------------
+
+int cond_init(cond_t* c, int type = 0, void* arg = nullptr,
+              std::source_location loc = std::source_location::current());
+int cond_wait(cond_t* c, mutex_t* m,
+              std::source_location loc = std::source_location::current());
+/// Absolute deadline in runtime time; returns SOL_ETIME on timeout.
+int cond_timedwait(cond_t* c, mutex_t* m, SimTime abstime,
+                   std::source_location loc = std::source_location::current());
+int cond_signal(cond_t* c,
+                std::source_location loc = std::source_location::current());
+int cond_broadcast(cond_t* c,
+                   std::source_location loc = std::source_location::current());
+int cond_destroy(cond_t* c,
+                 std::source_location loc = std::source_location::current());
+
+// ---- readers/writer locks ----------------------------------------------------
+
+int rwlock_init(rwlock_t* rw, int type = 0, void* arg = nullptr,
+                std::source_location loc = std::source_location::current());
+int rw_rdlock(rwlock_t* rw,
+              std::source_location loc = std::source_location::current());
+int rw_tryrdlock(rwlock_t* rw,
+                 std::source_location loc = std::source_location::current());
+int rw_wrlock(rwlock_t* rw,
+              std::source_location loc = std::source_location::current());
+int rw_trywrlock(rwlock_t* rw,
+                 std::source_location loc = std::source_location::current());
+int rw_unlock(rwlock_t* rw,
+              std::source_location loc = std::source_location::current());
+int rwlock_destroy(rwlock_t* rw,
+                   std::source_location loc = std::source_location::current());
+
+// ---- compute & annotations ---------------------------------------------------
+
+/// Declare virtual CPU work by the calling thread (virtual clock mode);
+/// in real clock mode actual computation is timed instead and this is
+/// only a convenience spin substitute.
+void compute(SimTime amount);
+
+/// Emit a named phase marker into the trace (Visualizer annotation).
+void mark(std::string_view label,
+          std::source_location loc = std::source_location::current());
+
+/// Extension (the paper's §6 future work): blocking I/O with the given
+/// latency on a named device.  The calling thread sleeps — it burns no
+/// CPU and other threads run meanwhile — and the Recorder logs the op so
+/// the Simulator replays the latency as a device delay rather than
+/// compute demand.
+void io_wait(SimTime latency, std::string_view device = "disk",
+             std::source_location loc = std::source_location::current());
+
+/// Internal: resets the solaris layer's per-run state (thread return
+/// values, object id counters).  Called by sol::Program.
+void reset_state();
+
+/// Internal: object ids handed out so far (used by tests).
+std::uint32_t object_count(trace::ObjKind kind);
+
+}  // namespace vppb::sol

@@ -1,0 +1,18 @@
+// Internal hooks shared between the solaris layer's translation units
+// and sol::Program.  Not part of the public API.
+#pragma once
+
+#include <cstdint>
+
+#include "trace/event.hpp"
+
+namespace vppb::sol::detail {
+
+/// Hands out the next sequential id for a kind of sync object.
+std::uint32_t next_object_id(trace::ObjKind kind);
+
+/// Registers the main thread with the solaris layer (and the probe sink,
+/// if one is attached).  Called by sol::Program at the top of main.
+void register_main_thread();
+
+}  // namespace vppb::sol::detail

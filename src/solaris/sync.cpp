@@ -1,0 +1,363 @@
+#include "solaris/solaris.hpp"
+#include "solaris/state.hpp"
+#include "solaris/sync_impl.hpp"
+#include "util/error.hpp"
+
+namespace vppb::sol {
+namespace detail {
+namespace {
+
+using ult::Runtime;
+using ult::kNoThread;
+
+template <typename Impl>
+Impl& ensure(Impl*& slot, trace::ObjKind kind) {
+  // Solaris allows statically initialized objects; auto-initialize on
+  // first use (no init record is produced, matching a program that never
+  // called *_init — the Simulator creates objects lazily anyway).
+  if (slot == nullptr) {
+    slot = new Impl();
+    slot->ref = trace::ObjectRef{kind, next_object_id(kind)};
+  }
+  return *slot;
+}
+
+}  // namespace
+
+void mutex_lock_impl(MutexImpl& m) {
+  auto& rt = Runtime::current();
+  const ThreadId self = rt.current_tid();
+  VPPB_CHECK_MSG(m.owner != self,
+                 "recursive mutex_lock by T" << self << " would self-deadlock");
+  if (m.owner == kNoThread) {
+    m.owner = self;
+    return;
+  }
+  // Direct handoff: the unlocker assigns ownership to the woken thread,
+  // so wake order (priority, then FIFO) is exactly acquisition order.
+  rt.block_current(m.waiters);
+  VPPB_CHECK(m.owner == self);
+}
+
+void mutex_unlock_impl(MutexImpl& m) {
+  auto& rt = Runtime::current();
+  VPPB_CHECK_MSG(m.owner == rt.current_tid(),
+                 "mutex_unlock by non-owner T" << rt.current_tid());
+  const ThreadId next = m.waiters.pop();
+  m.owner = next;  // kNoThread when the queue is empty
+  if (next != kNoThread) rt.wake(next);
+}
+
+}  // namespace detail
+
+using detail::ensure;
+using detail::kNoThread;
+using detail::ProbeScope;
+using ult::Runtime;
+
+// ---- mutex -----------------------------------------------------------------
+
+int mutex_init(mutex_t* m, int /*type*/, void* /*arg*/,
+               std::source_location loc) {
+  if (m == nullptr) return SOL_EINVAL;
+  VPPB_CHECK_MSG(m->impl == nullptr, "mutex_init on an initialized mutex");
+  auto& im = ensure(m->impl, trace::ObjKind::kMutex);
+  ProbeScope probe(trace::Op::kMutexInit, im.ref, 0, 0, loc);
+  return SOL_OK;
+}
+
+int mutex_lock(mutex_t* m, std::source_location loc) {
+  if (m == nullptr) return SOL_EINVAL;
+  auto& im = ensure(m->impl, trace::ObjKind::kMutex);
+  ProbeScope probe(trace::Op::kMutexLock, im.ref, 0, 0, loc);
+  detail::mutex_lock_impl(im);
+  return SOL_OK;
+}
+
+int mutex_trylock(mutex_t* m, std::source_location loc) {
+  if (m == nullptr) return SOL_EINVAL;
+  auto& im = ensure(m->impl, trace::ObjKind::kMutex);
+  ProbeScope probe(trace::Op::kMutexTrylock, im.ref, 0, 0, loc);
+  if (im.owner != kNoThread) {
+    probe.set_result(0);
+    return SOL_EBUSY;
+  }
+  im.owner = Runtime::current().current_tid();
+  probe.set_result(1);
+  return SOL_OK;
+}
+
+int mutex_unlock(mutex_t* m, std::source_location loc) {
+  if (m == nullptr || m->impl == nullptr) return SOL_EINVAL;
+  auto& im = *m->impl;
+  ProbeScope probe(trace::Op::kMutexUnlock, im.ref, 0, 0, loc);
+  detail::mutex_unlock_impl(im);
+  return SOL_OK;
+}
+
+int mutex_destroy(mutex_t* m, std::source_location loc) {
+  if (m == nullptr || m->impl == nullptr) return SOL_EINVAL;
+  if (!Runtime::in_runtime()) {
+    // Process teardown: RAII wrappers may be destroyed after the
+    // runtime has finished (closures owned by exited fibers); just
+    // reclaim the memory, there is nobody left to notify.
+    delete m->impl;
+    m->impl = nullptr;
+    return SOL_OK;
+  }
+  auto& im = *m->impl;
+  VPPB_CHECK_MSG(im.owner == kNoThread && im.waiters.empty(),
+                 "mutex_destroy of a mutex in use");
+  ProbeScope probe(trace::Op::kMutexDestroy, im.ref, 0, 0, loc);
+  delete m->impl;
+  m->impl = nullptr;
+  return SOL_OK;
+}
+
+// ---- semaphore ---------------------------------------------------------------
+
+int sema_init(sema_t* s, unsigned count, int /*type*/, void* /*arg*/,
+              std::source_location loc) {
+  if (s == nullptr) return SOL_EINVAL;
+  VPPB_CHECK_MSG(s->impl == nullptr, "sema_init on an initialized semaphore");
+  auto& im = ensure(s->impl, trace::ObjKind::kSema);
+  im.count = count;
+  ProbeScope probe(trace::Op::kSemaInit, im.ref,
+                   static_cast<std::int64_t>(count), 0, loc);
+  return SOL_OK;
+}
+
+int sema_wait(sema_t* s, std::source_location loc) {
+  if (s == nullptr) return SOL_EINVAL;
+  auto& im = ensure(s->impl, trace::ObjKind::kSema);
+  ProbeScope probe(trace::Op::kSemaWait, im.ref, 0, 0, loc);
+  auto& rt = Runtime::current();
+  if (im.count > 0) {
+    --im.count;
+    return SOL_OK;
+  }
+  // Direct handoff: sema_post transfers the unit to the woken sleeper.
+  rt.block_current(im.waiters);
+  return SOL_OK;
+}
+
+int sema_trywait(sema_t* s, std::source_location loc) {
+  if (s == nullptr) return SOL_EINVAL;
+  auto& im = ensure(s->impl, trace::ObjKind::kSema);
+  ProbeScope probe(trace::Op::kSemaTrywait, im.ref, 0, 0, loc);
+  if (im.count == 0) {
+    probe.set_result(0);
+    return SOL_EBUSY;
+  }
+  --im.count;
+  probe.set_result(1);
+  return SOL_OK;
+}
+
+int sema_post(sema_t* s, std::source_location loc) {
+  if (s == nullptr) return SOL_EINVAL;
+  auto& im = ensure(s->impl, trace::ObjKind::kSema);
+  ProbeScope probe(trace::Op::kSemaPost, im.ref, 0, 0, loc);
+  auto& rt = Runtime::current();
+  if (rt.wake_one(im.waiters) == kNoThread) ++im.count;
+  return SOL_OK;
+}
+
+int sema_destroy(sema_t* s, std::source_location loc) {
+  if (s == nullptr || s->impl == nullptr) return SOL_EINVAL;
+  if (!Runtime::in_runtime()) {
+    // Process teardown: RAII wrappers may be destroyed after the
+    // runtime has finished (closures owned by exited fibers); just
+    // reclaim the memory, there is nobody left to notify.
+    delete s->impl;
+    s->impl = nullptr;
+    return SOL_OK;
+  }
+  auto& im = *s->impl;
+  VPPB_CHECK_MSG(im.waiters.empty(), "sema_destroy with sleepers");
+  ProbeScope probe(trace::Op::kSemaDestroy, im.ref, 0, 0, loc);
+  delete s->impl;
+  s->impl = nullptr;
+  return SOL_OK;
+}
+
+// ---- condition variable --------------------------------------------------------
+
+int cond_init(cond_t* c, int /*type*/, void* /*arg*/,
+              std::source_location loc) {
+  if (c == nullptr) return SOL_EINVAL;
+  VPPB_CHECK_MSG(c->impl == nullptr, "cond_init on an initialized condvar");
+  auto& im = ensure(c->impl, trace::ObjKind::kCond);
+  ProbeScope probe(trace::Op::kCondInit, im.ref, 0, 0, loc);
+  return SOL_OK;
+}
+
+int cond_wait(cond_t* c, mutex_t* m, std::source_location loc) {
+  if (c == nullptr || m == nullptr) return SOL_EINVAL;
+  auto& ic = ensure(c->impl, trace::ObjKind::kCond);
+  auto& im = ensure(m->impl, trace::ObjKind::kMutex);
+  ProbeScope probe(trace::Op::kCondWait, ic.ref, im.ref.id, 0, loc);
+  auto& rt = Runtime::current();
+  VPPB_CHECK_MSG(im.owner == rt.current_tid(),
+                 "cond_wait without holding the mutex");
+  // The unlock/relock around the sleep is library-internal and therefore
+  // unrecorded, exactly as with the paper's interposed recorder.
+  detail::mutex_unlock_impl(im);
+  rt.block_current(ic.waiters);
+  detail::mutex_lock_impl(im);
+  return SOL_OK;
+}
+
+int cond_timedwait(cond_t* c, mutex_t* m, SimTime abstime,
+                   std::source_location loc) {
+  if (c == nullptr || m == nullptr) return SOL_EINVAL;
+  auto& ic = ensure(c->impl, trace::ObjKind::kCond);
+  auto& im = ensure(m->impl, trace::ObjKind::kMutex);
+  ProbeScope probe(trace::Op::kCondTimedwait, ic.ref, im.ref.id, 0, loc);
+  auto& rt = Runtime::current();
+  VPPB_CHECK_MSG(im.owner == rt.current_tid(),
+                 "cond_timedwait without holding the mutex");
+  detail::mutex_unlock_impl(im);
+  const bool woken = rt.block_current_until(ic.waiters, abstime);
+  detail::mutex_lock_impl(im);
+  probe.set_result(woken ? 1 : 0);
+  return woken ? SOL_OK : SOL_ETIME;
+}
+
+int cond_signal(cond_t* c, std::source_location loc) {
+  if (c == nullptr) return SOL_EINVAL;
+  auto& ic = ensure(c->impl, trace::ObjKind::kCond);
+  ProbeScope probe(trace::Op::kCondSignal, ic.ref, 0, 0, loc);
+  const bool woke = Runtime::current().wake_one(ic.waiters) != kNoThread;
+  probe.set_result(woke ? 1 : 0);
+  return SOL_OK;
+}
+
+int cond_broadcast(cond_t* c, std::source_location loc) {
+  if (c == nullptr) return SOL_EINVAL;
+  auto& ic = ensure(c->impl, trace::ObjKind::kCond);
+  ProbeScope probe(trace::Op::kCondBroadcast, ic.ref, 0, 0, loc);
+  const auto released = Runtime::current().wake_all(ic.waiters);
+  probe.set_result(static_cast<std::int64_t>(released));
+  return SOL_OK;
+}
+
+int cond_destroy(cond_t* c, std::source_location loc) {
+  if (c == nullptr || c->impl == nullptr) return SOL_EINVAL;
+  if (!Runtime::in_runtime()) {
+    // Process teardown: RAII wrappers may be destroyed after the
+    // runtime has finished (closures owned by exited fibers); just
+    // reclaim the memory, there is nobody left to notify.
+    delete c->impl;
+    c->impl = nullptr;
+    return SOL_OK;
+  }
+  auto& ic = *c->impl;
+  VPPB_CHECK_MSG(ic.waiters.empty(), "cond_destroy with sleepers");
+  ProbeScope probe(trace::Op::kCondDestroy, ic.ref, 0, 0, loc);
+  delete c->impl;
+  c->impl = nullptr;
+  return SOL_OK;
+}
+
+// ---- readers/writer lock ---------------------------------------------------------
+
+int rwlock_init(rwlock_t* rw, int /*type*/, void* /*arg*/,
+                std::source_location loc) {
+  if (rw == nullptr) return SOL_EINVAL;
+  VPPB_CHECK_MSG(rw->impl == nullptr, "rwlock_init on an initialized rwlock");
+  auto& im = ensure(rw->impl, trace::ObjKind::kRwlock);
+  ProbeScope probe(trace::Op::kRwInit, im.ref, 0, 0, loc);
+  return SOL_OK;
+}
+
+int rw_rdlock(rwlock_t* rw, std::source_location loc) {
+  if (rw == nullptr) return SOL_EINVAL;
+  auto& im = ensure(rw->impl, trace::ObjKind::kRwlock);
+  ProbeScope probe(trace::Op::kRwRdlock, im.ref, 0, 0, loc);
+  auto& rt = Runtime::current();
+  // Writer preference, as in Solaris: arriving readers queue behind
+  // waiting writers.
+  while (im.writer != kNoThread || im.waiting_writers > 0)
+    rt.block_current(im.reader_q);
+  ++im.readers;
+  return SOL_OK;
+}
+
+int rw_tryrdlock(rwlock_t* rw, std::source_location loc) {
+  if (rw == nullptr) return SOL_EINVAL;
+  auto& im = ensure(rw->impl, trace::ObjKind::kRwlock);
+  ProbeScope probe(trace::Op::kRwTryRdlock, im.ref, 0, 0, loc);
+  if (im.writer != kNoThread || im.waiting_writers > 0) {
+    probe.set_result(0);
+    return SOL_EBUSY;
+  }
+  ++im.readers;
+  probe.set_result(1);
+  return SOL_OK;
+}
+
+int rw_wrlock(rwlock_t* rw, std::source_location loc) {
+  if (rw == nullptr) return SOL_EINVAL;
+  auto& im = ensure(rw->impl, trace::ObjKind::kRwlock);
+  ProbeScope probe(trace::Op::kRwWrlock, im.ref, 0, 0, loc);
+  auto& rt = Runtime::current();
+  while (im.writer != kNoThread || im.readers > 0) {
+    ++im.waiting_writers;
+    rt.block_current(im.writer_q);
+    --im.waiting_writers;
+  }
+  im.writer = rt.current_tid();
+  return SOL_OK;
+}
+
+int rw_trywrlock(rwlock_t* rw, std::source_location loc) {
+  if (rw == nullptr) return SOL_EINVAL;
+  auto& im = ensure(rw->impl, trace::ObjKind::kRwlock);
+  ProbeScope probe(trace::Op::kRwTryWrlock, im.ref, 0, 0, loc);
+  if (im.writer != kNoThread || im.readers > 0) {
+    probe.set_result(0);
+    return SOL_EBUSY;
+  }
+  im.writer = Runtime::current().current_tid();
+  probe.set_result(1);
+  return SOL_OK;
+}
+
+int rw_unlock(rwlock_t* rw, std::source_location loc) {
+  if (rw == nullptr || rw->impl == nullptr) return SOL_EINVAL;
+  auto& im = *rw->impl;
+  ProbeScope probe(trace::Op::kRwUnlock, im.ref, 0, 0, loc);
+  auto& rt = Runtime::current();
+  if (im.writer == rt.current_tid()) {
+    im.writer = kNoThread;
+    if (rt.wake_one(im.writer_q) == kNoThread) rt.wake_all(im.reader_q);
+    return SOL_OK;
+  }
+  VPPB_CHECK_MSG(im.readers > 0, "rw_unlock without holding the lock");
+  --im.readers;
+  if (im.readers == 0) rt.wake_one(im.writer_q);
+  return SOL_OK;
+}
+
+int rwlock_destroy(rwlock_t* rw, std::source_location loc) {
+  if (rw == nullptr || rw->impl == nullptr) return SOL_EINVAL;
+  if (!Runtime::in_runtime()) {
+    // Process teardown: RAII wrappers may be destroyed after the
+    // runtime has finished (closures owned by exited fibers); just
+    // reclaim the memory, there is nobody left to notify.
+    delete rw->impl;
+    rw->impl = nullptr;
+    return SOL_OK;
+  }
+  auto& im = *rw->impl;
+  VPPB_CHECK_MSG(im.writer == kNoThread && im.readers == 0 &&
+                     im.reader_q.empty() && im.writer_q.empty(),
+                 "rwlock_destroy of a lock in use");
+  ProbeScope probe(trace::Op::kRwDestroy, im.ref, 0, 0, loc);
+  delete rw->impl;
+  rw->impl = nullptr;
+  return SOL_OK;
+}
+
+}  // namespace vppb::sol

@@ -1,0 +1,45 @@
+// Internal representations of the synchronization objects.  Not part of
+// the public API; the recorder and tests never see these directly.
+#pragma once
+
+#include "trace/event.hpp"
+#include "ult/wait_queue.hpp"
+
+namespace vppb::sol::detail {
+
+using ult::ThreadId;
+using ult::WaitQueue;
+
+struct MutexImpl {
+  trace::ObjectRef ref;
+  ThreadId owner = ult::kNoThread;
+  WaitQueue waiters;
+};
+
+struct SemaImpl {
+  trace::ObjectRef ref;
+  unsigned count = 0;
+  WaitQueue waiters;
+};
+
+struct CondImpl {
+  trace::ObjectRef ref;
+  WaitQueue waiters;
+};
+
+struct RwlockImpl {
+  trace::ObjectRef ref;
+  int readers = 0;
+  ThreadId writer = ult::kNoThread;
+  int waiting_writers = 0;
+  WaitQueue reader_q;
+  WaitQueue writer_q;
+};
+
+// Probe-free primitives shared by the public API and by cond_wait's
+// internal unlock/relock (the paper's recorder sits at the library
+// boundary, so library-internal operations are never recorded).
+void mutex_lock_impl(MutexImpl& m);
+void mutex_unlock_impl(MutexImpl& m);
+
+}  // namespace vppb::sol::detail

@@ -1,0 +1,294 @@
+#include <map>
+#include <sstream>
+
+#include "solaris/solaris.hpp"
+#include "solaris/sync_impl.hpp"
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace vppb::sol {
+namespace {
+
+using ult::Runtime;
+using ult::ThreadId;
+
+struct ThreadRec {
+  void* retval = nullptr;
+  bool detached = false;
+  bool bound = false;
+  bool reaped = false;
+};
+
+struct SolState {
+  std::map<thread_t, ThreadRec> threads;
+  ult::WaitQueue any_exit_waiters;
+  std::map<trace::ObjKind, std::uint32_t> next_object_id;
+  std::map<std::string, std::uint32_t, std::less<>> io_devices;
+  int concurrency_request = 0;
+};
+
+SolState g_state;
+
+// Start-routine names survive across runs (they describe code, not state).
+std::map<StartRoutine, std::string>& start_names() {
+  static std::map<StartRoutine, std::string> names;
+  return names;
+}
+
+std::string lookup_start_name(StartRoutine fn) {
+  auto it = start_names().find(fn);
+  if (it != start_names().end()) return it->second;
+  std::ostringstream os;
+  os << "fn@" << reinterpret_cast<const void*>(fn);
+  return os.str();
+}
+
+ThreadRec& rec(thread_t tid) {
+  auto it = g_state.threads.find(tid);
+  VPPB_CHECK_MSG(it != g_state.threads.end(),
+                 "thread T" << tid << " unknown to the solaris layer");
+  return it->second;
+}
+
+/// Emits the implicit thr_exit record and terminates the calling thread.
+[[noreturn]] void exit_with(void* status, const std::source_location& loc) {
+  auto& rt = Runtime::current();
+  const thread_t self = rt.current_tid();
+  rec(self).retval = status;
+  if (ProbeSink* sink = probe_sink()) {
+    sink->on_call(ProbeContext{trace::Op::kThrExit,
+                               {trace::ObjKind::kThread,
+                                static_cast<std::uint32_t>(self)},
+                               0,
+                               0,
+                               loc,
+                               {}});
+  }
+  rt.wake_all(g_state.any_exit_waiters);
+  rt.exit_current();
+}
+
+}  // namespace
+
+void reset_state() { g_state = SolState{}; }
+
+std::uint32_t object_count(trace::ObjKind kind) {
+  auto it = g_state.next_object_id.find(kind);
+  return it == g_state.next_object_id.end() ? 0 : it->second;
+}
+
+namespace detail {
+
+std::uint32_t next_object_id(trace::ObjKind kind) {
+  return ++g_state.next_object_id[kind];
+}
+
+void register_main_thread() {
+  const thread_t self = Runtime::current().current_tid();
+  g_state.threads[self] = ThreadRec{};
+  if (ProbeSink* sink = probe_sink())
+    sink->on_thread(self, "main", "main", /*bound=*/false,
+                    Runtime::current().priority(self));
+}
+
+}  // namespace detail
+
+void register_start_routine(StartRoutine fn, std::string name) {
+  start_names()[fn] = std::move(name);
+}
+
+int thr_create_fn(std::function<void*()> fn, long flags, thread_t* new_thread,
+                  std::string name, std::source_location loc) {
+  auto& rt = Runtime::current();
+  const bool bound = (flags & (THR_BOUND | THR_NEW_LWP)) != 0;
+  const bool detached = (flags & THR_DETACHED) != 0;
+  const bool daemon = (flags & THR_DAEMON) != 0;
+
+  detail::ProbeScope probe(trace::Op::kThrCreate, {trace::ObjKind::kThread, 0},
+                           flags, 0, loc);
+
+  const ThreadId tid = rt.spawn(
+      [fn = std::move(fn), loc]() mutable {
+        void* status = fn();
+        exit_with(status, loc);
+      },
+      ult::kDefaultPriority, daemon, name);
+  g_state.threads[tid] = ThreadRec{nullptr, detached, bound, false};
+
+  if (ProbeSink* sink = probe_sink())
+    sink->on_thread(tid, rt.name(tid), name.empty() ? rt.name(tid) : name,
+                    bound, rt.priority(tid));
+  if (flags & THR_SUSPENDED) rt.suspend(tid);
+  probe.set_result(tid);
+  if (new_thread != nullptr) *new_thread = tid;
+  return SOL_OK;
+}
+
+int thr_create(void* /*stack*/, std::size_t /*stack_size*/, StartRoutine start,
+               void* arg, long flags, thread_t* new_thread,
+               std::source_location loc) {
+  if (start == nullptr) return SOL_EINVAL;
+  return thr_create_fn([start, arg]() { return start(arg); }, flags,
+                       new_thread, lookup_start_name(start), loc);
+}
+
+int thr_join(thread_t target, thread_t* departed, void** status,
+             std::source_location loc) {
+  auto& rt = Runtime::current();
+  const thread_t self = rt.current_tid();
+  const std::int64_t recorded_target =
+      target == 0 ? trace::kAnyThread : target;
+
+  detail::ProbeScope probe(
+      trace::Op::kThrJoin,
+      {trace::ObjKind::kThread, static_cast<std::uint32_t>(recorded_target)},
+      0, 0, loc);
+
+  if (target == self) return SOL_EDEADLK;
+
+  if (target != 0) {
+    auto it = g_state.threads.find(target);
+    if (it == g_state.threads.end() || it->second.detached ||
+        it->second.reaped)
+      return SOL_ESRCH;
+    while (rt.state(target) != ult::ThreadState::kDone) {
+      rt.block_current(rt.exit_waiters(target));
+      if (rec(target).reaped) return SOL_ESRCH;  // raced with another joiner
+    }
+    ThreadRec& r = rec(target);
+    if (r.reaped) return SOL_ESRCH;
+    r.reaped = true;
+    probe.set_result(target);
+    if (departed != nullptr) *departed = target;
+    if (status != nullptr) *status = r.retval;
+    return SOL_OK;
+  }
+
+  // Wildcard join: wait for any undetached thread to exit (may not be the
+  // thread that exited in a recorded execution — paper §6).
+  for (;;) {
+    bool any_candidate = false;
+    for (auto& [tid, r] : g_state.threads) {
+      if (tid == self || r.detached || r.reaped) continue;
+      any_candidate = true;
+      if (rt.state(tid) == ult::ThreadState::kDone) {
+        r.reaped = true;
+        probe.set_result(tid);
+        if (departed != nullptr) *departed = tid;
+        if (status != nullptr) *status = r.retval;
+        return SOL_OK;
+      }
+    }
+    if (!any_candidate) return SOL_ESRCH;
+    rt.block_current(g_state.any_exit_waiters);
+  }
+}
+
+void thr_exit(void* status, std::source_location loc) {
+  exit_with(status, loc);
+}
+
+thread_t thr_self() { return Runtime::current().current_tid(); }
+
+int thr_yield(std::source_location loc) {
+  auto& rt = Runtime::current();
+  detail::ProbeScope probe(trace::Op::kThrYield, {}, 0, 0, loc);
+  rt.yield();
+  return SOL_OK;
+}
+
+int thr_suspend(thread_t target, std::source_location loc) {
+  auto& rt = Runtime::current();
+  if (!rt.exists(target)) return SOL_ESRCH;
+  if (rt.state(target) == ult::ThreadState::kDone) return SOL_ESRCH;
+  detail::ProbeScope probe(
+      trace::Op::kThrSuspend,
+      {trace::ObjKind::kThread, static_cast<std::uint32_t>(target)}, 0, 0,
+      loc);
+  rt.suspend(target);
+  return SOL_OK;
+}
+
+int thr_continue(thread_t target, std::source_location loc) {
+  auto& rt = Runtime::current();
+  if (!rt.exists(target)) return SOL_ESRCH;
+  detail::ProbeScope probe(
+      trace::Op::kThrContinue,
+      {trace::ObjKind::kThread, static_cast<std::uint32_t>(target)}, 0, 0,
+      loc);
+  rt.resume(target);
+  return SOL_OK;
+}
+
+int thr_setprio(thread_t target, int priority, std::source_location loc) {
+  auto& rt = Runtime::current();
+  if (!rt.exists(target)) return SOL_ESRCH;
+  if (priority < ult::kMinPriority || priority > ult::kMaxPriority)
+    return SOL_EINVAL;
+  detail::ProbeScope probe(
+      trace::Op::kThrSetPrio,
+      {trace::ObjKind::kThread, static_cast<std::uint32_t>(target)}, priority,
+      0, loc);
+  rt.set_priority(target, priority);
+  return SOL_OK;
+}
+
+int thr_getprio(thread_t target, int* priority) {
+  auto& rt = Runtime::current();
+  if (!rt.exists(target)) return SOL_ESRCH;
+  if (priority != nullptr) *priority = rt.priority(target);
+  return SOL_OK;
+}
+
+int thr_setconcurrency(int level, std::source_location loc) {
+  if (level < 0) return SOL_EINVAL;
+  detail::ProbeScope probe(trace::Op::kThrSetConcurrency, {}, level, 0, loc);
+  g_state.concurrency_request = level;
+  return SOL_OK;
+}
+
+int thr_getconcurrency() { return g_state.concurrency_request; }
+
+void compute(SimTime amount) {
+  auto& rt = Runtime::current();
+  if (rt.clock_mode() == ult::ClockMode::kVirtual) {
+    rt.work(amount);
+    return;
+  }
+  // Real mode: actually burn CPU for the requested wall time.
+  const SimTime start = rt.stamp_now();
+  volatile double sink = 1.0;
+  while (rt.stamp_now() - start < amount) {
+    for (int i = 0; i < 64; ++i) sink = sink * 1.0000001 + 0.0000001;
+  }
+}
+
+void io_wait(SimTime latency, std::string_view device,
+             std::source_location loc) {
+  auto& rt = Runtime::current();
+  VPPB_CHECK_MSG(latency >= SimTime::zero(), "negative I/O latency");
+  auto it = g_state.io_devices.find(device);
+  if (it == g_state.io_devices.end()) {
+    const auto id = detail::next_object_id(trace::ObjKind::kIo);
+    it = g_state.io_devices.emplace(std::string(device), id).first;
+  }
+  detail::ProbeScope probe(trace::Op::kIoWait,
+                           {trace::ObjKind::kIo, it->second},
+                           latency.ns(), 0, loc);
+  if (rt.clock_mode() == ult::ClockMode::kVirtual) {
+    rt.sleep_until(rt.now() + latency);
+  } else {
+    // Real mode: the device latency still must not burn CPU, so the
+    // runtime parks the thread until the deadline.
+    rt.sleep_until(rt.stamp_now() + latency);
+  }
+}
+
+void mark(std::string_view label, std::source_location loc) {
+  if (ProbeSink* sink = probe_sink()) {
+    sink->on_call(ProbeContext{
+        trace::Op::kUserMark, {trace::ObjKind::kMark, 0}, 0, 0, loc, label});
+  }
+}
+
+}  // namespace vppb::sol

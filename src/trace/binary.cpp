@@ -1,0 +1,229 @@
+#include "trace/binary.hpp"
+
+#include <cstring>
+#include <fstream>
+
+#include "trace/io.hpp"
+#include "util/error.hpp"
+
+namespace vppb::trace {
+namespace {
+
+constexpr char kMagic[4] = {'V', 'P', 'P', 'B'};
+constexpr std::uint8_t kVersion = 1;
+
+// ---- varint primitives -----------------------------------------------------
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  while (v >= 0x80) {
+    out.push_back(static_cast<std::uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+std::uint64_t zigzag(std::int64_t v) {
+  return (static_cast<std::uint64_t>(v) << 1) ^
+         static_cast<std::uint64_t>(v >> 63);
+}
+
+std::int64_t unzigzag(std::uint64_t v) {
+  return static_cast<std::int64_t>(v >> 1) ^ -static_cast<std::int64_t>(v & 1);
+}
+
+void put_i64(std::vector<std::uint8_t>& out, std::int64_t v) {
+  put_u64(out, zigzag(v));
+}
+
+void put_str(std::vector<std::uint8_t>& out, const std::string& s) {
+  put_u64(out, s.size());
+  out.insert(out.end(), s.begin(), s.end());
+}
+
+class Reader {
+ public:
+  Reader(const std::uint8_t* data, std::size_t size)
+      : data_(data), size_(size) {}
+
+  std::uint64_t u64() {
+    std::uint64_t v = 0;
+    int shift = 0;
+    for (;;) {
+      VPPB_CHECK_MSG(pos_ < size_, "binary trace truncated at byte " << pos_);
+      const std::uint8_t b = data_[pos_++];
+      VPPB_CHECK_MSG(shift < 64, "varint too long in binary trace");
+      v |= static_cast<std::uint64_t>(b & 0x7f) << shift;
+      if ((b & 0x80) == 0) return v;
+      shift += 7;
+    }
+  }
+
+  std::int64_t i64() { return unzigzag(u64()); }
+
+  std::string str() {
+    const std::uint64_t n = u64();
+    VPPB_CHECK_MSG(pos_ + n <= size_, "binary trace string overruns buffer");
+    std::string s(reinterpret_cast<const char*>(data_ + pos_),
+                  static_cast<std::size_t>(n));
+    pos_ += static_cast<std::size_t>(n);
+    return s;
+  }
+
+  bool at_end() const { return pos_ == size_; }
+  std::size_t pos() const { return pos_; }
+
+ private:
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::vector<std::uint8_t> to_binary(const Trace& trace) {
+  std::vector<std::uint8_t> out;
+  out.reserve(trace.records.size() * 6 + 256);
+  out.insert(out.end(), kMagic, kMagic + 4);
+  out.push_back(kVersion);
+
+  // Strings: the pool is reconstructed by interning in order, so only
+  // the non-empty entries (ids 1..n-1) are stored.
+  put_u64(out, trace.strings.size() - 1);
+  for (std::uint32_t id = 1; id < trace.strings.size(); ++id)
+    put_str(out, trace.strings.get(id));
+
+  put_u64(out, trace.threads.size());
+  for (const ThreadMeta& t : trace.threads) {
+    put_i64(out, t.tid);
+    put_u64(out, t.name);
+    put_u64(out, t.start_func);
+    put_u64(out, t.bound ? 1 : 0);
+    put_i64(out, t.initial_priority);
+  }
+
+  put_u64(out, trace.locations.size());
+  for (const SourceLoc& loc : trace.locations) {
+    put_u64(out, loc.file);
+    put_u64(out, loc.func);
+    put_u64(out, loc.line);
+  }
+
+  put_u64(out, trace.records.size());
+  std::int64_t prev_ns = 0;
+  for (const Record& r : trace.records) {
+    put_u64(out, static_cast<std::uint64_t>(r.at.ns() - prev_ns));
+    prev_ns = r.at.ns();
+    put_i64(out, r.tid);
+    put_u64(out, r.phase == Phase::kReturn ? 1 : 0);
+    put_u64(out, static_cast<std::uint64_t>(r.op));
+    put_u64(out, static_cast<std::uint64_t>(r.obj.kind));
+    put_u64(out, r.obj.id);
+    put_i64(out, r.arg);
+    put_i64(out, r.arg2);
+    put_u64(out, r.loc);
+  }
+  return out;
+}
+
+Trace from_binary(const std::uint8_t* data, std::size_t size) {
+  VPPB_CHECK_MSG(size >= 5 && std::memcmp(data, kMagic, 4) == 0,
+                 "not a VPPB binary trace (bad magic)");
+  VPPB_CHECK_MSG(data[4] == kVersion,
+                 "unsupported binary trace version " << int(data[4]));
+  Reader in(data + 5, size - 5);
+  Trace trace;
+
+  const std::uint64_t nstrings = in.u64();
+  for (std::uint64_t i = 0; i < nstrings; ++i) {
+    const std::string s = in.str();
+    const std::uint32_t id = trace.strings.intern(s);
+    VPPB_CHECK_MSG(id == i + 1, "binary trace string table not in order");
+  }
+
+  const std::uint64_t nthreads = in.u64();
+  for (std::uint64_t i = 0; i < nthreads; ++i) {
+    ThreadMeta t;
+    t.tid = static_cast<ThreadId>(in.i64());
+    t.name = static_cast<std::uint32_t>(in.u64());
+    t.start_func = static_cast<std::uint32_t>(in.u64());
+    t.bound = in.u64() != 0;
+    t.initial_priority = static_cast<int>(in.i64());
+    VPPB_CHECK_MSG(t.name < trace.strings.size() &&
+                       t.start_func < trace.strings.size(),
+                   "binary trace thread has bad string ids");
+    trace.threads.push_back(t);
+  }
+
+  trace.locations.clear();
+  const std::uint64_t nlocs = in.u64();
+  for (std::uint64_t i = 0; i < nlocs; ++i) {
+    SourceLoc loc;
+    loc.file = static_cast<std::uint32_t>(in.u64());
+    loc.func = static_cast<std::uint32_t>(in.u64());
+    loc.line = static_cast<std::uint32_t>(in.u64());
+    VPPB_CHECK_MSG(loc.file < trace.strings.size() &&
+                       loc.func < trace.strings.size(),
+                   "binary trace location has bad string ids");
+    trace.locations.push_back(loc);
+  }
+
+  const std::uint64_t nrecords = in.u64();
+  std::int64_t prev_ns = 0;
+  trace.records.reserve(static_cast<std::size_t>(nrecords));
+  for (std::uint64_t i = 0; i < nrecords; ++i) {
+    Record r;
+    prev_ns += static_cast<std::int64_t>(in.u64());
+    r.at = SimTime::nanos(prev_ns);
+    r.tid = static_cast<ThreadId>(in.i64());
+    r.phase = in.u64() != 0 ? Phase::kReturn : Phase::kCall;
+    const std::uint64_t op = in.u64();
+    VPPB_CHECK_MSG(op <= static_cast<std::uint64_t>(Op::kIoWait),
+                   "binary trace has unknown op " << op);
+    r.op = static_cast<Op>(op);
+    const std::uint64_t kind = in.u64();
+    VPPB_CHECK_MSG(kind <= static_cast<std::uint64_t>(ObjKind::kIo),
+                   "binary trace has unknown object kind " << kind);
+    r.obj.kind = static_cast<ObjKind>(kind);
+    r.obj.id = static_cast<std::uint32_t>(in.u64());
+    r.arg = in.i64();
+    r.arg2 = in.i64();
+    r.loc = static_cast<std::uint32_t>(in.u64());
+    trace.records.push_back(r);
+  }
+  VPPB_CHECK_MSG(in.at_end(), "trailing bytes in binary trace");
+  trace.validate();
+  return trace;
+}
+
+Trace from_binary(const std::vector<std::uint8_t>& bytes) {
+  return from_binary(bytes.data(), bytes.size());
+}
+
+void save_binary_file(const Trace& trace, const std::string& path) {
+  const std::vector<std::uint8_t> bytes = to_binary(trace);
+  std::ofstream f(path, std::ios::binary);
+  if (!f) throw Error("cannot open trace file for writing: " + path);
+  f.write(reinterpret_cast<const char*>(bytes.data()),
+          static_cast<std::streamsize>(bytes.size()));
+  if (!f) throw Error("failed writing trace file: " + path);
+}
+
+Trace load_binary_file(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) throw Error("cannot open trace file: " + path);
+  std::vector<std::uint8_t> bytes{std::istreambuf_iterator<char>(f),
+                                  std::istreambuf_iterator<char>()};
+  return from_binary(bytes);
+}
+
+Trace load_any_file(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) throw Error("cannot open trace file: " + path);
+  char magic[4] = {};
+  f.read(magic, 4);
+  f.close();
+  if (std::memcmp(magic, kMagic, 4) == 0) return load_binary_file(path);
+  return load_file(path);
+}
+
+}  // namespace vppb::trace

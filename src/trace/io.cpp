@@ -1,0 +1,168 @@
+#include "trace/io.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace vppb::trace {
+namespace {
+
+// Field encoding for possibly-empty strings: "-" stands for empty, and
+// spaces/percent signs are percent-escaped so compiler-pretty function
+// names ("void f(int)") survive the space-separated format.
+std::string enc(const std::string& s) {
+  if (s.empty()) return "-";
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == ' ') {
+      out += "%20";
+    } else if (c == '%') {
+      out += "%25";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+std::string dec(std::string_view s) {
+  if (s == "-") return {};
+  std::string out;
+  out.reserve(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == '%' && i + 2 < s.size() && s[i + 1] == '2') {
+      if (s[i + 2] == '0') {
+        out += ' ';
+        i += 2;
+        continue;
+      }
+      if (s[i + 2] == '5') {
+        out += '%';
+        i += 2;
+        continue;
+      }
+    }
+    out += s[i];
+  }
+  return out;
+}
+
+[[noreturn]] void bad_line(std::size_t lineno, std::string_view why) {
+  throw Error(strprintf("trace line %zu: %.*s", lineno,
+                        static_cast<int>(why.size()), why.data()));
+}
+
+}  // namespace
+
+void write_text(const Trace& trace, std::ostream& os) {
+  os << "# vppb-trace v1\n";
+  for (const auto& t : trace.threads) {
+    os << "thread " << t.tid << ' ' << enc(trace.strings.get(t.name)) << ' '
+       << enc(trace.strings.get(t.start_func)) << ' ' << (t.bound ? 1 : 0)
+       << ' ' << t.initial_priority << '\n';
+  }
+  for (std::size_t i = 0; i < trace.locations.size(); ++i) {
+    const SourceLoc& loc = trace.locations[i];
+    os << "loc " << i << ' ' << enc(trace.strings.get(loc.file)) << ' '
+       << loc.line << ' ' << enc(trace.strings.get(loc.func)) << '\n';
+  }
+  for (const Record& r : trace.records) {
+    os << "rec " << r.at.ns() << ' ' << r.tid << ' '
+       << (r.phase == Phase::kCall ? 'C' : 'R') << ' ' << op_name(r.op) << ' '
+       << obj_kind_name(r.obj.kind) << ' ' << r.obj.id << ' ' << r.arg << ' '
+       << r.arg2 << ' ' << r.loc << '\n';
+  }
+}
+
+std::string to_text(const Trace& trace) {
+  std::ostringstream os;
+  write_text(trace, os);
+  return os.str();
+}
+
+void save_file(const Trace& trace, const std::string& path) {
+  std::ofstream f(path);
+  if (!f) throw Error("cannot open trace file for writing: " + path);
+  write_text(trace, f);
+  if (!f) throw Error("failed writing trace file: " + path);
+}
+
+Trace read_text(std::istream& is) {
+  Trace trace;
+  trace.locations.clear();  // the file supplies all entries, including 0
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(is, line)) {
+    ++lineno;
+    const std::string_view sv = trim(line);
+    if (sv.empty() || sv.front() == '#') continue;
+    const auto f = split(sv, ' ');
+    if (f[0] == "thread") {
+      if (f.size() != 6) bad_line(lineno, "thread needs 5 fields");
+      std::int64_t tid, bound, prio;
+      if (!parse_i64(f[1], tid) || !parse_i64(f[4], bound) ||
+          !parse_i64(f[5], prio))
+        bad_line(lineno, "bad thread fields");
+      ThreadMeta& t = trace.upsert_thread(static_cast<ThreadId>(tid));
+      t.name = trace.strings.intern(dec(f[2]));
+      t.start_func = trace.strings.intern(dec(f[3]));
+      t.bound = bound != 0;
+      t.initial_priority = static_cast<int>(prio);
+    } else if (f[0] == "loc") {
+      if (f.size() != 5) bad_line(lineno, "loc needs 4 fields");
+      std::int64_t idx, ln;
+      if (!parse_i64(f[1], idx) || !parse_i64(f[3], ln))
+        bad_line(lineno, "bad loc fields");
+      if (static_cast<std::size_t>(idx) != trace.locations.size())
+        bad_line(lineno, "loc indices must be dense and in order");
+      trace.locations.push_back(SourceLoc{trace.strings.intern(dec(f[2])),
+                                          trace.strings.intern(dec(f[4])),
+                                          static_cast<std::uint32_t>(ln)});
+    } else if (f[0] == "rec") {
+      if (f.size() != 10) bad_line(lineno, "rec needs 9 fields");
+      Record r;
+      std::int64_t at, tid, objid, arg, arg2, loc;
+      if (!parse_i64(f[1], at) || !parse_i64(f[2], tid) ||
+          !parse_i64(f[6], objid) || !parse_i64(f[7], arg) ||
+          !parse_i64(f[8], arg2) || !parse_i64(f[9], loc))
+        bad_line(lineno, "bad rec numeric fields");
+      if (f[3] == "C") {
+        r.phase = Phase::kCall;
+      } else if (f[3] == "R") {
+        r.phase = Phase::kReturn;
+      } else {
+        bad_line(lineno, "phase must be C or R");
+      }
+      if (!op_from_name(f[4], r.op)) bad_line(lineno, "unknown op");
+      if (!obj_kind_from_name(f[5], r.obj.kind))
+        bad_line(lineno, "unknown object kind");
+      r.at = SimTime::nanos(at);
+      r.tid = static_cast<ThreadId>(tid);
+      r.obj.id = static_cast<std::uint32_t>(objid);
+      r.arg = arg;
+      r.arg2 = arg2;
+      r.loc = static_cast<std::uint32_t>(loc);
+      trace.records.push_back(r);
+    } else {
+      bad_line(lineno, "unknown directive");
+    }
+  }
+  trace.validate();
+  return trace;
+}
+
+Trace from_text(const std::string& text) {
+  std::istringstream is(text);
+  return read_text(is);
+}
+
+Trace load_file(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) throw Error("cannot open trace file: " + path);
+  return read_text(f);
+}
+
+}  // namespace vppb::trace

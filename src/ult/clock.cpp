@@ -1,0 +1,21 @@
+#include "ult/clock.hpp"
+
+namespace vppb::ult {
+
+void Clock::reset() {
+  now_ = SimTime::zero();
+  last_real_ = std::chrono::steady_clock::now();
+}
+
+SimTime Clock::stamp_real_elapsed() {
+  if (mode_ != ClockMode::kReal) return SimTime::zero();
+  const auto t = std::chrono::steady_clock::now();
+  const auto d = std::chrono::duration_cast<std::chrono::nanoseconds>(
+      t - last_real_);
+  last_real_ = t;
+  const SimTime added = SimTime::from(d);
+  now_ += added;
+  return added;
+}
+
+}  // namespace vppb::ult

@@ -1,0 +1,43 @@
+// The runtime clock that timestamps recorded events.
+//
+// Two modes:
+//  - Virtual: time advances only through explicit work()/advance() calls.
+//    Every run is bit-reproducible; this drives the tests and tables.
+//  - Real: time advances by measured std::chrono::steady_clock intervals
+//    between runtime entries, like the paper's 1 µs wall-clock stamps.
+//    Used for the intrusion-overhead experiment.
+#pragma once
+
+#include <chrono>
+
+#include "util/time.hpp"
+
+namespace vppb::ult {
+
+enum class ClockMode { kVirtual, kReal };
+
+class Clock {
+ public:
+  explicit Clock(ClockMode mode) : mode_(mode) { reset(); }
+
+  ClockMode mode() const { return mode_; }
+  SimTime now() const { return now_; }
+
+  void reset();
+
+  /// Virtual-mode advance by an explicit duration.
+  void advance(SimTime d) { now_ += d; }
+
+  /// Real-mode: fold in wall time elapsed since the previous stamp and
+  /// return how much was added.  In virtual mode this is a no-op that
+  /// returns zero (compute between library calls has no virtual cost
+  /// unless declared with work()).
+  SimTime stamp_real_elapsed();
+
+ private:
+  ClockMode mode_;
+  SimTime now_;
+  std::chrono::steady_clock::time_point last_real_;
+};
+
+}  // namespace vppb::ult

@@ -1,0 +1,42 @@
+#include "ult/fiber.hpp"
+
+#include "util/error.hpp"
+
+namespace vppb::ult {
+namespace {
+
+// makecontext() only passes int arguments portably, so the fiber being
+// entered is published here just before the switch.  Safe because the
+// whole runtime is single-OS-threaded by design (one LWP).
+Fiber* g_entering = nullptr;
+
+}  // namespace
+
+Fiber::Fiber(std::function<void()> entry, std::size_t stack_size)
+    : entry_(std::move(entry)),
+      stack_(std::make_unique<char[]>(stack_size)),
+      stack_size_(stack_size) {
+  VPPB_CHECK_MSG(stack_size >= 16 * 1024, "fiber stack too small");
+  VPPB_CHECK(getcontext(&ctx_) == 0);
+  ctx_.uc_stack.ss_sp = stack_.get();
+  ctx_.uc_stack.ss_size = stack_size_;
+  ctx_.uc_link = nullptr;  // exits are routed through the Runtime
+  makecontext(&ctx_, reinterpret_cast<void (*)()>(&Fiber::trampoline), 0);
+}
+
+void Fiber::trampoline() {
+  Fiber* self = g_entering;
+  g_entering = nullptr;
+  self->started_ = true;
+  self->entry_();
+  // The entry function must never return here: the Runtime routes every
+  // thread exit through exit_current(), which switches away for good.
+  VPPB_CHECK_MSG(false, "fiber entry function returned without exiting");
+}
+
+void Fiber::switch_from(ucontext_t* from) {
+  if (!started_) g_entering = this;
+  VPPB_CHECK(swapcontext(from, &ctx_) == 0);
+}
+
+}  // namespace vppb::ult

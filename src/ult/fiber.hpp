@@ -1,0 +1,49 @@
+// A fiber: a user-level execution context with its own stack.
+//
+// This is the mechanical core of the libthread substitute.  Solaris
+// unbound threads on a single LWP are exactly cooperative fibers whose
+// context switches happen inside the thread library; we reproduce that
+// with ucontext (makecontext/swapcontext), which is fully deterministic.
+#pragma once
+
+#include <ucontext.h>
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+
+namespace vppb::ult {
+
+class Fiber {
+ public:
+  /// Creates a fiber that will execute `entry` when first switched to.
+  /// The entry function must not return control by falling off the end
+  /// without the owner switching away; the Runtime guarantees this by
+  /// routing all exits through exit_current().
+  Fiber(std::function<void()> entry, std::size_t stack_size);
+
+  Fiber(const Fiber&) = delete;
+  Fiber& operator=(const Fiber&) = delete;
+  ~Fiber() = default;
+
+  /// Transfers control from the caller (running on `from`'s context)
+  /// to this fiber.  Returns when something switches back to `from`.
+  void switch_from(ucontext_t* from);
+
+  ucontext_t* context() { return &ctx_; }
+  std::size_t stack_size() const { return stack_size_; }
+
+  /// True once the entry function has been entered at least once.
+  bool started() const { return started_; }
+
+ private:
+  static void trampoline();
+
+  std::function<void()> entry_;
+  std::unique_ptr<char[]> stack_;
+  std::size_t stack_size_;
+  ucontext_t ctx_{};
+  bool started_ = false;
+};
+
+}  // namespace vppb::ult

@@ -1,0 +1,397 @@
+#include "ult/runtime.hpp"
+
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace vppb::ult {
+namespace {
+
+Runtime* g_current_runtime = nullptr;
+
+}  // namespace
+
+const char* to_string(ThreadState s) {
+  switch (s) {
+    case ThreadState::kRunnable: return "runnable";
+    case ThreadState::kRunning: return "running";
+    case ThreadState::kBlocked: return "blocked";
+    case ThreadState::kSleeping: return "sleeping";
+    case ThreadState::kSuspended: return "suspended";
+    case ThreadState::kDone: return "done";
+  }
+  return "?";
+}
+
+Runtime::Runtime() : Runtime(Config{}) {}
+
+Runtime::Runtime(Config cfg) : cfg_(cfg), clock_(cfg.clock_mode) {}
+
+Runtime::~Runtime() {
+  if (g_current_runtime == this) g_current_runtime = nullptr;
+}
+
+Runtime& Runtime::current() {
+  VPPB_CHECK_MSG(g_current_runtime != nullptr,
+                 "Runtime::current() called outside Runtime::run()");
+  return *g_current_runtime;
+}
+
+bool Runtime::in_runtime() { return g_current_runtime != nullptr; }
+
+Runtime::Thread& Runtime::thread(ThreadId tid) {
+  VPPB_CHECK_MSG(tid >= 0 && static_cast<std::size_t>(tid) < slots_.size() &&
+                     slots_[static_cast<std::size_t>(tid)] != nullptr,
+                 "no such thread T" << tid);
+  return *slots_[static_cast<std::size_t>(tid)];
+}
+
+const Runtime::Thread& Runtime::thread(ThreadId tid) const {
+  return const_cast<Runtime*>(this)->thread(tid);
+}
+
+ThreadId Runtime::spawn(std::function<void()> fn, int priority, bool daemon,
+                        std::string name) {
+  VPPB_CHECK_MSG(priority >= kMinPriority && priority <= kMaxPriority,
+                 "priority out of range: " << priority);
+  const ThreadId id = next_id_;
+  // Mimic Solaris id assignment: main is 1; the first user thread is 4
+  // (ids 2 and 3 belong to library-internal threads we do not create).
+  next_id_ = (id == 1) ? 4 : next_id_ + 1;
+
+  auto t = std::make_unique<Thread>();
+  t->id = id;
+  t->name = name.empty() ? ("T" + std::to_string(id)) : std::move(name);
+  t->priority = priority;
+  t->daemon = daemon;
+  t->state = ThreadState::kRunnable;
+  t->created_at = clock_.now();
+  t->fiber = std::make_unique<Fiber>(
+      [this, fn = std::move(fn)]() {
+        // An exception escaping a thread aborts the whole run: the
+        // scheduler rethrows it from run() so callers (and tests) see it.
+        try {
+          fn();
+        } catch (...) {
+          pending_exception_ = std::current_exception();
+        }
+        exit_current();
+      },
+      cfg_.stack_size);
+
+  if (slots_.size() <= static_cast<std::size_t>(id))
+    slots_.resize(static_cast<std::size_t>(id) + 1);
+  slots_[static_cast<std::size_t>(id)] = std::move(t);
+  run_queue_.push(id, priority);
+  return id;
+}
+
+void Runtime::run(std::function<void()> main_fn) {
+  VPPB_CHECK_MSG(!running_, "Runtime::run() is not reentrant");
+  VPPB_CHECK_MSG(g_current_runtime == nullptr,
+                 "another Runtime is already running on this LWP");
+  running_ = true;
+  g_current_runtime = this;
+  clock_.reset();
+  spawn(std::move(main_fn), kDefaultPriority, /*daemon=*/false, "main");
+
+  try {
+    schedule_loop();
+  } catch (...) {
+    g_current_runtime = nullptr;
+    running_ = false;
+    throw;
+  }
+  g_current_runtime = nullptr;
+  running_ = false;
+}
+
+void Runtime::schedule_loop() {
+  for (;;) {
+    // Wake timer sleepers that are already due.
+    fire_due_timers();
+
+    ThreadId next = run_queue_.pop();
+    if (next == kNoThread) {
+      if (!timers_.empty()) {
+        // Idle: jump the clock to the earliest pending timer.
+        SimTime when = timers_.top().when;
+        if (when > clock_.now()) clock_.advance(when - clock_.now());
+        continue;
+      }
+      if (!live_non_daemon_threads()) return;  // program finished
+      throw Error("deadlock: no runnable thread and no pending timer\n" +
+                  state_dump());
+    }
+
+    Thread& t = thread(next);
+    VPPB_CHECK_MSG(t.state == ThreadState::kRunnable,
+                   "scheduled thread T" << next << " in state "
+                                        << to_string(t.state));
+    t.state = ThreadState::kRunning;
+    cur_ = next;
+    ++switches_;
+    if (cfg_.max_context_switches != 0 && switches_ > cfg_.max_context_switches)
+      throw Error("context-switch bound exceeded (runaway loop?)\n" +
+                  state_dump());
+
+    clock_.stamp_real_elapsed();  // don't charge scheduler time to the thread
+    t.fiber->switch_from(&sched_ctx_);
+    cur_ = kNoThread;
+    if (pending_exception_) {
+      std::exception_ptr ex = pending_exception_;
+      pending_exception_ = nullptr;
+      std::rethrow_exception(ex);
+    }
+  }
+}
+
+bool Runtime::fire_due_timers() {
+  bool fired = false;
+  while (!timers_.empty() && timers_.top().when <= clock_.now()) {
+    const Timer timer = timers_.top();
+    timers_.pop();
+    if (!exists(timer.tid)) continue;
+    Thread& t = thread(timer.tid);
+    if (t.sleep_gen != timer.gen) continue;  // stale: thread was woken
+    if (t.state == ThreadState::kBlocked) {
+      VPPB_CHECK(t.waiting_on != nullptr);
+      t.waiting_on->remove(t.id);
+      t.waiting_on = nullptr;
+      t.timed_out = true;
+    } else if (t.state != ThreadState::kSleeping) {
+      continue;
+    }
+    ++t.sleep_gen;
+    if (t.pending_suspend) {
+      t.pending_suspend = false;
+      t.state = ThreadState::kSuspended;
+      continue;
+    }
+    t.state = ThreadState::kRunnable;
+    run_queue_.push(t.id, t.priority);
+    fired = true;
+  }
+  return fired;
+}
+
+bool Runtime::live_non_daemon_threads() const {
+  for (const auto& t : slots_) {
+    if (t && !t->daemon && t->state != ThreadState::kDone) return true;
+  }
+  return false;
+}
+
+void Runtime::check_livelock() const {
+  if (clock_.now() > cfg_.livelock_horizon) {
+    throw Error(
+        "livelock horizon exceeded: a thread appears to be spinning "
+        "without calling the thread library (paper §6 limitation)\n" +
+        state_dump());
+  }
+}
+
+SimTime Runtime::stamp_now() {
+  charge_current();
+  return clock_.now();
+}
+
+void Runtime::charge_current() {
+  const SimTime added = clock_.stamp_real_elapsed();
+  if (cur_ != kNoThread && !added.is_zero()) current_thread().cpu_time += added;
+}
+
+void Runtime::work(SimTime d) {
+  VPPB_CHECK_MSG(cur_ != kNoThread, "work() called outside a thread");
+  VPPB_CHECK_MSG(d >= SimTime::zero(), "negative work duration");
+  charge_current();
+  if (clock_.mode() == ClockMode::kVirtual) {
+    clock_.advance(d);
+    current_thread().cpu_time += d;
+  }
+  check_livelock();
+}
+
+void Runtime::switch_to_scheduler() {
+  Thread& t = current_thread();
+  charge_current();
+  VPPB_CHECK(swapcontext(t.fiber->context(), &sched_ctx_) == 0);
+}
+
+void Runtime::yield() {
+  Thread& t = current_thread();
+  t.state = ThreadState::kRunnable;
+  run_queue_.push(t.id, t.priority);
+  switch_to_scheduler();
+}
+
+void Runtime::block_current(WaitQueue& q) {
+  Thread& t = current_thread();
+  q.push(t.id, t.priority);
+  t.waiting_on = &q;
+  t.timed_out = false;
+  t.state = ThreadState::kBlocked;
+  switch_to_scheduler();
+  VPPB_CHECK_MSG(!t.timed_out, "untimed block woke via timer");
+}
+
+bool Runtime::block_current_until(WaitQueue& q, SimTime deadline) {
+  Thread& t = current_thread();
+  q.push(t.id, t.priority);
+  t.waiting_on = &q;
+  t.timed_out = false;
+  t.state = ThreadState::kBlocked;
+  timers_.push(Timer{deadline, t.id, t.sleep_gen});
+  switch_to_scheduler();
+  return !t.timed_out;
+}
+
+void Runtime::wake(ThreadId tid) {
+  Thread& t = thread(tid);
+  VPPB_CHECK_MSG(t.state == ThreadState::kBlocked ||
+                     t.state == ThreadState::kSleeping,
+                 "wake of T" << tid << " in state " << to_string(t.state));
+  t.waiting_on = nullptr;
+  ++t.sleep_gen;  // cancel any pending timer
+  if (t.pending_suspend) {
+    // thr_suspend arrived while the thread was asleep: it stops the
+    // moment it would otherwise resume.
+    t.pending_suspend = false;
+    t.state = ThreadState::kSuspended;
+    return;
+  }
+  t.state = ThreadState::kRunnable;
+  run_queue_.push(t.id, t.priority);
+}
+
+ThreadId Runtime::wake_one(WaitQueue& q) {
+  const ThreadId tid = q.pop();
+  if (tid != kNoThread) wake(tid);
+  return tid;
+}
+
+std::size_t Runtime::wake_all(WaitQueue& q) {
+  std::size_t n = 0;
+  while (wake_one(q) != kNoThread) ++n;
+  return n;
+}
+
+void Runtime::sleep_until(SimTime when) {
+  Thread& t = current_thread();
+  if (when <= clock_.now()) {
+    yield();
+    return;
+  }
+  t.state = ThreadState::kSleeping;
+  timers_.push(Timer{when, t.id, t.sleep_gen});
+  switch_to_scheduler();
+}
+
+void Runtime::suspend(ThreadId tid) {
+  Thread& t = thread(tid);
+  switch (t.state) {
+    case ThreadState::kRunnable:
+      VPPB_CHECK(run_queue_.remove(tid));
+      t.state = ThreadState::kSuspended;
+      break;
+    case ThreadState::kRunning: {
+      VPPB_CHECK_MSG(tid == cur_, "only the current thread can be running");
+      t.state = ThreadState::kSuspended;
+      switch_to_scheduler();
+      break;
+    }
+    case ThreadState::kBlocked:
+    case ThreadState::kSleeping:
+      t.pending_suspend = true;
+      break;
+    case ThreadState::kSuspended:
+      break;  // idempotent
+    case ThreadState::kDone:
+      throw Error("suspend of an exited thread");
+  }
+}
+
+bool Runtime::resume(ThreadId tid) {
+  Thread& t = thread(tid);
+  if (t.pending_suspend) {
+    t.pending_suspend = false;
+    return true;
+  }
+  if (t.state != ThreadState::kSuspended) return false;
+  t.state = ThreadState::kRunnable;
+  run_queue_.push(t.id, t.priority);
+  return true;
+}
+
+bool Runtime::is_suspended(ThreadId tid) const {
+  const Thread& t = thread(tid);
+  return t.state == ThreadState::kSuspended || t.pending_suspend;
+}
+
+void Runtime::exit_current() {
+  Thread& t = current_thread();
+  charge_current();
+  t.state = ThreadState::kDone;
+  t.exited_at = clock_.now();
+  wake_all(t.exit_waiters);
+  // Leave the fiber for good; the scheduler never re-queues done threads.
+  VPPB_CHECK(swapcontext(t.fiber->context(), &sched_ctx_) == 0);
+  VPPB_CHECK_MSG(false, "resumed a done thread");
+  for (;;) {}  // unreachable; satisfies [[noreturn]]
+}
+
+bool Runtime::exists(ThreadId tid) const {
+  return tid >= 0 && static_cast<std::size_t>(tid) < slots_.size() &&
+         slots_[static_cast<std::size_t>(tid)] != nullptr;
+}
+
+ThreadState Runtime::state(ThreadId tid) const { return thread(tid).state; }
+int Runtime::priority(ThreadId tid) const { return thread(tid).priority; }
+
+void Runtime::set_priority(ThreadId tid, int prio) {
+  VPPB_CHECK_MSG(prio >= kMinPriority && prio <= kMaxPriority,
+                 "priority out of range: " << prio);
+  Thread& t = thread(tid);
+  t.priority = prio;
+  // Update in place so the new priority takes effect immediately while
+  // preserving FIFO order within the (new) priority level.
+  if (t.state == ThreadState::kRunnable) run_queue_.update_priority(tid, prio);
+  if (t.state == ThreadState::kBlocked && t.waiting_on != nullptr)
+    t.waiting_on->update_priority(tid, prio);
+}
+
+bool Runtime::is_daemon(ThreadId tid) const { return thread(tid).daemon; }
+const std::string& Runtime::name(ThreadId tid) const {
+  return thread(tid).name;
+}
+SimTime Runtime::cpu_time(ThreadId tid) const { return thread(tid).cpu_time; }
+SimTime Runtime::created_at(ThreadId tid) const {
+  return thread(tid).created_at;
+}
+SimTime Runtime::exited_at(ThreadId tid) const { return thread(tid).exited_at; }
+WaitQueue& Runtime::exit_waiters(ThreadId tid) {
+  return thread(tid).exit_waiters;
+}
+
+std::vector<ThreadId> Runtime::all_threads() const {
+  std::vector<ThreadId> out;
+  for (const auto& t : slots_) {
+    if (t) out.push_back(t->id);
+  }
+  return out;
+}
+
+std::string Runtime::state_dump() const {
+  std::ostringstream os;
+  os << "threads at t=" << clock_.now() << ":\n";
+  for (const auto& t : slots_) {
+    if (!t) continue;
+    os << "  T" << t->id << " (" << t->name << ") " << to_string(t->state)
+       << " prio=" << t->priority << " cpu=" << t->cpu_time;
+    if (t->daemon) os << " daemon";
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace vppb::ult

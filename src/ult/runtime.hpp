@@ -1,0 +1,200 @@
+// The user-level threads runtime: the reproduction's stand-in for the
+// Solaris 2.X thread library running a process on ONE LWP.
+//
+// Threads are fibers multiplexed on the calling OS thread.  Context
+// switches happen only inside thread-library calls (block/yield/exit),
+// exactly like Solaris unbound threads on a single LWP — which is the
+// configuration the paper's Recorder requires.  The runtime charges CPU
+// time to the running thread from either a virtual clock (deterministic
+// work() declarations) or measured wall time.
+//
+// Deliberate reproduction of the paper's §6 limitation: a thread that
+// spins without calling the library never yields, so other threads
+// starve.  The runtime detects this through the livelock horizon
+// (virtual mode) and reports it instead of hanging.
+#pragma once
+
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "ult/clock.hpp"
+#include "ult/fiber.hpp"
+#include "ult/wait_queue.hpp"
+#include "util/time.hpp"
+
+namespace vppb::ult {
+
+enum class ThreadState {
+  kRunnable,   ///< ready, waiting for the (single) LWP
+  kRunning,    ///< currently executing
+  kBlocked,    ///< waiting on a synchronization object
+  kSleeping,   ///< waiting for a timer
+  kSuspended,  ///< stopped by thr_suspend until thr_continue
+  kDone,       ///< exited
+};
+
+const char* to_string(ThreadState s);
+
+/// Default and bounds for user thread priorities (higher runs first,
+/// as with thr_setprio).
+constexpr int kMinPriority = 0;
+constexpr int kMaxPriority = 127;
+constexpr int kDefaultPriority = 0;
+
+class Runtime {
+ public:
+  struct Config {
+    ClockMode clock_mode = ClockMode::kVirtual;
+    std::size_t stack_size = 256 * 1024;
+    /// Virtual-time bound: if the clock passes this, a thread is
+    /// presumed to be spinning (paper §6) and the run aborts.
+    SimTime livelock_horizon = SimTime::max();
+    /// Context-switch bound (0 = unlimited); a second runaway guard.
+    std::uint64_t max_context_switches = 0;
+  };
+
+  Runtime();  // default Config
+  explicit Runtime(Config cfg);
+  ~Runtime();
+
+  Runtime(const Runtime&) = delete;
+  Runtime& operator=(const Runtime&) = delete;
+
+  /// Runs `main_fn` as thread 1 and schedules until every non-daemon
+  /// thread has exited.  Throws vppb::Error on deadlock or livelock.
+  void run(std::function<void()> main_fn);
+
+  /// The runtime driving the calling fiber.  Only valid inside run().
+  static Runtime& current();
+  static bool in_runtime();
+
+  // ---- thread-side API (call only from inside run()) -------------------
+
+  /// Creates a thread.  Ids mimic Solaris: main is 1, user threads start
+  /// at 4 (2 and 3 are "reserved" for library-internal threads).
+  ThreadId spawn(std::function<void()> fn, int priority = kDefaultPriority,
+                 bool daemon = false, std::string name = {});
+
+  ThreadId current_tid() const { return cur_; }
+  SimTime now() const { return clock_.now(); }
+
+  /// Folds real elapsed time into the clock (real mode) and returns now.
+  /// Probes call this so timestamps include compute since the last call.
+  SimTime stamp_now();
+
+  /// Declare virtual compute by the current thread.
+  void work(SimTime d);
+
+  /// Give up the LWP to an equal-or-higher-priority runnable thread.
+  void yield();
+
+  /// Block the current thread on a queue until someone wakes it.
+  void block_current(WaitQueue& q);
+
+  /// Block with a deadline.  Returns true if woken, false on timeout.
+  bool block_current_until(WaitQueue& q, SimTime deadline);
+
+  /// Wake a thread previously popped from a WaitQueue.
+  void wake(ThreadId tid);
+
+  /// Pop the best sleeper from q and wake it.  Returns the id or kNoThread.
+  ThreadId wake_one(WaitQueue& q);
+
+  /// Wake every sleeper in q; returns how many.
+  std::size_t wake_all(WaitQueue& q);
+
+  /// Sleep until the given absolute time.
+  void sleep_until(SimTime t);
+
+  /// thr_suspend semantics: stop a thread until resume().  A runnable
+  /// (or currently running) thread stops immediately; a blocked or
+  /// sleeping thread stops as soon as it would otherwise wake.
+  void suspend(ThreadId tid);
+
+  /// thr_continue semantics: make a suspended thread runnable again
+  /// (or cancel a pending suspension).  Returns false if the thread was
+  /// not suspended or pending suspension.
+  bool resume(ThreadId tid);
+
+  bool is_suspended(ThreadId tid) const;
+
+  /// Terminate the current thread.  Never returns.
+  [[noreturn]] void exit_current();
+
+  // ---- introspection ----------------------------------------------------
+
+  bool exists(ThreadId tid) const;
+  ThreadState state(ThreadId tid) const;
+  int priority(ThreadId tid) const;
+  void set_priority(ThreadId tid, int prio);
+  bool is_daemon(ThreadId tid) const;
+  const std::string& name(ThreadId tid) const;
+  SimTime cpu_time(ThreadId tid) const;
+  SimTime created_at(ThreadId tid) const;
+  SimTime exited_at(ThreadId tid) const;
+  WaitQueue& exit_waiters(ThreadId tid);
+  std::vector<ThreadId> all_threads() const;
+  std::uint64_t context_switches() const { return switches_; }
+  ClockMode clock_mode() const { return clock_.mode(); }
+
+  /// Multi-line dump of every thread's state (deadlock diagnostics).
+  std::string state_dump() const;
+
+ private:
+  struct Thread {
+    ThreadId id = kNoThread;
+    std::string name;
+    int priority = kDefaultPriority;
+    bool daemon = false;
+    ThreadState state = ThreadState::kRunnable;
+    std::unique_ptr<Fiber> fiber;
+    SimTime cpu_time;
+    SimTime created_at;
+    SimTime exited_at;
+    WaitQueue* waiting_on = nullptr;
+    WaitQueue exit_waiters;
+    std::uint64_t sleep_gen = 0;  // invalidates stale timers
+    bool timed_out = false;
+    bool pending_suspend = false;  // suspend requested while blocked
+  };
+
+  struct Timer {
+    SimTime when;
+    ThreadId tid;
+    std::uint64_t gen;
+    friend bool operator>(const Timer& a, const Timer& b) {
+      if (a.when != b.when) return a.when > b.when;
+      return a.tid > b.tid;
+    }
+  };
+
+  Thread& thread(ThreadId tid);
+  const Thread& thread(ThreadId tid) const;
+  Thread& current_thread() { return thread(cur_); }
+
+  void charge_current();
+  void switch_to_scheduler();
+  void schedule_loop();
+  bool fire_due_timers();
+  bool live_non_daemon_threads() const;
+  void check_livelock() const;
+
+  Config cfg_;
+  Clock clock_;
+  std::vector<std::unique_ptr<Thread>> slots_;  // indexed by ThreadId
+  WaitQueue run_queue_;
+  std::priority_queue<Timer, std::vector<Timer>, std::greater<Timer>> timers_;
+  ucontext_t sched_ctx_{};
+  std::exception_ptr pending_exception_;
+  ThreadId cur_ = kNoThread;
+  ThreadId next_id_ = 1;
+  std::uint64_t switches_ = 0;
+  bool running_ = false;
+};
+
+}  // namespace vppb::ult

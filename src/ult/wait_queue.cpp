@@ -1,0 +1,56 @@
+#include "ult/wait_queue.hpp"
+
+#include <algorithm>
+
+namespace vppb::ult {
+
+void WaitQueue::push(ThreadId tid, int priority) {
+  entries_.push_back(Entry{tid, priority, next_seq_++});
+}
+
+ThreadId WaitQueue::pop() {
+  if (entries_.empty()) return kNoThread;
+  auto best = entries_.begin();
+  for (auto it = std::next(entries_.begin()); it != entries_.end(); ++it) {
+    if (it->priority > best->priority ||
+        (it->priority == best->priority && it->seq < best->seq)) {
+      best = it;
+    }
+  }
+  const ThreadId tid = best->tid;
+  entries_.erase(best);
+  return tid;
+}
+
+bool WaitQueue::remove(ThreadId tid) {
+  auto it = std::find_if(entries_.begin(), entries_.end(),
+                         [tid](const Entry& e) { return e.tid == tid; });
+  if (it == entries_.end()) return false;
+  entries_.erase(it);
+  return true;
+}
+
+bool WaitQueue::update_priority(ThreadId tid, int priority) {
+  for (auto& e : entries_) {
+    if (e.tid == tid) {
+      e.priority = priority;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<ThreadId> WaitQueue::snapshot() const {
+  // Wake order: priority desc, seq asc.
+  std::vector<Entry> sorted(entries_.begin(), entries_.end());
+  std::sort(sorted.begin(), sorted.end(), [](const Entry& a, const Entry& b) {
+    if (a.priority != b.priority) return a.priority > b.priority;
+    return a.seq < b.seq;
+  });
+  std::vector<ThreadId> out;
+  out.reserve(sorted.size());
+  for (const auto& e : sorted) out.push_back(e.tid);
+  return out;
+}
+
+}  // namespace vppb::ult

@@ -1,0 +1,49 @@
+// Wait queues used by every synchronization object.
+//
+// Solaris wakes sleepers in priority order and FIFO within a priority
+// level; the queue reproduces that so the recorded uni-processor
+// execution has the same wakeup order the real library would produce.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+namespace vppb::ult {
+
+using ThreadId = std::int32_t;
+constexpr ThreadId kNoThread = -1;
+
+class WaitQueue {
+ public:
+  /// Enqueue a sleeper with its current priority (higher = better).
+  void push(ThreadId tid, int priority);
+
+  /// Remove and return the best sleeper, or kNoThread when empty.
+  ThreadId pop();
+
+  /// Remove a specific sleeper (timed wait that fired, targeted signal).
+  /// Returns true if it was present.
+  bool remove(ThreadId tid);
+
+  /// Change a queued sleeper's priority, preserving its arrival order
+  /// within the new priority level.  Returns true if it was present.
+  bool update_priority(ThreadId tid, int priority);
+
+  bool empty() const { return entries_.empty(); }
+  std::size_t size() const { return entries_.size(); }
+
+  /// Snapshot of queued ids in wake order (for diagnostics/tests).
+  std::vector<ThreadId> snapshot() const;
+
+ private:
+  struct Entry {
+    ThreadId tid;
+    int priority;
+    std::uint64_t seq;  // arrival order breaks priority ties FIFO
+  };
+  std::deque<Entry> entries_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace vppb::ult

@@ -1,0 +1,50 @@
+// Error handling primitives shared by every VPPB module.
+//
+// The library reports contract violations and malformed input through
+// vppb::Error (an exception carrying a formatted message).  Internal
+// invariants use VPPB_CHECK, which is active in all build types: a
+// simulator that silently continues past a broken invariant produces
+// wrong predictions, which is worse than terminating.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace vppb {
+
+/// Exception type for all user-facing VPPB errors (bad traces, bad
+/// configurations, impossible schedules).
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void fail_check(const char* expr, const char* file,
+                                    int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "VPPB_CHECK failed: " << expr << " at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+
+}  // namespace detail
+}  // namespace vppb
+
+/// Invariant check, active in every build type.  Throws vppb::Error.
+#define VPPB_CHECK(expr)                                              \
+  do {                                                                \
+    if (!(expr)) ::vppb::detail::fail_check(#expr, __FILE__, __LINE__, ""); \
+  } while (0)
+
+/// Invariant check with a formatted context message.
+#define VPPB_CHECK_MSG(expr, msg)                                     \
+  do {                                                                \
+    if (!(expr)) {                                                    \
+      std::ostringstream vppb_os_;                                    \
+      vppb_os_ << msg;                                                \
+      ::vppb::detail::fail_check(#expr, __FILE__, __LINE__, vppb_os_.str()); \
+    }                                                                 \
+  } while (0)

@@ -1,0 +1,150 @@
+#include "util/flags.hpp"
+
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace vppb {
+
+void Flags::define_i64(std::string name, std::int64_t def, std::string desc) {
+  Def d;
+  d.kind = Kind::kI64;
+  d.desc = std::move(desc);
+  d.i64 = def;
+  defs_.emplace(std::move(name), std::move(d));
+}
+
+void Flags::define_double(std::string name, double def, std::string desc) {
+  Def d;
+  d.kind = Kind::kDouble;
+  d.desc = std::move(desc);
+  d.dbl = def;
+  defs_.emplace(std::move(name), std::move(d));
+}
+
+void Flags::define_bool(std::string name, bool def, std::string desc) {
+  Def d;
+  d.kind = Kind::kBool;
+  d.desc = std::move(desc);
+  d.boolean = def;
+  defs_.emplace(std::move(name), std::move(d));
+}
+
+void Flags::define_string(std::string name, std::string def, std::string desc) {
+  Def d;
+  d.kind = Kind::kString;
+  d.desc = std::move(desc);
+  d.str = std::move(def);
+  defs_.emplace(std::move(name), std::move(d));
+}
+
+Flags::Def& Flags::find(std::string_view name, Kind kind) {
+  auto it = defs_.find(name);
+  VPPB_CHECK_MSG(it != defs_.end(), "unknown flag --" << name);
+  VPPB_CHECK_MSG(it->second.kind == kind, "flag --" << name << " accessed as wrong type");
+  return it->second;
+}
+
+const Flags::Def& Flags::find(std::string_view name, Kind kind) const {
+  return const_cast<Flags*>(this)->find(name, kind);
+}
+
+void Flags::set_from_string(Def& def, std::string_view name,
+                            std::string_view value) {
+  switch (def.kind) {
+    case Kind::kI64:
+      if (!parse_i64(value, def.i64))
+        throw Error(strprintf("flag --%.*s: bad integer '%.*s'",
+                              static_cast<int>(name.size()), name.data(),
+                              static_cast<int>(value.size()), value.data()));
+      break;
+    case Kind::kDouble:
+      if (!parse_double(value, def.dbl))
+        throw Error(strprintf("flag --%.*s: bad number '%.*s'",
+                              static_cast<int>(name.size()), name.data(),
+                              static_cast<int>(value.size()), value.data()));
+      break;
+    case Kind::kBool:
+      if (value == "true" || value == "1") {
+        def.boolean = true;
+      } else if (value == "false" || value == "0") {
+        def.boolean = false;
+      } else {
+        throw Error(strprintf("flag --%.*s: bad boolean '%.*s'",
+                              static_cast<int>(name.size()), name.data(),
+                              static_cast<int>(value.size()), value.data()));
+      }
+      break;
+    case Kind::kString:
+      def.str = std::string(value);
+      break;
+  }
+}
+
+void Flags::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    if (!starts_with(arg, "--")) {
+      positional_.emplace_back(arg);
+      continue;
+    }
+    arg.remove_prefix(2);
+    const std::size_t eq = arg.find('=');
+    if (eq != std::string_view::npos) {
+      const std::string_view name = arg.substr(0, eq);
+      auto it = defs_.find(name);
+      if (it == defs_.end()) throw Error("unknown flag --" + std::string(name));
+      set_from_string(it->second, name, arg.substr(eq + 1));
+      continue;
+    }
+    // --name value | --flag | --no-flag
+    auto it = defs_.find(arg);
+    if (it == defs_.end() && starts_with(arg, "no-")) {
+      auto neg = defs_.find(arg.substr(3));
+      if (neg != defs_.end() && neg->second.kind == Kind::kBool) {
+        neg->second.boolean = false;
+        continue;
+      }
+    }
+    if (it == defs_.end()) throw Error("unknown flag --" + std::string(arg));
+    if (it->second.kind == Kind::kBool) {
+      it->second.boolean = true;
+      continue;
+    }
+    if (i + 1 >= argc)
+      throw Error("flag --" + std::string(arg) + " needs a value");
+    set_from_string(it->second, arg, argv[++i]);
+  }
+}
+
+std::int64_t Flags::i64(std::string_view name) const {
+  return find(name, Kind::kI64).i64;
+}
+double Flags::dbl(std::string_view name) const {
+  return find(name, Kind::kDouble).dbl;
+}
+bool Flags::boolean(std::string_view name) const {
+  return find(name, Kind::kBool).boolean;
+}
+const std::string& Flags::str(std::string_view name) const {
+  return find(name, Kind::kString).str;
+}
+
+std::string Flags::usage(std::string_view program) const {
+  std::ostringstream os;
+  os << "usage: " << program << " [flags]\n";
+  for (const auto& [name, def] : defs_) {
+    os << "  --" << name;
+    switch (def.kind) {
+      case Kind::kI64: os << "=<int> (default " << def.i64 << ")"; break;
+      case Kind::kDouble: os << "=<num> (default " << def.dbl << ")"; break;
+      case Kind::kBool: os << " (default " << (def.boolean ? "true" : "false") << ")"; break;
+      case Kind::kString: os << "=<str> (default '" << def.str << "')"; break;
+    }
+    os << "\n      " << def.desc << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace vppb

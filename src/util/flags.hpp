@@ -1,0 +1,57 @@
+// Minimal command-line flag parser for the examples and benches.
+//
+// Supports --name=value, --name value, and boolean --name / --no-name.
+// Unknown flags are an error (typos in experiment parameters must not be
+// silently ignored).  Positional arguments are collected in order.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace vppb {
+
+class Flags {
+ public:
+  /// Define flags before parse().  The description is used by usage().
+  void define_i64(std::string name, std::int64_t def, std::string desc);
+  void define_double(std::string name, double def, std::string desc);
+  void define_bool(std::string name, bool def, std::string desc);
+  void define_string(std::string name, std::string def, std::string desc);
+
+  /// Parse argv (skipping argv[0]).  Throws vppb::Error on unknown flags
+  /// or malformed values.
+  void parse(int argc, const char* const* argv);
+
+  std::int64_t i64(std::string_view name) const;
+  double dbl(std::string_view name) const;
+  bool boolean(std::string_view name) const;
+  const std::string& str(std::string_view name) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// Human-readable flag summary.
+  std::string usage(std::string_view program) const;
+
+ private:
+  enum class Kind { kI64, kDouble, kBool, kString };
+  struct Def {
+    Kind kind = Kind::kBool;
+    std::string desc;
+    std::int64_t i64 = 0;
+    double dbl = 0.0;
+    bool boolean = false;
+    std::string str;
+  };
+
+  Def& find(std::string_view name, Kind kind);
+  const Def& find(std::string_view name, Kind kind) const;
+  void set_from_string(Def& def, std::string_view name, std::string_view value);
+
+  std::map<std::string, Def, std::less<>> defs_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace vppb

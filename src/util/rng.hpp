@@ -1,0 +1,48 @@
+// Deterministic pseudo-random numbers for the reference machine's noise
+// models and for the workload generators.  xoshiro256** seeded via
+// SplitMix64: fast, high quality, and identical across platforms (unlike
+// std::normal_distribution, whose output is implementation-defined).
+#pragma once
+
+#include <cstdint>
+
+namespace vppb {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) { reseed(seed); }
+
+  void reseed(std::uint64_t seed);
+
+  /// Uniform 64-bit value.
+  std::uint64_t next_u64();
+
+  /// Uniform in [0, 1).
+  double next_double();
+
+  /// Uniform in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [0, n).  n must be > 0.
+  std::uint64_t below(std::uint64_t n);
+
+  /// Standard normal via Box–Muller (deterministic across platforms).
+  double gaussian();
+
+  /// Normal with the given mean and standard deviation.
+  double gaussian(double mean, double stddev);
+
+  /// Multiplicative jitter: a positive factor with mean ~1 and the given
+  /// relative standard deviation, clamped to [1-4σ, 1+4σ] and ≥ 0.01.
+  double jitter_factor(double rel_stddev);
+
+  /// Split off an independent stream (for per-thread determinism).
+  Rng split();
+
+ private:
+  std::uint64_t s_[4] = {};
+  bool have_spare_ = false;
+  double spare_ = 0.0;
+};
+
+}  // namespace vppb

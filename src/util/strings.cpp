@@ -1,0 +1,105 @@
+#include "util/strings.hpp"
+
+#include <cerrno>
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace vppb {
+
+std::vector<std::string_view> split(std::string_view s, char sep,
+                                    bool keep_empty) {
+  std::vector<std::string_view> out;
+  std::size_t start = 0;
+  while (start <= s.size()) {
+    const std::size_t pos = s.find(sep, start);
+    const std::size_t end = pos == std::string_view::npos ? s.size() : pos;
+    std::string_view field = s.substr(start, end - start);
+    if (keep_empty || !field.empty()) out.push_back(field);
+    if (pos == std::string_view::npos) break;
+    start = pos + 1;
+  }
+  return out;
+}
+
+std::string_view trim(std::string_view s) {
+  const char* ws = " \t\r\n";
+  const std::size_t b = s.find_first_not_of(ws);
+  if (b == std::string_view::npos) return {};
+  const std::size_t e = s.find_last_not_of(ws);
+  return s.substr(b, e - b + 1);
+}
+
+bool starts_with(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+bool ends_with(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.substr(s.size() - suffix.size()) == suffix;
+}
+
+namespace {
+
+// string_views are not NUL-terminated; copy into a small buffer for strto*.
+bool to_cstr(std::string_view s, char* buf, std::size_t cap) {
+  if (s.empty() || s.size() >= cap) return false;
+  std::memcpy(buf, s.data(), s.size());
+  buf[s.size()] = '\0';
+  return true;
+}
+
+}  // namespace
+
+bool parse_i64(std::string_view s, std::int64_t& out) {
+  char buf[64];
+  if (!to_cstr(s, buf, sizeof buf)) return false;
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(buf, &end, 10);
+  if (errno != 0 || end == buf || *end != '\0') return false;
+  out = v;
+  return true;
+}
+
+bool parse_u64(std::string_view s, std::uint64_t& out) {
+  char buf[64];
+  if (!to_cstr(s, buf, sizeof buf)) return false;
+  if (buf[0] == '-') return false;
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(buf, &end, 10);
+  if (errno != 0 || end == buf || *end != '\0') return false;
+  out = v;
+  return true;
+}
+
+bool parse_double(std::string_view s, double& out) {
+  char buf[64];
+  if (!to_cstr(s, buf, sizeof buf)) return false;
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(buf, &end);
+  if (errno != 0 || end == buf || *end != '\0') return false;
+  out = v;
+  return true;
+}
+
+std::string strprintf(const char* fmt, ...) {
+  va_list ap;
+  va_start(ap, fmt);
+  va_list ap2;
+  va_copy(ap2, ap);
+  const int n = std::vsnprintf(nullptr, 0, fmt, ap);
+  va_end(ap);
+  std::string out;
+  if (n > 0) {
+    out.resize(static_cast<std::size_t>(n));
+    std::vsnprintf(out.data(), out.size() + 1, fmt, ap2);
+  }
+  va_end(ap2);
+  return out;
+}
+
+}  // namespace vppb

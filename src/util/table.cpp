@@ -1,0 +1,47 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace vppb {
+
+void TextTable::header(std::vector<std::string> cells) {
+  header_ = std::move(cells);
+}
+
+void TextTable::row(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> widths;
+  auto grow = [&widths](const std::vector<std::string>& cells) {
+    if (widths.size() < cells.size()) widths.resize(cells.size(), 0);
+    for (std::size_t i = 0; i < cells.size(); ++i)
+      widths[i] = std::max(widths[i], cells[i].size());
+  };
+  if (!header_.empty()) grow(header_);
+  for (const auto& r : rows_) grow(r);
+
+  std::ostringstream os;
+  auto emit = [&os, &widths](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < widths.size(); ++i) {
+      const std::string& c = i < cells.size() ? cells[i] : std::string{};
+      os << c << std::string(widths[i] - c.size(), ' ');
+      if (i + 1 < widths.size()) os << " | ";
+    }
+    os << '\n';
+  };
+  if (!header_.empty()) {
+    emit(header_);
+    for (std::size_t i = 0; i < widths.size(); ++i) {
+      os << std::string(widths[i], '-');
+      if (i + 1 < widths.size()) os << "-+-";
+    }
+    os << '\n';
+  }
+  for (const auto& r : rows_) emit(r);
+  return os.str();
+}
+
+}  // namespace vppb

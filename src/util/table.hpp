@@ -1,0 +1,28 @@
+// Plain-text table rendering for the bench binaries, which print the same
+// rows the paper's tables report.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace vppb {
+
+/// A simple left/right-aligned text table.  Columns are sized to fit; the
+/// first row added with header() is separated from the body by a rule.
+class TextTable {
+ public:
+  void header(std::vector<std::string> cells);
+  void row(std::vector<std::string> cells);
+
+  /// Render with single-space padding and '|' separators, e.g.
+  ///   App    | 2 CPUs | 4 CPUs
+  ///   -------+--------+-------
+  ///   Ocean  | 1.96   | 3.85
+  std::string render() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace vppb

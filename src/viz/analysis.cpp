@@ -1,0 +1,130 @@
+#include "viz/analysis.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "util/strings.hpp"
+
+namespace vppb::viz {
+
+AnalysisReport analyze(const core::SimResult& result,
+                       const trace::Trace& source) {
+  AnalysisReport report;
+
+  struct Acc {
+    std::size_t operations = 0;
+    std::size_t blocking = 0;
+    SimTime blocked;
+    SimTime longest;
+    std::set<trace::ThreadId> threads;
+    std::set<std::string> sources;
+  };
+  std::map<std::pair<int, std::uint32_t>, Acc> by_object;
+
+  for (const core::SimEvent& e : result.events) {
+    if (e.obj.kind == trace::ObjKind::kNone ||
+        e.obj.kind == trace::ObjKind::kMark)
+      continue;
+    Acc& acc = by_object[{static_cast<int>(e.obj.kind), e.obj.id}];
+    ++acc.operations;
+    const SimTime d = e.done - e.at;
+    if (!d.is_zero()) {
+      ++acc.blocking;
+      acc.blocked += d;
+      acc.longest = std::max(acc.longest, d);
+    }
+    acc.threads.insert(e.tid);
+    if (e.loc < source.locations.size()) {
+      const trace::SourceLoc& loc = source.locations[e.loc];
+      if (loc.file != 0) {
+        acc.sources.insert(strprintf("%s:%u",
+                                     source.strings.get(loc.file).c_str(),
+                                     loc.line));
+      }
+    }
+  }
+
+  for (auto& [key, acc] : by_object) {
+    ObjectContention oc;
+    oc.obj = trace::ObjectRef{static_cast<trace::ObjKind>(key.first),
+                              key.second};
+    if (oc.obj.kind == trace::ObjKind::kThread) {
+      oc.name = oc.obj.id == 0 ? std::string("join(any)")
+                               : strprintf("thread T%u", oc.obj.id);
+    } else {
+      oc.name = strprintf(
+          "%s#%u", std::string(trace::obj_kind_name(oc.obj.kind)).c_str(),
+          oc.obj.id);
+    }
+    oc.operations = acc.operations;
+    oc.blocking_operations = acc.blocking;
+    oc.total_blocked = acc.blocked;
+    oc.longest_block = acc.longest;
+    oc.distinct_threads = acc.threads.size();
+    oc.source_lines.assign(acc.sources.begin(), acc.sources.end());
+    report.contention.push_back(std::move(oc));
+  }
+  std::sort(report.contention.begin(), report.contention.end(),
+            [](const ObjectContention& a, const ObjectContention& b) {
+              if (a.total_blocked != b.total_blocked)
+                return a.total_blocked > b.total_blocked;
+              return a.operations > b.operations;
+            });
+
+  const double total = std::max(1e-12, result.total.seconds_d());
+  double running_area = 0.0;
+  double runnable_area = 0.0;
+  for (const core::Segment& s : result.segments) {
+    if (s.state == core::SegState::kRunning)
+      running_area += (s.end - s.start).seconds_d();
+    if (s.state == core::SegState::kRunnable)
+      runnable_area += (s.end - s.start).seconds_d();
+  }
+  report.avg_running = running_area / total;
+  report.avg_runnable = runnable_area / total;
+
+  for (const auto& [tid, st] : result.threads) {
+    ThreadUtilization u;
+    u.tid = tid;
+    const trace::ThreadMeta* meta = source.find_thread(tid);
+    if (meta != nullptr) u.name = source.strings.get(meta->name);
+    const double lifetime =
+        std::max<double>(1e-12, (st.exited_at - st.created_at).seconds_d());
+    u.running_fraction = st.cpu_time.seconds_d() / lifetime;
+    u.runnable_fraction = st.runnable_time.seconds_d() / lifetime;
+    u.blocked_fraction = st.blocked_time.seconds_d() / lifetime;
+    u.sleeping_fraction = st.sleeping_time.seconds_d() / lifetime;
+    report.utilization.push_back(u);
+  }
+  return report;
+}
+
+std::string AnalysisReport::to_string() const {
+  std::ostringstream os;
+  os << strprintf("average parallelism: %.2f running, %.2f runnable\n",
+                  avg_running, avg_runnable);
+  os << "hottest objects:\n";
+  std::size_t shown = 0;
+  for (const ObjectContention& oc : contention) {
+    if (shown++ == 5) break;
+    if (oc.total_blocked.is_zero()) break;
+    os << strprintf("  %-12s %6zu ops, %5zu blocking, %s blocked total "
+                    "(max %s), %zu threads",
+                    oc.name.c_str(), oc.operations, oc.blocking_operations,
+                    oc.total_blocked.to_string().c_str(),
+                    oc.longest_block.to_string().c_str(),
+                    oc.distinct_threads);
+    if (!oc.source_lines.empty()) {
+      os << " — " << oc.source_lines.front();
+      if (oc.source_lines.size() > 1)
+        os << strprintf(" (+%zu more sites)", oc.source_lines.size() - 1);
+    }
+    os << '\n';
+  }
+  if (shown == 0) os << "  (nothing ever blocked)\n";
+  return os.str();
+}
+
+}  // namespace vppb::viz

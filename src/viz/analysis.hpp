@@ -1,0 +1,60 @@
+// Bottleneck analysis over a simulated execution: the programmatic form
+// of what a developer does with the paper's Visualizer in §5 — find the
+// synchronization object responsible for the serialization, see which
+// threads it blocks, and jump to the source lines that touch it.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/result.hpp"
+#include "trace/trace.hpp"
+
+namespace vppb::viz {
+
+/// Aggregate statistics for one synchronization object.
+struct ObjectContention {
+  trace::ObjectRef obj;
+  std::string name;          ///< e.g. "mutex#1"
+  std::size_t operations = 0;
+  std::size_t blocking_operations = 0;  ///< ops that did not finish instantly
+  SimTime total_blocked;     ///< sum of (done - at) over its operations
+  SimTime longest_block;
+  std::size_t distinct_threads = 0;
+  std::vector<std::string> source_lines;  ///< unique "file:line" touching it
+};
+
+/// Per-thread utilization summary (the numbers behind the paper's
+/// statement that "no threads are actually running in parallel").
+struct ThreadUtilization {
+  trace::ThreadId tid = 0;
+  std::string name;
+  double running_fraction = 0.0;
+  double runnable_fraction = 0.0;
+  double blocked_fraction = 0.0;
+  double sleeping_fraction = 0.0;
+};
+
+struct AnalysisReport {
+  /// Objects sorted by total blocked time, worst first.
+  std::vector<ObjectContention> contention;
+  std::vector<ThreadUtilization> utilization;
+  /// Average number of running threads over the run (area under the
+  /// green curve of the parallelism graph / total time).
+  double avg_running = 0.0;
+  double avg_runnable = 0.0;
+
+  /// The top culprit, or nullptr when nothing ever blocked.
+  const ObjectContention* hottest() const {
+    return contention.empty() ? nullptr : &contention.front();
+  }
+
+  /// Multi-line human-readable summary.
+  std::string to_string() const;
+};
+
+/// Analyzes a simulated execution against its source trace.
+AnalysisReport analyze(const core::SimResult& result,
+                       const trace::Trace& source);
+
+}  // namespace vppb::viz

@@ -1,0 +1,86 @@
+#include "workloads/excluded.hpp"
+
+#include <memory>
+
+#include "solaris/program.hpp"
+#include "solaris/solaris.hpp"
+#include "util/error.hpp"
+
+namespace vppb::workloads {
+
+void spin_barrier_program(int threads, SimTime work) {
+  auto flag = std::make_shared<bool>(false);
+  for (int i = 1; i < threads; ++i) {
+    sol::thr_create_fn(
+        [flag, work]() -> void* {
+          // The Barnes/Radiosity pattern: spin on an ordinary variable.
+          // No thread-library call in the loop, so on one LWP the
+          // publisher never runs (paper §4).  compute() only advances
+          // the spinner's own clock — the runtime's livelock horizon is
+          // what ends this.
+          while (!*flag) sol::compute(SimTime::micros(10));
+          sol::compute(work);
+          return nullptr;
+        },
+        0, nullptr, "spinner");
+  }
+  sol::thr_create_fn(
+      [flag, work]() -> void* {
+        sol::compute(work);
+        *flag = true;  // nobody will ever see this on one LWP
+        return nullptr;
+      },
+      0, nullptr, "publisher");
+  sol::join_all();
+}
+
+std::vector<int> task_stealing_program(int threads, int tasks,
+                                       SimTime task_cost) {
+  VPPB_CHECK_MSG(threads >= 1, "need a worker");
+  struct Shared {
+    sol::Mutex lock;
+    std::vector<int> queue_depth;   // tasks waiting per worker
+    std::vector<int> executed;      // tasks run per worker
+    int remaining;
+  };
+  auto shared = std::make_shared<Shared>();
+  shared->queue_depth.assign(static_cast<std::size_t>(threads), 0);
+  shared->executed.assign(static_cast<std::size_t>(threads), 0);
+  shared->queue_depth[0] = tasks;  // all work seeded to worker 0
+  shared->remaining = tasks;
+
+  for (int me = 0; me < threads; ++me) {
+    sol::thr_create_fn(
+        [shared, me, threads, task_cost]() -> void* {
+          for (;;) {
+            int victim = -1;
+            {
+              sol::ScopedLock guard(shared->lock);
+              if (shared->remaining == 0) return nullptr;
+              // Own queue first, then steal from anyone (the
+              // Raytrace/Volrend policy).
+              if (shared->queue_depth[static_cast<std::size_t>(me)] > 0) {
+                victim = me;
+              } else {
+                for (int v = 0; v < threads; ++v) {
+                  if (shared->queue_depth[static_cast<std::size_t>(v)] > 0) {
+                    victim = v;
+                    break;
+                  }
+                }
+              }
+              if (victim < 0) return nullptr;  // nothing left to steal
+              --shared->queue_depth[static_cast<std::size_t>(victim)];
+              --shared->remaining;
+              ++shared->executed[static_cast<std::size_t>(me)];
+            }
+            sol::compute(task_cost);
+          }
+        },
+        0, nullptr, "stealing_worker");
+  }
+  sol::join_all();
+  return shared->executed;
+}
+
+}  // namespace vppb::workloads

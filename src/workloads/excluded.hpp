@@ -1,0 +1,31 @@
+// The programs the paper could NOT validate with, §4: Barnes, Radiosity,
+// Cholesky and FMM "spin on a variable, and since the thread never
+// yields the CPU, no other thread could possibly change the value";
+// Raytrace and Volrend distribute work by task stealing, and on one LWP
+// "only one thread steals all tasks".
+//
+// Reproducing the *exclusions* is part of reproducing the evaluation:
+// these workloads demonstrate both failure modes against this
+// implementation (the first aborts via the livelock horizon; the second
+// records fine but with the degenerate work distribution the paper
+// describes).
+#pragma once
+
+#include <vector>
+
+#include "util/time.hpp"
+
+namespace vppb::workloads {
+
+/// Barnes-style busy-wait synchronization: worker 0 publishes a flag
+/// that the other workers spin on without any thread-library call.
+/// On the one-LWP runtime this livelocks (detected via the horizon).
+void spin_barrier_program(int threads, SimTime work);
+
+/// Raytrace-style task stealing: `tasks` tasks seeded to thread 0's
+/// queue; idle workers steal.  Returns how many tasks each worker
+/// executed — on one LWP expect nearly all on one thread.
+std::vector<int> task_stealing_program(int threads, int tasks,
+                                       SimTime task_cost);
+
+}  // namespace vppb::workloads

@@ -1,0 +1,131 @@
+#include "workloads/prodcons.hpp"
+
+#include <memory>
+#include <vector>
+
+#include "solaris/program.hpp"
+#include "solaris/solaris.hpp"
+#include "util/error.hpp"
+
+namespace vppb::workloads {
+namespace {
+
+SimTime us(double v) {
+  return SimTime::nanos(static_cast<std::int64_t>(v * 1000.0));
+}
+
+int items_per_consumer(const ProdConsParams& p) {
+  const int total = p.producers * p.items_per_producer;
+  VPPB_CHECK_MSG(p.consumers > 0 && total % p.consumers == 0,
+                 "consumers must evenly drain the buffer");
+  return total / p.consumers;
+}
+
+}  // namespace
+
+void prodcons_naive(const ProdConsParams& p) {
+  const int per_consumer = items_per_consumer(p);
+  auto items = std::make_shared<sol::Semaphore>(0u);
+  auto buffer_mutex = std::make_shared<sol::Mutex>();
+
+  for (int c = 0; c < p.consumers; ++c) {
+    sol::thr_create_fn(
+        [=]() -> void* {
+          for (int k = 0; k < per_consumer; ++k) {
+            items->wait();
+            {
+              // The hot mutex: every fetch serializes here (fig. 6's
+              // downward arrows all point at this one lock).
+              sol::ScopedLock lock(*buffer_mutex);
+              sol::compute(us(p.fetch_cost_us));
+            }
+            sol::compute(us(p.consume_cost_us));
+          }
+          return nullptr;
+        },
+        0, nullptr, "consumer");
+  }
+  for (int prod = 0; prod < p.producers; ++prod) {
+    sol::thr_create_fn(
+        [=]() -> void* {
+          for (int k = 0; k < p.items_per_producer; ++k) {
+            sol::compute(us(p.produce_cost_us));
+            {
+              sol::ScopedLock lock(*buffer_mutex);
+              sol::compute(us(p.insert_cost_us));
+            }
+            items->post();
+          }
+          return nullptr;
+        },
+        0, nullptr, "producer");
+  }
+  sol::join_all();
+}
+
+void prodcons_tuned(const ProdConsParams& p) {
+  const int per_consumer = items_per_consumer(p);
+  struct Shared {
+    sol::Semaphore items{0u};
+    sol::Mutex pick_insert;  // "which buffer to insert in": held briefly
+    sol::Mutex pick_fetch;   // separate mutex for fetching (paper §5)
+    std::vector<std::unique_ptr<sol::Mutex>> buffer_locks;
+    int insert_cursor = 0;
+    int fetch_cursor = 0;
+  };
+  auto shared = std::make_shared<Shared>();
+  shared->buffer_locks.reserve(static_cast<std::size_t>(p.buffers));
+  for (int b = 0; b < p.buffers; ++b)
+    shared->buffer_locks.push_back(std::make_unique<sol::Mutex>());
+
+  for (int c = 0; c < p.consumers; ++c) {
+    sol::thr_create_fn(
+        [=]() -> void* {
+          for (int k = 0; k < per_consumer; ++k) {
+            shared->items.wait();
+            int buffer = 0;
+            {
+              // Small critical section: only picking the buffer.
+              sol::ScopedLock pick(shared->pick_fetch);
+              buffer = shared->fetch_cursor;
+              shared->fetch_cursor = (shared->fetch_cursor + 1) % p.buffers;
+              sol::compute(us(p.pick_cost_us));
+            }
+            {
+              sol::ScopedLock lock(*shared->buffer_locks[
+                  static_cast<std::size_t>(buffer)]);
+              sol::compute(us(p.fetch_cost_us));
+            }
+            sol::compute(us(p.consume_cost_us));
+          }
+          return nullptr;
+        },
+        0, nullptr, "consumer");
+  }
+  for (int prod = 0; prod < p.producers; ++prod) {
+    sol::thr_create_fn(
+        [=]() -> void* {
+          for (int k = 0; k < p.items_per_producer; ++k) {
+            sol::compute(us(p.produce_cost_us));
+            int buffer = 0;
+            {
+              sol::ScopedLock pick(shared->pick_insert);
+              buffer = shared->insert_cursor;
+              shared->insert_cursor = (shared->insert_cursor + 1) % p.buffers;
+              sol::compute(us(p.pick_cost_us));
+            }
+            {
+              sol::ScopedLock lock(*shared->buffer_locks[
+                  static_cast<std::size_t>(buffer)]);
+              sol::compute(us(p.insert_cost_us));
+            }
+            shared->items.post();
+          }
+          return nullptr;
+        },
+        0, nullptr, "producer");
+  }
+  sol::join_all();
+}
+
+}  // namespace vppb::workloads

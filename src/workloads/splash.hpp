@@ -1,0 +1,64 @@
+// From-scratch kernels with the thread/synchronization structure of the
+// five SPLASH-2 programs the paper validates with (§4): Ocean,
+// Water-Spatial, FFT, Radix and LU.  Each creates one worker thread per
+// "processor" (as SPLASH does), phases are separated by the
+// mutex+cond_broadcast barrier, and compute demand is declared through
+// sol::compute with per-kernel cost models whose serial fractions and
+// imbalance reproduce the paper's measured speed-up shapes:
+//
+//   Radix / Water-Spatial  near-linear (7.8 / 7.7 on 8 CPUs)
+//   Ocean                  good with boundary imbalance (~6.6)
+//   LU                     moderate; parallelism shrinks as the trailing
+//                          submatrix empties (~4.8)
+//   FFT                    clearly sublinear (~2.6): transpose phases
+//                          with a large serial fraction (Amdahl ~29%)
+//
+// The paper's data-set sizes (514x514 Ocean, 4M-point FFT, ...) are far
+// beyond what a deterministic virtual-clock trace needs; `scale` shrinks
+// the declared compute while keeping the structure (phase counts, block
+// counts, barrier pattern) intact.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace vppb::workloads {
+
+struct SplashParams {
+  int threads = 8;
+  /// Problem-scale multiplier for declared compute (1.0 = defaults).
+  double scale = 1.0;
+};
+
+/// Red-black Gauss-Seidel grid solver with per-iteration barriers and a
+/// mutex-protected convergence reduction (Ocean, 514x514-grid style).
+void ocean(const SplashParams& p);
+
+/// Cell-based molecular dynamics steps: forces, update, global energy
+/// accumulation under a mutex (Water-Spatial, 512 molecules style).
+void water_spatial(const SplashParams& p);
+
+/// Six-step FFT: serial twiddle/bit-reversal setup and serial transpose
+/// coordination between parallel row-FFT phases (FFT, 4M points style).
+void fft(const SplashParams& p);
+
+/// Multi-pass counting sort: parallel histogram, serial prefix sum,
+/// parallel permutation (Radix, 16M keys / radix 1024 style).
+void radix(const SplashParams& p);
+
+/// Blocked right-looking LU with a 16x16 block grid: diagonal factor,
+/// perimeter, and shrinking interior updates (LU, contiguous style).
+void lu(const SplashParams& p);
+
+/// A registry entry for the validation suite.
+struct SplashApp {
+  std::string name;
+  std::function<void(const SplashParams&)> run;
+};
+
+/// The five applications of the paper's Table 1, in its row order.
+std::vector<SplashApp> splash_suite();
+
+}  // namespace vppb::workloads

@@ -1,0 +1,113 @@
+#include "workloads/synthetic.hpp"
+
+#include <memory>
+#include <vector>
+
+#include "solaris/program.hpp"
+#include "solaris/solaris.hpp"
+#include "util/error.hpp"
+
+namespace vppb::workloads {
+
+void fork_join(int threads, SimTime work) {
+  VPPB_CHECK_MSG(threads >= 1, "need a worker");
+  for (int i = 0; i < threads; ++i) {
+    sol::thr_create_fn(
+        [work]() -> void* {
+          sol::compute(work);
+          return nullptr;
+        },
+        0, nullptr, "fork_join_worker");
+  }
+  sol::join_all();
+}
+
+void pipeline(int stages, int items, SimTime stage_cost) {
+  VPPB_CHECK_MSG(stages >= 1 && items >= 1, "empty pipeline");
+  // queues[s] counts items available to stage s; stage s consumes from
+  // queues[s] and feeds queues[s+1].
+  auto queues = std::make_shared<std::vector<std::unique_ptr<sol::Semaphore>>>();
+  for (int s = 0; s <= stages; ++s)
+    queues->push_back(std::make_unique<sol::Semaphore>(0u));
+
+  for (int s = 0; s < stages; ++s) {
+    sol::thr_create_fn(
+        [queues, s, items, stage_cost]() -> void* {
+          for (int k = 0; k < items; ++k) {
+            (*queues)[static_cast<std::size_t>(s)]->wait();
+            sol::compute(stage_cost);
+            (*queues)[static_cast<std::size_t>(s) + 1]->post();
+          }
+          return nullptr;
+        },
+        0, nullptr, "pipeline_stage");
+  }
+  for (int k = 0; k < items; ++k) (*queues)[0]->post();
+  for (int k = 0; k < items; ++k)
+    (*queues)[static_cast<std::size_t>(stages)]->wait();
+  sol::join_all();
+}
+
+void readers_writer(int readers, int rounds, SimTime read_cost, int writes,
+                    SimTime write_cost) {
+  auto rw = std::make_shared<sol::RwLock>();
+  for (int r = 0; r < readers; ++r) {
+    sol::thr_create_fn(
+        [rw, rounds, read_cost]() -> void* {
+          for (int k = 0; k < rounds; ++k) {
+            rw->rdlock();
+            sol::compute(read_cost);
+            rw->unlock();
+          }
+          return nullptr;
+        },
+        0, nullptr, "reader");
+  }
+  sol::thr_create_fn(
+      [rw, writes, write_cost]() -> void* {
+        for (int k = 0; k < writes; ++k) {
+          rw->wrlock();
+          sol::compute(write_cost);
+          rw->unlock();
+          sol::thr_yield();
+        }
+        return nullptr;
+      },
+      0, nullptr, "writer");
+  sol::join_all();
+}
+
+void imbalanced(int threads, SimTime work, double skew) {
+  VPPB_CHECK_MSG(threads >= 1, "need a worker");
+  for (int i = 0; i < threads; ++i) {
+    const double factor =
+        threads == 1 ? 1.0
+                     : 1.0 + skew * static_cast<double>(i) /
+                               static_cast<double>(threads - 1);
+    sol::thr_create_fn(
+        [work, factor]() -> void* {
+          sol::compute(work.scaled(factor));
+          return nullptr;
+        },
+        0, nullptr, "imbalanced_worker");
+  }
+  sol::join_all();
+}
+
+void priority_classes(int high, int low, SimTime work) {
+  std::vector<sol::thread_t> tids;
+  for (int i = 0; i < high + low; ++i) {
+    sol::thread_t tid = 0;
+    sol::thr_create_fn(
+        [work]() -> void* {
+          sol::compute(work);
+          return nullptr;
+        },
+        0, &tid, i < high ? "high_prio" : "low_prio");
+    sol::thr_setprio(tid, i < high ? 10 : 0);
+    tids.push_back(tid);
+  }
+  sol::join_all();
+}
+
+}  // namespace vppb::workloads

@@ -1,0 +1,31 @@
+// Small synthetic workloads with known parallel structure, used by the
+// tests, the ablation benches, and the examples.
+#pragma once
+
+#include "util/time.hpp"
+
+namespace vppb::workloads {
+
+/// N independent workers, each computing `work`: ideal speed-up = N.
+void fork_join(int threads, SimTime work);
+
+/// A software pipeline: `stages` threads connected by semaphores;
+/// `items` flow through, each stage charging `stage_cost` per item.
+/// Steady-state speed-up ≈ min(stages, CPUs).
+void pipeline(int stages, int items, SimTime stage_cost);
+
+/// Readers/writer mix on one rwlock: `readers` threads make `rounds`
+/// read-locked computations of `read_cost` while one writer interposes
+/// `writes` write-locked sections of `write_cost`.
+void readers_writer(int readers, int rounds, SimTime read_cost, int writes,
+                    SimTime write_cost);
+
+/// N workers where worker i computes work · (1 + skew·i / (N-1)):
+/// the makespan is the most-skewed worker (load imbalance demo).
+void imbalanced(int threads, SimTime work, double skew);
+
+/// Two priority classes contending for the CPUs: `high` threads at user
+/// priority 10, `low` threads at 0, each computing `work`.
+void priority_classes(int high, int low, SimTime work);
+
+}  // namespace vppb::workloads

@@ -1,0 +1,112 @@
+// Tests for the compact binary trace format.
+#include <gtest/gtest.h>
+
+#include "recorder/recorder.hpp"
+#include "solaris/program.hpp"
+#include "trace/binary.hpp"
+#include "trace/io.hpp"
+#include "util/error.hpp"
+#include "workloads/prodcons.hpp"
+#include "workloads/splash.hpp"
+
+namespace vppb::trace {
+namespace {
+
+Trace sample_trace() {
+  workloads::ProdConsParams p;
+  p.producers = 10;
+  p.consumers = 5;
+  sol::Program program;
+  return rec::record_program(program,
+                             [&p]() { workloads::prodcons_tuned(p); });
+}
+
+TEST(BinaryTrace, RoundTripIsExact) {
+  const Trace t = sample_trace();
+  const Trace back = from_binary(to_binary(t));
+  ASSERT_EQ(back.records.size(), t.records.size());
+  // The text rendering is the canonical equality check: identical text
+  // means identical semantic content.
+  EXPECT_EQ(to_text(back), to_text(t));
+}
+
+TEST(BinaryTrace, SubstantiallySmallerThanText) {
+  const Trace t = sample_trace();
+  const std::size_t text_size = to_text(t).size();
+  const std::size_t bin_size = to_binary(t).size();
+  EXPECT_LT(bin_size * 3, text_size)
+      << "binary " << bin_size << " vs text " << text_size;
+}
+
+TEST(BinaryTrace, FileRoundTripAndSniffing) {
+  const Trace t = sample_trace();
+  const std::string bin_path = testing::TempDir() + "/vppb_bin.trace";
+  const std::string txt_path = testing::TempDir() + "/vppb_txt.trace";
+  save_binary_file(t, bin_path);
+  save_file(t, txt_path);
+  // load_any_file accepts both formats transparently.
+  EXPECT_EQ(to_text(load_any_file(bin_path)), to_text(t));
+  EXPECT_EQ(to_text(load_any_file(txt_path)), to_text(t));
+  EXPECT_EQ(to_text(load_binary_file(bin_path)), to_text(t));
+  EXPECT_THROW(load_binary_file(txt_path), Error);
+}
+
+TEST(BinaryTrace, RejectsCorruption) {
+  const Trace t = sample_trace();
+  std::vector<std::uint8_t> bytes = to_binary(t);
+  // Bad magic.
+  {
+    auto bad = bytes;
+    bad[0] = 'X';
+    EXPECT_THROW(from_binary(bad), Error);
+  }
+  // Bad version.
+  {
+    auto bad = bytes;
+    bad[4] = 99;
+    EXPECT_THROW(from_binary(bad), Error);
+  }
+  // Truncations at various points must throw, never crash or misparse.
+  for (std::size_t cut : {bytes.size() / 4, bytes.size() / 2,
+                          bytes.size() - 3}) {
+    EXPECT_THROW(from_binary(bytes.data(), cut), Error) << cut;
+  }
+  // Trailing garbage.
+  {
+    auto bad = bytes;
+    bad.push_back(0x01);
+    EXPECT_THROW(from_binary(bad), Error);
+  }
+}
+
+TEST(BinaryTrace, EmptyTraceRoundTrips) {
+  Trace t;
+  const Trace back = from_binary(to_binary(t));
+  EXPECT_TRUE(back.records.empty());
+  EXPECT_TRUE(back.threads.empty());
+}
+
+TEST(BinaryTrace, LargeTimestampsSurvive) {
+  Trace t;
+  t.upsert_thread(1);
+  Record r;
+  r.tid = 1;
+  r.op = Op::kStartCollect;
+  r.at = SimTime::seconds(86400.0 * 365);  // a year of nanoseconds
+  t.records.push_back(r);
+  const Trace back = from_binary(to_binary(t));
+  EXPECT_EQ(back.records.at(0).at, r.at);
+}
+
+TEST(BinaryTrace, SplashLogCompressionRatioReported) {
+  sol::Program program;
+  const Trace t = rec::record_program(program, []() {
+    workloads::ocean(workloads::SplashParams{8, 0.05});
+  });
+  const double ratio = static_cast<double>(to_text(t).size()) /
+                       static_cast<double>(to_binary(t).size());
+  EXPECT_GT(ratio, 3.0) << "varint+delta encoding should win >3x";
+}
+
+}  // namespace
+}  // namespace vppb::trace

@@ -1,0 +1,230 @@
+// Edge cases and boundary conditions across the stack: empty traces,
+// degenerate configurations, and error-path behaviour.
+#include <gtest/gtest.h>
+
+#include "core/engine.hpp"
+#include "recorder/recorder.hpp"
+#include "solaris/program.hpp"
+#include "solaris/solaris.hpp"
+#include "trace/binary.hpp"
+#include "trace/io.hpp"
+#include "ult/fiber.hpp"
+#include "util/error.hpp"
+#include "viz/visualizer.hpp"
+
+namespace vppb {
+namespace {
+
+TEST(EdgeTrace, EmptyTraceSimulates) {
+  trace::Trace t;
+  const core::SimResult r = core::simulate(t, core::SimConfig{});
+  EXPECT_EQ(r.total, SimTime::zero());
+  EXPECT_DOUBLE_EQ(r.speedup, 1.0);
+  EXPECT_TRUE(r.events.empty());
+}
+
+TEST(EdgeTrace, MarkerOnlyTraceSimulates) {
+  const trace::Trace t = trace::from_text(
+      "thread 1 main main 0 0\n"
+      "rec 0 1 C start_collect none 0 0 0 0\n"
+      "rec 5000 1 C end_collect none 0 0 0 0\n");
+  const core::SimResult r = core::simulate(t, core::SimConfig{});
+  EXPECT_EQ(r.total, SimTime::zero())
+      << "markers carry no demand; the thread exits immediately";
+}
+
+TEST(EdgeTrace, OutOfRangeLocationRejected) {
+  trace::Trace t;
+  t.upsert_thread(1);
+  trace::Record r;
+  r.tid = 1;
+  r.op = trace::Op::kThrExit;
+  r.obj = {trace::ObjKind::kThread, 1};
+  r.loc = 57;  // no such location
+  t.records.push_back(r);
+  EXPECT_THROW(t.validate(), Error);
+}
+
+TEST(EdgeTrace, ZeroDurationProgram) {
+  sol::Program program;
+  const trace::Trace t = rec::record_program(program, []() {});
+  EXPECT_EQ(t.duration(), SimTime::zero());
+  const core::SimResult r = core::simulate(t, core::SimConfig{});
+  EXPECT_EQ(r.total, SimTime::zero());
+  // The visualizer still constructs on an empty run.
+  viz::Visualizer v(r, t);
+  EXPECT_NO_THROW(viz::render_flow_ascii(v, 40));
+}
+
+TEST(EdgeEngine, ZeroCpusRejected) {
+  sol::Program program;
+  const trace::Trace t = rec::record_program(program, []() {});
+  core::SimConfig cfg;
+  cfg.hw.cpus = 0;
+  EXPECT_THROW(core::simulate(t, cfg), Error);
+  cfg.hw.cpus = 1;
+  cfg.sched.lwps = -1;
+  EXPECT_THROW(core::simulate(t, cfg), Error);
+}
+
+TEST(EdgeEngine, CommDelayIgnoredOnOneCpu) {
+  sol::Program program;
+  const trace::Trace t = rec::record_program(program, []() {
+    sol::thr_create_fn(
+        []() -> void* {
+          sol::compute(SimTime::millis(1));
+          return nullptr;
+        },
+        0, nullptr, "w");
+    sol::join_all();
+  });
+  core::SimConfig cfg;
+  cfg.hw.cpus = 1;
+  cfg.hw.comm_delay = SimTime::millis(100);
+  EXPECT_EQ(core::simulate(t, cfg).total, t.duration())
+      << "no cross-CPU propagation exists on one CPU";
+}
+
+TEST(EdgeEngine, ManyMoreCpusThanThreads) {
+  sol::Program program;
+  const trace::Trace t = rec::record_program(program, []() {
+    sol::thr_create_fn(
+        []() -> void* {
+          sol::compute(SimTime::millis(2));
+          return nullptr;
+        },
+        0, nullptr, "only");
+    sol::join_all();
+  });
+  core::SimConfig cfg;
+  cfg.hw.cpus = 64;
+  const core::SimResult r = core::simulate(t, cfg);
+  r.validate();
+  EXPECT_LE(r.speedup, 1.01);
+}
+
+TEST(EdgeRuntime, NegativeWorkRejected) {
+  ult::Runtime rt;
+  EXPECT_THROW(
+      rt.run([]() { ult::Runtime::current().work(SimTime::nanos(-1)); }),
+      Error);
+}
+
+TEST(EdgeRuntime, TinyFiberStackRejected) {
+  EXPECT_THROW(ult::Fiber([]() {}, 1024), Error);
+}
+
+TEST(EdgeRuntime, CurrentOutsideRunRejected) {
+  EXPECT_THROW(ult::Runtime::current(), Error);
+  EXPECT_FALSE(ult::Runtime::in_runtime());
+}
+
+TEST(EdgeRuntime, SuspendOfExitedThreadRejected) {
+  ult::Runtime rt;
+  rt.run([]() {
+    auto& r = ult::Runtime::current();
+    const ult::ThreadId child = r.spawn([] {});
+    r.yield();  // child runs to completion
+    EXPECT_THROW(r.suspend(child), Error);
+    EXPECT_FALSE(r.resume(child));
+  });
+}
+
+TEST(EdgeSolaris, NullArgumentsReturnEinval) {
+  sol::Program program;
+  program.run([]() {
+    EXPECT_EQ(sol::mutex_lock(nullptr), sol::SOL_EINVAL);
+    EXPECT_EQ(sol::sema_post(nullptr), sol::SOL_EINVAL);
+    EXPECT_EQ(sol::cond_signal(nullptr), sol::SOL_EINVAL);
+    EXPECT_EQ(sol::rw_rdlock(nullptr), sol::SOL_EINVAL);
+    EXPECT_EQ(sol::thr_create(nullptr, 0, nullptr, nullptr, 0, nullptr),
+              sol::SOL_EINVAL);
+    sol::mutex_t uninit{};
+    EXPECT_EQ(sol::mutex_unlock(&uninit), sol::SOL_EINVAL);
+    sol::cond_t cond_uninit{};
+    EXPECT_EQ(sol::cond_destroy(&cond_uninit), sol::SOL_EINVAL);
+  });
+}
+
+TEST(EdgeSolaris, DestroyInUseRejected) {
+  sol::Program program;
+  program.run([]() {
+    sol::mutex_t m{};
+    sol::mutex_init(&m);
+    sol::mutex_lock(&m);
+    EXPECT_THROW(sol::mutex_destroy(&m), Error);
+    sol::mutex_unlock(&m);
+    EXPECT_EQ(sol::mutex_destroy(&m), sol::SOL_OK);
+  });
+}
+
+TEST(EdgeSolaris, RecursiveLockDetected) {
+  sol::Program program;
+  program.run([]() {
+    sol::Mutex m;
+    m.lock();
+    EXPECT_THROW(m.lock(), Error) << "self-deadlock must be diagnosed";
+    m.unlock();
+  });
+}
+
+TEST(EdgeSolaris, OpCostsInactiveInRealMode) {
+  sol::Program::Options opts;
+  opts.clock_mode = ult::ClockMode::kReal;
+  opts.op_costs.sync = SimTime::seconds(10.0);  // must NOT be charged
+  sol::Program program(opts);
+  program.run([]() {
+    sol::Mutex m;
+    m.lock();
+    m.unlock();
+  });
+  EXPECT_LT(program.last_duration(), SimTime::seconds(1.0));
+}
+
+TEST(EdgeSolaris, NegativeIoLatencyRejected) {
+  sol::Program program;
+  EXPECT_THROW(program.run([]() { sol::io_wait(SimTime::nanos(-5)); }),
+               Error);
+}
+
+TEST(EdgeRecorder, FinishWithoutEventsYieldsEmptyTrace) {
+  rec::Recorder recorder;
+  const trace::Trace t = recorder.finish(SimTime::zero());
+  EXPECT_TRUE(t.records.empty());
+}
+
+TEST(EdgeBinary, FiveByteMinimumEnforced) {
+  const std::uint8_t tiny[] = {'V', 'P'};
+  EXPECT_THROW(trace::from_binary(tiny, sizeof tiny), Error);
+}
+
+TEST(EdgeViz, EmptyResultRenders) {
+  trace::Trace t;
+  const core::SimResult r = core::simulate(t, core::SimConfig{});
+  viz::Visualizer v(r, t);
+  EXPECT_EQ(v.event_count(), 0u);
+  EXPECT_NO_THROW(viz::render_parallelism_ascii(v, 40, 4));
+  EXPECT_NO_THROW(viz::render_svg(v, viz::RenderOptions{}));
+  EXPECT_FALSE(v.event_near(1, SimTime::zero()).has_value());
+}
+
+TEST(EdgeViz, SingleThreadTimeline) {
+  sol::Program program;
+  const trace::Trace t = rec::record_program(program, []() {
+    sol::compute(SimTime::millis(3));
+  });
+  core::SimConfig cfg;
+  cfg.hw.cpus = 4;
+  const core::SimResult r = core::simulate(t, cfg);
+  const auto segs = r.thread_segments(1);
+  ASSERT_FALSE(segs.empty());
+  EXPECT_EQ(segs.back().end, r.total);
+  SimTime running;
+  for (const auto& s : segs) {
+    if (s.state == core::SegState::kRunning) running += s.end - s.start;
+  }
+  EXPECT_EQ(running, SimTime::millis(3));
+}
+
+}  // namespace
+}  // namespace vppb

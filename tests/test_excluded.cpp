@@ -1,0 +1,99 @@
+// The paper's §4 exclusions, demonstrated against this implementation:
+// spin-synchronized programs livelock the one-LWP recorder; task-stealing
+// programs record but with the degenerate distribution the paper calls
+// out ("only one thread steals all tasks").
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "core/engine.hpp"
+#include "recorder/recorder.hpp"
+#include "solaris/program.hpp"
+#include "util/error.hpp"
+#include "workloads/excluded.hpp"
+
+namespace vppb::workloads {
+namespace {
+
+TEST(Excluded, SpinBarrierLivelocksTheRecorder) {
+  // Barnes/Radiosity/Cholesky/FMM "could not run in one single LWP as
+  // required by the Recorder" — the spinner never yields, the publisher
+  // never runs, and the livelock horizon fires.
+  sol::Program::Options opts;
+  opts.livelock_horizon = SimTime::seconds(1.0);
+  sol::Program program(opts);
+  try {
+    program.run([]() { spin_barrier_program(4, SimTime::millis(1)); });
+    FAIL() << "the spin barrier must livelock on one LWP";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("livelock"), std::string::npos);
+  }
+}
+
+TEST(Excluded, TaskStealingDegeneratesToOneThread) {
+  // Raytrace/Volrend: "the impact of using one LWP gives the result that
+  // only one thread steals all tasks, since it never yields the CPU".
+  sol::Program program;
+  std::vector<int> executed;
+  program.run([&executed]() {
+    executed = task_stealing_program(4, 100, SimTime::micros(200));
+  });
+  ASSERT_EQ(executed.size(), 4u);
+  EXPECT_EQ(std::accumulate(executed.begin(), executed.end(), 0), 100);
+  EXPECT_EQ(*std::max_element(executed.begin(), executed.end()), 100)
+      << "one worker must have taken everything on one LWP";
+}
+
+TEST(Excluded, StolenWorkDistributionFreezesIntoThePrediction) {
+  // Consequence: the predicted speed-up of a task-stealing program is
+  // ~1 regardless of CPUs, because the trace has all work on one
+  // thread.  This is why the paper excludes these programs rather than
+  // reporting wrong numbers for them.
+  sol::Program program;
+  const trace::Trace t = rec::record_program(program, []() {
+    (void)task_stealing_program(4, 50, SimTime::micros(200));
+  });
+  const double s = core::predict_speedup(t, 8);
+  EXPECT_LT(s, 1.2) << "the frozen distribution cannot parallelize";
+}
+
+TEST(Excluded, StealingBalancesWhenWorkersBlock) {
+  // Control case: if the tasks contain an operation that yields the LWP
+  // (the I/O extension), the distribution spreads and prediction
+  // becomes meaningful again — the fix the exclusion hints at.
+  sol::Program program;
+  std::vector<int> executed;
+  program.run([&executed]() {
+    struct Shared {
+      sol::Mutex lock;
+      int remaining = 60;
+      std::vector<int> executed = std::vector<int>(4, 0);
+    };
+    auto shared = std::make_shared<Shared>();
+    for (int me = 0; me < 4; ++me) {
+      sol::thr_create_fn(
+          [shared, me]() -> void* {
+            for (;;) {
+              {
+                sol::ScopedLock guard(shared->lock);
+                if (shared->remaining == 0) return nullptr;
+                --shared->remaining;
+                ++shared->executed[static_cast<std::size_t>(me)];
+              }
+              sol::io_wait(SimTime::micros(500), "disk");  // yields the LWP
+            }
+          },
+          0, nullptr, "blocking_stealer");
+    }
+    sol::join_all();
+    executed = shared->executed;
+  });
+  int active_workers = 0;
+  for (int n : executed) {
+    if (n > 0) ++active_workers;
+  }
+  EXPECT_GE(active_workers, 3) << "blocking tasks spread across workers";
+}
+
+}  // namespace
+}  // namespace vppb::workloads

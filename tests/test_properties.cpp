@@ -1,0 +1,268 @@
+// Property-based tests: invariants that must hold across parameter
+// sweeps (TEST_P / INSTANTIATE_TEST_SUITE_P) and under randomized
+// operation sequences checked against simple reference models.
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <functional>
+#include <string>
+#include <tuple>
+
+#include "core/engine.hpp"
+#include "recorder/recorder.hpp"
+#include "solaris/program.hpp"
+#include "trace/io.hpp"
+#include "ult/wait_queue.hpp"
+#include "util/rng.hpp"
+#include "workloads/prodcons.hpp"
+#include "workloads/splash.hpp"
+#include "workloads/synthetic.hpp"
+
+namespace vppb {
+namespace {
+
+// ---------------------------------------------------------------------------
+// WaitQueue vs a straightforward reference model, under random ops.
+
+class WaitQueueModelTest : public testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(WaitQueueModelTest, MatchesReferenceModel) {
+  Rng rng(GetParam());
+  ult::WaitQueue queue;
+  // Reference: vector of (tid, prio, seq); pop = max prio, min seq.
+  struct Entry {
+    ult::ThreadId tid;
+    int prio;
+    std::uint64_t seq;
+  };
+  std::vector<Entry> model;
+  std::uint64_t seq = 0;
+  ult::ThreadId next_tid = 1;
+
+  for (int step = 0; step < 500; ++step) {
+    const auto action = rng.below(10);
+    if (action < 5) {  // push
+      const int prio = static_cast<int>(rng.below(4));
+      queue.push(next_tid, prio);
+      model.push_back(Entry{next_tid, prio, seq++});
+      ++next_tid;
+    } else if (action < 8) {  // pop
+      const ult::ThreadId got = queue.pop();
+      if (model.empty()) {
+        EXPECT_EQ(got, ult::kNoThread);
+      } else {
+        auto best = model.begin();
+        for (auto it = model.begin(); it != model.end(); ++it) {
+          if (it->prio > best->prio ||
+              (it->prio == best->prio && it->seq < best->seq))
+            best = it;
+        }
+        EXPECT_EQ(got, best->tid) << "step " << step;
+        model.erase(best);
+      }
+    } else if (action == 8 && !model.empty()) {  // remove random
+      const auto victim = model.begin() +
+                          static_cast<std::ptrdiff_t>(rng.below(model.size()));
+      EXPECT_TRUE(queue.remove(victim->tid));
+      model.erase(victim);
+    } else if (!model.empty()) {  // update priority
+      const auto target = model.begin() +
+                          static_cast<std::ptrdiff_t>(rng.below(model.size()));
+      const int prio = static_cast<int>(rng.below(4));
+      EXPECT_TRUE(queue.update_priority(target->tid, prio));
+      target->prio = prio;
+    }
+    ASSERT_EQ(queue.size(), model.size());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WaitQueueModelTest,
+                         testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+// ---------------------------------------------------------------------------
+// Engine invariants over a (workload x cpus x lwps) sweep.
+
+struct EngineCase {
+  std::string name;
+  std::function<void()> body;
+  int cpus;
+  int lwps;
+};
+
+void PrintTo(const EngineCase& c, std::ostream* os) {
+  *os << c.name << "/cpus" << c.cpus << "/lwps" << c.lwps;
+}
+
+class EngineInvariantTest : public testing::TestWithParam<EngineCase> {};
+
+TEST_P(EngineInvariantTest, InvariantsHold) {
+  const EngineCase& c = GetParam();
+  sol::Program program;
+  const trace::Trace t = rec::record_program(program, c.body);
+  core::SimConfig cfg;
+  cfg.hw.cpus = c.cpus;
+  cfg.sched.lwps = c.lwps;
+  const core::SimResult r = core::simulate(t, cfg);
+
+  // 1. The timeline is well-formed (contiguous, <= cpus running, ...).
+  r.validate();
+
+  // 2. Speed-up is bounded by both CPUs and LWPs, and by thread count.
+  const double bound = std::min<double>(
+      c.cpus, c.lwps == 0 ? static_cast<double>(t.threads.size()) : c.lwps);
+  EXPECT_LE(r.speedup, bound + 0.01);
+  EXPECT_GT(r.speedup, 0.0);
+
+  // 3. Work conservation: total CPU time equals the compiled demand and
+  //    the per-CPU busy time.
+  const core::CompiledTrace compiled = core::compile(t);
+  SimTime demand;
+  for (const auto& [tid, ct] : compiled.threads) demand += ct.total_cpu;
+  SimTime thread_cpu;
+  for (const auto& [tid, st] : r.threads) thread_cpu += st.cpu_time;
+  SimTime busy;
+  for (const auto& cs : r.cpu_stats) busy += cs.busy;
+  EXPECT_EQ(thread_cpu, demand);
+  EXPECT_EQ(busy, thread_cpu);
+
+  // 4. Every event lands inside the run and keeps its source location.
+  for (const auto& e : r.events) {
+    EXPECT_LE(e.done, r.total);
+    EXPECT_LT(e.loc, t.locations.size());
+  }
+
+  // 5. Each thread's lifetime covers its segments.
+  for (const auto& [tid, st] : r.threads) {
+    EXPECT_LE(st.created_at, st.exited_at);
+    EXPECT_EQ(st.cpu_time + st.runnable_time + st.blocked_time +
+                  st.sleeping_time,
+              st.exited_at - st.created_at)
+        << "T" << tid << " state times must tile its lifetime";
+  }
+
+  // 6. Determinism: simulating again gives the identical result.
+  const core::SimResult r2 = core::simulate(t, cfg);
+  EXPECT_EQ(r2.total, r.total);
+  EXPECT_EQ(r2.segments.size(), r.segments.size());
+
+  // 7. The LWP gantt is well-formed: per-LWP segments do not overlap,
+  //    and the on-CPU time it shows equals the LWP's accounted running
+  //    time.
+  for (const core::LwpStats& ls : r.lwp_stats) {
+    const auto segs = r.segments_of_lwp(ls.id);
+    SimTime on_cpu;
+    for (std::size_t i = 0; i < segs.size(); ++i) {
+      EXPECT_LE(segs[i].start, segs[i].end);
+      if (i > 0) {
+        EXPECT_GE(segs[i].start, segs[i - 1].end);
+      }
+      if (segs[i].cpu >= 0) on_cpu += segs[i].end - segs[i].start;
+    }
+    EXPECT_EQ(on_cpu, ls.running) << "LWP " << ls.id;
+  }
+}
+
+std::vector<EngineCase> engine_cases() {
+  std::vector<EngineCase> cases;
+  const auto add = [&cases](std::string name, std::function<void()> body) {
+    for (int cpus : {1, 2, 3, 8}) {
+      for (int lwps : {0, 2}) {
+        cases.push_back(EngineCase{name, body, cpus, lwps});
+      }
+    }
+  };
+  add("forkjoin", []() { workloads::fork_join(5, SimTime::millis(7)); });
+  add("imbalanced", []() {
+    workloads::imbalanced(4, SimTime::millis(5), 0.8);
+  });
+  add("pipeline", []() { workloads::pipeline(3, 20, SimTime::micros(300)); });
+  add("ocean", []() { workloads::ocean(workloads::SplashParams{3, 0.02}); });
+  add("lu", []() { workloads::lu(workloads::SplashParams{3, 0.05}); });
+  add("prodcons", []() {
+    workloads::ProdConsParams p;
+    p.producers = 10;
+    p.consumers = 5;
+    p.items_per_producer = 4;
+    workloads::prodcons_tuned(p);
+  });
+  add("rwlock", []() {
+    workloads::readers_writer(3, 5, SimTime::micros(500), 3,
+                              SimTime::micros(800));
+  });
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, EngineInvariantTest,
+                         testing::ValuesIn(engine_cases()),
+                         [](const testing::TestParamInfo<EngineCase>& info) {
+                           return info.param.name + "_cpus" +
+                                  std::to_string(info.param.cpus) + "_lwps" +
+                                  std::to_string(info.param.lwps);
+                         });
+
+// ---------------------------------------------------------------------------
+// Trace serialization round-trips for every workload.
+
+class TraceRoundTripTest
+    : public testing::TestWithParam<std::function<void()>> {};
+
+TEST_P(TraceRoundTripTest, TextRoundTripIsIdentity) {
+  sol::Program program;
+  const trace::Trace t = rec::record_program(program, GetParam());
+  const std::string text = trace::to_text(t);
+  const trace::Trace back = trace::from_text(text);
+  EXPECT_EQ(trace::to_text(back), text);
+  EXPECT_EQ(back.records.size(), t.records.size());
+  // Round-tripped traces predict identically.
+  EXPECT_EQ(core::simulate(back, core::SimConfig{}).total,
+            core::simulate(t, core::SimConfig{}).total);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Workloads, TraceRoundTripTest,
+    testing::Values(
+        std::function<void()>(
+            []() { workloads::fork_join(3, SimTime::millis(2)); }),
+        std::function<void()>([]() {
+          workloads::radix(workloads::SplashParams{2, 0.02});
+        }),
+        std::function<void()>([]() {
+          workloads::water_spatial(workloads::SplashParams{3, 0.02});
+        }),
+        std::function<void()>([]() {
+          workloads::pipeline(2, 10, SimTime::micros(100));
+        })));
+
+// ---------------------------------------------------------------------------
+// Speed-up sanity across the CPU axis for every SPLASH app.
+
+class SplashMonotonicTest
+    : public testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(SplashMonotonicTest, EfficiencyAtMostOne) {
+  const auto [app_idx, cpus] = GetParam();
+  const auto& app = workloads::splash_suite()[static_cast<std::size_t>(app_idx)];
+  sol::Program program;
+  const trace::Trace t = rec::record_program(program, [&app, cpus]() {
+    app.run(workloads::SplashParams{cpus, 0.05});
+  });
+  const double s = core::predict_speedup(t, cpus);
+  EXPECT_GT(s, 0.9) << app.name;
+  EXPECT_LE(s, cpus * 1.001) << app.name << ": super-linear is impossible";
+}
+
+std::string splash_case_name(
+    const testing::TestParamInfo<std::tuple<int, int>>& info) {
+  static const char* const kNames[5] = {"Ocean", "Water", "FFT", "Radix",
+                                        "LU"};
+  return std::string(kNames[std::get<0>(info.param)]) + "_cpus" +
+         std::to_string(std::get<1>(info.param));
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, SplashMonotonicTest,
+                         testing::Combine(testing::Range(0, 5),
+                                          testing::Values(1, 2, 4, 8)),
+                         splash_case_name);
+
+}  // namespace
+}  // namespace vppb

@@ -1,0 +1,262 @@
+// Integration tests: Recorder attached around the solaris API while a
+// program runs on the one-LWP runtime — the paper's fig. 2 workflow.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "recorder/recorder.hpp"
+#include "solaris/program.hpp"
+#include "solaris/solaris.hpp"
+#include "trace/io.hpp"
+#include "util/error.hpp"
+
+namespace vppb::rec {
+namespace {
+
+using trace::Op;
+using trace::Phase;
+
+// The example program of the paper's fig. 2: main creates two threads
+// that each do some work and exit; main joins both.
+void fig2_program() {
+  auto worker = []() -> void* {
+    sol::compute(SimTime::micros(400));
+    return nullptr;
+  };
+  sol::thread_t thr_a = 0, thr_b = 0;
+  sol::thr_create_fn(worker, 0, &thr_a, "thread");
+  sol::thr_create_fn(worker, 0, &thr_b, "thread");
+  sol::thr_join(thr_a, nullptr, nullptr);
+  sol::thr_join(thr_b, nullptr, nullptr);
+}
+
+trace::Trace record_fig2() {
+  sol::Program program;
+  return record_program(program, fig2_program);
+}
+
+std::vector<const trace::Record*> calls_of(const trace::Trace& t, Op op) {
+  std::vector<const trace::Record*> out;
+  for (const auto& r : t.records) {
+    if (r.op == op && r.phase == Phase::kCall) out.push_back(&r);
+  }
+  return out;
+}
+
+TEST(RecorderTest, Fig2EventSequence) {
+  const trace::Trace t = record_fig2();
+  t.validate();
+
+  // First record is start_collect, last is end_collect (paper fig. 2).
+  ASSERT_FALSE(t.records.empty());
+  EXPECT_EQ(t.records.front().op, Op::kStartCollect);
+  EXPECT_EQ(t.records.back().op, Op::kEndCollect);
+
+  // Two creates by main returning ids 4 and 5.
+  const auto creates = calls_of(t, Op::kThrCreate);
+  ASSERT_EQ(creates.size(), 2u);
+  std::vector<std::int64_t> created;
+  for (const auto& r : t.records) {
+    if (r.op == Op::kThrCreate && r.phase == Phase::kReturn)
+      created.push_back(r.arg);
+  }
+  EXPECT_EQ(created, (std::vector<std::int64_t>{4, 5}));
+
+  // Three thr_exit records: T4, T5 and main's implicit one.
+  const auto exits = calls_of(t, Op::kThrExit);
+  ASSERT_EQ(exits.size(), 3u);
+  std::vector<trace::ThreadId> exit_tids;
+  for (const auto* r : exits) exit_tids.push_back(r->tid);
+  std::sort(exit_tids.begin(), exit_tids.end());
+  EXPECT_EQ(exit_tids, (std::vector<trace::ThreadId>{1, 4, 5}));
+
+  // Two joins, and their returns carry the departed thread.
+  std::vector<std::int64_t> departed;
+  for (const auto& r : t.records) {
+    if (r.op == Op::kThrJoin && r.phase == Phase::kReturn)
+      departed.push_back(r.arg);
+  }
+  EXPECT_EQ(departed, (std::vector<std::int64_t>{4, 5}));
+}
+
+TEST(RecorderTest, ThreadMetadataRecorded) {
+  const trace::Trace t = record_fig2();
+  ASSERT_EQ(t.threads.size(), 3u);
+  const trace::ThreadMeta* main_meta = t.find_thread(1);
+  ASSERT_NE(main_meta, nullptr);
+  EXPECT_EQ(t.strings.get(main_meta->name), "main");
+  const trace::ThreadMeta* t4 = t.find_thread(4);
+  ASSERT_NE(t4, nullptr);
+  EXPECT_EQ(t.strings.get(t4->start_func), "thread");
+  EXPECT_FALSE(t4->bound);
+}
+
+TEST(RecorderTest, BoundFlagRecorded) {
+  sol::Program program;
+  const trace::Trace t = record_program(program, []() {
+    sol::thread_t tid = 0;
+    sol::thr_create_fn([]() -> void* { return nullptr; }, sol::THR_BOUND,
+                       &tid, "bound_worker");
+    sol::thr_join(tid, nullptr, nullptr);
+  });
+  const trace::ThreadMeta* meta = t.find_thread(4);
+  ASSERT_NE(meta, nullptr);
+  EXPECT_TRUE(meta->bound);
+}
+
+TEST(RecorderTest, SourceLocationsCaptured) {
+  const trace::Trace t = record_fig2();
+  const auto creates = calls_of(t, Op::kThrCreate);
+  ASSERT_FALSE(creates.empty());
+  const std::string loc = t.location_string(*creates[0]);
+  EXPECT_NE(loc.find("test_recorder.cpp:"), std::string::npos) << loc;
+}
+
+TEST(RecorderTest, LocationsCanBeDisabled) {
+  sol::Program program;
+  Recorder::Options opts;
+  opts.capture_locations = false;
+  const trace::Trace t = record_program(program, fig2_program, opts);
+  for (const auto& r : t.records) EXPECT_EQ(r.loc, 0u);
+}
+
+TEST(RecorderTest, SyncObjectEventsCarryIds) {
+  sol::Program program;
+  const trace::Trace t = record_program(program, []() {
+    sol::Mutex m1, m2;
+    sol::ScopedLock a(m1);
+    sol::ScopedLock b(m2);
+  });
+  const auto locks = calls_of(t, Op::kMutexLock);
+  ASSERT_EQ(locks.size(), 2u);
+  EXPECT_EQ(locks[0]->obj.kind, trace::ObjKind::kMutex);
+  EXPECT_NE(locks[0]->obj.id, locks[1]->obj.id);
+}
+
+TEST(RecorderTest, TrylockOutcomeRecorded) {
+  sol::Program program;
+  const trace::Trace t = record_program(program, []() {
+    sol::Mutex m;
+    EXPECT_TRUE(m.try_lock());   // outcome 1
+    sol::thr_create_fn(
+        [&m]() -> void* {
+          m.try_lock();          // outcome 0: held by main
+          return nullptr;
+        },
+        0, nullptr);
+    sol::join_all();
+    m.unlock();
+  });
+  std::vector<std::int64_t> outcomes;
+  for (const auto& r : t.records) {
+    if (r.op == Op::kMutexTrylock && r.phase == Phase::kReturn)
+      outcomes.push_back(r.arg);
+  }
+  EXPECT_EQ(outcomes, (std::vector<std::int64_t>{1, 0}));
+}
+
+TEST(RecorderTest, TimedWaitOutcomeRecorded) {
+  sol::Program program;
+  const trace::Trace t = record_program(program, []() {
+    sol::Mutex m;
+    sol::CondVar c;
+    m.lock();
+    c.timed_wait(m, SimTime::millis(1));  // will time out
+    m.unlock();
+  });
+  bool found = false;
+  for (const auto& r : t.records) {
+    if (r.op == Op::kCondTimedwait && r.phase == Phase::kReturn) {
+      EXPECT_EQ(r.arg, 0) << "timed out must record outcome 0";
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(RecorderTest, BlockingCallSpansBlockedInterval) {
+  sol::Program program;
+  const trace::Trace t = record_program(program, []() {
+    sol::Semaphore s(0);
+    sol::thr_create_fn(
+        [&s]() -> void* {
+          sol::compute(SimTime::micros(500));
+          s.post();
+          return nullptr;
+        },
+        0, nullptr);
+    s.wait();  // blocks ~500us while the child computes
+    sol::join_all();
+  });
+  SimTime call_at, ret_at;
+  for (const auto& r : t.records) {
+    if (r.op == Op::kSemaWait && r.tid == 1) {
+      if (r.phase == Phase::kCall) call_at = r.at;
+      if (r.phase == Phase::kReturn) ret_at = r.at;
+    }
+  }
+  EXPECT_GE(ret_at - call_at, SimTime::micros(500));
+}
+
+TEST(RecorderTest, UserMarksCarryLabels) {
+  sol::Program program;
+  const trace::Trace t = record_program(program, []() {
+    sol::mark("phase-one");
+    sol::compute(SimTime::micros(10));
+    sol::mark("phase-two");
+  });
+  std::vector<std::string> labels;
+  for (const auto& r : t.records) {
+    if (r.op == Op::kUserMark)
+      labels.push_back(t.strings.get(static_cast<std::uint32_t>(r.arg)));
+  }
+  EXPECT_EQ(labels, (std::vector<std::string>{"phase-one", "phase-two"}));
+}
+
+TEST(RecorderTest, TraceSurvivesTextRoundTrip) {
+  const trace::Trace t = record_fig2();
+  const trace::Trace back = trace::from_text(trace::to_text(t));
+  EXPECT_EQ(back.records.size(), t.records.size());
+  EXPECT_EQ(back.duration(), t.duration());
+  EXPECT_EQ(trace::to_text(back), trace::to_text(t));
+}
+
+TEST(RecorderTest, NoSinkMeansNoOverheadPath) {
+  // Without an attached recorder the program must run identically.
+  sol::Program a, b;
+  a.run(fig2_program);
+  Recorder recorder;
+  {
+    Recorder::Scope scope(recorder);
+    b.run(fig2_program);
+  }
+  const trace::Trace t = recorder.finish(b.last_duration());
+  EXPECT_EQ(a.last_duration(), b.last_duration())
+      << "virtual-clock recording must not perturb the execution";
+  EXPECT_GT(t.records.size(), 0u);
+}
+
+TEST(RecorderTest, ReusableAfterFinish) {
+  Recorder recorder;
+  sol::Program program;
+  {
+    Recorder::Scope scope(recorder);
+    program.run(fig2_program);
+  }
+  const auto first = recorder.finish(program.last_duration());
+  {
+    Recorder::Scope scope(recorder);
+    program.run(fig2_program);
+  }
+  const auto second = recorder.finish(program.last_duration());
+  EXPECT_EQ(trace::to_text(first), trace::to_text(second));
+}
+
+TEST(RecorderTest, DoubleAttachRejected) {
+  Recorder r1, r2;
+  Recorder::Scope s1(r1);
+  EXPECT_THROW(Recorder::Scope s2(r2), Error);
+}
+
+}  // namespace
+}  // namespace vppb::rec

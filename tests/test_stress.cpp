@@ -1,0 +1,146 @@
+// Stress and scale tests: many threads, many objects, long event chains
+// — the regimes §4 worries about ("fine granularity generates more
+// synchronization events, and thus larger log files").
+#include <gtest/gtest.h>
+
+#include <chrono>
+
+#include "core/engine.hpp"
+#include "recorder/recorder.hpp"
+#include "solaris/program.hpp"
+#include "solaris/solaris.hpp"
+#include "trace/binary.hpp"
+#include "trace/io.hpp"
+#include "workloads/prodcons.hpp"
+
+namespace vppb {
+namespace {
+
+TEST(Stress, FourHundredThreadsRecordAndReplay) {
+  workloads::ProdConsParams p;
+  p.producers = 260;
+  p.consumers = 130;
+  p.items_per_producer = 2;
+  sol::Program program;
+  const trace::Trace t = rec::record_program(
+      program, [&p]() { workloads::prodcons_tuned(p); });
+  EXPECT_EQ(t.threads.size(), 391u);  // main + producers + consumers
+  core::SimConfig cfg;
+  cfg.hw.cpus = 8;
+  cfg.build_timeline = false;
+  const core::SimResult r = core::simulate(t, cfg);
+  EXPECT_GT(r.speedup, 5.0);
+}
+
+TEST(Stress, DeepLockChain) {
+  // A convoy: 64 threads queue on one mutex; the handoff chain must
+  // preserve FIFO order end to end.
+  sol::Program program;
+  std::vector<int> order;
+  program.run([&order]() {
+    sol::Mutex m;
+    m.lock();
+    for (int i = 0; i < 64; ++i) {
+      sol::thr_create_fn(
+          [&m, &order, i]() -> void* {
+            sol::ScopedLock lock(m);
+            order.push_back(i);
+            return nullptr;
+          },
+          0, nullptr, "conveyee");
+    }
+    sol::thr_yield();  // all 64 block on the mutex in creation order
+    m.unlock();
+    sol::join_all();
+  });
+  ASSERT_EQ(order.size(), 64u);
+  for (int i = 0; i < 64; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Stress, ManyDistinctObjects) {
+  sol::Program program;
+  const trace::Trace t = rec::record_program(program, []() {
+    std::vector<std::unique_ptr<sol::Mutex>> mutexes;
+    std::vector<std::unique_ptr<sol::Semaphore>> semas;
+    for (int i = 0; i < 200; ++i) {
+      mutexes.push_back(std::make_unique<sol::Mutex>());
+      semas.push_back(std::make_unique<sol::Semaphore>(1u));
+    }
+    for (int round = 0; round < 3; ++round) {
+      for (int i = 0; i < 200; ++i) {
+        sol::ScopedLock lock(*mutexes[static_cast<std::size_t>(i)]);
+        semas[static_cast<std::size_t>(i)]->wait();
+        semas[static_cast<std::size_t>(i)]->post();
+      }
+    }
+  });
+  EXPECT_EQ(sol::object_count(trace::ObjKind::kMutex), 200u)
+      << "exactly one id per created mutex";
+  const core::SimResult r = core::simulate(t, core::SimConfig{});
+  r.validate();
+}
+
+TEST(Stress, HundredThousandRecordSimulationFinishesQuickly) {
+  workloads::ProdConsParams p;
+  p.producers = 100;
+  p.consumers = 50;
+  p.items_per_producer = 50;
+  sol::Program program;
+  const trace::Trace t = rec::record_program(
+      program, [&p]() { workloads::prodcons_tuned(p); });
+  EXPECT_GT(t.records.size(), 100000u);
+  core::SimConfig cfg;
+  cfg.hw.cpus = 8;
+  cfg.build_timeline = false;
+  const auto t0 = std::chrono::steady_clock::now();
+  const core::SimResult r = core::simulate(t, cfg);
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  EXPECT_GT(r.speedup, 5.0);
+  EXPECT_LT(secs, 20.0) << "simulation throughput regressed badly";
+}
+
+TEST(Stress, BigTraceBinaryRoundTrip) {
+  workloads::ProdConsParams p;
+  p.producers = 60;
+  p.consumers = 30;
+  sol::Program program;
+  const trace::Trace t = rec::record_program(
+      program, [&p]() { workloads::prodcons_tuned(p); });
+  const auto bytes = trace::to_binary(t);
+  const trace::Trace back = trace::from_binary(bytes);
+  EXPECT_EQ(back.records.size(), t.records.size());
+  EXPECT_EQ(back.duration(), t.duration());
+}
+
+TEST(Stress, RepeatedRunsAreIndependent) {
+  // Global state (object ids, thread registry) must fully reset between
+  // Program::run calls: 20 consecutive runs give identical traces.
+  std::string first;
+  for (int i = 0; i < 20; ++i) {
+    sol::Program program;
+    const trace::Trace t = rec::record_program(program, []() {
+      sol::Mutex m;
+      sol::Semaphore s(1u);
+      sol::thr_create_fn(
+          [&]() -> void* {
+            sol::ScopedLock lock(m);
+            s.wait();
+            s.post();
+            return nullptr;
+          },
+          0, nullptr, "w");
+      sol::join_all();
+    });
+    const std::string text = trace::to_text(t);
+    if (i == 0) {
+      first = text;
+    } else {
+      ASSERT_EQ(text, first) << "run " << i << " diverged";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace vppb

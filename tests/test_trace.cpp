@@ -1,0 +1,211 @@
+// Unit tests for the trace model and its text serialization.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "trace/io.hpp"
+#include "trace/trace.hpp"
+#include "util/error.hpp"
+
+namespace vppb::trace {
+namespace {
+
+Record rec(std::int64_t us, ThreadId tid, Phase phase, Op op,
+           ObjectRef obj = {}, std::int64_t arg = 0) {
+  Record r;
+  r.at = SimTime::micros(us);
+  r.tid = tid;
+  r.phase = phase;
+  r.op = op;
+  r.obj = obj;
+  r.arg = arg;
+  return r;
+}
+
+Trace example_trace() {
+  // The paper's fig. 2 program: main creates thr_a (T4) and thr_b (T5),
+  // joins both; worker threads just exit.
+  Trace t;
+  t.upsert_thread(1).name = t.strings.intern("main");
+  t.upsert_thread(4).name = t.strings.intern("thr_a");
+  t.upsert_thread(5).name = t.strings.intern("thr_b");
+  t.records.push_back(rec(0, 1, Phase::kCall, Op::kStartCollect));
+  t.records.push_back(
+      rec(5, 1, Phase::kCall, Op::kThrCreate, {ObjKind::kThread, 0}));
+  t.records.push_back(
+      rec(10, 1, Phase::kReturn, Op::kThrCreate, {ObjKind::kThread, 0}, 4));
+  t.records.push_back(
+      rec(12, 1, Phase::kCall, Op::kThrCreate, {ObjKind::kThread, 0}));
+  t.records.push_back(
+      rec(20, 1, Phase::kReturn, Op::kThrCreate, {ObjKind::kThread, 0}, 5));
+  t.records.push_back(
+      rec(25, 1, Phase::kCall, Op::kThrJoin, {ObjKind::kThread, 4}));
+  t.records.push_back(rec(40, 4, Phase::kCall, Op::kThrExit,
+                          {ObjKind::kThread, 4}));
+  t.records.push_back(rec(52, 5, Phase::kCall, Op::kThrExit,
+                          {ObjKind::kThread, 5}));
+  t.records.push_back(
+      rec(53, 1, Phase::kReturn, Op::kThrJoin, {ObjKind::kThread, 4}, 4));
+  t.records.push_back(
+      rec(60, 1, Phase::kCall, Op::kThrJoin, {ObjKind::kThread, 5}));
+  t.records.push_back(
+      rec(74, 1, Phase::kReturn, Op::kThrJoin, {ObjKind::kThread, 5}, 5));
+  t.records.push_back(rec(80, 1, Phase::kCall, Op::kThrExit,
+                          {ObjKind::kThread, 1}));
+  t.records.push_back(rec(80, 1, Phase::kCall, Op::kEndCollect));
+  return t;
+}
+
+TEST(OpNames, RoundTripEveryOp) {
+  for (int i = 0; i <= static_cast<int>(Op::kIoWait); ++i) {
+    const Op op = static_cast<Op>(i);
+    Op back;
+    ASSERT_TRUE(op_from_name(op_name(op), back)) << op_name(op);
+    EXPECT_EQ(back, op);
+  }
+  Op dummy;
+  EXPECT_FALSE(op_from_name("nonsense", dummy));
+}
+
+TEST(OpNames, Classification) {
+  EXPECT_TRUE(op_may_block(Op::kMutexLock));
+  EXPECT_TRUE(op_may_block(Op::kThrJoin));
+  EXPECT_FALSE(op_may_block(Op::kMutexUnlock));
+  EXPECT_TRUE(op_is_try(Op::kMutexTrylock));
+  EXPECT_FALSE(op_is_try(Op::kMutexLock));
+  EXPECT_EQ(op_obj_kind(Op::kSemaPost), ObjKind::kSema);
+  EXPECT_EQ(op_obj_kind(Op::kThrCreate), ObjKind::kThread);
+}
+
+TEST(StringPoolTest, InternsAndDedupes) {
+  StringPool pool;
+  EXPECT_EQ(pool.intern(""), 0u);
+  const auto a = pool.intern("ocean.cpp");
+  const auto b = pool.intern("fft.cpp");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(pool.intern("ocean.cpp"), a);
+  EXPECT_EQ(pool.get(a), "ocean.cpp");
+  EXPECT_THROW(pool.get(999), Error);
+}
+
+TEST(TraceTest, AddLocationDedupes) {
+  Trace t;
+  const auto a = t.add_location("x.cpp", 10, "f");
+  const auto b = t.add_location("x.cpp", 10, "f");
+  const auto c = t.add_location("x.cpp", 11, "f");
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_EQ(t.locations.size(), 3u);  // reserved slot 0 + two sites
+}
+
+TEST(TraceTest, DurationIsLastRecord) {
+  const Trace t = example_trace();
+  EXPECT_EQ(t.duration(), SimTime::micros(80));
+  EXPECT_EQ(Trace{}.duration(), SimTime::zero());
+}
+
+TEST(TraceTest, ValidateAcceptsWellFormed) {
+  EXPECT_NO_THROW(example_trace().validate());
+}
+
+TEST(TraceTest, ValidateRejectsTimeTravel) {
+  Trace t = example_trace();
+  t.records[3].at = SimTime::micros(1);  // earlier than record 2
+  EXPECT_THROW(t.validate(), Error);
+}
+
+TEST(TraceTest, ValidateRejectsUnknownThread) {
+  Trace t = example_trace();
+  t.records[1].tid = 77;
+  EXPECT_THROW(t.validate(), Error);
+}
+
+TEST(TraceTest, ValidateRejectsUnmatchedReturn) {
+  Trace t = example_trace();
+  t.records[2].op = Op::kMutexLock;  // return of a call never made
+  EXPECT_THROW(t.validate(), Error);
+}
+
+TEST(TraceTest, SplitByThreadPreservesOrder) {
+  // Paper fig. 4: the simulator sorts the log into per-thread lists.
+  const Trace t = example_trace();
+  const auto lists = split_by_thread(t);
+  ASSERT_EQ(lists.size(), 3u);
+  EXPECT_EQ(lists.at(1).size(), 11u);
+  EXPECT_EQ(lists.at(4).size(), 1u);
+  EXPECT_EQ(lists.at(5).size(), 1u);
+  for (const auto& [tid, list] : lists) {
+    for (std::size_t i = 1; i < list.size(); ++i)
+      EXPECT_GE(list[i].at, list[i - 1].at);
+    for (const auto& r : list) EXPECT_EQ(r.tid, tid);
+  }
+}
+
+TEST(TraceTest, ComputeStats) {
+  const TraceStats s = compute_stats(example_trace());
+  EXPECT_EQ(s.records, 13u);
+  EXPECT_EQ(s.threads, 3u);
+  EXPECT_EQ(s.duration, SimTime::micros(80));
+  EXPECT_EQ(s.per_op.at(Op::kThrCreate), 2u);
+  EXPECT_EQ(s.per_op.at(Op::kThrJoin), 2u);
+  EXPECT_EQ(s.per_op.at(Op::kThrExit), 3u);
+  EXPECT_GT(s.events_per_second, 0.0);
+}
+
+TEST(TraceIo, RoundTripPreservesEverything) {
+  Trace t = example_trace();
+  t.add_location("demo.cpp", 42, "main");
+  t.records[1].loc = 0;
+  const std::string text = to_text(t);
+  const Trace back = from_text(text);
+  ASSERT_EQ(back.records.size(), t.records.size());
+  for (std::size_t i = 0; i < t.records.size(); ++i) {
+    EXPECT_EQ(back.records[i].at, t.records[i].at) << i;
+    EXPECT_EQ(back.records[i].tid, t.records[i].tid) << i;
+    EXPECT_EQ(back.records[i].phase, t.records[i].phase) << i;
+    EXPECT_EQ(back.records[i].op, t.records[i].op) << i;
+    EXPECT_EQ(back.records[i].obj, t.records[i].obj) << i;
+    EXPECT_EQ(back.records[i].arg, t.records[i].arg) << i;
+  }
+  ASSERT_EQ(back.threads.size(), 3u);
+  EXPECT_EQ(back.strings.get(back.find_thread(4)->name), "thr_a");
+  // Serialization is deterministic.
+  EXPECT_EQ(to_text(back), text);
+}
+
+TEST(TraceIo, RejectsMalformedInput) {
+  EXPECT_THROW(from_text("garbage line\n"), Error);
+  EXPECT_THROW(from_text("rec 1 2 C\n"), Error);
+  EXPECT_THROW(from_text("rec 0 1 X thr_exit thread 1 0 0 0\n"), Error);
+  EXPECT_THROW(from_text("rec 0 1 C no_such_op thread 1 0 0 0\n"), Error);
+  EXPECT_THROW(from_text("loc 5 f.cpp 1 f\n"), Error);  // non-dense index
+}
+
+TEST(TraceIo, IgnoresCommentsAndBlankLines) {
+  const Trace t = from_text(
+      "# comment\n"
+      "\n"
+      "thread 1 main main 0 0\n"
+      "rec 0 1 C start_collect none 0 0 0 0\n");
+  EXPECT_EQ(t.records.size(), 1u);
+}
+
+TEST(TraceIo, FileRoundTrip) {
+  const Trace t = example_trace();
+  const std::string path = testing::TempDir() + "/vppb_trace_test.log";
+  save_file(t, path);
+  const Trace back = load_file(path);
+  EXPECT_EQ(back.records.size(), t.records.size());
+  EXPECT_THROW(load_file("/nonexistent/dir/x.log"), Error);
+}
+
+TEST(TraceTest, LocationString) {
+  Trace t = example_trace();
+  const auto loc = t.add_location("demo.cpp", 42, "main");
+  t.records[1].loc = loc;
+  EXPECT_EQ(t.location_string(t.records[1]), "demo.cpp:42");
+  EXPECT_EQ(t.location_string(t.records[0]), "");
+}
+
+}  // namespace
+}  // namespace vppb::trace

@@ -1,0 +1,64 @@
+// Tests for the Solaris TS dispatch table.
+#include <gtest/gtest.h>
+
+#include "core/ts_table.hpp"
+#include "util/error.hpp"
+
+namespace vppb::core {
+namespace {
+
+TEST(TsTableTest, SixtyLevels) {
+  const TsTable t = TsTable::solaris_default();
+  EXPECT_EQ(kTsLevels, 60);
+  EXPECT_EQ(t.entries.size(), 60u);
+}
+
+TEST(TsTableTest, QuantaDecreaseWithPriority) {
+  // Classic ts_dptbl: 200ms at the bottom, 20ms at the top.
+  const TsTable t = TsTable::solaris_default();
+  EXPECT_EQ(t.entry(0).quantum, SimTime::millis(200));
+  EXPECT_EQ(t.entry(9).quantum, SimTime::millis(200));
+  EXPECT_EQ(t.entry(10).quantum, SimTime::millis(160));
+  EXPECT_EQ(t.entry(29).quantum, SimTime::millis(120));
+  EXPECT_EQ(t.entry(42).quantum, SimTime::millis(40));
+  EXPECT_EQ(t.entry(59).quantum, SimTime::millis(20));
+  for (int level = 1; level < kTsLevels; ++level) {
+    EXPECT_LE(t.entry(level).quantum, t.entry(level - 1).quantum) << level;
+  }
+}
+
+TEST(TsTableTest, ExpiryDropsSleepReturnBoosts) {
+  const TsTable t = TsTable::solaris_default();
+  for (int level = 0; level < kTsLevels; ++level) {
+    const TsEntry& e = t.entry(level);
+    EXPECT_LE(e.on_expiry, level) << "expiry must not raise priority";
+    EXPECT_GE(e.on_sleep_return, 50) << "sleep return boosts into the 50s";
+    EXPECT_LT(e.on_sleep_return, kTsLevels);
+    EXPECT_GE(e.on_starve, e.on_expiry);
+  }
+  EXPECT_EQ(t.entry(35).on_expiry, 25);
+  EXPECT_EQ(t.entry(5).on_expiry, 0);
+}
+
+TEST(TsTableTest, ClampBoundsLevels) {
+  const TsTable t = TsTable::solaris_default();
+  EXPECT_EQ(t.clamp(-5), 0);
+  EXPECT_EQ(t.clamp(99), 59);
+  EXPECT_EQ(t.clamp(30), 30);
+  // entry() uses clamp internally.
+  EXPECT_EQ(&t.entry(-1), &t.entry(0));
+  EXPECT_EQ(&t.entry(200), &t.entry(59));
+}
+
+TEST(TsTableTest, FlatTableIsInert) {
+  const TsTable t = TsTable::flat(SimTime::millis(50));
+  for (int level = 0; level < kTsLevels; ++level) {
+    EXPECT_EQ(t.entry(level).quantum, SimTime::millis(50));
+    EXPECT_EQ(t.entry(level).on_expiry, level);
+    EXPECT_EQ(t.entry(level).on_sleep_return, level);
+  }
+  EXPECT_THROW(TsTable::flat(SimTime::zero()), Error);
+}
+
+}  // namespace
+}  // namespace vppb::core

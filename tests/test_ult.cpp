@@ -1,0 +1,325 @@
+// Unit tests for the user-level threads runtime (the one-LWP Solaris
+// libthread substitute): fibers, scheduling order, clock charging,
+// timers, deadlock/livelock detection.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "ult/runtime.hpp"
+#include "util/error.hpp"
+
+namespace vppb::ult {
+namespace {
+
+TEST(WaitQueueTest, FifoWithinPriority) {
+  WaitQueue q;
+  q.push(10, 0);
+  q.push(11, 0);
+  q.push(12, 0);
+  EXPECT_EQ(q.pop(), 10);
+  EXPECT_EQ(q.pop(), 11);
+  EXPECT_EQ(q.pop(), 12);
+  EXPECT_EQ(q.pop(), kNoThread);
+}
+
+TEST(WaitQueueTest, PriorityBeatsArrival) {
+  WaitQueue q;
+  q.push(10, 0);
+  q.push(11, 5);
+  q.push(12, 5);
+  EXPECT_EQ(q.pop(), 11);
+  EXPECT_EQ(q.pop(), 12);
+  EXPECT_EQ(q.pop(), 10);
+}
+
+TEST(WaitQueueTest, RemoveSpecific) {
+  WaitQueue q;
+  q.push(10, 0);
+  q.push(11, 0);
+  EXPECT_TRUE(q.remove(10));
+  EXPECT_FALSE(q.remove(10));
+  EXPECT_EQ(q.pop(), 11);
+}
+
+TEST(WaitQueueTest, SnapshotIsWakeOrder) {
+  WaitQueue q;
+  q.push(10, 0);
+  q.push(11, 3);
+  q.push(12, 0);
+  const auto snap = q.snapshot();
+  ASSERT_EQ(snap.size(), 3u);
+  EXPECT_EQ(snap[0], 11);
+  EXPECT_EQ(snap[1], 10);
+  EXPECT_EQ(snap[2], 12);
+}
+
+TEST(RuntimeTest, MainRunsToCompletion) {
+  Runtime rt;
+  bool ran = false;
+  rt.run([&]() { ran = true; });
+  EXPECT_TRUE(ran);
+}
+
+TEST(RuntimeTest, SolarisStyleThreadIds) {
+  Runtime rt;
+  std::vector<ThreadId> ids;
+  rt.run([&]() {
+    ids.push_back(Runtime::current().current_tid());
+    ids.push_back(Runtime::current().spawn([] {}));
+    ids.push_back(Runtime::current().spawn([] {}));
+  });
+  // main = 1, then 4, 5 — ids 2 and 3 are reserved as in Solaris.
+  ASSERT_EQ(ids.size(), 3u);
+  EXPECT_EQ(ids[0], 1);
+  EXPECT_EQ(ids[1], 4);
+  EXPECT_EQ(ids[2], 5);
+}
+
+TEST(RuntimeTest, CooperativeNoPreemptionBetweenLibraryCalls) {
+  // A spawned thread does not run until the spawner yields: on one LWP
+  // context switches happen only at thread-library calls.
+  Runtime rt;
+  std::string order;
+  rt.run([&]() {
+    auto& r = Runtime::current();
+    r.spawn([&order]() { order += 'b'; });
+    order += 'a';
+    r.yield();
+    order += 'c';
+  });
+  EXPECT_EQ(order, "abc");
+}
+
+TEST(RuntimeTest, HigherPriorityRunsFirst) {
+  Runtime rt;
+  std::string order;
+  rt.run([&]() {
+    auto& r = Runtime::current();
+    r.spawn([&order]() { order += 'l'; }, 1);
+    r.spawn([&order]() { order += 'h'; }, 10);
+    r.yield();  // main has priority 0 and re-queues behind both
+  });
+  EXPECT_EQ(order, "hl");
+}
+
+TEST(RuntimeTest, VirtualWorkAdvancesClockAndCpuTime) {
+  Runtime rt;
+  SimTime at_end;
+  SimTime cpu;
+  rt.run([&]() {
+    auto& r = Runtime::current();
+    r.work(SimTime::micros(100));
+    r.work(SimTime::micros(50));
+    at_end = r.now();
+    cpu = r.cpu_time(r.current_tid());
+  });
+  EXPECT_EQ(at_end, SimTime::micros(150));
+  EXPECT_EQ(cpu, SimTime::micros(150));
+}
+
+TEST(RuntimeTest, CpuTimeChargedPerThread) {
+  Runtime rt;
+  SimTime main_cpu, child_cpu;
+  rt.run([&]() {
+    auto& r = Runtime::current();
+    const ThreadId child = r.spawn([&r]() { r.work(SimTime::micros(30)); });
+    r.work(SimTime::micros(10));
+    r.yield();  // let the child run
+    main_cpu = r.cpu_time(r.current_tid());
+    child_cpu = r.cpu_time(child);
+  });
+  EXPECT_EQ(main_cpu, SimTime::micros(10));
+  EXPECT_EQ(child_cpu, SimTime::micros(30));
+}
+
+TEST(RuntimeTest, BlockAndWake) {
+  Runtime rt;
+  WaitQueue q;
+  std::string order;
+  rt.run([&]() {
+    auto& r = Runtime::current();
+    r.spawn([&]() {
+      order += 'w';
+      r.block_current(q);
+      order += 'W';
+    });
+    r.yield();  // child runs, blocks
+    order += 'm';
+    r.wake_one(q);
+    r.yield();  // child resumes
+    order += 'M';
+  });
+  EXPECT_EQ(order, "wmWM");
+}
+
+TEST(RuntimeTest, SleepUntilAdvancesIdleClock) {
+  Runtime rt;
+  SimTime woke_at;
+  rt.run([&]() {
+    auto& r = Runtime::current();
+    r.sleep_until(SimTime::millis(5));
+    woke_at = r.now();
+  });
+  EXPECT_EQ(woke_at, SimTime::millis(5));
+}
+
+TEST(RuntimeTest, TimedBlockTimesOut) {
+  Runtime rt;
+  WaitQueue q;
+  bool woken = true;
+  SimTime at;
+  rt.run([&]() {
+    auto& r = Runtime::current();
+    woken = r.block_current_until(q, SimTime::micros(250));
+    at = r.now();
+  });
+  EXPECT_FALSE(woken);
+  EXPECT_EQ(at, SimTime::micros(250));
+  EXPECT_TRUE(q.empty()) << "timed-out sleeper must leave the queue";
+}
+
+TEST(RuntimeTest, TimedBlockWokenBeforeDeadline) {
+  Runtime rt;
+  WaitQueue q;
+  bool woken = false;
+  rt.run([&]() {
+    auto& r = Runtime::current();
+    r.spawn([&]() { woken = r.block_current_until(q, SimTime::seconds(9)); });
+    r.yield();
+    r.work(SimTime::micros(10));
+    r.wake_one(q);
+  });
+  EXPECT_TRUE(woken);
+}
+
+TEST(RuntimeTest, DeadlockDetected) {
+  Runtime rt;
+  WaitQueue q;
+  EXPECT_THROW(rt.run([&]() { Runtime::current().block_current(q); }),
+               Error);
+}
+
+TEST(RuntimeTest, LivelockHorizonAborts) {
+  Runtime::Config cfg;
+  cfg.livelock_horizon = SimTime::millis(1);
+  Runtime rt(cfg);
+  // The paper's §6 spinning-thread limitation: a thread that computes
+  // forever without blocking starves everyone; the horizon catches it.
+  EXPECT_THROW(rt.run([]() {
+                 auto& r = Runtime::current();
+                 for (;;) r.work(SimTime::micros(100));
+               }),
+               Error);
+}
+
+TEST(RuntimeTest, ContextSwitchBoundAborts) {
+  Runtime::Config cfg;
+  cfg.max_context_switches = 100;
+  Runtime rt(cfg);
+  EXPECT_THROW(rt.run([]() {
+                 auto& r = Runtime::current();
+                 for (;;) r.yield();
+               }),
+               Error);
+}
+
+TEST(RuntimeTest, DaemonThreadDoesNotKeepProgramAlive) {
+  Runtime rt;
+  WaitQueue q;
+  rt.run([&]() {
+    auto& r = Runtime::current();
+    r.spawn([&]() { r.block_current(q); }, kDefaultPriority, /*daemon=*/true);
+    r.yield();
+  });
+  SUCCEED();  // run() returned even though the daemon is still blocked
+}
+
+TEST(RuntimeTest, ExitWaitersWokenOnExit) {
+  Runtime rt;
+  std::string order;
+  rt.run([&]() {
+    auto& r = Runtime::current();
+    const ThreadId child = r.spawn([&]() { order += 'c'; });
+    r.block_current(r.exit_waiters(child));
+    order += 'm';
+    EXPECT_EQ(r.state(child), ThreadState::kDone);
+  });
+  EXPECT_EQ(order, "cm");
+}
+
+TEST(RuntimeTest, SetPriorityRequeuesRunnableThread) {
+  Runtime rt;
+  std::string order;
+  rt.run([&]() {
+    auto& r = Runtime::current();
+    const ThreadId a = r.spawn([&order]() { order += 'a'; });
+    r.spawn([&order]() { order += 'b'; });
+    r.set_priority(a, 0);  // same priority: 'a' keeps FIFO position
+    r.yield();
+    order += 'm';
+    r.set_priority(r.current_tid(), 5);
+    EXPECT_EQ(r.priority(r.current_tid()), 5);
+  });
+  EXPECT_EQ(order, "abm");
+}
+
+TEST(RuntimeTest, StateDumpListsThreads) {
+  Runtime rt;
+  std::string dump;
+  rt.run([&]() {
+    auto& r = Runtime::current();
+    r.spawn([&r]() { r.yield(); }, 2, false, "worker");
+    dump = r.state_dump();
+  });
+  EXPECT_NE(dump.find("T1 (main) running"), std::string::npos);
+  EXPECT_NE(dump.find("(worker) runnable"), std::string::npos);
+}
+
+TEST(RuntimeTest, RealClockChargesElapsedTime) {
+  Runtime::Config cfg;
+  cfg.clock_mode = ClockMode::kReal;
+  Runtime rt(cfg);
+  SimTime cpu;
+  rt.run([&]() {
+    auto& r = Runtime::current();
+    // Busy-spin ~2 ms of real time between library calls.
+    const auto t0 = std::chrono::steady_clock::now();
+    volatile double x = 1.0;
+    while (std::chrono::steady_clock::now() - t0 <
+           std::chrono::milliseconds(2))
+      x = x * 1.0000001;
+    r.stamp_now();
+    cpu = r.cpu_time(r.current_tid());
+  });
+  EXPECT_GE(cpu, SimTime::millis(2));
+  EXPECT_LT(cpu, SimTime::millis(500));
+}
+
+TEST(RuntimeTest, NestedRunRejected) {
+  Runtime rt;
+  rt.run([&]() {
+    Runtime inner;
+    EXPECT_THROW(inner.run([] {}), Error);
+  });
+}
+
+TEST(RuntimeTest, ManyThreadsRoundRobin) {
+  Runtime rt;
+  int completed = 0;
+  rt.run([&]() {
+    auto& r = Runtime::current();
+    for (int i = 0; i < 200; ++i) {
+      r.spawn([&completed, &r]() {
+        r.work(SimTime::micros(1));
+        r.yield();
+        r.work(SimTime::micros(1));
+        ++completed;
+      });
+    }
+  });
+  EXPECT_EQ(completed, 200);
+}
+
+}  // namespace
+}  // namespace vppb::ult

@@ -1,0 +1,201 @@
+// Unit tests for src/util: time arithmetic, parsing, flags, stats, rng.
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+#include "util/flags.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+#include "util/time.hpp"
+
+namespace vppb {
+namespace {
+
+TEST(SimTime, ConstructionAndConversion) {
+  EXPECT_EQ(SimTime::micros(5).ns(), 5000);
+  EXPECT_EQ(SimTime::millis(2).us(), 2000);
+  EXPECT_DOUBLE_EQ(SimTime::seconds(1.5).seconds_d(), 1.5);
+  EXPECT_TRUE(SimTime::zero().is_zero());
+}
+
+TEST(SimTime, Arithmetic) {
+  const SimTime a = SimTime::micros(10);
+  const SimTime b = SimTime::micros(4);
+  EXPECT_EQ((a + b).us(), 14);
+  EXPECT_EQ((a - b).us(), 6);
+  EXPECT_EQ((a * 3).us(), 30);
+  EXPECT_EQ(a / b, 2);
+  EXPECT_LT(b, a);
+  EXPECT_EQ(a.scaled(0.5).us(), 5);
+}
+
+TEST(SimTime, Formatting) {
+  EXPECT_EQ(SimTime::nanos(12).to_string(), "12ns");
+  EXPECT_EQ(SimTime::micros(3).to_string(), "3.000us");
+  EXPECT_EQ(SimTime::millis(4).to_string(), "4.000ms");
+  EXPECT_EQ(SimTime::seconds(2.5).to_string(), "2.500s");
+}
+
+TEST(Strings, Split) {
+  const auto f = split("a b  c", ' ');
+  ASSERT_EQ(f.size(), 3u);
+  EXPECT_EQ(f[0], "a");
+  EXPECT_EQ(f[2], "c");
+  EXPECT_EQ(split("a,,b", ',', /*keep_empty=*/true).size(), 3u);
+  EXPECT_TRUE(split("", ' ').empty());
+}
+
+TEST(Strings, Trim) {
+  EXPECT_EQ(trim("  x \t\n"), "x");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim("abc"), "abc");
+}
+
+TEST(Strings, ParseI64) {
+  std::int64_t v = 0;
+  EXPECT_TRUE(parse_i64("-42", v));
+  EXPECT_EQ(v, -42);
+  EXPECT_FALSE(parse_i64("12x", v));
+  EXPECT_FALSE(parse_i64("", v));
+  EXPECT_TRUE(parse_i64("9223372036854775807", v));
+  EXPECT_FALSE(parse_i64("9223372036854775808", v));
+}
+
+TEST(Strings, ParseDouble) {
+  double d = 0;
+  EXPECT_TRUE(parse_double("2.5e3", d));
+  EXPECT_DOUBLE_EQ(d, 2500.0);
+  EXPECT_FALSE(parse_double("abc", d));
+}
+
+TEST(Flags, ParseAllKinds) {
+  Flags flags;
+  flags.define_i64("cpus", 1, "processor count");
+  flags.define_double("delay", 0.5, "comm delay");
+  flags.define_bool("verbose", false, "chatty");
+  flags.define_string("out", "x.svg", "output file");
+  const char* argv[] = {"prog",      "--cpus=8", "--delay", "1.25",
+                        "--verbose", "--out",    "y.svg",   "pos1"};
+  flags.parse(8, argv);
+  EXPECT_EQ(flags.i64("cpus"), 8);
+  EXPECT_DOUBLE_EQ(flags.dbl("delay"), 1.25);
+  EXPECT_TRUE(flags.boolean("verbose"));
+  EXPECT_EQ(flags.str("out"), "y.svg");
+  ASSERT_EQ(flags.positional().size(), 1u);
+  EXPECT_EQ(flags.positional()[0], "pos1");
+}
+
+TEST(Flags, NegatedBoolAndErrors) {
+  Flags flags;
+  flags.define_bool("record", true, "record");
+  const char* argv[] = {"prog", "--no-record"};
+  flags.parse(2, argv);
+  EXPECT_FALSE(flags.boolean("record"));
+
+  Flags bad;
+  const char* argv2[] = {"prog", "--nope"};
+  EXPECT_THROW(bad.parse(2, argv2), Error);
+}
+
+TEST(Flags, MalformedValueThrows) {
+  Flags flags;
+  flags.define_i64("n", 0, "count");
+  const char* argv[] = {"prog", "--n=abc"};
+  EXPECT_THROW(flags.parse(2, argv), Error);
+}
+
+TEST(Stats, AccumulatorMoments) {
+  Accumulator acc;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) acc.add(x);
+  EXPECT_EQ(acc.count(), 8u);
+  EXPECT_DOUBLE_EQ(acc.mean(), 5.0);
+  EXPECT_NEAR(acc.stddev(), 2.138, 1e-3);
+  EXPECT_DOUBLE_EQ(acc.min(), 2.0);
+  EXPECT_DOUBLE_EQ(acc.max(), 9.0);
+}
+
+TEST(Stats, MedianOddEven) {
+  EXPECT_DOUBLE_EQ(median({3.0, 1.0, 2.0}), 2.0);
+  EXPECT_DOUBLE_EQ(median({4.0, 1.0, 2.0, 3.0}), 2.5);
+  EXPECT_THROW(median({}), Error);
+}
+
+TEST(Stats, PredictionErrorMatchesPaperDefinition) {
+  // Paper: error = (real - predicted) / real; Ocean 8p: (6.65-6.24)/6.65.
+  EXPECT_NEAR(prediction_error(6.65, 6.24), 0.0617, 1e-4);
+  EXPECT_DOUBLE_EQ(prediction_error(2.0, 2.0), 0.0);
+}
+
+TEST(Stats, HistogramClampsOutOfRange) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(-1.0);
+  h.add(3.0);
+  h.add(99.0, 2.0);
+  EXPECT_DOUBLE_EQ(h.bucket_weight(0), 1.0);
+  EXPECT_DOUBLE_EQ(h.bucket_weight(1), 1.0);
+  EXPECT_DOUBLE_EQ(h.bucket_weight(4), 2.0);
+  EXPECT_DOUBLE_EQ(h.total(), 4.0);
+}
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, UniformBounds) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = r.uniform(2.0, 3.0);
+    EXPECT_GE(x, 2.0);
+    EXPECT_LT(x, 3.0);
+    const auto n = r.below(10);
+    EXPECT_LT(n, 10u);
+  }
+}
+
+TEST(Rng, GaussianMoments) {
+  Rng r(42);
+  Accumulator acc;
+  for (int i = 0; i < 20000; ++i) acc.add(r.gaussian(10.0, 2.0));
+  EXPECT_NEAR(acc.mean(), 10.0, 0.1);
+  EXPECT_NEAR(acc.stddev(), 2.0, 0.1);
+}
+
+TEST(Rng, JitterFactorBoundedAndCentered) {
+  Rng r(5);
+  Accumulator acc;
+  for (int i = 0; i < 5000; ++i) {
+    const double f = r.jitter_factor(0.02);
+    EXPECT_GE(f, 1.0 - 0.08);
+    EXPECT_LE(f, 1.0 + 0.08);
+    acc.add(f);
+  }
+  EXPECT_NEAR(acc.mean(), 1.0, 0.01);
+  EXPECT_DOUBLE_EQ(r.jitter_factor(0.0), 1.0);
+}
+
+TEST(TextTable, RendersAlignedColumns) {
+  TextTable t;
+  t.header({"App", "Speed-up"});
+  t.row({"Ocean", "6.24"});
+  t.row({"FFT", "2.61"});
+  const std::string s = t.render();
+  EXPECT_NE(s.find("App   | Speed-up"), std::string::npos);
+  EXPECT_NE(s.find("------+---------"), std::string::npos);
+  EXPECT_NE(s.find("Ocean | 6.24"), std::string::npos);
+}
+
+TEST(Error, CheckMacroThrows) {
+  EXPECT_THROW(VPPB_CHECK(1 == 2), Error);
+  EXPECT_NO_THROW(VPPB_CHECK(1 == 1));
+  try {
+    VPPB_CHECK_MSG(false, "context " << 42);
+    FAIL();
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("context 42"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace vppb

@@ -1,0 +1,350 @@
+// Tests for the Visualizer: view control (zoom keeps the left edge,
+// interval selection), thread filtering/compression, event navigation
+// (popup info, same-thread and similar-event stepping), source mapping,
+// and the SVG/ASCII renderers.
+#include <gtest/gtest.h>
+
+#include "core/engine.hpp"
+#include "recorder/recorder.hpp"
+#include "solaris/program.hpp"
+#include "solaris/solaris.hpp"
+#include "util/error.hpp"
+#include "util/strings.hpp"
+#include "viz/visualizer.hpp"
+#include "workloads/prodcons.hpp"
+
+namespace vppb::viz {
+namespace {
+
+struct Fixture {
+  trace::Trace log;
+  core::SimResult result;
+
+  explicit Fixture(int cpus = 2) {
+    sol::Program program;
+    log = rec::record_program(program, []() {
+      sol::Semaphore sem(0u);
+      sol::thread_t a = 0, b = 0;
+      sol::thr_create_fn(
+          [&sem]() -> void* {
+            sol::compute(SimTime::millis(5));
+            sem.post();
+            sol::compute(SimTime::millis(5));
+            return nullptr;
+          },
+          0, &a, "poster");
+      sol::thr_create_fn(
+          [&sem]() -> void* {
+            sem.wait();
+            sol::compute(SimTime::millis(8));
+            return nullptr;
+          },
+          0, &b, "waiter");
+      sol::join_all();
+    });
+    core::SimConfig cfg;
+    cfg.hw.cpus = cpus;
+    result = core::simulate(log, cfg);
+  }
+};
+
+TEST(ViewTest, ResetSpansWholeRun) {
+  Fixture f;
+  Visualizer v(f.result, f.log);
+  EXPECT_EQ(v.view().t0, SimTime::zero());
+  EXPECT_EQ(v.view().t1, f.result.total);
+}
+
+TEST(ViewTest, ZoomKeepsLeftEdgeFixed) {
+  // Paper §3.3: "the zoom keeps the left-most time fixed".
+  Fixture f;
+  Visualizer v(f.result, f.log);
+  const SimTime t0 = v.view().t0;
+  const SimTime width = v.view().width();
+  v.zoom_in(1.5);
+  EXPECT_EQ(v.view().t0, t0);
+  EXPECT_NEAR(static_cast<double>(v.view().width().ns()),
+              static_cast<double>(width.ns()) / 1.5, 2.0);
+  v.zoom_in(3.0);
+  EXPECT_EQ(v.view().t0, t0);
+  v.zoom_out(1.5);
+  EXPECT_EQ(v.view().t0, t0);
+  EXPECT_THROW(v.zoom_in(0.5), Error);
+}
+
+TEST(ViewTest, ZoomOutClampsToRunEnd) {
+  Fixture f;
+  Visualizer v(f.result, f.log);
+  v.zoom_out(100.0);
+  EXPECT_LE(v.view().t1, f.result.total);
+}
+
+TEST(ViewTest, IntervalSelection) {
+  Fixture f;
+  Visualizer v(f.result, f.log);
+  const SimTime a = f.result.total.scaled(0.25);
+  const SimTime b = f.result.total.scaled(0.5);
+  v.select_interval(a, b);
+  EXPECT_EQ(v.view().t0, a);
+  EXPECT_EQ(v.view().t1, b);
+  EXPECT_THROW(v.select_interval(b, a), Error);
+}
+
+TEST(ThreadsTest, VisibleDefaultsToAll) {
+  Fixture f;
+  Visualizer v(f.result, f.log);
+  EXPECT_EQ(v.visible_threads().size(), f.result.threads.size());
+}
+
+TEST(ThreadsTest, ManualSelection) {
+  Fixture f;
+  Visualizer v(f.result, f.log);
+  v.set_visible_threads({4});
+  ASSERT_EQ(v.visible_threads().size(), 1u);
+  EXPECT_EQ(v.visible_threads()[0], 4);
+  v.show_all_threads();
+  EXPECT_GT(v.visible_threads().size(), 1u);
+}
+
+TEST(ThreadsTest, CompressionHidesInactive) {
+  Fixture f;
+  Visualizer v(f.result, f.log);
+  // The waiter (T5) is blocked for the first ~5ms; a view inside that
+  // window must hide it after compression... unless it is runnable.
+  v.select_interval(SimTime::micros(100), SimTime::millis(2));
+  v.compress_threads();
+  bool waiter_visible = false;
+  for (const ThreadId tid : v.visible_threads()) {
+    if (tid == 5) waiter_visible = true;
+  }
+  EXPECT_FALSE(waiter_visible)
+      << "a thread blocked for the whole interval is not active";
+  // Over the whole run both workers are active; main never runs (it
+  // blocks in join for the entire execution), so compression drops it.
+  v.reset_view();
+  v.compress_threads();
+  EXPECT_EQ(v.visible_threads().size(), 2u);
+}
+
+TEST(EventsTest, OrderedByTime) {
+  Fixture f;
+  Visualizer v(f.result, f.log);
+  ASSERT_GT(v.event_count(), 0u);
+  for (std::size_t i = 1; i < v.event_count(); ++i) {
+    EXPECT_GE(v.event(i).at, v.event(i - 1).at);
+  }
+  EXPECT_THROW(v.event(v.event_count()), Error);
+}
+
+TEST(EventsTest, EventNearFindsClosest) {
+  Fixture f;
+  Visualizer v(f.result, f.log);
+  // The poster's sema_post happens at ~5ms.
+  const auto idx = v.event_near(4, SimTime::millis(5));
+  ASSERT_TRUE(idx.has_value());
+  EXPECT_EQ(v.event(*idx).tid, 4);
+  EXPECT_FALSE(v.event_near(99, SimTime::zero()).has_value());
+}
+
+TEST(EventsTest, PopupInfoFields) {
+  Fixture f;
+  Visualizer v(f.result, f.log);
+  std::size_t post_idx = 0;
+  for (std::size_t i = 0; i < v.event_count(); ++i) {
+    if (v.event(i).op == trace::Op::kSemaPost) post_idx = i;
+  }
+  const EventInfo info = v.event_info(post_idx);
+  EXPECT_EQ(info.tid, 4);
+  EXPECT_EQ(info.thread_name, "poster");
+  EXPECT_EQ(info.start_func, "poster");
+  EXPECT_EQ(info.op, "sema_post");
+  EXPECT_EQ(info.object, "sema#1");
+  EXPECT_GE(info.cpu, 0);
+  EXPECT_EQ(info.started, SimTime::millis(5));
+  EXPECT_GE(info.thread_working, SimTime::millis(10));
+  EXPECT_NE(info.source.find("test_viz.cpp"), std::string::npos);
+}
+
+TEST(EventsTest, SelectCentersView) {
+  Fixture f;
+  Visualizer v(f.result, f.log);
+  v.zoom_in(3.0);
+  std::size_t post_idx = 0;
+  for (std::size_t i = 0; i < v.event_count(); ++i) {
+    if (v.event(i).op == trace::Op::kSemaPost) post_idx = i;
+  }
+  v.select_event(post_idx);
+  ASSERT_TRUE(v.selected_event().has_value());
+  EXPECT_EQ(*v.selected_event(), post_idx);
+  const SimTime at = v.event(post_idx).at;
+  EXPECT_LE(v.view().t0, at);
+  EXPECT_GE(v.view().t1, at);
+}
+
+TEST(EventsTest, SameThreadStepping) {
+  Fixture f;
+  Visualizer v(f.result, f.log);
+  // First event of T4, then walk forward through all of T4's events.
+  std::optional<std::size_t> cursor;
+  for (std::size_t i = 0; i < v.event_count(); ++i) {
+    if (v.event(i).tid == 4) {
+      cursor = i;
+      break;
+    }
+  }
+  ASSERT_TRUE(cursor.has_value());
+  int count = 1;
+  while (auto next = v.next_event_same_thread(*cursor)) {
+    EXPECT_EQ(v.event(*next).tid, 4);
+    cursor = next;
+    ++count;
+  }
+  EXPECT_GE(count, 2);  // at least post + exit
+  // And back again.
+  while (auto prev = v.prev_event_same_thread(*cursor)) {
+    EXPECT_EQ(v.event(*prev).tid, 4);
+    cursor = prev;
+    --count;
+  }
+  EXPECT_EQ(count, 1);
+}
+
+TEST(EventsTest, SimilarSteppingFollowsObject) {
+  Fixture f;
+  Visualizer v(f.result, f.log);
+  // The first semaphore op: its "similar" successor must be on the same
+  // semaphore even though another thread causes it.
+  std::optional<std::size_t> first_sema;
+  for (std::size_t i = 0; i < v.event_count(); ++i) {
+    if (v.event(i).obj.kind == trace::ObjKind::kSema) {
+      first_sema = i;
+      break;
+    }
+  }
+  ASSERT_TRUE(first_sema.has_value());
+  const auto next = v.next_similar_event(*first_sema);
+  ASSERT_TRUE(next.has_value());
+  EXPECT_EQ(v.event(*next).obj, v.event(*first_sema).obj);
+  const auto back = v.prev_similar_event(*next);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, *first_sema);
+}
+
+TEST(RenderTest, AsciiFlowShowsStatesAndEvents) {
+  Fixture f(1);  // one CPU: runnable (grey) time is guaranteed
+  Visualizer v(f.result, f.log);
+  const std::string flow = render_flow_ascii(v, 100);
+  EXPECT_NE(flow.find("T1"), std::string::npos);
+  EXPECT_NE(flow.find("T4"), std::string::npos);
+  EXPECT_NE(flow.find('='), std::string::npos);   // running
+  EXPECT_NE(flow.find('.'), std::string::npos);   // runnable
+  EXPECT_NE(flow.find('^'), std::string::npos);   // sema_post
+  EXPECT_NE(flow.find('X'), std::string::npos);   // thr_exit
+  EXPECT_THROW(render_flow_ascii(v, 5), Error);
+}
+
+TEST(RenderTest, AsciiParallelismShowsLoad) {
+  Fixture f(1);
+  Visualizer v(f.result, f.log);
+  const std::string graph = render_parallelism_ascii(v, 80, 6);
+  EXPECT_NE(graph.find('#'), std::string::npos);  // running
+  EXPECT_NE(graph.find('+'), std::string::npos);  // runnable on top
+}
+
+TEST(RenderTest, SvgIsWellFormedAndComplete) {
+  Fixture f;
+  Visualizer v(f.result, f.log);
+  std::size_t post_idx = 0;
+  for (std::size_t i = 0; i < v.event_count(); ++i) {
+    if (v.event(i).op == trace::Op::kSemaPost) post_idx = i;
+  }
+  v.select_event(post_idx);
+  const std::string svg = render_svg(v, RenderOptions{});
+  EXPECT_NE(svg.find("<svg"), std::string::npos);
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+  // The selected event flashes.
+  EXPECT_NE(svg.find("animate"), std::string::npos);
+  // Semaphore arrows are red, per the paper.
+  EXPECT_NE(svg.find("#d62728"), std::string::npos);
+  // Thread labels present.
+  EXPECT_NE(svg.find("poster"), std::string::npos);
+  // Tooltips carry source locations.
+  EXPECT_NE(svg.find("test_viz.cpp"), std::string::npos);
+}
+
+TEST(RenderTest, IndividualGraphRenderers) {
+  Fixture f;
+  Visualizer v(f.result, f.log);
+  EXPECT_NE(render_parallelism_svg(v, RenderOptions{}).find("<svg"),
+            std::string::npos);
+  EXPECT_NE(render_flow_svg(v, RenderOptions{}).find("<svg"),
+            std::string::npos);
+}
+
+TEST(RenderTest, LwpGanttShowsMultiplexing) {
+  // 2 workers + main on 1 LWP: the single LWP's row must carry several
+  // different thread glyphs over time.
+  sol::Program program;
+  const trace::Trace log = rec::record_program(program, []() {
+    for (int i = 0; i < 2; ++i) {
+      sol::thr_create_fn(
+          []() -> void* {
+            sol::compute(SimTime::millis(5));
+            return nullptr;
+          },
+          0, nullptr, "w");
+    }
+    sol::join_all();
+  });
+  core::SimConfig cfg;
+  cfg.hw.cpus = 1;
+  cfg.sched.lwps = 1;
+  const core::SimResult r = core::simulate(log, cfg);
+  Visualizer v(r, log);
+  const std::string gantt = render_lwp_ascii(v, 80);
+  EXPECT_NE(gantt.find("L0"), std::string::npos);
+  // Worker tids 4 and 5 -> glyphs '4' and '5' appear on the same row.
+  EXPECT_NE(gantt.find('4'), std::string::npos);
+  EXPECT_NE(gantt.find('5'), std::string::npos);
+  EXPECT_EQ(gantt.find("L1"), std::string::npos) << "only one LWP existed";
+}
+
+TEST(RenderTest, LwpSvgGantt) {
+  Fixture f(1);
+  Visualizer v(f.result, f.log);
+  const std::string svg = render_lwp_svg(v, RenderOptions{});
+  EXPECT_NE(svg.find("<svg"), std::string::npos);
+  EXPECT_NE(svg.find("L0"), std::string::npos);
+  EXPECT_NE(svg.find("waiting for a CPU"), std::string::npos)
+      << "on one CPU some LWP must have waited";
+}
+
+TEST(RenderTest, HiddenThreadsNotRendered) {
+  Fixture f;
+  Visualizer v(f.result, f.log);
+  v.set_visible_threads({1});
+  const std::string flow = render_flow_ascii(v, 60);
+  EXPECT_NE(flow.find("T1"), std::string::npos);
+  EXPECT_EQ(flow.find("T4"), std::string::npos);
+  const std::string svg = render_flow_svg(v, RenderOptions{});
+  EXPECT_EQ(svg.find("poster"), std::string::npos);
+}
+
+TEST(RenderTest, ZoomedViewClipsSegments) {
+  Fixture f;
+  Visualizer v(f.result, f.log);
+  // Focus on the first millisecond: only the poster runs there.
+  v.select_interval(SimTime::zero(), SimTime::millis(1));
+  const std::string flow = render_flow_ascii(v, 60);
+  // The waiter's row should be blank (blocked on the semaphore).
+  bool waiter_row_blank = false;
+  for (const auto& line : split(flow, '\n')) {
+    if (starts_with(line, "T5")) {
+      waiter_row_blank = line.find('=') == std::string_view::npos;
+    }
+  }
+  EXPECT_TRUE(waiter_row_blank);
+}
+
+}  // namespace
+}  // namespace vppb::viz

@@ -1,0 +1,195 @@
+// Tests for the workload programs themselves: they must run correctly
+// on the one-LWP runtime, be deterministic, scale their trace structure
+// with the thread count, and show the qualitative speed-up shapes of
+// the paper's applications.
+#include <gtest/gtest.h>
+
+#include "core/engine.hpp"
+#include "recorder/recorder.hpp"
+#include "solaris/program.hpp"
+#include "trace/trace.hpp"
+#include "util/error.hpp"
+#include "workloads/prodcons.hpp"
+#include "workloads/splash.hpp"
+#include "workloads/synthetic.hpp"
+
+namespace vppb::workloads {
+namespace {
+
+trace::Trace record(const std::function<void()>& fn) {
+  sol::Program program;
+  return rec::record_program(program, fn);
+}
+
+TEST(SplashSuite, HasFivePaperApps) {
+  const auto suite = splash_suite();
+  ASSERT_EQ(suite.size(), 5u);
+  EXPECT_EQ(suite[0].name, "Ocean");
+  EXPECT_EQ(suite[1].name, "Water-spatial");
+  EXPECT_EQ(suite[2].name, "FFT");
+  EXPECT_EQ(suite[3].name, "Radix");
+  EXPECT_EQ(suite[4].name, "LU");
+}
+
+TEST(SplashSuite, OneWorkerThreadPerProcessor) {
+  for (const auto& app : splash_suite()) {
+    for (int threads : {1, 3, 8}) {
+      const trace::Trace t = record([&app, threads]() {
+        app.run(SplashParams{threads, 0.05});
+      });
+      // main + workers (+ for FFT the coordinator is main itself).
+      const auto expected = static_cast<std::size_t>(threads) + 1;
+      EXPECT_EQ(t.threads.size(), expected) << app.name << "@" << threads;
+    }
+  }
+}
+
+TEST(SplashSuite, DeterministicTraces) {
+  for (const auto& app : splash_suite()) {
+    const auto run = [&app]() {
+      return record([&app]() { app.run(SplashParams{4, 0.05}); });
+    };
+    const trace::Trace a = run();
+    const trace::Trace b = run();
+    ASSERT_EQ(a.records.size(), b.records.size()) << app.name;
+    EXPECT_EQ(a.duration(), b.duration()) << app.name;
+  }
+}
+
+TEST(SplashSuite, ScaleShrinksTimeNotStructure) {
+  const trace::Trace big = record([]() { ocean(SplashParams{4, 0.2}); });
+  const trace::Trace small = record([]() { ocean(SplashParams{4, 0.1}); });
+  EXPECT_EQ(big.records.size(), small.records.size());
+  EXPECT_GT(big.duration(), small.duration());
+}
+
+TEST(SplashSuite, TracesValidateAndReplay) {
+  for (const auto& app : splash_suite()) {
+    const trace::Trace t = record([&app]() {
+      app.run(SplashParams{4, 0.05});
+    });
+    EXPECT_NO_THROW(t.validate()) << app.name;
+    core::SimConfig cfg;
+    cfg.hw.cpus = 4;
+    const core::SimResult r = core::simulate(t, cfg);
+    r.validate();
+    EXPECT_GT(r.speedup, 1.0) << app.name;
+  }
+}
+
+TEST(SplashShapes, FftIsAmdahlLimited) {
+  // The paper's FFT row: 1.55 / 2.14 / 2.62 — consistent with a ~29%
+  // serial fraction.  Check both the absolute band and the saturation.
+  auto speedup_at = [](int cpus) {
+    const trace::Trace t = record([cpus]() { fft(SplashParams{cpus, 0.2}); });
+    return core::predict_speedup(t, cpus);
+  };
+  const double s2 = speedup_at(2), s4 = speedup_at(4), s8 = speedup_at(8);
+  EXPECT_NEAR(s2, 1.55, 0.12);
+  EXPECT_NEAR(s4, 2.14, 0.2);
+  EXPECT_NEAR(s8, 2.62, 0.25);
+  EXPECT_LT(s8 - s4, s4 - s2) << "FFT must saturate";
+}
+
+TEST(SplashShapes, RadixNearLinear) {
+  const trace::Trace t = record([]() { radix(SplashParams{8, 0.2}); });
+  EXPECT_GT(core::predict_speedup(t, 8), 7.4);
+}
+
+TEST(SplashShapes, LuModerateFromShrinkingParallelism) {
+  const trace::Trace t = record([]() { lu(SplashParams{8, 0.5}); });
+  const double s8 = core::predict_speedup(t, 8);
+  EXPECT_NEAR(s8, 4.82, 0.6);
+}
+
+TEST(SplashShapes, OceanGoodWithImbalance) {
+  const trace::Trace t = record([]() { ocean(SplashParams{8, 0.2}); });
+  const double s8 = core::predict_speedup(t, 8);
+  EXPECT_GT(s8, 5.8);
+  EXPECT_LT(s8, 7.3);
+}
+
+TEST(ProdCons, ItemAccountingIsExact) {
+  // 150x10 items, 75 consumers -> 20 each; the program must terminate
+  // with the semaphore drained.
+  ProdConsParams p;
+  p.producers = 10;
+  p.consumers = 5;
+  p.items_per_producer = 4;
+  const trace::Trace t = record([&p]() { prodcons_naive(p); });
+  const auto stats = trace::compute_stats(t);
+  EXPECT_EQ(stats.per_op.at(trace::Op::kSemaPost), 40u);
+  EXPECT_EQ(stats.per_op.at(trace::Op::kSemaWait), 40u);
+}
+
+TEST(ProdCons, RejectsUnevenSplit) {
+  ProdConsParams p;
+  p.producers = 3;
+  p.consumers = 7;
+  p.items_per_producer = 5;
+  EXPECT_THROW(record([&p]() { prodcons_naive(p); }), Error);
+}
+
+TEST(ProdCons, NaiveSerializesTunedScales) {
+  ProdConsParams p;
+  p.producers = 40;
+  p.consumers = 20;
+  const trace::Trace naive = record([&p]() { prodcons_naive(p); });
+  const trace::Trace tuned = record([&p]() { prodcons_tuned(p); });
+  const double naive_s = core::predict_speedup(naive, 8);
+  const double tuned_s = core::predict_speedup(tuned, 8);
+  EXPECT_LT(naive_s, 1.2) << "one hot mutex (paper: 2.2% faster)";
+  EXPECT_GT(tuned_s, 6.0) << "100 buffers (paper: 7.75x)";
+}
+
+TEST(Synthetic, ForkJoinIdealSpeedup) {
+  const trace::Trace t = record([]() { fork_join(4, SimTime::millis(10)); });
+  EXPECT_NEAR(core::predict_speedup(t, 4), 4.0, 0.1);
+}
+
+TEST(Synthetic, PipelineThroughputBoundedByStages) {
+  const trace::Trace t = record([]() {
+    pipeline(3, 30, SimTime::millis(1));
+  });
+  const double s8 = core::predict_speedup(t, 8);
+  EXPECT_GT(s8, 1.5);
+  EXPECT_LT(s8, 3.2) << "3 stages cannot exceed 3x";
+}
+
+TEST(Synthetic, ImbalanceCapsSpeedup) {
+  // Worker i computes work*(1 + skew*i/(N-1)); the makespan on N CPUs is
+  // the slowest worker: speedup = sum(factors) / max(factor).
+  const int n = 4;
+  const double skew = 1.0;  // slowest does 2x the work
+  const trace::Trace t = record([n]() {
+    imbalanced(n, SimTime::millis(10), 1.0);
+  });
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += 1.0 + skew * i / (n - 1);
+  const double expected = sum / 2.0;
+  EXPECT_NEAR(core::predict_speedup(t, n), expected, 0.15);
+}
+
+TEST(Synthetic, ReadersScaleWriterSerializes) {
+  const trace::Trace readers_only = record([]() {
+    readers_writer(4, 10, SimTime::millis(1), 0, SimTime::zero());
+  });
+  EXPECT_GT(core::predict_speedup(readers_only, 4), 3.0)
+      << "read-sharing must scale";
+  const trace::Trace with_writer = record([]() {
+    readers_writer(4, 10, SimTime::millis(1), 10, SimTime::millis(2));
+  });
+  EXPECT_LT(core::predict_speedup(with_writer, 4),
+            core::predict_speedup(readers_only, 4));
+}
+
+TEST(Synthetic, PriorityClassesRecordSetprio) {
+  const trace::Trace t = record([]() {
+    priority_classes(2, 2, SimTime::millis(2));
+  });
+  const auto stats = trace::compute_stats(t);
+  EXPECT_EQ(stats.per_op.at(trace::Op::kThrSetPrio), 4u);
+}
+
+}  // namespace
+}  // namespace vppb::workloads

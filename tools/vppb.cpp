@@ -1,0 +1,288 @@
+// vppb — the command-line front-end tying the whole tool together.
+//
+//   vppb gen <workload>      record a built-in workload to a trace file
+//   vppb info <trace>        log statistics (threads, events, duration)
+//   vppb predict <trace>     speed-up sweep across processor counts
+//   vppb simulate <trace>    full simulation: timeline, stats, SVG/ASCII
+//   vppb analyze <trace>     contention report (the §5 diagnosis)
+//   vppb validate <workload> Table-1-style row: real vs predicted
+//   vppb convert <in> <out>  text <-> binary trace conversion
+//
+// Trace files are sniffed: both the text and the binary format load.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+
+#include "core/engine.hpp"
+#include "core/sweep.hpp"
+#include "machine/validate.hpp"
+#include "recorder/recorder.hpp"
+#include "solaris/program.hpp"
+#include "trace/binary.hpp"
+#include "trace/io.hpp"
+#include "util/error.hpp"
+#include "util/flags.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+#include "viz/analysis.hpp"
+#include "viz/visualizer.hpp"
+#include "workloads/prodcons.hpp"
+#include "workloads/splash.hpp"
+#include "workloads/synthetic.hpp"
+
+namespace {
+
+using namespace vppb;
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: vppb <command> [args]\n"
+      "  gen <workload> [--threads N] [--scale S] [--out F] [--binary]\n"
+      "      workloads: ocean water fft radix lu prodcons-naive\n"
+      "                 prodcons-tuned forkjoin pipeline\n"
+      "  info <trace>\n"
+      "  predict <trace> [--max-cpus N] [--lwps N] [--comm-delay-us D]\n"
+      "  simulate <trace> [--cpus N] [--lwps N] [--svg F] [--columns N]\n"
+      "  analyze <trace> [--cpus N]\n"
+      "  validate <workload> [--cpus-list 2,4,8] [--scale S] [--reps N]\n"
+      "  convert <in> <out>   (binary iff <out> ends in .bin)\n");
+  return 2;
+}
+
+std::function<void()> workload_by_name(const std::string& name, int threads,
+                                       double scale) {
+  for (const auto& app : workloads::splash_suite()) {
+    std::string key = app.name;
+    for (char& c : key) c = static_cast<char>(std::tolower(c));
+    if (key.substr(0, 5) == name.substr(0, std::min<std::size_t>(5, name.size())) ||
+        key == name) {
+      return [app, threads, scale]() {
+        app.run(workloads::SplashParams{threads, scale});
+      };
+    }
+  }
+  if (name == "prodcons-naive" || name == "prodcons-tuned") {
+    workloads::ProdConsParams p;
+    p.producers = 30 * threads / 8 + 10;
+    p.consumers = p.producers / 2;
+    p.items_per_producer = 10;
+    const bool tuned = name == "prodcons-tuned";
+    return [p, tuned]() {
+      if (tuned) {
+        workloads::prodcons_tuned(p);
+      } else {
+        workloads::prodcons_naive(p);
+      }
+    };
+  }
+  if (name == "forkjoin") {
+    return [threads, scale]() {
+      workloads::fork_join(threads, SimTime::millis(20).scaled(scale));
+    };
+  }
+  if (name == "pipeline") {
+    return [threads, scale]() {
+      workloads::pipeline(threads, 50,
+                          SimTime::micros(400).scaled(scale));
+    };
+  }
+  throw Error("unknown workload '" + name + "'");
+}
+
+int cmd_gen(Flags& flags) {
+  if (flags.positional().size() < 2) return usage();
+  const int threads = static_cast<int>(flags.i64("threads"));
+  const auto body =
+      workload_by_name(flags.positional()[1], threads, flags.dbl("scale"));
+  sol::Program program;
+  const trace::Trace t = rec::record_program(program, body);
+  const std::string out = flags.str("out");
+  if (flags.boolean("binary")) {
+    trace::save_binary_file(t, out);
+  } else {
+    trace::save_file(t, out);
+  }
+  std::printf("recorded %zu events over %s -> %s\n", t.records.size(),
+              t.duration().to_string().c_str(), out.c_str());
+  return 0;
+}
+
+int cmd_info(Flags& flags) {
+  if (flags.positional().size() < 2) return usage();
+  const trace::Trace t = trace::load_any_file(flags.positional()[1]);
+  const trace::TraceStats stats = trace::compute_stats(t);
+  std::printf("trace: %s\n", flags.positional()[1].c_str());
+  std::printf("  records:    %zu (%zu threads)\n", stats.records,
+              stats.threads);
+  std::printf("  duration:   %s (uni-processor)\n",
+              stats.duration.to_string().c_str());
+  std::printf("  event rate: %.0f calls/s\n", stats.events_per_second);
+  std::printf("  threads:\n");
+  for (const auto& meta : t.threads) {
+    std::printf("    T%-4d %-16s start=%s%s\n", meta.tid,
+                t.strings.get(meta.name).c_str(),
+                t.strings.get(meta.start_func).c_str(),
+                meta.bound ? " [bound]" : "");
+  }
+  std::printf("  calls by primitive:\n");
+  for (const auto& [op, n] : stats.per_op) {
+    std::printf("    %-18s %zu\n",
+                std::string(trace::op_name(op)).c_str(), n);
+  }
+  return 0;
+}
+
+int cmd_predict(Flags& flags) {
+  if (flags.positional().size() < 2) return usage();
+  const trace::Trace t = trace::load_any_file(flags.positional()[1]);
+  const core::CompiledTrace compiled = core::compile(t);
+  core::SimConfig base;
+  base.sched.lwps = static_cast<int>(flags.i64("lwps"));
+  base.hw.comm_delay = SimTime::micros(flags.i64("comm-delay-us"));
+  std::vector<int> cpu_counts;
+  for (int cpus = 1; cpus <= flags.i64("max-cpus"); cpus *= 2)
+    cpu_counts.push_back(cpus);
+  const core::SpeedupCurve curve =
+      core::sweep_cpus(compiled, cpu_counts, base);
+  TextTable table;
+  table.header({"CPUs", "speed-up", "efficiency"});
+  for (const auto& p : curve.points()) {
+    table.row({strprintf("%d", p.cpus), strprintf("%.2f", p.speedup),
+               strprintf("%.0f%%", 100.0 * p.efficiency)});
+  }
+  std::printf("%s", table.render().c_str());
+  std::printf("\nAmdahl fit: serial fraction %.1f%%; efficiency stays >= "
+              "50%% up to %d CPUs\n",
+              100.0 * curve.amdahl_serial_fraction(), curve.knee(0.5));
+  return 0;
+}
+
+int cmd_simulate(Flags& flags) {
+  if (flags.positional().size() < 2) return usage();
+  const trace::Trace t = trace::load_any_file(flags.positional()[1]);
+  core::SimConfig cfg;
+  cfg.hw.cpus = static_cast<int>(flags.i64("cpus"));
+  cfg.sched.lwps = static_cast<int>(flags.i64("lwps"));
+  const core::SimResult r = core::simulate(t, cfg);
+  std::printf("predicted %s on %d CPUs (speed-up %.2f, %zu events)\n\n",
+              r.total.to_string().c_str(), cfg.hw.cpus, r.speedup,
+              r.events.size());
+  viz::Visualizer v(r, t);
+  v.compress_threads();
+  const int columns = static_cast<int>(flags.i64("columns"));
+  std::printf("%s\n%s\n%s", viz::render_parallelism_ascii(v, columns, 8).c_str(),
+              viz::render_flow_ascii(v, columns).c_str(),
+              viz::render_lwp_ascii(v, columns).c_str());
+  std::printf("\nper-CPU: ");
+  for (const auto& c : r.cpu_stats) {
+    std::printf("cpu%d %.0f%%  ", c.cpu,
+                100.0 * c.busy.seconds_d() /
+                    std::max(1e-12, r.total.seconds_d()));
+  }
+  std::printf("\nLWPs used: %zu\n", r.lwp_stats.size());
+  if (!flags.str("svg").empty()) {
+    std::ofstream(flags.str("svg")) << viz::render_svg(v, viz::RenderOptions{});
+    std::printf("wrote %s\n", flags.str("svg").c_str());
+  }
+  return 0;
+}
+
+int cmd_analyze(Flags& flags) {
+  if (flags.positional().size() < 2) return usage();
+  const trace::Trace t = trace::load_any_file(flags.positional()[1]);
+  core::SimConfig cfg;
+  cfg.hw.cpus = static_cast<int>(flags.i64("cpus"));
+  const core::SimResult r = core::simulate(t, cfg);
+  const viz::AnalysisReport report = viz::analyze(r, t);
+  std::printf("simulated on %d CPUs: speed-up %.2f\n\n%s", cfg.hw.cpus,
+              r.speedup, report.to_string().c_str());
+  std::printf("\nthread utilization (run/ready/blocked/sleep %%):\n");
+  for (const auto& u : report.utilization) {
+    std::printf("  T%-4d %-16s %3.0f / %3.0f / %3.0f / %3.0f\n", u.tid,
+                u.name.c_str(), 100 * u.running_fraction,
+                100 * u.runnable_fraction, 100 * u.blocked_fraction,
+                100 * u.sleeping_fraction);
+  }
+  return 0;
+}
+
+int cmd_validate(Flags& flags) {
+  if (flags.positional().size() < 2) return usage();
+  const double scale = flags.dbl("scale");
+  std::vector<int> cpu_counts;
+  for (const auto& f : split(flags.str("cpus-list"), ',')) {
+    std::int64_t v = 0;
+    if (!parse_i64(f, v)) throw Error("bad --cpus-list");
+    cpu_counts.push_back(static_cast<int>(v));
+  }
+  machine::MachineConfig mc;
+  mc.repetitions = static_cast<int>(flags.i64("reps"));
+  const std::string name = flags.positional()[1];
+  const machine::ValidationReport report = machine::validate_workload(
+      name,
+      [&name, scale](int threads) {
+        workload_by_name(name, threads, scale)();
+      },
+      cpu_counts, mc);
+  TextTable table;
+  table.header({"CPUs", "real (min-max)", "predicted", "error"});
+  for (const auto& p : report.points) {
+    table.row({strprintf("%d", p.cpus),
+               strprintf("%.2f (%.2f-%.2f)", p.real_mid, p.real_min,
+                         p.real_max),
+               strprintf("%.2f", p.predicted),
+               strprintf("%.1f%%", 100.0 * p.error)});
+  }
+  std::printf("%s\nmax |error| %.1f%%\n", table.render().c_str(),
+              100.0 * report.max_abs_error());
+  return 0;
+}
+
+int cmd_convert(Flags& flags) {
+  if (flags.positional().size() < 3) return usage();
+  const trace::Trace t = trace::load_any_file(flags.positional()[1]);
+  const std::string& out = flags.positional()[2];
+  if (ends_with(out, ".bin")) {
+    trace::save_binary_file(t, out);
+  } else {
+    trace::save_file(t, out);
+  }
+  std::printf("wrote %s (%zu records)\n", out.c_str(), t.records.size());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags;
+  flags.define_i64("threads", 8, "worker threads for gen/validate");
+  flags.define_double("scale", 0.2, "problem scale");
+  flags.define_string("out", "vppb.trace", "gen: output file");
+  flags.define_bool("binary", false, "gen: write the binary format");
+  flags.define_i64("max-cpus", 16, "predict: largest CPU count");
+  flags.define_i64("cpus", 8, "simulate/analyze: CPU count");
+  flags.define_i64("lwps", 0, "LWP pool (0 = one per thread)");
+  flags.define_i64("comm-delay-us", 0, "inter-CPU delay");
+  flags.define_string("svg", "", "simulate: SVG output");
+  flags.define_i64("columns", 110, "ASCII width");
+  flags.define_string("cpus-list", "2,4,8", "validate: CPU counts");
+  flags.define_i64("reps", 5, "validate: machine repetitions");
+
+  try {
+    flags.parse(argc, argv);
+    if (flags.positional().empty()) return usage();
+    const std::string& cmd = flags.positional()[0];
+    if (cmd == "gen") return cmd_gen(flags);
+    if (cmd == "info") return cmd_info(flags);
+    if (cmd == "predict") return cmd_predict(flags);
+    if (cmd == "simulate") return cmd_simulate(flags);
+    if (cmd == "analyze") return cmd_analyze(flags);
+    if (cmd == "validate") return cmd_validate(flags);
+    if (cmd == "convert") return cmd_convert(flags);
+    return usage();
+  } catch (const vppb::Error& e) {
+    std::fprintf(stderr, "vppb: %s\n", e.what());
+    return 1;
+  }
+}
