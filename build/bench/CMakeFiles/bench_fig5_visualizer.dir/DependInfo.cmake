@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig5_visualizer.cpp" "bench/CMakeFiles/bench_fig5_visualizer.dir/bench_fig5_visualizer.cpp.o" "gcc" "bench/CMakeFiles/bench_fig5_visualizer.dir/bench_fig5_visualizer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/viz/CMakeFiles/vppb_viz.dir/DependInfo.cmake"
+  "/root/repo/build/src/recorder/CMakeFiles/vppb_recorder.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/vppb_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/vppb_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/solaris/CMakeFiles/vppb_solaris.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/vppb_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/ult/CMakeFiles/vppb_ult.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/vppb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_visualizer.dir/bench_fig5_visualizer.cpp.o"
+  "CMakeFiles/bench_fig5_visualizer.dir/bench_fig5_visualizer.cpp.o.d"
+  "bench_fig5_visualizer"
+  "bench_fig5_visualizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_visualizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

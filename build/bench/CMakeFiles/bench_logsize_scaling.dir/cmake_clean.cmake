@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_logsize_scaling.dir/bench_logsize_scaling.cpp.o"
+  "CMakeFiles/bench_logsize_scaling.dir/bench_logsize_scaling.cpp.o.d"
+  "bench_logsize_scaling"
+  "bench_logsize_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_logsize_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_prodcons_case.dir/bench_prodcons_case.cpp.o"
+  "CMakeFiles/bench_prodcons_case.dir/bench_prodcons_case.cpp.o.d"
+  "bench_prodcons_case"
+  "bench_prodcons_case.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_prodcons_case.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

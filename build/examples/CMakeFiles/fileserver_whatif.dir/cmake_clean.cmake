@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fileserver_whatif.dir/fileserver_whatif.cpp.o"
+  "CMakeFiles/fileserver_whatif.dir/fileserver_whatif.cpp.o.d"
+  "fileserver_whatif"
+  "fileserver_whatif.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fileserver_whatif.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prodcons_tuning.dir/prodcons_tuning.cpp.o"
+  "CMakeFiles/prodcons_tuning.dir/prodcons_tuning.cpp.o.d"
+  "prodcons_tuning"
+  "prodcons_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prodcons_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

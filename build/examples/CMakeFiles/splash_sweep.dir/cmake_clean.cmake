@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/splash_sweep.dir/splash_sweep.cpp.o"
+  "CMakeFiles/splash_sweep.dir/splash_sweep.cpp.o.d"
+  "splash_sweep"
+  "splash_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/splash_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/compiler.cpp" "src/core/CMakeFiles/vppb_core.dir/compiler.cpp.o" "gcc" "src/core/CMakeFiles/vppb_core.dir/compiler.cpp.o.d"
+  "/root/repo/src/core/engine.cpp" "src/core/CMakeFiles/vppb_core.dir/engine.cpp.o" "gcc" "src/core/CMakeFiles/vppb_core.dir/engine.cpp.o.d"
+  "/root/repo/src/core/result.cpp" "src/core/CMakeFiles/vppb_core.dir/result.cpp.o" "gcc" "src/core/CMakeFiles/vppb_core.dir/result.cpp.o.d"
+  "/root/repo/src/core/sweep.cpp" "src/core/CMakeFiles/vppb_core.dir/sweep.cpp.o" "gcc" "src/core/CMakeFiles/vppb_core.dir/sweep.cpp.o.d"
+  "/root/repo/src/core/ts_table.cpp" "src/core/CMakeFiles/vppb_core.dir/ts_table.cpp.o" "gcc" "src/core/CMakeFiles/vppb_core.dir/ts_table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/trace/CMakeFiles/vppb_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/vppb_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/ult/CMakeFiles/vppb_ult.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vppb_core.dir/compiler.cpp.o"
+  "CMakeFiles/vppb_core.dir/compiler.cpp.o.d"
+  "CMakeFiles/vppb_core.dir/engine.cpp.o"
+  "CMakeFiles/vppb_core.dir/engine.cpp.o.d"
+  "CMakeFiles/vppb_core.dir/result.cpp.o"
+  "CMakeFiles/vppb_core.dir/result.cpp.o.d"
+  "CMakeFiles/vppb_core.dir/sweep.cpp.o"
+  "CMakeFiles/vppb_core.dir/sweep.cpp.o.d"
+  "CMakeFiles/vppb_core.dir/ts_table.cpp.o"
+  "CMakeFiles/vppb_core.dir/ts_table.cpp.o.d"
+  "libvppb_core.a"
+  "libvppb_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vppb_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

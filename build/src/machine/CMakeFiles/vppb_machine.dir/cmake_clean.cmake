@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vppb_machine.dir/machine.cpp.o"
+  "CMakeFiles/vppb_machine.dir/machine.cpp.o.d"
+  "CMakeFiles/vppb_machine.dir/validate.cpp.o"
+  "CMakeFiles/vppb_machine.dir/validate.cpp.o.d"
+  "libvppb_machine.a"
+  "libvppb_machine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vppb_machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

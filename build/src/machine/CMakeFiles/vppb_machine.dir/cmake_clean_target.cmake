@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libvppb_machine.a"
+)

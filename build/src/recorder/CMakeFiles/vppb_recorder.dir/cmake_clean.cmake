@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vppb_recorder.dir/recorder.cpp.o"
+  "CMakeFiles/vppb_recorder.dir/recorder.cpp.o.d"
+  "libvppb_recorder.a"
+  "libvppb_recorder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vppb_recorder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/solaris/probe.cpp" "src/solaris/CMakeFiles/vppb_solaris.dir/probe.cpp.o" "gcc" "src/solaris/CMakeFiles/vppb_solaris.dir/probe.cpp.o.d"
+  "/root/repo/src/solaris/program.cpp" "src/solaris/CMakeFiles/vppb_solaris.dir/program.cpp.o" "gcc" "src/solaris/CMakeFiles/vppb_solaris.dir/program.cpp.o.d"
+  "/root/repo/src/solaris/pthread_compat.cpp" "src/solaris/CMakeFiles/vppb_solaris.dir/pthread_compat.cpp.o" "gcc" "src/solaris/CMakeFiles/vppb_solaris.dir/pthread_compat.cpp.o.d"
+  "/root/repo/src/solaris/sync.cpp" "src/solaris/CMakeFiles/vppb_solaris.dir/sync.cpp.o" "gcc" "src/solaris/CMakeFiles/vppb_solaris.dir/sync.cpp.o.d"
+  "/root/repo/src/solaris/threads.cpp" "src/solaris/CMakeFiles/vppb_solaris.dir/threads.cpp.o" "gcc" "src/solaris/CMakeFiles/vppb_solaris.dir/threads.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ult/CMakeFiles/vppb_ult.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/vppb_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/vppb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

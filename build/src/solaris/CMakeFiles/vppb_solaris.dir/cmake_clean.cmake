@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vppb_solaris.dir/probe.cpp.o"
+  "CMakeFiles/vppb_solaris.dir/probe.cpp.o.d"
+  "CMakeFiles/vppb_solaris.dir/program.cpp.o"
+  "CMakeFiles/vppb_solaris.dir/program.cpp.o.d"
+  "CMakeFiles/vppb_solaris.dir/pthread_compat.cpp.o"
+  "CMakeFiles/vppb_solaris.dir/pthread_compat.cpp.o.d"
+  "CMakeFiles/vppb_solaris.dir/sync.cpp.o"
+  "CMakeFiles/vppb_solaris.dir/sync.cpp.o.d"
+  "CMakeFiles/vppb_solaris.dir/threads.cpp.o"
+  "CMakeFiles/vppb_solaris.dir/threads.cpp.o.d"
+  "libvppb_solaris.a"
+  "libvppb_solaris.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vppb_solaris.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

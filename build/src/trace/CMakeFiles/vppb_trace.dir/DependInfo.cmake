@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/binary.cpp" "src/trace/CMakeFiles/vppb_trace.dir/binary.cpp.o" "gcc" "src/trace/CMakeFiles/vppb_trace.dir/binary.cpp.o.d"
+  "/root/repo/src/trace/event.cpp" "src/trace/CMakeFiles/vppb_trace.dir/event.cpp.o" "gcc" "src/trace/CMakeFiles/vppb_trace.dir/event.cpp.o.d"
+  "/root/repo/src/trace/io.cpp" "src/trace/CMakeFiles/vppb_trace.dir/io.cpp.o" "gcc" "src/trace/CMakeFiles/vppb_trace.dir/io.cpp.o.d"
+  "/root/repo/src/trace/trace.cpp" "src/trace/CMakeFiles/vppb_trace.dir/trace.cpp.o" "gcc" "src/trace/CMakeFiles/vppb_trace.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/vppb_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/ult/CMakeFiles/vppb_ult.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

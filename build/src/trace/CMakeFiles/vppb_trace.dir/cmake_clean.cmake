@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vppb_trace.dir/binary.cpp.o"
+  "CMakeFiles/vppb_trace.dir/binary.cpp.o.d"
+  "CMakeFiles/vppb_trace.dir/event.cpp.o"
+  "CMakeFiles/vppb_trace.dir/event.cpp.o.d"
+  "CMakeFiles/vppb_trace.dir/io.cpp.o"
+  "CMakeFiles/vppb_trace.dir/io.cpp.o.d"
+  "CMakeFiles/vppb_trace.dir/trace.cpp.o"
+  "CMakeFiles/vppb_trace.dir/trace.cpp.o.d"
+  "libvppb_trace.a"
+  "libvppb_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vppb_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

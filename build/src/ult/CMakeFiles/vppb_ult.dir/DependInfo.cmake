@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ult/clock.cpp" "src/ult/CMakeFiles/vppb_ult.dir/clock.cpp.o" "gcc" "src/ult/CMakeFiles/vppb_ult.dir/clock.cpp.o.d"
+  "/root/repo/src/ult/fiber.cpp" "src/ult/CMakeFiles/vppb_ult.dir/fiber.cpp.o" "gcc" "src/ult/CMakeFiles/vppb_ult.dir/fiber.cpp.o.d"
+  "/root/repo/src/ult/runtime.cpp" "src/ult/CMakeFiles/vppb_ult.dir/runtime.cpp.o" "gcc" "src/ult/CMakeFiles/vppb_ult.dir/runtime.cpp.o.d"
+  "/root/repo/src/ult/wait_queue.cpp" "src/ult/CMakeFiles/vppb_ult.dir/wait_queue.cpp.o" "gcc" "src/ult/CMakeFiles/vppb_ult.dir/wait_queue.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/vppb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

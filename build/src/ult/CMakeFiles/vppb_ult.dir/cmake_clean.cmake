@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vppb_ult.dir/clock.cpp.o"
+  "CMakeFiles/vppb_ult.dir/clock.cpp.o.d"
+  "CMakeFiles/vppb_ult.dir/fiber.cpp.o"
+  "CMakeFiles/vppb_ult.dir/fiber.cpp.o.d"
+  "CMakeFiles/vppb_ult.dir/runtime.cpp.o"
+  "CMakeFiles/vppb_ult.dir/runtime.cpp.o.d"
+  "CMakeFiles/vppb_ult.dir/wait_queue.cpp.o"
+  "CMakeFiles/vppb_ult.dir/wait_queue.cpp.o.d"
+  "libvppb_ult.a"
+  "libvppb_ult.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vppb_ult.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vppb_util.dir/flags.cpp.o"
+  "CMakeFiles/vppb_util.dir/flags.cpp.o.d"
+  "CMakeFiles/vppb_util.dir/rng.cpp.o"
+  "CMakeFiles/vppb_util.dir/rng.cpp.o.d"
+  "CMakeFiles/vppb_util.dir/stats.cpp.o"
+  "CMakeFiles/vppb_util.dir/stats.cpp.o.d"
+  "CMakeFiles/vppb_util.dir/strings.cpp.o"
+  "CMakeFiles/vppb_util.dir/strings.cpp.o.d"
+  "CMakeFiles/vppb_util.dir/table.cpp.o"
+  "CMakeFiles/vppb_util.dir/table.cpp.o.d"
+  "libvppb_util.a"
+  "libvppb_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vppb_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

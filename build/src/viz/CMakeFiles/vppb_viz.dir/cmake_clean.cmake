@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vppb_viz.dir/analysis.cpp.o"
+  "CMakeFiles/vppb_viz.dir/analysis.cpp.o.d"
+  "CMakeFiles/vppb_viz.dir/ascii.cpp.o"
+  "CMakeFiles/vppb_viz.dir/ascii.cpp.o.d"
+  "CMakeFiles/vppb_viz.dir/model.cpp.o"
+  "CMakeFiles/vppb_viz.dir/model.cpp.o.d"
+  "CMakeFiles/vppb_viz.dir/svg.cpp.o"
+  "CMakeFiles/vppb_viz.dir/svg.cpp.o.d"
+  "libvppb_viz.a"
+  "libvppb_viz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vppb_viz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vppb_workloads.dir/excluded.cpp.o"
+  "CMakeFiles/vppb_workloads.dir/excluded.cpp.o.d"
+  "CMakeFiles/vppb_workloads.dir/prodcons.cpp.o"
+  "CMakeFiles/vppb_workloads.dir/prodcons.cpp.o.d"
+  "CMakeFiles/vppb_workloads.dir/splash.cpp.o"
+  "CMakeFiles/vppb_workloads.dir/splash.cpp.o.d"
+  "CMakeFiles/vppb_workloads.dir/synthetic.cpp.o"
+  "CMakeFiles/vppb_workloads.dir/synthetic.cpp.o.d"
+  "libvppb_workloads.a"
+  "libvppb_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vppb_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

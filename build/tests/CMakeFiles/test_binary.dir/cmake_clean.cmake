@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_binary.dir/test_binary.cpp.o"
+  "CMakeFiles/test_binary.dir/test_binary.cpp.o.d"
+  "test_binary"
+  "test_binary.pdb"
+  "test_binary[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_binary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

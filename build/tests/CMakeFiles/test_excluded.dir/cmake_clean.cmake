@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_excluded.dir/test_excluded.cpp.o"
+  "CMakeFiles/test_excluded.dir/test_excluded.cpp.o.d"
+  "test_excluded"
+  "test_excluded.pdb"
+  "test_excluded[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_excluded.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_solaris.dir/test_solaris.cpp.o"
+  "CMakeFiles/test_solaris.dir/test_solaris.cpp.o.d"
+  "test_solaris"
+  "test_solaris.pdb"
+  "test_solaris[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_solaris.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

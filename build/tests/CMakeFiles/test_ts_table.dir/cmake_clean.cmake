@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ts_table.dir/test_ts_table.cpp.o"
+  "CMakeFiles/test_ts_table.dir/test_ts_table.cpp.o.d"
+  "test_ts_table"
+  "test_ts_table.pdb"
+  "test_ts_table[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ts_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ult.dir/test_ult.cpp.o"
+  "CMakeFiles/test_ult.dir/test_ult.cpp.o.d"
+  "test_ult"
+  "test_ult.pdb"
+  "test_ult[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ult.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

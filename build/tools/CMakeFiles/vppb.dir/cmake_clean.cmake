@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vppb.dir/vppb.cpp.o"
+  "CMakeFiles/vppb.dir/vppb.cpp.o.d"
+  "vppb"
+  "vppb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vppb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for vppb.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_gen "/root/repo/build/tools/vppb" "gen" "radix" "--threads" "4" "--out" "/root/repo/build/cli_smoke.trace" "--binary")
+set_tests_properties(cli_gen PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;5;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_info "/root/repo/build/tools/vppb" "info" "/root/repo/build/cli_smoke.trace")
+set_tests_properties(cli_info PROPERTIES  DEPENDS "cli_gen" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;7;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_predict "/root/repo/build/tools/vppb" "predict" "/root/repo/build/cli_smoke.trace" "--max-cpus" "4")
+set_tests_properties(cli_predict PROPERTIES  DEPENDS "cli_gen" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;8;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_simulate "/root/repo/build/tools/vppb" "simulate" "/root/repo/build/cli_smoke.trace" "--cpus" "2" "--columns" "60")
+set_tests_properties(cli_simulate PROPERTIES  DEPENDS "cli_gen" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;10;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_analyze "/root/repo/build/tools/vppb" "analyze" "/root/repo/build/cli_smoke.trace" "--cpus" "2")
+set_tests_properties(cli_analyze PROPERTIES  DEPENDS "cli_gen" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;12;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_convert "/root/repo/build/tools/vppb" "convert" "/root/repo/build/cli_smoke.trace" "/root/repo/build/cli_smoke.txt")
+set_tests_properties(cli_convert PROPERTIES  DEPENDS "cli_gen" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;14;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_validate "/root/repo/build/tools/vppb" "validate" "forkjoin" "--cpus-list" "2" "--reps" "2")
+set_tests_properties(cli_validate PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;16;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_usage "/root/repo/build/tools/vppb")
+set_tests_properties(cli_usage PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;18;add_test;/root/repo/tools/CMakeLists.txt;0;")
