@@ -1,0 +1,136 @@
+// Engine-throughput benchmark: how many replayed trace steps per second
+// does core::simulate sustain, and how long does a processor sweep take
+// serially vs. on the util::ThreadPool?
+//
+// Results go to a JSON file (BENCH_engine.json by default) so the perf
+// trajectory of the scheduler is comparable across PRs:
+//
+//   build/bench/bench_engine_steps [--threads 64] [--scale 0.2]
+//       [--cpus 8] [--min-ms 500] [--jobs 0] [--out BENCH_engine.json]
+//
+// The `bench`-labelled CTest target runs exactly this (see
+// bench/CMakeLists.txt); it is excluded from the default `ctest` run.
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <numeric>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "core/sweep.hpp"
+#include "recorder/recorder.hpp"
+#include "solaris/program.hpp"
+#include "util/flags.hpp"
+#include "util/thread_pool.hpp"
+#include "workloads/splash.hpp"
+
+namespace {
+
+using namespace vppb;
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags;
+  // 64 trace threads on 8 simulated CPUs keeps long run queues live, so
+  // the benchmark exercises the scheduler, not just the replay machinery
+  // (with threads == cpus the ready list never grows and any scheduler
+  // looks fast).
+  flags.define_i64("threads", 64, "worker threads of the SPLASH-like trace");
+  flags.define_double("scale", 0.2, "problem scale of the trace");
+  flags.define_i64("cpus", 8, "simulated CPU count for the steps/sec run");
+  flags.define_i64("min-ms", 500, "minimum wall time per measurement");
+  flags.define_i64("jobs", 0, "sweep workers (0 = all hardware threads)");
+  flags.define_string("out", "BENCH_engine.json", "JSON output file");
+  flags.parse(argc, argv);
+
+  const int threads = static_cast<int>(flags.i64("threads"));
+  const double scale = flags.dbl("scale");
+  const int cpus = static_cast<int>(flags.i64("cpus"));
+  const double min_s = static_cast<double>(flags.i64("min-ms")) / 1e3;
+  const int jobs = util::ThreadPool::resolve_jobs(
+      static_cast<int>(flags.i64("jobs")));
+
+  // The paper's clearly-sublinear SPLASH kernel: serial transpose phases
+  // between parallel row FFTs, i.e. plenty of scheduler traffic.
+  sol::Program program;
+  const trace::Trace t = rec::record_program(program, [&]() {
+    workloads::fft(workloads::SplashParams{threads, scale});
+  });
+  const core::CompiledTrace compiled = core::compile(t);
+  std::size_t steps_per_run = 0;
+  for (const auto& [tid, ct] : compiled.threads) steps_per_run += ct.steps.size();
+
+  core::SimConfig cfg;
+  cfg.hw.cpus = cpus;
+  cfg.build_timeline = false;
+
+  // Steps/sec of a single simulation, repeated until min-ms elapsed.
+  int runs = 0;
+  double speedup = 0.0;
+  const Clock::time_point t0 = Clock::now();
+  double elapsed = 0.0;
+  do {
+    speedup = core::simulate(compiled, cfg).speedup;
+    ++runs;
+    elapsed = seconds_since(t0);
+  } while (elapsed < min_s);
+  const double steps_per_sec =
+      static_cast<double>(steps_per_run) * runs / elapsed;
+
+  // 8-point sweep: serial wall time vs. thread-pool wall time.
+  std::vector<int> counts(8);
+  std::iota(counts.begin(), counts.end(), 1);
+  double serial_s = 0.0, parallel_s = 0.0;
+  int sweep_runs = 0;
+  {
+    const Clock::time_point s0 = Clock::now();
+    do {
+      core::sweep_cpus(compiled, counts, cfg);
+      ++sweep_runs;
+      serial_s = seconds_since(s0);
+    } while (serial_s < min_s);
+    serial_s /= sweep_runs;
+  }
+  {
+    core::SweepOptions opt;
+    opt.jobs = jobs;
+    int reps = 0;
+    const Clock::time_point p0 = Clock::now();
+    do {
+      core::sweep_cpus(compiled, counts, cfg, opt);
+      ++reps;
+      parallel_s = seconds_since(p0);
+    } while (parallel_s < min_s);
+    parallel_s /= reps;
+  }
+
+  std::ofstream out(flags.str("out"));
+  out << "{\n"
+      << "  \"trace\": \"fft\",\n"
+      << "  \"trace_threads\": " << threads << ",\n"
+      << "  \"trace_scale\": " << scale << ",\n"
+      << "  \"steps_per_run\": " << steps_per_run << ",\n"
+      << "  \"sim_cpus\": " << cpus << ",\n"
+      << "  \"runs\": " << runs << ",\n"
+      << "  \"speedup\": " << speedup << ",\n"
+      << "  \"steps_per_sec\": " << static_cast<std::int64_t>(steps_per_sec)
+      << ",\n"
+      << "  \"sweep_points\": " << counts.size() << ",\n"
+      << "  \"sweep_serial_ms\": " << serial_s * 1e3 << ",\n"
+      << "  \"sweep_parallel_ms\": " << parallel_s * 1e3 << ",\n"
+      << "  \"sweep_jobs\": " << jobs << "\n"
+      << "}\n";
+  std::printf(
+      "engine: %zu steps/run, %d runs, %.0f steps/sec (cpus=%d)\n"
+      "sweep:  %zu points, serial %.1f ms, parallel %.1f ms (jobs=%d)\n"
+      "wrote %s\n",
+      steps_per_run, runs, steps_per_sec, cpus, counts.size(), serial_s * 1e3,
+      parallel_s * 1e3, jobs, flags.str("out").c_str());
+  return 0;
+}

@@ -1,5 +1,7 @@
 #include "core/compiler.hpp"
 
+#include <algorithm>
+
 #include "util/error.hpp"
 
 namespace vppb::core {
@@ -124,9 +126,17 @@ CompiledTrace compile(const trace::Trace& trace) {
     (void)tid;
   }
   for (auto& [tid, ct] : out.threads) {
-    for (const Step& s : ct.steps) ct.total_cpu += s.cpu + s.op_cost;
+    for (const Step& s : ct.steps) {
+      ct.total_cpu += s.cpu + s.op_cost;
+      if (s.op == trace::Op::kThrSetPrio)
+        out.setprio_values.push_back(static_cast<int>(s.arg));
+    }
     (void)tid;
   }
+  std::sort(out.setprio_values.begin(), out.setprio_values.end());
+  out.setprio_values.erase(
+      std::unique(out.setprio_values.begin(), out.setprio_values.end()),
+      out.setprio_values.end());
   return out;
 }
 

@@ -54,6 +54,10 @@ struct CompiledThread {
 struct CompiledTrace {
   std::map<ThreadId, CompiledThread> threads;
   SimTime recorded_duration;
+  /// Every thr_setprio argument in the trace (sorted, deduplicated).
+  /// Collected once here so the engine's per-run priority table does
+  /// not have to rescan every step of every thread.
+  std::vector<int> setprio_values;
 
   const CompiledThread& thread(ThreadId tid) const;
 };

@@ -1,9 +1,11 @@
 #include "core/engine.hpp"
 
 #include <algorithm>
+#include <queue>
 #include <sstream>
 #include <vector>
 
+#include "core/dispq.hpp"
 #include "core/objects.hpp"
 #include "util/error.hpp"
 
@@ -71,6 +73,12 @@ struct Th {
   bool reaped = false;
   bool exited = false;
 
+  // Library-level dispatch-queue bookkeeping.
+  std::int32_t idx = -1;        ///< position in the dense thread table
+  bool in_rq = false;           ///< queued waiting for an LWP
+  std::int32_t rq_bucket = -1;  ///< bucket it was queued into
+  std::uint32_t rq_epoch = 0;   ///< stamp for lazy queue deletion
+
   // Timeline bookkeeping.
   SimTime state_since;
   SegState seg_state = SegState::kBlocked;
@@ -100,6 +108,8 @@ struct Lwp {
   bool dedicated = false;    ///< owned by a bound thread
   int bound_cpu = -1;
   bool slept = false;        ///< pending sleep-return boost
+  bool in_free_heap = false; ///< queued in the free-LWP heap
+  bool in_unplaced = false;  ///< on the attached-but-unplaced list
 };
 
 class Engine {
@@ -118,11 +128,23 @@ class Engine {
   void assign();
   void attach_unbound_threads();
   void dispatch_lwps();
+  void dispatch_linear();
+  void dispatch_queued();
   void place(Lwp& lwp, int cpu);
   void unplace(Lwp& lwp);
   void emit_lwp_segment(Lwp& lwp);
   bool dispatchable(const Lwp& lwp) const;
   bool lwp_waiting_for_cpu() const;
+
+  // ---- dispatch-queue bookkeeping ----
+  int rank_of(int prio) const;
+  void rq_put(Th& t);       ///< sync a thread's library-queue membership
+  void rq_take_out(Th& t);  ///< invalidate its queue entry, if any
+  Lwp* acquire_free_lwp();
+  void mark_free(Lwp& lwp);
+  void mark_unplaced(Lwp& lwp);
+  void defer_ready(const Th& t);  ///< arm a timer for a future ready_at
+  void push_timer(SimTime when, const Th& t, bool sleep);
 
   // ---- execution ----
   bool process_due_now();
@@ -154,7 +176,7 @@ class Engine {
 
   // ---- time & bookkeeping ----
   double rate_factor() const;
-  SimTime next_event_time() const;
+  SimTime next_event_time();
   void advance_to(SimTime when);
   void set_state(Th& t, Th::St st);
   void emit_segment(Th& t, SimTime upto);
@@ -162,35 +184,140 @@ class Engine {
   [[noreturn]] void replay_deadlock();
 
   Th& th(ThreadId tid);
-  bool exists(ThreadId tid) const { return threads_.count(tid) != 0; }
+  int idx_of(ThreadId tid) const;
+  bool exists(ThreadId tid) const { return idx_of(tid) >= 0; }
 
   const CompiledTrace& compiled_;
   const SimConfig& cfg_;
 
   SimTime now_;
-  std::map<ThreadId, Th> threads_;
-  std::vector<Th*> thread_list_;  ///< map values in tid order (hot loops)
+  // Dense thread table in ascending-tid order (Th::idx indexes it; the
+  // table never grows after init, so Th* stay stable).
+  std::vector<Th> threads_;
+  std::vector<ThreadId> tids_;        ///< idx -> tid (sorted)
+  std::vector<std::int32_t> tid_to_idx_;  ///< tid -> idx when tids are small
   std::vector<Lwp> lwps_;
   std::vector<ThreadId> cpu_running_;  // per CPU: running thread (by LWP)
   std::vector<int> cpu_lwp_;           // per CPU: placed LWP id (-1 idle)
+  int idle_cpus_ = 0;                  // CPUs with no placed LWP
   ObjectTable objects_;
   std::vector<ThreadId> zombies_;      // exited, unreaped, in exit order
   WaitQueue any_joiners_;
-  std::map<ThreadId, WaitQueue> joiners_;
+  std::vector<WaitQueue> joiners_;     // by thread idx
   std::uint64_t next_lib_seq_ = 1;
   std::uint64_t next_disp_seq_ = 1;
   int unbound_pool_size_ = 0;
   int unbound_lwps_made_ = 0;
   int running_count_ = 0;
 
+  // Library level: ready, unbound, unattached threads bucketed by user
+  // priority (rank into prios_), ordered by lib_seq within a bucket.
+  std::vector<int> prios_;  ///< sorted distinct user priorities
+  DispQueue<Th*> rq_;
+
+  // Kernel level: scratch queues rebuilt per dispatch decision.
+  struct KWaiter {
+    Lwp* lwp;
+    int uprio;
+    int ts;
+    std::uint64_t seq;
+  };
+  DispQueue<KWaiter> kq_;                       ///< unbound-CPU waiters
+  bool kq_ready_ = false;                       ///< kq_ buckets allocated
+  std::vector<std::vector<KWaiter>> kq_bound_;  ///< per-CPU bound waiters
+  std::vector<int> kq_bound_touched_;
+
+  /// Idle non-dedicated LWPs by ascending id (attach reuses the
+  /// lowest-numbered free LWP first, like the linear scan it replaces).
+  std::priority_queue<int, std::vector<int>, std::greater<>> free_lwps_;
+  /// LWPs with a thread but no CPU (stale entries dropped lazily).
+  std::vector<int> unplaced_;
+
+  /// Pending wakeups: sleeper timers (wake_at) and future dispatch
+  /// eligibility (ready_at), validated lazily against the thread.
+  struct Timer {
+    SimTime when;
+    std::int32_t idx;
+    bool sleep;
+  };
+  struct TimerLater {
+    bool operator()(const Timer& a, const Timer& b) const {
+      return a.when > b.when;
+    }
+  };
+  std::vector<Timer> timers_;  ///< min-heap on `when`
+
+  // Reusable scratch (hoisted out of the per-event hot paths).
+  std::vector<int> due_scratch_;
+  std::vector<Th*> phase_scratch_;
+  std::vector<Lwp*> disp_scratch_;
+  std::vector<std::uint32_t> mutex_scratch_;
+
   SimResult result_;
 };
 
+int Engine::idx_of(ThreadId tid) const {
+  if (!tid_to_idx_.empty()) {
+    return tid >= 0 && tid < static_cast<ThreadId>(tid_to_idx_.size())
+               ? tid_to_idx_[static_cast<std::size_t>(tid)]
+               : -1;
+  }
+  const auto it = std::lower_bound(tids_.begin(), tids_.end(), tid);
+  return it != tids_.end() && *it == tid
+             ? static_cast<int>(it - tids_.begin())
+             : -1;
+}
+
 Th& Engine::th(ThreadId tid) {
-  auto it = threads_.find(tid);
-  VPPB_CHECK_MSG(it != threads_.end(), "simulated thread T" << tid
-                                                            << " does not exist");
-  return it->second;
+  const int idx = idx_of(tid);
+  VPPB_CHECK_MSG(idx >= 0, "simulated thread T" << tid << " does not exist");
+  return threads_[static_cast<std::size_t>(idx)];
+}
+
+int Engine::rank_of(int prio) const {
+  // prios_ holds every priority a thread can ever have in this run
+  // (collected at init), so the lookup always hits.
+  return static_cast<int>(
+      std::lower_bound(prios_.begin(), prios_.end(), prio) - prios_.begin());
+}
+
+void Engine::rq_take_out(Th& t) {
+  if (!t.in_rq) return;
+  t.in_rq = false;
+  ++t.rq_epoch;
+  rq_.invalidate(t.rq_bucket);
+}
+
+/// Brings the library dispatch queue in line with the thread's state:
+/// requeued (fresh bucket/seq) when it is ready, unbound, unattached
+/// and not suspended; dequeued otherwise.  Idempotent.
+void Engine::rq_put(Th& t) {
+  rq_take_out(t);
+  if (t.bound || t.suspended || t.lwp != -1 || t.st != Th::St::kReady) return;
+  t.rq_bucket = rank_of(t.prio);
+  t.in_rq = true;
+  rq_.insert(t.rq_bucket, &t, t.lib_seq, t.rq_epoch);
+}
+
+void Engine::mark_free(Lwp& lwp) {
+  if (lwp.dedicated || lwp.in_free_heap) return;
+  lwp.in_free_heap = true;
+  free_lwps_.push(lwp.id);
+}
+
+void Engine::mark_unplaced(Lwp& lwp) {
+  if (lwp.in_unplaced) return;
+  lwp.in_unplaced = true;
+  unplaced_.push_back(lwp.id);
+}
+
+void Engine::push_timer(SimTime when, const Th& t, bool sleep) {
+  timers_.push_back(Timer{when, t.idx, sleep});
+  std::push_heap(timers_.begin(), timers_.end(), TimerLater{});
+}
+
+void Engine::defer_ready(const Th& t) {
+  if (t.ready_at > now_) push_timer(t.ready_at, t, /*sleep=*/false);
 }
 
 SegState Engine::seg_state_of(Th::St st) const {
@@ -234,8 +361,10 @@ void Engine::set_state(Th& t, Th::St st) {
 /// Flushes the LWP's current (thread, cpu) interval to the gantt and
 /// restarts it with the current attachment/placement.
 void Engine::emit_lwp_segment(Lwp& lwp) {
-  if (cfg_.build_timeline && now_ > lwp.seg_since &&
-      (lwp.seg_thread != 0 || lwp.seg_cpu >= 0)) {
+  // The seg_* fields exist only to feed the gantt; skip the bookkeeping
+  // entirely when no timeline is wanted.
+  if (!cfg_.build_timeline) return;
+  if (now_ > lwp.seg_since && (lwp.seg_thread != 0 || lwp.seg_cpu >= 0)) {
     result_.lwp_segments.push_back(LwpSegment{
         lwp.id, lwp.seg_since, now_, lwp.seg_thread, lwp.seg_cpu});
   }
@@ -256,9 +385,15 @@ Lwp& Engine::new_lwp(bool dedicated, int bound_cpu) {
 }
 
 void Engine::init_threads() {
+  // One-pass remap of the trace's thread ids onto dense indices
+  // (compiled_.threads iterates in ascending tid order).
+  const std::size_t count = compiled_.threads.size();
+  threads_.reserve(count);
+  tids_.reserve(count);
   for (const auto& [tid, ct] : compiled_.threads) {
     Th t;
     t.tid = tid;
+    t.idx = static_cast<std::int32_t>(threads_.size());
     t.ct = &ct;
     const ThreadPolicy& pol = cfg_.sched.policy_of(tid);
     t.prio_overridden = pol.override_priority;
@@ -270,17 +405,42 @@ void Engine::init_threads() {
       t.bound = ct.bound;
     }
     if (t.bound_cpu >= cfg_.hw.cpus) t.bound_cpu = cfg_.hw.cpus - 1;
-    threads_.emplace(tid, std::move(t));
+    tids_.push_back(tid);
+    threads_.push_back(std::move(t));
   }
-  thread_list_.reserve(threads_.size());
-  for (auto& [tid, t] : threads_) thread_list_.push_back(&t);
+  // Direct tid -> idx table when the ids are reasonably dense;
+  // hand-written traces with wild ids fall back to binary search.
+  const ThreadId max_tid = tids_.empty() ? 0 : tids_.back();
+  if (!tids_.empty() && tids_.front() >= 0 &&
+      static_cast<std::size_t>(max_tid) <= 4 * count + 1024) {
+    tid_to_idx_.assign(static_cast<std::size_t>(max_tid) + 1, -1);
+    for (const Th& t : threads_)
+      tid_to_idx_[static_cast<std::size_t>(t.tid)] = t.idx;
+  }
+  joiners_.resize(count);
+  lwps_.reserve(count + static_cast<std::size_t>(cfg_.hw.cpus) + 4);
+
+  // Every user priority a thread can ever hold: the initial/policy
+  // priorities plus every thr_setprio argument in the trace.  The
+  // dispatch-queue buckets are ranks into this table.
+  prios_.push_back(0);
+  for (const Th& t : threads_) prios_.push_back(t.prio);
+  prios_.insert(prios_.end(), compiled_.setprio_values.begin(),
+                compiled_.setprio_values.end());
+  std::sort(prios_.begin(), prios_.end());
+  prios_.erase(std::unique(prios_.begin(), prios_.end()), prios_.end());
+  rq_.configure(static_cast<int>(prios_.size()));
+  // kq_ is configured lazily by dispatch_queued(): its bucket array is
+  // prios × TS levels, and most runs never see > 64 waiting LWPs.
+  kq_bound_.resize(static_cast<std::size_t>(cfg_.hw.cpus));
+
   // Main starts at time zero; threads never created by a logged
   // thr_create (hand-written traces) appear at their first record.
-  for (auto& [tid, t] : threads_) {
-    if (tid == 1) {
-      spawn_thread(tid, SimTime::zero());
+  for (Th& t : threads_) {
+    if (t.tid == 1) {
+      spawn_thread(t.tid, SimTime::zero());
     } else if (!t.ct->created_in_log) {
-      spawn_thread(tid, t.ct->first_record_at);
+      spawn_thread(t.tid, t.ct->first_record_at);
     }
   }
 }
@@ -307,7 +467,11 @@ void Engine::spawn_thread(ThreadId tid, SimTime at) {
     lwp.thread = tid;
     lwp.th = &t;
     t.lwp = lwp.id;
+    mark_unplaced(lwp);
+  } else {
+    rq_put(t);
   }
+  defer_ready(t);
 }
 
 // ---------------------------------------------------------------------------
@@ -321,55 +485,60 @@ bool Engine::dispatchable(const Lwp& lwp) const {
   return t.st == Th::St::kReady && t.ready_at <= now_;
 }
 
-void Engine::attach_unbound_threads() {
-  // Ready, unbound, unattached threads in (priority, FIFO) order.
-  std::vector<Th*> ready;
-  for (Th* tp : thread_list_) {
-    Th& t = *tp;
-    if (!t.bound && !t.suspended && t.st == Th::St::kReady &&
-        t.ready_at <= now_ && t.lwp == -1)
-      ready.push_back(&t);
+/// Lowest-numbered free non-dedicated LWP, growing the unbound pool
+/// lazily (up to its configured size) once the existing ones are busy.
+Lwp* Engine::acquire_free_lwp() {
+  while (!free_lwps_.empty()) {
+    const int id = free_lwps_.top();
+    free_lwps_.pop();
+    Lwp& lwp = lwps_[static_cast<std::size_t>(id)];
+    lwp.in_free_heap = false;
+    if (!lwp.dedicated && lwp.thread == ult::kNoThread) return &lwp;
   }
-  if (ready.empty()) return;
-  std::sort(ready.begin(), ready.end(), [](const Th* a, const Th* b) {
-    if (a->prio != b->prio) return a->prio > b->prio;
-    return a->lib_seq < b->lib_seq;
-  });
+  if (unbound_lwps_made_ < unbound_pool_size_) {
+    ++unbound_lwps_made_;
+    return &new_lwp(/*dedicated=*/false, -1);
+  }
+  return nullptr;
+}
 
-  std::size_t next = 0;
-  for (Lwp& lwp : lwps_) {
-    if (next >= ready.size()) break;
-    if (lwp.dedicated || lwp.thread != ult::kNoThread) continue;
-    Th& t = *ready[next++];
-    emit_lwp_segment(lwp);
-    lwp.thread = t.tid;
-    lwp.th = &t;
-    lwp.seg_thread = t.tid;
-    t.lwp = lwp.id;
-    if (lwp.slept) {
+void Engine::attach_unbound_threads() {
+  // Pop eligible threads off the library dispatch queue in (priority,
+  // FIFO) order and pair each with the lowest free LWP — the same
+  // pairing the sort-then-scan produced, without building either list.
+  for (;;) {
+    Th* t = rq_.scan([this](Th* cand, std::uint32_t epoch) {
+      if (epoch != cand->rq_epoch) return DispQueue<Th*>::Visit::kDrop;
+      if (cand->ready_at > now_) return DispQueue<Th*>::Visit::kSkip;
+      return DispQueue<Th*>::Visit::kTake;
+    });
+    if (t == nullptr) return;
+    t->in_rq = false;
+    ++t->rq_epoch;
+    Lwp* lwp = acquire_free_lwp();
+    if (lwp == nullptr) {
+      // No LWP for it: back to its exact queue position (same seq).
+      t->in_rq = true;
+      rq_.insert(t->rq_bucket, t, t->lib_seq, t->rq_epoch);
+      return;
+    }
+    emit_lwp_segment(*lwp);
+    lwp->thread = t->tid;
+    lwp->th = t;
+    lwp->seg_thread = t->tid;
+    t->lwp = lwp->id;
+    if (lwp->slept) {
       // The LWP was idle (asleep in the kernel); returning to the
       // dispatch queue boosts its TS level (ts_slpret).
       if (cfg_.sched.ts_dynamics) {
-        lwp.ts_level = cfg_.sched.ts_table.entry(lwp.ts_level).on_sleep_return;
-        lwp.quantum_left = cfg_.sched.ts_table.entry(lwp.ts_level).quantum;
+        lwp->ts_level = cfg_.sched.ts_table.entry(lwp->ts_level).on_sleep_return;
+        lwp->quantum_left = cfg_.sched.ts_table.entry(lwp->ts_level).quantum;
       }
-      lwp.slept = false;
+      lwp->slept = false;
     }
-    lwp.disp_seq = next_disp_seq_++;
-    lwp.enqueued_at = now_;
-  }
-  // Grow the unbound pool lazily up to its configured size.
-  while (next < ready.size() && unbound_lwps_made_ < unbound_pool_size_) {
-    Lwp& lwp = new_lwp(/*dedicated=*/false, -1);
-    ++unbound_lwps_made_;
-    Th& t = *ready[next++];
-    lwp.thread = t.tid;
-    lwp.th = &t;
-    lwp.seg_since = now_;
-    lwp.seg_thread = t.tid;
-    t.lwp = lwp.id;
-    lwp.disp_seq = next_disp_seq_++;
-    lwp.enqueued_at = now_;
+    lwp->disp_seq = next_disp_seq_++;
+    lwp->enqueued_at = now_;
+    mark_unplaced(*lwp);
   }
 }
 
@@ -378,6 +547,7 @@ void Engine::place(Lwp& lwp, int cpu) {
   lwp.cpu = cpu;
   lwp.seg_cpu = cpu;
   cpu_lwp_[static_cast<std::size_t>(cpu)] = lwp.id;
+  --idle_cpus_;
   Th& t = *lwp.th;
   cpu_running_[static_cast<std::size_t>(cpu)] = t.tid;
   ++result_.cpu_stats[static_cast<std::size_t>(cpu)].dispatches;
@@ -397,21 +567,35 @@ void Engine::unplace(Lwp& lwp) {
   lwp.seg_cpu = -1;
   cpu_lwp_[static_cast<std::size_t>(lwp.cpu)] = -1;
   cpu_running_[static_cast<std::size_t>(lwp.cpu)] = ult::kNoThread;
+  ++idle_cpus_;
   lwp.cpu = -1;
   if (lwp.th != nullptr) {
     Th& t = *lwp.th;
     if (t.st == Th::St::kRunning) set_state(t, Th::St::kReady);
     lwp.enqueued_at = now_;
+    mark_unplaced(lwp);
   }
 }
 
 void Engine::dispatch_lwps() {
+  if (unplaced_.empty()) return;
   const auto& table = cfg_.sched.ts_table;
 
-  // Starvation relief for LWPs stuck in the dispatch queue (ts_lwait).
-  if (cfg_.sched.ts_dynamics) {
-    for (Lwp& lwp : lwps_) {
-      if (lwp.cpu >= 0 || !dispatchable(lwp)) continue;
+  // One pass over the unplaced list: drop stale entries (placed or
+  // detached since), apply starvation relief (ts_lwait) per waiter,
+  // and collect the dispatchable ones.
+  disp_scratch_.clear();
+  std::size_t keep = 0;
+  for (std::size_t r = 0; r < unplaced_.size(); ++r) {
+    const int lid = unplaced_[r];
+    Lwp& lwp = lwps_[static_cast<std::size_t>(lid)];
+    if (lwp.cpu >= 0 || lwp.thread == ult::kNoThread) {
+      lwp.in_unplaced = false;
+      continue;
+    }
+    unplaced_[keep++] = lid;
+    if (!dispatchable(lwp)) continue;
+    if (cfg_.sched.ts_dynamics) {
       const TsEntry& e = table.entry(lwp.ts_level);
       if (now_ - lwp.enqueued_at > e.max_wait) {
         lwp.ts_level = e.on_starve;
@@ -419,71 +603,72 @@ void Engine::dispatch_lwps() {
         lwp.enqueued_at = now_;
       }
     }
+    disp_scratch_.push_back(&lwp);
   }
+  unplaced_.resize(keep);
+  if (disp_scratch_.empty()) return;
 
-  // Waiting (dispatchable, not placed) LWPs.  CPUs are filled by
-  // linear selection of the best waiter (user priority, then TS level,
-  // then FIFO) rather than by sorting: with many LWPs and few CPUs the
-  // selection is what an O(1)-dispatch kernel queue would do, and it
-  // keeps the per-event cost proportional to the waiting count.
-  auto user_prio_of = [](const Lwp& lwp) {
-    return lwp.th == nullptr ? 0 : lwp.th->prio;
-  };
-  auto better = [&user_prio_of](const Lwp& a, const Lwp& b) {
-    const int ua = user_prio_of(a), ub = user_prio_of(b);
+  // With a handful of waiters (the overwhelmingly common case: at most
+  // a few more runnable LWPs than CPUs), direct linear selection beats
+  // setting up the bucket queues.  The dispatch order — (user prio, TS
+  // level, FIFO), a total order since disp_seq is unique — is the same
+  // either way, so the paths are interchangeable decision-for-decision.
+  if (disp_scratch_.size() <= 64) {
+    dispatch_linear();
+  } else {
+    dispatch_queued();
+  }
+}
+
+/// Small-waiter dispatch: selection by linear scan of disp_scratch_.
+void Engine::dispatch_linear() {
+  auto better = [](const Lwp& a, const Lwp& b) {
+    const int ua = a.th->prio, ub = b.th->prio;
     if (ua != ub) return ua > ub;
     if (a.ts_level != b.ts_level) return a.ts_level > b.ts_level;
     return a.disp_seq < b.disp_seq;
   };
-  std::vector<Lwp*> waiting;
-  for (Lwp& lwp : lwps_) {
-    if (lwp.cpu < 0 && dispatchable(lwp)) waiting.push_back(&lwp);
-  }
-  if (waiting.empty()) return;
-
-  auto cpu_allowed = [](const Lwp& lwp, int cpu) {
-    return lwp.bound_cpu < 0 || lwp.bound_cpu == cpu;
-  };
-  auto take_best_for = [&](int cpu) -> Lwp* {
-    std::size_t best = waiting.size();
-    for (std::size_t i = 0; i < waiting.size(); ++i) {
-      if (!cpu_allowed(*waiting[i], cpu)) continue;
-      if (best == waiting.size() || better(*waiting[i], *waiting[best]))
-        best = i;
-    }
-    if (best == waiting.size()) return nullptr;
-    Lwp* out = waiting[best];
-    waiting.erase(waiting.begin() + static_cast<std::ptrdiff_t>(best));
+  auto take = [this](std::size_t i) {
+    Lwp* out = disp_scratch_[i];
+    disp_scratch_[i] = disp_scratch_.back();
+    disp_scratch_.pop_back();
     return out;
   };
+  const std::size_t npos = static_cast<std::size_t>(-1);
 
-  // Fill idle CPUs.
-  for (int cpu = 0; cpu < cfg_.hw.cpus && !waiting.empty(); ++cpu) {
+  // Fill idle CPUs in ascending order with the best allowed waiter.
+  for (int cpu = 0; idle_cpus_ > 0 && cpu < cfg_.hw.cpus && !disp_scratch_.empty();
+       ++cpu) {
     if (cpu_lwp_[static_cast<std::size_t>(cpu)] != -1) continue;
-    if (Lwp* lwp = take_best_for(cpu)) place(*lwp, cpu);
+    std::size_t best = npos;
+    for (std::size_t i = 0; i < disp_scratch_.size(); ++i) {
+      const Lwp& cand = *disp_scratch_[i];
+      if (cand.bound_cpu >= 0 && cand.bound_cpu != cpu) continue;
+      if (best == npos || better(cand, *disp_scratch_[best])) best = i;
+    }
+    if (best != npos) place(*take(best), cpu);
   }
 
-  // Preemption: a waiting LWP with a strictly higher (user prio, TS
-  // level) evicts the weakest running LWP it may run on.
-  auto key = [&user_prio_of](const Lwp& lwp) {
-    return std::pair<int, int>(user_prio_of(lwp), lwp.ts_level);
-  };
-  for (;;) {
-    if (waiting.empty()) break;
-    // Strongest waiter overall.
+  // Preemption: the strongest waiter evicts the weakest running LWP it
+  // may run on; stop at the first contender without a strictly weaker
+  // (user prio, TS level) victim.
+  while (!disp_scratch_.empty()) {
     std::size_t ci = 0;
-    for (std::size_t i = 1; i < waiting.size(); ++i) {
-      if (better(*waiting[i], *waiting[ci])) ci = i;
+    for (std::size_t i = 1; i < disp_scratch_.size(); ++i) {
+      if (better(*disp_scratch_[i], *disp_scratch_[ci])) ci = i;
     }
-    Lwp* contender = waiting[ci];
+    Lwp* contender = disp_scratch_[ci];
     int victim_cpu = -1;
-    std::pair<int, int> victim_key = key(*contender);
+    std::pair<int, int> victim_key(contender->th->prio, contender->ts_level);
     for (int cpu = 0; cpu < cfg_.hw.cpus; ++cpu) {
       const int lid = cpu_lwp_[static_cast<std::size_t>(cpu)];
-      if (lid < 0 || !cpu_allowed(*contender, cpu)) continue;
+      if (lid < 0) continue;
+      if (contender->bound_cpu >= 0 && contender->bound_cpu != cpu) continue;
       const Lwp& running = lwps_[static_cast<std::size_t>(lid)];
-      if (key(running) < victim_key) {
-        victim_key = key(running);
+      const std::pair<int, int> running_key(
+          running.th == nullptr ? 0 : running.th->prio, running.ts_level);
+      if (running_key < victim_key) {
+        victim_key = running_key;
         victim_cpu = cpu;
       }
     }
@@ -491,8 +676,119 @@ void Engine::dispatch_lwps() {
     Lwp& victim = lwps_[static_cast<std::size_t>(
         cpu_lwp_[static_cast<std::size_t>(victim_cpu)])];
     unplace(victim);
-    place(*contender, victim_cpu);
-    waiting.erase(waiting.begin() + static_cast<std::ptrdiff_t>(ci));
+    place(*take(ci), victim_cpu);
+  }
+}
+
+/// Large-waiter dispatch: Solaris dispq selection.  Unbound-CPU waiters
+/// go into per-(user-priority rank × TS level) buckets; CPU-bound ones
+/// onto small per-CPU lists.
+void Engine::dispatch_queued() {
+  if (!kq_ready_) {
+    kq_.configure(static_cast<int>(prios_.size()) * kTsLevels);
+    kq_ready_ = true;
+  }
+  kq_.clear();
+  for (const int cpu : kq_bound_touched_)
+    kq_bound_[static_cast<std::size_t>(cpu)].clear();
+  kq_bound_touched_.clear();
+
+  for (Lwp* lp : disp_scratch_) {
+    Lwp& lwp = *lp;
+    const KWaiter kw{&lwp, lwp.th->prio, lwp.ts_level, lwp.disp_seq};
+    if (lwp.bound_cpu >= 0) {
+      auto& list = kq_bound_[static_cast<std::size_t>(lwp.bound_cpu)];
+      if (list.empty()) kq_bound_touched_.push_back(lwp.bound_cpu);
+      list.push_back(kw);
+    } else {
+      const int ts = std::clamp(lwp.ts_level, 0, kTsLevels - 1);
+      kq_.insert(rank_of(kw.uprio) * kTsLevels + ts, kw, kw.seq, 0);
+    }
+  }
+
+  // (user priority, TS level, FIFO) — the dispatch order.
+  auto better = [](const KWaiter& a, const KWaiter& b) {
+    if (a.uprio != b.uprio) return a.uprio > b.uprio;
+    if (a.ts != b.ts) return a.ts > b.ts;
+    return a.seq < b.seq;
+  };
+  auto best_bound_for = [&](int cpu) {
+    const auto& list = kq_bound_[static_cast<std::size_t>(cpu)];
+    std::size_t best = list.size();
+    for (std::size_t i = 0; i < list.size(); ++i) {
+      if (best == list.size() || better(list[i], list[best])) best = i;
+    }
+    return best;
+  };
+  auto pop_bound = [&](int cpu, std::size_t i) {
+    auto& list = kq_bound_[static_cast<std::size_t>(cpu)];
+    const KWaiter out = list[i];
+    list[i] = list.back();
+    list.pop_back();
+    return out;
+  };
+
+  // Fill idle CPUs in ascending order with the best allowed waiter:
+  // the unbound queue's head vs the CPU's own bound list.
+  for (int cpu = 0; idle_cpus_ > 0 && cpu < cfg_.hw.cpus; ++cpu) {
+    if (cpu_lwp_[static_cast<std::size_t>(cpu)] != -1) continue;
+    const auto* ub = kq_.top();
+    const std::size_t bi = best_bound_for(cpu);
+    const auto& blist = kq_bound_[static_cast<std::size_t>(cpu)];
+    if (ub != nullptr && (bi == blist.size() || better(ub->item, blist[bi]))) {
+      place(*kq_.pop_top().lwp, cpu);
+    } else if (bi != blist.size()) {
+      place(*pop_bound(cpu, bi).lwp, cpu);
+    }
+  }
+
+  // Preemption: the strongest waiter overall evicts the weakest
+  // running LWP it may run on; stop at the first contender that finds
+  // no victim with a strictly lower (user prio, TS level).
+  for (;;) {
+    const auto* ub = kq_.top();
+    bool have = ub != nullptr;
+    KWaiter contender = have ? ub->item : KWaiter{};
+    int contender_bcpu = -1;
+    std::size_t contender_bi = 0;
+    for (const int cpu : kq_bound_touched_) {
+      const auto& list = kq_bound_[static_cast<std::size_t>(cpu)];
+      for (std::size_t i = 0; i < list.size(); ++i) {
+        if (!have || better(list[i], contender)) {
+          have = true;
+          contender = list[i];
+          contender_bcpu = cpu;
+          contender_bi = i;
+        }
+      }
+    }
+    if (!have) break;
+
+    int victim_cpu = -1;
+    std::pair<int, int> victim_key(contender.uprio, contender.ts);
+    for (int cpu = 0; cpu < cfg_.hw.cpus; ++cpu) {
+      const int lid = cpu_lwp_[static_cast<std::size_t>(cpu)];
+      if (lid < 0) continue;
+      if (contender.lwp->bound_cpu >= 0 && contender.lwp->bound_cpu != cpu)
+        continue;
+      const Lwp& running = lwps_[static_cast<std::size_t>(lid)];
+      const std::pair<int, int> running_key(
+          running.th == nullptr ? 0 : running.th->prio, running.ts_level);
+      if (running_key < victim_key) {
+        victim_key = running_key;
+        victim_cpu = cpu;
+      }
+    }
+    if (victim_cpu < 0) break;
+    if (contender_bcpu >= 0) {
+      pop_bound(contender_bcpu, contender_bi);
+    } else {
+      kq_.pop_top();
+    }
+    Lwp& victim = lwps_[static_cast<std::size_t>(
+        cpu_lwp_[static_cast<std::size_t>(victim_cpu)])];
+    unplace(victim);
+    place(*contender.lwp, victim_cpu);
   }
 }
 
@@ -505,7 +801,10 @@ void Engine::assign() {
 // Execution
 
 bool Engine::lwp_waiting_for_cpu() const {
-  for (const Lwp& lwp : lwps_) {
+  // Every attached LWP without a CPU is on unplaced_ (stale entries are
+  // compacted by dispatch_lwps; here they are just skipped).
+  for (const int lid : unplaced_) {
+    const Lwp& lwp = lwps_[static_cast<std::size_t>(lid)];
     if (lwp.cpu < 0 && dispatchable(lwp)) return true;
   }
   return false;
@@ -517,7 +816,7 @@ double Engine::rate_factor() const {
   return 1.0 + alpha * static_cast<double>(running_count_ - 1);
 }
 
-SimTime Engine::next_event_time() const {
+SimTime Engine::next_event_time() {
   SimTime next = SimTime::max();
   const double rate = rate_factor();
   // Quantum expiry only changes anything when an LWP is waiting for a
@@ -525,19 +824,34 @@ SimTime Engine::next_event_time() const {
   // is applied lazily at the next natural event, which avoids flooding
   // long uncontended computations with expiry events.
   const bool contended = lwp_waiting_for_cpu();
-  for (const Th* tp : thread_list_) {
-    const Th& t = *tp;
-    if (t.st == Th::St::kRunning) {
-      next = std::min(next, now_ + t.remaining.scaled(rate));
-      if (contended) {
-        const Lwp& lwp = lwps_[static_cast<std::size_t>(t.lwp)];
-        next = std::min(next, now_ + lwp.quantum_left);
+  // Running threads are exactly the placed LWPs' threads.  rate == 1.0
+  // (no memory contention) keeps the arithmetic integral: scaled(1.0)
+  // is the identity for any representable duration.
+  for (int cpu = 0; cpu < cfg_.hw.cpus; ++cpu) {
+    const int lid = cpu_lwp_[static_cast<std::size_t>(cpu)];
+    if (lid < 0) continue;
+    const Lwp& lwp = lwps_[static_cast<std::size_t>(lid)];
+    const SimTime rem = lwp.th->remaining;
+    next = std::min(next, now_ + (rate == 1.0 ? rem : rem.scaled(rate)));
+    if (contended) next = std::min(next, now_ + lwp.quantum_left);
+  }
+  // Sleep (wake_at) and deferred-ready (ready_at) timers, validated
+  // lazily: a timer whose thread has moved on, or that is already due
+  // (every due timer was consumed by process_due_now), is discarded.
+  while (!timers_.empty()) {
+    const Timer& top = timers_.front();
+    if (top.when > now_) {
+      const Th& t = threads_[static_cast<std::size_t>(top.idx)];
+      const bool armed =
+          top.sleep ? t.st == Th::St::kSleeping && t.wake_at == top.when
+                    : t.st == Th::St::kReady && t.ready_at == top.when;
+      if (armed) {
+        next = std::min(next, top.when);
+        break;
       }
-    } else if (t.st == Th::St::kReady && t.ready_at > now_) {
-      next = std::min(next, t.ready_at);
-    } else if (t.st == Th::St::kSleeping) {
-      next = std::min(next, t.wake_at);
     }
+    std::pop_heap(timers_.begin(), timers_.end(), TimerLater{});
+    timers_.pop_back();
   }
   return next;
 }
@@ -547,17 +861,18 @@ void Engine::advance_to(SimTime when) {
   const SimTime dt = when - now_;
   if (dt.is_zero()) return;
   const double rate = rate_factor();
-  for (Th* tp : thread_list_) {
-    Th& t = *tp;
-    if (t.st != Th::St::kRunning) continue;
-    SimTime progress = dt.scaled(1.0 / rate);
+  for (int cpu = 0; cpu < cfg_.hw.cpus; ++cpu) {
+    const int lid = cpu_lwp_[static_cast<std::size_t>(cpu)];
+    if (lid < 0) continue;
+    Lwp& lwp = lwps_[static_cast<std::size_t>(lid)];
+    Th& t = *lwp.th;
+    SimTime progress = rate == 1.0 ? dt : dt.scaled(1.0 / rate);
     if (progress > t.remaining) progress = t.remaining;
     t.remaining -= progress;
-    Lwp& lwp = lwps_[static_cast<std::size_t>(t.lwp)];
     lwp.quantum_left =
         lwp.quantum_left > dt ? lwp.quantum_left - dt : SimTime::zero();
     lwp.running_total += dt;
-    result_.cpu_stats[static_cast<std::size_t>(lwp.cpu)].busy += dt;
+    result_.cpu_stats[static_cast<std::size_t>(cpu)].busy += dt;
   }
   now_ = when;
 }
@@ -569,15 +884,30 @@ bool Engine::process_due_now() {
   bool changed = false;
 
   // Timer wakeups (timed-out cond_timedwait and I/O-latency replays).
-  for (Th* tp : thread_list_) {
-    Th& t = *tp;
-    if (t.st == Th::St::kSleeping && t.wake_at <= now_) {
+  // Pop every due timer, keep the sleeper ones, and process them in
+  // ascending thread order (idx order == tid order) with the state
+  // revalidated per thread — duplicates and timers whose thread was
+  // woken by other means fall out of the revalidation.
+  due_scratch_.clear();
+  while (!timers_.empty() && timers_.front().when <= now_) {
+    const Timer top = timers_.front();
+    std::pop_heap(timers_.begin(), timers_.end(), TimerLater{});
+    timers_.pop_back();
+    if (top.sleep) due_scratch_.push_back(top.idx);
+  }
+  if (!due_scratch_.empty()) {
+    if (due_scratch_.size() > 1)
+      std::sort(due_scratch_.begin(), due_scratch_.end());
+    for (const int idx : due_scratch_) {
+      Th& t = threads_[static_cast<std::size_t>(idx)];
+      if (t.st != Th::St::kSleeping || t.wake_at > now_) continue;
       if (t.wait == Th::Wait::kIoSleep) {
         t.wait = Th::Wait::kNone;
         set_state(t, Th::St::kReady);
         t.ready_at = now_;
         t.lib_seq = next_lib_seq_++;
         complete_op_for(t);
+        rq_put(t);
         changed = true;
         continue;
       }
@@ -594,30 +924,56 @@ bool Engine::process_due_now() {
 
   // Quantum expiry: the running LWP's level decays and — when another
   // LWP is waiting for a CPU — it goes to the back of the dispatch
-  // queue.  Without contention the refresh happens in place.
+  // queue.  Without contention the refresh happens in place.  Only a
+  // placed LWP can expire, so the CPU map is the candidate set;
+  // processing stays in ascending LWP-id order.
   const bool contended = lwp_waiting_for_cpu();
-  for (Lwp& lwp : lwps_) {
-    if (lwp.cpu < 0 || !lwp.quantum_left.is_zero()) continue;
-    if (cfg_.sched.ts_dynamics)
-      lwp.ts_level = cfg_.sched.ts_table.entry(lwp.ts_level).on_expiry;
-    lwp.quantum_left = cfg_.sched.ts_table.entry(lwp.ts_level).quantum;
-    if (contended) {
-      lwp.disp_seq = next_disp_seq_++;
-      unplace(lwp);
-      changed = true;
+  due_scratch_.clear();
+  phase_scratch_.clear();
+  for (int cpu = 0; cpu < cfg_.hw.cpus; ++cpu) {
+    const int lid = cpu_lwp_[static_cast<std::size_t>(cpu)];
+    if (lid < 0) continue;
+    Lwp& lwp = lwps_[static_cast<std::size_t>(lid)];
+    if (lwp.quantum_left.is_zero()) due_scratch_.push_back(lid);
+    // Phase-completion candidates, collected in the same pass; the
+    // revalidation below drops any the expiry processing unplaces,
+    // and nothing in this pass can create a new completion.
+    Th& t = *lwp.th;
+    if (t.st == Th::St::kRunning && t.remaining.is_zero())
+      phase_scratch_.push_back(&t);
+  }
+  if (!due_scratch_.empty()) {
+    if (due_scratch_.size() > 1)
+      std::sort(due_scratch_.begin(), due_scratch_.end());
+    for (const int lid : due_scratch_) {
+      Lwp& lwp = lwps_[static_cast<std::size_t>(lid)];
+      if (lwp.cpu < 0 || !lwp.quantum_left.is_zero()) continue;
+      if (cfg_.sched.ts_dynamics)
+        lwp.ts_level = cfg_.sched.ts_table.entry(lwp.ts_level).on_expiry;
+      lwp.quantum_left = cfg_.sched.ts_table.entry(lwp.ts_level).quantum;
+      if (contended) {
+        lwp.disp_seq = next_disp_seq_++;
+        unplace(lwp);
+        changed = true;
+      }
     }
   }
 
   // Phase completions for running threads, in deterministic tid order.
-  for (Th* tp : thread_list_) {
-    Th& t = *tp;
-    if (t.st != Th::St::kRunning || !t.remaining.is_zero()) continue;
-    if (t.phase == Th::Phase::kCompute) {
-      apply_op(t);
-    } else {
-      advance_step(t);
+  if (!phase_scratch_.empty()) {
+    if (phase_scratch_.size() > 1)
+      std::sort(phase_scratch_.begin(), phase_scratch_.end(),
+                [](const Th* a, const Th* b) { return a->idx < b->idx; });
+    for (Th* tp : phase_scratch_) {
+      Th& t = *tp;
+      if (t.st != Th::St::kRunning || !t.remaining.is_zero()) continue;
+      if (t.phase == Th::Phase::kCompute) {
+        apply_op(t);
+      } else {
+        advance_step(t);
+      }
+      changed = true;
     }
-    changed = true;
   }
   return changed;
 }
@@ -656,10 +1012,12 @@ void Engine::apply_op(Th& t) {
         lwp.th = nullptr;
         t.lwp = -1;
         lwp.slept = true;
+        mark_free(lwp);
       } else {
         lwp.disp_seq = next_disp_seq_++;
       }
       t.lib_seq = next_lib_seq_++;
+      rq_put(t);
       enter_op_cost(t);
       break;
     }
@@ -669,7 +1027,10 @@ void Engine::apply_op(Th& t) {
         Th& tgt = th(target);
         // A user-supplied priority override makes the simulator ignore
         // the thr_setprio events for that thread (paper §3.2).
-        if (!tgt.prio_overridden) tgt.prio = static_cast<int>(s.arg);
+        if (!tgt.prio_overridden) {
+          tgt.prio = static_cast<int>(s.arg);
+          rq_put(tgt);  // rebucket, keeping its arrival seq
+        }
       }
       enter_op_cost(t);
       break;
@@ -692,6 +1053,7 @@ void Engine::apply_op(Th& t) {
             Lwp& lwp = lwps_[static_cast<std::size_t>(tgt.lwp)];
             unplace(lwp);
           }
+          rq_put(tgt);  // drops it from the library queue, if queued
         }
       }
       enter_op_cost(t);
@@ -703,6 +1065,7 @@ void Engine::apply_op(Th& t) {
         Th& tgt = th(target);
         tgt.pending_suspend = false;
         tgt.suspended = false;
+        rq_put(tgt);  // back into the library queue at its old seq
       }
       enter_op_cost(t);
       break;
@@ -758,10 +1121,12 @@ void Engine::apply_op(Th& t) {
           lwp->th = nullptr;
           lwp->seg_thread = 0;
           t.lwp = -1;
+          mark_free(*lwp);
         }
         lwp->slept = true;
       }
       set_state(t, Th::St::kSleeping);
+      push_timer(t.wake_at, t, /*sleep=*/true);
       break;
     }
     case Op::kStartCollect:
@@ -787,7 +1152,7 @@ void Engine::enter_op_cost(Th& t) {
     factor = cfg_.cost.bound_sync_factor;
   }
   t.phase = Th::Phase::kOpCost;
-  t.remaining = s.op_cost.scaled(factor);
+  t.remaining = factor == 1.0 ? s.op_cost : s.op_cost.scaled(factor);
 }
 
 void Engine::advance_step(Th& t) {
@@ -820,6 +1185,7 @@ void Engine::finish_thread(Th& t) {
     lwp.seg_thread = 0;
     lwp.slept = true;
     t.lwp = -1;
+    mark_free(lwp);
   }
   set_state(t, Th::St::kDone);
   t.exited = true;
@@ -830,17 +1196,17 @@ void Engine::finish_thread(Th& t) {
 
 void Engine::thread_exited(Th& t) {
   // Specific joiners first.
-  auto it = joiners_.find(t.tid);
-  if (it != joiners_.end() && !it->second.empty()) {
-    const ThreadId j = it->second.pop();
+  WaitQueue& jq = joiners_[static_cast<std::size_t>(t.idx)];
+  if (!jq.empty()) {
+    const ThreadId j = jq.pop();
     Th& joiner = th(j);
     t.reaped = true;
     joiner.wait = Th::Wait::kNone;
     unblock(joiner);
     // Remaining specific joiners lose the race (ESRCH in the real API);
     // release them too so the replay cannot hang.
-    while (!it->second.empty()) {
-      Th& also = th(it->second.pop());
+    while (!jq.empty()) {
+      Th& also = th(jq.pop());
       also.wait = Th::Wait::kNone;
       unblock(also);
     }
@@ -881,6 +1247,7 @@ void Engine::block(Th& t, Th::Wait wait, std::uint32_t obj) {
       lwp->seg_thread = 0;
       t.lwp = -1;
       lwp->slept = true;  // will boost when it picks up new work
+      mark_free(*lwp);
     } else {
       lwp->slept = true;  // bound LWP sleeps with its thread
     }
@@ -901,6 +1268,8 @@ void Engine::unblock(Th& t) {
   }
   t.ready_at = now_ + wake_delay(t);
   t.lib_seq = next_lib_seq_++;
+  rq_put(t);
+  defer_ready(t);
   complete_op_for(t);
 }
 
@@ -962,6 +1331,8 @@ void Engine::acquire_mutex_or_block(Th& t, std::uint32_t mutex_id) {
     if (t.st == Th::St::kBlocked) set_state(t, Th::St::kReady);
     t.ready_at = std::max(t.ready_at, now_);
     t.wait = Th::Wait::kNone;
+    rq_put(t);
+    defer_ready(t);
     complete_op_for(t);
     return;
   }
@@ -987,6 +1358,8 @@ void Engine::op_create(Th& t, const Step& s) {
     c.ready_at = now_ + wake_delay(c);
     constexpr long kThrSuspended = 0x80;  // THR_SUSPENDED
     if ((s.arg & kThrSuspended) != 0) c.suspended = true;
+    rq_put(c);  // re-sync: ready_at/suspended changed after the spawn
+    defer_ready(c);
   }
   enter_op_cost(t);
 }
@@ -1028,7 +1401,7 @@ void Engine::op_join(Th& t, const Step& s) {
   }
   block(t, Th::Wait::kJoin, s.obj.id);
   t.join_target = tgt_id;
-  joiners_[tgt_id].push(t.tid, t.prio);
+  joiners_[static_cast<std::size_t>(target_th.idx)].push(t.tid, t.prio);
 }
 
 void Engine::op_mutex(Th& t, const Step& s) {
@@ -1128,10 +1501,12 @@ void Engine::op_cond(Th& t, const Step& s) {
             lwp->thread = ult::kNoThread;
             lwp->th = nullptr;
             t.lwp = -1;
+            mark_free(*lwp);
           }
           lwp->slept = true;
         }
         set_state(t, Th::St::kSleeping);
+        push_timer(t.wake_at, t, /*sleep=*/true);
         break;
       }
 
@@ -1147,6 +1522,7 @@ void Engine::op_cond(Th& t, const Step& s) {
             lwp2->thread = ult::kNoThread;
             lwp2->th = nullptr;
             t.lwp = -1;
+            mark_free(*lwp2);
           }
           lwp2->slept = true;
         }
@@ -1202,7 +1578,9 @@ void Engine::op_cond(Th& t, const Step& s) {
                                        << s.obj.id);
         c.pending = SimCond::PendingBroadcast{t.tid, needed};
         t.reacquire = t.held_mutexes;
-        for (const std::uint32_t id : std::vector<std::uint32_t>(t.held_mutexes))
+        // do_unlock_mutex edits held_mutexes; iterate a scratch copy.
+        mutex_scratch_.assign(t.held_mutexes.begin(), t.held_mutexes.end());
+        for (const std::uint32_t id : mutex_scratch_)
           do_unlock_mutex(t, id);
         block(t, Th::Wait::kBarrier, s.obj.id);
       }
@@ -1279,8 +1657,8 @@ void Engine::op_rwlock(Th& t, const Step& s) {
 void Engine::replay_deadlock() {
   std::ostringstream os;
   os << "replay deadlock at t=" << now_ << ":\n";
-  for (const auto& [tid, t] : threads_) {
-    os << "  T" << tid << " step " << t.step << "/" << t.ct->steps.size();
+  for (const Th& t : threads_) {
+    os << "  T" << t.tid << " step " << t.step << "/" << t.ct->steps.size();
     switch (t.st) {
       case Th::St::kUnborn: os << " unborn"; break;
       case Th::St::kReady: os << " ready"; break;
@@ -1305,6 +1683,7 @@ SimResult Engine::run() {
                            : static_cast<int>(compiled_.threads.size());
   cpu_running_.assign(static_cast<std::size_t>(cfg_.hw.cpus), ult::kNoThread);
   cpu_lwp_.assign(static_cast<std::size_t>(cfg_.hw.cpus), -1);
+  idle_cpus_ = cfg_.hw.cpus;
   result_.cpu_stats.resize(static_cast<std::size_t>(cfg_.hw.cpus));
   for (int c = 0; c < cfg_.hw.cpus; ++c)
     result_.cpu_stats[static_cast<std::size_t>(c)].cpu = c;
@@ -1321,7 +1700,7 @@ SimResult Engine::run() {
     const SimTime next = next_event_time();
     if (next == SimTime::max()) {
       bool all_done = true;
-      for (const auto& [tid, t] : threads_) {
+      for (const Th& t : threads_) {
         if (t.st != Th::St::kDone) all_done = false;
       }
       if (all_done) break;
@@ -1339,10 +1718,10 @@ SimResult Engine::run() {
                               static_cast<double>(result_.total.ns());
   result_.cpus = cfg_.hw.cpus;
   result_.lwps = unbound_pool_size_;
-  for (auto& [tid, t] : threads_) {
+  for (Th& t : threads_) {
     // Every thread is done here; its last segment was flushed when it
     // exited, so only the stats remain to be published.
-    result_.threads.emplace(tid, t.stats);
+    result_.threads.emplace(t.tid, t.stats);
   }
   for (Lwp& lwp : lwps_) emit_lwp_segment(lwp);
   for (const Lwp& lwp : lwps_) {
@@ -1359,7 +1738,7 @@ SimResult Engine::run() {
               if (a.start != b.start) return a.start < b.start;
               return a.tid < b.tid;
             });
-  return result_;
+  return std::move(result_);
 }
 
 }  // namespace

@@ -3,6 +3,7 @@
 // rules of paper §3.2 applied by the engine.
 #pragma once
 
+#include <deque>
 #include <map>
 #include <optional>
 #include <vector>
@@ -53,17 +54,39 @@ struct SimRwlock {
   WaitQueue writer_q;
 };
 
-/// Lazily-created object tables keyed by the trace's per-kind ids.
-struct ObjectTable {
-  std::map<std::uint32_t, SimMutex> mutexes;
-  std::map<std::uint32_t, SimSema> semas;
-  std::map<std::uint32_t, SimCond> conds;
-  std::map<std::uint32_t, SimRwlock> rwlocks;
+/// Lazily-created objects of one kind.  The compiler assigns per-kind
+/// sequential ids, so small ids index a deque directly (a deque keeps
+/// references stable across growth — the engine holds references while
+/// creating other objects); stray large ids from hand-written traces
+/// fall back to a map.
+template <typename T>
+class ObjectSlab {
+ public:
+  T& at(std::uint32_t id) {
+    if (id < kDenseLimit) {
+      if (id >= dense_.size()) dense_.resize(id + 1);
+      return dense_[id];
+    }
+    return sparse_[id];
+  }
 
-  SimMutex& mutex(std::uint32_t id) { return mutexes[id]; }
-  SimSema& sema(std::uint32_t id) { return semas[id]; }
-  SimCond& cond(std::uint32_t id) { return conds[id]; }
-  SimRwlock& rwlock(std::uint32_t id) { return rwlocks[id]; }
+ private:
+  static constexpr std::uint32_t kDenseLimit = 4096;
+  std::deque<T> dense_;
+  std::map<std::uint32_t, T> sparse_;
+};
+
+/// Object tables keyed by the trace's per-kind ids.
+struct ObjectTable {
+  ObjectSlab<SimMutex> mutexes;
+  ObjectSlab<SimSema> semas;
+  ObjectSlab<SimCond> conds;
+  ObjectSlab<SimRwlock> rwlocks;
+
+  SimMutex& mutex(std::uint32_t id) { return mutexes.at(id); }
+  SimSema& sema(std::uint32_t id) { return semas.at(id); }
+  SimCond& cond(std::uint32_t id) { return conds.at(id); }
+  SimRwlock& rwlock(std::uint32_t id) { return rwlocks.at(id); }
 };
 
 }  // namespace vppb::core

@@ -1,6 +1,7 @@
 #include "core/result.hpp"
 
 #include <algorithm>
+#include <cstring>
 
 #include "util/error.hpp"
 
@@ -61,6 +62,92 @@ std::vector<SimResult::ProfilePoint> SimResult::parallelism_profile(
     out.push_back(ProfilePoint{t, p.running, p.runnable});
   }
   return out;
+}
+
+namespace {
+
+/// FNV-1a over 64-bit words; every field is widened to one word so the
+/// digest is independent of struct padding and host endianness quirks.
+struct Fnv {
+  std::uint64_t h = 1469598103934665603ULL;
+  void mix(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xff;
+      h *= 1099511628211ULL;
+    }
+  }
+  void mix_i64(std::int64_t v) { mix(static_cast<std::uint64_t>(v)); }
+  void mix_time(SimTime t) { mix_i64(t.ns()); }
+  void mix_double(double d) {
+    std::uint64_t bits;
+    static_assert(sizeof bits == sizeof d);
+    std::memcpy(&bits, &d, sizeof bits);
+    mix(bits);
+  }
+};
+
+}  // namespace
+
+std::uint64_t digest(const SimResult& r) {
+  Fnv f;
+  f.mix_time(r.total);
+  f.mix_time(r.recorded_duration);
+  f.mix_double(r.speedup);
+  f.mix_i64(r.cpus);
+  f.mix_i64(r.lwps);
+  f.mix(r.segments.size());
+  for (const Segment& s : r.segments) {
+    f.mix_i64(s.tid);
+    f.mix_time(s.start);
+    f.mix_time(s.end);
+    f.mix_i64(static_cast<int>(s.state));
+    f.mix_i64(s.cpu);
+  }
+  f.mix(r.events.size());
+  for (const SimEvent& e : r.events) {
+    f.mix_time(e.at);
+    f.mix_time(e.done);
+    f.mix_i64(e.tid);
+    f.mix_i64(static_cast<int>(e.op));
+    f.mix_i64(static_cast<int>(e.obj.kind));
+    f.mix_i64(e.obj.id);
+    f.mix_i64(e.outcome);
+    f.mix_i64(e.loc);
+    f.mix_i64(e.cpu);
+  }
+  f.mix(r.threads.size());
+  for (const auto& [tid, st] : r.threads) {
+    f.mix_i64(tid);
+    f.mix_time(st.created_at);
+    f.mix_time(st.exited_at);
+    f.mix_time(st.cpu_time);
+    f.mix_time(st.runnable_time);
+    f.mix_time(st.blocked_time);
+    f.mix_time(st.sleeping_time);
+  }
+  f.mix(r.cpu_stats.size());
+  for (const CpuStats& c : r.cpu_stats) {
+    f.mix_i64(c.cpu);
+    f.mix_time(c.busy);
+    f.mix(c.dispatches);
+  }
+  f.mix(r.lwp_stats.size());
+  for (const LwpStats& l : r.lwp_stats) {
+    f.mix_i64(l.id);
+    f.mix_i64(l.dedicated ? 1 : 0);
+    f.mix_time(l.running);
+    f.mix(l.dispatches);
+    f.mix_i64(l.final_ts_level);
+  }
+  f.mix(r.lwp_segments.size());
+  for (const LwpSegment& s : r.lwp_segments) {
+    f.mix_i64(s.lwp);
+    f.mix_time(s.start);
+    f.mix_time(s.end);
+    f.mix_i64(s.thread);
+    f.mix_i64(s.cpu);
+  }
+  return f.h;
 }
 
 void SimResult::validate() const {

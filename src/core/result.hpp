@@ -126,4 +126,11 @@ struct SimResult {
   void validate() const;
 };
 
+/// Order-sensitive FNV-1a fingerprint of everything in the result:
+/// totals, every segment, event, thread/CPU/LWP stat and LWP segment.
+/// Two results digest equally iff the predicted schedules are
+/// byte-identical — the regression tests use this to pin the engine's
+/// output across scheduler rewrites.
+std::uint64_t digest(const SimResult& r);
+
 }  // namespace vppb::core

@@ -4,6 +4,7 @@
 
 #include "core/engine.hpp"
 #include "util/error.hpp"
+#include "util/thread_pool.hpp"
 
 namespace vppb::core {
 
@@ -53,9 +54,14 @@ double SpeedupCurve::amdahl_speedup(int cpus) const {
 }
 
 int SpeedupCurve::knee(double efficiency_threshold) const {
+  // Only the leading prefix that stays above the threshold counts: a
+  // curve that dips below and later recovers (possible with cache or
+  // contention artifacts) must not report the recovered count as the
+  // knee — the planner would buy CPUs across an efficiency hole.
   int best_cpus = points_.front().cpus;
   for (const SweepPoint& p : points_) {
-    if (p.efficiency >= efficiency_threshold) best_cpus = std::max(best_cpus, p.cpus);
+    if (p.efficiency < efficiency_threshold) break;
+    best_cpus = p.cpus;
   }
   return best_cpus;
 }
@@ -70,20 +76,45 @@ const SweepPoint& SpeedupCurve::best() const {
 SpeedupCurve sweep_cpus(const CompiledTrace& compiled,
                         std::span<const int> cpu_counts,
                         const SimConfig& base) {
+  return sweep_cpus(compiled, cpu_counts, base, SweepOptions{});
+}
+
+SpeedupCurve sweep_cpus(const CompiledTrace& compiled,
+                        std::span<const int> cpu_counts,
+                        const SimConfig& base, const SweepOptions& options) {
   VPPB_CHECK_MSG(!cpu_counts.empty(), "empty CPU sweep");
-  std::vector<SweepPoint> points;
-  points.reserve(cpu_counts.size());
-  for (const int cpus : cpu_counts) {
+  const std::size_t n = cpu_counts.size();
+  std::vector<SweepPoint> points(n);
+  if (options.results != nullptr) {
+    options.results->clear();
+    options.results->resize(n);
+  }
+
+  // Every point reads the shared immutable CompiledTrace and owns its
+  // SimConfig and SimResult, so the points are freely parallel; slot
+  // `i` of points/results belongs to cpu_counts[i], which keeps the
+  // output deterministic whatever order the pool finishes in.
+  auto run_point = [&](std::size_t i) {
+    const int cpus = cpu_counts[i];
     SimConfig cfg = base;
     cfg.hw.cpus = cpus;
-    cfg.build_timeline = false;
-    const SimResult r = simulate(compiled, cfg);
-    SweepPoint p;
+    if (!options.honor_build_timeline) cfg.build_timeline = false;
+    SimResult r = simulate(compiled, cfg);
+    SweepPoint& p = points[i];
     p.cpus = cpus;
     p.speedup = r.speedup;
     p.efficiency = r.speedup / cpus;
     p.total = r.total;
-    points.push_back(p);
+    if (options.results != nullptr) (*options.results)[i] = std::move(r);
+  };
+
+  if (options.pool != nullptr) {
+    options.pool->parallel_for(n, run_point);
+  } else if (options.jobs != 1 && n > 1) {
+    util::ThreadPool pool(options.jobs);
+    pool.parallel_for(n, run_point);
+  } else {
+    for (std::size_t i = 0; i < n; ++i) run_point(i);
   }
   return SpeedupCurve(std::move(points));
 }

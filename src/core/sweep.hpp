@@ -13,7 +13,12 @@
 
 #include "core/compiler.hpp"
 #include "core/config.hpp"
+#include "core/result.hpp"
 #include "util/time.hpp"
+
+namespace vppb::util {
+class ThreadPool;
+}
 
 namespace vppb::core {
 
@@ -37,9 +42,13 @@ class SpeedupCurve {
   /// Predicted speed-up of the fitted Amdahl curve at `cpus`.
   double amdahl_speedup(int cpus) const;
 
-  /// The largest swept CPU count whose efficiency still meets the
-  /// threshold (the "knee" a capacity planner cares about).  Returns
-  /// the smallest swept count when nothing qualifies.
+  /// The largest CPU count of the *leading prefix* of the curve whose
+  /// efficiency stays at or above the threshold (the "knee" a capacity
+  /// planner cares about).  A count only qualifies if every smaller
+  /// swept count also meets the threshold: once efficiency dips below
+  /// it, later recoveries (non-monotone curves) do not move the knee
+  /// outward.  Returns the smallest swept count when even that one
+  /// fails the threshold.
   int knee(double efficiency_threshold = 0.5) const;
 
   /// Largest speed-up over the sweep.
@@ -49,10 +58,41 @@ class SpeedupCurve {
   std::vector<SweepPoint> points_;
 };
 
+/// Controls how sweep_cpus runs the per-configuration simulations.
+struct SweepOptions {
+  /// Simulations in flight: 1 = strictly serial (the default), 0 = one
+  /// per hardware thread, N = exactly N.  Each sweep point simulates an
+  /// immutable CompiledTrace with its own SimConfig, so the points are
+  /// independent; results are always assembled in deterministic
+  /// `cpu_counts` order regardless of completion order.
+  int jobs = 1;
+  /// Reuse an already-running util::ThreadPool instead of spinning one
+  /// up per call (jobs is ignored when set).
+  util::ThreadPool* pool = nullptr;
+  /// By default the sweep forces `build_timeline = false` on every
+  /// point — a sweep wants the speed-up numbers, and building (then
+  /// discarding) full timelines would dominate the cost.  Set this to
+  /// honor `base.build_timeline` instead, together with `results` to
+  /// receive the timelines.
+  bool honor_build_timeline = false;
+  /// When non-null, receives the full SimResult of every point, in
+  /// `cpu_counts` order (the vector is resized to match).
+  std::vector<SimResult>* results = nullptr;
+};
+
 /// Simulates the compiled trace at each CPU count (other parameters from
-/// `base`; its cpu count is ignored).
+/// `base`; its cpu count is ignored).  NOTE: this overload — and the
+/// four-argument one under default options — forces
+/// `base.build_timeline` off for every point; see
+/// SweepOptions::honor_build_timeline to override.
 SpeedupCurve sweep_cpus(const CompiledTrace& compiled,
                         std::span<const int> cpu_counts,
                         const SimConfig& base);
+
+/// As above, with explicit execution options (parallelism, timeline
+/// handling, per-point result capture).
+SpeedupCurve sweep_cpus(const CompiledTrace& compiled,
+                        std::span<const int> cpu_counts,
+                        const SimConfig& base, const SweepOptions& options);
 
 }  // namespace vppb::core

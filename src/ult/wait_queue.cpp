@@ -4,21 +4,29 @@
 
 namespace vppb::ult {
 
+namespace {
+
+/// Heap comparator: "a is woken after b", i.e. a is worse.  std::*_heap
+/// keeps the maximum (the next thread to wake) at the front.
+struct Cmp {
+  bool operator()(const WaitQueue::Entry& a, const WaitQueue::Entry& b) const {
+    if (a.priority != b.priority) return a.priority < b.priority;
+    return a.seq > b.seq;
+  }
+};
+
+}  // namespace
+
 void WaitQueue::push(ThreadId tid, int priority) {
   entries_.push_back(Entry{tid, priority, next_seq_++});
+  std::push_heap(entries_.begin(), entries_.end(), Cmp{});
 }
 
 ThreadId WaitQueue::pop() {
   if (entries_.empty()) return kNoThread;
-  auto best = entries_.begin();
-  for (auto it = std::next(entries_.begin()); it != entries_.end(); ++it) {
-    if (it->priority > best->priority ||
-        (it->priority == best->priority && it->seq < best->seq)) {
-      best = it;
-    }
-  }
-  const ThreadId tid = best->tid;
-  entries_.erase(best);
+  std::pop_heap(entries_.begin(), entries_.end(), Cmp{});
+  const ThreadId tid = entries_.back().tid;
+  entries_.pop_back();
   return tid;
 }
 
@@ -26,7 +34,9 @@ bool WaitQueue::remove(ThreadId tid) {
   auto it = std::find_if(entries_.begin(), entries_.end(),
                          [tid](const Entry& e) { return e.tid == tid; });
   if (it == entries_.end()) return false;
-  entries_.erase(it);
+  *it = entries_.back();
+  entries_.pop_back();
+  std::make_heap(entries_.begin(), entries_.end(), Cmp{});
   return true;
 }
 
@@ -34,6 +44,7 @@ bool WaitQueue::update_priority(ThreadId tid, int priority) {
   for (auto& e : entries_) {
     if (e.tid == tid) {
       e.priority = priority;
+      std::make_heap(entries_.begin(), entries_.end(), Cmp{});
       return true;
     }
   }

@@ -6,7 +6,6 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <vector>
 
 namespace vppb::ult {
@@ -36,13 +35,20 @@ class WaitQueue {
   /// Snapshot of queued ids in wake order (for diagnostics/tests).
   std::vector<ThreadId> snapshot() const;
 
- private:
   struct Entry {
     ThreadId tid;
     int priority;
     std::uint64_t seq;  // arrival order breaks priority ties FIFO
   };
-  std::deque<Entry> entries_;
+
+ private:
+  // (priority desc, seq asc) is a strict total order (seq is unique),
+  // so a binary max-heap pops exactly the entry a linear scan would
+  // pick, in O(log n) — which matters when many threads pile onto one
+  // object (a barrier mutex collects O(threads) sleepers).  remove()
+  // and update_priority() stay O(n): they only happen on timed-wait
+  // expiry and thr_setprio, both rare.
+  std::vector<Entry> entries_;  // max-heap under wakes_after
   std::uint64_t next_seq_ = 0;
 };
 

@@ -1,0 +1,104 @@
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace vppb::util {
+
+int ThreadPool::resolve_jobs(int jobs) {
+  if (jobs > 0) return jobs;
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
+ThreadPool::ThreadPool(int jobs) {
+  const int n = resolve_jobs(jobs);
+  workers_.reserve(static_cast<std::size_t>(n - 1));
+  for (int i = 1; i < n; ++i) {
+    workers_.emplace_back([this]() { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+/// Claims and runs indices of the current job until none remain.  On an
+/// exception the first error is kept and the remaining indices are
+/// drained without running (every index must still be counted done, or
+/// the caller would wait forever).
+void ThreadPool::run_slice() {
+  for (;;) {
+    const std::size_t i = next_.fetch_add(1, std::memory_order_relaxed);
+    if (i >= n_) return;
+    if (!failed_.load(std::memory_order_relaxed)) {
+      try {
+        (*fn_)(i);
+      } catch (...) {
+        bool expected = false;
+        if (failed_.compare_exchange_strong(expected, true)) error_ = std::current_exception();
+      }
+    }
+    if (done_.fetch_add(1, std::memory_order_acq_rel) + 1 == n_) {
+      std::lock_guard<std::mutex> lock(mu_);
+      done_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::worker_loop() {
+  std::uint64_t seen = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock,
+                    [&]() { return stopping_ || generation_ != seen; });
+      if (stopping_) return;
+      seen = generation_;
+      ++active_;
+    }
+    run_slice();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--active_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  if (workers_.empty() || n == 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  std::lock_guard<std::mutex> serialize(serialize_mu_);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    fn_ = &fn;
+    n_ = n;
+    next_.store(0, std::memory_order_relaxed);
+    done_.store(0, std::memory_order_relaxed);
+    failed_.store(false, std::memory_order_relaxed);
+    error_ = nullptr;
+    ++generation_;
+  }
+  work_cv_.notify_all();
+  run_slice();
+  {
+    // Wait for every index to finish AND for the workers to leave
+    // run_slice: a straggler still inside the claim loop must not see
+    // the next job's fn_/n_ without synchronization.
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, [&]() {
+      return done_.load(std::memory_order_acquire) == n_ && active_ == 0;
+    });
+    fn_ = nullptr;
+  }
+  if (error_) std::rethrow_exception(error_);
+}
+
+}  // namespace vppb::util

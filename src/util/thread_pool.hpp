@@ -1,0 +1,70 @@
+// A small reusable worker pool for embarrassingly parallel loops.
+//
+// The Simulator's processor sweeps run one independent core::simulate
+// per machine configuration (paper §3.2: "run the simulator once per
+// candidate configuration"); the pool lets those runs use every
+// hardware thread.  Workers are started once and reused across
+// parallel_for calls, so a sweep-heavy tool pays the thread-creation
+// cost once.  With fewer than two participants the loop runs inline on
+// the caller — a graceful no-op on single-core hosts.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace vppb::util {
+
+class ThreadPool {
+ public:
+  /// Starts `jobs - 1` workers (the caller is the jobs-th participant).
+  /// `jobs <= 0` selects resolve_jobs(0), i.e. all hardware threads.
+  explicit ThreadPool(int jobs = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Participants in a parallel_for: workers plus the calling thread.
+  int jobs() const { return static_cast<int>(workers_.size()) + 1; }
+
+  /// Runs fn(0) .. fn(n-1) across the workers and the calling thread,
+  /// claiming indices through a shared counter; returns when every
+  /// index has finished.  The first exception thrown by any index is
+  /// rethrown on the caller (remaining indices are skipped).  Calls
+  /// serialize: the pool runs one loop at a time.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+  /// `jobs` <= 0 -> hardware_concurrency (at least 1); else `jobs`.
+  static int resolve_jobs(int jobs);
+
+ private:
+  void worker_loop();
+  void run_slice();
+
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;  ///< signals a new job generation
+  std::condition_variable done_cv_;  ///< signals job completion
+  std::uint64_t generation_ = 0;     ///< bumped once per parallel_for
+  int active_ = 0;                   ///< workers currently inside run_slice
+  bool stopping_ = false;
+
+  // Current job (valid while done_ < n_).
+  const std::function<void(std::size_t)>* fn_ = nullptr;
+  std::size_t n_ = 0;
+  std::atomic<std::size_t> next_{0};  ///< next unclaimed index
+  std::atomic<std::size_t> done_{0};  ///< finished indices
+  std::atomic<bool> failed_{false};
+  std::exception_ptr error_;
+
+  std::mutex serialize_mu_;  ///< one parallel_for at a time
+};
+
+}  // namespace vppb::util

@@ -96,5 +96,67 @@ TEST(SweepTest, SinglePointDegenerateFit) {
   EXPECT_NEAR(curve.amdahl_serial_fraction(), 0.5, 0.05);
 }
 
+TEST(SweepTest, KneeStopsAtFirstDip) {
+  // A curve whose efficiency dips below the threshold at 2 CPUs and
+  // recovers at 4 must report the knee at the smallest count, not at
+  // the recovered one.
+  std::vector<SweepPoint> pts(3);
+  pts[0] = {1, 1.0, 1.0, SimTime::millis(100)};
+  pts[1] = {2, 0.8, 0.4, SimTime::millis(125)};
+  pts[2] = {4, 3.2, 0.8, SimTime::millis(31)};
+  const SpeedupCurve curve(std::move(pts));
+  EXPECT_EQ(curve.knee(0.5), 1);
+  EXPECT_EQ(curve.knee(0.3), 4);
+}
+
+TEST(SweepTest, ParallelSweepMatchesSerialPointForPoint) {
+  const CompiledTrace c = record_compiled([]() {
+    workloads::fft(workloads::SplashParams{8, 0.2});
+  });
+  const int counts[] = {1, 2, 3, 4, 6, 8};
+  const SpeedupCurve serial = sweep_cpus(c, counts, SimConfig{});
+  SweepOptions opt;
+  opt.jobs = 4;
+  const SpeedupCurve parallel = sweep_cpus(c, counts, SimConfig{}, opt);
+  ASSERT_EQ(serial.points().size(), parallel.points().size());
+  for (std::size_t i = 0; i < serial.points().size(); ++i) {
+    const SweepPoint& s = serial.points()[i];
+    const SweepPoint& p = parallel.points()[i];
+    EXPECT_EQ(s.cpus, p.cpus);
+    EXPECT_EQ(s.speedup, p.speedup) << "cpus=" << s.cpus;
+    EXPECT_EQ(s.efficiency, p.efficiency) << "cpus=" << s.cpus;
+    EXPECT_EQ(s.total, p.total) << "cpus=" << s.cpus;
+  }
+}
+
+TEST(SweepTest, SweepOptionsCapturesResultsAndTimelines) {
+  const CompiledTrace c = record_compiled([]() {
+    workloads::fork_join(4, SimTime::millis(5));
+  });
+  const int counts[] = {1, 4};
+  SimConfig base;
+  base.build_timeline = true;
+  std::vector<SimResult> results;
+  SweepOptions opt;
+  opt.jobs = 2;
+  opt.honor_build_timeline = true;
+  opt.results = &results;
+  const SpeedupCurve curve = sweep_cpus(c, counts, base, opt);
+  ASSERT_EQ(results.size(), 2u);
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    EXPECT_EQ(results[i].total, curve.points()[i].total);
+    EXPECT_FALSE(results[i].segments.empty())
+        << "honor_build_timeline must keep per-point timelines";
+  }
+
+  // The default path discards timelines even when the base asks for one.
+  std::vector<SimResult> bare;
+  SweepOptions defaults;
+  defaults.results = &bare;
+  sweep_cpus(c, counts, base, defaults);
+  ASSERT_EQ(bare.size(), 2u);
+  EXPECT_TRUE(bare[0].segments.empty());
+}
+
 }  // namespace
 }  // namespace vppb::core

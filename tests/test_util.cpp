@@ -1,5 +1,10 @@
-// Unit tests for src/util: time arithmetic, parsing, flags, stats, rng.
+// Unit tests for src/util: time arithmetic, parsing, flags, stats, rng,
+// and the sweep thread pool.
 #include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
 
 #include "util/error.hpp"
 #include "util/flags.hpp"
@@ -7,6 +12,7 @@
 #include "util/stats.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
+#include "util/thread_pool.hpp"
 #include "util/time.hpp"
 
 namespace vppb {
@@ -184,6 +190,54 @@ TEST(TextTable, RendersAlignedColumns) {
   EXPECT_NE(s.find("App   | Speed-up"), std::string::npos);
   EXPECT_NE(s.find("------+---------"), std::string::npos);
   EXPECT_NE(s.find("Ocean | 6.24"), std::string::npos);
+}
+
+TEST(ThreadPool, CoversEveryIndexExactlyOnce) {
+  util::ThreadPool pool(4);
+  EXPECT_EQ(pool.jobs(), 4);
+  std::vector<std::atomic<int>> hits(101);
+  pool.parallel_for(hits.size(), [&](std::size_t i) { ++hits[i]; });
+  for (std::size_t i = 0; i < hits.size(); ++i)
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+}
+
+TEST(ThreadPool, ReusableAcrossCallsAndEmptyLoop) {
+  util::ThreadPool pool(3);
+  std::atomic<int> total{0};
+  pool.parallel_for(0, [&](std::size_t) { ++total; });
+  EXPECT_EQ(total.load(), 0);
+  for (int round = 0; round < 5; ++round)
+    pool.parallel_for(17, [&](std::size_t) { ++total; });
+  EXPECT_EQ(total.load(), 5 * 17);
+}
+
+TEST(ThreadPool, SingleJobRunsInlineInOrder) {
+  util::ThreadPool pool(1);
+  EXPECT_EQ(pool.jobs(), 1);
+  std::vector<std::size_t> order;
+  pool.parallel_for(6, [&](std::size_t i) { order.push_back(i); });
+  std::vector<std::size_t> expect(6);
+  std::iota(expect.begin(), expect.end(), 0u);
+  EXPECT_EQ(order, expect) << "no workers -> inline, sequential";
+}
+
+TEST(ThreadPool, PropagatesTheFirstException) {
+  util::ThreadPool pool(2);
+  EXPECT_THROW(pool.parallel_for(8,
+                                 [](std::size_t i) {
+                                   if (i == 3) throw Error("boom");
+                                 }),
+               Error);
+  // The pool stays usable after a throwing loop.
+  std::atomic<int> total{0};
+  pool.parallel_for(4, [&](std::size_t) { ++total; });
+  EXPECT_EQ(total.load(), 4);
+}
+
+TEST(ThreadPool, ResolveJobs) {
+  EXPECT_GE(util::ThreadPool::resolve_jobs(0), 1);
+  EXPECT_EQ(util::ThreadPool::resolve_jobs(5), 5);
+  EXPECT_GE(util::ThreadPool::resolve_jobs(-3), 1);
 }
 
 TEST(Error, CheckMacroThrows) {

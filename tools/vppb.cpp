@@ -23,6 +23,7 @@
 #include "util/error.hpp"
 #include "util/flags.hpp"
 #include "util/strings.hpp"
+#include "util/thread_pool.hpp"
 #include "util/table.hpp"
 #include "viz/analysis.hpp"
 #include "viz/visualizer.hpp"
@@ -43,6 +44,7 @@ int usage() {
       "                 prodcons-tuned forkjoin pipeline\n"
       "  info <trace>\n"
       "  predict <trace> [--max-cpus N] [--lwps N] [--comm-delay-us D]\n"
+      "          [--jobs N]   (0 = all hardware threads)\n"
       "  simulate <trace> [--cpus N] [--lwps N] [--svg F] [--columns N]\n"
       "  analyze <trace> [--cpus N]\n"
       "  validate <workload> [--cpus-list 2,4,8] [--scale S] [--reps N]\n"
@@ -143,8 +145,10 @@ int cmd_predict(Flags& flags) {
   std::vector<int> cpu_counts;
   for (int cpus = 1; cpus <= flags.i64("max-cpus"); cpus *= 2)
     cpu_counts.push_back(cpus);
+  core::SweepOptions opt;
+  opt.jobs = util::ThreadPool::resolve_jobs(static_cast<int>(flags.i64("jobs")));
   const core::SpeedupCurve curve =
-      core::sweep_cpus(compiled, cpu_counts, base);
+      core::sweep_cpus(compiled, cpu_counts, base, opt);
   TextTable table;
   table.header({"CPUs", "speed-up", "efficiency"});
   for (const auto& p : curve.points()) {
@@ -268,6 +272,9 @@ int main(int argc, char** argv) {
   flags.define_i64("columns", 110, "ASCII width");
   flags.define_string("cpus-list", "2,4,8", "validate: CPU counts");
   flags.define_i64("reps", 5, "validate: machine repetitions");
+  flags.define_i64("jobs", 0,
+                   "predict: parallel sweep workers (0 = all hardware "
+                   "threads, 1 = serial)");
 
   try {
     flags.parse(argc, argv);
