@@ -1,0 +1,156 @@
+// Prediction-service benchmark: sustained cached-trace predictions per
+// second through the full stack — client framing, socket, admission,
+// pool dispatch, sweep, response framing — plus the client-observed
+// latency distribution.  After the first request the trace is hot in
+// the content-addressed cache, so this measures the interactive what-if
+// loop the daemon exists for, not parse/compile throughput.
+//
+//   build/bench/bench_server [--threads 16] [--scale 0.1] [--max-cpus 8]
+//       [--clients 4] [--jobs 0] [--min-ms 1000] [--out BENCH_server.json]
+//
+// The `bench`-labelled CTest target runs exactly this (see
+// bench/CMakeLists.txt); it is excluded from the default `ctest` run.
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "recorder/recorder.hpp"
+#include "server/client.hpp"
+#include "server/protocol.hpp"
+#include "server/server.hpp"
+#include "solaris/program.hpp"
+#include "trace/binary.hpp"
+#include "util/flags.hpp"
+#include "util/stats.hpp"
+#include "workloads/splash.hpp"
+
+namespace {
+
+using namespace vppb;
+using Clock = std::chrono::steady_clock;
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags;
+  flags.define_i64("threads", 16, "worker threads of the benchmarked trace");
+  flags.define_double("scale", 0.1, "problem scale of the trace");
+  flags.define_i64("max-cpus", 8, "sweep bound of each predict request");
+  flags.define_i64("clients", 4, "concurrent client connections");
+  flags.define_i64("jobs", 0, "server pool workers (0 = hardware threads)");
+  flags.define_i64("min-ms", 1000, "minimum wall time of the measurement");
+  flags.define_string("out", "BENCH_server.json", "JSON output file");
+  flags.parse(argc, argv);
+
+  const int threads = static_cast<int>(flags.i64("threads"));
+  const double scale = flags.dbl("scale");
+  const int max_cpus = static_cast<int>(flags.i64("max-cpus"));
+  const int nclients = static_cast<int>(flags.i64("clients"));
+  const double min_s = static_cast<double>(flags.i64("min-ms")) / 1e3;
+
+  // Same trace family as the engine benchmark, smaller scale: each
+  // predict is a multi-point sweep, so requests stay in the hundreds of
+  // microseconds and the framing/dispatch overhead is visible.
+  sol::Program program;
+  const trace::Trace t = rec::record_program(program, [&]() {
+    workloads::fft(workloads::SplashParams{threads, scale});
+  });
+  const std::string trace_path =
+      (std::filesystem::temp_directory_path() /
+       ("vppb_bench_server_" + std::to_string(::getpid()) + ".trace"))
+          .string();
+  trace::save_binary_file(t, trace_path);
+  const std::string sock_path = trace_path + ".sock";
+
+  server::ServerOptions so;
+  so.unix_path = sock_path;
+  so.jobs = static_cast<int>(flags.i64("jobs"));
+  so.admission_limit = nclients * 2;
+  server::Server server(so);
+  server.start();
+
+  server::Request req;
+  req.type = server::ReqType::kPredict;
+  req.trace_path = trace_path;
+  req.max_cpus = max_cpus;
+
+  // Warm-up: the one request that parses and compiles.
+  {
+    server::Client warm = server::Client::connect_unix(sock_path);
+    const server::Response r = warm.call(req);
+    if (r.status != server::Status::kOk) {
+      std::fprintf(stderr, "warm-up predict failed: %s\n", r.error.c_str());
+      return 1;
+    }
+  }
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> completed{0};
+  std::mutex lat_mu;
+  std::vector<double> latencies_us;
+  std::vector<std::thread> clients;
+  for (int i = 0; i < nclients; ++i) {
+    clients.emplace_back([&]() {
+      server::Client c = server::Client::connect_unix(sock_path);
+      std::vector<double> local;
+      while (!stop.load(std::memory_order_relaxed)) {
+        const Clock::time_point r0 = Clock::now();
+        const server::Response r = c.call(req);
+        if (r.status != server::Status::kOk) std::abort();
+        local.push_back(std::chrono::duration<double, std::micro>(
+                            Clock::now() - r0)
+                            .count());
+        completed.fetch_add(1, std::memory_order_relaxed);
+      }
+      std::lock_guard<std::mutex> lock(lat_mu);
+      latencies_us.insert(latencies_us.end(), local.begin(), local.end());
+    });
+  }
+
+  const Clock::time_point t0 = Clock::now();
+  std::this_thread::sleep_for(
+      std::chrono::milliseconds(flags.i64("min-ms")));
+  stop.store(true);
+  for (auto& th : clients) th.join();
+  const double elapsed =
+      std::chrono::duration<double>(Clock::now() - t0).count();
+  server.stop();
+
+  const double per_sec = static_cast<double>(completed.load()) / elapsed;
+  const double p50 = percentile(latencies_us, 50);
+  const double p90 = percentile(latencies_us, 90);
+  const double p99 = percentile(latencies_us, 99);
+
+  std::ofstream out(flags.str("out"));
+  out << "{\n"
+      << "  \"trace\": \"fft\",\n"
+      << "  \"trace_threads\": " << threads << ",\n"
+      << "  \"trace_scale\": " << scale << ",\n"
+      << "  \"max_cpus\": " << max_cpus << ",\n"
+      << "  \"clients\": " << nclients << ",\n"
+      << "  \"elapsed_s\": " << elapsed << ",\n"
+      << "  \"predictions\": " << completed.load() << ",\n"
+      << "  \"predictions_per_sec\": " << per_sec << ",\n"
+      << "  \"latency_p50_us\": " << p50 << ",\n"
+      << "  \"latency_p90_us\": " << p90 << ",\n"
+      << "  \"latency_p99_us\": " << p99 << "\n"
+      << "}\n";
+  std::printf(
+      "server: %llu cached predictions in %.2f s over %d clients "
+      "(%.0f/sec)\nlatency: p50 %.0f us, p90 %.0f us, p99 %.0f us\n"
+      "wrote %s\n",
+      static_cast<unsigned long long>(completed.load()), elapsed, nclients,
+      per_sec, p50, p90, p99, flags.str("out").c_str());
+
+  std::remove(trace_path.c_str());
+  return min_s > elapsed + 1 ? 1 : 0;  // sanity: the sleep really ran
+}

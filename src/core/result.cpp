@@ -150,6 +150,13 @@ std::uint64_t digest(const SimResult& r) {
   return f.h;
 }
 
+std::uint64_t digest(const std::vector<SimResult>& results) {
+  Fnv f;
+  f.mix(results.size());
+  for (const SimResult& r : results) f.mix(digest(r));
+  return f.h;
+}
+
 void SimResult::validate() const {
   VPPB_CHECK_MSG(total >= SimTime::zero(), "negative total time");
   std::map<ThreadId, std::vector<Segment>> per_thread;

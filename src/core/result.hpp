@@ -133,4 +133,10 @@ struct SimResult {
 /// output across scheduler rewrites.
 std::uint64_t digest(const SimResult& r);
 
+/// Order-sensitive combined fingerprint of a batch of results (FNV-1a
+/// over the per-result digests).  A sweep digests the per-CPU-count
+/// results in `cpu_counts` order; the prediction service proves its
+/// responses bit-identical to the offline path by comparing this value.
+std::uint64_t digest(const std::vector<SimResult>& results);
+
 }  // namespace vppb::core

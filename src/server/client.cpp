@@ -1,0 +1,23 @@
+#include "server/client.hpp"
+
+#include "util/error.hpp"
+
+namespace vppb::server {
+
+Client Client::connect_unix(const std::string& path) {
+  return Client(util::connect_unix(path));
+}
+
+Client Client::connect_tcp(std::uint16_t port) {
+  return Client(util::connect_tcp(port));
+}
+
+Response Client::call(const Request& req) {
+  write_frame(sock_, encode(req));
+  std::vector<std::uint8_t> payload;
+  if (!read_frame(sock_, payload))
+    throw Error("server closed the connection before responding");
+  return decode_response(payload);
+}
+
+}  // namespace vppb::server

@@ -1,0 +1,32 @@
+// The vppbd client: a blocking request/response call over one
+// connection.  Used by `vppb request`, the integration tests, and the
+// server benchmark; any other client only needs to reimplement the
+// frame layout in protocol.hpp.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "server/protocol.hpp"
+#include "util/socket.hpp"
+
+namespace vppb::server {
+
+class Client {
+ public:
+  static Client connect_unix(const std::string& path);
+  static Client connect_tcp(std::uint16_t port);
+
+  /// Sends one request and blocks for its response.  Throws vppb::Error
+  /// on transport failure (including the server closing mid-response);
+  /// request-level failures come back as Status::kError / kOverloaded
+  /// responses, not exceptions.
+  Response call(const Request& req);
+
+ private:
+  explicit Client(util::Socket sock) : sock_(std::move(sock)) {}
+
+  util::Socket sock_;
+};
+
+}  // namespace vppb::server

@@ -1,0 +1,120 @@
+#include "server/handlers.hpp"
+
+#include <memory>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "core/sweep.hpp"
+#include "util/error.hpp"
+#include "util/strings.hpp"
+#include "viz/analysis.hpp"
+#include "viz/visualizer.hpp"
+
+namespace vppb::server {
+namespace {
+
+/// Largest simulated machine a request may ask for: generous for any
+/// real what-if question, small enough that a corrupt frame cannot
+/// request a year of simulation.
+constexpr int kMaxRequestCpus = 4096;
+
+void check_range(const char* what, std::int64_t v, std::int64_t lo,
+                 std::int64_t hi) {
+  if (v < lo || v > hi)
+    throw Error(strprintf("%s %lld out of range [%lld, %lld]", what,
+                          static_cast<long long>(v),
+                          static_cast<long long>(lo),
+                          static_cast<long long>(hi)));
+}
+
+core::SimConfig base_config(const Request& req) {
+  check_range("lwps", req.lwps, 0, 1 << 20);
+  check_range("comm-delay-us", req.comm_delay_us, 0, 86400000000LL);
+  core::SimConfig cfg;
+  cfg.sched.lwps = req.lwps;
+  cfg.hw.comm_delay = SimTime::micros(req.comm_delay_us);
+  return cfg;
+}
+
+}  // namespace
+
+Response handle_predict(const Request& req, TraceCache& cache) {
+  check_range("max-cpus", req.max_cpus, 1, kMaxRequestCpus);
+  Response resp;
+  resp.type = ReqType::kPredict;
+  const std::shared_ptr<const TraceCache::Entry> entry =
+      cache.get(req.trace_path);
+  const core::SimConfig base = base_config(req);
+
+  std::vector<int> cpu_counts;
+  for (int cpus = 1; cpus <= req.max_cpus; cpus *= 2)
+    cpu_counts.push_back(cpus);
+
+  // The sweep runs serially inside this handler: the service gets its
+  // parallelism from concurrent requests sharing the pool, and a
+  // deterministic per-request path keeps responses bit-identical to the
+  // offline `vppb predict` (which the combined digest proves).
+  std::vector<core::SimResult> results;
+  core::SweepOptions opt;
+  opt.jobs = 1;
+  opt.results = &results;
+  const core::SpeedupCurve curve =
+      core::sweep_cpus(entry->compiled, cpu_counts, base, opt);
+
+  for (std::size_t i = 0; i < curve.points().size(); ++i) {
+    const core::SweepPoint& p = curve.points()[i];
+    resp.points.push_back(WirePoint{p.cpus, p.speedup, p.efficiency,
+                                    p.total.ns(),
+                                    core::digest(results[i])});
+  }
+  resp.serial_fraction = curve.amdahl_serial_fraction();
+  resp.knee = curve.knee(0.5);
+  resp.digest = core::digest(results);
+  return resp;
+}
+
+Response handle_simulate(const Request& req, TraceCache& cache) {
+  check_range("cpus", req.cpus, 1, kMaxRequestCpus);
+  Response resp;
+  resp.type = ReqType::kSimulate;
+  const std::shared_ptr<const TraceCache::Entry> entry =
+      cache.get(req.trace_path);
+  core::SimConfig cfg = base_config(req);
+  cfg.hw.cpus = req.cpus;
+
+  const core::SimResult r = core::simulate(entry->compiled, cfg);
+  resp.total_ns = r.total.ns();
+  resp.speedup = r.speedup;
+  resp.cpus = r.cpus;
+  resp.lwps = r.lwps;
+  resp.events = r.events.size();
+  resp.digest = core::digest(r);
+  if (req.want_svg) {
+    viz::Visualizer v(r, entry->trace);
+    v.compress_threads();
+    resp.svg = viz::render_svg(v, viz::RenderOptions{});
+  }
+  return resp;
+}
+
+Response handle_analyze(const Request& req, TraceCache& cache) {
+  check_range("cpus", req.cpus, 1, kMaxRequestCpus);
+  Response resp;
+  resp.type = ReqType::kAnalyze;
+  const std::shared_ptr<const TraceCache::Entry> entry =
+      cache.get(req.trace_path);
+  core::SimConfig cfg = base_config(req);
+  cfg.hw.cpus = req.cpus;
+
+  const core::SimResult r = core::simulate(entry->compiled, cfg);
+  resp.total_ns = r.total.ns();
+  resp.speedup = r.speedup;
+  resp.cpus = r.cpus;
+  resp.lwps = r.lwps;
+  resp.events = r.events.size();
+  resp.digest = core::digest(r);
+  resp.report = viz::analyze(r, entry->trace).to_string();
+  return resp;
+}
+
+}  // namespace vppb::server

@@ -1,0 +1,19 @@
+// Request execution: one function per compute request type, mapping a
+// decoded Request plus the shared trace cache to a Response.  Handlers
+// run on thread-pool workers; everything they touch is either local,
+// immutable (the cached CompiledTrace), or internally synchronized (the
+// cache).  They throw vppb::Error for request-level failures — the
+// server turns that into a Status::kError response, never a dropped
+// connection.
+#pragma once
+
+#include "server/protocol.hpp"
+#include "server/trace_cache.hpp"
+
+namespace vppb::server {
+
+Response handle_predict(const Request& req, TraceCache& cache);
+Response handle_simulate(const Request& req, TraceCache& cache);
+Response handle_analyze(const Request& req, TraceCache& cache);
+
+}  // namespace vppb::server

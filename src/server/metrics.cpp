@@ -1,0 +1,51 @@
+#include "server/metrics.hpp"
+
+#include "util/stats.hpp"
+
+namespace vppb::server {
+
+void Metrics::count_request(ReqType t) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++requests_;
+  ++by_type_[static_cast<std::size_t>(t)];
+}
+
+void Metrics::count_error() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++errors_;
+}
+
+void Metrics::count_overload() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++overloads_;
+}
+
+void Metrics::record_latency_us(double us) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++latencies_seen_;
+  if (latency_us_.size() < kMaxSamples) {
+    latency_us_.push_back(us);
+  } else {
+    latency_us_[ring_next_] = us;
+    ring_next_ = (ring_next_ + 1) % kMaxSamples;
+  }
+}
+
+void Metrics::snapshot(StatsBody& out) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  out.requests = requests_;
+  for (std::size_t i = 0; i < 4; ++i) out.by_type[i] = by_type_[i];
+  out.errors = errors_;
+  out.overloads = overloads_;
+  out.latency_count = latencies_seen_;
+  if (!latency_us_.empty()) {
+    out.p50_us = percentile(latency_us_, 50.0);
+    out.p90_us = percentile(latency_us_, 90.0);
+    out.p99_us = percentile(latency_us_, 99.0);
+    double mx = latency_us_.front();
+    for (double v : latency_us_) mx = v > mx ? v : mx;
+    out.max_us = mx;
+  }
+}
+
+}  // namespace vppb::server

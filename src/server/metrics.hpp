@@ -1,0 +1,43 @@
+// Per-request service metrics: counters by request type, error and
+// overload counts, and a latency reservoir for percentile reporting via
+// the `stats` request.  Everything is cheap enough to update on the
+// request path; percentiles are computed lazily at snapshot time.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "server/protocol.hpp"
+
+namespace vppb::server {
+
+class Metrics {
+ public:
+  void count_request(ReqType t);
+  void count_error();
+  void count_overload();
+
+  /// Records the server-side latency of an executed (admitted) request,
+  /// from frame decode to response ready.  Overload rejections are
+  /// counted, not timed — their latency is the admission check.
+  void record_latency_us(double us);
+
+  /// Fills the request-side counters and latency percentiles of `out`
+  /// (the cache fields are the TraceCache's to fill).
+  void snapshot(StatsBody& out) const;
+
+ private:
+  static constexpr std::size_t kMaxSamples = 1 << 16;  ///< latency ring
+
+  mutable std::mutex mu_;
+  std::uint64_t requests_ = 0;
+  std::uint64_t by_type_[4] = {};
+  std::uint64_t errors_ = 0;
+  std::uint64_t overloads_ = 0;
+  std::uint64_t latencies_seen_ = 0;
+  std::size_t ring_next_ = 0;
+  std::vector<double> latency_us_;  ///< ring buffer once at kMaxSamples
+};
+
+}  // namespace vppb::server

@@ -1,0 +1,278 @@
+#include "server/protocol.hpp"
+
+#include <cstring>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace vppb::server {
+namespace {
+
+// ---- varint primitives (the binary trace format's, with frame-sized
+// sanity limits on the reading side) ---------------------------------------
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  while (v >= 0x80) {
+    out.push_back(static_cast<std::uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+void put_i64(std::vector<std::uint8_t>& out, std::int64_t v) {
+  put_u64(out, (static_cast<std::uint64_t>(v) << 1) ^
+                   static_cast<std::uint64_t>(v >> 63));
+}
+
+void put_double(std::vector<std::uint8_t>& out, double d) {
+  std::uint64_t bits;
+  static_assert(sizeof bits == sizeof d);
+  std::memcpy(&bits, &d, sizeof bits);
+  put_u64(out, bits);
+}
+
+void put_str(std::vector<std::uint8_t>& out, const std::string& s) {
+  put_u64(out, s.size());
+  out.insert(out.end(), s.begin(), s.end());
+}
+
+class Reader {
+ public:
+  Reader(const std::uint8_t* data, std::size_t size)
+      : data_(data), size_(size) {}
+
+  std::uint64_t u64() {
+    std::uint64_t v = 0;
+    int shift = 0;
+    for (;;) {
+      VPPB_CHECK_MSG(pos_ < size_, "frame truncated at byte " << pos_);
+      const std::uint8_t b = data_[pos_++];
+      VPPB_CHECK_MSG(shift < 64, "varint too long in frame");
+      v |= static_cast<std::uint64_t>(b & 0x7f) << shift;
+      if ((b & 0x80) == 0) return v;
+      shift += 7;
+    }
+  }
+
+  std::int64_t i64() {
+    const std::uint64_t v = u64();
+    return static_cast<std::int64_t>(v >> 1) ^
+           -static_cast<std::int64_t>(v & 1);
+  }
+
+  double dbl() {
+    const std::uint64_t bits = u64();
+    double d;
+    std::memcpy(&d, &bits, sizeof d);
+    return d;
+  }
+
+  std::string str() {
+    const std::uint64_t n = u64();
+    VPPB_CHECK_MSG(pos_ + n <= size_, "frame string overruns payload");
+    std::string s(reinterpret_cast<const char*>(data_ + pos_),
+                  static_cast<std::size_t>(n));
+    pos_ += static_cast<std::size_t>(n);
+    return s;
+  }
+
+  bool at_end() const { return pos_ == size_; }
+
+ private:
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+};
+
+ReqType req_type(std::uint64_t v) {
+  VPPB_CHECK_MSG(v <= static_cast<std::uint64_t>(ReqType::kStats),
+                 "unknown request type " << v);
+  return static_cast<ReqType>(v);
+}
+
+void check_version(Reader& in) {
+  const std::uint64_t version = in.u64();
+  VPPB_CHECK_MSG(version == kProtocolVersion,
+                 "unsupported protocol version " << version << " (this build "
+                 "speaks " << int(kProtocolVersion) << ")");
+}
+
+}  // namespace
+
+const char* to_string(ReqType t) {
+  switch (t) {
+    case ReqType::kPredict: return "predict";
+    case ReqType::kSimulate: return "simulate";
+    case ReqType::kAnalyze: return "analyze";
+    case ReqType::kStats: return "stats";
+  }
+  return "?";
+}
+
+std::vector<std::uint8_t> encode(const Request& req) {
+  std::vector<std::uint8_t> out;
+  out.reserve(32 + req.trace_path.size());
+  put_u64(out, kProtocolVersion);
+  put_u64(out, static_cast<std::uint64_t>(req.type));
+  put_str(out, req.trace_path);
+  put_i64(out, req.cpus);
+  put_i64(out, req.lwps);
+  put_i64(out, req.max_cpus);
+  put_i64(out, req.comm_delay_us);
+  put_u64(out, req.want_svg ? 1 : 0);
+  return out;
+}
+
+Request decode_request(const std::uint8_t* data, std::size_t size) {
+  Reader in(data, size);
+  check_version(in);
+  Request req;
+  req.type = req_type(in.u64());
+  req.trace_path = in.str();
+  req.cpus = static_cast<int>(in.i64());
+  req.lwps = static_cast<int>(in.i64());
+  req.max_cpus = static_cast<int>(in.i64());
+  req.comm_delay_us = in.i64();
+  req.want_svg = in.u64() != 0;
+  VPPB_CHECK_MSG(in.at_end(), "trailing bytes in request frame");
+  return req;
+}
+
+std::vector<std::uint8_t> encode(const Response& resp) {
+  std::vector<std::uint8_t> out;
+  out.reserve(64 + resp.svg.size() + resp.report.size() + resp.error.size());
+  put_u64(out, kProtocolVersion);
+  put_u64(out, static_cast<std::uint64_t>(resp.status));
+  put_u64(out, static_cast<std::uint64_t>(resp.type));
+  put_str(out, resp.error);
+  put_u64(out, resp.points.size());
+  for (const WirePoint& p : resp.points) {
+    put_i64(out, p.cpus);
+    put_double(out, p.speedup);
+    put_double(out, p.efficiency);
+    put_i64(out, p.total_ns);
+    put_u64(out, p.digest);
+  }
+  put_double(out, resp.serial_fraction);
+  put_i64(out, resp.knee);
+  put_u64(out, resp.digest);
+  put_i64(out, resp.total_ns);
+  put_double(out, resp.speedup);
+  put_i64(out, resp.cpus);
+  put_i64(out, resp.lwps);
+  put_u64(out, resp.events);
+  put_str(out, resp.svg);
+  put_str(out, resp.report);
+  const StatsBody& s = resp.stats;
+  put_u64(out, s.requests);
+  for (std::uint64_t n : s.by_type) put_u64(out, n);
+  put_u64(out, s.errors);
+  put_u64(out, s.overloads);
+  put_u64(out, s.cache_hits);
+  put_u64(out, s.cache_misses);
+  put_u64(out, s.cache_evictions);
+  put_u64(out, s.cache_entries);
+  put_u64(out, s.cache_bytes);
+  put_u64(out, s.latency_count);
+  put_double(out, s.p50_us);
+  put_double(out, s.p90_us);
+  put_double(out, s.p99_us);
+  put_double(out, s.max_us);
+  return out;
+}
+
+Response decode_response(const std::uint8_t* data, std::size_t size) {
+  Reader in(data, size);
+  check_version(in);
+  Response resp;
+  const std::uint64_t status = in.u64();
+  VPPB_CHECK_MSG(status <= static_cast<std::uint64_t>(Status::kOverloaded),
+                 "unknown response status " << status);
+  resp.status = static_cast<Status>(status);
+  resp.type = req_type(in.u64());
+  resp.error = in.str();
+  const std::uint64_t npoints = in.u64();
+  VPPB_CHECK_MSG(npoints <= 4096, "implausible sweep point count "
+                 << npoints);
+  resp.points.resize(static_cast<std::size_t>(npoints));
+  for (WirePoint& p : resp.points) {
+    p.cpus = static_cast<int>(in.i64());
+    p.speedup = in.dbl();
+    p.efficiency = in.dbl();
+    p.total_ns = in.i64();
+    p.digest = in.u64();
+  }
+  resp.serial_fraction = in.dbl();
+  resp.knee = static_cast<int>(in.i64());
+  resp.digest = in.u64();
+  resp.total_ns = in.i64();
+  resp.speedup = in.dbl();
+  resp.cpus = static_cast<int>(in.i64());
+  resp.lwps = static_cast<int>(in.i64());
+  resp.events = in.u64();
+  resp.svg = in.str();
+  resp.report = in.str();
+  StatsBody& s = resp.stats;
+  s.requests = in.u64();
+  for (std::uint64_t& n : s.by_type) n = in.u64();
+  s.errors = in.u64();
+  s.overloads = in.u64();
+  s.cache_hits = in.u64();
+  s.cache_misses = in.u64();
+  s.cache_evictions = in.u64();
+  s.cache_entries = in.u64();
+  s.cache_bytes = in.u64();
+  s.latency_count = in.u64();
+  s.p50_us = in.dbl();
+  s.p90_us = in.dbl();
+  s.p99_us = in.dbl();
+  s.max_us = in.dbl();
+  VPPB_CHECK_MSG(in.at_end(), "trailing bytes in response frame");
+  return resp;
+}
+
+Request decode_request(const std::vector<std::uint8_t>& payload) {
+  return decode_request(payload.data(), payload.size());
+}
+
+Response decode_response(const std::vector<std::uint8_t>& payload) {
+  return decode_response(payload.data(), payload.size());
+}
+
+void write_frame(util::Socket& sock,
+                 const std::vector<std::uint8_t>& payload) {
+  if (payload.empty() || payload.size() > kMaxFrame)
+    throw Error(strprintf("frame payload of %zu bytes out of range (1..%zu)",
+                          payload.size(), kMaxFrame));
+  std::uint8_t header[4];
+  const std::uint32_t n = static_cast<std::uint32_t>(payload.size());
+  header[0] = static_cast<std::uint8_t>(n);
+  header[1] = static_cast<std::uint8_t>(n >> 8);
+  header[2] = static_cast<std::uint8_t>(n >> 16);
+  header[3] = static_cast<std::uint8_t>(n >> 24);
+  sock.send_all(header, sizeof header);
+  sock.send_all(payload.data(), payload.size());
+}
+
+bool read_frame(util::Socket& sock, std::vector<std::uint8_t>& payload) {
+  std::uint8_t header[4];
+  const std::size_t got = sock.recv_exact(header, sizeof header);
+  if (got == 0) return false;  // clean end-of-stream between frames
+  if (got < sizeof header)
+    throw Error(strprintf("truncated frame header (%zu of 4 bytes)", got));
+  const std::uint32_t n = static_cast<std::uint32_t>(header[0]) |
+                          static_cast<std::uint32_t>(header[1]) << 8 |
+                          static_cast<std::uint32_t>(header[2]) << 16 |
+                          static_cast<std::uint32_t>(header[3]) << 24;
+  if (n == 0 || n > kMaxFrame)
+    throw Error(strprintf("frame length %u out of range (1..%zu) — "
+                          "not a vppbd peer?", n, kMaxFrame));
+  payload.resize(n);
+  const std::size_t body = sock.recv_exact(payload.data(), n);
+  if (body < n)
+    throw Error(strprintf("truncated frame payload (%zu of %u bytes)",
+                          body, n));
+  return true;
+}
+
+}  // namespace vppb::server

@@ -1,0 +1,126 @@
+// The vppbd wire protocol: length-prefixed frames carrying varint-coded
+// request/response messages.
+//
+// Frame layout (everything after the header is the payload):
+//
+//   [u32 little-endian payload length | 1 .. kMaxFrame] [payload bytes]
+//
+// Payloads use the same primitives as the binary trace format: LEB128
+// varints, zigzag for signed values, IEEE-754 bit patterns for doubles,
+// length-prefixed strings.  The first payload byte is the protocol
+// version, the second the message type, so a server can reject frames
+// from the future with a precise error instead of a crash.
+//
+// One request frame yields exactly one response frame; a client may
+// send any number of requests sequentially over one connection.  All
+// decoding is bounds-checked and throws vppb::Error on truncated,
+// oversized, or garbage input — the connection is the unit of failure.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/socket.hpp"
+
+namespace vppb::server {
+
+constexpr std::uint8_t kProtocolVersion = 1;
+/// Upper bound on a frame payload (a full SVG render fits comfortably;
+/// a corrupt or hostile length prefix does not).
+constexpr std::size_t kMaxFrame = 64u << 20;
+
+enum class ReqType : std::uint8_t {
+  kPredict = 0,   ///< full CPU sweep + Amdahl fit + knee
+  kSimulate = 1,  ///< one configuration, optional SVG render
+  kAnalyze = 2,   ///< contention / utilization report
+  kStats = 3,     ///< server counters, cache hit rate, latencies
+};
+
+const char* to_string(ReqType t);
+
+enum class Status : std::uint8_t {
+  kOk = 0,
+  kError = 1,       ///< request failed (bad trace, bad config, ...)
+  kOverloaded = 2,  ///< admission queue full; retry later
+};
+
+struct Request {
+  ReqType type = ReqType::kPredict;
+  std::string trace_path;         ///< predict/simulate/analyze
+  int cpus = 8;                   ///< simulate/analyze
+  int lwps = 0;                   ///< 0 = one LWP per thread
+  int max_cpus = 16;              ///< predict: sweep 1,2,4.. up to this
+  std::int64_t comm_delay_us = 0;
+  bool want_svg = false;          ///< simulate: include an SVG render
+};
+
+/// One sweep point of a predict response.
+struct WirePoint {
+  int cpus = 1;
+  double speedup = 1.0;
+  double efficiency = 1.0;
+  std::int64_t total_ns = 0;
+  std::uint64_t digest = 0;  ///< core::digest of this point's SimResult
+};
+
+/// The stats payload: request counters, cache effectiveness, and the
+/// server-side latency distribution of executed requests.
+struct StatsBody {
+  std::uint64_t requests = 0;      ///< all received requests, by arrival
+  std::uint64_t by_type[4] = {};   ///< indexed by ReqType
+  std::uint64_t errors = 0;        ///< responses with Status::kError
+  std::uint64_t overloads = 0;     ///< admission rejections
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t cache_evictions = 0;
+  std::uint64_t cache_entries = 0;
+  std::uint64_t cache_bytes = 0;
+  std::uint64_t latency_count = 0;  ///< executed (admitted) requests
+  double p50_us = 0.0;
+  double p90_us = 0.0;
+  double p99_us = 0.0;
+  double max_us = 0.0;
+};
+
+struct Response {
+  Status status = Status::kOk;
+  ReqType type = ReqType::kPredict;  ///< echoes the request type
+  std::string error;                 ///< set when status != kOk
+
+  // predict
+  std::vector<WirePoint> points;
+  double serial_fraction = 0.0;
+  int knee = 1;
+
+  // simulate / analyze (and predict: combined digest over all points)
+  std::uint64_t digest = 0;
+  std::int64_t total_ns = 0;
+  double speedup = 0.0;
+  int cpus = 0;
+  int lwps = 0;
+  std::uint64_t events = 0;
+  std::string svg;     ///< simulate with want_svg
+  std::string report;  ///< analyze
+
+  // stats
+  StatsBody stats;
+};
+
+std::vector<std::uint8_t> encode(const Request& req);
+std::vector<std::uint8_t> encode(const Response& resp);
+Request decode_request(const std::uint8_t* data, std::size_t size);
+Response decode_response(const std::uint8_t* data, std::size_t size);
+Request decode_request(const std::vector<std::uint8_t>& payload);
+Response decode_response(const std::vector<std::uint8_t>& payload);
+
+/// Writes one frame (header + payload).  Throws vppb::Error on
+/// oversized payloads or a lost peer.
+void write_frame(util::Socket& sock, const std::vector<std::uint8_t>& payload);
+
+/// Reads one frame into `payload`.  Returns false on a clean
+/// end-of-stream at a frame boundary; throws vppb::Error on a
+/// truncated header/payload or an out-of-range length prefix.
+bool read_frame(util::Socket& sock, std::vector<std::uint8_t>& payload);
+
+}  // namespace vppb::server

@@ -1,0 +1,179 @@
+#include "server/server.hpp"
+
+#include <unistd.h>
+
+#include <chrono>
+#include <condition_variable>
+
+#include "server/handlers.hpp"
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace vppb::server {
+
+Server::Server(ServerOptions opt)
+    : opt_(opt), cache_(opt.cache_entries, opt.cache_bytes) {
+  if (opt_.pool) {
+    pool_ = opt_.pool;
+  } else {
+    owned_pool_ = std::make_unique<util::ThreadPool>(opt_.jobs);
+    pool_ = owned_pool_.get();
+  }
+}
+
+Server::~Server() { stop(); }
+
+void Server::start() {
+  VPPB_CHECK_MSG(!running_.load(), "server already started");
+  if (!opt_.unix_path.empty()) {
+    listener_ = util::listen_unix(opt_.unix_path);
+    endpoint_ = opt_.unix_path;
+  } else {
+    port_ = opt_.tcp_port;
+    listener_ = util::listen_tcp(port_);
+    endpoint_ = strprintf("127.0.0.1:%u", port_);
+  }
+  running_.store(true);
+  accept_thread_ = std::thread(&Server::accept_loop, this);
+}
+
+void Server::stop() {
+  if (!running_.exchange(false)) {
+    // Never started, or a second stop(): still make sure a join from a
+    // racing first stop() is not skipped.
+    if (accept_thread_.joinable()) accept_thread_.join();
+    return;
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  listener_.close();
+  {
+    // Half-close every connection's read side: its IO thread finishes
+    // the request it is on, delivers the response, then sees EOF.
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    for (auto& c : conns_) c->sock.shutdown_read();
+  }
+  // The accept thread is gone, so conns_ is stable from here.
+  for (auto& c : conns_)
+    if (c->thread.joinable()) c->thread.join();
+  conns_.clear();
+  if (!opt_.unix_path.empty()) ::unlink(opt_.unix_path.c_str());
+}
+
+void Server::accept_loop() {
+  while (running_.load()) {
+    util::Socket s = util::accept_with_timeout(listener_, 100);
+    if (!s.valid()) continue;
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    if (!running_.load()) break;  // raced with stop(): drop the socket
+    conns_.push_back(std::make_unique<Conn>());
+    Conn* conn = conns_.back().get();
+    conn->sock = std::move(s);
+    conn->thread = std::thread(&Server::serve_connection, this, conn);
+  }
+}
+
+void Server::serve_connection(Conn* conn) {
+  try {
+    std::vector<std::uint8_t> payload;
+    while (read_frame(conn->sock, payload)) {
+      Response resp;
+      try {
+        resp = execute(decode_request(payload));
+      } catch (const Error& e) {
+        // Undecodable but correctly framed request: answer, keep the
+        // connection (the framing itself is intact).
+        resp.status = Status::kError;
+        resp.error = e.what();
+        metrics_.count_error();
+      }
+      write_frame(conn->sock, encode(resp));
+    }
+  } catch (const Error&) {
+    // Broken framing or a lost peer: the connection is the unit of
+    // failure — drop it, the server lives on.
+  }
+}
+
+Response Server::execute(const Request& req) {
+  metrics_.count_request(req.type);
+  const auto t0 = std::chrono::steady_clock::now();
+
+  // Admission: reserve a slot or reject immediately.  The count covers
+  // requests posted to the pool but not yet finished, so a saturated
+  // pool surfaces as explicit overload, never as unbounded queueing.
+  if (in_flight_.fetch_add(1, std::memory_order_acq_rel) >=
+      opt_.admission_limit) {
+    in_flight_.fetch_sub(1, std::memory_order_acq_rel);
+    metrics_.count_overload();
+    Response resp;
+    resp.type = req.type;
+    resp.status = Status::kOverloaded;
+    resp.error = strprintf("server overloaded: %d requests in flight "
+                           "(admission limit %d); retry later",
+                           opt_.admission_limit, opt_.admission_limit);
+    return resp;
+  }
+
+  Response resp;
+  std::mutex mu;
+  std::condition_variable cv;
+  bool done = false;
+  pool_->post([&]() {
+    resp = dispatch(req);
+    // Notify under the lock: `cv` lives on the waiter's stack, and the
+    // waiter may return (destroying it) the moment it can re-acquire
+    // `mu` — which this lock scope forbids until notify_one is done.
+    std::lock_guard<std::mutex> lock(mu);
+    done = true;
+    cv.notify_one();
+  });
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&]() { return done; });
+  }
+  in_flight_.fetch_sub(1, std::memory_order_acq_rel);
+
+  if (resp.status == Status::kError) metrics_.count_error();
+  metrics_.record_latency_us(
+      std::chrono::duration<double, std::micro>(
+          std::chrono::steady_clock::now() - t0)
+          .count());
+  return resp;
+}
+
+Response Server::dispatch(const Request& req) {
+  try {
+    switch (req.type) {
+      case ReqType::kPredict:
+        return handle_predict(req, cache_);
+      case ReqType::kSimulate:
+        return handle_simulate(req, cache_);
+      case ReqType::kAnalyze:
+        return handle_analyze(req, cache_);
+      case ReqType::kStats:
+        return stats_response();
+    }
+    throw Error("unhandled request type");
+  } catch (const std::exception& e) {
+    Response resp;
+    resp.type = req.type;
+    resp.status = Status::kError;
+    resp.error = e.what();
+    return resp;
+  }
+}
+
+Response Server::stats_response() {
+  Response resp;
+  resp.type = ReqType::kStats;
+  metrics_.snapshot(resp.stats);  // includes this stats request itself
+  const TraceCache::Stats cs = cache_.stats();
+  resp.stats.cache_hits = cs.hits;
+  resp.stats.cache_misses = cs.misses;
+  resp.stats.cache_evictions = cs.evictions;
+  resp.stats.cache_entries = cs.entries;
+  resp.stats.cache_bytes = cs.bytes;
+  return resp;
+}
+
+}  // namespace vppb::server

@@ -1,0 +1,109 @@
+// vppbd — the resident prediction service.
+//
+// Threading model: one accept thread polls the listener; each accepted
+// connection gets a lightweight IO thread that reads one frame at a
+// time, runs the request through admission control, and writes the
+// response before reading the next frame (strict request/response per
+// connection — no reordering, no per-connection queues).  The compute
+// itself runs on a shared util::ThreadPool: the IO thread posts the
+// handler and blocks for the result, so CPU-bound work is bounded by
+// the pool size no matter how many clients connect.
+//
+// Admission is a bounded in-flight count, not a queue that grows: a
+// request arriving while `admission_limit` requests are admitted (on a
+// worker or waiting for one) is answered immediately with
+// Status::kOverloaded.  Clients see explicit backpressure instead of
+// unbounded latency, and a misbehaving client cannot pile up work.
+//
+// stop() drains gracefully: stop accepting, half-close the read side of
+// every connection (in-flight requests finish and their responses are
+// delivered), join everything.  `vppb serve` wires SIGINT/SIGTERM to
+// exactly this.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "server/metrics.hpp"
+#include "server/protocol.hpp"
+#include "server/trace_cache.hpp"
+#include "util/socket.hpp"
+#include "util/thread_pool.hpp"
+
+namespace vppb::server {
+
+struct ServerOptions {
+  /// Unix-domain socket path; preferred when non-empty (any stale
+  /// socket file is replaced).
+  std::string unix_path;
+  /// Loopback TCP port, used when unix_path is empty.  0 = ephemeral
+  /// (read the bound port from Server::tcp_port after start()).
+  std::uint16_t tcp_port = 0;
+  /// Workers of the owned pool (0 = all hardware threads).  Ignored
+  /// when `pool` is set.
+  int jobs = 0;
+  /// Share an existing pool instead of owning one (embedding, tests).
+  util::ThreadPool* pool = nullptr;
+  /// Maximum admitted (queued-or-running) requests before overload
+  /// rejection.
+  int admission_limit = 64;
+  std::size_t cache_entries = 16;
+  std::size_t cache_bytes = 512u << 20;
+};
+
+class Server {
+ public:
+  explicit Server(ServerOptions opt);
+  ~Server();  ///< calls stop()
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds the endpoint and starts the accept thread.  Throws
+  /// vppb::Error when the endpoint cannot be bound.
+  void start();
+
+  /// Graceful drain (see file comment).  Idempotent.
+  void stop();
+
+  /// Human-readable bound endpoint ("path.sock" or "127.0.0.1:port").
+  const std::string& endpoint() const { return endpoint_; }
+  std::uint16_t tcp_port() const { return port_; }
+
+  TraceCache& cache() { return cache_; }
+  Metrics& metrics() { return metrics_; }
+
+ private:
+  struct Conn {
+    util::Socket sock;
+    std::thread thread;
+  };
+
+  void accept_loop();
+  void serve_connection(Conn* conn);
+  Response execute(const Request& req);
+  Response dispatch(const Request& req);
+  Response stats_response();
+
+  ServerOptions opt_;
+  std::unique_ptr<util::ThreadPool> owned_pool_;
+  util::ThreadPool* pool_ = nullptr;
+  TraceCache cache_;
+  Metrics metrics_;
+
+  util::Socket listener_;
+  std::string endpoint_;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> running_{false};
+  std::atomic<int> in_flight_{0};
+  std::thread accept_thread_;
+
+  std::mutex conn_mu_;
+  std::vector<std::unique_ptr<Conn>> conns_;
+};
+
+}  // namespace vppb::server

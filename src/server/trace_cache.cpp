@@ -1,0 +1,120 @@
+#include "server/trace_cache.hpp"
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <vector>
+
+#include "trace/binary.hpp"
+#include "trace/io.hpp"
+#include "util/error.hpp"
+
+namespace vppb::server {
+namespace {
+
+std::vector<std::uint8_t> read_file_bytes(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f)
+    throw Error("cannot open trace file: " + path + ": " +
+                std::strerror(errno));
+  return std::vector<std::uint8_t>{std::istreambuf_iterator<char>(f),
+                                   std::istreambuf_iterator<char>()};
+}
+
+std::uint64_t fnv1a(const std::uint8_t* data, std::size_t n) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= data[i];
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+/// Same format sniffing as trace::load_any_file, from in-memory bytes.
+trace::Trace parse_trace(const std::vector<std::uint8_t>& bytes) {
+  if (bytes.size() >= 4 && std::memcmp(bytes.data(), "VPPB", 4) == 0)
+    return trace::from_binary(bytes.data(), bytes.size());
+  return trace::from_text(
+      std::string(reinterpret_cast<const char*>(bytes.data()), bytes.size()));
+}
+
+}  // namespace
+
+std::shared_ptr<const TraceCache::Entry> TraceCache::get(
+    const std::string& path) {
+  // Reading and digesting the bytes is per-request work by design: it
+  // is what notices a changed file.  Parsing and compiling are not.
+  const std::vector<std::uint8_t> bytes = read_file_bytes(path);
+  const std::uint64_t key = fnv1a(bytes.data(), bytes.size());
+
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    auto it = slots_.find(key);
+    if (it == slots_.end()) break;  // nobody has (or is loading) it
+    if (it->second.entry) {
+      ++hits_;
+      lru_.splice(lru_.begin(), lru_, it->second.lru);
+      return it->second.entry;
+    }
+    // Another request is compiling this content right now; wait for it
+    // rather than compiling a second copy.  A failed load erases the
+    // slot, in which case this request retries as the loader.
+    loaded_cv_.wait(lock);
+  }
+
+  ++misses_;
+  slots_.emplace(key, Slot{});  // loading marker
+  lock.unlock();
+
+  std::shared_ptr<Entry> entry;
+  try {
+    entry = std::make_shared<Entry>();
+    entry->key = key;
+    entry->bytes = bytes.size();
+    entry->trace = parse_trace(bytes);
+    entry->compiled = core::compile(entry->trace);
+  } catch (...) {
+    lock.lock();
+    slots_.erase(key);
+    loaded_cv_.notify_all();
+    throw;
+  }
+
+  lock.lock();
+  Slot& slot = slots_[key];
+  slot.entry = entry;
+  lru_.push_front(key);
+  slot.lru = lru_.begin();
+  bytes_ += entry->bytes;
+  evict_locked();
+  loaded_cv_.notify_all();
+  return entry;
+}
+
+void TraceCache::evict_locked() {
+  // Only ready entries are on the LRU list; the entry just inserted is
+  // at the front and is never evicted by its own insertion unless it
+  // alone exceeds the budget (then the cache simply does not retain it).
+  while (!lru_.empty() &&
+         (lru_.size() > max_entries_ || bytes_ > max_bytes_)) {
+    const std::uint64_t victim = lru_.back();
+    lru_.pop_back();
+    auto it = slots_.find(victim);
+    bytes_ -= it->second.entry->bytes;
+    slots_.erase(it);
+    ++evictions_;
+  }
+}
+
+TraceCache::Stats TraceCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats s;
+  s.hits = hits_;
+  s.misses = misses_;
+  s.evictions = evictions_;
+  s.entries = lru_.size();
+  s.bytes = bytes_;
+  return s;
+}
+
+}  // namespace vppb::server

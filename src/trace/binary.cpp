@@ -1,5 +1,6 @@
 #include "trace/binary.hpp"
 
+#include <cerrno>
 #include <cstring>
 #include <fstream>
 
@@ -202,7 +203,9 @@ Trace from_binary(const std::vector<std::uint8_t>& bytes) {
 void save_binary_file(const Trace& trace, const std::string& path) {
   const std::vector<std::uint8_t> bytes = to_binary(trace);
   std::ofstream f(path, std::ios::binary);
-  if (!f) throw Error("cannot open trace file for writing: " + path);
+  if (!f)
+    throw Error("cannot open trace file for writing: " + path + ": " +
+                std::strerror(errno));
   f.write(reinterpret_cast<const char*>(bytes.data()),
           static_cast<std::streamsize>(bytes.size()));
   if (!f) throw Error("failed writing trace file: " + path);
@@ -210,7 +213,9 @@ void save_binary_file(const Trace& trace, const std::string& path) {
 
 Trace load_binary_file(const std::string& path) {
   std::ifstream f(path, std::ios::binary);
-  if (!f) throw Error("cannot open trace file: " + path);
+  if (!f)
+    throw Error("cannot open trace file: " + path + ": " +
+                std::strerror(errno));
   std::vector<std::uint8_t> bytes{std::istreambuf_iterator<char>(f),
                                   std::istreambuf_iterator<char>()};
   return from_binary(bytes);
@@ -218,7 +223,9 @@ Trace load_binary_file(const std::string& path) {
 
 Trace load_any_file(const std::string& path) {
   std::ifstream f(path, std::ios::binary);
-  if (!f) throw Error("cannot open trace file: " + path);
+  if (!f)
+    throw Error("cannot open trace file: " + path + ": " +
+                std::strerror(errno));
   char magic[4] = {};
   f.read(magic, 4);
   f.close();

@@ -1,5 +1,7 @@
 #include "trace/io.hpp"
 
+#include <cerrno>
+#include <cstring>
 #include <fstream>
 #include <sstream>
 
@@ -85,7 +87,9 @@ std::string to_text(const Trace& trace) {
 
 void save_file(const Trace& trace, const std::string& path) {
   std::ofstream f(path);
-  if (!f) throw Error("cannot open trace file for writing: " + path);
+  if (!f)
+    throw Error("cannot open trace file for writing: " + path + ": " +
+                std::strerror(errno));
   write_text(trace, f);
   if (!f) throw Error("failed writing trace file: " + path);
 }
@@ -161,7 +165,9 @@ Trace from_text(const std::string& text) {
 
 Trace load_file(const std::string& path) {
   std::ifstream f(path);
-  if (!f) throw Error("cannot open trace file: " + path);
+  if (!f)
+    throw Error("cannot open trace file: " + path + ": " +
+                std::strerror(errno));
   return read_text(f);
 }
 

@@ -1,0 +1,164 @@
+#include "util/socket.hpp"
+
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace vppb::util {
+namespace {
+
+[[noreturn]] void fail(const char* what) {
+  throw Error(strprintf("%s: %s", what, std::strerror(errno)));
+}
+
+Socket new_socket(int domain) {
+  const int fd = ::socket(domain, SOCK_STREAM, 0);
+  if (fd < 0) fail("socket");
+  return Socket(fd);
+}
+
+sockaddr_un unix_addr(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() + 1 > sizeof(addr.sun_path))
+    throw Error("unix socket path too long: " + path);
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  return addr;
+}
+
+sockaddr_in loopback_addr(std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  return addr;
+}
+
+}  // namespace
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Socket::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void Socket::shutdown_read() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RD);
+}
+
+void Socket::send_all(const void* data, std::size_t n) {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  while (n > 0) {
+    const ssize_t sent = ::send(fd_, p, n, MSG_NOSIGNAL);
+    if (sent < 0) {
+      if (errno == EINTR) continue;
+      fail("send");
+    }
+    p += sent;
+    n -= static_cast<std::size_t>(sent);
+  }
+}
+
+std::size_t Socket::recv_exact(void* data, std::size_t n) {
+  auto* p = static_cast<std::uint8_t*>(data);
+  std::size_t got = 0;
+  while (got < n) {
+    const ssize_t r = ::recv(fd_, p + got, n - got, 0);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      fail("recv");
+    }
+    if (r == 0) break;  // end of stream
+    got += static_cast<std::size_t>(r);
+  }
+  return got;
+}
+
+Socket listen_unix(const std::string& path, int backlog) {
+  Socket s = new_socket(AF_UNIX);
+  ::unlink(path.c_str());
+  const sockaddr_un addr = unix_addr(path);
+  if (::bind(s.fd(), reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0)
+    throw Error(strprintf("bind %s: %s", path.c_str(), std::strerror(errno)));
+  if (::listen(s.fd(), backlog) != 0) fail("listen");
+  return s;
+}
+
+Socket listen_tcp(std::uint16_t& port, int backlog) {
+  Socket s = new_socket(AF_INET);
+  const int one = 1;
+  ::setsockopt(s.fd(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr = loopback_addr(port);
+  if (::bind(s.fd(), reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0)
+    throw Error(strprintf("bind port %u: %s", port, std::strerror(errno)));
+  if (::listen(s.fd(), backlog) != 0) fail("listen");
+  socklen_t len = sizeof(addr);
+  if (::getsockname(s.fd(), reinterpret_cast<sockaddr*>(&addr), &len) != 0)
+    fail("getsockname");
+  port = ntohs(addr.sin_port);
+  return s;
+}
+
+Socket connect_unix(const std::string& path) {
+  Socket s = new_socket(AF_UNIX);
+  const sockaddr_un addr = unix_addr(path);
+  if (::connect(s.fd(), reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0)
+    throw Error(strprintf("connect %s: %s", path.c_str(),
+                          std::strerror(errno)));
+  return s;
+}
+
+Socket connect_tcp(std::uint16_t port) {
+  Socket s = new_socket(AF_INET);
+  const sockaddr_in addr = loopback_addr(port);
+  if (::connect(s.fd(), reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0)
+    throw Error(strprintf("connect port %u: %s", port,
+                          std::strerror(errno)));
+  return s;
+}
+
+Socket accept_with_timeout(Socket& listener, int timeout_ms) {
+  pollfd pfd{listener.fd(), POLLIN, 0};
+  const int n = ::poll(&pfd, 1, timeout_ms);
+  if (n < 0) {
+    if (errno == EINTR) return Socket();
+    fail("poll");
+  }
+  if (n == 0) return Socket();
+  const int fd = ::accept(listener.fd(), nullptr, nullptr);
+  if (fd < 0) {
+    if (errno == EINTR || errno == ECONNABORTED) return Socket();
+    fail("accept");
+  }
+  return Socket(fd);
+}
+
+std::pair<Socket, Socket> socket_pair() {
+  int fds[2];
+  if (::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) != 0) fail("socketpair");
+  return {Socket(fds[0]), Socket(fds[1])};
+}
+
+}  // namespace vppb::util

@@ -1,0 +1,71 @@
+// Minimal blocking-socket helpers for the prediction service.
+//
+// The server speaks a length-prefixed framed protocol over either a
+// Unix-domain socket (the default for a local daemon) or loopback TCP;
+// both endpoints only need four operations: listen, connect, send every
+// byte, receive an exact count.  This wraps the POSIX calls in RAII and
+// vppb::Error so the protocol layer never touches errno directly.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <utility>
+
+namespace vppb::util {
+
+/// An owned socket file descriptor.  Move-only; closes on destruction.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { close(); }
+
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket& operator=(Socket&& other) noexcept;
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+
+  void close();
+
+  /// Half-closes the read side: a peer or another thread blocked in
+  /// recv on this socket observes end-of-stream.  The write side stays
+  /// open so an in-flight response can still be delivered — this is how
+  /// the server drains connections on shutdown.
+  void shutdown_read();
+
+  /// Sends all `n` bytes (looping over partial sends, SIGPIPE
+  /// suppressed).  Throws vppb::Error if the peer goes away.
+  void send_all(const void* data, std::size_t n);
+
+  /// Receives exactly `n` bytes unless the stream ends first; returns
+  /// the number of bytes actually read (0 = clean end-of-stream before
+  /// the first byte).  Throws vppb::Error on socket errors.
+  std::size_t recv_exact(void* data, std::size_t n);
+
+ private:
+  int fd_ = -1;
+};
+
+/// Binds and listens on a Unix-domain socket.  An existing socket file
+/// at `path` is removed first: the daemon owns its socket path.
+Socket listen_unix(const std::string& path, int backlog = 64);
+
+/// Binds and listens on loopback TCP.  `port` 0 picks an ephemeral
+/// port; on return `port` holds the actual bound port.
+Socket listen_tcp(std::uint16_t& port, int backlog = 64);
+
+Socket connect_unix(const std::string& path);
+Socket connect_tcp(std::uint16_t port);
+
+/// Waits up to `timeout_ms` for a connection on `listener`; returns an
+/// invalid Socket on timeout (so an accept loop can poll a stop flag).
+Socket accept_with_timeout(Socket& listener, int timeout_ms);
+
+/// A connected AF_UNIX stream pair, for tests and in-process plumbing.
+std::pair<Socket, Socket> socket_pair();
+
+}  // namespace vppb::util

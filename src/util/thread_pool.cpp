@@ -52,13 +52,27 @@ void ThreadPool::run_slice() {
 void ThreadPool::worker_loop() {
   std::uint64_t seen = 0;
   for (;;) {
+    std::function<void()> task;
     {
       std::unique_lock<std::mutex> lock(mu_);
-      work_cv_.wait(lock,
-                    [&]() { return stopping_ || generation_ != seen; });
-      if (stopping_) return;
-      seen = generation_;
-      ++active_;
+      work_cv_.wait(lock, [&]() {
+        return stopping_ || !tasks_.empty() || generation_ != seen;
+      });
+      if (!tasks_.empty()) {
+        // Posted tasks first: a pending parallel_for still completes
+        // through its caller, but a posted task has no other runner.
+        task = std::move(tasks_.front());
+        tasks_.pop_front();
+      } else if (generation_ != seen) {
+        seen = generation_;
+        ++active_;
+      } else {  // stopping_, and the task queue is drained
+        return;
+      }
+    }
+    if (task) {
+      task();
+      continue;
     }
     run_slice();
     {
@@ -66,6 +80,18 @@ void ThreadPool::worker_loop() {
       if (--active_ == 0) done_cv_.notify_all();
     }
   }
+}
+
+void ThreadPool::post(std::function<void()> task) {
+  if (workers_.empty()) {
+    task();
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    tasks_.push_back(std::move(task));
+  }
+  work_cv_.notify_one();
 }
 
 void ThreadPool::parallel_for(std::size_t n,

@@ -12,6 +12,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <deque>
 #include <exception>
 #include <functional>
 #include <mutex>
@@ -40,6 +41,15 @@ class ThreadPool {
   /// serialize: the pool runs one loop at a time.
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
 
+  /// Enqueues an independent task and returns immediately; a free
+  /// worker runs it (FIFO order, interleaved with parallel_for slices —
+  /// a worker prefers queued tasks).  With no workers (jobs == 1) the
+  /// task runs inline on the caller before post() returns.  Queued
+  /// tasks are drained, not dropped, before the destructor returns.
+  /// Tasks must handle their own errors: an exception escaping a posted
+  /// task terminates the process.
+  void post(std::function<void()> task);
+
   /// `jobs` <= 0 -> hardware_concurrency (at least 1); else `jobs`.
   static int resolve_jobs(int jobs);
 
@@ -55,6 +65,7 @@ class ThreadPool {
   std::uint64_t generation_ = 0;     ///< bumped once per parallel_for
   int active_ = 0;                   ///< workers currently inside run_slice
   bool stopping_ = false;
+  std::deque<std::function<void()>> tasks_;  ///< posted, not yet started
 
   // Current job (valid while done_ < n_).
   const std::function<void(std::size_t)>* fn_ = nullptr;

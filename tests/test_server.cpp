@@ -1,0 +1,581 @@
+// Tests for the vppbd prediction service: protocol framing (including
+// truncated/oversized/garbage frames), the content-addressed LRU trace
+// cache, the ThreadPool task API, and a multi-client integration test
+// proving server responses bit-identical to the offline path.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "core/sweep.hpp"
+#include "recorder/recorder.hpp"
+#include "server/client.hpp"
+#include "server/protocol.hpp"
+#include "server/server.hpp"
+#include "server/trace_cache.hpp"
+#include "solaris/program.hpp"
+#include "solaris/solaris.hpp"
+#include "trace/io.hpp"
+#include "util/error.hpp"
+#include "util/socket.hpp"
+#include "util/thread_pool.hpp"
+#include "workloads/synthetic.hpp"
+
+namespace vppb::server {
+namespace {
+
+// ---- helpers ---------------------------------------------------------------
+
+trace::Trace record_fork_join(int threads, SimTime work) {
+  sol::Program program;
+  return rec::record_program(program, [threads, work]() {
+    workloads::fork_join(threads, work);
+  });
+}
+
+/// A fresh path under the system temp dir; removed on destruction.
+class TempFile {
+ public:
+  explicit TempFile(const std::string& tag) {
+    static std::atomic<int> counter{0};
+    path_ = (std::filesystem::temp_directory_path() /
+             ("vppb_" + tag + "_" + std::to_string(::getpid()) + "_" +
+              std::to_string(counter.fetch_add(1))))
+                .string();
+  }
+  ~TempFile() { std::remove(path_.c_str()); }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+Request full_request() {
+  Request req;
+  req.type = ReqType::kSimulate;
+  req.trace_path = "some/trace file.bin";
+  req.cpus = 12;
+  req.lwps = 3;
+  req.max_cpus = 64;
+  req.comm_delay_us = 7;
+  req.want_svg = true;
+  return req;
+}
+
+// ---- protocol framing ------------------------------------------------------
+
+TEST(ProtocolTest, RequestRoundTrip) {
+  const Request req = full_request();
+  const Request back = decode_request(encode(req));
+  EXPECT_EQ(back.type, req.type);
+  EXPECT_EQ(back.trace_path, req.trace_path);
+  EXPECT_EQ(back.cpus, req.cpus);
+  EXPECT_EQ(back.lwps, req.lwps);
+  EXPECT_EQ(back.max_cpus, req.max_cpus);
+  EXPECT_EQ(back.comm_delay_us, req.comm_delay_us);
+  EXPECT_EQ(back.want_svg, req.want_svg);
+}
+
+TEST(ProtocolTest, ResponseRoundTrip) {
+  Response resp;
+  resp.status = Status::kOk;
+  resp.type = ReqType::kPredict;
+  resp.points = {WirePoint{1, 1.0, 1.0, 1000, 11},
+                 WirePoint{4, 3.5, 0.875, 286, 22}};
+  resp.serial_fraction = 0.0625;
+  resp.knee = 4;
+  resp.digest = 0xdeadbeefcafef00dULL;
+  resp.total_ns = 286;
+  resp.speedup = 3.5;
+  resp.cpus = 4;
+  resp.lwps = 9;
+  resp.events = 123;
+  resp.svg = "<svg>...</svg>";
+  resp.report = "all quiet";
+  resp.stats.requests = 42;
+  resp.stats.by_type[0] = 40;
+  resp.stats.cache_hits = 39;
+  resp.stats.p99_us = 1234.5;
+
+  const Response back = decode_response(encode(resp));
+  EXPECT_EQ(back.status, resp.status);
+  EXPECT_EQ(back.type, resp.type);
+  ASSERT_EQ(back.points.size(), 2u);
+  EXPECT_EQ(back.points[1].cpus, 4);
+  EXPECT_DOUBLE_EQ(back.points[1].speedup, 3.5);
+  EXPECT_EQ(back.points[1].digest, 22u);
+  EXPECT_DOUBLE_EQ(back.serial_fraction, 0.0625);
+  EXPECT_EQ(back.knee, 4);
+  EXPECT_EQ(back.digest, resp.digest);
+  EXPECT_EQ(back.total_ns, 286);
+  EXPECT_EQ(back.lwps, 9);
+  EXPECT_EQ(back.events, 123u);
+  EXPECT_EQ(back.svg, resp.svg);
+  EXPECT_EQ(back.report, resp.report);
+  EXPECT_EQ(back.stats.requests, 42u);
+  EXPECT_EQ(back.stats.by_type[0], 40u);
+  EXPECT_EQ(back.stats.cache_hits, 39u);
+  EXPECT_DOUBLE_EQ(back.stats.p99_us, 1234.5);
+}
+
+TEST(ProtocolTest, ErrorResponseRoundTrip) {
+  Response resp;
+  resp.status = Status::kOverloaded;
+  resp.type = ReqType::kAnalyze;
+  resp.error = "server overloaded";
+  const Response back = decode_response(encode(resp));
+  EXPECT_EQ(back.status, Status::kOverloaded);
+  EXPECT_EQ(back.error, "server overloaded");
+}
+
+TEST(ProtocolTest, FrameRoundTripOverSocketPair) {
+  auto [a, b] = util::socket_pair();
+  const std::vector<std::uint8_t> payload = encode(full_request());
+  write_frame(a, payload);
+  write_frame(a, payload);  // two frames back to back
+  std::vector<std::uint8_t> got;
+  ASSERT_TRUE(read_frame(b, got));
+  EXPECT_EQ(got, payload);
+  ASSERT_TRUE(read_frame(b, got));
+  EXPECT_EQ(got, payload);
+}
+
+TEST(ProtocolTest, CleanEofReturnsFalse) {
+  auto [a, b] = util::socket_pair();
+  a.close();
+  std::vector<std::uint8_t> got;
+  EXPECT_FALSE(read_frame(b, got));
+}
+
+TEST(ProtocolTest, TruncatedHeaderThrows) {
+  auto [a, b] = util::socket_pair();
+  const std::uint8_t half[2] = {0x10, 0x00};
+  a.send_all(half, sizeof half);
+  a.close();
+  std::vector<std::uint8_t> got;
+  EXPECT_THROW(read_frame(b, got), Error);
+}
+
+TEST(ProtocolTest, TruncatedPayloadThrows) {
+  auto [a, b] = util::socket_pair();
+  const std::uint8_t header[4] = {100, 0, 0, 0};  // promises 100 bytes
+  a.send_all(header, sizeof header);
+  const std::uint8_t some[10] = {};
+  a.send_all(some, sizeof some);
+  a.close();
+  std::vector<std::uint8_t> got;
+  EXPECT_THROW(read_frame(b, got), Error);
+}
+
+TEST(ProtocolTest, OversizedFrameThrows) {
+  auto [a, b] = util::socket_pair();
+  const std::uint8_t header[4] = {0xff, 0xff, 0xff, 0xff};
+  a.send_all(header, sizeof header);
+  std::vector<std::uint8_t> got;
+  EXPECT_THROW(read_frame(b, got), Error);
+}
+
+TEST(ProtocolTest, ZeroLengthFrameThrows) {
+  auto [a, b] = util::socket_pair();
+  const std::uint8_t header[4] = {0, 0, 0, 0};
+  a.send_all(header, sizeof header);
+  std::vector<std::uint8_t> got;
+  EXPECT_THROW(read_frame(b, got), Error);
+}
+
+TEST(ProtocolTest, GarbagePayloadThrows) {
+  // A correctly framed payload of junk must fail decoding, not crash.
+  const std::vector<std::uint8_t> junk = {0x01, 0xff, 0xee, 0xdd, 0x9c,
+                                          0x80, 0x80, 0x80, 0x42};
+  EXPECT_THROW(decode_request(junk), Error);
+  EXPECT_THROW(decode_response(junk), Error);
+}
+
+TEST(ProtocolTest, WrongVersionThrows) {
+  std::vector<std::uint8_t> payload = encode(full_request());
+  payload[0] = kProtocolVersion + 1;
+  EXPECT_THROW(decode_request(payload), Error);
+}
+
+TEST(ProtocolTest, TrailingBytesThrow) {
+  std::vector<std::uint8_t> payload = encode(full_request());
+  payload.push_back(0x00);
+  EXPECT_THROW(decode_request(payload), Error);
+}
+
+// ---- combined digests ------------------------------------------------------
+
+TEST(DigestTest, CombinedDigestIsOrderSensitive) {
+  const trace::Trace t = record_fork_join(4, SimTime::millis(2));
+  const core::CompiledTrace compiled = core::compile(t);
+  core::SimConfig cfg;
+  cfg.hw.cpus = 1;
+  const core::SimResult one = core::simulate(compiled, cfg);
+  cfg.hw.cpus = 4;
+  const core::SimResult four = core::simulate(compiled, cfg);
+  ASSERT_NE(core::digest(one), core::digest(four));
+  EXPECT_NE(core::digest(std::vector<core::SimResult>{one, four}),
+            core::digest(std::vector<core::SimResult>{four, one}));
+  EXPECT_NE(core::digest(std::vector<core::SimResult>{one}),
+            core::digest(std::vector<core::SimResult>{}));
+}
+
+// ---- ThreadPool::post ------------------------------------------------------
+
+TEST(ThreadPoolPostTest, RunsAllTasksAndDrainsOnDestruction) {
+  std::atomic<int> ran{0};
+  {
+    util::ThreadPool pool(3);
+    for (int i = 0; i < 100; ++i) pool.post([&ran]() { ++ran; });
+  }  // destructor must drain, not drop
+  EXPECT_EQ(ran.load(), 100);
+}
+
+TEST(ThreadPoolPostTest, RunsInlineWithoutWorkers) {
+  util::ThreadPool pool(1);
+  bool ran = false;
+  pool.post([&ran]() { ran = true; });
+  EXPECT_TRUE(ran);  // synchronous when the pool has no workers
+}
+
+TEST(ThreadPoolPostTest, CoexistsWithParallelFor) {
+  util::ThreadPool pool(4);
+  std::atomic<int> posted{0};
+  for (int i = 0; i < 32; ++i) pool.post([&posted]() { ++posted; });
+  std::atomic<int> looped{0};
+  pool.parallel_for(64, [&looped](std::size_t) { ++looped; });
+  EXPECT_EQ(looped.load(), 64);
+  // parallel_for returning does not imply the queue is empty; the
+  // destructor drains what remains.
+}
+
+// ---- trace cache -----------------------------------------------------------
+
+TEST(TraceCacheTest, HitsMissesContentAddressingAndLru) {
+  const trace::Trace t1 = record_fork_join(2, SimTime::millis(1));
+  const trace::Trace t2 = record_fork_join(3, SimTime::millis(1));
+  const trace::Trace t3 = record_fork_join(4, SimTime::millis(1));
+  TempFile f1("t1"), f1copy("t1copy"), f2("t2"), f3("t3");
+  trace::save_file(t1, f1.path());
+  trace::save_file(t1, f1copy.path());  // same bytes, different path
+  trace::save_file(t2, f2.path());
+  trace::save_file(t3, f3.path());
+
+  TraceCache cache(2, 1u << 30);
+  const auto e1 = cache.get(f1.path());
+  EXPECT_EQ(cache.stats().misses, 1u);
+
+  // Content addressing: a byte-identical file elsewhere is a hit.
+  const auto e1b = cache.get(f1copy.path());
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(e1.get(), e1b.get());
+
+  cache.get(f2.path());
+  EXPECT_EQ(cache.stats().entries, 2u);
+  EXPECT_EQ(cache.stats().evictions, 0u);
+
+  // Third distinct trace in a 2-entry cache evicts the LRU one (t1).
+  cache.get(f3.path());
+  EXPECT_EQ(cache.stats().entries, 2u);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  cache.get(f1.path());  // must re-load
+  EXPECT_EQ(cache.stats().misses, 4u);
+
+  // The evicted entry stayed alive through its shared_ptr.
+  EXPECT_EQ(e1->trace.records.size(), t1.records.size());
+}
+
+TEST(TraceCacheTest, ByteBudgetEvicts) {
+  const trace::Trace t1 = record_fork_join(2, SimTime::millis(1));
+  const trace::Trace t2 = record_fork_join(5, SimTime::millis(1));
+  TempFile f1("b1"), f2("b2");
+  trace::save_file(t1, f1.path());
+  trace::save_file(t2, f2.path());
+  const std::size_t size1 = std::filesystem::file_size(f1.path());
+  const std::size_t size2 = std::filesystem::file_size(f2.path());
+
+  // Budget fits either trace alone but not both.
+  TraceCache cache(16, size1 + size2 - 1);
+  cache.get(f1.path());
+  EXPECT_EQ(cache.stats().entries, 1u);
+  cache.get(f2.path());
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_EQ(cache.stats().entries, 1u);
+  EXPECT_LE(cache.stats().bytes, size1 + size2 - 1);
+}
+
+TEST(TraceCacheTest, MissingAndMalformedFilesThrow) {
+  TraceCache cache(4, 1u << 20);
+  EXPECT_THROW(cache.get("/nonexistent/vppb.trace"), Error);
+  TempFile junk("junk");
+  std::ofstream(junk.path()) << "this is not a trace\n";
+  EXPECT_THROW(cache.get(junk.path()), Error);
+  // A failed load must not wedge the slot for later attempts.
+  EXPECT_THROW(cache.get(junk.path()), Error);
+  EXPECT_EQ(cache.stats().entries, 0u);
+}
+
+TEST(TraceCacheTest, ConcurrentColdGetsCompileOnce) {
+  const trace::Trace t = record_fork_join(4, SimTime::millis(2));
+  TempFile f("cold");
+  trace::save_file(t, f.path());
+  TraceCache cache(4, 1u << 30);
+  constexpr int kThreads = 8;
+  std::vector<std::thread> threads;
+  std::vector<std::shared_ptr<const TraceCache::Entry>> entries(kThreads);
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&cache, &entries, &f, i]() {
+      entries[static_cast<std::size_t>(i)] = cache.get(f.path());
+    });
+  }
+  for (auto& th : threads) th.join();
+  const TraceCache::Stats s = cache.stats();
+  EXPECT_EQ(s.misses, 1u) << "single-flight must compile exactly once";
+  EXPECT_EQ(s.hits, static_cast<std::uint64_t>(kThreads - 1));
+  for (const auto& e : entries) EXPECT_EQ(e.get(), entries[0].get());
+}
+
+// ---- server integration ----------------------------------------------------
+
+class ServerTest : public ::testing::Test {
+ protected:
+  static Request predict_request(const std::string& path, int max_cpus = 8) {
+    Request req;
+    req.type = ReqType::kPredict;
+    req.trace_path = path;
+    req.max_cpus = max_cpus;
+    return req;
+  }
+};
+
+TEST_F(ServerTest, EightClientsBitIdenticalToOfflineAndOneCompile) {
+  const trace::Trace t = record_fork_join(6, SimTime::millis(3));
+  TempFile trace_file("srv");
+  trace::save_file(t, trace_file.path());
+
+  // The offline path: same sweep, same digests.
+  const core::CompiledTrace compiled = core::compile(t);
+  std::vector<core::SimResult> offline_results;
+  core::SweepOptions opt;
+  opt.jobs = 1;
+  opt.results = &offline_results;
+  const std::vector<int> counts = {1, 2, 4, 8};
+  core::sweep_cpus(compiled, counts, core::SimConfig{}, opt);
+  const std::uint64_t offline_digest = core::digest(offline_results);
+
+  TempFile sock("sock");
+  ServerOptions so;
+  so.unix_path = sock.path();
+  so.jobs = 4;
+  Server server(so);
+  server.start();
+
+  constexpr int kClients = 8;
+  std::vector<std::thread> clients;
+  std::vector<Response> responses(kClients);
+  for (int i = 0; i < kClients; ++i) {
+    clients.emplace_back([&, i]() {
+      Client c = Client::connect_unix(sock.path());
+      responses[static_cast<std::size_t>(i)] =
+          c.call(predict_request(trace_file.path()));
+    });
+  }
+  for (auto& th : clients) th.join();
+
+  for (const Response& r : responses) {
+    ASSERT_EQ(r.status, Status::kOk) << r.error;
+    EXPECT_EQ(r.digest, offline_digest)
+        << "server response must be bit-identical to offline predict";
+    ASSERT_EQ(r.points.size(), offline_results.size());
+    for (std::size_t i = 0; i < r.points.size(); ++i) {
+      EXPECT_EQ(r.points[i].digest, core::digest(offline_results[i]));
+      EXPECT_EQ(r.points[i].total_ns, offline_results[i].total.ns());
+    }
+  }
+
+  Client c = Client::connect_unix(sock.path());
+  Request stats_req;
+  stats_req.type = ReqType::kStats;
+  const Response stats = c.call(stats_req);
+  ASSERT_EQ(stats.status, Status::kOk);
+  EXPECT_EQ(stats.stats.by_type[0], static_cast<std::uint64_t>(kClients));
+  EXPECT_EQ(stats.stats.cache_misses, 1u)
+      << "the trace must be parsed/compiled exactly once";
+  EXPECT_EQ(stats.stats.cache_hits, static_cast<std::uint64_t>(kClients - 1));
+  EXPECT_EQ(stats.stats.overloads, 0u);
+  // The stats request's own latency is recorded after its snapshot.
+  EXPECT_EQ(stats.stats.latency_count, static_cast<std::uint64_t>(kClients));
+  server.stop();
+}
+
+TEST_F(ServerTest, SimulateDigestMatchesOfflineAndSvgRenders) {
+  const trace::Trace t = record_fork_join(4, SimTime::millis(2));
+  TempFile trace_file("sim");
+  trace::save_file(t, trace_file.path());
+  core::SimConfig cfg;
+  cfg.hw.cpus = 2;
+  const std::uint64_t offline = core::digest(core::simulate(t, cfg));
+
+  TempFile sock("simsock");
+  ServerOptions so;
+  so.unix_path = sock.path();
+  so.jobs = 2;
+  Server server(so);
+  server.start();
+
+  Client c = Client::connect_unix(sock.path());
+  Request req;
+  req.type = ReqType::kSimulate;
+  req.trace_path = trace_file.path();
+  req.cpus = 2;
+  req.want_svg = true;
+  const Response r = c.call(req);
+  ASSERT_EQ(r.status, Status::kOk) << r.error;
+  EXPECT_EQ(r.digest, offline);
+  EXPECT_NE(r.svg.find("<svg"), std::string::npos);
+
+  // One connection, several request types back to back.
+  req.type = ReqType::kAnalyze;
+  req.want_svg = false;
+  const Response a = c.call(req);
+  ASSERT_EQ(a.status, Status::kOk) << a.error;
+  EXPECT_FALSE(a.report.empty());
+  server.stop();
+}
+
+TEST_F(ServerTest, BadRequestsGetErrorResponsesNotDrops) {
+  TempFile sock("errsock");
+  ServerOptions so;
+  so.unix_path = sock.path();
+  so.jobs = 2;
+  Server server(so);
+  server.start();
+
+  Client c = Client::connect_unix(sock.path());
+  Request req = predict_request("/does/not/exist.trace");
+  const Response r = c.call(req);
+  EXPECT_EQ(r.status, Status::kError);
+  EXPECT_NE(r.error.find("cannot open trace file"), std::string::npos);
+  EXPECT_NE(r.error.find("No such file"), std::string::npos)
+      << "the error must carry strerror(errno) context: " << r.error;
+
+  // Out-of-range config on the same connection still answers.
+  req.max_cpus = -3;
+  const Response r2 = c.call(req);
+  EXPECT_EQ(r2.status, Status::kError);
+  EXPECT_NE(r2.error.find("out of range"), std::string::npos);
+  server.stop();
+}
+
+TEST_F(ServerTest, OverloadIsExplicitAndBounded) {
+  // One pool worker, blocked: admitted requests queue, and anything
+  // beyond the admission limit must be rejected immediately — not
+  // queued forever.
+  util::ThreadPool pool(2);  // 1 worker + callers
+  std::mutex gate_mu;
+  std::condition_variable gate_cv;
+  bool gate_open = false;
+  pool.post([&]() {
+    std::unique_lock<std::mutex> lock(gate_mu);
+    gate_cv.wait(lock, [&]() { return gate_open; });
+  });
+
+  TempFile sock("oversock");
+  ServerOptions so;
+  so.unix_path = sock.path();
+  so.pool = &pool;
+  so.admission_limit = 2;
+  Server server(so);
+  server.start();
+
+  constexpr int kClients = 6;
+  std::atomic<int> ok{0}, overloaded{0};
+  std::vector<std::thread> clients;
+  for (int i = 0; i < kClients; ++i) {
+    clients.emplace_back([&]() {
+      Client c = Client::connect_unix(sock.path());
+      Request req;
+      req.type = ReqType::kStats;
+      const Response r = c.call(req);
+      if (r.status == Status::kOk) ++ok;
+      if (r.status == Status::kOverloaded) ++overloaded;
+    });
+  }
+
+  // With the worker blocked nothing can finish, so exactly
+  // admission_limit requests are admitted and the rest must come back
+  // overloaded while we wait.
+  for (int spins = 0; overloaded.load() < kClients - so.admission_limit &&
+                      spins < 500; ++spins) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_EQ(overloaded.load(), kClients - so.admission_limit);
+  EXPECT_EQ(ok.load(), 0);
+
+  {
+    std::lock_guard<std::mutex> lock(gate_mu);
+    gate_open = true;
+  }
+  gate_cv.notify_all();
+  for (auto& th : clients) th.join();
+  EXPECT_EQ(ok.load(), so.admission_limit);
+  EXPECT_EQ(overloaded.load(), kClients - so.admission_limit);
+
+  Client c = Client::connect_unix(sock.path());
+  Request req;
+  req.type = ReqType::kStats;
+  const Response stats = c.call(req);
+  EXPECT_EQ(stats.stats.overloads,
+            static_cast<std::uint64_t>(kClients - so.admission_limit));
+  server.stop();
+}
+
+TEST_F(ServerTest, TcpEndpointWorksToo) {
+  const trace::Trace t = record_fork_join(3, SimTime::millis(1));
+  TempFile trace_file("tcp");
+  trace::save_file(t, trace_file.path());
+
+  ServerOptions so;
+  so.tcp_port = 0;  // ephemeral
+  so.jobs = 2;
+  Server server(so);
+  server.start();
+  ASSERT_GT(server.tcp_port(), 0);
+
+  Client c = Client::connect_tcp(server.tcp_port());
+  const Response r = c.call(predict_request(trace_file.path(), 4));
+  ASSERT_EQ(r.status, Status::kOk) << r.error;
+  EXPECT_EQ(r.points.size(), 3u);  // 1, 2, 4
+  server.stop();
+}
+
+TEST_F(ServerTest, StopDrainsInFlightRequests) {
+  const trace::Trace t = record_fork_join(4, SimTime::millis(2));
+  TempFile trace_file("drain");
+  trace::save_file(t, trace_file.path());
+  TempFile sock("drainsock");
+  ServerOptions so;
+  so.unix_path = sock.path();
+  so.jobs = 2;
+  auto server = std::make_unique<Server>(so);
+  server->start();
+
+  // Fire a request and stop the server while it may still be running;
+  // the response must still arrive (drain, not abort).
+  Client c = Client::connect_unix(sock.path());
+  std::thread stopper([&server]() { server->stop(); });
+  const Response r = c.call(predict_request(trace_file.path(), 4));
+  stopper.join();
+  EXPECT_EQ(r.status, Status::kOk) << r.error;
+}
+
+}  // namespace
+}  // namespace vppb::server

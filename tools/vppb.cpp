@@ -7,16 +7,22 @@
 //   vppb analyze <trace>     contention report (the §5 diagnosis)
 //   vppb validate <workload> Table-1-style row: real vs predicted
 //   vppb convert <in> <out>  text <-> binary trace conversion
+//   vppb serve               run the resident prediction daemon (vppbd)
+//   vppb request <type> ...  query a running daemon
 //
 // Trace files are sniffed: both the text and the binary format load.
+#include <csignal>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 
 #include "core/engine.hpp"
 #include "core/sweep.hpp"
 #include "machine/validate.hpp"
 #include "recorder/recorder.hpp"
+#include "server/client.hpp"
+#include "server/server.hpp"
 #include "solaris/program.hpp"
 #include "trace/binary.hpp"
 #include "trace/io.hpp"
@@ -48,17 +54,57 @@ int usage() {
       "  simulate <trace> [--cpus N] [--lwps N] [--svg F] [--columns N]\n"
       "  analyze <trace> [--cpus N]\n"
       "  validate <workload> [--cpus-list 2,4,8] [--scale S] [--reps N]\n"
-      "  convert <in> <out>   (binary iff <out> ends in .bin)\n");
+      "  convert <in> <out>   (binary iff <out> ends in .bin)\n"
+      "  serve [--socket PATH | --port N] [--jobs N] [--admission N]\n"
+      "        [--cache-entries N] [--cache-mb N]\n"
+      "  request <predict|simulate|analyze|stats> [trace]\n"
+      "          [--socket PATH | --port N] + the predict/simulate/analyze\n"
+      "          flags above; --svg F saves the simulate render\n"
+      "  workload names must be exact or a unique prefix of >= 4 chars\n");
   return 2;
 }
 
-std::function<void()> workload_by_name(const std::string& name, int threads,
-                                       double scale) {
+std::vector<std::string> workload_names() {
+  std::vector<std::string> names;
   for (const auto& app : workloads::splash_suite()) {
     std::string key = app.name;
     for (char& c : key) c = static_cast<char>(std::tolower(c));
-    if (key.substr(0, 5) == name.substr(0, std::min<std::size_t>(5, name.size())) ||
-        key == name) {
+    names.push_back(key);
+  }
+  names.insert(names.end(), {"prodcons-naive", "prodcons-tuned", "forkjoin",
+                             "pipeline"});
+  return names;
+}
+
+/// Accepts an exact workload name or a unique prefix of at least 4
+/// characters; anything else — a typo like "radixsort", an ambiguous or
+/// too-short prefix — errors with the candidate list, instead of the
+/// old behaviour of silently running whatever shared 5 characters.
+std::string resolve_workload_name(const std::string& name) {
+  const std::vector<std::string> names = workload_names();
+  std::vector<std::string> matches;
+  for (const auto& n : names) {
+    if (n == name) return n;
+    if (name.size() >= 4 && n.size() > name.size() &&
+        n.compare(0, name.size(), name) == 0) {
+      matches.push_back(n);
+    }
+  }
+  if (matches.size() == 1) return matches.front();
+  std::string msg = matches.size() > 1
+                        ? "ambiguous workload '" + name + "'; matches:"
+                        : "unknown workload '" + name + "'; workloads:";
+  for (const auto& n : (matches.size() > 1 ? matches : names)) msg += ' ' + n;
+  throw Error(msg);
+}
+
+std::function<void()> workload_by_name(const std::string& given, int threads,
+                                       double scale) {
+  const std::string name = resolve_workload_name(given);
+  for (const auto& app : workloads::splash_suite()) {
+    std::string key = app.name;
+    for (char& c : key) c = static_cast<char>(std::tolower(c));
+    if (key == name) {
       return [app, threads, scale]() {
         app.run(workloads::SplashParams{threads, scale});
       };
@@ -145,8 +191,10 @@ int cmd_predict(Flags& flags) {
   std::vector<int> cpu_counts;
   for (int cpus = 1; cpus <= flags.i64("max-cpus"); cpus *= 2)
     cpu_counts.push_back(cpus);
+  std::vector<core::SimResult> results;
   core::SweepOptions opt;
   opt.jobs = util::ThreadPool::resolve_jobs(static_cast<int>(flags.i64("jobs")));
+  opt.results = &results;
   const core::SpeedupCurve curve =
       core::sweep_cpus(compiled, cpu_counts, base, opt);
   TextTable table;
@@ -159,6 +207,8 @@ int cmd_predict(Flags& flags) {
   std::printf("\nAmdahl fit: serial fraction %.1f%%; efficiency stays >= "
               "50%% up to %d CPUs\n",
               100.0 * curve.amdahl_serial_fraction(), curve.knee(0.5));
+  std::printf("sweep digest: %016llx\n",
+              static_cast<unsigned long long>(core::digest(results)));
   return 0;
 }
 
@@ -169,9 +219,11 @@ int cmd_simulate(Flags& flags) {
   cfg.hw.cpus = static_cast<int>(flags.i64("cpus"));
   cfg.sched.lwps = static_cast<int>(flags.i64("lwps"));
   const core::SimResult r = core::simulate(t, cfg);
-  std::printf("predicted %s on %d CPUs (speed-up %.2f, %zu events)\n\n",
+  std::printf("predicted %s on %d CPUs (speed-up %.2f, %zu events, "
+              "digest %016llx)\n\n",
               r.total.to_string().c_str(), cfg.hw.cpus, r.speedup,
-              r.events.size());
+              r.events.size(),
+              static_cast<unsigned long long>(core::digest(r)));
   viz::Visualizer v(r, t);
   v.compress_threads();
   const int columns = static_cast<int>(flags.i64("columns"));
@@ -243,6 +295,170 @@ int cmd_validate(Flags& flags) {
   return 0;
 }
 
+int cmd_serve(Flags& flags) {
+  server::ServerOptions opt;
+  opt.unix_path = flags.str("socket");
+  opt.tcp_port = static_cast<std::uint16_t>(flags.i64("port"));
+  if (opt.unix_path.empty() && opt.tcp_port == 0) opt.unix_path = "vppb.sock";
+  opt.jobs = static_cast<int>(flags.i64("jobs"));
+  opt.admission_limit = static_cast<int>(flags.i64("admission"));
+  opt.cache_entries = static_cast<std::size_t>(flags.i64("cache-entries"));
+  opt.cache_bytes = static_cast<std::size_t>(flags.i64("cache-mb")) << 20;
+
+  // Block the shutdown signals before any thread exists, so every
+  // server/pool thread inherits the mask and only sigwait sees them.
+  sigset_t set;
+  sigemptyset(&set);
+  sigaddset(&set, SIGINT);
+  sigaddset(&set, SIGTERM);
+  pthread_sigmask(SIG_BLOCK, &set, nullptr);
+
+  server::Server srv(opt);
+  srv.start();
+  std::printf("vppbd: serving on %s (jobs %d, admission %d, cache %zu "
+              "entries / %lld MiB)\n",
+              srv.endpoint().c_str(),
+              util::ThreadPool::resolve_jobs(opt.jobs), opt.admission_limit,
+              opt.cache_entries,
+              static_cast<long long>(opt.cache_bytes >> 20));
+  std::fflush(stdout);
+
+  int sig = 0;
+  sigwait(&set, &sig);
+  std::printf("vppbd: caught %s, draining in-flight requests...\n",
+              sig == SIGTERM ? "SIGTERM" : "SIGINT");
+  std::fflush(stdout);
+  srv.stop();
+  std::printf("vppbd: drained, bye\n");
+  return 0;
+}
+
+server::Client connect_client(Flags& flags) {
+  const std::string sock = flags.str("socket");
+  if (!sock.empty()) return server::Client::connect_unix(sock);
+  const auto port = flags.i64("port");
+  if (port != 0)
+    return server::Client::connect_tcp(static_cast<std::uint16_t>(port));
+  return server::Client::connect_unix("vppb.sock");
+}
+
+int cmd_request(Flags& flags) {
+  if (flags.positional().size() < 2) return usage();
+  const std::string& what = flags.positional()[1];
+  server::Request req;
+  if (what == "predict") {
+    req.type = server::ReqType::kPredict;
+  } else if (what == "simulate") {
+    req.type = server::ReqType::kSimulate;
+  } else if (what == "analyze") {
+    req.type = server::ReqType::kAnalyze;
+  } else if (what == "stats") {
+    req.type = server::ReqType::kStats;
+  } else {
+    throw Error("unknown request type '" + what +
+                "' (predict simulate analyze stats)");
+  }
+  if (req.type != server::ReqType::kStats) {
+    if (flags.positional().size() < 3) return usage();
+    // The daemon resolves paths in its own working directory; send an
+    // absolute path so the client's idea of the trace wins.
+    req.trace_path =
+        std::filesystem::absolute(flags.positional()[2]).string();
+  }
+  req.cpus = static_cast<int>(flags.i64("cpus"));
+  req.lwps = static_cast<int>(flags.i64("lwps"));
+  req.max_cpus = static_cast<int>(flags.i64("max-cpus"));
+  req.comm_delay_us = flags.i64("comm-delay-us");
+  req.want_svg = !flags.str("svg").empty();
+
+  server::Client client = connect_client(flags);
+  const server::Response r = client.call(req);
+  if (r.status == server::Status::kOverloaded) {
+    std::fprintf(stderr, "vppb: %s\n", r.error.c_str());
+    return 3;
+  }
+  if (r.status == server::Status::kError) {
+    std::fprintf(stderr, "vppb: server error: %s\n", r.error.c_str());
+    return 1;
+  }
+  switch (r.type) {
+    case server::ReqType::kPredict: {
+      TextTable table;
+      table.header({"CPUs", "speed-up", "efficiency"});
+      for (const auto& p : r.points) {
+        table.row({strprintf("%d", p.cpus), strprintf("%.2f", p.speedup),
+                   strprintf("%.0f%%", 100.0 * p.efficiency)});
+      }
+      std::printf("%s", table.render().c_str());
+      std::printf("\nAmdahl fit: serial fraction %.1f%%; efficiency stays "
+                  ">= 50%% up to %d CPUs\n",
+                  100.0 * r.serial_fraction, r.knee);
+      std::printf("sweep digest: %016llx\n",
+                  static_cast<unsigned long long>(r.digest));
+      break;
+    }
+    case server::ReqType::kSimulate: {
+      std::printf("predicted %s on %d CPUs (speed-up %.2f, %llu events, "
+                  "digest %016llx)\n",
+                  SimTime::nanos(r.total_ns).to_string().c_str(), r.cpus,
+                  r.speedup, static_cast<unsigned long long>(r.events),
+                  static_cast<unsigned long long>(r.digest));
+      if (!flags.str("svg").empty()) {
+        std::ofstream(flags.str("svg")) << r.svg;
+        std::printf("wrote %s\n", flags.str("svg").c_str());
+      }
+      break;
+    }
+    case server::ReqType::kAnalyze:
+      std::printf("simulated on %d CPUs: speed-up %.2f (digest %016llx)"
+                  "\n\n%s",
+                  r.cpus, r.speedup,
+                  static_cast<unsigned long long>(r.digest),
+                  r.report.c_str());
+      break;
+    case server::ReqType::kStats: {
+      const server::StatsBody& s = r.stats;
+      TextTable table;
+      table.header({"counter", "value"});
+      table.row({"requests", strprintf("%llu",
+                 static_cast<unsigned long long>(s.requests))});
+      const char* names[] = {"predict", "simulate", "analyze", "stats"};
+      for (int i = 0; i < 4; ++i) {
+        table.row({strprintf("  %s", names[i]),
+                   strprintf("%llu",
+                             static_cast<unsigned long long>(s.by_type[i]))});
+      }
+      table.row({"errors", strprintf("%llu",
+                 static_cast<unsigned long long>(s.errors))});
+      table.row({"overloads", strprintf("%llu",
+                 static_cast<unsigned long long>(s.overloads))});
+      table.row({"cache hits", strprintf("%llu",
+                 static_cast<unsigned long long>(s.cache_hits))});
+      table.row({"cache misses", strprintf("%llu",
+                 static_cast<unsigned long long>(s.cache_misses))});
+      table.row({"cache evictions", strprintf("%llu",
+                 static_cast<unsigned long long>(s.cache_evictions))});
+      table.row({"cache entries", strprintf("%llu",
+                 static_cast<unsigned long long>(s.cache_entries))});
+      table.row({"cache bytes", strprintf("%llu",
+                 static_cast<unsigned long long>(s.cache_bytes))});
+      std::printf("%s", table.render().c_str());
+      const std::uint64_t lookups = s.cache_hits + s.cache_misses;
+      if (lookups > 0)
+        std::printf("\ncache hit rate: %.1f%%\n",
+                    100.0 * static_cast<double>(s.cache_hits) /
+                        static_cast<double>(lookups));
+      if (s.latency_count > 0)
+        std::printf("latency (us): p50 %.0f  p90 %.0f  p99 %.0f  max %.0f "
+                    "over %llu requests\n",
+                    s.p50_us, s.p90_us, s.p99_us, s.max_us,
+                    static_cast<unsigned long long>(s.latency_count));
+      break;
+    }
+  }
+  return 0;
+}
+
 int cmd_convert(Flags& flags) {
   if (flags.positional().size() < 3) return usage();
   const trace::Trace t = trace::load_any_file(flags.positional()[1]);
@@ -275,6 +491,12 @@ int main(int argc, char** argv) {
   flags.define_i64("jobs", 0,
                    "predict: parallel sweep workers (0 = all hardware "
                    "threads, 1 = serial)");
+  flags.define_string("socket", "", "serve/request: unix socket path");
+  flags.define_i64("port", 0, "serve/request: loopback TCP port");
+  flags.define_i64("admission", 64,
+                   "serve: max in-flight requests before overload");
+  flags.define_i64("cache-entries", 16, "serve: compiled-trace cache slots");
+  flags.define_i64("cache-mb", 512, "serve: compiled-trace cache budget");
 
   try {
     flags.parse(argc, argv);
@@ -287,6 +509,8 @@ int main(int argc, char** argv) {
     if (cmd == "analyze") return cmd_analyze(flags);
     if (cmd == "validate") return cmd_validate(flags);
     if (cmd == "convert") return cmd_convert(flags);
+    if (cmd == "serve") return cmd_serve(flags);
+    if (cmd == "request") return cmd_request(flags);
     return usage();
   } catch (const vppb::Error& e) {
     std::fprintf(stderr, "vppb: %s\n", e.what());
