@@ -1,6 +1,10 @@
 #include "recorder/recorder.hpp"
 
+#include <csignal>
+#include <cstdlib>
 #include <cstring>
+
+#include <atomic>
 
 #include "ult/runtime.hpp"
 #include "util/error.hpp"
@@ -15,12 +19,56 @@ std::string_view basename_of(const char* path) {
   return pos == std::string_view::npos ? sv : sv.substr(pos + 1);
 }
 
+// Crash finalization.  A dying target gets one chance to seal its live
+// log; the exchange below makes every exit path (signal, abort, exit)
+// claim the writer at most once, so handlers racing each other or the
+// destructor cannot double-seal.
+std::atomic<trace::ChunkedWriter*> g_live_writer{nullptr};
+
+void crash_handler(int sig) {
+  trace::ChunkedWriter* w = g_live_writer.exchange(nullptr);
+  if (w != nullptr) w->crash_seal();
+  // Re-deliver with the default action so the process still dies (and
+  // dumps core) the way it would have without us.
+  std::signal(sig, SIG_DFL);
+  std::raise(sig);
+}
+
+void atexit_seal() {
+  trace::ChunkedWriter* w = g_live_writer.exchange(nullptr);
+  if (w != nullptr) w->crash_seal();
+}
+
+void install_crash_handlers_once() {
+  static bool installed = [] {
+    struct sigaction sa;
+    std::memset(&sa, 0, sizeof sa);
+    sa.sa_handler = crash_handler;
+    sigemptyset(&sa.sa_mask);
+    ::sigaction(SIGSEGV, &sa, nullptr);
+    ::sigaction(SIGABRT, &sa, nullptr);
+    ::sigaction(SIGBUS, &sa, nullptr);
+    std::atexit(atexit_seal);
+    return true;
+  }();
+  (void)installed;
+}
+
 }  // namespace
 
 Recorder::Recorder() : Recorder(Options{}) {}
 
-Recorder::Recorder(Options opts) : opts_(opts) {
+Recorder::Recorder(Options opts) : opts_(std::move(opts)) {
   trace_.records.reserve(opts_.reserve_records);
+  if (!opts_.live_log_path.empty()) {
+    trace::ChunkedWriterOptions wopts;
+    wopts.chunk_records = opts_.live_chunk_records;
+    live_ = std::make_unique<trace::ChunkedWriter>(opts_.live_log_path, wopts);
+    if (opts_.install_crash_handlers) {
+      install_crash_handlers_once();
+      g_live_writer.store(live_.get());
+    }
+  }
 }
 
 Recorder::Scope::Scope(Recorder& r) {
@@ -35,6 +83,18 @@ std::uint32_t Recorder::location_of(const sol::ProbeContext& ctx) {
   if (!opts_.capture_locations) return 0;
   return trace_.add_location(basename_of(ctx.loc.file_name()), ctx.loc.line(),
                              ctx.loc.function_name());
+}
+
+Recorder::~Recorder() {
+  // Un-register from the crash path before the writer dies with us.
+  trace::ChunkedWriter* mine = live_.get();
+  if (mine != nullptr) g_live_writer.compare_exchange_strong(mine, nullptr);
+}
+
+void Recorder::mirror(const trace::Record& r) {
+  if (live_ == nullptr) return;
+  live_->sync_tables(trace_);
+  live_->add_record(r);
 }
 
 void Recorder::append(SimTime at, trace::ThreadId tid, trace::Phase phase,
@@ -57,6 +117,7 @@ void Recorder::append(SimTime at, trace::ThreadId tid, trace::Phase phase,
     ++dropped_;
   }
   trace_.records.push_back(r);
+  mirror(r);
 }
 
 void Recorder::on_call(const sol::ProbeContext& ctx) {
@@ -69,6 +130,7 @@ void Recorder::on_call(const sol::ProbeContext& ctx) {
     start.tid = rt.current_tid();
     start.op = trace::Op::kStartCollect;
     trace_.records.push_back(start);
+    mirror(start);
   }
   append(at, rt.current_tid(), trace::Phase::kCall, ctx, ctx.arg);
 }
@@ -97,6 +159,15 @@ trace::Trace Recorder::finish(SimTime program_end) {
     end.tid = 1;
     end.op = trace::Op::kEndCollect;
     trace_.records.push_back(end);
+    mirror(end);
+  }
+  if (live_ != nullptr) {
+    // Claim the writer back from the crash path, then publish cleanly.
+    trace::ChunkedWriter* mine = live_.get();
+    g_live_writer.compare_exchange_strong(mine, nullptr);
+    live_->sync_tables(trace_);
+    live_->finalize();
+    live_.reset();
   }
   // A ring-truncated log has lost its prefix (dangling returns etc.);
   // it cannot promise the validation invariants the full log has.

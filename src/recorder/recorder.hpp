@@ -8,9 +8,11 @@
 #pragma once
 
 #include <functional>
+#include <memory>
 
 #include "solaris/probe.hpp"
 #include "solaris/program.hpp"
+#include "trace/chunked.hpp"
 #include "trace/trace.hpp"
 
 namespace vppb::rec {
@@ -31,10 +33,23 @@ class Recorder final : public sol::ProbeSink {
     /// records were lost and the truncated log generally cannot be
     /// replayed.
     std::size_t ring_capacity = 0;
+    /// When non-empty, mirror every event to a crash-safe chunked log
+    /// (trace/chunked.hpp) at this path as the program runs.  However
+    /// the target dies — SIGKILL included — every sealed chunk is
+    /// recoverable with the salvaging loader.  The ring bound does not
+    /// apply to the live log: it keeps everything that happened.
+    std::string live_log_path;
+    /// Seal a live-log chunk after this many records.
+    std::size_t live_chunk_records = 1024;
+    /// Install SIGSEGV/SIGABRT/SIGBUS and atexit finalizers that seal
+    /// the live log (async-signal-safely) before the process dies.
+    /// Process-global: one live-logging recorder at a time.
+    bool install_crash_handlers = false;
   };
 
   Recorder();  // default Options
   explicit Recorder(Options opts);
+  ~Recorder() override;
 
   /// RAII attachment: installs the recorder as the probe sink for its
   /// lifetime, like setting LD_PRELOAD for the monitored execution.
@@ -64,13 +79,18 @@ class Recorder final : public sol::ProbeSink {
   /// Records overwritten because the ring filled (0 when unbounded).
   std::size_t dropped_records() const { return dropped_; }
 
+  /// The live chunked log writer (null unless Options.live_log_path).
+  const trace::ChunkedWriter* live_writer() const { return live_.get(); }
+
  private:
   std::uint32_t location_of(const sol::ProbeContext& ctx);
   void append(SimTime at, trace::ThreadId tid, trace::Phase phase,
               const sol::ProbeContext& ctx, std::int64_t arg);
+  void mirror(const trace::Record& r);
 
   Options opts_;
   trace::Trace trace_;
+  std::unique_ptr<trace::ChunkedWriter> live_;
   std::size_t dropped_ = 0;
   bool started_ = false;
 };

@@ -1,15 +1,47 @@
 #include "server/client.hpp"
 
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
 #include "util/error.hpp"
 
 namespace vppb::server {
+namespace {
+
+/// xorshift64*: tiny, deterministic, good enough to decorrelate backoff
+/// sleeps — this is jitter, not cryptography.
+std::uint64_t next_rand(std::uint64_t& state) {
+  state ^= state >> 12;
+  state ^= state << 25;
+  state ^= state >> 27;
+  return state * 2685821657736338717ULL;
+}
+
+/// Decorrelated jitter (the "DecorrelatedJitter" scheme): each sleep is
+/// uniform in [base, prev * 3], capped.  Spreads concurrent retriers
+/// apart instead of letting them re-collide in synchronized waves.
+std::int64_t next_sleep_ms(std::int64_t prev_ms, const RetryPolicy& p,
+                           std::uint64_t& rng) {
+  const std::int64_t lo = p.base_ms;
+  const std::int64_t hi = std::max(lo, std::min(p.cap_ms, prev_ms * 3));
+  const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+  return lo + static_cast<std::int64_t>(next_rand(rng) % span);
+}
+
+}  // namespace
 
 Client Client::connect_unix(const std::string& path) {
-  return Client(util::connect_unix(path));
+  return Client(util::connect_unix(path), EndpointKind::kUnix, path, 0);
 }
 
 Client Client::connect_tcp(std::uint16_t port) {
-  return Client(util::connect_tcp(port));
+  return Client(util::connect_tcp(port), EndpointKind::kTcp, "", port);
+}
+
+void Client::reconnect() {
+  sock_ = kind_ == EndpointKind::kUnix ? util::connect_unix(path_)
+                                       : util::connect_tcp(port_);
 }
 
 Response Client::call(const Request& req) {
@@ -18,6 +50,41 @@ Response Client::call(const Request& req) {
   if (!read_frame(sock_, payload))
     throw Error("server closed the connection before responding");
   return decode_response(payload);
+}
+
+Response Client::call_retry(const Request& req, RetryPolicy& policy) {
+  std::uint64_t rng = policy.seed ? policy.seed : 1;
+  std::int64_t prev_sleep = policy.base_ms;
+  Response last;
+  const int attempts = std::max(1, policy.max_attempts);
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    if (attempt > 0) {
+      const std::int64_t ms = next_sleep_ms(prev_sleep, policy, rng);
+      prev_sleep = ms;
+      policy.slept_ms += ms;
+      std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+    }
+    try {
+      if (policy.request_timeout_ms > 0)
+        sock_.set_recv_timeout(policy.request_timeout_ms);
+      last = call(req);
+    } catch (const Error&) {
+      // Transport failure (dropped connection, timeout, torn frame):
+      // the connection state is unknown — a fresh one is the only safe
+      // way to retry.  On the last attempt, let the error surface.
+      if (attempt + 1 >= attempts) throw;
+      try {
+        reconnect();
+      } catch (const Error&) {
+        continue;  // endpoint still down; back off and try again
+      }
+      continue;
+    }
+    if (last.status != Status::kOverloaded) return last;
+    // Overloaded: the server is alive and said "later" — same
+    // connection, backoff, retry.
+  }
+  return last;  // still overloaded after every attempt
 }
 
 }  // namespace vppb::server

@@ -2,6 +2,16 @@
 // connection.  Used by `vppb request`, the integration tests, and the
 // server benchmark; any other client only needs to reimplement the
 // frame layout in protocol.hpp.
+//
+// call() is the raw single-shot primitive.  call_retry() layers the
+// resilience policy on top: transient failures — Status::kOverloaded,
+// transport errors, receive timeouts — are retried with exponential
+// backoff and decorrelated jitter (reconnecting when the transport
+// broke), while definitive answers (kOk, kError, kDeadlineExceeded)
+// return immediately.  A request that missed its deadline is never
+// retried: the budget is spent, and retrying would double-spend it.
+// The jitter PRNG is seeded deterministically so tests replay the same
+// backoff schedule.
 #pragma once
 
 #include <cstdint>
@@ -11,6 +21,21 @@
 #include "util/socket.hpp"
 
 namespace vppb::server {
+
+/// Retry/backoff knobs for Client::call_retry.
+struct RetryPolicy {
+  int max_attempts = 5;          ///< total tries, including the first
+  std::int64_t base_ms = 10;     ///< minimum sleep between tries
+  std::int64_t cap_ms = 2000;    ///< maximum sleep between tries
+  std::uint64_t seed = 1;        ///< jitter PRNG seed (deterministic)
+  /// Per-attempt receive timeout; a silent server past this is treated
+  /// as a transport failure and retried on a fresh connection.  0 =
+  /// wait forever.
+  int request_timeout_ms = 0;
+  /// Total sleeps performed; call_retry accumulates into it when the
+  /// caller wants to observe the schedule (tests).
+  std::int64_t slept_ms = 0;
+};
 
 class Client {
  public:
@@ -23,10 +48,25 @@ class Client {
   /// responses, not exceptions.
   Response call(const Request& req);
 
+  /// call() plus the retry policy described in the file comment.
+  /// Throws the last transport error when every attempt fails; returns
+  /// the last kOverloaded response when the server stayed saturated.
+  Response call_retry(const Request& req, RetryPolicy& policy);
+
  private:
-  explicit Client(util::Socket sock) : sock_(std::move(sock)) {}
+  enum class EndpointKind { kUnix, kTcp };
+
+  Client(util::Socket sock, EndpointKind kind, std::string path,
+         std::uint16_t port)
+      : sock_(std::move(sock)), kind_(kind), path_(std::move(path)),
+        port_(port) {}
+
+  void reconnect();
 
   util::Socket sock_;
+  EndpointKind kind_ = EndpointKind::kUnix;
+  std::string path_;       ///< Unix socket path (kUnix)
+  std::uint16_t port_ = 0;  ///< loopback TCP port (kTcp)
 };
 
 }  // namespace vppb::server

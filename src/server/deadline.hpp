@@ -1,0 +1,59 @@
+// Per-request deadlines for vppbd handlers.
+//
+// A deadline is set from Request::deadline_ms when the request arrives
+// and carried through the handler path.  Handlers poll it at natural
+// checkpoints (before loading a trace, between sweep points, before an
+// SVG render); when it fires, the work is abandoned by throwing
+// DeadlineExceeded, which the dispatcher turns into a typed
+// Status::kDeadlineExceeded response — the client distinguishes "the
+// server is slow" from "the request failed" and can retry elsewhere.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace vppb::server {
+
+class DeadlineExceeded : public Error {
+ public:
+  explicit DeadlineExceeded(const std::string& what) : Error(what) {}
+};
+
+class Deadline {
+ public:
+  /// No deadline: never expires.
+  Deadline() = default;
+
+  /// Expires `ms` milliseconds from now; ms <= 0 means no deadline.
+  static Deadline after_ms(std::int64_t ms) {
+    Deadline d;
+    if (ms > 0) {
+      d.has_ = true;
+      d.at_ = std::chrono::steady_clock::now() +
+              std::chrono::milliseconds(ms);
+    }
+    return d;
+  }
+
+  bool unlimited() const { return !has_; }
+
+  bool expired() const {
+    return has_ && std::chrono::steady_clock::now() >= at_;
+  }
+
+  /// Throws DeadlineExceeded, naming the stage, once expired.
+  void check(const char* stage) const {
+    if (expired())
+      throw DeadlineExceeded(
+          strprintf("deadline exceeded during %s", stage));
+  }
+
+ private:
+  bool has_ = false;
+  std::chrono::steady_clock::time_point at_{};
+};
+
+}  // namespace vppb::server

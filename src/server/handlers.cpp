@@ -38,10 +38,12 @@ core::SimConfig base_config(const Request& req) {
 
 }  // namespace
 
-Response handle_predict(const Request& req, TraceCache& cache) {
+Response handle_predict(const Request& req, TraceCache& cache,
+                        const Deadline& deadline) {
   check_range("max-cpus", req.max_cpus, 1, kMaxRequestCpus);
   Response resp;
   resp.type = ReqType::kPredict;
+  deadline.check("trace load");
   const std::shared_ptr<const TraceCache::Entry> entry =
       cache.get(req.trace_path);
   const core::SimConfig base = base_config(req);
@@ -53,13 +55,22 @@ Response handle_predict(const Request& req, TraceCache& cache) {
   // The sweep runs serially inside this handler: the service gets its
   // parallelism from concurrent requests sharing the pool, and a
   // deterministic per-request path keeps responses bit-identical to the
-  // offline `vppb predict` (which the combined digest proves).
+  // offline `vppb predict` (which the combined digest proves).  The
+  // loop mirrors core::sweep_cpus(jobs=1) point for point, with a
+  // deadline checkpoint between points so a sweep cannot overstay.
   std::vector<core::SimResult> results;
-  core::SweepOptions opt;
-  opt.jobs = 1;
-  opt.results = &results;
-  const core::SpeedupCurve curve =
-      core::sweep_cpus(entry->compiled, cpu_counts, base, opt);
+  std::vector<core::SweepPoint> points;
+  for (const int cpus : cpu_counts) {
+    deadline.check("CPU sweep");
+    core::SimConfig cfg = base;
+    cfg.hw.cpus = cpus;
+    cfg.build_timeline = false;
+    core::SimResult r = core::simulate(entry->compiled, cfg);
+    points.push_back(core::SweepPoint{cpus, r.speedup, r.speedup / cpus,
+                                      r.total});
+    results.push_back(std::move(r));
+  }
+  const core::SpeedupCurve curve(points);
 
   for (std::size_t i = 0; i < curve.points().size(); ++i) {
     const core::SweepPoint& p = curve.points()[i];
@@ -73,15 +84,18 @@ Response handle_predict(const Request& req, TraceCache& cache) {
   return resp;
 }
 
-Response handle_simulate(const Request& req, TraceCache& cache) {
+Response handle_simulate(const Request& req, TraceCache& cache,
+                         const Deadline& deadline) {
   check_range("cpus", req.cpus, 1, kMaxRequestCpus);
   Response resp;
   resp.type = ReqType::kSimulate;
+  deadline.check("trace load");
   const std::shared_ptr<const TraceCache::Entry> entry =
       cache.get(req.trace_path);
   core::SimConfig cfg = base_config(req);
   cfg.hw.cpus = req.cpus;
 
+  deadline.check("simulation");
   const core::SimResult r = core::simulate(entry->compiled, cfg);
   resp.total_ns = r.total.ns();
   resp.speedup = r.speedup;
@@ -90,6 +104,7 @@ Response handle_simulate(const Request& req, TraceCache& cache) {
   resp.events = r.events.size();
   resp.digest = core::digest(r);
   if (req.want_svg) {
+    deadline.check("SVG render");
     viz::Visualizer v(r, entry->trace);
     v.compress_threads();
     resp.svg = viz::render_svg(v, viz::RenderOptions{});
@@ -97,15 +112,18 @@ Response handle_simulate(const Request& req, TraceCache& cache) {
   return resp;
 }
 
-Response handle_analyze(const Request& req, TraceCache& cache) {
+Response handle_analyze(const Request& req, TraceCache& cache,
+                        const Deadline& deadline) {
   check_range("cpus", req.cpus, 1, kMaxRequestCpus);
   Response resp;
   resp.type = ReqType::kAnalyze;
+  deadline.check("trace load");
   const std::shared_ptr<const TraceCache::Entry> entry =
       cache.get(req.trace_path);
   core::SimConfig cfg = base_config(req);
   cfg.hw.cpus = req.cpus;
 
+  deadline.check("simulation");
   const core::SimResult r = core::simulate(entry->compiled, cfg);
   resp.total_ns = r.total.ns();
   resp.speedup = r.speedup;
@@ -113,6 +131,7 @@ Response handle_analyze(const Request& req, TraceCache& cache) {
   resp.lwps = r.lwps;
   resp.events = r.events.size();
   resp.digest = core::digest(r);
+  deadline.check("analysis report");
   resp.report = viz::analyze(r, entry->trace).to_string();
   return resp;
 }

@@ -7,13 +7,19 @@
 // connection.
 #pragma once
 
+#include "server/deadline.hpp"
 #include "server/protocol.hpp"
 #include "server/trace_cache.hpp"
 
 namespace vppb::server {
 
-Response handle_predict(const Request& req, TraceCache& cache);
-Response handle_simulate(const Request& req, TraceCache& cache);
-Response handle_analyze(const Request& req, TraceCache& cache);
+/// Handlers poll `deadline` at their checkpoints (trace load, each
+/// sweep point, render) and throw DeadlineExceeded to abandon work.
+Response handle_predict(const Request& req, TraceCache& cache,
+                        const Deadline& deadline = Deadline());
+Response handle_simulate(const Request& req, TraceCache& cache,
+                         const Deadline& deadline = Deadline());
+Response handle_analyze(const Request& req, TraceCache& cache,
+                        const Deadline& deadline = Deadline());
 
 }  // namespace vppb::server

@@ -20,6 +20,11 @@ void Metrics::count_overload() {
   ++overloads_;
 }
 
+void Metrics::count_deadline() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++deadlines_;
+}
+
 void Metrics::record_latency_us(double us) {
   std::lock_guard<std::mutex> lock(mu_);
   ++latencies_seen_;
@@ -34,9 +39,10 @@ void Metrics::record_latency_us(double us) {
 void Metrics::snapshot(StatsBody& out) const {
   std::lock_guard<std::mutex> lock(mu_);
   out.requests = requests_;
-  for (std::size_t i = 0; i < 4; ++i) out.by_type[i] = by_type_[i];
+  for (std::size_t i = 0; i < kReqTypeCount; ++i) out.by_type[i] = by_type_[i];
   out.errors = errors_;
   out.overloads = overloads_;
+  out.deadlines = deadlines_;
   out.latency_count = latencies_seen_;
   if (!latency_us_.empty()) {
     out.p50_us = percentile(latency_us_, 50.0);

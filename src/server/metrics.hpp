@@ -17,6 +17,7 @@ class Metrics {
   void count_request(ReqType t);
   void count_error();
   void count_overload();
+  void count_deadline();
 
   /// Records the server-side latency of an executed (admitted) request,
   /// from frame decode to response ready.  Overload rejections are
@@ -32,9 +33,10 @@ class Metrics {
 
   mutable std::mutex mu_;
   std::uint64_t requests_ = 0;
-  std::uint64_t by_type_[4] = {};
+  std::uint64_t by_type_[kReqTypeCount] = {};
   std::uint64_t errors_ = 0;
   std::uint64_t overloads_ = 0;
+  std::uint64_t deadlines_ = 0;
   std::uint64_t latencies_seen_ = 0;
   std::size_t ring_next_ = 0;
   std::vector<double> latency_us_;  ///< ring buffer once at kMaxSamples

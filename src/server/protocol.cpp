@@ -85,8 +85,7 @@ class Reader {
 };
 
 ReqType req_type(std::uint64_t v) {
-  VPPB_CHECK_MSG(v <= static_cast<std::uint64_t>(ReqType::kStats),
-                 "unknown request type " << v);
+  VPPB_CHECK_MSG(v < kReqTypeCount, "unknown request type " << v);
   return static_cast<ReqType>(v);
 }
 
@@ -105,6 +104,7 @@ const char* to_string(ReqType t) {
     case ReqType::kSimulate: return "simulate";
     case ReqType::kAnalyze: return "analyze";
     case ReqType::kStats: return "stats";
+    case ReqType::kHealth: return "health";
   }
   return "?";
 }
@@ -120,6 +120,7 @@ std::vector<std::uint8_t> encode(const Request& req) {
   put_i64(out, req.max_cpus);
   put_i64(out, req.comm_delay_us);
   put_u64(out, req.want_svg ? 1 : 0);
+  put_i64(out, req.deadline_ms);
   return out;
 }
 
@@ -134,6 +135,7 @@ Request decode_request(const std::uint8_t* data, std::size_t size) {
   req.max_cpus = static_cast<int>(in.i64());
   req.comm_delay_us = in.i64();
   req.want_svg = in.u64() != 0;
+  req.deadline_ms = in.i64();
   VPPB_CHECK_MSG(in.at_end(), "trailing bytes in request frame");
   return req;
 }
@@ -168,6 +170,7 @@ std::vector<std::uint8_t> encode(const Response& resp) {
   for (std::uint64_t n : s.by_type) put_u64(out, n);
   put_u64(out, s.errors);
   put_u64(out, s.overloads);
+  put_u64(out, s.deadlines);
   put_u64(out, s.cache_hits);
   put_u64(out, s.cache_misses);
   put_u64(out, s.cache_evictions);
@@ -178,6 +181,9 @@ std::vector<std::uint8_t> encode(const Response& resp) {
   put_double(out, s.p90_us);
   put_double(out, s.p99_us);
   put_double(out, s.max_us);
+  put_u64(out, resp.ready ? 1 : 0);
+  put_u64(out, resp.in_flight);
+  put_u64(out, resp.admission_limit);
   return out;
 }
 
@@ -186,8 +192,9 @@ Response decode_response(const std::uint8_t* data, std::size_t size) {
   check_version(in);
   Response resp;
   const std::uint64_t status = in.u64();
-  VPPB_CHECK_MSG(status <= static_cast<std::uint64_t>(Status::kOverloaded),
-                 "unknown response status " << status);
+  VPPB_CHECK_MSG(
+      status <= static_cast<std::uint64_t>(Status::kDeadlineExceeded),
+      "unknown response status " << status);
   resp.status = static_cast<Status>(status);
   resp.type = req_type(in.u64());
   resp.error = in.str();
@@ -217,6 +224,7 @@ Response decode_response(const std::uint8_t* data, std::size_t size) {
   for (std::uint64_t& n : s.by_type) n = in.u64();
   s.errors = in.u64();
   s.overloads = in.u64();
+  s.deadlines = in.u64();
   s.cache_hits = in.u64();
   s.cache_misses = in.u64();
   s.cache_evictions = in.u64();
@@ -227,6 +235,9 @@ Response decode_response(const std::uint8_t* data, std::size_t size) {
   s.p90_us = in.dbl();
   s.p99_us = in.dbl();
   s.max_us = in.dbl();
+  resp.ready = in.u64() != 0;
+  resp.in_flight = in.u64();
+  resp.admission_limit = in.u64();
   VPPB_CHECK_MSG(in.at_end(), "trailing bytes in response frame");
   return resp;
 }

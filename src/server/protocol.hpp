@@ -25,7 +25,7 @@
 
 namespace vppb::server {
 
-constexpr std::uint8_t kProtocolVersion = 1;
+constexpr std::uint8_t kProtocolVersion = 2;  ///< v2: health + deadlines
 /// Upper bound on a frame payload (a full SVG render fits comfortably;
 /// a corrupt or hostile length prefix does not).
 constexpr std::size_t kMaxFrame = 64u << 20;
@@ -35,14 +35,17 @@ enum class ReqType : std::uint8_t {
   kSimulate = 1,  ///< one configuration, optional SVG render
   kAnalyze = 2,   ///< contention / utilization report
   kStats = 3,     ///< server counters, cache hit rate, latencies
+  kHealth = 4,    ///< readiness probe; bypasses admission control
 };
+constexpr std::size_t kReqTypeCount = 5;
 
 const char* to_string(ReqType t);
 
 enum class Status : std::uint8_t {
   kOk = 0,
-  kError = 1,       ///< request failed (bad trace, bad config, ...)
-  kOverloaded = 2,  ///< admission queue full; retry later
+  kError = 1,             ///< request failed (bad trace, bad config, ...)
+  kOverloaded = 2,        ///< admission queue full; retry later
+  kDeadlineExceeded = 3,  ///< request deadline elapsed before completion
 };
 
 struct Request {
@@ -53,6 +56,10 @@ struct Request {
   int max_cpus = 16;              ///< predict: sweep 1,2,4.. up to this
   std::int64_t comm_delay_us = 0;
   bool want_svg = false;          ///< simulate: include an SVG render
+  /// Server-side deadline: if the request has not completed this many
+  /// milliseconds after arrival, the server abandons the work and
+  /// responds kDeadlineExceeded.  0 = no deadline.
+  std::int64_t deadline_ms = 0;
 };
 
 /// One sweep point of a predict response.
@@ -68,9 +75,10 @@ struct WirePoint {
 /// server-side latency distribution of executed requests.
 struct StatsBody {
   std::uint64_t requests = 0;      ///< all received requests, by arrival
-  std::uint64_t by_type[4] = {};   ///< indexed by ReqType
+  std::uint64_t by_type[kReqTypeCount] = {};  ///< indexed by ReqType
   std::uint64_t errors = 0;        ///< responses with Status::kError
   std::uint64_t overloads = 0;     ///< admission rejections
+  std::uint64_t deadlines = 0;     ///< responses with kDeadlineExceeded
   std::uint64_t cache_hits = 0;
   std::uint64_t cache_misses = 0;
   std::uint64_t cache_evictions = 0;
@@ -103,8 +111,13 @@ struct Response {
   std::string svg;     ///< simulate with want_svg
   std::string report;  ///< analyze
 
-  // stats
+  // stats / health
   StatsBody stats;
+
+  // health
+  bool ready = false;              ///< accepting and serving requests
+  std::uint64_t in_flight = 0;     ///< admitted requests currently running
+  std::uint64_t admission_limit = 0;
 };
 
 std::vector<std::uint8_t> encode(const Request& req);

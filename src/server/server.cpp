@@ -4,6 +4,7 @@
 
 #include <chrono>
 #include <condition_variable>
+#include <thread>
 
 #include "server/handlers.hpp"
 #include "util/error.hpp"
@@ -12,7 +13,9 @@
 namespace vppb::server {
 
 Server::Server(ServerOptions opt)
-    : opt_(opt), cache_(opt.cache_entries, opt.cache_bytes) {
+    : opt_(opt),
+      faults_(opt.faults ? opt.faults : &util::FaultPlan::global()),
+      cache_(opt.cache_entries, opt.cache_bytes, faults_) {
   if (opt_.pool) {
     pool_ = opt_.pool;
   } else {
@@ -76,6 +79,18 @@ void Server::serve_connection(Conn* conn) {
   try {
     std::vector<std::uint8_t> payload;
     while (read_frame(conn->sock, payload)) {
+      // Fault injection happens where real damage would: between the
+      // wire and the decoder.  A corrupted payload must come back as a
+      // typed kError response; a short read must cost exactly this
+      // connection and nothing else.
+      if (faults_->should_fire(util::FaultSite::kShortRead))
+        throw Error("injected short read: dropping connection");
+      if (!payload.empty() &&
+          faults_->should_fire(util::FaultSite::kCorruptFrame))
+        payload[payload.size() / 2] ^= 0x20;
+      if (faults_->should_fire(util::FaultSite::kDelayResponse))
+        std::this_thread::sleep_for(std::chrono::milliseconds(
+            faults_->param(util::FaultSite::kDelayResponse)));
       Response resp;
       try {
         resp = execute(decode_request(payload));
@@ -98,6 +113,13 @@ Response Server::execute(const Request& req) {
   metrics_.count_request(req.type);
   const auto t0 = std::chrono::steady_clock::now();
 
+  // Health answers before admission: a readiness probe that can be
+  // rejected for overload cannot tell "busy but alive" from "dead",
+  // which is the one question it exists to answer.
+  if (req.type == ReqType::kHealth) return health_response();
+
+  const Deadline deadline = Deadline::after_ms(req.deadline_ms);
+
   // Admission: reserve a slot or reject immediately.  The count covers
   // requests posted to the pool but not yet finished, so a saturated
   // pool surfaces as explicit overload, never as unbounded queueing.
@@ -119,7 +141,7 @@ Response Server::execute(const Request& req) {
   std::condition_variable cv;
   bool done = false;
   pool_->post([&]() {
-    resp = dispatch(req);
+    resp = dispatch(req, deadline);
     // Notify under the lock: `cv` lives on the waiter's stack, and the
     // waiter may return (destroying it) the moment it can re-acquire
     // `mu` — which this lock scope forbids until notify_one is done.
@@ -133,6 +155,17 @@ Response Server::execute(const Request& req) {
   }
   in_flight_.fetch_sub(1, std::memory_order_acq_rel);
 
+  // A result computed after the deadline passed is as useless to the
+  // client as no result: report it as such, so deadline semantics hold
+  // even when no handler checkpoint happened to notice the expiry.
+  if (resp.status == Status::kOk && deadline.expired()) {
+    resp = Response{};
+    resp.type = req.type;
+    resp.status = Status::kDeadlineExceeded;
+    resp.error = "deadline exceeded: result completed too late";
+    metrics_.count_deadline();
+  }
+
   if (resp.status == Status::kError) metrics_.count_error();
   metrics_.record_latency_us(
       std::chrono::duration<double, std::micro>(
@@ -141,20 +174,34 @@ Response Server::execute(const Request& req) {
   return resp;
 }
 
-Response Server::dispatch(const Request& req) {
+Response Server::dispatch(const Request& req, const Deadline& deadline) {
   try {
+    // A request that spent its whole budget waiting for a worker is
+    // abandoned here, before any compute.
+    deadline.check("queue wait");
     switch (req.type) {
       case ReqType::kPredict:
-        return handle_predict(req, cache_);
+        return handle_predict(req, cache_, deadline);
       case ReqType::kSimulate:
-        return handle_simulate(req, cache_);
+        return handle_simulate(req, cache_, deadline);
       case ReqType::kAnalyze:
-        return handle_analyze(req, cache_);
+        return handle_analyze(req, cache_, deadline);
       case ReqType::kStats:
         return stats_response();
+      case ReqType::kHealth:
+        return health_response();  // normally answered pre-admission
     }
     throw Error("unhandled request type");
+  } catch (const DeadlineExceeded& e) {
+    metrics_.count_deadline();
+    Response resp;
+    resp.type = req.type;
+    resp.status = Status::kDeadlineExceeded;
+    resp.error = e.what();
+    return resp;
   } catch (const std::exception& e) {
+    // std::exception, not just vppb::Error: an injected bad_alloc (or a
+    // real one) must become a typed response, never a dead worker.
     Response resp;
     resp.type = req.type;
     resp.status = Status::kError;
@@ -167,6 +214,23 @@ Response Server::stats_response() {
   Response resp;
   resp.type = ReqType::kStats;
   metrics_.snapshot(resp.stats);  // includes this stats request itself
+  const TraceCache::Stats cs = cache_.stats();
+  resp.stats.cache_hits = cs.hits;
+  resp.stats.cache_misses = cs.misses;
+  resp.stats.cache_evictions = cs.evictions;
+  resp.stats.cache_entries = cs.entries;
+  resp.stats.cache_bytes = cs.bytes;
+  return resp;
+}
+
+Response Server::health_response() {
+  Response resp;
+  resp.type = ReqType::kHealth;
+  resp.ready = running_.load();
+  resp.in_flight = static_cast<std::uint64_t>(
+      in_flight_.load(std::memory_order_acquire));
+  resp.admission_limit = static_cast<std::uint64_t>(opt_.admission_limit);
+  metrics_.snapshot(resp.stats);
   const TraceCache::Stats cs = cache_.stats();
   resp.stats.cache_hits = cs.hits;
   resp.stats.cache_misses = cs.misses;

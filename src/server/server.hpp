@@ -28,9 +28,11 @@
 #include <thread>
 #include <vector>
 
+#include "server/deadline.hpp"
 #include "server/metrics.hpp"
 #include "server/protocol.hpp"
 #include "server/trace_cache.hpp"
+#include "util/fault.hpp"
 #include "util/socket.hpp"
 #include "util/thread_pool.hpp"
 
@@ -53,6 +55,10 @@ struct ServerOptions {
   int admission_limit = 64;
   std::size_t cache_entries = 16;
   std::size_t cache_bytes = 512u << 20;
+  /// Fault-injection plan (unowned; must outlive the server).  Null
+  /// means "use FaultPlan::global()", i.e. honor $VPPB_FAULT.  Tests
+  /// pass their own plan to inject without touching the environment.
+  util::FaultPlan* faults = nullptr;
 };
 
 class Server {
@@ -86,10 +92,12 @@ class Server {
   void accept_loop();
   void serve_connection(Conn* conn);
   Response execute(const Request& req);
-  Response dispatch(const Request& req);
+  Response dispatch(const Request& req, const Deadline& deadline);
   Response stats_response();
+  Response health_response();
 
   ServerOptions opt_;
+  util::FaultPlan* faults_ = nullptr;
   std::unique_ptr<util::ThreadPool> owned_pool_;
   util::ThreadPool* pool_ = nullptr;
   TraceCache cache_;

@@ -1,25 +1,12 @@
 #include "server/trace_cache.hpp"
 
-#include <cerrno>
-#include <cstring>
-#include <fstream>
 #include <vector>
 
 #include "trace/binary.hpp"
-#include "trace/io.hpp"
 #include "util/error.hpp"
 
 namespace vppb::server {
 namespace {
-
-std::vector<std::uint8_t> read_file_bytes(const std::string& path) {
-  std::ifstream f(path, std::ios::binary);
-  if (!f)
-    throw Error("cannot open trace file: " + path + ": " +
-                std::strerror(errno));
-  return std::vector<std::uint8_t>{std::istreambuf_iterator<char>(f),
-                                   std::istreambuf_iterator<char>()};
-}
 
 std::uint64_t fnv1a(const std::uint8_t* data, std::size_t n) {
   std::uint64_t h = 1469598103934665603ULL;
@@ -30,21 +17,23 @@ std::uint64_t fnv1a(const std::uint8_t* data, std::size_t n) {
   return h;
 }
 
-/// Same format sniffing as trace::load_any_file, from in-memory bytes.
-trace::Trace parse_trace(const std::vector<std::uint8_t>& bytes) {
-  if (bytes.size() >= 4 && std::memcmp(bytes.data(), "VPPB", 4) == 0)
-    return trace::from_binary(bytes.data(), bytes.size());
-  return trace::from_text(
-      std::string(reinterpret_cast<const char*>(bytes.data()), bytes.size()));
-}
-
 }  // namespace
 
 std::shared_ptr<const TraceCache::Entry> TraceCache::get(
     const std::string& path) {
+  // Injected faults surface as the same exception types the real
+  // failures would: allocation failure and I/O error.  Both are thrown
+  // before any shared state changes, so a faulted request leaves the
+  // cache exactly as it found it.
+  if (faults_ != nullptr) {
+    if (faults_->should_fire(util::FaultSite::kCacheEnomem))
+      throw std::bad_alloc();
+    if (faults_->should_fire(util::FaultSite::kCacheEio))
+      throw Error("injected I/O error reading trace file: " + path);
+  }
   // Reading and digesting the bytes is per-request work by design: it
   // is what notices a changed file.  Parsing and compiling are not.
-  const std::vector<std::uint8_t> bytes = read_file_bytes(path);
+  const std::vector<std::uint8_t> bytes = trace::read_file_bytes(path);
   const std::uint64_t key = fnv1a(bytes.data(), bytes.size());
 
   std::unique_lock<std::mutex> lock(mu_);
@@ -71,7 +60,11 @@ std::shared_ptr<const TraceCache::Entry> TraceCache::get(
     entry = std::make_shared<Entry>();
     entry->key = key;
     entry->bytes = bytes.size();
-    entry->trace = parse_trace(bytes);
+    // Sniffs text, "VPPB" and crash-safe "VPPC" logs alike, so the
+    // daemon serves whatever the recorder managed to leave behind.
+    entry->trace =
+        trace::from_any(bytes.data(), bytes.size(), trace::LoadOptions{},
+                        nullptr);
     entry->compiled = core::compile(entry->trace);
   } catch (...) {
     lock.lock();

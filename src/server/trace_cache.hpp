@@ -27,6 +27,7 @@
 
 #include "core/compiler.hpp"
 #include "trace/trace.hpp"
+#include "util/fault.hpp"
 
 namespace vppb::server {
 
@@ -47,8 +48,12 @@ class TraceCache {
     std::size_t bytes = 0;
   };
 
-  TraceCache(std::size_t max_entries, std::size_t max_bytes)
-      : max_entries_(max_entries), max_bytes_(max_bytes) {}
+  /// `faults` (optional, unowned) injects deterministic cache failures
+  /// — kCacheEnomem (std::bad_alloc) and kCacheEio (vppb::Error) — on
+  /// the load path, for recovery testing.
+  TraceCache(std::size_t max_entries, std::size_t max_bytes,
+             util::FaultPlan* faults = nullptr)
+      : max_entries_(max_entries), max_bytes_(max_bytes), faults_(faults) {}
 
   /// Returns the cached entry for the trace at `path`, loading (parse +
   /// compile) on first sight of its content.  Waiting out another
@@ -68,6 +73,7 @@ class TraceCache {
 
   const std::size_t max_entries_;
   const std::size_t max_bytes_;
+  util::FaultPlan* faults_ = nullptr;
 
   mutable std::mutex mu_;
   std::condition_variable loaded_cv_;  ///< a load finished (or failed)

@@ -1,11 +1,18 @@
 #include "trace/binary.hpp"
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 #include <fstream>
+#include <map>
 
+#include "trace/chunked.hpp"
 #include "trace/io.hpp"
+#include "trace/record_reader.hpp"
+#include "trace/varint.hpp"
+#include "util/atomic_file.hpp"
 #include "util/error.hpp"
+#include "util/strings.hpp"
 
 namespace vppb::trace {
 namespace {
@@ -13,71 +20,125 @@ namespace {
 constexpr char kMagic[4] = {'V', 'P', 'P', 'B'};
 constexpr std::uint8_t kVersion = 1;
 
-// ---- varint primitives -----------------------------------------------------
+using wire::put_i64;
+using wire::put_str;
+using wire::put_u64;
 
-void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
-  while (v >= 0x80) {
-    out.push_back(static_cast<std::uint8_t>(v) | 0x80);
-    v >>= 7;
+void add_issue(LoadReport* report, IssueKind kind, std::size_t offset,
+               std::string message) {
+  if (report == nullptr) return;
+  report->issues.push_back(TraceIssue{kind, offset, std::move(message)});
+}
+
+/// Decodes the record section.  In salvage mode a structural violation
+/// ends the section (longest valid prefix) instead of throwing; the
+/// same checks throw in strict mode so corrupt logs cannot slip through
+/// with a clean bill of health.
+void read_records(wire::TryReader& in, Trace& trace, std::uint64_t nrecords,
+                  const LoadOptions& opt, LoadReport* report) {
+  // A record encodes to >= 9 bytes (9 fields, >= 1 byte each), so a
+  // "giant header" declaring more records than the payload could hold
+  // must not drive the reservation: cap by what the bytes can supply.
+  trace.records.reserve(static_cast<std::size_t>(
+      std::min<std::uint64_t>(nrecords, in.remaining() / 9 + 1)));
+
+  RecordScan scan;
+  for (std::uint64_t i = 0; i < nrecords; ++i) {
+    if (scan.read_one(in, trace)) continue;
+    if (!opt.salvage)
+      throw Error(strprintf("binary trace: %s (record %zu, byte %zu)",
+                            scan.message.c_str(), trace.records.size(),
+                            in.pos()));
+    add_issue(report, scan.why, in.pos(),
+              scan.message +
+                  strprintf(" — cut at record %zu", trace.records.size()));
+    return;
   }
-  out.push_back(static_cast<std::uint8_t>(v));
 }
 
-std::uint64_t zigzag(std::int64_t v) {
-  return (static_cast<std::uint64_t>(v) << 1) ^
-         static_cast<std::uint64_t>(v >> 63);
-}
+Trace from_binary_impl(const std::uint8_t* data, std::size_t size,
+                       const LoadOptions& opt, LoadReport* report) {
+  VPPB_CHECK_MSG(size >= 5 && std::memcmp(data, kMagic, 4) == 0,
+                 "not a VPPB binary trace (bad magic)");
+  VPPB_CHECK_MSG(data[4] == kVersion,
+                 "unsupported binary trace version " << int(data[4]));
+  // The table sections (strings, threads, locations) are all-or-nothing
+  // even under salvage: records are meaningless without them, so a
+  // corrupt table is an unrecoverable log, not a short one.
+  wire::Reader header(data + 5, size - 5);
+  Trace trace;
 
-std::int64_t unzigzag(std::uint64_t v) {
-  return static_cast<std::int64_t>(v >> 1) ^ -static_cast<std::int64_t>(v & 1);
-}
+  const std::uint64_t nstrings = header.u64();
+  VPPB_CHECK_MSG(nstrings <= header.remaining(),
+                 "string table declares " << nstrings
+                     << " entries but only " << header.remaining()
+                     << " bytes remain");
+  for (std::uint64_t i = 0; i < nstrings; ++i) {
+    const std::string s = header.str();
+    const std::uint32_t id = trace.strings.intern(s);
+    VPPB_CHECK_MSG(id == i + 1, "binary trace string table not in order");
+  }
 
-void put_i64(std::vector<std::uint8_t>& out, std::int64_t v) {
-  put_u64(out, zigzag(v));
-}
+  const std::uint64_t nthreads = header.u64();
+  VPPB_CHECK_MSG(nthreads <= header.remaining(),
+                 "thread table declares " << nthreads
+                     << " entries but only " << header.remaining()
+                     << " bytes remain");
+  for (std::uint64_t i = 0; i < nthreads; ++i) {
+    ThreadMeta t;
+    t.tid = static_cast<ThreadId>(header.i64());
+    t.name = static_cast<std::uint32_t>(header.u64());
+    t.start_func = static_cast<std::uint32_t>(header.u64());
+    t.bound = header.u64() != 0;
+    t.initial_priority = static_cast<int>(header.i64());
+    VPPB_CHECK_MSG(t.name < trace.strings.size() &&
+                       t.start_func < trace.strings.size(),
+                   "binary trace thread has bad string ids");
+    trace.threads.push_back(t);
+  }
 
-void put_str(std::vector<std::uint8_t>& out, const std::string& s) {
-  put_u64(out, s.size());
-  out.insert(out.end(), s.begin(), s.end());
-}
+  trace.locations.clear();
+  const std::uint64_t nlocs = header.u64();
+  VPPB_CHECK_MSG(nlocs <= header.remaining(),
+                 "location table declares " << nlocs
+                     << " entries but only " << header.remaining()
+                     << " bytes remain");
+  for (std::uint64_t i = 0; i < nlocs; ++i) {
+    SourceLoc loc;
+    loc.file = static_cast<std::uint32_t>(header.u64());
+    loc.func = static_cast<std::uint32_t>(header.u64());
+    loc.line = static_cast<std::uint32_t>(header.u64());
+    VPPB_CHECK_MSG(loc.file < trace.strings.size() &&
+                       loc.func < trace.strings.size(),
+                   "binary trace location has bad string ids");
+    trace.locations.push_back(loc);
+  }
 
-class Reader {
- public:
-  Reader(const std::uint8_t* data, std::size_t size)
-      : data_(data), size_(size) {}
+  const std::uint64_t nrecords = header.u64();
+  wire::TryReader records_in(data + 5 + header.pos(),
+                             size - 5 - header.pos());
+  read_records(records_in, trace, nrecords, opt, report);
 
-  std::uint64_t u64() {
-    std::uint64_t v = 0;
-    int shift = 0;
-    for (;;) {
-      VPPB_CHECK_MSG(pos_ < size_, "binary trace truncated at byte " << pos_);
-      const std::uint8_t b = data_[pos_++];
-      VPPB_CHECK_MSG(shift < 64, "varint too long in binary trace");
-      v |= static_cast<std::uint64_t>(b & 0x7f) << shift;
-      if ((b & 0x80) == 0) return v;
-      shift += 7;
+  if (report != nullptr) {
+    report->records_recovered = trace.records.size();
+    report->records_dropped = static_cast<std::size_t>(
+        nrecords - std::min<std::uint64_t>(nrecords, trace.records.size()));
+  }
+  if (!records_in.at_end() && trace.records.size() == nrecords) {
+    if (!opt.salvage) throw Error("trailing bytes in binary trace");
+    add_issue(report, IssueKind::kTrailingData, 5 + header.pos() + records_in.pos(),
+              strprintf("%zu trailing bytes ignored", records_in.remaining()));
+  }
+  if (opt.salvage) {
+    trim_open_calls(trace, report);
+    if (report != nullptr) {
+      report->records_recovered = trace.records.size();
+      report->salvaged |= !report->issues.empty();
     }
   }
-
-  std::int64_t i64() { return unzigzag(u64()); }
-
-  std::string str() {
-    const std::uint64_t n = u64();
-    VPPB_CHECK_MSG(pos_ + n <= size_, "binary trace string overruns buffer");
-    std::string s(reinterpret_cast<const char*>(data_ + pos_),
-                  static_cast<std::size_t>(n));
-    pos_ += static_cast<std::size_t>(n);
-    return s;
-  }
-
-  bool at_end() const { return pos_ == size_; }
-  std::size_t pos() const { return pos_; }
-
- private:
-  const std::uint8_t* data_;
-  std::size_t size_;
-  std::size_t pos_ = 0;
-};
+  trace.validate();
+  return trace;
+}
 
 }  // namespace
 
@@ -127,110 +188,53 @@ std::vector<std::uint8_t> to_binary(const Trace& trace) {
 }
 
 Trace from_binary(const std::uint8_t* data, std::size_t size) {
-  VPPB_CHECK_MSG(size >= 5 && std::memcmp(data, kMagic, 4) == 0,
-                 "not a VPPB binary trace (bad magic)");
-  VPPB_CHECK_MSG(data[4] == kVersion,
-                 "unsupported binary trace version " << int(data[4]));
-  Reader in(data + 5, size - 5);
-  Trace trace;
-
-  const std::uint64_t nstrings = in.u64();
-  for (std::uint64_t i = 0; i < nstrings; ++i) {
-    const std::string s = in.str();
-    const std::uint32_t id = trace.strings.intern(s);
-    VPPB_CHECK_MSG(id == i + 1, "binary trace string table not in order");
-  }
-
-  const std::uint64_t nthreads = in.u64();
-  for (std::uint64_t i = 0; i < nthreads; ++i) {
-    ThreadMeta t;
-    t.tid = static_cast<ThreadId>(in.i64());
-    t.name = static_cast<std::uint32_t>(in.u64());
-    t.start_func = static_cast<std::uint32_t>(in.u64());
-    t.bound = in.u64() != 0;
-    t.initial_priority = static_cast<int>(in.i64());
-    VPPB_CHECK_MSG(t.name < trace.strings.size() &&
-                       t.start_func < trace.strings.size(),
-                   "binary trace thread has bad string ids");
-    trace.threads.push_back(t);
-  }
-
-  trace.locations.clear();
-  const std::uint64_t nlocs = in.u64();
-  for (std::uint64_t i = 0; i < nlocs; ++i) {
-    SourceLoc loc;
-    loc.file = static_cast<std::uint32_t>(in.u64());
-    loc.func = static_cast<std::uint32_t>(in.u64());
-    loc.line = static_cast<std::uint32_t>(in.u64());
-    VPPB_CHECK_MSG(loc.file < trace.strings.size() &&
-                       loc.func < trace.strings.size(),
-                   "binary trace location has bad string ids");
-    trace.locations.push_back(loc);
-  }
-
-  const std::uint64_t nrecords = in.u64();
-  std::int64_t prev_ns = 0;
-  trace.records.reserve(static_cast<std::size_t>(nrecords));
-  for (std::uint64_t i = 0; i < nrecords; ++i) {
-    Record r;
-    prev_ns += static_cast<std::int64_t>(in.u64());
-    r.at = SimTime::nanos(prev_ns);
-    r.tid = static_cast<ThreadId>(in.i64());
-    r.phase = in.u64() != 0 ? Phase::kReturn : Phase::kCall;
-    const std::uint64_t op = in.u64();
-    VPPB_CHECK_MSG(op <= static_cast<std::uint64_t>(Op::kIoWait),
-                   "binary trace has unknown op " << op);
-    r.op = static_cast<Op>(op);
-    const std::uint64_t kind = in.u64();
-    VPPB_CHECK_MSG(kind <= static_cast<std::uint64_t>(ObjKind::kIo),
-                   "binary trace has unknown object kind " << kind);
-    r.obj.kind = static_cast<ObjKind>(kind);
-    r.obj.id = static_cast<std::uint32_t>(in.u64());
-    r.arg = in.i64();
-    r.arg2 = in.i64();
-    r.loc = static_cast<std::uint32_t>(in.u64());
-    trace.records.push_back(r);
-  }
-  VPPB_CHECK_MSG(in.at_end(), "trailing bytes in binary trace");
-  trace.validate();
-  return trace;
+  return from_binary_impl(data, size, LoadOptions{}, nullptr);
 }
 
 Trace from_binary(const std::vector<std::uint8_t>& bytes) {
   return from_binary(bytes.data(), bytes.size());
 }
 
+Trace from_binary(const std::uint8_t* data, std::size_t size,
+                  const LoadOptions& opt, LoadReport* report) {
+  return from_binary_impl(data, size, opt, report);
+}
+
 void save_binary_file(const Trace& trace, const std::string& path) {
-  const std::vector<std::uint8_t> bytes = to_binary(trace);
-  std::ofstream f(path, std::ios::binary);
-  if (!f)
-    throw Error("cannot open trace file for writing: " + path + ": " +
-                std::strerror(errno));
-  f.write(reinterpret_cast<const char*>(bytes.data()),
-          static_cast<std::streamsize>(bytes.size()));
-  if (!f) throw Error("failed writing trace file: " + path);
+  util::atomic_write_file(path, to_binary(trace));
 }
 
 Trace load_binary_file(const std::string& path) {
-  std::ifstream f(path, std::ios::binary);
-  if (!f)
-    throw Error("cannot open trace file: " + path + ": " +
-                std::strerror(errno));
-  std::vector<std::uint8_t> bytes{std::istreambuf_iterator<char>(f),
-                                  std::istreambuf_iterator<char>()};
-  return from_binary(bytes);
+  return from_binary(read_file_bytes(path));
 }
 
 Trace load_any_file(const std::string& path) {
+  return load_any_file(path, LoadOptions{}, nullptr);
+}
+
+Trace load_any_file(const std::string& path, const LoadOptions& opt,
+                    LoadReport* report) {
+  const std::vector<std::uint8_t> bytes = read_file_bytes(path);
+  return from_any(bytes.data(), bytes.size(), opt, report);
+}
+
+Trace from_any(const std::uint8_t* data, std::size_t size,
+               const LoadOptions& opt, LoadReport* report) {
+  if (size >= 4 && std::memcmp(data, "VPPC", 4) == 0)
+    return from_chunked(data, size, opt, report);
+  if (size >= 4 && std::memcmp(data, kMagic, 4) == 0)
+    return from_binary_impl(data, size, opt, report);
+  const std::string text(reinterpret_cast<const char*>(data), size);
+  return from_text(text, opt, report);
+}
+
+std::vector<std::uint8_t> read_file_bytes(const std::string& path) {
   std::ifstream f(path, std::ios::binary);
   if (!f)
     throw Error("cannot open trace file: " + path + ": " +
                 std::strerror(errno));
-  char magic[4] = {};
-  f.read(magic, 4);
-  f.close();
-  if (std::memcmp(magic, kMagic, 4) == 0) return load_binary_file(path);
-  return load_file(path);
+  return std::vector<std::uint8_t>{std::istreambuf_iterator<char>(f),
+                                   std::istreambuf_iterator<char>()};
 }
 
 }  // namespace vppb::trace

@@ -11,12 +11,17 @@
 // (strings, threads, locations, records).  All integers are LEB128
 // varints; signed values use zigzag.  Timestamps are per-record deltas
 // against the previous record.
+//
+// For logs written incrementally by a live (possibly crashing) target,
+// see the chunked "VPPC" format in trace/chunked.hpp.  Both formats
+// share the salvage vocabulary in trace/salvage.hpp.
 #pragma once
 
 #include <cstdint>
 #include <string>
 #include <vector>
 
+#include "trace/salvage.hpp"
 #include "trace/trace.hpp"
 
 namespace vppb::trace {
@@ -29,10 +34,29 @@ std::vector<std::uint8_t> to_binary(const Trace& trace);
 Trace from_binary(const std::uint8_t* data, std::size_t size);
 Trace from_binary(const std::vector<std::uint8_t>& bytes);
 
-/// File helpers.  load_any_file sniffs the magic and accepts either the
-/// binary or the text format.
+/// Validating parse.  In salvage mode, structural errors in the record
+/// section truncate to the longest valid prefix (reported via *report)
+/// instead of throwing; a corrupt header still throws — there is
+/// nothing to recover without the string/thread/location tables.
+Trace from_binary(const std::uint8_t* data, std::size_t size,
+                  const LoadOptions& opt, LoadReport* report);
+
+/// Parse any known trace format by sniffing the magic: chunked
+/// ("VPPC"), monolithic binary ("VPPB"), else text.
+Trace from_any(const std::uint8_t* data, std::size_t size,
+               const LoadOptions& opt, LoadReport* report);
+
+/// File helpers.  load_any_file sniffs the magic and accepts the
+/// chunked, binary, or text format.  save_binary_file writes via a
+/// temp file + atomic rename so a crash mid-save never clobbers a
+/// previous good log.
 void save_binary_file(const Trace& trace, const std::string& path);
 Trace load_binary_file(const std::string& path);
 Trace load_any_file(const std::string& path);
+Trace load_any_file(const std::string& path, const LoadOptions& opt,
+                    LoadReport* report);
+
+/// Slurp a whole file; throws vppb::Error when it cannot be opened.
+std::vector<std::uint8_t> read_file_bytes(const std::string& path);
 
 }  // namespace vppb::trace

@@ -1,0 +1,508 @@
+#include "trace/chunked.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "trace/binary.hpp"
+#include "trace/record_reader.hpp"
+#include "trace/varint.hpp"
+#include "util/crc32.hpp"
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace vppb::trace {
+namespace {
+
+constexpr char kFileMagic[4] = {'V', 'P', 'P', 'C'};
+constexpr char kChunkMagic[4] = {'C', 'H', 'N', 'K'};
+constexpr std::uint8_t kVersion = 1;
+constexpr std::size_t kChunkHeaderSize = 20;
+
+// Payload item tags.
+enum : std::uint64_t {
+  kTagString = 1,
+  kTagThread = 2,
+  kTagLocation = 3,
+  kTagRecord = 4,
+};
+
+using wire::put_i64;
+using wire::put_str;
+using wire::put_u64;
+
+void put_string_item(std::vector<std::uint8_t>& out, const std::string& s) {
+  put_u64(out, kTagString);
+  put_str(out, s);
+}
+
+void put_thread_item(std::vector<std::uint8_t>& out, const ThreadMeta& t) {
+  put_u64(out, kTagThread);
+  put_i64(out, t.tid);
+  put_u64(out, t.name);
+  put_u64(out, t.start_func);
+  put_u64(out, t.bound ? 1 : 0);
+  put_i64(out, t.initial_priority);
+}
+
+void put_location_item(std::vector<std::uint8_t>& out, const SourceLoc& loc) {
+  put_u64(out, kTagLocation);
+  put_u64(out, loc.file);
+  put_u64(out, loc.func);
+  put_u64(out, loc.line);
+}
+
+void put_record_item(std::vector<std::uint8_t>& out, const Record& r,
+                     std::int64_t& prev_ns) {
+  put_u64(out, kTagRecord);
+  put_u64(out, static_cast<std::uint64_t>(r.at.ns() - prev_ns));
+  prev_ns = r.at.ns();
+  put_i64(out, r.tid);
+  put_u64(out, r.phase == Phase::kReturn ? 1 : 0);
+  put_u64(out, static_cast<std::uint64_t>(r.op));
+  put_u64(out, static_cast<std::uint64_t>(r.obj.kind));
+  put_u64(out, r.obj.id);
+  put_i64(out, r.arg);
+  put_i64(out, r.arg2);
+  put_u64(out, r.loc);
+}
+
+inline void store_le32(std::uint8_t* p, std::uint32_t v) {
+  p[0] = static_cast<std::uint8_t>(v);
+  p[1] = static_cast<std::uint8_t>(v >> 8);
+  p[2] = static_cast<std::uint8_t>(v >> 16);
+  p[3] = static_cast<std::uint8_t>(v >> 24);
+}
+
+inline std::uint32_t load_le32(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+/// EINTR-retrying full write.  Async-signal-safe (only ::write).
+bool write_all(int fd, const void* data, std::size_t n) noexcept {
+  const std::uint8_t* p = static_cast<const std::uint8_t*>(data);
+  while (n > 0) {
+    const ssize_t w = ::write(fd, p, n);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    p += w;
+    n -= static_cast<std::size_t>(w);
+  }
+  return true;
+}
+
+void build_chunk_header(std::uint8_t (&hdr)[kChunkHeaderSize],
+                        const std::uint8_t* payload, std::size_t n,
+                        std::uint32_t nrec, std::uint32_t running_in,
+                        std::uint32_t* running_out) noexcept {
+  std::memcpy(hdr, kChunkMagic, 4);
+  store_le32(hdr + 4, static_cast<std::uint32_t>(n));
+  store_le32(hdr + 8, nrec);
+  store_le32(hdr + 12, util::crc32(payload, n));
+  const std::uint32_t running = util::crc32(payload, n, running_in);
+  store_le32(hdr + 16, running);
+  if (running_out != nullptr) *running_out = running;
+}
+
+}  // namespace
+
+ChunkedWriter::ChunkedWriter(std::string path, ChunkedWriterOptions opt)
+    : opt_(opt),
+      final_path_(std::move(path)),
+      partial_path_(final_path_ + ".partial") {
+  fd_ = ::open(partial_path_.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd_ < 0)
+    throw Error("cannot create live trace log " + partial_path_ + ": " +
+                std::strerror(errno));
+  std::uint8_t header[5];
+  std::memcpy(header, kFileMagic, 4);
+  header[4] = kVersion;
+  if (!write_all(fd_, header, sizeof header)) {
+    const int err = errno;
+    ::close(fd_);
+    fd_ = -1;
+    throw Error("cannot write live trace log " + partial_path_ + ": " +
+                std::strerror(err));
+  }
+  cap_ = std::max<std::size_t>(opt_.chunk_bytes * 2, 64 * 1024);
+  buf_.store(new std::uint8_t[cap_], std::memory_order_release);
+  scratch_.reserve(256);
+}
+
+ChunkedWriter::~ChunkedWriter() {
+  if (fd_ >= 0) ::close(fd_);
+  // The buffer is only reclaimed here, never on growth, so a signal
+  // handler caught mid-append cannot read freed memory.
+  delete[] buf_.load();
+}
+
+void ChunkedWriter::append_item(std::size_t nrecords_in_item) {
+  const std::size_t committed = committed_.load(std::memory_order_relaxed);
+  const std::size_t need = committed + scratch_.size();
+  if (need > cap_) {
+    // Seal first: that empties the pending buffer on the normal path.
+    seal();
+    if (scratch_.size() > cap_) {
+      // A single oversized item (a pathological string).  Grow by swap
+      // and leak the old block — see the header comment on buf_.
+      const std::size_t newcap = std::max(cap_ * 2, scratch_.size() + 4096);
+      std::uint8_t* newbuf = new std::uint8_t[newcap];
+      buf_.store(newbuf, std::memory_order_release);
+      cap_ = newcap;
+    }
+  }
+  std::uint8_t* buf = buf_.load(std::memory_order_relaxed);
+  const std::size_t at = committed_.load(std::memory_order_relaxed);
+  std::memcpy(buf + at, scratch_.data(), scratch_.size());
+  committed_.store(at + scratch_.size(), std::memory_order_release);
+  if (nrecords_in_item > 0)
+    pending_records_.fetch_add(static_cast<std::uint32_t>(nrecords_in_item),
+                               std::memory_order_release);
+  scratch_.clear();
+}
+
+void ChunkedWriter::add_string(const std::string& s) {
+  put_string_item(scratch_, s);
+  append_item(0);
+  ++next_string_;
+}
+
+void ChunkedWriter::upsert_thread(const ThreadMeta& t) {
+  put_thread_item(scratch_, t);
+  append_item(0);
+}
+
+void ChunkedWriter::add_location(const SourceLoc& loc) {
+  put_location_item(scratch_, loc);
+  append_item(0);
+  ++next_location_;
+}
+
+void ChunkedWriter::add_record(const Record& r) {
+  put_record_item(scratch_, r, prev_ns_);
+  append_item(1);
+  ++records_written_;
+  if (pending_records_.load(std::memory_order_relaxed) >= opt_.chunk_records ||
+      committed_.load(std::memory_order_relaxed) >= opt_.chunk_bytes)
+    seal();
+}
+
+void ChunkedWriter::sync_tables(const Trace& trace) {
+  while (next_string_ < trace.strings.size())
+    add_string(trace.strings.get(next_string_));
+  while (next_location_ < trace.locations.size())
+    add_location(trace.locations[next_location_]);
+  for (std::size_t i = 0; i < trace.threads.size(); ++i) {
+    const ThreadMeta& t = trace.threads[i];
+    if (i < synced_threads_.size()) {
+      const ThreadMeta& s = synced_threads_[i];
+      if (s.tid == t.tid && s.name == t.name && s.start_func == t.start_func &&
+          s.bound == t.bound && s.initial_priority == t.initial_priority)
+        continue;
+      synced_threads_[i] = t;
+    } else {
+      synced_threads_.push_back(t);
+    }
+    upsert_thread(t);
+  }
+}
+
+void ChunkedWriter::write_chunk(const std::uint8_t* payload, std::size_t n,
+                                std::uint32_t nrec) noexcept {
+  std::uint8_t hdr[kChunkHeaderSize];
+  std::uint32_t new_running = 0;
+  build_chunk_header(hdr, payload, n, nrec,
+                     running_crc_.load(std::memory_order_acquire),
+                     &new_running);
+  if (!write_all(fd_, hdr, sizeof hdr) || !write_all(fd_, payload, n)) return;
+  running_crc_.store(new_running, std::memory_order_release);
+  sealed_chunks_.fetch_add(1, std::memory_order_release);
+}
+
+void ChunkedWriter::seal() {
+  const std::size_t n = committed_.load(std::memory_order_acquire);
+  const std::uint32_t nrec = pending_records_.load(std::memory_order_acquire);
+  if (n == 0 || fd_ < 0) return;
+  sealing_.store(true, std::memory_order_release);
+  write_chunk(buf_.load(std::memory_order_acquire), n, nrec);
+  committed_.store(0, std::memory_order_release);
+  pending_records_.store(0, std::memory_order_release);
+  sealing_.store(false, std::memory_order_release);
+}
+
+std::string ChunkedWriter::finalize() {
+  if (finalized_.load(std::memory_order_acquire)) return final_path_;
+  seal();
+  if (fd_ >= 0) {
+    ::fsync(fd_);
+    if (::rename(partial_path_.c_str(), final_path_.c_str()) != 0)
+      throw Error("cannot publish trace log " + final_path_ + ": " +
+                  std::strerror(errno));
+    ::close(fd_);
+    fd_ = -1;
+  }
+  finalized_.store(true, std::memory_order_release);
+  return final_path_;
+}
+
+void ChunkedWriter::crash_seal() noexcept {
+  // Runs on a signal stack: only async-signal-safe calls past this
+  // point (crc32 is a pure table lookup; c_str() on a const string
+  // allocates nothing).
+  if (finalized_.load(std::memory_order_acquire) || fd_ < 0) return;
+  std::size_t pending = 0;
+  if (!sealing_.load(std::memory_order_acquire)) {
+    pending = committed_.load(std::memory_order_acquire);
+    if (pending > 0)
+      write_chunk(buf_.load(std::memory_order_acquire), pending,
+                  pending_records_.load(std::memory_order_acquire));
+  }
+  // Publish only if something real was sealed; otherwise leave the
+  // ".partial" stub so a previous good log at final_path_ survives.
+  if (sealed_chunks_.load(std::memory_order_acquire) > 0) {
+    ::fsync(fd_);
+    ::rename(partial_path_.c_str(), final_path_.c_str());
+    finalized_.store(true, std::memory_order_release);
+  }
+}
+
+std::vector<std::uint8_t> to_chunked(const Trace& trace,
+                                     std::size_t chunk_records) {
+  VPPB_CHECK_MSG(chunk_records > 0, "chunk_records must be positive");
+  std::vector<std::uint8_t> out;
+  out.insert(out.end(), kFileMagic, kFileMagic + 4);
+  out.push_back(kVersion);
+
+  std::uint32_t running = 0;
+  std::vector<std::uint8_t> payload;
+  std::uint32_t nrec = 0;
+  auto flush = [&] {
+    if (payload.empty()) return;
+    std::uint8_t hdr[kChunkHeaderSize];
+    build_chunk_header(hdr, payload.data(), payload.size(), nrec, running,
+                       &running);
+    out.insert(out.end(), hdr, hdr + sizeof hdr);
+    out.insert(out.end(), payload.begin(), payload.end());
+    payload.clear();
+    nrec = 0;
+  };
+
+  for (std::uint32_t id = 1; id < trace.strings.size(); ++id)
+    put_string_item(payload, trace.strings.get(id));
+  for (const ThreadMeta& t : trace.threads) put_thread_item(payload, t);
+  for (const SourceLoc& loc : trace.locations)
+    put_location_item(payload, loc);
+
+  std::int64_t prev_ns = 0;
+  for (const Record& r : trace.records) {
+    put_record_item(payload, r, prev_ns);
+    if (++nrec >= chunk_records) flush();
+  }
+  flush();
+  return out;
+}
+
+Trace from_chunked(const std::uint8_t* data, std::size_t size,
+                   const LoadOptions& opt, LoadReport* report) {
+  VPPB_CHECK_MSG(size >= 5 && std::memcmp(data, kFileMagic, 4) == 0,
+                 "not a VPPC chunked trace (bad magic)");
+  VPPB_CHECK_MSG(data[4] == kVersion,
+                 "unsupported chunked trace version " << int(data[4]));
+
+  Trace trace;
+  trace.locations.clear();  // the stream carries the reserved entry 0
+  RecordScan scan;
+  std::uint32_t running = 0;
+  std::size_t pos = 5;
+  bool stopped = false;
+  std::uint32_t decoded_records = 0;  // in the chunk being decoded
+
+  auto fail = [&](IssueKind kind, std::size_t offset,
+                  const std::string& msg) {
+    if (!opt.salvage)
+      throw Error(strprintf("chunked trace: %s (byte %zu)", msg.c_str(),
+                            offset));
+    if (report != nullptr)
+      report->issues.push_back(TraceIssue{kind, offset, msg});
+    stopped = true;
+  };
+
+  while (!stopped && pos < size) {
+    if (size - pos < kChunkHeaderSize) {
+      fail(IssueKind::kTruncated, pos,
+           strprintf("chunk header truncated (%zu trailing bytes)",
+                     size - pos));
+      break;
+    }
+    if (std::memcmp(data + pos, kChunkMagic, 4) != 0) {
+      fail(IssueKind::kBadMagic, pos, "bad chunk magic");
+      break;
+    }
+    const std::size_t payload_len = load_le32(data + pos + 4);
+    const std::uint32_t record_count = load_le32(data + pos + 8);
+    const std::uint32_t payload_crc = load_le32(data + pos + 12);
+    const std::uint32_t running_crc = load_le32(data + pos + 16);
+    if (payload_len > size - pos - kChunkHeaderSize) {
+      fail(IssueKind::kTruncated, pos,
+           strprintf("chunk payload truncated (%zu of %zu bytes present)",
+                     size - pos - kChunkHeaderSize, payload_len));
+      break;
+    }
+    const std::uint8_t* payload = data + pos + kChunkHeaderSize;
+    if (util::crc32(payload, payload_len) != payload_crc) {
+      fail(IssueKind::kBadChecksum, pos, "chunk payload CRC mismatch");
+      break;
+    }
+    const std::uint32_t new_running =
+        util::crc32(payload, payload_len, running);
+    if (new_running != running_crc) {
+      fail(IssueKind::kBadChecksum, pos,
+           "chunk breaks the file's running digest");
+      break;
+    }
+    running = new_running;
+
+    wire::TryReader in(payload, payload_len);
+    decoded_records = 0;
+    while (!stopped && !in.at_end()) {
+      const std::size_t item_off = pos + kChunkHeaderSize + in.pos();
+      std::uint64_t tag;
+      if (!in.u64(tag)) {
+        fail(IssueKind::kBadField, item_off, "item tag truncated");
+        break;
+      }
+      switch (tag) {
+        case kTagString: {
+          std::string s;
+          if (!in.str(s)) {
+            fail(IssueKind::kBadField, item_off, "string item truncated");
+            break;
+          }
+          const std::uint32_t expect =
+              static_cast<std::uint32_t>(trace.strings.size());
+          if (trace.strings.intern(s) != expect)
+            fail(IssueKind::kBadReference, item_off,
+                 "string table not in intern order");
+          break;
+        }
+        case kTagThread: {
+          std::int64_t tid, prio;
+          std::uint64_t name, func, bound;
+          if (!in.i64(tid) || !in.u64(name) || !in.u64(func) ||
+              !in.u64(bound) || !in.i64(prio)) {
+            fail(IssueKind::kBadField, item_off, "thread item truncated");
+            break;
+          }
+          if (name >= trace.strings.size() || func >= trace.strings.size()) {
+            fail(IssueKind::kBadReference, item_off,
+                 "thread item has bad string ids");
+            break;
+          }
+          ThreadMeta& t = trace.upsert_thread(static_cast<ThreadId>(tid));
+          t.name = static_cast<std::uint32_t>(name);
+          t.start_func = static_cast<std::uint32_t>(func);
+          t.bound = bound != 0;
+          t.initial_priority = static_cast<int>(prio);
+          break;
+        }
+        case kTagLocation: {
+          std::uint64_t file, func, line;
+          if (!in.u64(file) || !in.u64(func) || !in.u64(line)) {
+            fail(IssueKind::kBadField, item_off, "location item truncated");
+            break;
+          }
+          if (file >= trace.strings.size() || func >= trace.strings.size()) {
+            fail(IssueKind::kBadReference, item_off,
+                 "location item has bad string ids");
+            break;
+          }
+          SourceLoc loc;
+          loc.file = static_cast<std::uint32_t>(file);
+          loc.func = static_cast<std::uint32_t>(func);
+          loc.line = static_cast<std::uint32_t>(line);
+          trace.locations.push_back(loc);
+          break;
+        }
+        case kTagRecord: {
+          if (!scan.read_one(in, trace)) {
+            fail(scan.why, item_off,
+                 scan.message + strprintf(" — cut at record %zu",
+                                          trace.records.size()));
+            break;
+          }
+          ++decoded_records;
+          break;
+        }
+        default:
+          fail(IssueKind::kUnknownEvent, item_off,
+               strprintf("unknown item tag %llu",
+                         static_cast<unsigned long long>(tag)));
+          break;
+      }
+    }
+    if (stopped) break;
+    if (decoded_records != record_count) {
+      // The payload passed its CRC, so trust the data over the
+      // (uncovered) header field: report, keep, continue.
+      const std::string msg =
+          strprintf("chunk header claims %u records but %u decoded",
+                    record_count, decoded_records);
+      if (!opt.salvage)
+        throw Error(strprintf("chunked trace: %s (byte %zu)", msg.c_str(),
+                              pos));
+      if (report != nullptr)
+        report->issues.push_back(
+            TraceIssue{IssueKind::kBadField, pos, msg});
+    }
+    if (report != nullptr) report->chunks_loaded++;
+    pos += kChunkHeaderSize + payload_len;
+  }
+
+  if (stopped && report != nullptr) {
+    // Best-effort census of what the cut discarded: walk the remaining
+    // chunk headers without trusting their payloads.  The first entry
+    // may be the chunk the cut happened inside, so records decoded
+    // from it before the cut are not double-counted.
+    std::size_t p = pos;
+    bool first = true;
+    while (size - p >= 12 && std::memcmp(data + p, kChunkMagic, 4) == 0) {
+      const std::size_t len = load_le32(data + p + 4);
+      std::uint32_t rc = load_le32(data + p + 8);
+      if (first && rc >= decoded_records) rc -= decoded_records;
+      report->chunks_dropped++;
+      report->records_dropped += rc;
+      first = false;
+      // Torn tail: the header (let alone the payload) is not all here.
+      // size - p - kChunkHeaderSize would underflow below, so check
+      // the header first.
+      if (size - p < kChunkHeaderSize || len > size - p - kChunkHeaderSize)
+        break;
+      p += kChunkHeaderSize + len;
+    }
+  }
+
+  if (opt.salvage) trim_open_calls(trace, report);
+  if (report != nullptr) {
+    report->records_recovered = trace.records.size();
+    report->salvaged |= !report->issues.empty();
+  }
+  trace.validate();
+  return trace;
+}
+
+Trace load_chunked_file(const std::string& path, const LoadOptions& opt,
+                        LoadReport* report) {
+  const std::vector<std::uint8_t> bytes = read_file_bytes(path);
+  return from_chunked(bytes.data(), bytes.size(), opt, report);
+}
+
+}  // namespace vppb::trace

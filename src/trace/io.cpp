@@ -5,6 +5,8 @@
 #include <fstream>
 #include <sstream>
 
+#include "trace/record_reader.hpp"
+#include "util/atomic_file.hpp"
 #include "util/error.hpp"
 #include "util/strings.hpp"
 
@@ -52,9 +54,131 @@ std::string dec(std::string_view s) {
   return out;
 }
 
-[[noreturn]] void bad_line(std::size_t lineno, std::string_view why) {
-  throw Error(strprintf("trace line %zu: %.*s", lineno,
-                        static_cast<int>(why.size()), why.data()));
+/// Signals one malformed line.  The strict reader turns it into a
+/// thrown Error; the salvaging reader into a cut point.
+struct LineError {
+  IssueKind kind = IssueKind::kBadField;
+  std::string why;
+};
+
+Trace read_text_impl(std::istream& is, const LoadOptions& opt,
+                     LoadReport* report) {
+  Trace trace;
+  trace.locations.clear();  // the file supplies all entries, including 0
+  std::string line;
+  std::size_t lineno = 0;
+  bool stopped = false;
+
+  auto handle = [&](const LineError& e) {
+    if (!opt.salvage)
+      throw Error(strprintf("trace line %zu: %s", lineno, e.why.c_str()));
+    if (report != nullptr)
+      report->issues.push_back(TraceIssue{
+          e.kind, lineno,
+          e.why + strprintf(" — cut at record %zu", trace.records.size())});
+    stopped = true;
+  };
+
+  // Parses one directive; returns false with *err set on any problem.
+  auto parse_line = [&](std::string_view sv, LineError* err) -> bool {
+    const auto f = split(sv, ' ');
+    if (f[0] == "thread") {
+      if (f.size() != 6)
+        return *err = {IssueKind::kBadField, "thread needs 5 fields"}, false;
+      std::int64_t tid, bound, prio;
+      if (!parse_i64(f[1], tid) || !parse_i64(f[4], bound) ||
+          !parse_i64(f[5], prio))
+        return *err = {IssueKind::kBadField, "bad thread fields"}, false;
+      ThreadMeta& t = trace.upsert_thread(static_cast<ThreadId>(tid));
+      t.name = trace.strings.intern(dec(f[2]));
+      t.start_func = trace.strings.intern(dec(f[3]));
+      t.bound = bound != 0;
+      t.initial_priority = static_cast<int>(prio);
+    } else if (f[0] == "loc") {
+      if (f.size() != 5)
+        return *err = {IssueKind::kBadField, "loc needs 4 fields"}, false;
+      std::int64_t idx, ln;
+      if (!parse_i64(f[1], idx) || !parse_i64(f[3], ln))
+        return *err = {IssueKind::kBadField, "bad loc fields"}, false;
+      if (static_cast<std::size_t>(idx) != trace.locations.size())
+        return *err = {IssueKind::kBadReference,
+                       "loc indices must be dense and in order"},
+               false;
+      trace.locations.push_back(SourceLoc{trace.strings.intern(dec(f[2])),
+                                          trace.strings.intern(dec(f[4])),
+                                          static_cast<std::uint32_t>(ln)});
+    } else if (f[0] == "rec") {
+      if (f.size() != 10)
+        return *err = {IssueKind::kBadField, "rec needs 9 fields"}, false;
+      Record r;
+      std::int64_t at, tid, objid, arg, arg2, loc;
+      if (!parse_i64(f[1], at) || !parse_i64(f[2], tid) ||
+          !parse_i64(f[6], objid) || !parse_i64(f[7], arg) ||
+          !parse_i64(f[8], arg2) || !parse_i64(f[9], loc))
+        return *err = {IssueKind::kBadField, "bad rec numeric fields"}, false;
+      if (f[3] == "C") {
+        r.phase = Phase::kCall;
+      } else if (f[3] == "R") {
+        r.phase = Phase::kReturn;
+      } else {
+        return *err = {IssueKind::kBadField, "phase must be C or R"}, false;
+      }
+      if (!op_from_name(f[4], r.op))
+        return *err = {IssueKind::kUnknownEvent, "unknown op"}, false;
+      if (!obj_kind_from_name(f[5], r.obj.kind))
+        return *err = {IssueKind::kUnknownEvent, "unknown object kind"}, false;
+      r.at = SimTime::nanos(at);
+      r.tid = static_cast<ThreadId>(tid);
+      r.obj.id = static_cast<std::uint32_t>(objid);
+      r.arg = arg;
+      r.arg2 = arg2;
+      r.loc = static_cast<std::uint32_t>(loc);
+      trace.records.push_back(r);
+    } else {
+      return *err = {IssueKind::kUnknownEvent, "unknown directive"}, false;
+    }
+    return true;
+  };
+
+  while (std::getline(is, line)) {
+    ++lineno;
+    const std::string_view sv = trim(line);
+    if (sv.empty() || sv.front() == '#') continue;
+    if (stopped) {
+      // Past the cut: census only, so the report can say what was lost.
+      if (report != nullptr && sv.substr(0, 4) == "rec ")
+        report->records_dropped++;
+      continue;
+    }
+    LineError err;
+    if (!parse_line(sv, &err)) handle(err);
+  }
+
+  if (opt.salvage) {
+    // The text format allows forward references (a `loc` or `thread`
+    // line after the `rec` lines that use it), so the structural scan
+    // runs after parsing, once the tables are complete.
+    std::vector<Record> parsed = std::move(trace.records);
+    trace.records.clear();
+    RecordScan scan;
+    for (std::size_t i = 0; i < parsed.size(); ++i) {
+      if (scan.admit(parsed[i], trace)) continue;
+      if (report != nullptr) {
+        report->issues.push_back(TraceIssue{
+            scan.why, i,
+            scan.message + strprintf(" — cut at record %zu", i)});
+        report->records_dropped += parsed.size() - i;
+      }
+      break;
+    }
+    trim_open_calls(trace, report);
+  }
+  if (report != nullptr) {
+    report->records_recovered = trace.records.size();
+    report->salvaged |= !report->issues.empty();
+  }
+  trace.validate();
+  return trace;
 }
 
 }  // namespace
@@ -86,81 +210,27 @@ std::string to_text(const Trace& trace) {
 }
 
 void save_file(const Trace& trace, const std::string& path) {
-  std::ofstream f(path);
-  if (!f)
-    throw Error("cannot open trace file for writing: " + path + ": " +
-                std::strerror(errno));
-  write_text(trace, f);
-  if (!f) throw Error("failed writing trace file: " + path);
+  util::atomic_write_file(path, to_text(trace));
 }
 
 Trace read_text(std::istream& is) {
-  Trace trace;
-  trace.locations.clear();  // the file supplies all entries, including 0
-  std::string line;
-  std::size_t lineno = 0;
-  while (std::getline(is, line)) {
-    ++lineno;
-    const std::string_view sv = trim(line);
-    if (sv.empty() || sv.front() == '#') continue;
-    const auto f = split(sv, ' ');
-    if (f[0] == "thread") {
-      if (f.size() != 6) bad_line(lineno, "thread needs 5 fields");
-      std::int64_t tid, bound, prio;
-      if (!parse_i64(f[1], tid) || !parse_i64(f[4], bound) ||
-          !parse_i64(f[5], prio))
-        bad_line(lineno, "bad thread fields");
-      ThreadMeta& t = trace.upsert_thread(static_cast<ThreadId>(tid));
-      t.name = trace.strings.intern(dec(f[2]));
-      t.start_func = trace.strings.intern(dec(f[3]));
-      t.bound = bound != 0;
-      t.initial_priority = static_cast<int>(prio);
-    } else if (f[0] == "loc") {
-      if (f.size() != 5) bad_line(lineno, "loc needs 4 fields");
-      std::int64_t idx, ln;
-      if (!parse_i64(f[1], idx) || !parse_i64(f[3], ln))
-        bad_line(lineno, "bad loc fields");
-      if (static_cast<std::size_t>(idx) != trace.locations.size())
-        bad_line(lineno, "loc indices must be dense and in order");
-      trace.locations.push_back(SourceLoc{trace.strings.intern(dec(f[2])),
-                                          trace.strings.intern(dec(f[4])),
-                                          static_cast<std::uint32_t>(ln)});
-    } else if (f[0] == "rec") {
-      if (f.size() != 10) bad_line(lineno, "rec needs 9 fields");
-      Record r;
-      std::int64_t at, tid, objid, arg, arg2, loc;
-      if (!parse_i64(f[1], at) || !parse_i64(f[2], tid) ||
-          !parse_i64(f[6], objid) || !parse_i64(f[7], arg) ||
-          !parse_i64(f[8], arg2) || !parse_i64(f[9], loc))
-        bad_line(lineno, "bad rec numeric fields");
-      if (f[3] == "C") {
-        r.phase = Phase::kCall;
-      } else if (f[3] == "R") {
-        r.phase = Phase::kReturn;
-      } else {
-        bad_line(lineno, "phase must be C or R");
-      }
-      if (!op_from_name(f[4], r.op)) bad_line(lineno, "unknown op");
-      if (!obj_kind_from_name(f[5], r.obj.kind))
-        bad_line(lineno, "unknown object kind");
-      r.at = SimTime::nanos(at);
-      r.tid = static_cast<ThreadId>(tid);
-      r.obj.id = static_cast<std::uint32_t>(objid);
-      r.arg = arg;
-      r.arg2 = arg2;
-      r.loc = static_cast<std::uint32_t>(loc);
-      trace.records.push_back(r);
-    } else {
-      bad_line(lineno, "unknown directive");
-    }
-  }
-  trace.validate();
-  return trace;
+  return read_text_impl(is, LoadOptions{}, nullptr);
+}
+
+Trace read_text(std::istream& is, const LoadOptions& opt,
+                LoadReport* report) {
+  return read_text_impl(is, opt, report);
 }
 
 Trace from_text(const std::string& text) {
   std::istringstream is(text);
   return read_text(is);
+}
+
+Trace from_text(const std::string& text, const LoadOptions& opt,
+                LoadReport* report) {
+  std::istringstream is(text);
+  return read_text_impl(is, opt, report);
 }
 
 Trace load_file(const std::string& path) {
@@ -169,6 +239,15 @@ Trace load_file(const std::string& path) {
     throw Error("cannot open trace file: " + path + ": " +
                 std::strerror(errno));
   return read_text(f);
+}
+
+Trace load_file(const std::string& path, const LoadOptions& opt,
+                LoadReport* report) {
+  std::ifstream f(path);
+  if (!f)
+    throw Error("cannot open trace file: " + path + ": " +
+                std::strerror(errno));
+  return read_text_impl(f, opt, report);
 }
 
 }  // namespace vppb::trace

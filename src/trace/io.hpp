@@ -15,11 +15,13 @@
 #include <iosfwd>
 #include <string>
 
+#include "trace/salvage.hpp"
 #include "trace/trace.hpp"
 
 namespace vppb::trace {
 
 /// Serialize to the text format.  Deterministic byte-for-byte output.
+/// save_file writes via a temp file + atomic rename.
 void write_text(const Trace& trace, std::ostream& os);
 std::string to_text(const Trace& trace);
 void save_file(const Trace& trace, const std::string& path);
@@ -29,5 +31,13 @@ void save_file(const Trace& trace, const std::string& path);
 Trace read_text(std::istream& is);
 Trace from_text(const std::string& text);
 Trace load_file(const std::string& path);
+
+/// Validating parse: in salvage mode a malformed line cuts the trace to
+/// the valid prefix (recorded in *report) instead of throwing.
+Trace read_text(std::istream& is, const LoadOptions& opt, LoadReport* report);
+Trace from_text(const std::string& text, const LoadOptions& opt,
+                LoadReport* report);
+Trace load_file(const std::string& path, const LoadOptions& opt,
+                LoadReport* report);
 
 }  // namespace vppb::trace

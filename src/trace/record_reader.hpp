@@ -1,0 +1,116 @@
+// Internal: shared validating record decoder for the binary ("VPPB")
+// and chunked ("VPPC") formats.  Both encode a record the same way —
+// delta-ns timestamp, then tid/phase/op/kind/objid/arg/arg2/loc as
+// varints — and both must enforce the same structural invariants while
+// decoding so a salvaged prefix is consistent by construction:
+// monotonic time, known ops and object kinds, in-range location
+// indices, known threads, and matched call/return pairs per thread.
+//
+// The scanner keeps its state (previous timestamp, open calls) in a
+// struct so the chunked reader can carry it across chunk boundaries.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "trace/salvage.hpp"
+#include "trace/trace.hpp"
+#include "trace/varint.hpp"
+#include "util/strings.hpp"
+
+namespace vppb::trace {
+
+struct RecordScan {
+  std::int64_t prev_ns = 0;
+  std::map<ThreadId, Op> open_call;
+
+  // Set when read_one() rejects a record; the caller turns them into a
+  // thrown Error (strict) or a TraceIssue cut point (salvage).
+  IssueKind why = IssueKind::kBadField;
+  std::string message;
+
+  /// Decodes and validates one record, appending it to trace.records.
+  /// Returns false — with why/message set — on truncation or the first
+  /// structural violation; the reader position may then be mid-record.
+  bool read_one(wire::TryReader& in, Trace& trace) {
+    Record r;
+    std::uint64_t delta, phase, op, kind, loc, objid;
+    std::int64_t tid;
+    if (!in.u64(delta) || !in.i64(tid) || !in.u64(phase) || !in.u64(op) ||
+        !in.u64(kind) || !in.u64(objid) || !in.i64(r.arg) || !in.i64(r.arg2) ||
+        !in.u64(loc)) {
+      return fail(IssueKind::kTruncated, "record truncated");
+    }
+    // Unsigned arithmetic: a hostile delta must wrap, not overflow into
+    // UB.  The monotonic-time check below rejects the wrapped value.
+    prev_ns = static_cast<std::int64_t>(static_cast<std::uint64_t>(prev_ns) +
+                                        delta);
+    r.at = SimTime::nanos(prev_ns);
+    r.tid = static_cast<ThreadId>(tid);
+    r.phase = phase != 0 ? Phase::kReturn : Phase::kCall;
+    if (op > static_cast<std::uint64_t>(Op::kIoWait))
+      return fail(IssueKind::kUnknownEvent,
+                  strprintf("unknown op %llu",
+                            static_cast<unsigned long long>(op)));
+    r.op = static_cast<Op>(op);
+    if (kind > static_cast<std::uint64_t>(ObjKind::kIo))
+      return fail(IssueKind::kUnknownEvent,
+                  strprintf("unknown object kind %llu",
+                            static_cast<unsigned long long>(kind)));
+    r.obj.kind = static_cast<ObjKind>(kind);
+    r.obj.id = static_cast<std::uint32_t>(objid);
+    // loc 0 (the reserved "unknown" slot) is legal even when no
+    // location table was written — matching Trace::validate().
+    if (loc != 0 && loc >= trace.locations.size())
+      return fail(IssueKind::kBadReference,
+                  strprintf("location index %llu out of range",
+                            static_cast<unsigned long long>(loc)));
+    r.loc = static_cast<std::uint32_t>(loc);
+    return admit(r, trace);
+  }
+
+  /// Validates an already-decoded record against the trace built so far
+  /// and appends it.  Shared with the text reader, whose records arrive
+  /// parsed rather than decoded.  Assumes op/obj.kind are in range.
+  bool admit(const Record& r, Trace& trace) {
+    if (r.loc != 0 && r.loc >= trace.locations.size())
+      return fail(IssueKind::kBadReference,
+                  strprintf("location index %u out of range", r.loc));
+    if (trace.find_thread(r.tid) == nullptr)
+      return fail(IssueKind::kBadReference,
+                  strprintf("record from unknown thread T%d",
+                            static_cast<int>(r.tid)));
+    const bool single = r.op == Op::kThrExit || r.op == Op::kStartCollect ||
+                        r.op == Op::kEndCollect || r.op == Op::kUserMark;
+    auto it = open_call.find(r.tid);
+    if (r.phase == Phase::kCall) {
+      if (it != open_call.end())
+        return fail(IssueKind::kUnmatchedCall,
+                    strprintf("T%d opens a second call",
+                              static_cast<int>(r.tid)));
+      if (!single) open_call.emplace(r.tid, r.op);
+    } else {
+      if (it == open_call.end() || it->second != r.op)
+        return fail(IssueKind::kUnmatchedCall,
+                    strprintf("unmatched return of %s by T%d",
+                              std::string(op_name(r.op)).c_str(),
+                              static_cast<int>(r.tid)));
+      open_call.erase(it);
+    }
+    if (r.at.ns() < 0 ||
+        (!trace.records.empty() && r.at < trace.records.back().at))
+      return fail(IssueKind::kTimeRegression, "timestamp goes backwards");
+    trace.records.push_back(r);
+    return true;
+  }
+
+ private:
+  bool fail(IssueKind k, std::string msg) {
+    why = k;
+    message = std::move(msg);
+    return false;
+  }
+};
+
+}  // namespace vppb::trace

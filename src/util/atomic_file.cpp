@@ -1,0 +1,67 @@
+#include "util/atomic_file.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace vppb::util {
+namespace {
+
+[[noreturn]] void fail(const char* what, const std::string& path, int err) {
+  throw Error(strprintf("%s %s: %s", what, path.c_str(),
+                        std::strerror(err)));
+}
+
+}  // namespace
+
+void atomic_write_file(const std::string& path, const void* data,
+                       std::size_t n) {
+  const std::string tmp =
+      path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) fail("cannot open temp file", tmp, errno);
+
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  std::size_t left = n;
+  while (left > 0) {
+    const ssize_t wrote = ::write(fd, p, left);
+    if (wrote < 0) {
+      if (errno == EINTR) continue;
+      const int err = errno;
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      fail("failed writing", tmp, err);
+    }
+    p += wrote;
+    left -= static_cast<std::size_t>(wrote);
+  }
+  // fsync before rename: the rename must never become visible ahead of
+  // the data it is supposed to publish.
+  if (::fsync(fd) != 0 || ::close(fd) != 0) {
+    const int err = errno;
+    ::unlink(tmp.c_str());
+    fail("failed syncing", tmp, err);
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    const int err = errno;
+    ::unlink(tmp.c_str());
+    fail("cannot rename into place", path, err);
+  }
+}
+
+void atomic_write_file(const std::string& path, const std::string& text) {
+  atomic_write_file(path, text.data(), text.size());
+}
+
+void atomic_write_file(const std::string& path,
+                       const std::vector<std::uint8_t>& bytes) {
+  atomic_write_file(path, bytes.data(), bytes.size());
+}
+
+}  // namespace vppb::util

@@ -1,0 +1,27 @@
+// Atomic file replacement: write to a same-directory temp file, fsync,
+// then rename over the destination.
+//
+// Every artifact the tool writes non-incrementally (text/binary traces,
+// SVG renders) goes through this, so an interrupted run — SIGKILL,
+// full disk, a crash in a later phase — either leaves the previous file
+// untouched or the complete new one, never a half-written hybrid.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace vppb::util {
+
+/// Replaces `path` atomically with `n` bytes of `data`.  The temp file
+/// lives next to `path` (rename must not cross filesystems) and is
+/// unlinked on any failure.  Throws vppb::Error with errno context.
+void atomic_write_file(const std::string& path, const void* data,
+                       std::size_t n);
+
+void atomic_write_file(const std::string& path, const std::string& text);
+void atomic_write_file(const std::string& path,
+                       const std::vector<std::uint8_t>& bytes);
+
+}  // namespace vppb::util

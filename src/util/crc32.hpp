@@ -1,0 +1,19 @@
+// CRC-32 (IEEE 802.3, polynomial 0xEDB88320) for chunk checksums in the
+// crash-safe trace log.
+//
+// The implementation is a plain table walk over a compile-time table:
+// no allocation, no locks, no errno — deliberately async-signal-safe so
+// the recorder's crash finalizer can checksum the pending chunk from
+// inside a SIGSEGV handler.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace vppb::util {
+
+/// Incremental CRC-32: pass the previous return value as `seed` to
+/// continue a running checksum (seed 0 starts a fresh one).
+std::uint32_t crc32(const void* data, std::size_t n, std::uint32_t seed = 0);
+
+}  // namespace vppb::util

@@ -3,6 +3,7 @@
 #include <netinet/in.h>
 #include <poll.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <sys/un.h>
 #include <unistd.h>
 
@@ -22,7 +23,33 @@ namespace {
 Socket new_socket(int domain) {
   const int fd = ::socket(domain, SOCK_STREAM, 0);
   if (fd < 0) fail("socket");
-  return Socket(fd);
+  Socket s(fd);
+#ifdef SO_NOSIGPIPE
+  // BSD/macOS: no MSG_NOSIGNAL, suppress SIGPIPE at the socket level.
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_NOSIGPIPE, &one, sizeof(one));
+#endif
+  return s;
+}
+
+/// connect(2), retrying EINTR.  A connect interrupted by a signal
+/// completes asynchronously, so the retry path waits out EINPROGRESS /
+/// EALREADY / "already connected" instead of failing a healthy attempt.
+int connect_retry(int fd, const sockaddr* addr, socklen_t len) {
+  if (::connect(fd, addr, len) == 0) return 0;
+  while (errno == EINTR || errno == EALREADY || errno == EINPROGRESS) {
+    pollfd pfd{fd, POLLOUT, 0};
+    if (::poll(&pfd, 1, -1) < 0) {
+      if (errno == EINTR) continue;
+      return -1;
+    }
+    int err = 0;
+    socklen_t elen = sizeof(err);
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &elen) != 0) return -1;
+    if (err == 0) return 0;
+    errno = err;
+  }
+  return -1;
 }
 
 sockaddr_un unix_addr(const std::string& path) {
@@ -84,12 +111,22 @@ std::size_t Socket::recv_exact(void* data, std::size_t n) {
     const ssize_t r = ::recv(fd_, p + got, n - got, 0);
     if (r < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK)
+        throw SocketTimeout("recv timed out waiting for the peer");
       fail("recv");
     }
     if (r == 0) break;  // end of stream
     got += static_cast<std::size_t>(r);
   }
   return got;
+}
+
+void Socket::set_recv_timeout(int ms) {
+  timeval tv{};
+  tv.tv_sec = ms / 1000;
+  tv.tv_usec = (ms % 1000) * 1000;
+  if (::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv)) != 0)
+    fail("setsockopt(SO_RCVTIMEO)");
 }
 
 Socket listen_unix(const std::string& path, int backlog) {
@@ -122,8 +159,8 @@ Socket listen_tcp(std::uint16_t& port, int backlog) {
 Socket connect_unix(const std::string& path) {
   Socket s = new_socket(AF_UNIX);
   const sockaddr_un addr = unix_addr(path);
-  if (::connect(s.fd(), reinterpret_cast<const sockaddr*>(&addr),
-                sizeof(addr)) != 0)
+  if (connect_retry(s.fd(), reinterpret_cast<const sockaddr*>(&addr),
+                    sizeof(addr)) != 0)
     throw Error(strprintf("connect %s: %s", path.c_str(),
                           std::strerror(errno)));
   return s;
@@ -132,8 +169,8 @@ Socket connect_unix(const std::string& path) {
 Socket connect_tcp(std::uint16_t port) {
   Socket s = new_socket(AF_INET);
   const sockaddr_in addr = loopback_addr(port);
-  if (::connect(s.fd(), reinterpret_cast<const sockaddr*>(&addr),
-                sizeof(addr)) != 0)
+  if (connect_retry(s.fd(), reinterpret_cast<const sockaddr*>(&addr),
+                    sizeof(addr)) != 0)
     throw Error(strprintf("connect port %u: %s", port,
                           std::strerror(errno)));
   return s;

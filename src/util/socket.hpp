@@ -12,7 +12,17 @@
 #include <string>
 #include <utility>
 
+#include "util/error.hpp"
+
 namespace vppb::util {
+
+/// Thrown by recv_exact when a receive timeout (set_recv_timeout) lapses
+/// with the peer still silent.  A distinct type so callers can tell "the
+/// server is slow" (retryable) from "the stream is broken".
+class SocketTimeout : public Error {
+ public:
+  explicit SocketTimeout(const std::string& what) : Error(what) {}
+};
 
 /// An owned socket file descriptor.  Move-only; closes on destruction.
 class Socket {
@@ -37,14 +47,21 @@ class Socket {
   /// the server drains connections on shutdown.
   void shutdown_read();
 
-  /// Sends all `n` bytes (looping over partial sends, SIGPIPE
-  /// suppressed).  Throws vppb::Error if the peer goes away.
+  /// Sends all `n` bytes (looping over partial sends and EINTR, SIGPIPE
+  /// suppressed via MSG_NOSIGNAL / SO_NOSIGPIPE so a vanished peer is an
+  /// EPIPE error, never a process-killing signal).  Throws vppb::Error
+  /// if the peer goes away.
   void send_all(const void* data, std::size_t n);
 
   /// Receives exactly `n` bytes unless the stream ends first; returns
   /// the number of bytes actually read (0 = clean end-of-stream before
-  /// the first byte).  Throws vppb::Error on socket errors.
+  /// the first byte).  Loops over EINTR.  Throws SocketTimeout when a
+  /// receive timeout lapses, vppb::Error on other socket errors.
   std::size_t recv_exact(void* data, std::size_t n);
+
+  /// Bounds every subsequent receive: recv_exact throws SocketTimeout
+  /// if no data arrives for `ms` milliseconds (0 = wait forever).
+  void set_recv_timeout(int ms);
 
  private:
   int fd_ = -1;

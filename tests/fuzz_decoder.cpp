@@ -1,0 +1,279 @@
+// Standalone deterministic fuzzer for every untrusted-input decoder:
+// the text/binary/chunked trace loaders (strict and salvage) and the
+// wire-protocol request/response decoders.
+//
+// There is no libFuzzer in the toolchain, so this is a self-contained
+// driver: a xorshift64* PRNG mutates a fixed seed corpus (plus any
+// files in --corpus-dir) and feeds the result to every decoder.  The
+// oracle is threefold:
+//
+//   1. no decoder may escape with anything but vppb::Error — no
+//      crashes, no std::bad_alloc from hostile counts, no UB (run it
+//      under VPPB_SANITIZE=address,undefined to make that bite);
+//   2. whatever salvage returns must pass Trace::validate();
+//   3. salvage is deterministic — decoding the same damaged bytes
+//      twice must yield bit-identical traces and identical reports.
+//
+// Every failure prints the seed and iteration, so a repro is one
+// command: fuzz_decoder --seed S --iterations I.
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "server/protocol.hpp"
+#include "trace/binary.hpp"
+#include "trace/chunked.hpp"
+#include "trace/io.hpp"
+#include "trace/trace.hpp"
+#include "util/error.hpp"
+
+namespace vppb {
+namespace {
+
+std::uint64_t g_rng_state = 1;
+
+std::uint64_t next_rand() {
+  std::uint64_t x = g_rng_state;
+  x ^= x >> 12;
+  x ^= x << 25;
+  x ^= x >> 27;
+  g_rng_state = x;
+  return x * 0x2545f4914f6cdd1dULL;
+}
+
+/// A small but representative trace: two threads, paired calls,
+/// single-op events, an interned name table.
+trace::Trace seed_trace() {
+  trace::Trace t;
+  t.upsert_thread(1).name = t.strings.intern("main");
+  t.upsert_thread(2).name = t.strings.intern("worker");
+  auto rec = [](std::int64_t us, trace::ThreadId tid, trace::Op op,
+                trace::Phase phase) {
+    trace::Record r;
+    r.at = SimTime::micros(us);
+    r.tid = tid;
+    r.op = op;
+    r.phase = phase;
+    return r;
+  };
+  using trace::Op;
+  using trace::Phase;
+  t.records.push_back(rec(10, 1, Op::kThrCreate, Phase::kCall));
+  t.records.push_back(rec(12, 1, Op::kThrCreate, Phase::kReturn));
+  t.records.push_back(rec(15, 2, Op::kUserMark, Phase::kCall));
+  t.records.push_back(rec(20, 1, Op::kThrJoin, Phase::kCall));
+  t.records.push_back(rec(25, 2, Op::kThrExit, Phase::kCall));
+  t.records.push_back(rec(30, 1, Op::kThrJoin, Phase::kReturn));
+  return t;
+}
+
+std::vector<std::uint8_t> mutate(std::vector<std::uint8_t> bytes) {
+  const std::uint64_t ops = 1 + next_rand() % 4;
+  for (std::uint64_t i = 0; i < ops && !bytes.empty(); ++i) {
+    const std::size_t at = next_rand() % bytes.size();
+    switch (next_rand() % 5) {
+      case 0:  // flip one bit
+        bytes[at] ^= static_cast<std::uint8_t>(1u << (next_rand() % 8));
+        break;
+      case 1:  // overwrite with a hostile byte
+        bytes[at] = static_cast<std::uint8_t>(next_rand());
+        break;
+      case 2:  // truncate, as a crash or torn write would
+        bytes.resize(at);
+        break;
+      case 3:  // insert a byte, shifting everything after it
+        bytes.insert(bytes.begin() + static_cast<std::ptrdiff_t>(at),
+                     static_cast<std::uint8_t>(next_rand()));
+        break;
+      case 4:  // drop a byte
+        bytes.erase(bytes.begin() + static_cast<std::ptrdiff_t>(at));
+        break;
+    }
+  }
+  return bytes;
+}
+
+struct Stats {
+  std::uint64_t strict_ok = 0, strict_rejected = 0;
+  std::uint64_t salvage_ok = 0, salvage_rejected = 0;
+  std::uint64_t proto_rejected = 0;
+};
+
+/// Decodes `bytes` as a trace with `loader` strictly and in salvage
+/// mode, enforcing oracles 1–3.  Returns false (after printing a
+/// diagnostic) on an oracle violation.
+template <typename Loader>
+bool check_trace_loader(const char* name, const Loader& loader,
+                        const std::vector<std::uint8_t>& bytes, Stats& stats) {
+  try {
+    loader(bytes, trace::LoadOptions{}, nullptr).validate();
+    ++stats.strict_ok;
+  } catch (const Error&) {
+    ++stats.strict_rejected;
+  }
+  trace::LoadOptions opt;
+  opt.salvage = true;
+  try {
+    trace::LoadReport report;
+    const trace::Trace got = loader(bytes, opt, &report);
+    got.validate();  // oracle 2: a salvaged trace is a valid trace
+    trace::LoadReport report2;
+    const trace::Trace again = loader(bytes, opt, &report2);
+    // Oracle 3: same bytes in, same trace and report out.
+    if (trace::to_binary(got) != trace::to_binary(again) ||
+        report.records_recovered != report2.records_recovered ||
+        report.records_dropped != report2.records_dropped) {
+      std::fprintf(stderr, "FUZZ: %s salvage is nondeterministic\n", name);
+      return false;
+    }
+    ++stats.salvage_ok;
+  } catch (const Error&) {
+    ++stats.salvage_rejected;  // unusable header: fine, it threw cleanly
+  }
+  return true;
+}
+
+bool check_input(const std::vector<std::uint8_t>& bytes, Stats& stats) {
+  bool ok = true;
+  ok &= check_trace_loader(
+      "from_binary",
+      [](const std::vector<std::uint8_t>& b, const trace::LoadOptions& o,
+         trace::LoadReport* r) { return trace::from_binary(b.data(), b.size(), o, r); },
+      bytes, stats);
+  ok &= check_trace_loader(
+      "from_chunked",
+      [](const std::vector<std::uint8_t>& b, const trace::LoadOptions& o,
+         trace::LoadReport* r) { return trace::from_chunked(b.data(), b.size(), o, r); },
+      bytes, stats);
+  ok &= check_trace_loader(
+      "from_text",
+      [](const std::vector<std::uint8_t>& b, const trace::LoadOptions& o,
+         trace::LoadReport* r) {
+        return trace::from_text(std::string(b.begin(), b.end()), o, r);
+      },
+      bytes, stats);
+  ok &= check_trace_loader(
+      "from_any",
+      [](const std::vector<std::uint8_t>& b, const trace::LoadOptions& o,
+         trace::LoadReport* r) { return trace::from_any(b.data(), b.size(), o, r); },
+      bytes, stats);
+  try {
+    (void)server::decode_request(bytes);
+  } catch (const Error&) {
+    ++stats.proto_rejected;
+  }
+  try {
+    (void)server::decode_response(bytes);
+  } catch (const Error&) {
+    ++stats.proto_rejected;
+  }
+  return ok;
+}
+
+int run(std::uint64_t seed, std::uint64_t iterations,
+        const std::string& corpus_dir, const std::string& dump_last) {
+  const trace::Trace t = seed_trace();
+  std::vector<std::vector<std::uint8_t>> seeds;
+  seeds.push_back(trace::to_binary(t));
+  seeds.push_back(trace::to_chunked(t, 2));
+  {
+    const std::string text = trace::to_text(t);
+    seeds.emplace_back(text.begin(), text.end());
+  }
+  {
+    server::Request req;
+    req.type = server::ReqType::kPredict;
+    req.trace_path = "corpus/seed.trace";
+    req.max_cpus = 8;
+    req.deadline_ms = 100;
+    seeds.push_back(server::encode(req));
+  }
+  // Self-check: undamaged seeds must load strictly, or every mutant
+  // would be exercising nothing but the header check.
+  trace::from_binary(seeds[0].data(), seeds[0].size());
+  trace::from_chunked(seeds[1].data(), seeds[1].size());
+
+  if (!corpus_dir.empty()) {
+    for (const auto& entry : std::filesystem::directory_iterator(corpus_dir)) {
+      if (!entry.is_regular_file()) continue;
+      std::ifstream in(entry.path(), std::ios::binary);
+      std::vector<std::uint8_t> bytes(
+          (std::istreambuf_iterator<char>(in)),
+          std::istreambuf_iterator<char>());
+      if (!bytes.empty()) seeds.push_back(std::move(bytes));
+    }
+  }
+
+  g_rng_state = seed ? seed : 1;
+  Stats stats;
+  // The checked-in corpus holds known-nasty inputs: run them unmutated
+  // first, so a regression reproduces even at --iterations 0.
+  for (const auto& s : seeds) {
+    if (!check_input(s, stats)) return 1;
+  }
+  for (std::uint64_t i = 0; i < iterations; ++i) {
+    const std::vector<std::uint8_t> input =
+        mutate(seeds[next_rand() % seeds.size()]);
+    if (!dump_last.empty()) {
+      // A crash kills the process before any report prints; the dump
+      // file then holds the exact input that did it.
+      std::ofstream out(dump_last, std::ios::binary | std::ios::trunc);
+      out.write(reinterpret_cast<const char*>(input.data()),
+                static_cast<std::streamsize>(input.size()));
+    }
+    try {
+      if (!check_input(input, stats)) {
+        std::fprintf(stderr, "FUZZ: failed at --seed %llu iteration %llu\n",
+                     static_cast<unsigned long long>(seed),
+                     static_cast<unsigned long long>(i));
+        return 1;
+      }
+    } catch (const std::exception& e) {
+      std::fprintf(stderr,
+                   "FUZZ: unexpected %s at --seed %llu iteration %llu\n",
+                   e.what(), static_cast<unsigned long long>(seed),
+                   static_cast<unsigned long long>(i));
+      return 1;
+    }
+  }
+  std::printf(
+      "fuzz_decoder: %llu iterations over %zu seeds: "
+      "strict %llu ok / %llu rejected, salvage %llu ok / %llu rejected, "
+      "protocol %llu rejected, 0 crashes\n",
+      static_cast<unsigned long long>(iterations), seeds.size(),
+      static_cast<unsigned long long>(stats.strict_ok),
+      static_cast<unsigned long long>(stats.strict_rejected),
+      static_cast<unsigned long long>(stats.salvage_ok),
+      static_cast<unsigned long long>(stats.salvage_rejected),
+      static_cast<unsigned long long>(stats.proto_rejected));
+  return 0;
+}
+
+}  // namespace
+}  // namespace vppb
+
+int main(int argc, char** argv) {
+  std::uint64_t seed = 1, iterations = 2000;
+  std::string corpus_dir, dump_last;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : "";
+    };
+    if (arg == "--seed") seed = std::strtoull(value(), nullptr, 10);
+    else if (arg == "--iterations") iterations = std::strtoull(value(), nullptr, 10);
+    else if (arg == "--corpus-dir") corpus_dir = value();
+    else if (arg == "--dump-last") dump_last = value();
+    else {
+      std::fprintf(stderr,
+                   "usage: fuzz_decoder [--seed N] [--iterations N] "
+                   "[--corpus-dir DIR] [--dump-last FILE]\n");
+      return 2;
+    }
+  }
+  return vppb::run(seed, iterations, corpus_dir, dump_last);
+}

@@ -17,6 +17,7 @@
 #include <functional>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "core/compiler.hpp"
 #include "core/config.hpp"
@@ -25,6 +26,7 @@
 #include "recorder/recorder.hpp"
 #include "solaris/program.hpp"
 #include "solaris/solaris.hpp"
+#include "trace/binary.hpp"
 #include "workloads/splash.hpp"
 #include "workloads/synthetic.hpp"
 
@@ -169,6 +171,36 @@ TEST(DeterminismTest, RepeatedRecordingIsBitIdentical) {
   const std::uint64_t first =
       digest(simulate(record_compiled(workload), cfg));
   EXPECT_EQ(digest(simulate(record_compiled(workload), cfg)), first);
+}
+
+TEST(DeterminismTest, SalvagedPrefixSimulatesDeterministically) {
+  // Salvage is part of the prediction pipeline: the same damaged log
+  // must always recover the same prefix and simulate to the same
+  // digest, or a crash investigation would chase a moving target.
+  sol::Program program;
+  const trace::Trace t = rec::record_program(program, [] {
+    workloads::fork_join(4, SimTime::millis(2));
+  });
+  std::vector<std::uint8_t> bytes = trace::to_binary(t);
+  bytes.resize(bytes.size() - 9);  // torn tail, as a crash would leave
+
+  trace::LoadOptions opt;
+  opt.salvage = true;
+  SimConfig cfg;
+  cfg.hw.cpus = 4;
+  trace::LoadReport first_report;
+  const trace::Trace first_trace =
+      trace::from_binary(bytes.data(), bytes.size(), opt, &first_report);
+  ASSERT_GT(first_report.records_recovered, 0u);
+  const std::uint64_t first = digest(simulate(compile(first_trace), cfg));
+  for (int i = 0; i < 3; ++i) {
+    trace::LoadReport report;
+    const trace::Trace again =
+        trace::from_binary(bytes.data(), bytes.size(), opt, &report);
+    EXPECT_EQ(report.records_recovered, first_report.records_recovered);
+    EXPECT_EQ(report.records_dropped, first_report.records_dropped);
+    EXPECT_EQ(digest(simulate(compile(again), cfg)), first) << "run " << i;
+  }
 }
 
 }  // namespace

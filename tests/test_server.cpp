@@ -25,6 +25,7 @@
 #include "solaris/solaris.hpp"
 #include "trace/io.hpp"
 #include "util/error.hpp"
+#include "util/fault.hpp"
 #include "util/socket.hpp"
 #include "util/thread_pool.hpp"
 #include "workloads/synthetic.hpp"
@@ -67,6 +68,7 @@ Request full_request() {
   req.max_cpus = 64;
   req.comm_delay_us = 7;
   req.want_svg = true;
+  req.deadline_ms = 250;
   return req;
 }
 
@@ -82,6 +84,34 @@ TEST(ProtocolTest, RequestRoundTrip) {
   EXPECT_EQ(back.max_cpus, req.max_cpus);
   EXPECT_EQ(back.comm_delay_us, req.comm_delay_us);
   EXPECT_EQ(back.want_svg, req.want_svg);
+  EXPECT_EQ(back.deadline_ms, req.deadline_ms);
+}
+
+TEST(ProtocolTest, HealthAndDeadlineFieldsRoundTrip) {
+  Response resp;
+  resp.status = Status::kOk;
+  resp.type = ReqType::kHealth;
+  resp.ready = true;
+  resp.in_flight = 3;
+  resp.admission_limit = 64;
+  resp.stats.deadlines = 7;
+  resp.stats.by_type[static_cast<std::size_t>(ReqType::kHealth)] = 2;
+  const Response back = decode_response(encode(resp));
+  EXPECT_EQ(back.type, ReqType::kHealth);
+  EXPECT_TRUE(back.ready);
+  EXPECT_EQ(back.in_flight, 3u);
+  EXPECT_EQ(back.admission_limit, 64u);
+  EXPECT_EQ(back.stats.deadlines, 7u);
+  EXPECT_EQ(back.stats.by_type[static_cast<std::size_t>(ReqType::kHealth)],
+            2u);
+
+  Response dl;
+  dl.status = Status::kDeadlineExceeded;
+  dl.type = ReqType::kPredict;
+  dl.error = "deadline exceeded during CPU sweep";
+  const Response dlback = decode_response(encode(dl));
+  EXPECT_EQ(dlback.status, Status::kDeadlineExceeded);
+  EXPECT_EQ(dlback.error, dl.error);
 }
 
 TEST(ProtocolTest, ResponseRoundTrip) {
@@ -575,6 +605,270 @@ TEST_F(ServerTest, StopDrainsInFlightRequests) {
   const Response r = c.call(predict_request(trace_file.path(), 4));
   stopper.join();
   EXPECT_EQ(r.status, Status::kOk) << r.error;
+}
+
+// ---- resilience: deadlines, health, retries, fault injection ---------------
+
+TEST_F(ServerTest, DeadlineExceededIsTypedCountedAndNeverRetried) {
+  const trace::Trace t = record_fork_join(3, SimTime::millis(1));
+  TempFile trace_file("dl");
+  trace::save_file(t, trace_file.path());
+
+  // One blocked pool worker: the request sits in the queue well past its
+  // tiny deadline, so the queue-wait checkpoint must fire.
+  util::ThreadPool pool(2);
+  std::mutex gate_mu;
+  std::condition_variable gate_cv;
+  bool gate_open = false;
+  pool.post([&]() {
+    std::unique_lock<std::mutex> lock(gate_mu);
+    gate_cv.wait(lock, [&]() { return gate_open; });
+  });
+
+  TempFile sock("dlsock");
+  ServerOptions so;
+  so.unix_path = sock.path();
+  so.pool = &pool;
+  Server server(so);
+  server.start();
+
+  std::thread opener([&]() {
+    std::this_thread::sleep_for(std::chrono::milliseconds(60));
+    {
+      std::lock_guard<std::mutex> lock(gate_mu);
+      gate_open = true;
+    }
+    gate_cv.notify_all();
+  });
+
+  Client c = Client::connect_unix(sock.path());
+  Request req = predict_request(trace_file.path(), 4);
+  req.deadline_ms = 5;
+  RetryPolicy policy;
+  policy.max_attempts = 5;
+  policy.base_ms = 1;
+  const Response r = c.call_retry(req, policy);
+  opener.join();
+  EXPECT_EQ(r.status, Status::kDeadlineExceeded);
+  EXPECT_NE(r.error.find("deadline"), std::string::npos) << r.error;
+  // The budget is spent: a missed deadline is definitive, never retried.
+  EXPECT_EQ(policy.slept_ms, 0);
+
+  Request stats_req;
+  stats_req.type = ReqType::kStats;
+  const Response stats = c.call(stats_req);
+  ASSERT_EQ(stats.status, Status::kOk);
+  EXPECT_GE(stats.stats.deadlines, 1u);
+  server.stop();
+}
+
+TEST_F(ServerTest, HealthBypassesAdmissionDuringOverload) {
+  // Saturate a 1-slot server with a blocked worker, then prove a
+  // readiness probe still answers — "busy but alive" must be
+  // distinguishable from "dead" without consuming an admission slot.
+  util::ThreadPool pool(2);
+  std::mutex gate_mu;
+  std::condition_variable gate_cv;
+  bool gate_open = false;
+  pool.post([&]() {
+    std::unique_lock<std::mutex> lock(gate_mu);
+    gate_cv.wait(lock, [&]() { return gate_open; });
+  });
+
+  TempFile sock("healthsock");
+  ServerOptions so;
+  so.unix_path = sock.path();
+  so.pool = &pool;
+  so.admission_limit = 1;
+  Server server(so);
+  server.start();
+
+  std::thread blocked_client([&]() {
+    Client c = Client::connect_unix(sock.path());
+    Request req;
+    req.type = ReqType::kStats;
+    const Response r = c.call(req);
+    EXPECT_EQ(r.status, Status::kOk) << r.error;
+  });
+
+  // Wait (via health itself) until the stats request occupies the slot.
+  Client c = Client::connect_unix(sock.path());
+  Request health;
+  health.type = ReqType::kHealth;
+  Response h;
+  for (int spins = 0; spins < 500; ++spins) {
+    h = c.call(health);
+    ASSERT_EQ(h.status, Status::kOk) << h.error;
+    if (h.in_flight >= 1) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_TRUE(h.ready);
+  EXPECT_EQ(h.in_flight, 1u);
+  EXPECT_EQ(h.admission_limit, 1u);
+
+  // Admission is genuinely full: a second stats request is rejected
+  // while health keeps answering on the same connection.
+  Request stats_req;
+  stats_req.type = ReqType::kStats;
+  EXPECT_EQ(c.call(stats_req).status, Status::kOverloaded);
+  EXPECT_EQ(c.call(health).status, Status::kOk);
+
+  {
+    std::lock_guard<std::mutex> lock(gate_mu);
+    gate_open = true;
+  }
+  gate_cv.notify_all();
+  blocked_client.join();
+  server.stop();
+}
+
+TEST_F(ServerTest, ClientRetryRidesOutTransientOverload) {
+  util::ThreadPool pool(2);
+  std::mutex gate_mu;
+  std::condition_variable gate_cv;
+  bool gate_open = false;
+  pool.post([&]() {
+    std::unique_lock<std::mutex> lock(gate_mu);
+    gate_cv.wait(lock, [&]() { return gate_open; });
+  });
+
+  TempFile sock("retrysock");
+  ServerOptions so;
+  so.unix_path = sock.path();
+  so.pool = &pool;
+  so.admission_limit = 1;
+  Server server(so);
+  server.start();
+
+  std::thread occupant([&]() {
+    Client c = Client::connect_unix(sock.path());
+    Request req;
+    req.type = ReqType::kStats;
+    c.call(req);
+  });
+
+  Client probe = Client::connect_unix(sock.path());
+  Request health;
+  health.type = ReqType::kHealth;
+  for (int spins = 0; spins < 500; ++spins) {
+    if (probe.call(health).in_flight >= 1) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+
+  // The overload is transient: the gate opens while the retrying client
+  // is backing off, so call_retry must land a kOk without the caller
+  // ever seeing kOverloaded.
+  std::thread opener([&]() {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    {
+      std::lock_guard<std::mutex> lock(gate_mu);
+      gate_open = true;
+    }
+    gate_cv.notify_all();
+  });
+
+  Client c = Client::connect_unix(sock.path());
+  Request req;
+  req.type = ReqType::kStats;
+  RetryPolicy policy;
+  policy.max_attempts = 50;
+  policy.base_ms = 10;
+  policy.cap_ms = 40;
+  policy.seed = 7;
+  const Response r = c.call_retry(req, policy);
+  opener.join();
+  occupant.join();
+  EXPECT_EQ(r.status, Status::kOk) << r.error;
+  EXPECT_GT(policy.slept_ms, 0) << "the first attempts must have backed off";
+  server.stop();
+}
+
+TEST_F(ServerTest, FaultInjectedClientsGetTypedErrorsAndCleanDigests) {
+  const trace::Trace t = record_fork_join(4, SimTime::millis(2));
+  TempFile trace_file("faultstorm_with_a_long_name_so_flips_hit_the_path");
+  trace::save_file(t, trace_file.path());
+
+  // The offline truth the surviving responses must match bit for bit.
+  const core::CompiledTrace compiled = core::compile(t);
+  std::vector<core::SimResult> offline_results;
+  core::SweepOptions sweep_opt;
+  sweep_opt.jobs = 1;
+  sweep_opt.results = &offline_results;
+  const std::vector<int> counts = {1, 2, 4, 8};
+  core::sweep_cpus(compiled, counts, core::SimConfig{}, sweep_opt);
+  const std::uint64_t offline_digest = core::digest(offline_results);
+
+  // Every failure mode the plan covers: corrupted request frames,
+  // connections dropped mid-stream, stalled responses, and cache loads
+  // dying with ENOMEM/EIO.  Deterministic periods, so this is a proof.
+  util::FaultPlan plan = util::FaultPlan::parse(
+      "corrupt-frame:5,short-read:7:2,delay-ms:9:2:10,"
+      "cache-enomem:6:1,cache-eio:11:1");
+
+  TempFile sock("faultsock");
+  ServerOptions so;
+  so.unix_path = sock.path();
+  so.jobs = 4;
+  so.faults = &plan;
+  Server server(so);
+  server.start();
+
+  constexpr int kClients = 8;
+  constexpr int kCallsEach = 4;
+  std::atomic<int> ok{0}, typed_errors{0}, transport_failures{0};
+  std::atomic<int> wrong_digests{0}, untyped_errors{0};
+  std::vector<std::thread> clients;
+  for (int i = 0; i < kClients; ++i) {
+    clients.emplace_back([&, i]() {
+      Client c = Client::connect_unix(sock.path());
+      for (int call = 0; call < kCallsEach; ++call) {
+        RetryPolicy policy;
+        policy.max_attempts = 4;
+        policy.base_ms = 1;
+        policy.cap_ms = 20;
+        policy.seed = static_cast<std::uint64_t>(i * 100 + call + 1);
+        policy.request_timeout_ms = 5000;
+        try {
+          const Response r =
+              c.call_retry(predict_request(trace_file.path()), policy);
+          if (r.status == Status::kOk) {
+            ++ok;
+            if (r.digest != offline_digest) ++wrong_digests;
+          } else {
+            ++typed_errors;
+            if (r.error.empty()) ++untyped_errors;
+          }
+        } catch (const Error&) {
+          ++transport_failures;  // every retry burned; still no crash
+        }
+      }
+    });
+  }
+  for (auto& th : clients) th.join();
+
+  EXPECT_GT(plan.fired_total(), 0u) << "the plan must actually have fired";
+  EXPECT_GE(ok.load(), kClients) << "most requests must survive the storm";
+  EXPECT_EQ(wrong_digests.load(), 0)
+      << "a fault must never silently corrupt a successful result";
+  EXPECT_EQ(untyped_errors.load(), 0)
+      << "every failed request must carry a typed error message";
+
+  // The daemon survived: a readiness probe answers (allowing for the
+  // still-armed corrupt-frame rule eating some probe frames).
+  Client probe = Client::connect_unix(sock.path());
+  Request health;
+  health.type = ReqType::kHealth;
+  bool healthy = false;
+  for (int attempt = 0; attempt < 6 && !healthy; ++attempt) {
+    try {
+      const Response h = probe.call(health);
+      healthy = h.status == Status::kOk && h.ready;
+    } catch (const Error&) {
+      probe = Client::connect_unix(sock.path());
+    }
+  }
+  EXPECT_TRUE(healthy) << "the daemon must still answer after the storm";
+  server.stop();
 }
 
 }  // namespace

@@ -1,8 +1,12 @@
-// Unit tests for the trace model and its text serialization.
+// Unit tests for the trace model, its text serialization, and the
+// salvaging loaders' behaviour on damaged input.
 #include <gtest/gtest.h>
 
+#include <fstream>
 #include <sstream>
 
+#include "trace/binary.hpp"
+#include "trace/chunked.hpp"
 #include "trace/io.hpp"
 #include "trace/trace.hpp"
 #include "util/error.hpp"
@@ -205,6 +209,169 @@ TEST(TraceTest, LocationString) {
   t.records[1].loc = loc;
   EXPECT_EQ(t.location_string(t.records[1]), "demo.cpp:42");
   EXPECT_EQ(t.location_string(t.records[0]), "");
+}
+
+// ---------------------------------------------------------------------------
+// Damaged-input behaviour: strict loads reject, salvage loads recover the
+// longest valid prefix and say exactly what was lost.
+
+LoadOptions salvage_opt() {
+  LoadOptions opt;
+  opt.salvage = true;
+  return opt;
+}
+
+TEST(TraceSalvage, ZeroByteInputs) {
+  // Binary and chunked decoders need at least a header; even salvage
+  // has nothing to work with.
+  const std::uint8_t none = 0;
+  EXPECT_THROW(from_binary(&none, 0), Error);
+  EXPECT_THROW(from_chunked(&none, 0), Error);
+  LoadReport report;
+  EXPECT_THROW(from_binary(&none, 0, salvage_opt(), &report), Error);
+  EXPECT_THROW(from_chunked(&none, 0, salvage_opt(), &report), Error);
+}
+
+TEST(TraceSalvage, GiantHeaderCountsRejected) {
+  // "VPPB" v1 claiming ~4 billion strings: the claimed count exceeds the
+  // bytes actually present, and must be rejected before any allocation
+  // of that size is attempted.
+  std::vector<std::uint8_t> bad = {'V', 'P', 'P', 'B', 1,
+                                   0xFF, 0xFF, 0xFF, 0xFF, 0x0F};
+  EXPECT_THROW(from_binary(bad.data(), bad.size()), Error);
+  LoadReport report;
+  EXPECT_THROW(from_binary(bad.data(), bad.size(), salvage_opt(), &report),
+               Error);
+}
+
+TEST(TraceSalvage, TruncatedBinaryRecoversPrefix) {
+  const Trace t = example_trace();
+  const std::vector<std::uint8_t> full = to_binary(t);
+  const std::size_t cut = full.size() - 5;
+  EXPECT_THROW(from_binary(full.data(), cut), Error);
+
+  LoadReport report;
+  const Trace back = from_binary(full.data(), cut, salvage_opt(), &report);
+  EXPECT_TRUE(report.salvaged);
+  EXPECT_FALSE(report.issues.empty());
+  EXPECT_LT(back.records.size(), t.records.size());
+  EXPECT_EQ(report.records_recovered, back.records.size());
+  EXPECT_GT(report.records_dropped, 0u);
+  EXPECT_NO_THROW(back.validate());
+  // The recovered prefix is byte-for-byte the original's records.
+  for (std::size_t i = 0; i < back.records.size(); ++i)
+    EXPECT_EQ(back.records[i].at, t.records[i].at) << i;
+}
+
+TEST(TraceSalvage, CorruptedBinaryByteRecoversPrefix) {
+  const Trace t = example_trace();
+  std::vector<std::uint8_t> bytes = to_binary(t);
+  bytes[bytes.size() - 3] ^= 0xFF;  // damage inside the record section
+  LoadReport report;
+  const Trace back =
+      from_binary(bytes.data(), bytes.size(), salvage_opt(), &report);
+  EXPECT_LE(back.records.size(), t.records.size());
+  EXPECT_NO_THROW(back.validate());
+}
+
+TEST(TraceSalvage, ChunkedRoundTripStrict) {
+  const Trace t = example_trace();
+  const std::vector<std::uint8_t> bytes = to_chunked(t, 4);
+  const Trace back = from_chunked(bytes.data(), bytes.size());
+  ASSERT_EQ(back.records.size(), t.records.size());
+  for (std::size_t i = 0; i < t.records.size(); ++i) {
+    EXPECT_EQ(back.records[i].at, t.records[i].at) << i;
+    EXPECT_EQ(back.records[i].op, t.records[i].op) << i;
+  }
+  EXPECT_EQ(back.threads.size(), t.threads.size());
+}
+
+TEST(TraceSalvage, ChunkedBadChecksumDropsTail) {
+  const Trace t = example_trace();
+  std::vector<std::uint8_t> bytes = to_chunked(t, 4);  // several chunks
+  bytes[bytes.size() - 2] ^= 0x01;  // corrupt the last chunk's payload
+  EXPECT_THROW(from_chunked(bytes.data(), bytes.size()), Error);
+
+  LoadReport report;
+  const Trace back =
+      from_chunked(bytes.data(), bytes.size(), salvage_opt(), &report);
+  EXPECT_TRUE(report.salvaged);
+  EXPECT_GE(report.chunks_loaded, 1u);
+  EXPECT_GE(report.chunks_dropped, 1u);
+  EXPECT_LT(back.records.size(), t.records.size());
+  EXPECT_NO_THROW(back.validate());
+}
+
+TEST(TraceSalvage, ChunkedTruncatedMidChunkDropsTail) {
+  const Trace t = example_trace();
+  const std::vector<std::uint8_t> full = to_chunked(t, 4);
+  const std::size_t cut = full.size() - 7;  // inside the last chunk
+  LoadReport report;
+  const Trace back = from_chunked(full.data(), cut, salvage_opt(), &report);
+  EXPECT_TRUE(report.salvaged);
+  EXPECT_LT(back.records.size(), t.records.size());
+  EXPECT_NO_THROW(back.validate());
+}
+
+TEST(TraceSalvage, TextSalvageStopsAtBadLine) {
+  const std::string text =
+      "thread 1 main main 0 0\n"
+      "rec 0 1 C start_collect none 0 0 0 0\n"
+      "rec 5 1 C user_mark mark 0 0 0 0\n"
+      "this line is garbage\n"
+      "rec 9 1 C user_mark mark 0 0 0 0\n";
+  EXPECT_THROW(from_text(text), Error);
+  LoadReport report;
+  const Trace back = from_text(text, salvage_opt(), &report);
+  EXPECT_EQ(back.records.size(), 2u);
+  EXPECT_TRUE(report.salvaged);
+  EXPECT_EQ(report.records_dropped, 1u);  // the rec after the bad line
+}
+
+TEST(TraceSalvage, OpenCallTrimmed) {
+  // A log that dies inside thr_join: salvage trims back to the last
+  // point with no call in flight so the compiler accepts the result.
+  const std::string text =
+      "thread 1 main main 0 0\n"
+      "rec 0 1 C start_collect none 0 0 0 0\n"
+      "rec 5 1 C user_mark mark 0 0 0 0\n"
+      "rec 9 1 C thr_join thread 1 0 0 0\n";
+  LoadReport report;
+  const Trace back = from_text(text, salvage_opt(), &report);
+  EXPECT_EQ(back.records.size(), 2u);
+  bool saw_trim = false;
+  for (const auto& issue : report.issues)
+    saw_trim |= issue.kind == IssueKind::kOpenCallTrimmed;
+  EXPECT_TRUE(saw_trim);
+}
+
+TEST(TraceSalvage, LoadAnyFileSniffsAllFormats) {
+  const Trace t = example_trace();
+  const std::string dir = testing::TempDir();
+  const std::string text_path = dir + "/sniff_text.log";
+  const std::string bin_path = dir + "/sniff_bin.log";
+  const std::string chunk_path = dir + "/sniff_chunk.log";
+  save_file(t, text_path);
+  save_binary_file(t, bin_path);
+  {
+    const std::vector<std::uint8_t> bytes = to_chunked(t);
+    std::ofstream(chunk_path, std::ios::binary)
+        .write(reinterpret_cast<const char*>(bytes.data()),
+               static_cast<std::streamsize>(bytes.size()));
+  }
+  for (const auto& p : {text_path, bin_path, chunk_path}) {
+    const Trace back = load_any_file(p);
+    EXPECT_EQ(back.records.size(), t.records.size()) << p;
+  }
+}
+
+TEST(TraceSalvage, ReportSummaryMentionsCounts) {
+  const Trace t = example_trace();
+  const std::vector<std::uint8_t> full = to_binary(t);
+  LoadReport report;
+  (void)from_binary(full.data(), full.size() - 5, salvage_opt(), &report);
+  const std::string s = report.summary();
+  EXPECT_NE(s.find("recovered"), std::string::npos) << s;
 }
 
 }  // namespace

@@ -26,7 +26,9 @@
 #include "solaris/program.hpp"
 #include "trace/binary.hpp"
 #include "trace/io.hpp"
+#include "util/atomic_file.hpp"
 #include "util/error.hpp"
+#include "util/fault.hpp"
 #include "util/flags.hpp"
 #include "util/strings.hpp"
 #include "util/thread_pool.hpp"
@@ -46,8 +48,11 @@ int usage() {
       stderr,
       "usage: vppb <command> [args]\n"
       "  gen <workload> [--threads N] [--scale S] [--out F] [--binary]\n"
+      "      [--crash-safe] [--chunk-records N]\n"
       "      workloads: ocean water fft radix lu prodcons-naive\n"
       "                 prodcons-tuned forkjoin pipeline\n"
+      "      --crash-safe streams a chunked log to <out> as the workload\n"
+      "      runs; a crash mid-run leaves every sealed chunk recoverable\n"
       "  info <trace>\n"
       "  predict <trace> [--max-cpus N] [--lwps N] [--comm-delay-us D]\n"
       "          [--jobs N]   (0 = all hardware threads)\n"
@@ -57,9 +62,12 @@ int usage() {
       "  convert <in> <out>   (binary iff <out> ends in .bin)\n"
       "  serve [--socket PATH | --port N] [--jobs N] [--admission N]\n"
       "        [--cache-entries N] [--cache-mb N]\n"
-      "  request <predict|simulate|analyze|stats> [trace]\n"
-      "          [--socket PATH | --port N] + the predict/simulate/analyze\n"
-      "          flags above; --svg F saves the simulate render\n"
+      "  request <predict|simulate|analyze|stats|health> [trace]\n"
+      "          [--socket PATH | --port N] [--deadline-ms N]\n"
+      "          [--timeout-ms N] [--retries N] + the predict/simulate/\n"
+      "          analyze flags above; --svg F saves the simulate render\n"
+      "  info/predict/simulate/analyze/convert accept --salvage: load the\n"
+      "  longest valid prefix of a damaged trace instead of failing\n"
       "  workload names must be exact or a unique prefix of >= 4 chars\n");
   return 2;
 }
@@ -138,27 +146,53 @@ std::function<void()> workload_by_name(const std::string& given, int threads,
   throw Error("unknown workload '" + name + "'");
 }
 
+/// Loads a trace honoring --salvage: in salvage mode a damaged file
+/// yields its longest valid prefix, with the recovery report on stderr.
+trace::Trace load_trace(Flags& flags, const std::string& path) {
+  if (!flags.boolean("salvage")) return trace::load_any_file(path);
+  trace::LoadOptions opt;
+  opt.salvage = true;
+  trace::LoadReport report;
+  trace::Trace t = trace::load_any_file(path, opt, &report);
+  // summary() already lists each issue with its byte offset.
+  std::fprintf(stderr, "vppb: salvage: %s\n", report.summary().c_str());
+  return t;
+}
+
 int cmd_gen(Flags& flags) {
   if (flags.positional().size() < 2) return usage();
   const int threads = static_cast<int>(flags.i64("threads"));
   const auto body =
       workload_by_name(flags.positional()[1], threads, flags.dbl("scale"));
   sol::Program program;
-  const trace::Trace t = rec::record_program(program, body);
   const std::string out = flags.str("out");
-  if (flags.boolean("binary")) {
-    trace::save_binary_file(t, out);
-  } else {
-    trace::save_file(t, out);
+  rec::Recorder::Options ropts;
+  if (flags.boolean("crash-safe")) {
+    // The chunked live log IS the output: it is complete by the time
+    // record_program returns, and it would have been (up to the last
+    // unsealed chunk) even if the workload had died mid-run.
+    ropts.live_log_path = out;
+    ropts.live_chunk_records =
+        static_cast<std::size_t>(flags.i64("chunk-records"));
+    ropts.install_crash_handlers = true;
   }
-  std::printf("recorded %zu events over %s -> %s\n", t.records.size(),
-              t.duration().to_string().c_str(), out.c_str());
+  const trace::Trace t = rec::record_program(program, body, ropts);
+  if (!flags.boolean("crash-safe")) {
+    if (flags.boolean("binary")) {
+      trace::save_binary_file(t, out);
+    } else {
+      trace::save_file(t, out);
+    }
+  }
+  std::printf("recorded %zu events over %s -> %s%s\n", t.records.size(),
+              t.duration().to_string().c_str(), out.c_str(),
+              flags.boolean("crash-safe") ? " (crash-safe chunked log)" : "");
   return 0;
 }
 
 int cmd_info(Flags& flags) {
   if (flags.positional().size() < 2) return usage();
-  const trace::Trace t = trace::load_any_file(flags.positional()[1]);
+  const trace::Trace t = load_trace(flags, flags.positional()[1]);
   const trace::TraceStats stats = trace::compute_stats(t);
   std::printf("trace: %s\n", flags.positional()[1].c_str());
   std::printf("  records:    %zu (%zu threads)\n", stats.records,
@@ -183,7 +217,7 @@ int cmd_info(Flags& flags) {
 
 int cmd_predict(Flags& flags) {
   if (flags.positional().size() < 2) return usage();
-  const trace::Trace t = trace::load_any_file(flags.positional()[1]);
+  const trace::Trace t = load_trace(flags, flags.positional()[1]);
   const core::CompiledTrace compiled = core::compile(t);
   core::SimConfig base;
   base.sched.lwps = static_cast<int>(flags.i64("lwps"));
@@ -214,7 +248,7 @@ int cmd_predict(Flags& flags) {
 
 int cmd_simulate(Flags& flags) {
   if (flags.positional().size() < 2) return usage();
-  const trace::Trace t = trace::load_any_file(flags.positional()[1]);
+  const trace::Trace t = load_trace(flags, flags.positional()[1]);
   core::SimConfig cfg;
   cfg.hw.cpus = static_cast<int>(flags.i64("cpus"));
   cfg.sched.lwps = static_cast<int>(flags.i64("lwps"));
@@ -238,7 +272,8 @@ int cmd_simulate(Flags& flags) {
   }
   std::printf("\nLWPs used: %zu\n", r.lwp_stats.size());
   if (!flags.str("svg").empty()) {
-    std::ofstream(flags.str("svg")) << viz::render_svg(v, viz::RenderOptions{});
+    util::atomic_write_file(flags.str("svg"),
+                            viz::render_svg(v, viz::RenderOptions{}));
     std::printf("wrote %s\n", flags.str("svg").c_str());
   }
   return 0;
@@ -246,7 +281,7 @@ int cmd_simulate(Flags& flags) {
 
 int cmd_analyze(Flags& flags) {
   if (flags.positional().size() < 2) return usage();
-  const trace::Trace t = trace::load_any_file(flags.positional()[1]);
+  const trace::Trace t = load_trace(flags, flags.positional()[1]);
   core::SimConfig cfg;
   cfg.hw.cpus = static_cast<int>(flags.i64("cpus"));
   const core::SimResult r = core::simulate(t, cfg);
@@ -321,6 +356,9 @@ int cmd_serve(Flags& flags) {
               util::ThreadPool::resolve_jobs(opt.jobs), opt.admission_limit,
               opt.cache_entries,
               static_cast<long long>(opt.cache_bytes >> 20));
+  if (util::FaultPlan::global().armed())
+    std::printf("vppbd: FAULT INJECTION ARMED: %s\n",
+                util::FaultPlan::global().summary().c_str());
   std::fflush(stdout);
 
   int sig = 0;
@@ -354,11 +392,14 @@ int cmd_request(Flags& flags) {
     req.type = server::ReqType::kAnalyze;
   } else if (what == "stats") {
     req.type = server::ReqType::kStats;
+  } else if (what == "health") {
+    req.type = server::ReqType::kHealth;
   } else {
     throw Error("unknown request type '" + what +
-                "' (predict simulate analyze stats)");
+                "' (predict simulate analyze stats health)");
   }
-  if (req.type != server::ReqType::kStats) {
+  if (req.type != server::ReqType::kStats &&
+      req.type != server::ReqType::kHealth) {
     if (flags.positional().size() < 3) return usage();
     // The daemon resolves paths in its own working directory; send an
     // absolute path so the client's idea of the trace wins.
@@ -370,12 +411,20 @@ int cmd_request(Flags& flags) {
   req.max_cpus = static_cast<int>(flags.i64("max-cpus"));
   req.comm_delay_us = flags.i64("comm-delay-us");
   req.want_svg = !flags.str("svg").empty();
+  req.deadline_ms = flags.i64("deadline-ms");
 
   server::Client client = connect_client(flags);
-  const server::Response r = client.call(req);
+  server::RetryPolicy policy;
+  policy.max_attempts = static_cast<int>(flags.i64("retries")) + 1;
+  policy.request_timeout_ms = static_cast<int>(flags.i64("timeout-ms"));
+  const server::Response r = client.call_retry(req, policy);
   if (r.status == server::Status::kOverloaded) {
     std::fprintf(stderr, "vppb: %s\n", r.error.c_str());
     return 3;
+  }
+  if (r.status == server::Status::kDeadlineExceeded) {
+    std::fprintf(stderr, "vppb: %s\n", r.error.c_str());
+    return 4;
   }
   if (r.status == server::Status::kError) {
     std::fprintf(stderr, "vppb: server error: %s\n", r.error.c_str());
@@ -404,7 +453,7 @@ int cmd_request(Flags& flags) {
                   r.speedup, static_cast<unsigned long long>(r.events),
                   static_cast<unsigned long long>(r.digest));
       if (!flags.str("svg").empty()) {
-        std::ofstream(flags.str("svg")) << r.svg;
+        util::atomic_write_file(flags.str("svg"), r.svg);
         std::printf("wrote %s\n", flags.str("svg").c_str());
       }
       break;
@@ -422,8 +471,9 @@ int cmd_request(Flags& flags) {
       table.header({"counter", "value"});
       table.row({"requests", strprintf("%llu",
                  static_cast<unsigned long long>(s.requests))});
-      const char* names[] = {"predict", "simulate", "analyze", "stats"};
-      for (int i = 0; i < 4; ++i) {
+      const char* names[] = {"predict", "simulate", "analyze", "stats",
+                             "health"};
+      for (std::size_t i = 0; i < server::kReqTypeCount; ++i) {
         table.row({strprintf("  %s", names[i]),
                    strprintf("%llu",
                              static_cast<unsigned long long>(s.by_type[i]))});
@@ -432,6 +482,8 @@ int cmd_request(Flags& flags) {
                  static_cast<unsigned long long>(s.errors))});
       table.row({"overloads", strprintf("%llu",
                  static_cast<unsigned long long>(s.overloads))});
+      table.row({"deadline misses", strprintf("%llu",
+                 static_cast<unsigned long long>(s.deadlines))});
       table.row({"cache hits", strprintf("%llu",
                  static_cast<unsigned long long>(s.cache_hits))});
       table.row({"cache misses", strprintf("%llu",
@@ -455,13 +507,28 @@ int cmd_request(Flags& flags) {
                     static_cast<unsigned long long>(s.latency_count));
       break;
     }
+    case server::ReqType::kHealth:
+      std::printf("ready:           %s\n", r.ready ? "yes" : "no");
+      std::printf("in flight:       %llu / %llu\n",
+                  static_cast<unsigned long long>(r.in_flight),
+                  static_cast<unsigned long long>(r.admission_limit));
+      std::printf("requests served: %llu (%llu errors, %llu overloads, "
+                  "%llu deadline misses)\n",
+                  static_cast<unsigned long long>(r.stats.requests),
+                  static_cast<unsigned long long>(r.stats.errors),
+                  static_cast<unsigned long long>(r.stats.overloads),
+                  static_cast<unsigned long long>(r.stats.deadlines));
+      std::printf("cache:           %llu entries, %llu bytes\n",
+                  static_cast<unsigned long long>(r.stats.cache_entries),
+                  static_cast<unsigned long long>(r.stats.cache_bytes));
+      break;
   }
   return 0;
 }
 
 int cmd_convert(Flags& flags) {
   if (flags.positional().size() < 3) return usage();
-  const trace::Trace t = trace::load_any_file(flags.positional()[1]);
+  const trace::Trace t = load_trace(flags, flags.positional()[1]);
   const std::string& out = flags.positional()[2];
   if (ends_with(out, ".bin")) {
     trace::save_binary_file(t, out);
@@ -493,6 +560,19 @@ int main(int argc, char** argv) {
                    "threads, 1 = serial)");
   flags.define_string("socket", "", "serve/request: unix socket path");
   flags.define_i64("port", 0, "serve/request: loopback TCP port");
+  flags.define_bool("salvage", false,
+                    "load the longest valid prefix of a damaged trace");
+  flags.define_bool("crash-safe", false,
+                    "gen: stream a chunked crash-safe log instead of "
+                    "writing at exit");
+  flags.define_i64("chunk-records", 1024,
+                   "gen --crash-safe: records per sealed chunk");
+  flags.define_i64("deadline-ms", 0,
+                   "request: server-side deadline (0 = none)");
+  flags.define_i64("timeout-ms", 0,
+                   "request: client receive timeout (0 = wait forever)");
+  flags.define_i64("retries", 0,
+                   "request: retries on overload/transport failure");
   flags.define_i64("admission", 64,
                    "serve: max in-flight requests before overload");
   flags.define_i64("cache-entries", 16, "serve: compiled-trace cache slots");
