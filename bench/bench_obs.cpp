@@ -1,0 +1,171 @@
+// Observability-overhead benchmark: what does the instrumentation cost
+// when tracing is DISABLED (the default, and the case that must stay
+// near-free), and what does it cost enabled?
+//
+// Measures engine steps/sec over the same scheduler-heavy FFT trace as
+// bench_engine_steps, alternating tracer-off and tracer-on measurement
+// blocks so drift (thermal, cache, scheduler) hits both sides equally.
+// Writes BENCH_obs.json and exits non-zero when the disabled-tracing
+// overhead exceeds --max-overhead-pct (default 3%), which is what makes
+// `ctest -C bench -L bench` a regression gate for the obs layer.
+//
+//   build/bench/bench_obs [--threads 64] [--scale 0.2] [--cpus 8]
+//       [--min-ms 300] [--blocks 4] [--max-overhead-pct 3]
+//       [--out BENCH_obs.json]
+//
+// The uninstrumented engine no longer exists as a baseline, so the
+// gate compares this build against itself: steps/sec with the tracer
+// OFF vs. ON.  The disabled path runs a strict subset of the enabled
+// path's work (the same sites, minus recording), so bounding the
+// fully-enabled overhead below --max-overhead-pct bounds the
+// disabled-path overhead too.  Noise discipline: the blocks are
+// interleaved and the gate takes the LOWER of two overhead estimates —
+// best-block-vs-best-block (preemption only ever subtracts throughput,
+// so each mode's best block estimates the clean machine) and the
+// median of adjacent-pair ratios (slow drift cancels within a pair).
+// Shared-machine noise rarely skews both statistics the same way; a
+// real regression (a span allocating or locking per step) moves both.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "obs/span.hpp"
+#include "recorder/recorder.hpp"
+#include "solaris/program.hpp"
+#include "util/flags.hpp"
+#include "workloads/splash.hpp"
+
+namespace {
+
+using namespace vppb;
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+/// Repeats the simulation until `min_s` elapsed; returns steps/sec.
+double measure(const core::CompiledTrace& compiled,
+               const core::SimConfig& cfg, std::size_t steps_per_run,
+               double min_s) {
+  int runs = 0;
+  const Clock::time_point t0 = Clock::now();
+  double elapsed = 0.0;
+  do {
+    (void)core::simulate(compiled, cfg);
+    ++runs;
+    elapsed = seconds_since(t0);
+  } while (elapsed < min_s);
+  return static_cast<double>(steps_per_run) * runs / elapsed;
+}
+
+double median(std::vector<double> xs) {
+  std::sort(xs.begin(), xs.end());
+  const std::size_t n = xs.size();
+  return n % 2 == 1 ? xs[n / 2] : 0.5 * (xs[n / 2 - 1] + xs[n / 2]);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags;
+  flags.define_i64("threads", 64, "worker threads of the SPLASH-like trace");
+  flags.define_double("scale", 0.2, "problem scale of the trace");
+  flags.define_i64("cpus", 8, "simulated CPU count");
+  flags.define_i64("min-ms", 150, "minimum wall time per measurement block");
+  flags.define_i64("blocks", 9, "off/on measurement pairs (interleaved)");
+  flags.define_double("max-overhead-pct", 3.0,
+                      "gate: median tracing-enabled overhead (an upper "
+                      "bound on the disabled path's cost)");
+  flags.define_string("out", "BENCH_obs.json", "JSON output file");
+  flags.parse(argc, argv);
+
+  const int threads = static_cast<int>(flags.i64("threads"));
+  const double scale = flags.dbl("scale");
+  const double min_s = static_cast<double>(flags.i64("min-ms")) / 1e3;
+  const int blocks = std::max(2, static_cast<int>(flags.i64("blocks")));
+  const double max_overhead_pct = flags.dbl("max-overhead-pct");
+
+  sol::Program program;
+  const trace::Trace t = rec::record_program(program, [&]() {
+    workloads::fft(workloads::SplashParams{threads, scale});
+  });
+  const core::CompiledTrace compiled = core::compile(t);
+  std::size_t steps_per_run = 0;
+  for (const auto& [tid, ct] : compiled.threads)
+    steps_per_run += ct.steps.size();
+
+  core::SimConfig cfg;
+  cfg.hw.cpus = static_cast<int>(flags.i64("cpus"));
+  cfg.build_timeline = false;
+
+  obs::Tracer& tracer = obs::Tracer::global();
+  std::vector<double> off_sps, on_sps;
+  // Warm-up block (discarded): fills the allocator and code caches.
+  tracer.disable();
+  (void)measure(compiled, cfg, steps_per_run, min_s / 2);
+  for (int b = 0; b < blocks; ++b) {
+    tracer.disable();
+    off_sps.push_back(measure(compiled, cfg, steps_per_run, min_s));
+    tracer.clear();  // bounded rings, but keep the export path honest
+    tracer.enable();
+    on_sps.push_back(measure(compiled, cfg, steps_per_run, min_s));
+  }
+  tracer.disable();
+  tracer.clear();
+
+  const double off_med = median(off_sps);
+  const double on_med = median(on_sps);
+  // The gate: full tracing must cost less than the budget, which
+  // bounds the disabled path (a strict subset of the enabled work).
+  // Two overhead estimates, lower wins (see the file comment).
+  const double off_best = *std::max_element(off_sps.begin(), off_sps.end());
+  const double on_best = *std::max_element(on_sps.begin(), on_sps.end());
+  const double best_overhead_pct = 100.0 * (off_best / on_best - 1.0);
+  std::vector<double> pair_ratios;
+  for (int b = 0; b < blocks; ++b)
+    pair_ratios.push_back(off_sps[static_cast<std::size_t>(b)] /
+                          on_sps[static_cast<std::size_t>(b)]);
+  const double paired_overhead_pct = 100.0 * (median(pair_ratios) - 1.0);
+  const double enabled_overhead_pct =
+      std::min(best_overhead_pct, paired_overhead_pct);
+
+  std::ofstream out(flags.str("out"));
+  out << "{\n"
+      << "  \"trace\": \"fft\",\n"
+      << "  \"trace_threads\": " << threads << ",\n"
+      << "  \"trace_scale\": " << scale << ",\n"
+      << "  \"steps_per_run\": " << steps_per_run << ",\n"
+      << "  \"sim_cpus\": " << cfg.hw.cpus << ",\n"
+      << "  \"blocks\": " << blocks << ",\n"
+      << "  \"steps_per_sec_tracing_off_best\": "
+      << static_cast<std::int64_t>(off_best) << ",\n"
+      << "  \"steps_per_sec_tracing_on_best\": "
+      << static_cast<std::int64_t>(on_best) << ",\n"
+      << "  \"steps_per_sec_tracing_off_median\": "
+      << static_cast<std::int64_t>(off_med) << ",\n"
+      << "  \"steps_per_sec_tracing_on_median\": "
+      << static_cast<std::int64_t>(on_med) << ",\n"
+      << "  \"enabled_overhead_pct\": " << enabled_overhead_pct << ",\n"
+      << "  \"max_overhead_pct\": " << max_overhead_pct << "\n"
+      << "}\n";
+  std::printf(
+      "obs: tracing off %.0f steps/sec, on %.0f steps/sec (best of %d "
+      "blocks)\n"
+      "     enabled overhead %.2f%% (gate %.1f%%; disabled is a strict "
+      "subset)\n"
+      "wrote %s\n",
+      off_best, on_best, blocks, enabled_overhead_pct, max_overhead_pct,
+      flags.str("out").c_str());
+
+  if (enabled_overhead_pct > max_overhead_pct) {
+    std::fprintf(stderr,
+                 "bench_obs: FAIL: tracing overhead %.2f%% exceeds %.1f%%\n",
+                 enabled_overhead_pct, max_overhead_pct);
+    return 1;
+  }
+  return 0;
+}

@@ -1,12 +1,15 @@
 #include "core/engine.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <queue>
 #include <sstream>
 #include <vector>
 
 #include "core/dispq.hpp"
 #include "core/objects.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "util/error.hpp"
 
 namespace vppb::core {
@@ -252,6 +255,12 @@ class Engine {
   std::vector<Th*> phase_scratch_;
   std::vector<Lwp*> disp_scratch_;
   std::vector<std::uint32_t> mutex_scratch_;
+
+  /// Self-observation: plain (non-atomic) increments on the hot paths,
+  /// published into result_.engine once at the end of run().  Keeping
+  /// them out of the registry until then is what keeps the
+  /// instrumented engine within the < 3% overhead budget.
+  EngineCounters ec_;
 
   SimResult result_;
 };
@@ -553,7 +562,9 @@ void Engine::place(Lwp& lwp, int cpu) {
   ++result_.cpu_stats[static_cast<std::size_t>(cpu)].dispatches;
   ++lwp.dispatches;
 
+  ++ec_.dispatches;
   const bool migrated = t.last_cpu != -1 && t.last_cpu != cpu;
+  if (migrated) ++ec_.migrations;
   set_state(t, Th::St::kRunning);
   t.seg_cpu = cpu;
   if (migrated) t.remaining += cfg_.hw.migration_penalty;
@@ -607,6 +618,9 @@ void Engine::dispatch_lwps() {
   }
   unplaced_.resize(keep);
   if (disp_scratch_.empty()) return;
+  ++ec_.sched_passes;
+  ec_.max_runq_depth =
+      std::max<std::uint64_t>(ec_.max_runq_depth, disp_scratch_.size());
 
   // With a handful of waiters (the overwhelmingly common case: at most
   // a few more runnable LWPs than CPUs), direct linear selection beats
@@ -675,6 +689,7 @@ void Engine::dispatch_linear() {
     if (victim_cpu < 0) break;
     Lwp& victim = lwps_[static_cast<std::size_t>(
         cpu_lwp_[static_cast<std::size_t>(victim_cpu)])];
+    ++ec_.preemptions;
     unplace(victim);
     place(*take(ci), victim_cpu);
   }
@@ -787,6 +802,7 @@ void Engine::dispatch_queued() {
     }
     Lwp& victim = lwps_[static_cast<std::size_t>(
         cpu_lwp_[static_cast<std::size_t>(victim_cpu)])];
+    ++ec_.preemptions;
     unplace(victim);
     place(*contender.lwp, victim_cpu);
   }
@@ -901,6 +917,7 @@ bool Engine::process_due_now() {
     for (const int idx : due_scratch_) {
       Th& t = threads_[static_cast<std::size_t>(idx)];
       if (t.st != Th::St::kSleeping || t.wake_at > now_) continue;
+      ++ec_.timer_wakeups;
       if (t.wait == Th::Wait::kIoSleep) {
         t.wait = Th::Wait::kNone;
         set_state(t, Th::St::kReady);
@@ -979,6 +996,7 @@ bool Engine::process_due_now() {
 }
 
 void Engine::apply_op(Th& t) {
+  ++ec_.steps;
   const Step& s = t.current_step();
 
   // Open the event entry shown by the Visualizer.
@@ -1674,42 +1692,80 @@ void Engine::replay_deadlock() {
   throw Error(os.str());
 }
 
+/// Registry handles for per-run engine totals, registered once.  The
+/// engine flushes its plain counters here a single time per run — the
+/// hot loop never touches an atomic.
+struct EngineMetrics {
+  obs::Counter& sims;
+  obs::Counter& steps;
+  obs::Counter& dispatches;
+  obs::Counter& migrations;
+  obs::Counter& preemptions;
+
+  static EngineMetrics& get() {
+    auto& reg = obs::Registry::global();
+    static EngineMetrics m{
+        reg.counter("vppb_engine_sims_total", "Completed simulation runs"),
+        reg.counter("vppb_engine_steps_total",
+                    "Trace operations applied across all runs"),
+        reg.counter("vppb_engine_dispatches_total",
+                    "LWP placements onto CPUs (context switches)"),
+        reg.counter("vppb_engine_migrations_total",
+                    "Placements onto a different CPU than last time"),
+        reg.counter("vppb_engine_preemptions_total",
+                    "Running LWPs evicted by a higher-priority waiter"),
+    };
+    return m;
+  }
+};
+
 SimResult Engine::run() {
+  obs::Span run_span("engine.run", "engine");
+  run_span.arg("cpus", cfg_.hw.cpus);
+  const auto wall0 = std::chrono::steady_clock::now();
   VPPB_CHECK_MSG(cfg_.hw.cpus >= 1, "need at least one CPU");
   VPPB_CHECK_MSG(cfg_.sched.lwps >= 0, "negative LWP count");
 
-  unbound_pool_size_ = cfg_.sched.lwps > 0
-                           ? cfg_.sched.lwps
-                           : static_cast<int>(compiled_.threads.size());
-  cpu_running_.assign(static_cast<std::size_t>(cfg_.hw.cpus), ult::kNoThread);
-  cpu_lwp_.assign(static_cast<std::size_t>(cfg_.hw.cpus), -1);
-  idle_cpus_ = cfg_.hw.cpus;
-  result_.cpu_stats.resize(static_cast<std::size_t>(cfg_.hw.cpus));
-  for (int c = 0; c < cfg_.hw.cpus; ++c)
-    result_.cpu_stats[static_cast<std::size_t>(c)].cpu = c;
+  {
+    obs::Span init_span("engine.init", "engine");
+    unbound_pool_size_ = cfg_.sched.lwps > 0
+                             ? cfg_.sched.lwps
+                             : static_cast<int>(compiled_.threads.size());
+    cpu_running_.assign(static_cast<std::size_t>(cfg_.hw.cpus),
+                        ult::kNoThread);
+    cpu_lwp_.assign(static_cast<std::size_t>(cfg_.hw.cpus), -1);
+    idle_cpus_ = cfg_.hw.cpus;
+    result_.cpu_stats.resize(static_cast<std::size_t>(cfg_.hw.cpus));
+    for (int c = 0; c < cfg_.hw.cpus; ++c)
+      result_.cpu_stats[static_cast<std::size_t>(c)].cpu = c;
 
-  init_threads();
+    init_threads();
+  }
 
-  for (;;) {
-    bool changed = true;
-    while (changed) {
-      assign();
-      changed = process_due_now();
-    }
-
-    const SimTime next = next_event_time();
-    if (next == SimTime::max()) {
-      bool all_done = true;
-      for (const Th& t : threads_) {
-        if (t.st != Th::St::kDone) all_done = false;
+  {
+    obs::Span replay_span("engine.replay", "engine");
+    for (;;) {
+      bool changed = true;
+      while (changed) {
+        assign();
+        changed = process_due_now();
       }
-      if (all_done) break;
-      replay_deadlock();
+
+      const SimTime next = next_event_time();
+      if (next == SimTime::max()) {
+        bool all_done = true;
+        for (const Th& t : threads_) {
+          if (t.st != Th::St::kDone) all_done = false;
+        }
+        if (all_done) break;
+        replay_deadlock();
+      }
+      advance_to(next);
     }
-    advance_to(next);
   }
 
   // Finalize.
+  obs::Span finalize_span("engine.finalize", "engine");
   result_.total = now_;
   result_.recorded_duration = compiled_.recorded_duration;
   result_.speedup = result_.total.is_zero()
@@ -1738,6 +1794,26 @@ SimResult Engine::run() {
               if (a.start != b.start) return a.start < b.start;
               return a.tid < b.tid;
             });
+
+  // Publish the self-observation: deterministic counters plus host
+  // timing (the latter varies run to run, which is why none of
+  // result_.engine is digested).
+  ec_.wall_seconds =
+      std::chrono::duration_cast<std::chrono::duration<double>>(
+          std::chrono::steady_clock::now() - wall0)
+          .count();
+  ec_.steps_per_sec = ec_.wall_seconds > 0.0
+                          ? static_cast<double>(ec_.steps) / ec_.wall_seconds
+                          : 0.0;
+  result_.engine = ec_;
+  EngineMetrics& em = EngineMetrics::get();
+  em.sims.inc();
+  em.steps.inc(ec_.steps);
+  em.dispatches.inc(ec_.dispatches);
+  em.migrations.inc(ec_.migrations);
+  em.preemptions.inc(ec_.preemptions);
+  run_span.arg("steps", static_cast<std::int64_t>(ec_.steps));
+
   return std::move(result_);
 }
 

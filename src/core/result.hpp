@@ -84,12 +84,30 @@ struct LwpStats {
   int final_ts_level = 0;  ///< TS level at the end of the run
 };
 
+/// Self-observation of one simulation run: scheduler activity counters
+/// plus host-side timing.  The counters are deterministic (identical
+/// for identical inputs); the wall-clock fields are not, so none of
+/// this participates in digest() — adding it cannot disturb the pinned
+/// regression digests.
+struct EngineCounters {
+  std::uint64_t steps = 0;             ///< trace operations applied
+  std::uint64_t dispatches = 0;        ///< LWP→CPU placements (context switches)
+  std::uint64_t migrations = 0;        ///< placements onto a different CPU
+  std::uint64_t preemptions = 0;       ///< running LWPs evicted by priority
+  std::uint64_t timer_wakeups = 0;     ///< sleep/timeout expirations processed
+  std::uint64_t sched_passes = 0;      ///< dispatch sweeps over the ready queues
+  std::uint64_t max_runq_depth = 0;    ///< most LWPs ever waiting for a CPU
+  double wall_seconds = 0.0;           ///< host time inside Engine::run
+  double steps_per_sec = 0.0;          ///< steps / wall_seconds (0 if instant)
+};
+
 struct SimResult {
   SimTime total;              ///< predicted execution time
   SimTime recorded_duration;  ///< the monitored uni-processor time
   double speedup = 0.0;       ///< recorded_duration / total
   int cpus = 1;
   int lwps = 1;
+  EngineCounters engine;      ///< self-observation; excluded from digest()
 
   std::vector<Segment> segments;  ///< time-ordered per emission
   std::vector<SimEvent> events;   ///< time-ordered

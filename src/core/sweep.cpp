@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/engine.hpp"
+#include "obs/span.hpp"
 #include "util/error.hpp"
 #include "util/thread_pool.hpp"
 
@@ -83,6 +84,8 @@ SpeedupCurve sweep_cpus(const CompiledTrace& compiled,
                         std::span<const int> cpu_counts,
                         const SimConfig& base, const SweepOptions& options) {
   VPPB_CHECK_MSG(!cpu_counts.empty(), "empty CPU sweep");
+  obs::Span sweep_span("core.sweep", "engine");
+  sweep_span.arg("points", static_cast<std::int64_t>(cpu_counts.size()));
   const std::size_t n = cpu_counts.size();
   std::vector<SweepPoint> points(n);
   if (options.results != nullptr) {
@@ -96,6 +99,8 @@ SpeedupCurve sweep_cpus(const CompiledTrace& compiled,
   // output deterministic whatever order the pool finishes in.
   auto run_point = [&](std::size_t i) {
     const int cpus = cpu_counts[i];
+    obs::Span point_span("sweep.point", "engine");
+    point_span.arg("cpus", cpus);
     SimConfig cfg = base;
     cfg.hw.cpus = cpus;
     if (!options.honor_build_timeline) cfg.build_timeline = false;

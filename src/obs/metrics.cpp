@@ -1,0 +1,165 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cinttypes>
+#include <cstdio>
+#include <stdexcept>
+
+namespace vppb::obs {
+
+Histogram::Histogram(std::string name, std::string help,
+                     std::vector<double> bounds)
+    : name_(std::move(name)), help_(std::move(help)),
+      bounds_(std::move(bounds)) {
+  // Strictly ascending: an equal pair would be a bucket no observation
+  // can ever land in, which is a bug at the registration site.
+  if (std::adjacent_find(bounds_.begin(), bounds_.end(),
+                         [](double a, double b) { return a >= b; }) !=
+      bounds_.end()) {
+    throw std::invalid_argument("histogram bounds must be strictly "
+                                "ascending: " + name_);
+  }
+  buckets_ =
+      std::make_unique<std::atomic<std::uint64_t>[]>(bounds_.size() + 1);
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) buckets_[i].store(0);
+}
+
+void Histogram::observe(double v) {
+  // First edge >= v; past-the-end means the +Inf overflow bucket.
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  const std::size_t idx = static_cast<std::size_t>(it - bounds_.begin());
+  buckets_[idx].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  std::uint64_t old = sum_bits_.load(std::memory_order_relaxed);
+  while (true) {
+    const std::uint64_t want = std::bit_cast<std::uint64_t>(
+        std::bit_cast<double>(old) + v);
+    if (sum_bits_.compare_exchange_weak(old, want, std::memory_order_relaxed))
+      break;
+  }
+}
+
+double Histogram::sum() const {
+  return std::bit_cast<double>(sum_bits_.load(std::memory_order_relaxed));
+}
+
+const std::vector<double>& latency_us_bounds() {
+  static const std::vector<double> kBounds = {
+      50,     100,    250,    500,     1000,    2500,     5000,
+      10000,  25000,  50000,  100000,  250000,  500000,   1000000,
+      2500000};
+  return kBounds;
+}
+
+Counter& Registry::counter(std::string_view name, std::string_view help) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_
+             .emplace(std::string(name), std::make_unique<Counter>(
+                                             std::string(name),
+                                             std::string(help)))
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& Registry::gauge(std::string_view name, std::string_view help) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_
+             .emplace(std::string(name), std::make_unique<Gauge>(
+                                             std::string(name),
+                                             std::string(help)))
+             .first;
+  }
+  return *it->second;
+}
+
+Histogram& Registry::histogram(std::string_view name, std::string_view help,
+                               std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(std::string(name),
+                      std::make_unique<Histogram>(std::string(name),
+                                                  std::string(help),
+                                                  std::move(bounds)))
+             .first;
+  }
+  return *it->second;
+}
+
+namespace {
+
+void append_help_type(std::string& out, const std::string& name,
+                      const std::string& help, const char* type) {
+  out += "# HELP ";
+  out += name;
+  out += ' ';
+  out += help;
+  out += "\n# TYPE ";
+  out += name;
+  out += ' ';
+  out += type;
+  out += '\n';
+}
+
+std::string format_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%g", v);
+  return std::string(buf);
+}
+
+}  // namespace
+
+std::string Registry::prometheus_text() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::string out;
+  char buf[128];
+  for (const auto& [name, c] : counters_) {
+    append_help_type(out, name, c->help(), "counter");
+    std::snprintf(buf, sizeof(buf), "%s %" PRIu64 "\n", name.c_str(),
+                  c->value());
+    out += buf;
+  }
+  for (const auto& [name, g] : gauges_) {
+    append_help_type(out, name, g->help(), "gauge");
+    std::snprintf(buf, sizeof(buf), "%s %" PRId64 "\n", name.c_str(),
+                  g->value());
+    out += buf;
+  }
+  for (const auto& [name, h] : histograms_) {
+    append_help_type(out, name, h->help(), "histogram");
+    std::uint64_t cum = 0;
+    for (std::size_t i = 0; i < h->bounds().size(); ++i) {
+      cum += h->bucket_count(i);
+      std::snprintf(buf, sizeof(buf), "%s_bucket{le=\"%s\"} %" PRIu64 "\n",
+                    name.c_str(), format_double(h->bounds()[i]).c_str(), cum);
+      out += buf;
+    }
+    cum += h->bucket_count(h->bounds().size());
+    std::snprintf(buf, sizeof(buf), "%s_bucket{le=\"+Inf\"} %" PRIu64 "\n",
+                  name.c_str(), cum);
+    out += buf;
+    std::snprintf(buf, sizeof(buf), "%s_sum %s\n", name.c_str(),
+                  format_double(h->sum()).c_str());
+    out += buf;
+    std::snprintf(buf, sizeof(buf), "%s_count %" PRIu64 "\n", name.c_str(),
+                  h->count());
+    out += buf;
+  }
+  return out;
+}
+
+Registry& Registry::global() {
+  // Leaked on purpose: instrumentation sites hold references that must
+  // outlive every static destructor.
+  static Registry* g = new Registry();
+  return *g;
+}
+
+}  // namespace vppb::obs

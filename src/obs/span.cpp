@@ -1,0 +1,193 @@
+#include "obs/span.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <stdexcept>
+
+namespace vppb::obs {
+
+Tracer::Tracer() {
+  epoch_ns_ = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                  std::chrono::steady_clock::now().time_since_epoch())
+                  .count();
+}
+
+Tracer& Tracer::global() {
+  // Leaked so emitting threads may outlive static destruction.
+  static Tracer* g = new Tracer();
+  return *g;
+}
+
+std::int64_t Tracer::now_ns() const {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+             .count() -
+         epoch_ns_;
+}
+
+Tracer::Ring& Tracer::ring_for_this_thread() {
+  thread_local Ring* tl_ring = nullptr;
+  if (tl_ring == nullptr) {
+    std::lock_guard<std::mutex> lk(rings_mu_);
+    auto ring = std::make_unique<Ring>();
+    ring->tid = static_cast<std::uint32_t>(rings_.size() + 1);
+    ring->slots.resize(kRingCapacity);
+    tl_ring = ring.get();
+    rings_.push_back(std::move(ring));
+  }
+  return *tl_ring;
+}
+
+void Tracer::record(const SpanEvent& ev) {
+  Ring& r = ring_for_this_thread();
+  const std::uint64_t n = r.n.load(std::memory_order_relaxed);
+  r.slots[n % kRingCapacity] = ev;
+  // Publish after the slot write so a concurrent export never reads an
+  // unwritten slot (single writer per ring).
+  r.n.store(n + 1, std::memory_order_release);
+}
+
+void Tracer::clear() {
+  std::lock_guard<std::mutex> lk(rings_mu_);
+  for (auto& r : rings_) r->n.store(0, std::memory_order_relaxed);
+}
+
+std::size_t Tracer::event_count() const {
+  std::lock_guard<std::mutex> lk(rings_mu_);
+  std::size_t total = 0;
+  for (const auto& r : rings_) {
+    total += static_cast<std::size_t>(
+        std::min<std::uint64_t>(r->n.load(std::memory_order_acquire),
+                                kRingCapacity));
+  }
+  return total;
+}
+
+std::size_t Tracer::dropped_count() const {
+  std::lock_guard<std::mutex> lk(rings_mu_);
+  std::size_t total = 0;
+  for (const auto& r : rings_) {
+    const std::uint64_t n = r->n.load(std::memory_order_acquire);
+    if (n > kRingCapacity) total += static_cast<std::size_t>(n - kRingCapacity);
+  }
+  return total;
+}
+
+namespace {
+
+void append_escaped(std::string& out, const char* s) {
+  for (; *s != '\0'; ++s) {
+    const unsigned char c = static_cast<unsigned char>(*s);
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+}
+
+void append_event(std::string& out, const SpanEvent& ev, std::uint32_t tid,
+                  bool* first) {
+  if (!*first) out += ",\n";
+  *first = false;
+  char buf[160];
+  out += R"({"name":")";
+  append_escaped(out, ev.name != nullptr ? ev.name : "?");
+  out += R"(","cat":")";
+  append_escaped(out, ev.cat != nullptr ? ev.cat : "vppb");
+  // Chrome trace timestamps are microseconds; keep ns precision via
+  // the fractional part.
+  if (ev.dur_ns >= 0) {
+    std::snprintf(buf, sizeof(buf),
+                  R"(","ph":"X","ts":%.3f,"dur":%.3f,"pid":1,"tid":%u)",
+                  static_cast<double>(ev.start_ns) / 1e3,
+                  static_cast<double>(ev.dur_ns) / 1e3, tid);
+  } else {
+    std::snprintf(buf, sizeof(buf),
+                  R"(","ph":"i","s":"t","ts":%.3f,"pid":1,"tid":%u)",
+                  static_cast<double>(ev.start_ns) / 1e3, tid);
+  }
+  out += buf;
+  if (ev.arg_name != nullptr) {
+    out += R"(,"args":{")";
+    append_escaped(out, ev.arg_name);
+    std::snprintf(buf, sizeof(buf), R"(":%)" PRId64 "}", ev.arg_value);
+    out += buf;
+  }
+  out += '}';
+}
+
+}  // namespace
+
+std::string Tracer::chrome_json() const {
+  std::lock_guard<std::mutex> lk(rings_mu_);
+  std::string out = "{\"traceEvents\":[\n";
+  bool first = true;
+  std::uint64_t dropped = 0;
+  for (const auto& r : rings_) {
+    const std::uint64_t n = r->n.load(std::memory_order_acquire);
+    const std::uint64_t kept = std::min<std::uint64_t>(n, kRingCapacity);
+    if (n > kept) dropped += n - kept;
+    // Oldest surviving event first.
+    for (std::uint64_t i = n - kept; i < n; ++i) {
+      append_event(out, r->slots[i % kRingCapacity], r->tid, &first);
+    }
+  }
+  if (dropped > 0) {
+    SpanEvent note;
+    note.name = "obs.dropped_events";
+    note.cat = "obs";
+    note.start_ns = 0;
+    note.dur_ns = -1;
+    note.arg_name = "dropped";
+    note.arg_value = static_cast<std::int64_t>(dropped);
+    append_event(out, note, 0, &first);
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+void Tracer::write_chrome_json(const std::string& path) const {
+  const std::string json = chrome_json();
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) {
+    throw std::runtime_error("cannot open profile output: " + tmp);
+  }
+  const bool ok =
+      std::fwrite(json.data(), 1, json.size(), f) == json.size() &&
+      std::fflush(f) == 0;
+  std::fclose(f);
+  if (!ok || std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw std::runtime_error("cannot write profile output: " + path);
+  }
+}
+
+void instant(const char* name, const char* cat, const char* arg_name,
+             std::int64_t arg_value) {
+  Tracer& t = Tracer::global();
+  if (!t.enabled()) return;
+  SpanEvent ev;
+  ev.name = name;
+  ev.cat = cat;
+  ev.start_ns = t.now_ns();
+  ev.dur_ns = -1;
+  ev.arg_name = arg_name;
+  ev.arg_value = arg_value;
+  t.record(ev);
+}
+
+}  // namespace vppb::obs

@@ -1,0 +1,140 @@
+// Span tracer: scoped RAII timers and instant events, ring-buffered
+// per thread, exportable as Chrome trace-event JSON (load the file at
+// https://ui.perfetto.dev or chrome://tracing).
+//
+// Cost model: when tracing is disabled — the default — constructing a
+// Span is one relaxed atomic load and a branch, and nothing is ever
+// recorded, so instrumentation can stay compiled into release builds.
+// When enabled, ending a span appends one POD event to a fixed-size
+// thread-local ring with no locks on the hot path (the ring is
+// registered once per thread under a mutex).  Rings overwrite their
+// oldest events when full; the export notes how many were dropped.
+//
+// Event names and categories must be string literals (or otherwise
+// immortal): rings store `const char*` and events may be exported long
+// after the emitting scope returned.
+//
+// Exporting while other threads still emit is safe in the sense that
+// each published event is read consistently (single writer per ring,
+// release/acquire on the published count); a ring that wraps *during*
+// the export can surface a stale mix of old and new events, which is
+// acceptable for a profiler.  The CLI exports after the traced work
+// completes.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace vppb::obs {
+
+/// One completed span ("ph":"X") or instant event ("ph":"i").  POD so
+/// ring slots can be overwritten freely.
+struct SpanEvent {
+  const char* name = nullptr;
+  const char* cat = nullptr;
+  std::int64_t start_ns = 0;  ///< steady-clock ns since tracer epoch
+  std::int64_t dur_ns = -1;   ///< -1 = instant event
+  const char* arg_name = nullptr;  ///< optional single numeric arg
+  std::int64_t arg_value = 0;
+};
+
+class Tracer {
+ public:
+  /// Events kept per thread; oldest overwritten beyond this.
+  static constexpr std::size_t kRingCapacity = 1 << 16;
+
+  /// The process-wide tracer all Spans record into.
+  static Tracer& global();
+
+  void enable() { enabled_.store(true, std::memory_order_relaxed); }
+  void disable() { enabled_.store(false, std::memory_order_relaxed); }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Drops all recorded events (rings stay registered to their
+  /// threads).  Not safe concurrently with emitting threads.
+  void clear();
+
+  /// ns since the tracer's epoch (process start), on the steady clock.
+  std::int64_t now_ns() const;
+
+  void record(const SpanEvent& ev);
+
+  /// Number of events currently held across all rings, plus the count
+  /// overwritten since the last clear().
+  std::size_t event_count() const;
+  std::size_t dropped_count() const;
+
+  /// Chrome trace-event JSON: {"traceEvents":[...]}.  Timestamps are
+  /// fractional microseconds.
+  std::string chrome_json() const;
+  /// Writes chrome_json() to `path` (temp + rename); throws vppb-style
+  /// std::runtime_error on IO failure.
+  void write_chrome_json(const std::string& path) const;
+
+ private:
+  struct Ring {
+    std::uint32_t tid = 0;  ///< stable per-thread export id
+    std::atomic<std::uint64_t> n{0};  ///< events ever written
+    std::vector<SpanEvent> slots;
+  };
+
+  Tracer();
+  Ring& ring_for_this_thread();
+
+  std::atomic<bool> enabled_{false};
+  std::int64_t epoch_ns_ = 0;  ///< steady-clock origin of timestamps
+  mutable std::mutex rings_mu_;
+  // Ring pointers are immortal once registered: emitting threads hold
+  // raw pointers in thread-local storage.
+  std::vector<std::unique_ptr<Ring>> rings_;
+};
+
+/// Scoped timer.  Records one "X" event covering construction to
+/// destruction, on the constructing thread's ring.  Must be ended on
+/// the thread that created it (stack scoped — the normal use).
+class Span {
+ public:
+  explicit Span(const char* name, const char* cat = "vppb") {
+    Tracer& t = Tracer::global();
+    if (t.enabled()) {
+      ev_.name = name;
+      ev_.cat = cat;
+      ev_.start_ns = t.now_ns();
+      active_ = true;
+    }
+  }
+  ~Span() { finish(); }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  /// Attaches one numeric argument, shown in the event's detail pane.
+  /// `name` must be immortal.  Last call wins.
+  void arg(const char* name, std::int64_t value) {
+    ev_.arg_name = name;
+    ev_.arg_value = value;
+  }
+
+  /// Ends the span early (idempotent).
+  void finish() {
+    if (!active_) return;
+    active_ = false;
+    Tracer& t = Tracer::global();
+    ev_.dur_ns = t.now_ns() - ev_.start_ns;
+    t.record(ev_);
+  }
+
+ private:
+  SpanEvent ev_;
+  bool active_ = false;
+};
+
+/// Zero-duration marker at the current time.  `name`, `cat`, and
+/// `arg_name` must be immortal.
+void instant(const char* name, const char* cat = "vppb",
+             const char* arg_name = nullptr, std::int64_t arg_value = 0);
+
+}  // namespace vppb::obs

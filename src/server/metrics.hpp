@@ -14,6 +14,9 @@ namespace vppb::server {
 
 class Metrics {
  public:
+  /// Latency reservoir size; public so tests can exercise wrap-around.
+  static constexpr std::size_t kMaxSamples = 1 << 16;
+
   void count_request(ReqType t);
   void count_error();
   void count_overload();
@@ -29,8 +32,6 @@ class Metrics {
   void snapshot(StatsBody& out) const;
 
  private:
-  static constexpr std::size_t kMaxSamples = 1 << 16;  ///< latency ring
-
   mutable std::mutex mu_;
   std::uint64_t requests_ = 0;
   std::uint64_t by_type_[kReqTypeCount] = {};

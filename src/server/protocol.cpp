@@ -105,6 +105,7 @@ const char* to_string(ReqType t) {
     case ReqType::kAnalyze: return "analyze";
     case ReqType::kStats: return "stats";
     case ReqType::kHealth: return "health";
+    case ReqType::kMetricsDump: return "metricsdump";
   }
   return "?";
 }
@@ -174,6 +175,7 @@ std::vector<std::uint8_t> encode(const Response& resp) {
   put_u64(out, s.cache_hits);
   put_u64(out, s.cache_misses);
   put_u64(out, s.cache_evictions);
+  put_u64(out, s.cache_waits);
   put_u64(out, s.cache_entries);
   put_u64(out, s.cache_bytes);
   put_u64(out, s.latency_count);
@@ -228,6 +230,7 @@ Response decode_response(const std::uint8_t* data, std::size_t size) {
   s.cache_hits = in.u64();
   s.cache_misses = in.u64();
   s.cache_evictions = in.u64();
+  s.cache_waits = in.u64();
   s.cache_entries = in.u64();
   s.cache_bytes = in.u64();
   s.latency_count = in.u64();

@@ -25,7 +25,7 @@
 
 namespace vppb::server {
 
-constexpr std::uint8_t kProtocolVersion = 2;  ///< v2: health + deadlines
+constexpr std::uint8_t kProtocolVersion = 3;  ///< v3: metricsdump + cache waits
 /// Upper bound on a frame payload (a full SVG render fits comfortably;
 /// a corrupt or hostile length prefix does not).
 constexpr std::size_t kMaxFrame = 64u << 20;
@@ -36,8 +36,9 @@ enum class ReqType : std::uint8_t {
   kAnalyze = 2,   ///< contention / utilization report
   kStats = 3,     ///< server counters, cache hit rate, latencies
   kHealth = 4,    ///< readiness probe; bypasses admission control
+  kMetricsDump = 5,  ///< Prometheus text exposition of the obs registry
 };
-constexpr std::size_t kReqTypeCount = 5;
+constexpr std::size_t kReqTypeCount = 6;
 
 const char* to_string(ReqType t);
 
@@ -82,6 +83,7 @@ struct StatsBody {
   std::uint64_t cache_hits = 0;
   std::uint64_t cache_misses = 0;
   std::uint64_t cache_evictions = 0;
+  std::uint64_t cache_waits = 0;   ///< single-flight waits on a load
   std::uint64_t cache_entries = 0;
   std::uint64_t cache_bytes = 0;
   std::uint64_t latency_count = 0;  ///< executed (admitted) requests
@@ -109,7 +111,7 @@ struct Response {
   int lwps = 0;
   std::uint64_t events = 0;
   std::string svg;     ///< simulate with want_svg
-  std::string report;  ///< analyze
+  std::string report;  ///< analyze; metricsdump (Prometheus text)
 
   // stats / health
   StatsBody stats;

@@ -6,11 +6,17 @@
 #include <condition_variable>
 #include <thread>
 
+#include "obs/log.hpp"
+#include "obs/metrics.hpp"
 #include "server/handlers.hpp"
 #include "util/error.hpp"
 #include "util/strings.hpp"
 
 namespace vppb::server {
+
+namespace {
+using obs::LogLevel;
+}  // namespace
 
 Server::Server(ServerOptions opt)
     : opt_(opt),
@@ -38,6 +44,11 @@ void Server::start() {
   }
   running_.store(true);
   accept_thread_ = std::thread(&Server::accept_loop, this);
+  obs::logf(LogLevel::kInfo, "server", "listening on %s (admission limit %d)",
+            endpoint_.c_str(), opt_.admission_limit);
+  if (faults_->armed())
+    obs::logf(LogLevel::kWarn, "server", "fault injection armed: %s",
+              faults_->summary().c_str());
 }
 
 void Server::stop() {
@@ -60,6 +71,8 @@ void Server::stop() {
     if (c->thread.joinable()) c->thread.join();
   conns_.clear();
   if (!opt_.unix_path.empty()) ::unlink(opt_.unix_path.c_str());
+  obs::logf(LogLevel::kInfo, "server", "stopped (drained) on %s",
+            endpoint_.c_str());
 }
 
 void Server::accept_loop() {
@@ -103,9 +116,10 @@ void Server::serve_connection(Conn* conn) {
       }
       write_frame(conn->sock, encode(resp));
     }
-  } catch (const Error&) {
+  } catch (const Error& e) {
     // Broken framing or a lost peer: the connection is the unit of
     // failure — drop it, the server lives on.
+    obs::logf(LogLevel::kDebug, "server", "connection dropped: %s", e.what());
   }
 }
 
@@ -127,6 +141,8 @@ Response Server::execute(const Request& req) {
       opt_.admission_limit) {
     in_flight_.fetch_sub(1, std::memory_order_acq_rel);
     metrics_.count_overload();
+    obs::logf(LogLevel::kDebug, "server", "overload: rejecting %s request",
+              to_string(req.type));
     Response resp;
     resp.type = req.type;
     resp.status = Status::kOverloaded;
@@ -167,10 +183,13 @@ Response Server::execute(const Request& req) {
   }
 
   if (resp.status == Status::kError) metrics_.count_error();
-  metrics_.record_latency_us(
+  const double latency_us =
       std::chrono::duration<double, std::micro>(
           std::chrono::steady_clock::now() - t0)
-          .count());
+          .count();
+  metrics_.record_latency_us(latency_us);
+  obs::logf(LogLevel::kDebug, "server", "%s -> status %d in %.0f us",
+            to_string(req.type), static_cast<int>(resp.status), latency_us);
   return resp;
 }
 
@@ -190,6 +209,8 @@ Response Server::dispatch(const Request& req, const Deadline& deadline) {
         return stats_response();
       case ReqType::kHealth:
         return health_response();  // normally answered pre-admission
+      case ReqType::kMetricsDump:
+        return metricsdump_response();
     }
     throw Error("unhandled request type");
   } catch (const DeadlineExceeded& e) {
@@ -210,16 +231,21 @@ Response Server::dispatch(const Request& req, const Deadline& deadline) {
   }
 }
 
+void Server::fill_cache_stats(StatsBody& out) {
+  const TraceCache::Stats cs = cache_.stats();
+  out.cache_hits = cs.hits;
+  out.cache_misses = cs.misses;
+  out.cache_evictions = cs.evictions;
+  out.cache_waits = cs.waits;
+  out.cache_entries = cs.entries;
+  out.cache_bytes = cs.bytes;
+}
+
 Response Server::stats_response() {
   Response resp;
   resp.type = ReqType::kStats;
   metrics_.snapshot(resp.stats);  // includes this stats request itself
-  const TraceCache::Stats cs = cache_.stats();
-  resp.stats.cache_hits = cs.hits;
-  resp.stats.cache_misses = cs.misses;
-  resp.stats.cache_evictions = cs.evictions;
-  resp.stats.cache_entries = cs.entries;
-  resp.stats.cache_bytes = cs.bytes;
+  fill_cache_stats(resp.stats);
   return resp;
 }
 
@@ -231,12 +257,30 @@ Response Server::health_response() {
       in_flight_.load(std::memory_order_acquire));
   resp.admission_limit = static_cast<std::uint64_t>(opt_.admission_limit);
   metrics_.snapshot(resp.stats);
+  fill_cache_stats(resp.stats);
+  return resp;
+}
+
+Response Server::metricsdump_response() {
+  // Refresh the point-in-time gauges the event paths cannot keep
+  // current on their own, then dump the whole registry.  The text rides
+  // in `report`, the same free-form channel `analyze` uses.
+  auto& reg = obs::Registry::global();
+  reg.gauge("vppb_server_in_flight", "Admitted requests currently running")
+      .set(in_flight_.load(std::memory_order_acquire));
+  reg.gauge("vppb_server_admission_limit", "Admission control limit")
+      .set(opt_.admission_limit);
   const TraceCache::Stats cs = cache_.stats();
-  resp.stats.cache_hits = cs.hits;
-  resp.stats.cache_misses = cs.misses;
-  resp.stats.cache_evictions = cs.evictions;
-  resp.stats.cache_entries = cs.entries;
-  resp.stats.cache_bytes = cs.bytes;
+  reg.gauge("vppb_cache_entries", "Ready entries resident")
+      .set(static_cast<std::int64_t>(cs.entries));
+  reg.gauge("vppb_cache_bytes", "Raw trace bytes resident")
+      .set(static_cast<std::int64_t>(cs.bytes));
+
+  Response resp;
+  resp.type = ReqType::kMetricsDump;
+  resp.report = reg.prometheus_text();
+  metrics_.snapshot(resp.stats);  // keep the structured body populated too
+  fill_cache_stats(resp.stats);
   return resp;
 }
 

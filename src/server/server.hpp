@@ -95,6 +95,8 @@ class Server {
   Response dispatch(const Request& req, const Deadline& deadline);
   Response stats_response();
   Response health_response();
+  Response metricsdump_response();
+  void fill_cache_stats(StatsBody& out);
 
   ServerOptions opt_;
   util::FaultPlan* faults_ = nullptr;

@@ -1,0 +1,66 @@
+#include "server/stats_text.hpp"
+
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+namespace vppb::server {
+
+namespace {
+
+std::string u64str(std::uint64_t v) {
+  return strprintf("%llu", static_cast<unsigned long long>(v));
+}
+
+}  // namespace
+
+std::string render_stats_text(const StatsBody& s) {
+  TextTable table;
+  table.header({"counter", "value"});
+  table.row({"requests", u64str(s.requests)});
+  for (std::size_t i = 0; i < kReqTypeCount; ++i) {
+    table.row({strprintf("  %s", to_string(static_cast<ReqType>(i))),
+               u64str(s.by_type[i])});
+  }
+  table.row({"errors", u64str(s.errors)});
+  table.row({"overloads", u64str(s.overloads)});
+  table.row({"deadline misses", u64str(s.deadlines)});
+  table.row({"cache hits", u64str(s.cache_hits)});
+  table.row({"cache misses", u64str(s.cache_misses)});
+  table.row({"cache evictions", u64str(s.cache_evictions)});
+  table.row({"cache waits", u64str(s.cache_waits)});
+  table.row({"cache entries", u64str(s.cache_entries)});
+  table.row({"cache bytes", u64str(s.cache_bytes)});
+  std::string out = table.render();
+  const std::uint64_t lookups = s.cache_hits + s.cache_misses;
+  if (lookups > 0) {
+    out += strprintf("\ncache hit rate: %.1f%%\n",
+                     100.0 * static_cast<double>(s.cache_hits) /
+                         static_cast<double>(lookups));
+  }
+  if (s.latency_count > 0) {
+    out += strprintf("latency (us): p50 %.0f  p90 %.0f  p99 %.0f  max %.0f "
+                     "over %s requests\n",
+                     s.p50_us, s.p90_us, s.p99_us, s.max_us,
+                     u64str(s.latency_count).c_str());
+  }
+  return out;
+}
+
+std::string render_health_text(const Response& r) {
+  std::string out;
+  out += strprintf("ready:           %s\n", r.ready ? "yes" : "no");
+  out += strprintf("in flight:       %s / %s\n", u64str(r.in_flight).c_str(),
+                   u64str(r.admission_limit).c_str());
+  out += strprintf("requests served: %s (%s errors, %s overloads, "
+                   "%s deadline misses)\n",
+                   u64str(r.stats.requests).c_str(),
+                   u64str(r.stats.errors).c_str(),
+                   u64str(r.stats.overloads).c_str(),
+                   u64str(r.stats.deadlines).c_str());
+  out += strprintf("cache:           %s entries, %s bytes\n",
+                   u64str(r.stats.cache_entries).c_str(),
+                   u64str(r.stats.cache_bytes).c_str());
+  return out;
+}
+
+}  // namespace vppb::server

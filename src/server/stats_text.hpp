@@ -1,0 +1,24 @@
+// Human-readable renderings of the stats/health wire bodies.
+//
+// Factored out of the CLI so the exact text the operator reads is unit
+// testable: the stats view must always surface the failure counters
+// (errors, overloads, deadline misses) and the cache hit rate, not just
+// the happy-path totals.
+#pragma once
+
+#include <string>
+
+#include "server/protocol.hpp"
+
+namespace vppb::server {
+
+/// The `vppb request stats` / `vppb stats` view: a counter table (one
+/// row per request type), cache effectiveness including the hit rate,
+/// and the latency distribution when any request has executed.
+std::string render_stats_text(const StatsBody& s);
+
+/// The `vppb request health` view: readiness, in-flight occupancy, and
+/// a one-line summary of the failure counters.
+std::string render_health_text(const Response& r);
+
+}  // namespace vppb::server

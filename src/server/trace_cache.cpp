@@ -2,6 +2,8 @@
 
 #include <vector>
 
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "trace/binary.hpp"
 #include "util/error.hpp"
 
@@ -17,10 +19,41 @@ std::uint64_t fnv1a(const std::uint8_t* data, std::size_t n) {
   return h;
 }
 
+/// Registry handles for the cache, registered once.  Counters are
+/// bumped at event time; the gauges are refreshed after every mutation
+/// under the cache lock, so the exposition always reflects the live
+/// occupancy of the (single, in practice) daemon cache.
+struct CacheMetrics {
+  obs::Counter& hits;
+  obs::Counter& misses;
+  obs::Counter& evictions;
+  obs::Counter& waits;
+  obs::Gauge& entries;
+  obs::Gauge& bytes;
+
+  static CacheMetrics& get() {
+    auto& reg = obs::Registry::global();
+    static CacheMetrics m{
+        reg.counter("vppb_cache_hits_total",
+                    "Trace-cache lookups served from memory"),
+        reg.counter("vppb_cache_misses_total",
+                    "Trace-cache lookups that loaded from disk"),
+        reg.counter("vppb_cache_evictions_total", "LRU evictions"),
+        reg.counter("vppb_cache_waits_total",
+                    "Lookups that waited out another request's load"),
+        reg.gauge("vppb_cache_entries", "Ready entries resident"),
+        reg.gauge("vppb_cache_bytes", "Raw trace bytes resident"),
+    };
+    return m;
+  }
+};
+
 }  // namespace
 
 std::shared_ptr<const TraceCache::Entry> TraceCache::get(
     const std::string& path) {
+  obs::Span get_span("cache.get", "cache");
+  CacheMetrics& cm = CacheMetrics::get();
   // Injected faults surface as the same exception types the real
   // failures would: allocation failure and I/O error.  Both are thrown
   // before any shared state changes, so a faulted request leaves the
@@ -37,26 +70,36 @@ std::shared_ptr<const TraceCache::Entry> TraceCache::get(
   const std::uint64_t key = fnv1a(bytes.data(), bytes.size());
 
   std::unique_lock<std::mutex> lock(mu_);
+  bool waited = false;
   for (;;) {
     auto it = slots_.find(key);
     if (it == slots_.end()) break;  // nobody has (or is loading) it
     if (it->second.entry) {
       ++hits_;
+      cm.hits.inc();
       lru_.splice(lru_.begin(), lru_, it->second.lru);
       return it->second.entry;
     }
     // Another request is compiling this content right now; wait for it
     // rather than compiling a second copy.  A failed load erases the
     // slot, in which case this request retries as the loader.
+    if (!waited) {
+      waited = true;
+      ++waits_;
+      cm.waits.inc();
+    }
     loaded_cv_.wait(lock);
   }
 
   ++misses_;
+  cm.misses.inc();
   slots_.emplace(key, Slot{});  // loading marker
   lock.unlock();
 
   std::shared_ptr<Entry> entry;
   try {
+    obs::Span load_span("cache.load", "cache");
+    load_span.arg("bytes", static_cast<std::int64_t>(bytes.size()));
     entry = std::make_shared<Entry>();
     entry->key = key;
     entry->bytes = bytes.size();
@@ -80,6 +123,8 @@ std::shared_ptr<const TraceCache::Entry> TraceCache::get(
   slot.lru = lru_.begin();
   bytes_ += entry->bytes;
   evict_locked();
+  cm.entries.set(static_cast<std::int64_t>(lru_.size()));
+  cm.bytes.set(static_cast<std::int64_t>(bytes_));
   loaded_cv_.notify_all();
   return entry;
 }
@@ -96,6 +141,7 @@ void TraceCache::evict_locked() {
     bytes_ -= it->second.entry->bytes;
     slots_.erase(it);
     ++evictions_;
+    CacheMetrics::get().evictions.inc();
   }
 }
 
@@ -105,6 +151,7 @@ TraceCache::Stats TraceCache::stats() const {
   s.hits = hits_;
   s.misses = misses_;
   s.evictions = evictions_;
+  s.waits = waits_;
   s.entries = lru_.size();
   s.bytes = bytes_;
   return s;

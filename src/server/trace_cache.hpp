@@ -44,6 +44,7 @@ class TraceCache {
     std::uint64_t hits = 0;
     std::uint64_t misses = 0;
     std::uint64_t evictions = 0;
+    std::uint64_t waits = 0;  ///< requests that waited out another's load
     std::size_t entries = 0;
     std::size_t bytes = 0;
   };
@@ -83,6 +84,7 @@ class TraceCache {
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
   std::uint64_t evictions_ = 0;
+  std::uint64_t waits_ = 0;
 };
 
 }  // namespace vppb::server

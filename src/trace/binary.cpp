@@ -2,10 +2,14 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <fstream>
 #include <map>
 
+#include "obs/log.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "trace/chunked.hpp"
 #include "trace/io.hpp"
 #include "trace/record_reader.hpp"
@@ -218,14 +222,71 @@ Trace load_any_file(const std::string& path, const LoadOptions& opt,
   return from_any(bytes.data(), bytes.size(), opt, report);
 }
 
+namespace {
+
+/// Registry handles for the loader path, registered once.  from_any is
+/// the single funnel every format and every caller (CLI, cache,
+/// salvage tools) goes through, so counting here covers them all.
+struct LoaderMetrics {
+  obs::Counter& loads;
+  obs::Counter& bytes;
+  obs::Counter& records;
+  obs::Counter& salvage_issues;
+
+  static LoaderMetrics& get() {
+    auto& reg = obs::Registry::global();
+    static LoaderMetrics m{
+        reg.counter("vppb_trace_loads_total", "Trace parses completed"),
+        reg.counter("vppb_trace_bytes_total", "Trace bytes parsed"),
+        reg.counter("vppb_trace_records_total", "Trace records decoded"),
+        reg.counter("vppb_trace_salvage_issues_total",
+                    "Issues recorded while salvaging damaged traces"),
+    };
+    return m;
+  }
+};
+
+const char* format_name(const std::uint8_t* data, std::size_t size) {
+  if (size >= 4 && std::memcmp(data, "VPPC", 4) == 0) return "chunked";
+  if (size >= 4 && std::memcmp(data, kMagic, 4) == 0) return "binary";
+  return "text";
+}
+
+}  // namespace
+
 Trace from_any(const std::uint8_t* data, std::size_t size,
                const LoadOptions& opt, LoadReport* report) {
-  if (size >= 4 && std::memcmp(data, "VPPC", 4) == 0)
-    return from_chunked(data, size, opt, report);
-  if (size >= 4 && std::memcmp(data, kMagic, 4) == 0)
-    return from_binary_impl(data, size, opt, report);
-  const std::string text(reinterpret_cast<const char*>(data), size);
-  return from_text(text, opt, report);
+  obs::Span span("trace.load", "loader");
+  span.arg("bytes", static_cast<std::int64_t>(size));
+  const auto t0 = std::chrono::steady_clock::now();
+  Trace trace = [&]() {
+    if (size >= 4 && std::memcmp(data, "VPPC", 4) == 0)
+      return from_chunked(data, size, opt, report);
+    if (size >= 4 && std::memcmp(data, kMagic, 4) == 0)
+      return from_binary_impl(data, size, opt, report);
+    const std::string text(reinterpret_cast<const char*>(data), size);
+    return from_text(text, opt, report);
+  }();
+
+  LoaderMetrics& lm = LoaderMetrics::get();
+  lm.loads.inc();
+  lm.bytes.inc(size);
+  lm.records.inc(trace.records.size());
+  if (report != nullptr) lm.salvage_issues.inc(report->issues.size());
+  if (obs::Logger::global().enabled(obs::LogLevel::kDebug)) {
+    const double secs =
+        std::chrono::duration_cast<std::chrono::duration<double>>(
+            std::chrono::steady_clock::now() - t0)
+            .count();
+    obs::logf(obs::LogLevel::kDebug, "loader",
+              "parsed %s trace: %zu records, %zu bytes, %.0f records/sec%s",
+              format_name(data, size), trace.records.size(), size,
+              secs > 0.0 ? static_cast<double>(trace.records.size()) / secs
+                         : 0.0,
+              report != nullptr && !report->issues.empty() ? " (salvaged)"
+                                                           : "");
+  }
+  return trace;
 }
 
 std::vector<std::uint8_t> read_file_bytes(const std::string& path) {

@@ -1,0 +1,44 @@
+// Process-environment access for every VPPB_* variable, in one place.
+//
+// The tool family reads a handful of environment variables; each one is
+// parsed exactly once, by the subsystem that owns it, through these
+// helpers (so a variable can never be half-honored by one code path and
+// ignored by another).  The full registry — keep this table in sync
+// with README.md "Environment variables":
+//
+//   VPPB_FAULT    deterministic fault-injection plan for vppbd
+//                 (util/fault.hpp; `site:period[:limit[:param]]`, comma
+//                 separated)
+//   VPPB_LOG      log level and sink format for the structured logger
+//                 (obs/log.hpp; `level[:json]`, e.g. "debug" or
+//                 "info:json")
+//   VPPB_PROFILE  path to write a Chrome trace-event profile of the CLI
+//                 command at exit (tools/vppb.cpp; same as --profile)
+//
+// Header-only on purpose: obs (the bottom layer, linked by util) and
+// util itself both include it without creating a link cycle.
+#pragma once
+
+#include <cstdlib>
+#include <string>
+
+namespace vppb::util {
+
+/// Raw getenv: nullptr when unset.  Prefer env_or unless the caller
+/// must distinguish "unset" from "set to empty".
+inline const char* env_raw(const char* name) { return std::getenv(name); }
+
+/// The variable's value, or `def` when unset.  An empty value is
+/// returned as-is (it usually means "explicitly off").
+inline std::string env_or(const char* name, const char* def) {
+  const char* v = std::getenv(name);
+  return std::string(v != nullptr ? v : def);
+}
+
+/// True when the variable is set to a non-empty value.
+inline bool env_set(const char* name) {
+  const char* v = std::getenv(name);
+  return v != nullptr && v[0] != '\0';
+}
+
+}  // namespace vppb::util

@@ -1,7 +1,6 @@
 #include "util/fault.hpp"
 
-#include <cstdlib>
-
+#include "util/env.hpp"
 #include "util/error.hpp"
 #include "util/strings.hpp"
 
@@ -79,10 +78,7 @@ FaultPlan FaultPlan::parse(const std::string& spec) {
 }
 
 FaultPlan& FaultPlan::global() {
-  static FaultPlan plan = [] {
-    const char* env = std::getenv("VPPB_FAULT");
-    return parse(env == nullptr ? "" : env);
-  }();
+  static FaultPlan plan = parse(env_or("VPPB_FAULT", ""));
   return plan;
 }
 

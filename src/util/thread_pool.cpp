@@ -1,8 +1,49 @@
 #include "util/thread_pool.hpp"
 
 #include <algorithm>
+#include <chrono>
+
+#include "obs/metrics.hpp"
 
 namespace vppb::util {
+
+namespace {
+
+/// Registry handles for the pool's task path, registered once.  Every
+/// pool in the process shares them: the gauge tracks the most recently
+/// mutated queue, which is the single shared pool in practice.
+struct PoolMetrics {
+  obs::Counter& tasks;
+  obs::Gauge& depth;
+  obs::Histogram& wait_us;
+  obs::Histogram& run_us;
+
+  static PoolMetrics& get() {
+    static PoolMetrics m{
+        obs::Registry::global().counter("vppb_pool_tasks_total",
+                                        "Tasks accepted by ThreadPool::post"),
+        obs::Registry::global().gauge("vppb_pool_queue_depth",
+                                      "Posted tasks waiting for a worker"),
+        obs::Registry::global().histogram(
+            "vppb_pool_task_wait_us",
+            "Queue wait from post() to task start, microseconds",
+            obs::latency_us_bounds()),
+        obs::Registry::global().histogram(
+            "vppb_pool_task_run_us", "Task execution time, microseconds",
+            obs::latency_us_bounds()),
+    };
+    return m;
+  }
+};
+
+double us_since(std::chrono::steady_clock::time_point t0,
+                std::chrono::steady_clock::time_point t1) {
+  return std::chrono::duration_cast<std::chrono::duration<double, std::micro>>(
+             t1 - t0)
+      .count();
+}
+
+}  // namespace
 
 int ThreadPool::resolve_jobs(int jobs) {
   if (jobs > 0) return jobs;
@@ -63,6 +104,7 @@ void ThreadPool::worker_loop() {
         // through its caller, but a posted task has no other runner.
         task = std::move(tasks_.front());
         tasks_.pop_front();
+        PoolMetrics::get().depth.set(static_cast<std::int64_t>(tasks_.size()));
       } else if (generation_ != seen) {
         seen = generation_;
         ++active_;
@@ -83,13 +125,23 @@ void ThreadPool::worker_loop() {
 }
 
 void ThreadPool::post(std::function<void()> task) {
-  if (workers_.empty()) {
+  PoolMetrics& m = PoolMetrics::get();
+  m.tasks.inc();
+  const auto posted = std::chrono::steady_clock::now();
+  auto timed = [task = std::move(task), posted, &m]() {
+    const auto started = std::chrono::steady_clock::now();
+    m.wait_us.observe(us_since(posted, started));
     task();
+    m.run_us.observe(us_since(started, std::chrono::steady_clock::now()));
+  };
+  if (workers_.empty()) {
+    timed();
     return;
   }
   {
     std::lock_guard<std::mutex> lock(mu_);
-    tasks_.push_back(std::move(task));
+    tasks_.push_back(std::move(timed));
+    m.depth.set(static_cast<std::int64_t>(tasks_.size()));
   }
   work_cv_.notify_one();
 }

@@ -1,0 +1,379 @@
+// Tests for the observability layer: the sharded metrics registry, the
+// span tracer and its Chrome-trace export, the structured logger, the
+// env helpers — and the properties the rest of the tree relies on:
+// percentile_nth matching the sort-based percentile, the server latency
+// ring surviving wrap-around, and simulation digests being bit-identical
+// with tracing on or off.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/compiler.hpp"
+#include "core/config.hpp"
+#include "core/engine.hpp"
+#include "core/result.hpp"
+#include "obs/log.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
+#include "recorder/recorder.hpp"
+#include "server/metrics.hpp"
+#include "server/stats_text.hpp"
+#include "solaris/program.hpp"
+#include "util/env.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/thread_pool.hpp"
+#include "workloads/synthetic.hpp"
+
+namespace vppb {
+namespace {
+
+// ---- metrics registry ----------------------------------------------------
+
+TEST(Counter, ShardedIncrementsSumExactly) {
+  obs::Counter c("test_sharded_total", "sharded increments");
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kPerThread = 50000;
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&c]() {
+      for (std::uint64_t n = 0; n < kPerThread; ++n) c.inc();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c.value(), kThreads * kPerThread);
+}
+
+TEST(Registry, ReRegistrationReturnsTheSameMetric) {
+  obs::Registry reg;
+  obs::Counter& a = reg.counter("dup_total", "first");
+  obs::Counter& b = reg.counter("dup_total", "second help ignored");
+  EXPECT_EQ(&a, &b);
+  a.inc(3);
+  EXPECT_EQ(b.value(), 3u);
+}
+
+TEST(Gauge, SetAddSub) {
+  obs::Gauge g("test_gauge", "");
+  g.set(10);
+  g.add(5);
+  g.sub(7);
+  EXPECT_EQ(g.value(), 8);
+  g.set(-2);
+  EXPECT_EQ(g.value(), -2);
+}
+
+TEST(Histogram, BucketEdgesAreInclusiveUpperBounds) {
+  obs::Histogram h("test_hist", "", {1.0, 2.0, 5.0});
+  for (double v : {0.5, 1.0, 1.5, 2.0, 5.0, 6.0}) h.observe(v);
+  ASSERT_EQ(h.bounds().size(), 3u);
+  EXPECT_EQ(h.bucket_count(0), 2u);  // 0.5, 1.0 (edge is inclusive)
+  EXPECT_EQ(h.bucket_count(1), 2u);  // 1.5, 2.0
+  EXPECT_EQ(h.bucket_count(2), 1u);  // 5.0
+  EXPECT_EQ(h.bucket_count(3), 1u);  // 6.0 -> +Inf
+  EXPECT_EQ(h.count(), 6u);
+  EXPECT_DOUBLE_EQ(h.sum(), 16.0);
+}
+
+TEST(Histogram, RejectsUnsortedBounds) {
+  EXPECT_THROW(obs::Histogram("bad", "", {2.0, 1.0}), std::invalid_argument);
+  EXPECT_THROW(obs::Histogram("bad", "", {1.0, 1.0}), std::invalid_argument);
+}
+
+TEST(Registry, PrometheusTextExposition) {
+  obs::Registry reg;
+  reg.counter("t_requests_total", "Requests").inc(7);
+  reg.gauge("t_depth", "Depth").set(3);
+  obs::Histogram& h = reg.histogram("t_lat_us", "Latency", {10.0, 100.0});
+  h.observe(5.0);
+  h.observe(50.0);
+  h.observe(500.0);
+  const std::string text = reg.prometheus_text();
+  EXPECT_NE(text.find("# HELP t_requests_total Requests\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE t_requests_total counter\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("t_requests_total 7\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE t_depth gauge\n"), std::string::npos);
+  EXPECT_NE(text.find("t_depth 3\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE t_lat_us histogram\n"), std::string::npos);
+  // Cumulative buckets: le="100" counts everything <= 100.
+  EXPECT_NE(text.find("t_lat_us_bucket{le=\"10\"} 1\n"), std::string::npos);
+  EXPECT_NE(text.find("t_lat_us_bucket{le=\"100\"} 2\n"), std::string::npos);
+  EXPECT_NE(text.find("t_lat_us_bucket{le=\"+Inf\"} 3\n"), std::string::npos);
+  EXPECT_NE(text.find("t_lat_us_sum 555\n"), std::string::npos);
+  EXPECT_NE(text.find("t_lat_us_count 3\n"), std::string::npos);
+}
+
+TEST(Registry, PoolInstrumentationReachesTheGlobalRegistry) {
+  {
+    util::ThreadPool pool(2);
+    for (int i = 0; i < 16; ++i) pool.post([]() {});
+    // ~ThreadPool drains the queue before joining.
+  }
+  const std::string text = obs::Registry::global().prometheus_text();
+  EXPECT_NE(text.find("vppb_pool_tasks_total"), std::string::npos);
+  EXPECT_NE(text.find("vppb_pool_task_wait_us"), std::string::npos);
+  EXPECT_NE(text.find("vppb_pool_task_run_us"), std::string::npos);
+  EXPECT_NE(text.find("vppb_pool_queue_depth"), std::string::npos);
+}
+
+// ---- percentiles ---------------------------------------------------------
+
+TEST(Stats, PercentileNthMatchesSortBased) {
+  Rng rng(42);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t n = 1 + static_cast<std::size_t>(rng.uniform(0, 400));
+    std::vector<double> xs(n);
+    for (double& x : xs) x = rng.uniform(0, 10000) / 7.0;
+    for (double p : {0.0, 17.5, 50.0, 90.0, 99.0, 100.0}) {
+      std::vector<double> scratch = xs;
+      EXPECT_DOUBLE_EQ(percentile_nth(scratch, p), percentile(xs, p))
+          << "n=" << n << " p=" << p;
+    }
+  }
+}
+
+TEST(ServerMetrics, LatencyRingWrapAroundKeepsRecentSamples) {
+  server::Metrics m;
+  // Fill the ring with slow samples, then overwrite every slot with
+  // fast ones: the percentiles must describe the recent window only.
+  for (std::size_t i = 0; i < server::Metrics::kMaxSamples; ++i)
+    m.record_latency_us(1000.0);
+  for (std::size_t i = 0; i < server::Metrics::kMaxSamples; ++i)
+    m.record_latency_us(10.0);
+  server::StatsBody s;
+  m.snapshot(s);
+  EXPECT_EQ(s.latency_count, 2 * server::Metrics::kMaxSamples);
+  EXPECT_DOUBLE_EQ(s.p50_us, 10.0);
+  EXPECT_DOUBLE_EQ(s.p99_us, 10.0);
+  EXPECT_DOUBLE_EQ(s.max_us, 10.0);  // max is over the ring, not all time
+}
+
+TEST(ServerMetrics, StatsTextSurfacesFailureCountersAndHitRate) {
+  server::StatsBody s;
+  s.requests = 10;
+  s.errors = 2;
+  s.overloads = 3;
+  s.deadlines = 4;
+  s.cache_hits = 3;
+  s.cache_misses = 1;
+  const std::string text = server::render_stats_text(s);
+  EXPECT_NE(text.find("errors"), std::string::npos);
+  EXPECT_NE(text.find("overloads"), std::string::npos);
+  EXPECT_NE(text.find("deadline misses"), std::string::npos);
+  EXPECT_NE(text.find("metricsdump"), std::string::npos);
+  EXPECT_NE(text.find("cache hit rate: 75.0%"), std::string::npos);
+}
+
+// ---- span tracer ---------------------------------------------------------
+
+/// Minimal JSON scanner: verifies braces/brackets balance outside of
+/// strings and counts occurrences of `"key":"value"` pairs.  Enough to
+/// prove the export is structurally valid JSON without a parser dep.
+bool json_balanced(const std::string& s) {
+  int depth = 0;
+  bool in_string = false;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    const char c = s[i];
+    if (in_string) {
+      if (c == '\\') ++i;
+      else if (c == '"') in_string = false;
+      continue;
+    }
+    if (c == '"') in_string = true;
+    else if (c == '{' || c == '[') ++depth;
+    else if (c == '}' || c == ']') {
+      if (--depth < 0) return false;
+    }
+  }
+  return depth == 0 && !in_string;
+}
+
+std::size_t count_occurrences(const std::string& s, const std::string& pat) {
+  std::size_t n = 0;
+  for (std::size_t pos = s.find(pat); pos != std::string::npos;
+       pos = s.find(pat, pos + pat.size()))
+    ++n;
+  return n;
+}
+
+TEST(Tracer, SpanNestingAndExportRoundTrip) {
+  obs::Tracer& tracer = obs::Tracer::global();
+  tracer.clear();
+  tracer.enable();
+  {
+    obs::Span outer("outer", "test");
+    outer.arg("items", 42);
+    {
+      obs::Span inner("inner", "test");
+    }
+    obs::instant("marker", "test", "value", 7);
+  }
+  tracer.disable();
+  EXPECT_EQ(tracer.event_count(), 3u);
+  const std::string json = tracer.chrome_json();
+  EXPECT_TRUE(json_balanced(json)) << json;
+  EXPECT_EQ(json.rfind("{\"traceEvents\":[", 0), 0u) << json;
+  EXPECT_NE(json.find("\"name\":\"outer\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"inner\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"marker\""), std::string::npos);
+  EXPECT_NE(json.find("\"cat\":\"test\""), std::string::npos);
+  EXPECT_EQ(count_occurrences(json, "\"ph\":\"X\""), 2u);
+  EXPECT_EQ(count_occurrences(json, "\"ph\":\"i\""), 1u);
+  EXPECT_NE(json.find("\"items\":42"), std::string::npos);
+  EXPECT_NE(json.find("\"value\":7"), std::string::npos);
+  tracer.clear();
+}
+
+TEST(Tracer, DisabledSpansRecordNothing) {
+  obs::Tracer& tracer = obs::Tracer::global();
+  tracer.clear();
+  tracer.disable();
+  {
+    obs::Span s("invisible", "test");
+    s.arg("x", 1);
+    obs::instant("also-invisible", "test");
+  }
+  EXPECT_EQ(tracer.event_count(), 0u);
+  EXPECT_EQ(tracer.chrome_json().find("invisible"), std::string::npos);
+}
+
+TEST(Tracer, WriteChromeJsonRoundTripsThroughAFile) {
+  obs::Tracer& tracer = obs::Tracer::global();
+  tracer.clear();
+  tracer.enable();
+  { obs::Span s("file-span", "test"); }
+  tracer.disable();
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "vppb_obs_test.json").string();
+  tracer.write_chrome_json(path);
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buf;
+  buf << in.rdbuf();
+  EXPECT_EQ(buf.str(), tracer.chrome_json());
+  EXPECT_NE(buf.str().find("file-span"), std::string::npos);
+  std::filesystem::remove(path);
+  tracer.clear();
+}
+
+// ---- tracing must not change simulation results --------------------------
+
+TEST(Tracer, SimulationDigestsAreIdenticalWithTracingOnAndOff) {
+  sol::Program program;
+  const trace::Trace t = rec::record_program(program, []() {
+    workloads::fork_join(4, SimTime::millis(2));
+  });
+  const core::CompiledTrace compiled = core::compile(t);
+  core::SimConfig cfg;
+  cfg.hw.cpus = 4;
+
+  obs::Tracer& tracer = obs::Tracer::global();
+  tracer.clear();
+  tracer.disable();
+  const core::SimResult off = core::simulate(compiled, cfg);
+
+  tracer.enable();
+  const core::SimResult on = core::simulate(compiled, cfg);
+  tracer.disable();
+
+  EXPECT_EQ(core::digest(off), core::digest(on));
+  EXPECT_GT(on.engine.steps, 0u);
+  EXPECT_EQ(off.engine.steps, on.engine.steps);
+  EXPECT_EQ(off.engine.dispatches, on.engine.dispatches);
+  EXPECT_EQ(off.engine.preemptions, on.engine.preemptions);
+  EXPECT_EQ(off.engine.migrations, on.engine.migrations);
+  EXPECT_GT(tracer.event_count(), 0u);  // the traced run left spans
+  tracer.clear();
+}
+
+// ---- env helpers ---------------------------------------------------------
+
+TEST(Env, RawOrAndSet) {
+  ::unsetenv("VPPB_TEST_ENV");
+  EXPECT_EQ(util::env_raw("VPPB_TEST_ENV"), nullptr);
+  EXPECT_EQ(util::env_or("VPPB_TEST_ENV", "fallback"), "fallback");
+  EXPECT_FALSE(util::env_set("VPPB_TEST_ENV"));
+  ::setenv("VPPB_TEST_ENV", "", 1);
+  EXPECT_EQ(util::env_or("VPPB_TEST_ENV", "fallback"), "");
+  EXPECT_FALSE(util::env_set("VPPB_TEST_ENV"));
+  ::setenv("VPPB_TEST_ENV", "value", 1);
+  EXPECT_EQ(util::env_or("VPPB_TEST_ENV", "fallback"), "value");
+  EXPECT_TRUE(util::env_set("VPPB_TEST_ENV"));
+  ::unsetenv("VPPB_TEST_ENV");
+}
+
+// ---- structured logger ---------------------------------------------------
+
+TEST(Log, LevelParsing) {
+  obs::LogLevel level;
+  EXPECT_TRUE(obs::parse_log_level("trace", &level));
+  EXPECT_EQ(level, obs::LogLevel::kTrace);
+  EXPECT_TRUE(obs::parse_log_level("warn", &level));
+  EXPECT_EQ(level, obs::LogLevel::kWarn);
+  EXPECT_TRUE(obs::parse_log_level("off", &level));
+  EXPECT_EQ(level, obs::LogLevel::kOff);
+  EXPECT_FALSE(obs::parse_log_level("verbose", &level));
+  EXPECT_FALSE(obs::parse_log_level("", &level));
+}
+
+TEST(Log, SpecParsing) {
+  obs::LogSpec spec;
+  EXPECT_TRUE(obs::parse_log_spec("debug", &spec));
+  EXPECT_EQ(spec.level, obs::LogLevel::kDebug);
+  EXPECT_FALSE(spec.json);
+  EXPECT_TRUE(obs::parse_log_spec("info:json", &spec));
+  EXPECT_EQ(spec.level, obs::LogLevel::kInfo);
+  EXPECT_TRUE(spec.json);
+  EXPECT_TRUE(obs::parse_log_spec("error:text", &spec));
+  EXPECT_FALSE(spec.json);
+  obs::LogSpec untouched;
+  untouched.level = obs::LogLevel::kWarn;
+  EXPECT_FALSE(obs::parse_log_spec("info:yaml", &untouched));
+  EXPECT_EQ(untouched.level, obs::LogLevel::kWarn);
+  EXPECT_FALSE(obs::parse_log_spec("loud", &untouched));
+}
+
+TEST(Log, JsonSinkEscapesAndLevelsFilter) {
+  obs::Logger& log = obs::Logger::global();
+  const obs::LogLevel saved_level = log.level();
+  const bool saved_json = log.json();
+
+  std::vector<std::string> lines;
+  log.set_sink([&lines](std::string_view line) {
+    lines.emplace_back(line);
+  });
+  log.set_level(obs::LogLevel::kInfo);
+  log.set_json(true);
+
+  obs::logf(obs::LogLevel::kDebug, "test", "filtered out");
+  obs::logf(obs::LogLevel::kInfo, "test", "quote \" and\nnewline");
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_TRUE(json_balanced(lines[0])) << lines[0];
+  EXPECT_NE(lines[0].find("\"level\":\"info\""), std::string::npos);
+  EXPECT_NE(lines[0].find("\"component\":\"test\""), std::string::npos);
+  EXPECT_NE(lines[0].find("quote \\\" and\\nnewline"), std::string::npos);
+
+  log.set_json(false);
+  obs::logf(obs::LogLevel::kError, "test", "plain %d", 7);
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_NE(lines[1].find("error"), std::string::npos);
+  EXPECT_NE(lines[1].find("test: plain 7"), std::string::npos);
+
+  log.set_sink({});  // restore stderr
+  log.set_level(saved_level);
+  log.set_json(saved_json);
+}
+
+}  // namespace
+}  // namespace vppb

@@ -6,8 +6,10 @@
 #include <unistd.h>
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdio>
+#include <string>
 #include <filesystem>
 #include <fstream>
 #include <mutex>
@@ -20,6 +22,7 @@
 #include "server/client.hpp"
 #include "server/protocol.hpp"
 #include "server/server.hpp"
+#include "server/stats_text.hpp"
 #include "server/trace_cache.hpp"
 #include "solaris/program.hpp"
 #include "solaris/solaris.hpp"
@@ -446,6 +449,53 @@ TEST_F(ServerTest, EightClientsBitIdenticalToOfflineAndOneCompile) {
   server.stop();
 }
 
+TEST_F(ServerTest, MetricsDumpServesPrometheusTextAndStructuredStats) {
+  const trace::Trace t = record_fork_join(4, SimTime::millis(2));
+  TempFile trace_file("md");
+  trace::save_file(t, trace_file.path());
+
+  TempFile sock("mdsock");
+  ServerOptions so;
+  so.unix_path = sock.path();
+  so.jobs = 2;
+  Server server(so);
+  server.start();
+
+  Client c = Client::connect_unix(sock.path());
+  // Two predicts so the cache records one miss and one hit.
+  ASSERT_EQ(c.call(predict_request(trace_file.path(), 4)).status, Status::kOk);
+  ASSERT_EQ(c.call(predict_request(trace_file.path(), 4)).status, Status::kOk);
+
+  Request req;
+  req.type = ReqType::kMetricsDump;
+  const Response r = c.call(req);
+  ASSERT_EQ(r.status, Status::kOk) << r.error;
+  EXPECT_EQ(r.type, ReqType::kMetricsDump);
+
+  // The Prometheus exposition covers every layer: server counters and
+  // latency histogram, cache counters and occupancy gauges, pool usage.
+  for (const char* needle :
+       {"# TYPE vppb_server_requests_total counter",
+        "# TYPE vppb_server_latency_us histogram", "vppb_cache_hits_total",
+        "vppb_cache_misses_total", "vppb_cache_entries", "vppb_cache_bytes",
+        "vppb_pool_tasks_total", "vppb_pool_queue_depth",
+        "vppb_server_in_flight", "vppb_server_admission_limit"}) {
+    EXPECT_NE(r.report.find(needle), std::string::npos)
+        << "metricsdump missing " << needle;
+  }
+
+  // The structured body rides along, and its human rendering surfaces
+  // the failure counters and the hit rate.
+  EXPECT_GE(r.stats.requests, 3u);
+  EXPECT_EQ(r.stats.cache_misses, 1u);
+  EXPECT_EQ(r.stats.cache_hits, 1u);
+  const std::string text = render_stats_text(r.stats);
+  EXPECT_NE(text.find("deadline misses"), std::string::npos);
+  EXPECT_NE(text.find("overloads"), std::string::npos);
+  EXPECT_NE(text.find("cache hit rate: 50.0%"), std::string::npos);
+  server.stop();
+}
+
 TEST_F(ServerTest, SimulateDigestMatchesOfflineAndSvgRenders) {
   const trace::Trace t = record_fork_join(4, SimTime::millis(2));
   TempFile trace_file("sim");
@@ -598,12 +648,31 @@ TEST_F(ServerTest, StopDrainsInFlightRequests) {
   auto server = std::make_unique<Server>(so);
   server->start();
 
-  // Fire a request and stop the server while it may still be running;
-  // the response must still arrive (drain, not abort).
+  // Fire a request and stop the server while it is being executed; the
+  // response must still arrive (drain, not abort).  The caller runs in
+  // its own thread, and stop() is issued only once the request counter
+  // ticks — i.e. the connection thread is inside execute() and will
+  // write its response before noticing the read-side shutdown.  Calling
+  // stop() earlier would race the *accept* of the connection, which the
+  // drain contract deliberately does not cover.
   Client c = Client::connect_unix(sock.path());
-  std::thread stopper([&server]() { server->stop(); });
-  const Response r = c.call(predict_request(trace_file.path(), 4));
-  stopper.join();
+  Response r;
+  std::string call_error;
+  std::thread caller([&]() {
+    try {
+      r = c.call(predict_request(trace_file.path(), 4));
+    } catch (const Error& e) {
+      call_error = e.what();
+    }
+  });
+  StatsBody stats;
+  do {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    server->metrics().snapshot(stats);
+  } while (stats.requests == 0);
+  server->stop();
+  caller.join();
+  ASSERT_TRUE(call_error.empty()) << call_error;
   EXPECT_EQ(r.status, Status::kOk) << r.error;
 }
 

@@ -11,22 +11,31 @@
 //   vppb request <type> ...  query a running daemon
 //
 // Trace files are sniffed: both the text and the binary format load.
+#include <algorithm>
+#include <chrono>
 #include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <limits>
+#include <thread>
 
 #include "core/engine.hpp"
 #include "core/sweep.hpp"
 #include "machine/validate.hpp"
+#include "obs/log.hpp"
+#include "obs/span.hpp"
 #include "recorder/recorder.hpp"
 #include "server/client.hpp"
 #include "server/server.hpp"
+#include "server/stats_text.hpp"
+#include "server/trace_cache.hpp"
 #include "solaris/program.hpp"
 #include "trace/binary.hpp"
 #include "trace/io.hpp"
 #include "util/atomic_file.hpp"
+#include "util/env.hpp"
 #include "util/error.hpp"
 #include "util/fault.hpp"
 #include "util/flags.hpp"
@@ -62,13 +71,17 @@ int usage() {
       "  convert <in> <out>   (binary iff <out> ends in .bin)\n"
       "  serve [--socket PATH | --port N] [--jobs N] [--admission N]\n"
       "        [--cache-entries N] [--cache-mb N]\n"
-      "  request <predict|simulate|analyze|stats|health> [trace]\n"
-      "          [--socket PATH | --port N] [--deadline-ms N]\n"
+      "  request <predict|simulate|analyze|stats|health|metricsdump>\n"
+      "          [trace] [--socket PATH | --port N] [--deadline-ms N]\n"
       "          [--timeout-ms N] [--retries N] + the predict/simulate/\n"
       "          analyze flags above; --svg F saves the simulate render\n"
+      "  stats [--watch] [--interval-ms N] [--count N]\n"
+      "        live daemon counter view (stats request in a loop)\n"
       "  info/predict/simulate/analyze/convert accept --salvage: load the\n"
       "  longest valid prefix of a damaged trace instead of failing\n"
-      "  workload names must be exact or a unique prefix of >= 4 chars\n");
+      "  workload names must be exact or a unique prefix of >= 4 chars\n"
+      "  global: --profile F (or $VPPB_PROFILE) writes a Chrome trace of\n"
+      "  the run; --log-level L / --log-json override $VPPB_LOG\n");
   return 2;
 }
 
@@ -155,7 +168,8 @@ trace::Trace load_trace(Flags& flags, const std::string& path) {
   trace::LoadReport report;
   trace::Trace t = trace::load_any_file(path, opt, &report);
   // summary() already lists each issue with its byte offset.
-  std::fprintf(stderr, "vppb: salvage: %s\n", report.summary().c_str());
+  obs::logf(obs::LogLevel::kWarn, "cli", "salvage: %s",
+            report.summary().c_str());
   return t;
 }
 
@@ -217,8 +231,19 @@ int cmd_info(Flags& flags) {
 
 int cmd_predict(Flags& flags) {
   if (flags.positional().size() < 2) return usage();
-  const trace::Trace t = load_trace(flags, flags.positional()[1]);
-  const core::CompiledTrace compiled = core::compile(t);
+  // The load goes through a (one-shot, unbounded) TraceCache so the CLI
+  // exercises the same path the daemon serves from — and a --profile of
+  // a predict run shows cache.get/cache.load spans next to the engine
+  // phases.  Salvage mode bypasses it: the cache refuses damaged files.
+  server::TraceCache cache(1, std::numeric_limits<std::size_t>::max());
+  std::shared_ptr<const server::TraceCache::Entry> entry;
+  core::CompiledTrace salvaged;
+  if (flags.boolean("salvage")) {
+    salvaged = core::compile(load_trace(flags, flags.positional()[1]));
+  } else {
+    entry = cache.get(flags.positional()[1]);
+  }
+  const core::CompiledTrace& compiled = entry ? entry->compiled : salvaged;
   core::SimConfig base;
   base.sched.lwps = static_cast<int>(flags.i64("lwps"));
   base.hw.comm_delay = SimTime::micros(flags.i64("comm-delay-us"));
@@ -356,9 +381,8 @@ int cmd_serve(Flags& flags) {
               util::ThreadPool::resolve_jobs(opt.jobs), opt.admission_limit,
               opt.cache_entries,
               static_cast<long long>(opt.cache_bytes >> 20));
-  if (util::FaultPlan::global().armed())
-    std::printf("vppbd: FAULT INJECTION ARMED: %s\n",
-                util::FaultPlan::global().summary().c_str());
+  // An armed fault plan is announced by the server itself, as a
+  // structured kWarn line.
   std::fflush(stdout);
 
   int sig = 0;
@@ -394,12 +418,15 @@ int cmd_request(Flags& flags) {
     req.type = server::ReqType::kStats;
   } else if (what == "health") {
     req.type = server::ReqType::kHealth;
+  } else if (what == "metricsdump") {
+    req.type = server::ReqType::kMetricsDump;
   } else {
     throw Error("unknown request type '" + what +
-                "' (predict simulate analyze stats health)");
+                "' (predict simulate analyze stats health metricsdump)");
   }
-  if (req.type != server::ReqType::kStats &&
-      req.type != server::ReqType::kHealth) {
+  if (req.type == server::ReqType::kPredict ||
+      req.type == server::ReqType::kSimulate ||
+      req.type == server::ReqType::kAnalyze) {
     if (flags.positional().size() < 3) return usage();
     // The daemon resolves paths in its own working directory; send an
     // absolute path so the client's idea of the trace wins.
@@ -465,63 +492,43 @@ int cmd_request(Flags& flags) {
                   static_cast<unsigned long long>(r.digest),
                   r.report.c_str());
       break;
-    case server::ReqType::kStats: {
-      const server::StatsBody& s = r.stats;
-      TextTable table;
-      table.header({"counter", "value"});
-      table.row({"requests", strprintf("%llu",
-                 static_cast<unsigned long long>(s.requests))});
-      const char* names[] = {"predict", "simulate", "analyze", "stats",
-                             "health"};
-      for (std::size_t i = 0; i < server::kReqTypeCount; ++i) {
-        table.row({strprintf("  %s", names[i]),
-                   strprintf("%llu",
-                             static_cast<unsigned long long>(s.by_type[i]))});
-      }
-      table.row({"errors", strprintf("%llu",
-                 static_cast<unsigned long long>(s.errors))});
-      table.row({"overloads", strprintf("%llu",
-                 static_cast<unsigned long long>(s.overloads))});
-      table.row({"deadline misses", strprintf("%llu",
-                 static_cast<unsigned long long>(s.deadlines))});
-      table.row({"cache hits", strprintf("%llu",
-                 static_cast<unsigned long long>(s.cache_hits))});
-      table.row({"cache misses", strprintf("%llu",
-                 static_cast<unsigned long long>(s.cache_misses))});
-      table.row({"cache evictions", strprintf("%llu",
-                 static_cast<unsigned long long>(s.cache_evictions))});
-      table.row({"cache entries", strprintf("%llu",
-                 static_cast<unsigned long long>(s.cache_entries))});
-      table.row({"cache bytes", strprintf("%llu",
-                 static_cast<unsigned long long>(s.cache_bytes))});
-      std::printf("%s", table.render().c_str());
-      const std::uint64_t lookups = s.cache_hits + s.cache_misses;
-      if (lookups > 0)
-        std::printf("\ncache hit rate: %.1f%%\n",
-                    100.0 * static_cast<double>(s.cache_hits) /
-                        static_cast<double>(lookups));
-      if (s.latency_count > 0)
-        std::printf("latency (us): p50 %.0f  p90 %.0f  p99 %.0f  max %.0f "
-                    "over %llu requests\n",
-                    s.p50_us, s.p90_us, s.p99_us, s.max_us,
-                    static_cast<unsigned long long>(s.latency_count));
+    case server::ReqType::kStats:
+      std::printf("%s", server::render_stats_text(r.stats).c_str());
       break;
-    }
     case server::ReqType::kHealth:
-      std::printf("ready:           %s\n", r.ready ? "yes" : "no");
-      std::printf("in flight:       %llu / %llu\n",
-                  static_cast<unsigned long long>(r.in_flight),
-                  static_cast<unsigned long long>(r.admission_limit));
-      std::printf("requests served: %llu (%llu errors, %llu overloads, "
-                  "%llu deadline misses)\n",
-                  static_cast<unsigned long long>(r.stats.requests),
-                  static_cast<unsigned long long>(r.stats.errors),
-                  static_cast<unsigned long long>(r.stats.overloads),
-                  static_cast<unsigned long long>(r.stats.deadlines));
-      std::printf("cache:           %llu entries, %llu bytes\n",
-                  static_cast<unsigned long long>(r.stats.cache_entries),
-                  static_cast<unsigned long long>(r.stats.cache_bytes));
+      std::printf("%s", server::render_health_text(r).c_str());
       break;
+    case server::ReqType::kMetricsDump:
+      // Prometheus text exposition, verbatim — pipe it at a scrape
+      // endpoint or a file.
+      std::printf("%s", r.report.c_str());
+      break;
+  }
+  return 0;
+}
+
+/// `vppb stats [--watch]`: the stats request in a loop, rendered with
+/// the same code path as `vppb request stats`.
+int cmd_stats(Flags& flags) {
+  server::Client client = connect_client(flags);
+  server::Request req;
+  req.type = server::ReqType::kStats;
+  const bool watch = flags.boolean("watch");
+  const std::int64_t interval_ms = std::max<std::int64_t>(
+      1, flags.i64("interval-ms"));
+  std::int64_t count = flags.i64("count");
+  if (count <= 0) count = watch ? std::numeric_limits<std::int64_t>::max() : 1;
+  for (std::int64_t i = 0; i < count; ++i) {
+    if (i > 0)
+      std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+    const server::Response r = client.call(req);
+    if (r.status != server::Status::kOk) {
+      std::fprintf(stderr, "vppb: stats failed: %s\n", r.error.c_str());
+      return 1;
+    }
+    if (watch) std::printf("\033[H\033[2J");  // home + clear
+    std::printf("%s", server::render_stats_text(r.stats).c_str());
+    if (watch) std::fflush(stdout);
   }
   return 0;
 }
@@ -577,21 +584,64 @@ int main(int argc, char** argv) {
                    "serve: max in-flight requests before overload");
   flags.define_i64("cache-entries", 16, "serve: compiled-trace cache slots");
   flags.define_i64("cache-mb", 512, "serve: compiled-trace cache budget");
+  flags.define_string("log-level", "",
+                      "trace|debug|info|warn|error|off (overrides $VPPB_LOG)");
+  flags.define_bool("log-json", false, "emit log lines as JSON objects");
+  flags.define_string("profile", "",
+                      "write a Chrome trace-event profile of this run "
+                      "(also $VPPB_PROFILE)");
+  flags.define_bool("watch", false, "stats: refresh until interrupted");
+  flags.define_i64("interval-ms", 1000, "stats --watch: refresh period");
+  flags.define_i64("count", 0, "stats: snapshots to take (0 = default)");
 
   try {
     flags.parse(argc, argv);
     if (flags.positional().empty()) return usage();
-    const std::string& cmd = flags.positional()[0];
-    if (cmd == "gen") return cmd_gen(flags);
-    if (cmd == "info") return cmd_info(flags);
-    if (cmd == "predict") return cmd_predict(flags);
-    if (cmd == "simulate") return cmd_simulate(flags);
-    if (cmd == "analyze") return cmd_analyze(flags);
-    if (cmd == "validate") return cmd_validate(flags);
-    if (cmd == "convert") return cmd_convert(flags);
-    if (cmd == "serve") return cmd_serve(flags);
-    if (cmd == "request") return cmd_request(flags);
-    return usage();
+
+    if (!flags.str("log-level").empty()) {
+      obs::LogLevel level;
+      if (!obs::parse_log_level(flags.str("log-level"), &level))
+        throw vppb::Error("bad --log-level '" + flags.str("log-level") +
+                          "' (trace debug info warn error off)");
+      obs::Logger::global().set_level(level);
+    }
+    if (flags.boolean("log-json")) obs::Logger::global().set_json(true);
+
+    // Self-profiling: --profile (or $VPPB_PROFILE) arms the tracer for
+    // the whole command and writes the Chrome trace on the way out —
+    // including the error paths, so a slow-then-failing run still
+    // yields its timeline.
+    const std::string profile = !flags.str("profile").empty()
+                                    ? flags.str("profile")
+                                    : vppb::util::env_or("VPPB_PROFILE", "");
+    if (!profile.empty()) obs::Tracer::global().enable();
+    const auto write_profile = [&profile]() {
+      if (profile.empty()) return;
+      obs::Tracer::global().write_chrome_json(profile);
+      std::fprintf(stderr, "vppb: wrote %zu trace events to %s\n",
+                   obs::Tracer::global().event_count(), profile.c_str());
+    };
+
+    int rc = 2;
+    try {
+      const std::string& cmd = flags.positional()[0];
+      if (cmd == "gen") rc = cmd_gen(flags);
+      else if (cmd == "info") rc = cmd_info(flags);
+      else if (cmd == "predict") rc = cmd_predict(flags);
+      else if (cmd == "simulate") rc = cmd_simulate(flags);
+      else if (cmd == "analyze") rc = cmd_analyze(flags);
+      else if (cmd == "validate") rc = cmd_validate(flags);
+      else if (cmd == "convert") rc = cmd_convert(flags);
+      else if (cmd == "serve") rc = cmd_serve(flags);
+      else if (cmd == "request") rc = cmd_request(flags);
+      else if (cmd == "stats") rc = cmd_stats(flags);
+      else rc = usage();
+    } catch (...) {
+      write_profile();
+      throw;
+    }
+    write_profile();
+    return rc;
   } catch (const vppb::Error& e) {
     std::fprintf(stderr, "vppb: %s\n", e.what());
     return 1;
