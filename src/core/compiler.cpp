@@ -13,6 +13,10 @@ const CompiledThread& CompiledTrace::thread(ThreadId tid) const {
 }
 
 CompiledTrace compile(const trace::Trace& trace) {
+  return compile(trace, nullptr);
+}
+
+CompiledTrace compile(const trace::Trace& trace, const RunGuard* guard) {
   trace.validate();
   CompiledTrace out;
   out.recorded_duration = trace.duration();
@@ -40,7 +44,14 @@ CompiledTrace compile(const trace::Trace& trace) {
     return it->second;
   };
 
+  std::size_t scanned = 0;
   for (const trace::Record& r : trace.records) {
+    // Governance checkpoint: cheap enough per batch that a cancelled or
+    // wall-overdue request bails out of even a multi-GB compile.
+    if (guard != nullptr && (++scanned & 4095u) == 0) {
+      guard->check_cancel();
+      guard->check_wall();
+    }
     // Single-LWP attribution: the interval since the previous record was
     // executed by this record's thread.
     accum[r.tid] += r.at - prev_at;

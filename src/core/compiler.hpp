@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "core/guard.hpp"
 #include "trace/trace.hpp"
 #include "util/time.hpp"
 
@@ -65,5 +66,10 @@ struct CompiledTrace {
 /// Compiles a validated trace.  Throws vppb::Error on traces that cannot
 /// be replayed (e.g. a return without a call).
 CompiledTrace compile(const trace::Trace& trace);
+
+/// Guarded compilation: polls `guard` (cancellation + wall budget)
+/// every few thousand records, so a cancelled request does not sit
+/// through the full compile of a huge trace.  Null guard = unguarded.
+CompiledTrace compile(const trace::Trace& trace, const RunGuard* guard);
 
 }  // namespace vppb::core

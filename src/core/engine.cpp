@@ -117,12 +117,32 @@ struct Lwp {
 
 class Engine {
  public:
-  Engine(const CompiledTrace& compiled, const SimConfig& cfg)
-      : compiled_(compiled), cfg_(cfg) {}
+  Engine(const CompiledTrace& compiled, const SimConfig& cfg,
+         const RunGuard* guard = nullptr)
+      : compiled_(compiled), cfg_(cfg), guard_(guard) {}
 
   SimResult run();
 
  private:
+  // ---- resource governance ----
+  // Per-step checkpoint: cancellation + step budget every step; the
+  // wall clock and result footprint only every 1024 steps (a clock
+  // read per step would be measurable).
+  void guard_step_check() {
+    guard_->check_cancel();
+    guard_->check_steps(ec_.steps);
+    if ((ec_.steps & 1023u) == 0) {
+      guard_->check_wall();
+      guard_->check_result_bytes(approx_result_bytes());
+    }
+  }
+
+  std::size_t approx_result_bytes() const {
+    return result_.segments.capacity() * sizeof(Segment) +
+           result_.events.capacity() * sizeof(SimEvent) +
+           result_.lwp_segments.capacity() * sizeof(LwpSegment);
+  }
+
   // ---- setup ----
   void init_threads();
   Lwp& new_lwp(bool dedicated, int bound_cpu);
@@ -192,6 +212,7 @@ class Engine {
 
   const CompiledTrace& compiled_;
   const SimConfig& cfg_;
+  const RunGuard* guard_ = nullptr;  ///< null = no governance, zero cost
 
   SimTime now_;
   // Dense thread table in ascending-tid order (Th::idx indexes it; the
@@ -997,6 +1018,7 @@ bool Engine::process_due_now() {
 
 void Engine::apply_op(Th& t) {
   ++ec_.steps;
+  if (guard_ != nullptr) guard_step_check();
   const Step& s = t.current_step();
 
   // Open the event entry shown by the Visualizer.
@@ -1760,8 +1782,20 @@ SimResult Engine::run() {
         if (all_done) break;
         replay_deadlock();
       }
+      if (guard_ != nullptr) {
+        guard_->check_cancel();
+        guard_->check_sim_time(next);
+      }
       advance_to(next);
     }
+  }
+
+  // A final footprint + wall check so a small trace that exploded the
+  // result storage (timeline on) or overstayed its wall budget still
+  // trips even below the periodic cadence.
+  if (guard_ != nullptr) {
+    guard_->check_result_bytes(approx_result_bytes());
+    guard_->check_wall();
   }
 
   // Finalize.
@@ -1824,8 +1858,19 @@ SimResult simulate(const CompiledTrace& compiled, const SimConfig& config) {
   return engine.run();
 }
 
+SimResult simulate(const CompiledTrace& compiled, const SimConfig& config,
+                   const RunGuard* guard) {
+  Engine engine(compiled, config, guard);
+  return engine.run();
+}
+
 SimResult simulate(const trace::Trace& trace, const SimConfig& config) {
   return simulate(compile(trace), config);
+}
+
+SimResult simulate(const trace::Trace& trace, const SimConfig& config,
+                   const RunGuard* guard) {
+  return simulate(compile(trace, guard), config, guard);
 }
 
 double predict_speedup(const trace::Trace& trace, int cpus) {

@@ -25,6 +25,7 @@
 
 #include "core/compiler.hpp"
 #include "core/config.hpp"
+#include "core/guard.hpp"
 #include "core/result.hpp"
 #include "trace/trace.hpp"
 
@@ -42,8 +43,21 @@ namespace vppb::core {
 /// plus pre-jittered compiled step demands — see src/machine.
 SimResult simulate(const CompiledTrace& compiled, const SimConfig& config);
 
+/// Guarded run: the engine polls `guard` once per step (cancellation +
+/// step budget; wall/result budgets every ~1k steps) and once per clock
+/// advance (simulated-time budget), throwing BudgetExceeded on a trip.
+/// A null guard is identical to the two-argument overload; a guard with
+/// no limits costs one relaxed load per step.  Guards never alter a
+/// completed run's result.
+SimResult simulate(const CompiledTrace& compiled, const SimConfig& config,
+                   const RunGuard* guard);
+
 /// Convenience: compile + simulate.
 SimResult simulate(const trace::Trace& trace, const SimConfig& config);
+
+/// Guarded convenience overload: the guard also covers compilation.
+SimResult simulate(const trace::Trace& trace, const SimConfig& config,
+                   const RunGuard* guard);
 
 /// The headline number: predicted speed-up of the traced program on
 /// `cpus` processors (paper Table 1).

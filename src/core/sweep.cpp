@@ -98,13 +98,14 @@ SpeedupCurve sweep_cpus(const CompiledTrace& compiled,
   // `i` of points/results belongs to cpu_counts[i], which keeps the
   // output deterministic whatever order the pool finishes in.
   auto run_point = [&](std::size_t i) {
+    if (options.guard != nullptr) options.guard->check_cancel();
     const int cpus = cpu_counts[i];
     obs::Span point_span("sweep.point", "engine");
     point_span.arg("cpus", cpus);
     SimConfig cfg = base;
     cfg.hw.cpus = cpus;
     if (!options.honor_build_timeline) cfg.build_timeline = false;
-    SimResult r = simulate(compiled, cfg);
+    SimResult r = simulate(compiled, cfg, options.guard);
     SweepPoint& p = points[i];
     p.cpus = cpus;
     p.speedup = r.speedup;

@@ -13,6 +13,7 @@
 
 #include "core/compiler.hpp"
 #include "core/config.hpp"
+#include "core/guard.hpp"
 #include "core/result.hpp"
 #include "util/time.hpp"
 
@@ -78,6 +79,13 @@ struct SweepOptions {
   /// When non-null, receives the full SimResult of every point, in
   /// `cpu_counts` order (the vector is resized to match).
   std::vector<SimResult>* results = nullptr;
+  /// Optional governance: checked before each sweep point and polled
+  /// inside every simulation.  One guard covers the whole sweep, so a
+  /// single cancel() (or a tripping wall budget) stops every in-flight
+  /// point; step/sim-time/result budgets apply per point.  The sweep
+  /// rethrows the first BudgetExceeded after all dispatched points have
+  /// drained — no tasks are left running in the pool.
+  const RunGuard* guard = nullptr;
 };
 
 /// Simulates the compiled trace at each CPU count (other parameters from

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <exception>
 #include <thread>
 
 #include "util/error.hpp"
@@ -56,11 +57,26 @@ Response Client::call_retry(const Request& req, RetryPolicy& policy) {
   std::uint64_t rng = policy.seed ? policy.seed : 1;
   std::int64_t prev_sleep = policy.base_ms;
   Response last;
+  bool have_response = false;
+  std::exception_ptr last_err;
+  const auto t0 = std::chrono::steady_clock::now();
   const int attempts = std::max(1, policy.max_attempts);
   for (int attempt = 0; attempt < attempts; ++attempt) {
     if (attempt > 0) {
-      const std::int64_t ms = next_sleep_ms(prev_sleep, policy, rng);
+      std::int64_t ms = next_sleep_ms(prev_sleep, policy, rng);
       prev_sleep = ms;
+      // The backoff schedule must fit inside the request's own deadline:
+      // sleeping past it guarantees every further attempt comes back
+      // kDeadlineExceeded, a double-spend of a budget already gone.
+      if (req.deadline_ms > 0) {
+        const std::int64_t elapsed =
+            std::chrono::duration_cast<std::chrono::milliseconds>(
+                std::chrono::steady_clock::now() - t0)
+                .count();
+        const std::int64_t remaining = req.deadline_ms - elapsed;
+        if (remaining <= 0) break;  // budget spent: report what we have
+        ms = std::min(ms, remaining);
+      }
       policy.slept_ms += ms;
       std::this_thread::sleep_for(std::chrono::milliseconds(ms));
     }
@@ -68,11 +84,13 @@ Response Client::call_retry(const Request& req, RetryPolicy& policy) {
       if (policy.request_timeout_ms > 0)
         sock_.set_recv_timeout(policy.request_timeout_ms);
       last = call(req);
+      have_response = true;
     } catch (const Error&) {
       // Transport failure (dropped connection, timeout, torn frame):
       // the connection state is unknown — a fresh one is the only safe
       // way to retry.  On the last attempt, let the error surface.
       if (attempt + 1 >= attempts) throw;
+      last_err = std::current_exception();
       try {
         reconnect();
       } catch (const Error&) {
@@ -84,7 +102,11 @@ Response Client::call_retry(const Request& req, RetryPolicy& policy) {
     // Overloaded: the server is alive and said "later" — same
     // connection, backoff, retry.
   }
-  return last;  // still overloaded after every attempt
+  // Out of attempts or out of deadline budget.  With a response in hand
+  // (kOverloaded) return it; with nothing but transport failures,
+  // surface the most recent one.
+  if (!have_response && last_err) std::rethrow_exception(last_err);
+  return last;
 }
 
 }  // namespace vppb::server

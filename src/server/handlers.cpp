@@ -39,13 +39,14 @@ core::SimConfig base_config(const Request& req) {
 }  // namespace
 
 Response handle_predict(const Request& req, TraceCache& cache,
-                        const Deadline& deadline) {
+                        const Deadline& deadline,
+                        const core::RunGuard* guard) {
   check_range("max-cpus", req.max_cpus, 1, kMaxRequestCpus);
   Response resp;
   resp.type = ReqType::kPredict;
   deadline.check("trace load");
   const std::shared_ptr<const TraceCache::Entry> entry =
-      cache.get(req.trace_path);
+      cache.get(req.trace_path, guard);
   const core::SimConfig base = base_config(req);
 
   std::vector<int> cpu_counts;
@@ -65,7 +66,7 @@ Response handle_predict(const Request& req, TraceCache& cache,
     core::SimConfig cfg = base;
     cfg.hw.cpus = cpus;
     cfg.build_timeline = false;
-    core::SimResult r = core::simulate(entry->compiled, cfg);
+    core::SimResult r = core::simulate(entry->compiled, cfg, guard);
     points.push_back(core::SweepPoint{cpus, r.speedup, r.speedup / cpus,
                                       r.total});
     results.push_back(std::move(r));
@@ -85,18 +86,19 @@ Response handle_predict(const Request& req, TraceCache& cache,
 }
 
 Response handle_simulate(const Request& req, TraceCache& cache,
-                         const Deadline& deadline) {
+                         const Deadline& deadline,
+                         const core::RunGuard* guard) {
   check_range("cpus", req.cpus, 1, kMaxRequestCpus);
   Response resp;
   resp.type = ReqType::kSimulate;
   deadline.check("trace load");
   const std::shared_ptr<const TraceCache::Entry> entry =
-      cache.get(req.trace_path);
+      cache.get(req.trace_path, guard);
   core::SimConfig cfg = base_config(req);
   cfg.hw.cpus = req.cpus;
 
   deadline.check("simulation");
-  const core::SimResult r = core::simulate(entry->compiled, cfg);
+  const core::SimResult r = core::simulate(entry->compiled, cfg, guard);
   resp.total_ns = r.total.ns();
   resp.speedup = r.speedup;
   resp.cpus = r.cpus;
@@ -113,18 +115,19 @@ Response handle_simulate(const Request& req, TraceCache& cache,
 }
 
 Response handle_analyze(const Request& req, TraceCache& cache,
-                        const Deadline& deadline) {
+                        const Deadline& deadline,
+                        const core::RunGuard* guard) {
   check_range("cpus", req.cpus, 1, kMaxRequestCpus);
   Response resp;
   resp.type = ReqType::kAnalyze;
   deadline.check("trace load");
   const std::shared_ptr<const TraceCache::Entry> entry =
-      cache.get(req.trace_path);
+      cache.get(req.trace_path, guard);
   core::SimConfig cfg = base_config(req);
   cfg.hw.cpus = req.cpus;
 
   deadline.check("simulation");
-  const core::SimResult r = core::simulate(entry->compiled, cfg);
+  const core::SimResult r = core::simulate(entry->compiled, cfg, guard);
   resp.total_ns = r.total.ns();
   resp.speedup = r.speedup;
   resp.cpus = r.cpus;

@@ -7,6 +7,7 @@
 // connection.
 #pragma once
 
+#include "core/guard.hpp"
 #include "server/deadline.hpp"
 #include "server/protocol.hpp"
 #include "server/trace_cache.hpp"
@@ -15,11 +16,17 @@ namespace vppb::server {
 
 /// Handlers poll `deadline` at their checkpoints (trace load, each
 /// sweep point, render) and throw DeadlineExceeded to abandon work.
+/// `guard` (optional) is threaded into the compile and simulate calls,
+/// where it is polled per step; a tripped budget or a watchdog cancel
+/// surfaces as core::BudgetExceeded for the dispatcher to type.
 Response handle_predict(const Request& req, TraceCache& cache,
-                        const Deadline& deadline = Deadline());
+                        const Deadline& deadline = Deadline(),
+                        const core::RunGuard* guard = nullptr);
 Response handle_simulate(const Request& req, TraceCache& cache,
-                         const Deadline& deadline = Deadline());
+                         const Deadline& deadline = Deadline(),
+                         const core::RunGuard* guard = nullptr);
 Response handle_analyze(const Request& req, TraceCache& cache,
-                        const Deadline& deadline = Deadline());
+                        const Deadline& deadline = Deadline(),
+                        const core::RunGuard* guard = nullptr);
 
 }  // namespace vppb::server

@@ -16,6 +16,10 @@ struct ServerMetrics {
   obs::Counter& errors;
   obs::Counter& overloads;
   obs::Counter& deadlines;
+  obs::Counter& budgets;
+  obs::Counter& poisoned;
+  obs::Counter& watchdog_cancels;
+  obs::Counter& watchdog_replacements;
   obs::Histogram& latency_us;
 
   static ServerMetrics& get() {
@@ -28,6 +32,14 @@ struct ServerMetrics {
                     "Requests rejected by admission control"),
         reg.counter("vppb_server_deadlines_total",
                     "Requests that missed their deadline"),
+        reg.counter("vppb_server_budget_kills_total",
+                    "Requests stopped by a resource budget"),
+        reg.counter("vppb_server_poisoned_total",
+                    "Requests rejected from the poison quarantine"),
+        reg.counter("vppb_server_watchdog_cancels_total",
+                    "Overdue requests cancelled by the watchdog"),
+        reg.counter("vppb_server_watchdog_replacements_total",
+                    "Wedged workers replaced by the watchdog"),
         reg.histogram("vppb_server_latency_us",
                       "Admitted request latency, decode to response ready",
                       obs::latency_us_bounds()),
@@ -63,6 +75,30 @@ void Metrics::count_deadline() {
   ++deadlines_;
 }
 
+void Metrics::count_budget() {
+  ServerMetrics::get().budgets.inc();
+  std::lock_guard<std::mutex> lock(mu_);
+  ++budget_kills_;
+}
+
+void Metrics::count_poisoned() {
+  ServerMetrics::get().poisoned.inc();
+  std::lock_guard<std::mutex> lock(mu_);
+  ++poisoned_;
+}
+
+void Metrics::count_watchdog_cancel() {
+  ServerMetrics::get().watchdog_cancels.inc();
+  std::lock_guard<std::mutex> lock(mu_);
+  ++watchdog_cancels_;
+}
+
+void Metrics::count_watchdog_replacement() {
+  ServerMetrics::get().watchdog_replacements.inc();
+  std::lock_guard<std::mutex> lock(mu_);
+  ++watchdog_replacements_;
+}
+
 void Metrics::record_latency_us(double us) {
   ServerMetrics::get().latency_us.observe(us);
   std::lock_guard<std::mutex> lock(mu_);
@@ -85,6 +121,10 @@ void Metrics::snapshot(StatsBody& out) const {
     out.errors = errors_;
     out.overloads = overloads_;
     out.deadlines = deadlines_;
+    out.budget_kills = budget_kills_;
+    out.poisoned = poisoned_;
+    out.watchdog_cancels = watchdog_cancels_;
+    out.watchdog_replacements = watchdog_replacements_;
     out.latency_count = latencies_seen_;
     ring = latency_us_;  // percentile work happens off-lock
   }

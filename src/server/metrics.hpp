@@ -21,6 +21,10 @@ class Metrics {
   void count_error();
   void count_overload();
   void count_deadline();
+  void count_budget();               ///< kBudgetExceeded response
+  void count_poisoned();             ///< kPoisoned response
+  void count_watchdog_cancel();      ///< watchdog cancelled an overdue run
+  void count_watchdog_replacement(); ///< watchdog replaced a wedged worker
 
   /// Records the server-side latency of an executed (admitted) request,
   /// from frame decode to response ready.  Overload rejections are
@@ -38,6 +42,10 @@ class Metrics {
   std::uint64_t errors_ = 0;
   std::uint64_t overloads_ = 0;
   std::uint64_t deadlines_ = 0;
+  std::uint64_t budget_kills_ = 0;
+  std::uint64_t poisoned_ = 0;
+  std::uint64_t watchdog_cancels_ = 0;
+  std::uint64_t watchdog_replacements_ = 0;
   std::uint64_t latencies_seen_ = 0;
   std::size_t ring_next_ = 0;
   std::vector<double> latency_us_;  ///< ring buffer once at kMaxSamples

@@ -98,6 +98,18 @@ void check_version(Reader& in) {
 
 }  // namespace
 
+const char* to_string(Status s) {
+  switch (s) {
+    case Status::kOk: return "ok";
+    case Status::kError: return "error";
+    case Status::kOverloaded: return "overloaded";
+    case Status::kDeadlineExceeded: return "deadline-exceeded";
+    case Status::kBudgetExceeded: return "budget-exceeded";
+    case Status::kPoisoned: return "poisoned";
+  }
+  return "?";
+}
+
 const char* to_string(ReqType t) {
   switch (t) {
     case ReqType::kPredict: return "predict";
@@ -122,6 +134,7 @@ std::vector<std::uint8_t> encode(const Request& req) {
   put_i64(out, req.comm_delay_us);
   put_u64(out, req.want_svg ? 1 : 0);
   put_i64(out, req.deadline_ms);
+  put_u64(out, req.client_id);
   return out;
 }
 
@@ -137,6 +150,7 @@ Request decode_request(const std::uint8_t* data, std::size_t size) {
   req.comm_delay_us = in.i64();
   req.want_svg = in.u64() != 0;
   req.deadline_ms = in.i64();
+  req.client_id = in.u64();
   VPPB_CHECK_MSG(in.at_end(), "trailing bytes in request frame");
   return req;
 }
@@ -183,6 +197,12 @@ std::vector<std::uint8_t> encode(const Response& resp) {
   put_double(out, s.p90_us);
   put_double(out, s.p99_us);
   put_double(out, s.max_us);
+  put_u64(out, s.budget_kills);
+  put_u64(out, s.poisoned);
+  put_u64(out, s.poison_strikes);
+  put_u64(out, s.quarantined);
+  put_u64(out, s.watchdog_cancels);
+  put_u64(out, s.watchdog_replacements);
   put_u64(out, resp.ready ? 1 : 0);
   put_u64(out, resp.in_flight);
   put_u64(out, resp.admission_limit);
@@ -194,9 +214,8 @@ Response decode_response(const std::uint8_t* data, std::size_t size) {
   check_version(in);
   Response resp;
   const std::uint64_t status = in.u64();
-  VPPB_CHECK_MSG(
-      status <= static_cast<std::uint64_t>(Status::kDeadlineExceeded),
-      "unknown response status " << status);
+  VPPB_CHECK_MSG(status <= static_cast<std::uint64_t>(Status::kPoisoned),
+                 "unknown response status " << status);
   resp.status = static_cast<Status>(status);
   resp.type = req_type(in.u64());
   resp.error = in.str();
@@ -238,6 +257,12 @@ Response decode_response(const std::uint8_t* data, std::size_t size) {
   s.p90_us = in.dbl();
   s.p99_us = in.dbl();
   s.max_us = in.dbl();
+  s.budget_kills = in.u64();
+  s.poisoned = in.u64();
+  s.poison_strikes = in.u64();
+  s.quarantined = in.u64();
+  s.watchdog_cancels = in.u64();
+  s.watchdog_replacements = in.u64();
   resp.ready = in.u64() != 0;
   resp.in_flight = in.u64();
   resp.admission_limit = in.u64();

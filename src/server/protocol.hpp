@@ -25,7 +25,7 @@
 
 namespace vppb::server {
 
-constexpr std::uint8_t kProtocolVersion = 3;  ///< v3: metricsdump + cache waits
+constexpr std::uint8_t kProtocolVersion = 4;  ///< v4: governance (client_id, budget/poison statuses)
 /// Upper bound on a frame payload (a full SVG render fits comfortably;
 /// a corrupt or hostile length prefix does not).
 constexpr std::size_t kMaxFrame = 64u << 20;
@@ -47,7 +47,13 @@ enum class Status : std::uint8_t {
   kError = 1,             ///< request failed (bad trace, bad config, ...)
   kOverloaded = 2,        ///< admission queue full; retry later
   kDeadlineExceeded = 3,  ///< request deadline elapsed before completion
+  kBudgetExceeded = 4,    ///< a server resource budget (steps, wall time,
+                          ///< simulated time, result bytes) stopped the run
+  kPoisoned = 5,          ///< trace content is quarantined after repeated
+                          ///< crashes/budget kills; rejected pre-dispatch
 };
+
+const char* to_string(Status s);
 
 struct Request {
   ReqType type = ReqType::kPredict;
@@ -61,6 +67,11 @@ struct Request {
   /// milliseconds after arrival, the server abandons the work and
   /// responds kDeadlineExceeded.  0 = no deadline.
   std::int64_t deadline_ms = 0;
+  /// Caller identity for per-client fair admission (0 = anonymous).
+  /// When the server runs with a per-client limit, requests beyond it
+  /// for one identity are rejected kOverloaded while other clients'
+  /// slots stay available.
+  std::uint64_t client_id = 0;
 };
 
 /// One sweep point of a predict response.
@@ -91,6 +102,13 @@ struct StatsBody {
   double p90_us = 0.0;
   double p99_us = 0.0;
   double max_us = 0.0;
+  // Resource-governance counters (protocol v4).
+  std::uint64_t budget_kills = 0;    ///< responses with kBudgetExceeded
+  std::uint64_t poisoned = 0;        ///< responses with kPoisoned
+  std::uint64_t poison_strikes = 0;  ///< crash/budget strikes recorded
+  std::uint64_t quarantined = 0;     ///< content keys quarantined right now
+  std::uint64_t watchdog_cancels = 0;       ///< overdue requests cancelled
+  std::uint64_t watchdog_replacements = 0;  ///< wedged workers replaced
 };
 
 struct Response {

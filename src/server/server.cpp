@@ -28,6 +28,7 @@ Server::Server(ServerOptions opt)
     owned_pool_ = std::make_unique<util::ThreadPool>(opt_.jobs);
     pool_ = owned_pool_.get();
   }
+  cache_.configure_quarantine(opt_.poison_strikes, opt_.quarantine_ms);
 }
 
 Server::~Server() { stop(); }
@@ -43,6 +44,9 @@ void Server::start() {
     endpoint_ = strprintf("127.0.0.1:%u", port_);
   }
   running_.store(true);
+  watchdog_stop_.store(false);
+  if (opt_.watchdog_interval_ms > 0)
+    watchdog_thread_ = std::thread(&Server::watchdog_loop, this);
   accept_thread_ = std::thread(&Server::accept_loop, this);
   obs::logf(LogLevel::kInfo, "server", "listening on %s (admission limit %d)",
             endpoint_.c_str(), opt_.admission_limit);
@@ -70,6 +74,17 @@ void Server::stop() {
   for (auto& c : conns_)
     if (c->thread.joinable()) c->thread.join();
   conns_.clear();
+  // An abandoned worker task may still be running after its waiter
+  // returned; it captures `this`, so it must finish before teardown.
+  {
+    std::unique_lock<std::mutex> lock(drain_mu_);
+    drain_cv_.wait(lock, [&]() { return tasks_live_ == 0; });
+  }
+  // The watchdog outlives the drain so it can rescue draining
+  // connections whose worker is wedged.
+  watchdog_stop_.store(true);
+  watch_cv_.notify_all();
+  if (watchdog_thread_.joinable()) watchdog_thread_.join();
   if (!opt_.unix_path.empty()) ::unlink(opt_.unix_path.c_str());
   obs::logf(LogLevel::kInfo, "server", "stopped (drained) on %s",
             endpoint_.c_str());
@@ -84,6 +99,7 @@ void Server::accept_loop() {
     conns_.push_back(std::make_unique<Conn>());
     Conn* conn = conns_.back().get();
     conn->sock = std::move(s);
+    conn->id = next_conn_id_.fetch_add(1, std::memory_order_relaxed);
     conn->thread = std::thread(&Server::serve_connection, this, conn);
   }
 }
@@ -101,12 +117,9 @@ void Server::serve_connection(Conn* conn) {
       if (!payload.empty() &&
           faults_->should_fire(util::FaultSite::kCorruptFrame))
         payload[payload.size() / 2] ^= 0x20;
-      if (faults_->should_fire(util::FaultSite::kDelayResponse))
-        std::this_thread::sleep_for(std::chrono::milliseconds(
-            faults_->param(util::FaultSite::kDelayResponse)));
       Response resp;
       try {
-        resp = execute(decode_request(payload));
+        resp = execute(decode_request(payload), conn->id);
       } catch (const Error& e) {
         // Undecodable but correctly framed request: answer, keep the
         // connection (the framing itself is intact).
@@ -123,7 +136,37 @@ void Server::serve_connection(Conn* conn) {
   }
 }
 
-Response Server::execute(const Request& req) {
+core::RunLimits Server::request_limits(const Request& req) const {
+  core::RunLimits limits;
+  limits.max_steps = opt_.max_steps;
+  limits.max_sim_ms = opt_.max_sim_ms;
+  limits.max_result_bytes = opt_.max_result_mb << 20;
+  // The tighter of the server wall ceiling and the request's own
+  // deadline: the engine then notices an expired deadline mid-step,
+  // not just at the coarse handler checkpoints.
+  limits.max_wall_ms = opt_.max_wall_ms;
+  if (req.deadline_ms > 0 &&
+      (limits.max_wall_ms == 0 || req.deadline_ms < limits.max_wall_ms))
+    limits.max_wall_ms = req.deadline_ms;
+  return limits;
+}
+
+bool Server::client_admit(std::uint64_t client) {
+  std::lock_guard<std::mutex> lock(client_mu_);
+  int& n = client_in_flight_[client];
+  if (n >= opt_.per_client_limit) return false;
+  ++n;
+  return true;
+}
+
+void Server::client_release(std::uint64_t client) {
+  std::lock_guard<std::mutex> lock(client_mu_);
+  auto it = client_in_flight_.find(client);
+  if (it != client_in_flight_.end() && --it->second <= 0)
+    client_in_flight_.erase(it);
+}
+
+Response Server::execute(const Request& req, std::uint64_t conn_key) {
   metrics_.count_request(req.type);
   const auto t0 = std::chrono::steady_clock::now();
 
@@ -132,7 +175,47 @@ Response Server::execute(const Request& req) {
   // which is the one question it exists to answer.
   if (req.type == ReqType::kHealth) return health_response();
 
-  const Deadline deadline = Deadline::after_ms(req.deadline_ms);
+  const bool compute = req.type == ReqType::kPredict ||
+                       req.type == ReqType::kSimulate ||
+                       req.type == ReqType::kAnalyze;
+
+  // Quarantine check before any slot is reserved: a poisoned trace has
+  // already cost workers; it must not cost admission capacity too.
+  // Anything other than "quarantined" (unreadable file, ...) falls
+  // through — the handler produces the authoritative error.
+  if (compute) {
+    try {
+      cache_.check_poisoned(req.trace_path);
+    } catch (const Poisoned& e) {
+      metrics_.count_poisoned();
+      obs::logf(LogLevel::kWarn, "server", "poisoned: rejecting %s of %s",
+                to_string(req.type), req.trace_path.c_str());
+      Response resp;
+      resp.type = req.type;
+      resp.status = Status::kPoisoned;
+      resp.error = e.what();
+      return resp;
+    } catch (const std::exception&) {
+    }
+  }
+
+  // Per-client fair admission before the global gate: one flooding
+  // client exhausts its own quota, not the shared slots.
+  const std::uint64_t client = req.client_id != 0 ? req.client_id : conn_key;
+  const bool client_gated = opt_.per_client_limit > 0;
+  if (client_gated && !client_admit(client)) {
+    metrics_.count_overload();
+    obs::logf(LogLevel::kDebug, "server",
+              "overload: client %llu over per-client limit %d",
+              static_cast<unsigned long long>(client), opt_.per_client_limit);
+    Response resp;
+    resp.type = req.type;
+    resp.status = Status::kOverloaded;
+    resp.error = strprintf("client quota exceeded: %d requests in flight "
+                           "for this client (per-client limit %d); retry later",
+                           opt_.per_client_limit, opt_.per_client_limit);
+    return resp;
+  }
 
   // Admission: reserve a slot or reject immediately.  The count covers
   // requests posted to the pool but not yet finished, so a saturated
@@ -140,6 +223,7 @@ Response Server::execute(const Request& req) {
   if (in_flight_.fetch_add(1, std::memory_order_acq_rel) >=
       opt_.admission_limit) {
     in_flight_.fetch_sub(1, std::memory_order_acq_rel);
+    if (client_gated) client_release(client);
     metrics_.count_overload();
     obs::logf(LogLevel::kDebug, "server", "overload: rejecting %s request",
               to_string(req.type));
@@ -152,29 +236,58 @@ Response Server::execute(const Request& req) {
     return resp;
   }
 
-  Response resp;
-  std::mutex mu;
-  std::condition_variable cv;
-  bool done = false;
-  pool_->post([&]() {
-    resp = dispatch(req, deadline);
-    // Notify under the lock: `cv` lives on the waiter's stack, and the
-    // waiter may return (destroying it) the moment it can re-acquire
-    // `mu` — which this lock scope forbids until notify_one is done.
-    std::lock_guard<std::mutex> lock(mu);
-    done = true;
-    cv.notify_one();
-  });
+  auto st = std::make_shared<ReqState>();
+  st->guard.arm(request_limits(req));
+  st->deadline = Deadline::after_ms(req.deadline_ms);
+  st->type = req.type;
+  st->trace_path = compute ? req.trace_path : std::string();
+  st->admitted_at = t0;
   {
-    std::unique_lock<std::mutex> lock(mu);
-    cv.wait(lock, [&]() { return done; });
+    std::lock_guard<std::mutex> lock(watch_mu_);
+    watched_.push_back(st);
+  }
+  {
+    std::lock_guard<std::mutex> lock(drain_mu_);
+    ++tasks_live_;
+  }
+  pool_->post([this, req, st]() {
+    Response r = dispatch(req, *st);
+    {
+      // The watchdog may have answered the client already; its verdict
+      // stands and this (late) result is discarded.
+      std::lock_guard<std::mutex> lock(st->mu);
+      if (!st->done) {
+        st->resp = std::move(r);
+        st->done = true;
+        st->cv.notify_one();
+      }
+    }
+    std::lock_guard<std::mutex> lock(drain_mu_);
+    if (--tasks_live_ == 0) drain_cv_.notify_all();
+  });
+
+  Response resp;
+  {
+    std::unique_lock<std::mutex> lock(st->mu);
+    st->cv.wait(lock, [&]() { return st->done; });
+    resp = std::move(st->resp);
+  }
+  {
+    std::lock_guard<std::mutex> lock(watch_mu_);
+    for (auto it = watched_.begin(); it != watched_.end(); ++it) {
+      if (it->get() == st.get()) {
+        watched_.erase(it);
+        break;
+      }
+    }
   }
   in_flight_.fetch_sub(1, std::memory_order_acq_rel);
+  if (client_gated) client_release(client);
 
   // A result computed after the deadline passed is as useless to the
   // client as no result: report it as such, so deadline semantics hold
   // even when no handler checkpoint happened to notice the expiry.
-  if (resp.status == Status::kOk && deadline.expired()) {
+  if (resp.status == Status::kOk && st->deadline.expired()) {
     resp = Response{};
     resp.type = req.type;
     resp.status = Status::kDeadlineExceeded;
@@ -193,18 +306,35 @@ Response Server::execute(const Request& req) {
   return resp;
 }
 
-Response Server::dispatch(const Request& req, const Deadline& deadline) {
+Response Server::dispatch(const Request& req, ReqState& st) {
   try {
     // A request that spent its whole budget waiting for a worker is
     // abandoned here, before any compute.
-    deadline.check("queue wait");
+    st.deadline.check("queue wait");
+    // Worker-side stall faults.  delay-ms is cooperative: it polls the
+    // guard, so a watchdog cancel cuts it short.  wedge-ms is not — it
+    // models a worker stuck in a tight native loop, which only the
+    // watchdog's abandon-and-replace escalation can get past.
+    if (faults_->should_fire(util::FaultSite::kDelayResponse)) {
+      const auto until =
+          std::chrono::steady_clock::now() +
+          std::chrono::milliseconds(
+              faults_->param(util::FaultSite::kDelayResponse));
+      while (std::chrono::steady_clock::now() < until) {
+        st.guard.check_cancel();
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      }
+    }
+    if (faults_->should_fire(util::FaultSite::kWedge))
+      std::this_thread::sleep_for(std::chrono::milliseconds(
+          faults_->param(util::FaultSite::kWedge)));
     switch (req.type) {
       case ReqType::kPredict:
-        return handle_predict(req, cache_, deadline);
+        return handle_predict(req, cache_, st.deadline, &st.guard);
       case ReqType::kSimulate:
-        return handle_simulate(req, cache_, deadline);
+        return handle_simulate(req, cache_, st.deadline, &st.guard);
       case ReqType::kAnalyze:
-        return handle_analyze(req, cache_, deadline);
+        return handle_analyze(req, cache_, st.deadline, &st.guard);
       case ReqType::kStats:
         return stats_response();
       case ReqType::kHealth:
@@ -220,14 +350,135 @@ Response Server::dispatch(const Request& req, const Deadline& deadline) {
     resp.status = Status::kDeadlineExceeded;
     resp.error = e.what();
     return resp;
+  } catch (const core::BudgetExceeded& e) {
+    Response resp;
+    resp.type = req.type;
+    // A cancel or wall trip on a request whose own deadline has passed
+    // is that deadline biting (the guard is just the messenger), so the
+    // client sees the same typed status it always has.  Genuine budget
+    // trips additionally count as a poison strike: a trace that eats a
+    // budget is on its way to quarantine.
+    if (st.deadline.expired() && (e.trip() == core::GuardTrip::kCancelled ||
+                                  e.trip() == core::GuardTrip::kWallTime)) {
+      metrics_.count_deadline();
+      resp.status = Status::kDeadlineExceeded;
+    } else {
+      metrics_.count_budget();
+      resp.status = Status::kBudgetExceeded;
+      if (!st.trace_path.empty()) cache_.record_strike(st.trace_path);
+    }
+    resp.error = e.what();
+    return resp;
+  } catch (const Poisoned& e) {
+    // The quarantine tripped between the pre-admission check and the
+    // cache lookup (another worker's strike landed in the window).
+    metrics_.count_poisoned();
+    Response resp;
+    resp.type = req.type;
+    resp.status = Status::kPoisoned;
+    resp.error = e.what();
+    return resp;
+  } catch (const std::bad_alloc&) {
+    // Allocation failure is the "crash" half of the poison ledger: a
+    // trace that blows the heap will do it again on retry.
+    if (!st.trace_path.empty()) cache_.record_strike(st.trace_path);
+    Response resp;
+    resp.type = req.type;
+    resp.status = Status::kError;
+    resp.error = "out of memory while serving request";
+    return resp;
   } catch (const std::exception& e) {
-    // std::exception, not just vppb::Error: an injected bad_alloc (or a
-    // real one) must become a typed response, never a dead worker.
+    // std::exception, not just vppb::Error: an unexpected exception must
+    // become a typed response, never a dead worker.
     Response resp;
     resp.type = req.type;
     resp.status = Status::kError;
     resp.error = e.what();
     return resp;
+  }
+}
+
+void Server::watchdog_loop() {
+  for (;;) {
+    std::vector<std::shared_ptr<ReqState>> snapshot;
+    {
+      std::unique_lock<std::mutex> lock(watch_mu_);
+      watch_cv_.wait_for(
+          lock, std::chrono::milliseconds(opt_.watchdog_interval_ms),
+          [&]() { return watchdog_stop_.load(); });
+      if (watchdog_stop_.load()) return;
+      snapshot = watched_;
+    }
+    for (const auto& st : snapshot) watchdog_scan(st);
+  }
+}
+
+void Server::watchdog_scan(const std::shared_ptr<ReqState>& st) {
+  {
+    std::lock_guard<std::mutex> lock(st->mu);
+    if (st->done) return;
+  }
+  const auto now = std::chrono::steady_clock::now();
+  if (!st->cancelled) {
+    bool overdue = st->deadline.expired();
+    if (opt_.max_wall_ms > 0 &&
+        now - st->admitted_at >= std::chrono::milliseconds(opt_.max_wall_ms))
+      overdue = true;
+    if (!overdue) return;
+    // First rung: cooperative.  A worker at any guard checkpoint sees
+    // this on its next step and unwinds with a typed error.
+    st->guard.cancel();
+    st->cancelled = true;
+    st->cancelled_at = now;
+    metrics_.count_watchdog_cancel();
+    obs::logf(LogLevel::kWarn, "server",
+              "watchdog: cancelled overdue %s request",
+              to_string(st->type));
+    return;
+  }
+  if (st->abandoned) return;
+  if (now - st->cancelled_at <
+      std::chrono::milliseconds(opt_.watchdog_escalate_ms))
+    return;
+  // Second rung: the worker ignored the cancel for the whole escalation
+  // grace — treat it as wedged.  Answer the client in its stead, put the
+  // content on the poison ledger, and restore the pool capacity the
+  // wedged worker is sitting on.
+  Response resp;
+  resp.type = st->type;
+  if (st->deadline.expired()) {
+    resp.status = Status::kDeadlineExceeded;
+    resp.error = "deadline exceeded: worker unresponsive, request abandoned";
+    metrics_.count_deadline();
+  } else {
+    resp.status = Status::kBudgetExceeded;
+    resp.error =
+        "wall-time budget exceeded: worker unresponsive, request abandoned";
+    metrics_.count_budget();
+  }
+  {
+    std::lock_guard<std::mutex> lock(st->mu);
+    if (st->done) return;  // the worker came back at the last moment
+    st->resp = std::move(resp);
+    st->done = true;
+    st->cv.notify_one();
+  }
+  st->abandoned = true;
+  if (!st->trace_path.empty()) cache_.record_strike(st->trace_path);
+  if (replacements_made_ < opt_.watchdog_max_replacements) {
+    ++replacements_made_;
+    pool_->grow(1);
+    metrics_.count_watchdog_replacement();
+    obs::logf(LogLevel::kWarn, "server",
+              "watchdog: abandoned wedged %s request, grew pool "
+              "(replacement %d of %d)",
+              to_string(st->type), replacements_made_,
+              opt_.watchdog_max_replacements);
+  } else {
+    obs::logf(LogLevel::kWarn, "server",
+              "watchdog: abandoned wedged %s request (replacement "
+              "budget exhausted)",
+              to_string(st->type));
   }
 }
 
@@ -239,6 +490,8 @@ void Server::fill_cache_stats(StatsBody& out) {
   out.cache_waits = cs.waits;
   out.cache_entries = cs.entries;
   out.cache_bytes = cs.bytes;
+  out.poison_strikes = cs.poison_strikes;
+  out.quarantined = cs.quarantined;
 }
 
 Response Server::stats_response() {
@@ -270,10 +523,12 @@ Response Server::metricsdump_response() {
       .set(in_flight_.load(std::memory_order_acquire));
   reg.gauge("vppb_server_admission_limit", "Admission control limit")
       .set(opt_.admission_limit);
-  const TraceCache::Stats cs = cache_.stats();
+  const TraceCache::Stats cs = cache_.stats();  // also refreshes the
+                                                // quarantined gauge
   reg.gauge("vppb_cache_entries", "Ready entries resident")
       .set(static_cast<std::int64_t>(cs.entries));
-  reg.gauge("vppb_cache_bytes", "Raw trace bytes resident")
+  reg.gauge("vppb_cache_bytes",
+            "Charged trace bytes resident (file + footprint)")
       .set(static_cast<std::int64_t>(cs.bytes));
 
   Response resp;

@@ -19,15 +19,35 @@
 // every connection (in-flight requests finish and their responses are
 // delivered), join everything.  `vppb serve` wires SIGINT/SIGTERM to
 // exactly this.
+//
+// Resource governance (the hang-proofing layer): every admitted request
+// carries a core::RunGuard armed with the server ceilings (max_steps /
+// max_sim_ms / max_result_mb / max_wall_ms) and the request's own
+// deadline; the engine polls it per step, so a pathological trace gets
+// a typed kBudgetExceeded instead of wedging a worker.  A watchdog
+// thread walks the in-flight requests on an interval and escalates:
+// first it cancels an overdue request's guard (cooperative), then — if
+// the worker still has not come back after the escalation grace — it
+// answers the waiting client itself, abandons the worker's late result,
+// records a poison strike against the trace, and restores pool capacity
+// via ThreadPool::grow.  Repeated strikes on one content key trip the
+// TraceCache quarantine, after which the request is rejected kPoisoned
+// before admission — it never reaches a worker again until the
+// quarantine decays.
 #pragma once
 
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
+#include "core/guard.hpp"
 #include "server/deadline.hpp"
 #include "server/metrics.hpp"
 #include "server/protocol.hpp"
@@ -59,6 +79,37 @@ struct ServerOptions {
   /// means "use FaultPlan::global()", i.e. honor $VPPB_FAULT.  Tests
   /// pass their own plan to inject without touching the environment.
   util::FaultPlan* faults = nullptr;
+
+  // --- resource governance (0 = unlimited / disabled) ---
+  /// Per-request ceiling on simulated engine steps.
+  std::uint64_t max_steps = 0;
+  /// Per-request ceiling on simulated time, milliseconds.
+  std::int64_t max_sim_ms = 0;
+  /// Per-request ceiling on result storage, megabytes.
+  std::uint64_t max_result_mb = 0;
+  /// Per-request wall-clock ceiling, milliseconds.  This is what the
+  /// watchdog enforces for requests without a deadline; without it a
+  /// deadline-less request can only be stopped by the other budgets.
+  std::int64_t max_wall_ms = 0;
+  /// Watchdog scan interval; 0 disables the watchdog thread.
+  std::int64_t watchdog_interval_ms = 50;
+  /// After cancelling an overdue request, how long the watchdog waits
+  /// for the worker to come back before abandoning it (answering the
+  /// client itself and replacing the worker).
+  std::int64_t watchdog_escalate_ms = 1000;
+  /// Cap on replacement workers over the server's lifetime, so a storm
+  /// of wedges cannot grow the pool without bound.
+  int watchdog_max_replacements = 4;
+  /// Poison circuit breaker: strikes (crashes or budget kills on one
+  /// content key) before quarantine.  0 disables it.
+  int poison_strikes = 3;
+  /// Quarantine window after a trip, milliseconds.
+  std::int64_t quarantine_ms = 30000;
+  /// Per-client fair admission: in-flight requests allowed per client
+  /// identity (Request::client_id, falling back to the connection).
+  /// 0 disables the per-client check; the global admission_limit always
+  /// applies.
+  int per_client_limit = 0;
 };
 
 class Server {
@@ -87,16 +138,46 @@ class Server {
   struct Conn {
     util::Socket sock;
     std::thread thread;
+    std::uint64_t id = 0;  ///< per-client fallback identity
+  };
+
+  /// Shared state of one admitted request.  The IO thread waits on it;
+  /// the worker delivers into it; the watchdog may cancel it or — when
+  /// the worker is wedged — deliver a typed answer in the worker's
+  /// stead.  shared_ptr-owned so an abandoned worker can still write
+  /// its (discarded) result safely after the waiter has moved on.
+  struct ReqState {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;  ///< a response is in resp (under mu)
+    Response resp;
+
+    core::RunGuard guard;
+    Deadline deadline;
+    ReqType type = ReqType::kPredict;
+    std::string trace_path;
+    std::chrono::steady_clock::time_point admitted_at{};
+
+    // Watchdog-private escalation state (only its thread touches these).
+    bool cancelled = false;
+    bool abandoned = false;
+    std::chrono::steady_clock::time_point cancelled_at{};
   };
 
   void accept_loop();
   void serve_connection(Conn* conn);
-  Response execute(const Request& req);
-  Response dispatch(const Request& req, const Deadline& deadline);
+  Response execute(const Request& req, std::uint64_t conn_key);
+  Response dispatch(const Request& req, ReqState& st);
   Response stats_response();
   Response health_response();
   Response metricsdump_response();
   void fill_cache_stats(StatsBody& out);
+
+  core::RunLimits request_limits(const Request& req) const;
+  bool client_admit(std::uint64_t client);
+  void client_release(std::uint64_t client);
+  void watchdog_loop();
+  void watchdog_scan(const std::shared_ptr<ReqState>& st);
 
   ServerOptions opt_;
   util::FaultPlan* faults_ = nullptr;
@@ -114,6 +195,25 @@ class Server {
 
   std::mutex conn_mu_;
   std::vector<std::unique_ptr<Conn>> conns_;
+  std::atomic<std::uint64_t> next_conn_id_{1};
+
+  std::mutex client_mu_;
+  std::unordered_map<std::uint64_t, int> client_in_flight_;
+
+  std::thread watchdog_thread_;
+  /// Separate from running_: the watchdog must keep rescuing draining
+  /// connections after stop() flips running_ off.
+  std::atomic<bool> watchdog_stop_{false};
+  std::mutex watch_mu_;
+  std::condition_variable watch_cv_;  ///< wakes the watchdog for stop()
+  std::vector<std::shared_ptr<ReqState>> watched_;
+  int replacements_made_ = 0;  ///< watchdog thread only
+
+  // Posted-but-unfinished worker tasks; stop() waits for zero so an
+  // abandoned task can never outlive the server it captures.
+  std::mutex drain_mu_;
+  std::condition_variable drain_cv_;
+  int tasks_live_ = 0;
 };
 
 }  // namespace vppb::server

@@ -24,6 +24,12 @@ std::string render_stats_text(const StatsBody& s) {
   table.row({"errors", u64str(s.errors)});
   table.row({"overloads", u64str(s.overloads)});
   table.row({"deadline misses", u64str(s.deadlines)});
+  table.row({"budget kills", u64str(s.budget_kills)});
+  table.row({"poisoned rejects", u64str(s.poisoned)});
+  table.row({"poison strikes", u64str(s.poison_strikes)});
+  table.row({"quarantined now", u64str(s.quarantined)});
+  table.row({"watchdog cancels", u64str(s.watchdog_cancels)});
+  table.row({"worker replacements", u64str(s.watchdog_replacements)});
   table.row({"cache hits", u64str(s.cache_hits)});
   table.row({"cache misses", u64str(s.cache_misses)});
   table.row({"cache evictions", u64str(s.cache_evictions)});

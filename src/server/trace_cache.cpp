@@ -6,6 +6,7 @@
 #include "obs/span.hpp"
 #include "trace/binary.hpp"
 #include "util/error.hpp"
+#include "util/strings.hpp"
 
 namespace vppb::server {
 namespace {
@@ -19,6 +20,21 @@ std::uint64_t fnv1a(const std::uint8_t* data, std::size_t n) {
   return h;
 }
 
+/// Estimated in-memory footprint of a parsed + compiled trace.  The
+/// budget must charge this on top of the file bytes: a compact binary
+/// log expands roughly tenfold into Records and Steps, so file-bytes
+/// accounting alone let the cache hold an order of magnitude more than
+/// max_bytes_ promised.
+std::size_t approx_footprint(const trace::Trace& t,
+                             const core::CompiledTrace& c) {
+  std::size_t steps = 0;
+  for (const auto& [tid, ct] : c.threads) steps += ct.steps.size();
+  return t.records.size() * sizeof(trace::Record) +
+         steps * sizeof(core::Step) +
+         t.locations.size() * sizeof(trace::SourceLoc) +
+         t.threads.size() * (sizeof(trace::ThreadMeta) + 64);
+}
+
 /// Registry handles for the cache, registered once.  Counters are
 /// bumped at event time; the gauges are refreshed after every mutation
 /// under the cache lock, so the exposition always reflects the live
@@ -28,8 +44,12 @@ struct CacheMetrics {
   obs::Counter& misses;
   obs::Counter& evictions;
   obs::Counter& waits;
+  obs::Counter& strikes;
+  obs::Counter& quarantine_trips;
+  obs::Counter& poison_rejects;
   obs::Gauge& entries;
   obs::Gauge& bytes;
+  obs::Gauge& quarantined;
 
   static CacheMetrics& get() {
     auto& reg = obs::Registry::global();
@@ -41,8 +61,17 @@ struct CacheMetrics {
         reg.counter("vppb_cache_evictions_total", "LRU evictions"),
         reg.counter("vppb_cache_waits_total",
                     "Lookups that waited out another request's load"),
+        reg.counter("vppb_cache_poison_strikes_total",
+                    "Crash/budget-kill strikes recorded against traces"),
+        reg.counter("vppb_cache_quarantine_trips_total",
+                    "Content keys entering quarantine"),
+        reg.counter("vppb_cache_poison_rejects_total",
+                    "Lookups rejected because the content is quarantined"),
         reg.gauge("vppb_cache_entries", "Ready entries resident"),
-        reg.gauge("vppb_cache_bytes", "Raw trace bytes resident"),
+        reg.gauge("vppb_cache_bytes",
+                  "Charged trace bytes resident (file + footprint)"),
+        reg.gauge("vppb_cache_quarantined",
+                  "Content keys quarantined right now"),
     };
     return m;
   }
@@ -51,7 +80,7 @@ struct CacheMetrics {
 }  // namespace
 
 std::shared_ptr<const TraceCache::Entry> TraceCache::get(
-    const std::string& path) {
+    const std::string& path, const core::RunGuard* guard) {
   obs::Span get_span("cache.get", "cache");
   CacheMetrics& cm = CacheMetrics::get();
   // Injected faults surface as the same exception types the real
@@ -70,6 +99,7 @@ std::shared_ptr<const TraceCache::Entry> TraceCache::get(
   const std::uint64_t key = fnv1a(bytes.data(), bytes.size());
 
   std::unique_lock<std::mutex> lock(mu_);
+  check_poisoned_locked(key);
   bool waited = false;
   for (;;) {
     auto it = slots_.find(key);
@@ -108,7 +138,10 @@ std::shared_ptr<const TraceCache::Entry> TraceCache::get(
     entry->trace =
         trace::from_any(bytes.data(), bytes.size(), trace::LoadOptions{},
                         nullptr);
-    entry->compiled = core::compile(entry->trace);
+    if (guard != nullptr) guard->check_cancel();
+    entry->compiled = core::compile(entry->trace, guard);
+    entry->bytes = bytes.size() + approx_footprint(entry->trace,
+                                                   entry->compiled);
   } catch (...) {
     lock.lock();
     slots_.erase(key);
@@ -145,6 +178,73 @@ void TraceCache::evict_locked() {
   }
 }
 
+void TraceCache::configure_quarantine(int strikes_to_trip,
+                                      std::int64_t quarantine_ms) {
+  std::lock_guard<std::mutex> lock(mu_);
+  strikes_to_trip_ = strikes_to_trip;
+  if (quarantine_ms > 0) quarantine_ms_ = quarantine_ms;
+}
+
+void TraceCache::record_strike(const std::string& path) noexcept {
+  std::uint64_t key = 0;
+  try {
+    const std::vector<std::uint8_t> bytes = trace::read_file_bytes(path);
+    key = fnv1a(bytes.data(), bytes.size());
+  } catch (...) {
+    return;  // unreadable content cannot recur, so nothing to quarantine
+  }
+  CacheMetrics& cm = CacheMetrics::get();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (strikes_to_trip_ <= 0) return;
+  PoisonState& ps = poison_[key];
+  poison_keys_.store(poison_.size(), std::memory_order_release);
+  ++ps.strikes;
+  ++poison_strikes_;
+  cm.strikes.inc();
+  if (ps.strikes >= strikes_to_trip_) {
+    // Strikes are kept (not reset) through the trip: after the window
+    // expires the decay halves them, so a repeat offender re-trips on
+    // fewer new strikes than a first-time one.
+    ++ps.trips;
+    ++quarantine_trips_;
+    cm.quarantine_trips.inc();
+    ps.until = std::chrono::steady_clock::now() +
+               std::chrono::milliseconds(quarantine_ms_);
+  }
+}
+
+void TraceCache::check_poisoned(const std::string& path) {
+  if (poison_keys_.load(std::memory_order_acquire) == 0) return;
+  const std::vector<std::uint8_t> bytes = trace::read_file_bytes(path);
+  const std::uint64_t key = fnv1a(bytes.data(), bytes.size());
+  std::lock_guard<std::mutex> lock(mu_);
+  check_poisoned_locked(key);
+}
+
+void TraceCache::check_poisoned_locked(std::uint64_t key) {
+  auto it = poison_.find(key);
+  if (it == poison_.end()) return;
+  PoisonState& ps = it->second;
+  if (ps.until == std::chrono::steady_clock::time_point{}) return;
+  const auto now = std::chrono::steady_clock::now();
+  if (now < ps.until) {
+    ++poison_rejects_;
+    CacheMetrics::get().poison_rejects.inc();
+    throw Poisoned(strprintf(
+        "trace content %016llx is quarantined after %d strikes "
+        "(crashes or budget kills); retry after the quarantine decays",
+        static_cast<unsigned long long>(key), ps.strikes));
+  }
+  // Quarantine window over: decay.  The key becomes admissible with
+  // half its strike history; a fully decayed key is forgotten.
+  ps.until = {};
+  ps.strikes /= 2;
+  if (ps.strikes == 0) {
+    poison_.erase(it);
+    poison_keys_.store(poison_.size(), std::memory_order_release);
+  }
+}
+
 TraceCache::Stats TraceCache::stats() const {
   std::lock_guard<std::mutex> lock(mu_);
   Stats s;
@@ -154,6 +254,15 @@ TraceCache::Stats TraceCache::stats() const {
   s.waits = waits_;
   s.entries = lru_.size();
   s.bytes = bytes_;
+  s.poison_strikes = poison_strikes_;
+  s.quarantine_trips = quarantine_trips_;
+  s.poison_rejects = poison_rejects_;
+  const auto now = std::chrono::steady_clock::now();
+  for (const auto& [key, ps] : poison_) {
+    if (ps.until != std::chrono::steady_clock::time_point{} && now < ps.until)
+      ++s.quarantined;
+  }
+  CacheMetrics::get().quarantined.set(static_cast<std::int64_t>(s.quarantined));
   return s;
 }
 

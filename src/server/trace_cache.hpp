@@ -11,12 +11,28 @@
 // hits), which is what makes "N clients, 1 compile" an invariant rather
 // than a fast-path.
 //
-// Eviction is LRU over ready entries, bounded by entry count and by raw
-// trace bytes.  Entries are handed out as shared_ptr, so an eviction
-// never invalidates an in-flight request — the entry dies when the last
+// Eviction is LRU over ready entries, bounded by entry count and by the
+// entry's *charged* size: the raw file bytes plus an estimate of the
+// parsed + compiled in-memory footprint (records, steps, locations).
+// Charging only file bytes — the original accounting — let a compact
+// binary trace that expands ~10x in memory blow far past max_bytes_.
+// Entries are handed out as shared_ptr, so an eviction never
+// invalidates an in-flight request — the entry dies when the last
 // request using it finishes.
+//
+// The cache is also the poison-trace circuit breaker: the server calls
+// record_strike(path) whenever a request over that content crashes a
+// worker or is killed by a resource budget.  After `strikes_to_trip`
+// strikes the content key is quarantined for `quarantine_ms`: get() and
+// check_poisoned() throw a typed Poisoned error without any parse or
+// dispatch.  Quarantine decays rather than lasting forever — when the
+// window expires the key is admissible again but keeps half its strike
+// count, so a repeat offender re-trips quickly while a trace that was
+// killed by transient overload works its way back to a clean record.
 #pragma once
 
+#include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <condition_variable>
 #include <list>
@@ -26,10 +42,19 @@
 #include <unordered_map>
 
 #include "core/compiler.hpp"
+#include "core/guard.hpp"
 #include "trace/trace.hpp"
+#include "util/error.hpp"
 #include "util/fault.hpp"
 
 namespace vppb::server {
+
+/// Typed rejection for quarantined trace content; the dispatcher turns
+/// it into Status::kPoisoned.
+class Poisoned : public Error {
+ public:
+  explicit Poisoned(const std::string& what) : Error(what) {}
+};
 
 class TraceCache {
  public:
@@ -37,7 +62,9 @@ class TraceCache {
     std::uint64_t key = 0;  ///< FNV-1a of the file bytes
     trace::Trace trace;
     core::CompiledTrace compiled;
-    std::size_t bytes = 0;  ///< raw file size (budget accounting)
+    /// Charged size: raw file bytes + estimated parsed/compiled
+    /// footprint (budget accounting).
+    std::size_t bytes = 0;
   };
 
   struct Stats {
@@ -47,6 +74,10 @@ class TraceCache {
     std::uint64_t waits = 0;  ///< requests that waited out another's load
     std::size_t entries = 0;
     std::size_t bytes = 0;
+    std::uint64_t poison_strikes = 0;    ///< strikes recorded
+    std::uint64_t quarantine_trips = 0;  ///< keys entering quarantine
+    std::uint64_t poison_rejects = 0;    ///< lookups rejected as Poisoned
+    std::size_t quarantined = 0;         ///< keys quarantined right now
   };
 
   /// `faults` (optional, unowned) injects deterministic cache failures
@@ -59,12 +90,41 @@ class TraceCache {
   /// Returns the cached entry for the trace at `path`, loading (parse +
   /// compile) on first sight of its content.  Waiting out another
   /// request's in-flight load counts as a hit.  Throws vppb::Error on
-  /// unreadable or malformed traces.
-  std::shared_ptr<const Entry> get(const std::string& path);
+  /// unreadable or malformed traces, Poisoned on quarantined content.
+  /// `guard` (optional) is polled during parse + compile so a cancelled
+  /// request abandons even the load stage.
+  std::shared_ptr<const Entry> get(const std::string& path,
+                                   const core::RunGuard* guard = nullptr);
+
+  /// Arms the circuit breaker: `strikes_to_trip` strikes quarantine a
+  /// content key for `quarantine_ms`.  strikes_to_trip <= 0 disables it
+  /// (the default).
+  void configure_quarantine(int strikes_to_trip, std::int64_t quarantine_ms);
+
+  /// Records one crash/budget-kill strike against the content at
+  /// `path`.  Reads and digests the file; an unreadable file is ignored
+  /// (there is nothing to quarantine).  Never throws.
+  void record_strike(const std::string& path) noexcept;
+
+  /// Throws Poisoned when the content at `path` is quarantined.  Cheap
+  /// when no key has ever been struck (one atomic load, no file read),
+  /// which is what lets the server call it on every request's pre-
+  /// dispatch path.
+  void check_poisoned(const std::string& path);
 
   Stats stats() const;
 
  private:
+  struct PoisonState {
+    int strikes = 0;  ///< strikes since the last decay
+    std::uint64_t trips = 0;
+    /// Quarantined while now < until; default = not quarantined.
+    std::chrono::steady_clock::time_point until{};
+  };
+
+  /// Enforces quarantine for `key` and applies lazy decay.  Throws
+  /// Poisoned.  Caller holds mu_.
+  void check_poisoned_locked(std::uint64_t key);
   struct Slot {
     std::shared_ptr<const Entry> entry;  ///< null while loading
     std::list<std::uint64_t>::iterator lru;  ///< valid when ready
@@ -85,6 +145,16 @@ class TraceCache {
   std::uint64_t misses_ = 0;
   std::uint64_t evictions_ = 0;
   std::uint64_t waits_ = 0;
+
+  int strikes_to_trip_ = 0;  ///< <= 0: circuit breaker disabled
+  std::int64_t quarantine_ms_ = 30000;
+  /// Lock-free gate for check_poisoned's fast path: number of keys with
+  /// any strike history.  0 means no file read is ever needed.
+  std::atomic<std::size_t> poison_keys_{0};
+  std::unordered_map<std::uint64_t, PoisonState> poison_;
+  std::uint64_t poison_strikes_ = 0;
+  std::uint64_t quarantine_trips_ = 0;
+  std::uint64_t poison_rejects_ = 0;
 };
 
 }  // namespace vppb::server

@@ -11,6 +11,7 @@ constexpr int kSiteCount = static_cast<int>(FaultSite::kCount);
 
 const char* kSiteNames[kSiteCount] = {
     "corrupt-frame", "short-read", "delay-ms", "cache-enomem", "cache-eio",
+    "wedge-ms",
 };
 
 bool site_from_name(std::string_view name, FaultSite& out) {

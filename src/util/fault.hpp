@@ -17,9 +17,14 @@
 //   corrupt-frame  flip a byte of an incoming request payload
 //   short-read     drop the connection after reading a frame, as if the
 //                  peer vanished mid-stream
-//   delay-ms       stall before executing a request (param = ms)
+//   delay-ms       stall a worker before it runs a request (param = ms);
+//                  the stall is cooperative — it polls the request's
+//                  RunGuard, so a watchdog cancel cuts it short
 //   cache-enomem   throw std::bad_alloc inside the trace-cache load
 //   cache-eio      fail the trace file read with an I/O error
+//   wedge-ms       stall a worker *uncancellably* (param = ms), as if it
+//                  were stuck in a tight native loop — exercises the
+//                  watchdog's abandon-and-replace escalation
 #pragma once
 
 #include <cstdint>
@@ -34,6 +39,7 @@ enum class FaultSite : int {
   kDelayResponse,
   kCacheEnomem,
   kCacheEio,
+  kWedge,
   kCount,
 };
 

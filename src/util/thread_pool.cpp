@@ -54,7 +54,20 @@ ThreadPool::ThreadPool(int jobs) {
   const int n = resolve_jobs(jobs);
   workers_.reserve(static_cast<std::size_t>(n - 1));
   for (int i = 1; i < n; ++i) {
-    workers_.emplace_back([this]() { worker_loop(); });
+    workers_.emplace_back([this]() { worker_loop(0); });
+  }
+  worker_count_.store(n - 1, std::memory_order_release);
+}
+
+void ThreadPool::grow(int n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (stopping_) return;  // too late: the destructor owns workers_ now
+  for (int i = 0; i < n; ++i) {
+    // A late-started worker must not mistake the *current* generation
+    // for a fresh parallel_for announcement, so it starts caught up.
+    const std::uint64_t seen = generation_;
+    workers_.emplace_back([this, seen]() { worker_loop(seen); });
+    worker_count_.fetch_add(1, std::memory_order_acq_rel);
   }
 }
 
@@ -90,8 +103,7 @@ void ThreadPool::run_slice() {
   }
 }
 
-void ThreadPool::worker_loop() {
-  std::uint64_t seen = 0;
+void ThreadPool::worker_loop(std::uint64_t seen) {
   for (;;) {
     std::function<void()> task;
     {
@@ -134,7 +146,7 @@ void ThreadPool::post(std::function<void()> task) {
     task();
     m.run_us.observe(us_since(started, std::chrono::steady_clock::now()));
   };
-  if (workers_.empty()) {
+  if (worker_count_.load(std::memory_order_acquire) == 0) {
     timed();
     return;
   }
@@ -149,7 +161,7 @@ void ThreadPool::post(std::function<void()> task) {
 void ThreadPool::parallel_for(std::size_t n,
                               const std::function<void(std::size_t)>& fn) {
   if (n == 0) return;
-  if (workers_.empty() || n == 1) {
+  if (worker_count_.load(std::memory_order_acquire) == 0 || n == 1) {
     for (std::size_t i = 0; i < n; ++i) fn(i);
     return;
   }

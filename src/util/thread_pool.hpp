@@ -32,7 +32,16 @@ class ThreadPool {
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   /// Participants in a parallel_for: workers plus the calling thread.
-  int jobs() const { return static_cast<int>(workers_.size()) + 1; }
+  int jobs() const {
+    return worker_count_.load(std::memory_order_acquire) + 1;
+  }
+
+  /// Starts `n` additional workers.  Used by the server watchdog to
+  /// restore pool capacity after abandoning a request whose worker is
+  /// wedged: the stuck worker keeps its thread, the replacement keeps
+  /// the pool serving.  Safe from any thread; a no-op once the pool is
+  /// stopping.
+  void grow(int n);
 
   /// Runs fn(0) .. fn(n-1) across the workers and the calling thread,
   /// claiming indices through a shared counter; returns when every
@@ -54,10 +63,11 @@ class ThreadPool {
   static int resolve_jobs(int jobs);
 
  private:
-  void worker_loop();
+  void worker_loop(std::uint64_t seen);
   void run_slice();
 
-  std::vector<std::thread> workers_;
+  std::vector<std::thread> workers_;  ///< mutated under mu_ (grow) until stop
+  std::atomic<int> worker_count_{0};  ///< lock-free mirror of workers_.size()
 
   std::mutex mu_;
   std::condition_variable work_cv_;  ///< signals a new job generation

@@ -3,40 +3,26 @@
 // Every case records a workload, simulates it under a specific
 // configuration and compares core::digest(SimResult) — an
 // order-sensitive fingerprint of every field, segment and event —
-// against a value pinned here.  The goldens were captured from the
-// straightforward sort-per-step scheduler the engine started with, so
-// they lock the dispatch-queue scheduler (and any later rewrite) to
-// bit-identical results: same speed-up, same totals, same segments in
-// the same order, same per-thread statistics.
-//
-// If an intentional semantic change ever invalidates them, re-capture
-// by running this binary and copying the "actual" values it prints.
+// against a value pinned in golden_cases.hpp (shared with the guard
+// parity suite).  The goldens were captured from the straightforward
+// sort-per-step scheduler the engine started with, so they lock the
+// dispatch-queue scheduler (and any later rewrite) to bit-identical
+// results: same speed-up, same totals, same segments in the same
+// order, same per-thread statistics.
 #include <gtest/gtest.h>
 
 #include <cstdint>
-#include <functional>
 #include <sstream>
 #include <string>
 #include <vector>
 
-#include "core/compiler.hpp"
-#include "core/config.hpp"
-#include "core/engine.hpp"
 #include "core/result.hpp"
-#include "recorder/recorder.hpp"
-#include "solaris/program.hpp"
+#include "golden_cases.hpp"
 #include "solaris/solaris.hpp"
 #include "trace/binary.hpp"
-#include "workloads/splash.hpp"
-#include "workloads/synthetic.hpp"
 
 namespace vppb::core {
 namespace {
-
-CompiledTrace record_compiled(const std::function<void()>& fn) {
-  sol::Program program;
-  return compile(rec::record_program(program, fn));
-}
 
 std::string hex(std::uint64_t v) {
   std::ostringstream os;
@@ -44,104 +30,8 @@ std::string hex(std::uint64_t v) {
   return os.str();
 }
 
-struct GoldenCase {
-  const char* name;
-  std::function<void()> workload;
-  std::function<void(SimConfig&)> configure;
-  std::uint64_t golden;
-};
-
-// clang-format off
-const GoldenCase kCases[] = {
-    {"fft8_cpus4",
-     [] { workloads::fft(workloads::SplashParams{8, 0.2}); },
-     [](SimConfig& c) { c.hw.cpus = 4; },
-     0xd0b58a60b47736cd},
-    {"fft8_cpus1",
-     [] { workloads::fft(workloads::SplashParams{8, 0.2}); },
-     [](SimConfig& c) { c.hw.cpus = 1; },
-     0xca002eec407fa7b1},
-    {"ocean4_cpus2",
-     [] { workloads::ocean(workloads::SplashParams{4, 0.1}); },
-     [](SimConfig& c) { c.hw.cpus = 2; },
-     0x597dae827327fc1e},
-    {"radix4_cpus4_lwps2",
-     [] { workloads::radix(workloads::SplashParams{4, 0.15}); },
-     [](SimConfig& c) {
-       c.hw.cpus = 4;
-       c.sched.lwps = 2;
-     },
-     0x34930723ef731109},
-    {"lu4_cpus8_static_ts",
-     [] { workloads::lu(workloads::SplashParams{4, 0.1}); },
-     [](SimConfig& c) {
-       c.hw.cpus = 8;
-       c.sched.ts_dynamics = false;
-     },
-     0x686ab0ed0edbcd2b},
-    {"water4_cpus3_costs",
-     [] { workloads::water_spatial(workloads::SplashParams{4, 0.1}); },
-     [](SimConfig& c) {
-       c.hw.cpus = 3;
-       c.hw.comm_delay = SimTime::micros(5);
-       c.hw.migration_penalty = SimTime::micros(2);
-       c.cost.context_switch_cost = SimTime::micros(1);
-     },
-     0x79b735c99969553e},
-    {"fork_join6_cpus4_lwps3",
-     [] { workloads::fork_join(6, SimTime::millis(2)); },
-     [](SimConfig& c) {
-       c.hw.cpus = 4;
-       c.sched.lwps = 3;
-     },
-     0x469a84b0a31d7529},
-    {"pipeline4_cpus2",
-     [] { workloads::pipeline(4, 12, SimTime::micros(500)); },
-     [](SimConfig& c) { c.hw.cpus = 2; },
-     0x48a970bff1c73ad2},
-    {"readers_writer_cpus4",
-     [] {
-       workloads::readers_writer(4, 6, SimTime::micros(300), 3,
-                                 SimTime::micros(800));
-     },
-     [](SimConfig& c) { c.hw.cpus = 4; },
-     0x338f4f3b0e749754},
-    {"imbalanced5_cpus2_lwps2",
-     [] { workloads::imbalanced(5, SimTime::millis(1), 1.0); },
-     [](SimConfig& c) {
-       c.hw.cpus = 2;
-       c.sched.lwps = 2;
-       c.hw.comm_delay = SimTime::micros(1);
-     },
-     0x7faed9c1ea05d49e},
-    {"priority_classes_cpus2",
-     [] { workloads::priority_classes(2, 3, SimTime::millis(1)); },
-     [](SimConfig& c) { c.hw.cpus = 2; },
-     0xa5ba8e73da62c4c7},
-    {"fork_join3_policies",
-     [] { workloads::fork_join(3, SimTime::millis(1)); },
-     [](SimConfig& c) {
-       c.hw.cpus = 2;
-       ThreadPolicy to_cpu;
-       to_cpu.override_binding = true;
-       to_cpu.binding = Binding::kBoundCpu;
-       to_cpu.cpu = 1;
-       c.sched.thread_policy[2] = to_cpu;
-       ThreadPolicy to_lwp;
-       to_lwp.override_binding = true;
-       to_lwp.binding = Binding::kBoundLwp;
-       c.sched.thread_policy[3] = to_lwp;
-       ThreadPolicy fixed_prio;
-       fixed_prio.override_priority = true;
-       fixed_prio.priority = 5;
-       c.sched.thread_policy[4] = fixed_prio;
-     },
-     0xa5305a520b24c0f1},
-};
-// clang-format on
-
 TEST(DeterminismTest, GoldenDigests) {
-  for (const GoldenCase& gc : kCases) {
+  for (const GoldenCase& gc : kGoldenCases) {
     const CompiledTrace compiled = record_compiled(gc.workload);
     SimConfig cfg;
     gc.configure(cfg);

@@ -1,0 +1,456 @@
+// Resource-governance tests (`ctest -L guard`): RunGuard budget trips
+// are typed and prompt, cancellation drains cleanly, an attached but
+// unlimited guard is digest-invisible, the TraceCache charges the real
+// compiled footprint and quarantines poison traces, the vppbd watchdog
+// rescues stuck requests, and the client's retry backoff respects the
+// request deadline budget.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "core/guard.hpp"
+#include "core/sweep.hpp"
+#include "golden_cases.hpp"
+#include "server/client.hpp"
+#include "server/server.hpp"
+#include "server/trace_cache.hpp"
+#include "trace/binary.hpp"
+#include "trace/io.hpp"
+#include "util/fault.hpp"
+#include "util/thread_pool.hpp"
+#include "workloads/synthetic.hpp"
+
+namespace vppb {
+namespace {
+
+using core::BudgetExceeded;
+using core::CompiledTrace;
+using core::GuardTrip;
+using core::RunGuard;
+using core::RunLimits;
+using core::SimConfig;
+
+/// A fresh path under the system temp dir; removed on destruction.
+class TempFile {
+ public:
+  explicit TempFile(const std::string& tag) {
+    static std::atomic<int> counter{0};
+    path_ = (std::filesystem::temp_directory_path() /
+             ("vppb_" + tag + "_" + std::to_string(::getpid()) + "_" +
+              std::to_string(counter.fetch_add(1))))
+                .string();
+  }
+  ~TempFile() { std::remove(path_.c_str()); }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+CompiledTrace small_compiled() {
+  return core::record_compiled(
+      [] { workloads::fork_join(4, SimTime::millis(2)); });
+}
+
+GuardTrip trip_of(const CompiledTrace& compiled, const SimConfig& cfg,
+                  const RunGuard& guard) {
+  try {
+    core::simulate(compiled, cfg, &guard);
+  } catch (const BudgetExceeded& e) {
+    return e.trip();
+  }
+  return GuardTrip::kNone;
+}
+
+// ---- engine budgets --------------------------------------------------------
+
+TEST(GuardTest, StepBudgetTripsTyped) {
+  const CompiledTrace compiled = small_compiled();
+  RunLimits limits;
+  limits.max_steps = 10;
+  EXPECT_EQ(trip_of(compiled, SimConfig{}, RunGuard(limits)),
+            GuardTrip::kSteps);
+}
+
+TEST(GuardTest, SimTimeBudgetTripsTyped) {
+  // The workload runs ~2ms of simulated time; a 1ms ceiling must stop
+  // the replay before the clock passes it.
+  const CompiledTrace compiled = small_compiled();
+  RunLimits limits;
+  limits.max_sim_ms = 1;
+  EXPECT_EQ(trip_of(compiled, SimConfig{}, RunGuard(limits)),
+            GuardTrip::kSimTime);
+}
+
+TEST(GuardTest, WallBudgetTripsTyped) {
+  // Arm a 1ms wall budget, let it expire before the run starts: the
+  // periodic wall checkpoint must notice, on a trace long enough
+  // (> 1024 steps) to reach it mid-run rather than at the final check.
+  const CompiledTrace compiled = core::record_compiled(
+      [] { workloads::pipeline(8, 64, SimTime::micros(100)); });
+  RunLimits limits;
+  limits.max_wall_ms = 1;
+  const RunGuard guard(limits);
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_EQ(trip_of(compiled, SimConfig{}, guard), GuardTrip::kWallTime);
+}
+
+TEST(GuardTest, ResultBytesBudgetTripsTyped) {
+  const CompiledTrace compiled = small_compiled();
+  RunLimits limits;
+  limits.max_result_bytes = 1;
+  EXPECT_EQ(trip_of(compiled, SimConfig{}, RunGuard(limits)),
+            GuardTrip::kResultBytes);
+}
+
+TEST(GuardTest, CancelStopsCompileAndSimulate) {
+  const CompiledTrace compiled = small_compiled();
+  RunGuard guard;
+  guard.cancel();
+  try {
+    core::simulate(compiled, SimConfig{}, &guard);
+    FAIL() << "cancelled simulate returned";
+  } catch (const BudgetExceeded& e) {
+    EXPECT_EQ(e.trip(), GuardTrip::kCancelled);
+  }
+}
+
+// ---- sweeps ----------------------------------------------------------------
+
+TEST(GuardTest, CancelledSweepDrainsAndPoolStaysUsable) {
+  const CompiledTrace compiled = small_compiled();
+  const std::vector<int> cpus = {1, 2, 4, 8};
+  util::ThreadPool pool(2);
+
+  core::SweepOptions opt;
+  opt.pool = &pool;
+  RunGuard guard;
+  guard.cancel();
+  opt.guard = &guard;
+  EXPECT_THROW(core::sweep_cpus(compiled, cpus, SimConfig{}, opt),
+               BudgetExceeded);
+
+  // The drain left no tasks behind: the same pool immediately runs an
+  // unguarded sweep whose results match a serial reference sweep.
+  std::vector<core::SimResult> pooled;
+  core::SweepOptions clean;
+  clean.pool = &pool;
+  clean.results = &pooled;
+  core::sweep_cpus(compiled, cpus, SimConfig{}, clean);
+  std::vector<core::SimResult> serial;
+  core::SweepOptions ref;
+  ref.jobs = 1;
+  ref.results = &serial;
+  core::sweep_cpus(compiled, cpus, SimConfig{}, ref);
+  EXPECT_EQ(core::digest(pooled), core::digest(serial));
+}
+
+TEST(GuardTest, ConcurrentCancelMidSweepIsCleanEitherWay) {
+  // The cancel races the sweep on purpose: whichever wins, the sweep
+  // must either finish completely or unwind with kCancelled, and the
+  // shared pool must stay fully usable.
+  const CompiledTrace compiled = core::record_compiled(
+      [] { workloads::fft(workloads::SplashParams{8, 0.2}); });
+  const std::vector<int> cpus = {1, 2, 4, 8};
+  util::ThreadPool pool(2);
+  RunGuard guard;
+  core::SweepOptions opt;
+  opt.pool = &pool;
+  opt.guard = &guard;
+  std::thread canceller([&guard]() {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    guard.cancel();
+  });
+  bool threw = false;
+  try {
+    core::sweep_cpus(compiled, cpus, SimConfig{}, opt);
+  } catch (const BudgetExceeded& e) {
+    threw = true;
+    EXPECT_EQ(e.trip(), GuardTrip::kCancelled);
+  }
+  canceller.join();
+  (void)threw;  // either outcome is legal; cleanliness is what matters
+
+  std::vector<core::SimResult> pooled;
+  core::SweepOptions clean;
+  clean.pool = &pool;
+  clean.results = &pooled;
+  core::sweep_cpus(compiled, cpus, SimConfig{}, clean);
+  EXPECT_EQ(pooled.size(), cpus.size());
+}
+
+// ---- digest parity ---------------------------------------------------------
+
+TEST(GuardTest, UnlimitedGuardIsDigestInvisible) {
+  // The acceptance gate for the whole layer: with a guard attached but
+  // every budget off, all pinned golden digests are bit-identical.
+  const RunGuard guard;  // attached, unarmed
+  for (const core::GoldenCase& gc : core::kGoldenCases) {
+    const CompiledTrace compiled = core::record_compiled(gc.workload);
+    SimConfig cfg;
+    gc.configure(cfg);
+    EXPECT_EQ(core::digest(core::simulate(compiled, cfg, &guard)), gc.golden)
+        << gc.name;
+  }
+}
+
+TEST(GuardTest, GenerousLimitsAreDigestInvisible) {
+  RunLimits limits;
+  limits.max_steps = 1ull << 40;
+  limits.max_wall_ms = 3600 * 1000;
+  limits.max_sim_ms = 3600 * 1000;
+  limits.max_result_bytes = 1ull << 40;
+  const RunGuard guard(limits);
+  const core::GoldenCase& gc = core::kGoldenCases[0];
+  const CompiledTrace compiled = core::record_compiled(gc.workload);
+  SimConfig cfg;
+  gc.configure(cfg);
+  EXPECT_EQ(core::digest(core::simulate(compiled, cfg, &guard)), gc.golden);
+}
+
+// ---- trace cache: footprint charge + quarantine ----------------------------
+
+TEST(CacheGovernance, BudgetChargesCompiledFootprintNotJustFileBytes) {
+  sol::Program program;
+  const trace::Trace t = rec::record_program(program, [] {
+    workloads::fork_join(6, SimTime::millis(2));
+  });
+  TempFile file("footprint");
+  trace::save_binary_file(t, file.path());
+  const auto file_bytes = std::filesystem::file_size(file.path());
+
+  // A budget of twice the file size: under the old file-bytes-only
+  // accounting this cache would keep the entry, but the parsed records
+  // and compiled steps dwarf the compact binary encoding, so the honest
+  // charge must exceed the budget and the entry must not be retained.
+  server::TraceCache cache(8, static_cast<std::size_t>(file_bytes) * 2);
+  const auto entry = cache.get(file.path());
+  EXPECT_GT(entry->bytes, static_cast<std::size_t>(file_bytes));
+  const server::TraceCache::Stats s = cache.stats();
+  EXPECT_GT(entry->bytes, static_cast<std::size_t>(file_bytes) * 2);
+  EXPECT_EQ(s.entries, 0u);
+  EXPECT_EQ(s.evictions, 1u);
+}
+
+TEST(CacheGovernance, QuarantineTripsThenDecays) {
+  sol::Program program;
+  const trace::Trace t = rec::record_program(program, [] {
+    workloads::fork_join(2, SimTime::millis(1));
+  });
+  TempFile file("poison");
+  trace::save_binary_file(t, file.path());
+
+  server::TraceCache cache(8, 1u << 30);
+  cache.configure_quarantine(2, 200);
+  EXPECT_NO_THROW(cache.check_poisoned(file.path()));
+  cache.record_strike(file.path());
+  EXPECT_NO_THROW(cache.check_poisoned(file.path()));  // 1 strike: admissible
+  cache.record_strike(file.path());
+  EXPECT_THROW(cache.check_poisoned(file.path()), server::Poisoned);
+  EXPECT_THROW(cache.get(file.path()), server::Poisoned);
+  {
+    const server::TraceCache::Stats s = cache.stats();
+    EXPECT_EQ(s.poison_strikes, 2u);
+    EXPECT_EQ(s.quarantine_trips, 1u);
+    EXPECT_GE(s.poison_rejects, 2u);
+    EXPECT_EQ(s.quarantined, 1u);
+  }
+
+  // Window over: the key decays to half its strikes and is admissible
+  // again — and one more strike re-trips (1 + 1 >= 2), so a repeat
+  // offender goes back behind the breaker faster than a newcomer.
+  std::this_thread::sleep_for(std::chrono::milliseconds(250));
+  EXPECT_NO_THROW(cache.check_poisoned(file.path()));
+  EXPECT_EQ(cache.stats().quarantined, 0u);
+  cache.record_strike(file.path());
+  EXPECT_THROW(cache.check_poisoned(file.path()), server::Poisoned);
+}
+
+// ---- server governance -----------------------------------------------------
+
+server::ServerOptions unix_options(const std::string& sock) {
+  server::ServerOptions opt;
+  opt.unix_path = sock;
+  opt.jobs = 2;
+  return opt;
+}
+
+TEST(ServerGovernance, StepBudgetIsTypedAndStrikesLeadToQuarantine) {
+  sol::Program program;
+  const trace::Trace t = rec::record_program(program, [] {
+    workloads::fork_join(4, SimTime::millis(2));
+  });
+  TempFile trace_file("budget");
+  trace::save_binary_file(t, trace_file.path());
+  TempFile sock("budget_sock");
+
+  server::ServerOptions opt = unix_options(sock.path());
+  opt.max_steps = 10;
+  opt.poison_strikes = 2;
+  opt.quarantine_ms = 300;
+  server::Server srv(opt);
+  srv.start();
+
+  server::Client client = server::Client::connect_unix(sock.path());
+  server::Request req;
+  req.type = server::ReqType::kSimulate;
+  req.trace_path = trace_file.path();
+  req.cpus = 2;
+
+  const auto t0 = std::chrono::steady_clock::now();
+  const server::Response r1 = client.call(req);
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  EXPECT_EQ(r1.status, server::Status::kBudgetExceeded) << r1.error;
+  EXPECT_LT(elapsed, std::chrono::seconds(5));
+
+  const server::Response r2 = client.call(req);
+  EXPECT_EQ(r2.status, server::Status::kBudgetExceeded) << r2.error;
+
+  // Two strikes tripped the breaker: answered pre-dispatch, so the
+  // request counters show no new simulate dispatch outcome.
+  const server::Response r3 = client.call(req);
+  EXPECT_EQ(r3.status, server::Status::kPoisoned) << r3.error;
+
+  server::Request stats;
+  stats.type = server::ReqType::kStats;
+  const server::Response s = client.call(stats);
+  EXPECT_EQ(s.stats.budget_kills, 2u);
+  EXPECT_EQ(s.stats.poisoned, 1u);
+  EXPECT_EQ(s.stats.poison_strikes, 2u);
+  EXPECT_EQ(s.stats.quarantined, 1u);
+
+  // After the quarantine window the content decays back to admissible:
+  // the next attempt reaches the engine again (and trips the budget
+  // again) instead of being rejected at the door.
+  std::this_thread::sleep_for(std::chrono::milliseconds(400));
+  const server::Response r4 = client.call(req);
+  EXPECT_EQ(r4.status, server::Status::kBudgetExceeded) << r4.error;
+  srv.stop();
+}
+
+TEST(ServerGovernance, WatchdogCancelsCooperativeDelayWithinBound) {
+  sol::Program program;
+  const trace::Trace t = rec::record_program(program, [] {
+    workloads::fork_join(2, SimTime::millis(1));
+  });
+  TempFile trace_file("wdog");
+  trace::save_binary_file(t, trace_file.path());
+  TempFile sock("wdog_sock");
+
+  // The injected delay would stall the worker 30 seconds; the watchdog
+  // must convert it to a typed budget error at the ~50ms wall ceiling.
+  util::FaultPlan plan = util::FaultPlan::parse("delay-ms:1:1:30000");
+  server::ServerOptions opt = unix_options(sock.path());
+  opt.faults = &plan;
+  opt.max_wall_ms = 50;
+  opt.watchdog_interval_ms = 5;
+  server::Server srv(opt);
+  srv.start();
+
+  server::Client client = server::Client::connect_unix(sock.path());
+  server::Request req;
+  req.type = server::ReqType::kSimulate;
+  req.trace_path = trace_file.path();
+  const auto t0 = std::chrono::steady_clock::now();
+  const server::Response r = client.call(req);
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  EXPECT_EQ(r.status, server::Status::kBudgetExceeded) << r.error;
+  EXPECT_LT(elapsed, std::chrono::seconds(5));
+
+  server::Request stats;
+  stats.type = server::ReqType::kStats;
+  const server::Response s = client.call(stats);
+  EXPECT_GE(s.stats.watchdog_cancels, 1u);
+  EXPECT_GE(s.stats.budget_kills, 1u);
+  EXPECT_EQ(s.stats.watchdog_replacements, 0u);
+  srv.stop();
+}
+
+TEST(ServerGovernance, WedgedWorkerIsAbandonedAndReplaced) {
+  sol::Program program;
+  const trace::Trace t = rec::record_program(program, [] {
+    workloads::fork_join(2, SimTime::millis(1));
+  });
+  TempFile trace_file("wedge");
+  trace::save_binary_file(t, trace_file.path());
+  TempFile sock("wedge_sock");
+
+  // An uncancellable 500ms wedge with a 30ms wall ceiling and a 40ms
+  // escalation grace: the cooperative rung fails, so the watchdog must
+  // answer the client itself well before the wedge ends, and replace
+  // the worker it wrote off.
+  util::FaultPlan plan = util::FaultPlan::parse("wedge-ms:1:1:500");
+  server::ServerOptions opt = unix_options(sock.path());
+  opt.faults = &plan;
+  // jobs must be >= 2: a one-job pool has no background workers (post()
+  // runs inline on the connection thread), and a wedge on the IO thread
+  // would block the very response the watchdog writes on its behalf.
+  opt.jobs = 2;
+  opt.max_wall_ms = 30;
+  opt.watchdog_interval_ms = 5;
+  opt.watchdog_escalate_ms = 40;
+  opt.poison_strikes = 0;  // isolate the escalation path from quarantine
+  server::Server srv(opt);
+  srv.start();
+
+  server::Client client = server::Client::connect_unix(sock.path());
+  server::Request req;
+  req.type = server::ReqType::kSimulate;
+  req.trace_path = trace_file.path();
+  const auto t0 = std::chrono::steady_clock::now();
+  const server::Response r = client.call(req);
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  EXPECT_EQ(r.status, server::Status::kBudgetExceeded) << r.error;
+  EXPECT_LT(elapsed, std::chrono::milliseconds(450));
+
+  // The replacement worker serves the next request normally even while
+  // the wedged one is still sleeping on the old task.
+  const server::Response ok = client.call(req);
+  EXPECT_EQ(ok.status, server::Status::kOk) << ok.error;
+
+  server::Request stats;
+  stats.type = server::ReqType::kStats;
+  const server::Response s = client.call(stats);
+  EXPECT_GE(s.stats.watchdog_cancels, 1u);
+  EXPECT_EQ(s.stats.watchdog_replacements, 1u);
+  srv.stop();
+}
+
+// ---- client backoff budget -------------------------------------------------
+
+TEST(ClientRetry, BackoffNeverOutlivesTheDeadlineBudget) {
+  TempFile sock("retry_sock");
+  server::ServerOptions opt = unix_options(sock.path());
+  opt.admission_limit = 0;  // every compute request is rejected overloaded
+  server::Server srv(opt);
+  srv.start();
+
+  server::Client client = server::Client::connect_unix(sock.path());
+  server::Request req;
+  req.type = server::ReqType::kStats;
+  req.deadline_ms = 120;
+  server::RetryPolicy policy;
+  policy.max_attempts = 50;
+  policy.base_ms = 50;
+  const auto t0 = std::chrono::steady_clock::now();
+  const server::Response r = client.call_retry(req, policy);
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - t0);
+  EXPECT_EQ(r.status, server::Status::kOverloaded);
+  // Without the clamp, 49 sleeps of >= 50ms each would hold the caller
+  // for multiple seconds past a 120ms budget.
+  EXPECT_LE(policy.slept_ms, 120);
+  EXPECT_LT(elapsed.count(), 2000);
+  srv.stop();
+}
+
+}  // namespace
+}  // namespace vppb

@@ -332,8 +332,16 @@ TEST(TraceCacheTest, ByteBudgetEvicts) {
   TempFile f1("b1"), f2("b2");
   trace::save_file(t1, f1.path());
   trace::save_file(t2, f2.path());
-  const std::size_t size1 = std::filesystem::file_size(f1.path());
-  const std::size_t size2 = std::filesystem::file_size(f2.path());
+
+  // Entries are charged their full parsed+compiled footprint, not just
+  // file bytes, so measure the charge with an unbounded cache first.
+  std::size_t size1 = 0;
+  std::size_t size2 = 0;
+  {
+    TraceCache probe(16, 1u << 30);
+    size1 = probe.get(f1.path())->bytes;
+    size2 = probe.get(f2.path())->bytes;
+  }
 
   // Budget fits either trace alone but not both.
   TraceCache cache(16, size1 + size2 - 1);

@@ -8,6 +8,7 @@
 #include "trace/binary.hpp"
 #include "trace/chunked.hpp"
 #include "trace/io.hpp"
+#include "trace/lint.hpp"
 #include "trace/trace.hpp"
 #include "util/error.hpp"
 
@@ -372,6 +373,104 @@ TEST(TraceSalvage, ReportSummaryMentionsCounts) {
   (void)from_binary(full.data(), full.size() - 5, salvage_opt(), &report);
   const std::string s = report.summary();
   EXPECT_NE(s.find("recovered"), std::string::npos) << s;
+}
+
+// ---- semantic lint ---------------------------------------------------------
+
+TEST(LintTest, CleanTraceIsClean) {
+  const LintReport report = lint(example_trace());
+  EXPECT_TRUE(report.clean()) << report.to_string();
+}
+
+TEST(LintTest, BarrierCondWaitPatternIsClean) {
+  // The SPLASH barrier shape: lock, cond_wait (the library releases and
+  // reacquires the mutex), unlock.  The mutex id rides only on the
+  // *call* record's arg — the return's arg is 0 — so the linter must
+  // pair the edges per thread or it reports a bogus unlock-without-lock
+  // on every barrier exit (a real bug this test pins).
+  Trace t;
+  t.upsert_thread(1).name = t.strings.intern("main");
+  t.records.push_back(rec(0, 1, Phase::kCall, Op::kStartCollect));
+  t.records.push_back(
+      rec(5, 1, Phase::kCall, Op::kMutexLock, {ObjKind::kMutex, 7}));
+  t.records.push_back(
+      rec(6, 1, Phase::kReturn, Op::kMutexLock, {ObjKind::kMutex, 7}));
+  t.records.push_back(
+      rec(7, 1, Phase::kCall, Op::kCondWait, {ObjKind::kCond, 3}, 7));
+  t.records.push_back(
+      rec(20, 1, Phase::kReturn, Op::kCondWait, {ObjKind::kCond, 3}));
+  t.records.push_back(
+      rec(21, 1, Phase::kCall, Op::kMutexUnlock, {ObjKind::kMutex, 7}));
+  t.records.push_back(
+      rec(22, 1, Phase::kReturn, Op::kMutexUnlock, {ObjKind::kMutex, 7}));
+  const LintReport report = lint(t);
+  EXPECT_TRUE(report.clean()) << report.to_string();
+}
+
+TEST(LintTest, UnlockWithoutLockIsAnError) {
+  Trace t;
+  t.upsert_thread(1).name = t.strings.intern("main");
+  t.records.push_back(
+      rec(5, 1, Phase::kCall, Op::kMutexUnlock, {ObjKind::kMutex, 7}));
+  const LintReport report = lint(t);
+  EXPECT_EQ(report.errors, 1u) << report.to_string();
+  EXPECT_NE(report.to_string().find("not held"), std::string::npos);
+}
+
+TEST(LintTest, UnlockByOtherThreadIsAWarning) {
+  Trace t;
+  t.upsert_thread(1);
+  t.upsert_thread(4);
+  t.records.push_back(
+      rec(5, 1, Phase::kCall, Op::kMutexLock, {ObjKind::kMutex, 7}));
+  t.records.push_back(
+      rec(6, 1, Phase::kReturn, Op::kMutexLock, {ObjKind::kMutex, 7}));
+  t.records.push_back(
+      rec(9, 4, Phase::kCall, Op::kMutexUnlock, {ObjKind::kMutex, 7}));
+  const LintReport report = lint(t);
+  EXPECT_EQ(report.errors, 0u) << report.to_string();
+  EXPECT_EQ(report.warnings, 1u) << report.to_string();
+}
+
+TEST(LintTest, NegativeSemaphoreCountIsAnError) {
+  Trace t;
+  t.upsert_thread(1);
+  t.records.push_back(
+      rec(1, 1, Phase::kCall, Op::kSemaInit, {ObjKind::kSema, 2}, 1));
+  t.records.push_back(
+      rec(2, 1, Phase::kCall, Op::kSemaWait, {ObjKind::kSema, 2}));
+  t.records.push_back(
+      rec(3, 1, Phase::kReturn, Op::kSemaWait, {ObjKind::kSema, 2}));
+  t.records.push_back(
+      rec(4, 1, Phase::kCall, Op::kSemaWait, {ObjKind::kSema, 2}));
+  t.records.push_back(
+      rec(5, 1, Phase::kReturn, Op::kSemaWait, {ObjKind::kSema, 2}));
+  const LintReport report = lint(t);
+  EXPECT_EQ(report.errors, 1u) << report.to_string();
+  EXPECT_NE(report.to_string().find("driven to -1"), std::string::npos);
+}
+
+TEST(LintTest, JoinFindingsAreTyped) {
+  Trace t;
+  t.upsert_thread(1);
+  t.records.push_back(
+      rec(1, 1, Phase::kCall, Op::kThrJoin, {ObjKind::kThread, 42}));
+  t.records.push_back(
+      rec(2, 1, Phase::kCall, Op::kThrJoin, {ObjKind::kThread, 1}));
+  const LintReport report = lint(t);
+  EXPECT_EQ(report.errors, 2u) << report.to_string();
+  EXPECT_NE(report.to_string().find("unknown thread 42"), std::string::npos);
+  EXPECT_NE(report.to_string().find("joins itself"), std::string::npos);
+}
+
+TEST(LintTest, NonMonotonicTimestampIsAnError) {
+  Trace t;
+  t.upsert_thread(1);
+  t.records.push_back(rec(10, 1, Phase::kCall, Op::kThrYield));
+  t.records.push_back(rec(5, 1, Phase::kCall, Op::kThrYield));
+  const LintReport report = lint(t);
+  EXPECT_EQ(report.errors, 1u) << report.to_string();
+  EXPECT_NE(report.to_string().find("goes backwards"), std::string::npos);
 }
 
 }  // namespace

@@ -2,6 +2,7 @@
 //
 //   vppb gen <workload>      record a built-in workload to a trace file
 //   vppb info <trace>        log statistics (threads, events, duration)
+//   vppb check <trace>       semantic lint (unmatched unlocks, bad joins)
 //   vppb predict <trace>     speed-up sweep across processor counts
 //   vppb simulate <trace>    full simulation: timeline, stats, SVG/ASCII
 //   vppb analyze <trace>     contention report (the §5 diagnosis)
@@ -34,6 +35,7 @@
 #include "solaris/program.hpp"
 #include "trace/binary.hpp"
 #include "trace/io.hpp"
+#include "trace/lint.hpp"
 #include "util/atomic_file.hpp"
 #include "util/env.hpp"
 #include "util/error.hpp"
@@ -63,18 +65,29 @@ int usage() {
       "      --crash-safe streams a chunked log to <out> as the workload\n"
       "      runs; a crash mid-run leaves every sealed chunk recoverable\n"
       "  info <trace>\n"
+      "  check <trace>        semantic lint; exit 0 clean, 3 warnings,\n"
+      "        4 errors (unlock-without-lock, bad joins, negative\n"
+      "        semaphore counts, non-monotonic timestamps, ...)\n"
       "  predict <trace> [--max-cpus N] [--lwps N] [--comm-delay-us D]\n"
       "          [--jobs N]   (0 = all hardware threads)\n"
       "  simulate <trace> [--cpus N] [--lwps N] [--svg F] [--columns N]\n"
       "  analyze <trace> [--cpus N]\n"
+      "  predict/simulate/analyze accept run budgets (--max-steps N,\n"
+      "  --max-sim-ms N, --max-result-mb N, --max-wall-ms N; 0 = off);\n"
+      "  a tripped budget exits 5 with the budget named\n"
       "  validate <workload> [--cpus-list 2,4,8] [--scale S] [--reps N]\n"
       "  convert <in> <out>   (binary iff <out> ends in .bin)\n"
       "  serve [--socket PATH | --port N] [--jobs N] [--admission N]\n"
-      "        [--cache-entries N] [--cache-mb N]\n"
+      "        [--cache-entries N] [--cache-mb N] [--per-client N]\n"
+      "        budgets as above, plus the watchdog/quarantine knobs:\n"
+      "        [--watchdog-ms N] [--escalate-ms N] [--poison-strikes N]\n"
+      "        [--quarantine-ms N]\n"
       "  request <predict|simulate|analyze|stats|health|metricsdump>\n"
       "          [trace] [--socket PATH | --port N] [--deadline-ms N]\n"
-      "          [--timeout-ms N] [--retries N] + the predict/simulate/\n"
-      "          analyze flags above; --svg F saves the simulate render\n"
+      "          [--timeout-ms N] [--retries N] [--client-id N] + the\n"
+      "          predict/simulate/analyze flags above; --svg F saves the\n"
+      "          simulate render; exit 3 overloaded, 4 deadline, 5 budget\n"
+      "          exceeded, 6 poisoned\n"
       "  stats [--watch] [--interval-ms N] [--count N]\n"
       "        live daemon counter view (stats request in a loop)\n"
       "  info/predict/simulate/analyze/convert accept --salvage: load the\n"
@@ -159,6 +172,19 @@ std::function<void()> workload_by_name(const std::string& given, int threads,
   throw Error("unknown workload '" + name + "'");
 }
 
+/// Budgets for an offline run, from the shared --max-* flags.  The
+/// returned guard is unarmed (all zero) unless the user set a flag, so
+/// the default CLI path stays the guarded-but-unlimited fast path.
+core::RunLimits cli_limits(Flags& flags) {
+  core::RunLimits limits;
+  limits.max_steps = static_cast<std::uint64_t>(flags.i64("max-steps"));
+  limits.max_sim_ms = flags.i64("max-sim-ms");
+  limits.max_result_bytes =
+      static_cast<std::uint64_t>(flags.i64("max-result-mb")) << 20;
+  limits.max_wall_ms = flags.i64("max-wall-ms");
+  return limits;
+}
+
 /// Loads a trace honoring --salvage: in salvage mode a damaged file
 /// yields its longest valid prefix, with the recovery report on stderr.
 trace::Trace load_trace(Flags& flags, const std::string& path) {
@@ -229,8 +255,19 @@ int cmd_info(Flags& flags) {
   return 0;
 }
 
+int cmd_check(Flags& flags) {
+  if (flags.positional().size() < 2) return usage();
+  const trace::Trace t = load_trace(flags, flags.positional()[1]);
+  const trace::LintReport report = trace::lint(t);
+  std::printf("%s", report.to_string().c_str());
+  if (report.errors > 0) return 4;
+  if (report.warnings > 0) return 3;
+  return 0;
+}
+
 int cmd_predict(Flags& flags) {
   if (flags.positional().size() < 2) return usage();
+  const core::RunGuard guard(cli_limits(flags));
   // The load goes through a (one-shot, unbounded) TraceCache so the CLI
   // exercises the same path the daemon serves from — and a --profile of
   // a predict run shows cache.get/cache.load spans next to the engine
@@ -239,9 +276,9 @@ int cmd_predict(Flags& flags) {
   std::shared_ptr<const server::TraceCache::Entry> entry;
   core::CompiledTrace salvaged;
   if (flags.boolean("salvage")) {
-    salvaged = core::compile(load_trace(flags, flags.positional()[1]));
+    salvaged = core::compile(load_trace(flags, flags.positional()[1]), &guard);
   } else {
-    entry = cache.get(flags.positional()[1]);
+    entry = cache.get(flags.positional()[1], &guard);
   }
   const core::CompiledTrace& compiled = entry ? entry->compiled : salvaged;
   core::SimConfig base;
@@ -254,6 +291,7 @@ int cmd_predict(Flags& flags) {
   core::SweepOptions opt;
   opt.jobs = util::ThreadPool::resolve_jobs(static_cast<int>(flags.i64("jobs")));
   opt.results = &results;
+  opt.guard = &guard;
   const core::SpeedupCurve curve =
       core::sweep_cpus(compiled, cpu_counts, base, opt);
   TextTable table;
@@ -273,11 +311,12 @@ int cmd_predict(Flags& flags) {
 
 int cmd_simulate(Flags& flags) {
   if (flags.positional().size() < 2) return usage();
+  const core::RunGuard guard(cli_limits(flags));
   const trace::Trace t = load_trace(flags, flags.positional()[1]);
   core::SimConfig cfg;
   cfg.hw.cpus = static_cast<int>(flags.i64("cpus"));
   cfg.sched.lwps = static_cast<int>(flags.i64("lwps"));
-  const core::SimResult r = core::simulate(t, cfg);
+  const core::SimResult r = core::simulate(t, cfg, &guard);
   std::printf("predicted %s on %d CPUs (speed-up %.2f, %zu events, "
               "digest %016llx)\n\n",
               r.total.to_string().c_str(), cfg.hw.cpus, r.speedup,
@@ -306,10 +345,11 @@ int cmd_simulate(Flags& flags) {
 
 int cmd_analyze(Flags& flags) {
   if (flags.positional().size() < 2) return usage();
+  const core::RunGuard guard(cli_limits(flags));
   const trace::Trace t = load_trace(flags, flags.positional()[1]);
   core::SimConfig cfg;
   cfg.hw.cpus = static_cast<int>(flags.i64("cpus"));
-  const core::SimResult r = core::simulate(t, cfg);
+  const core::SimResult r = core::simulate(t, cfg, &guard);
   const viz::AnalysisReport report = viz::analyze(r, t);
   std::printf("simulated on %d CPUs: speed-up %.2f\n\n%s", cfg.hw.cpus,
               r.speedup, report.to_string().c_str());
@@ -364,6 +404,15 @@ int cmd_serve(Flags& flags) {
   opt.admission_limit = static_cast<int>(flags.i64("admission"));
   opt.cache_entries = static_cast<std::size_t>(flags.i64("cache-entries"));
   opt.cache_bytes = static_cast<std::size_t>(flags.i64("cache-mb")) << 20;
+  opt.max_steps = static_cast<std::uint64_t>(flags.i64("max-steps"));
+  opt.max_sim_ms = flags.i64("max-sim-ms");
+  opt.max_result_mb = static_cast<std::uint64_t>(flags.i64("max-result-mb"));
+  opt.max_wall_ms = flags.i64("max-wall-ms");
+  opt.watchdog_interval_ms = flags.i64("watchdog-ms");
+  opt.watchdog_escalate_ms = flags.i64("escalate-ms");
+  opt.poison_strikes = static_cast<int>(flags.i64("poison-strikes"));
+  opt.quarantine_ms = flags.i64("quarantine-ms");
+  opt.per_client_limit = static_cast<int>(flags.i64("per-client"));
 
   // Block the shutdown signals before any thread exists, so every
   // server/pool thread inherits the mask and only sigwait sees them.
@@ -439,6 +488,7 @@ int cmd_request(Flags& flags) {
   req.comm_delay_us = flags.i64("comm-delay-us");
   req.want_svg = !flags.str("svg").empty();
   req.deadline_ms = flags.i64("deadline-ms");
+  req.client_id = static_cast<std::uint64_t>(flags.i64("client-id"));
 
   server::Client client = connect_client(flags);
   server::RetryPolicy policy;
@@ -452,6 +502,14 @@ int cmd_request(Flags& flags) {
   if (r.status == server::Status::kDeadlineExceeded) {
     std::fprintf(stderr, "vppb: %s\n", r.error.c_str());
     return 4;
+  }
+  if (r.status == server::Status::kBudgetExceeded) {
+    std::fprintf(stderr, "vppb: %s\n", r.error.c_str());
+    return 5;
+  }
+  if (r.status == server::Status::kPoisoned) {
+    std::fprintf(stderr, "vppb: %s\n", r.error.c_str());
+    return 6;
   }
   if (r.status == server::Status::kError) {
     std::fprintf(stderr, "vppb: server error: %s\n", r.error.c_str());
@@ -582,6 +640,29 @@ int main(int argc, char** argv) {
                    "request: retries on overload/transport failure");
   flags.define_i64("admission", 64,
                    "serve: max in-flight requests before overload");
+  flags.define_i64("max-steps", 0,
+                   "run budget: engine steps per run (0 = unlimited)");
+  flags.define_i64("max-sim-ms", 0,
+                   "run budget: simulated milliseconds (0 = unlimited)");
+  flags.define_i64("max-result-mb", 0,
+                   "run budget: result storage in MiB (0 = unlimited)");
+  flags.define_i64("max-wall-ms", 0,
+                   "run budget: wall-clock milliseconds (0 = unlimited)");
+  flags.define_i64("watchdog-ms", 50,
+                   "serve: watchdog scan interval (0 = no watchdog)");
+  flags.define_i64("escalate-ms", 1000,
+                   "serve: grace after a watchdog cancel before the "
+                   "worker is abandoned and replaced");
+  flags.define_i64("poison-strikes", 3,
+                   "serve: crash/budget strikes before a trace is "
+                   "quarantined (0 = never)");
+  flags.define_i64("quarantine-ms", 30000,
+                   "serve: quarantine window for poisoned traces");
+  flags.define_i64("per-client", 0,
+                   "serve: per-client in-flight limit (0 = off)");
+  flags.define_i64("client-id", 0,
+                   "request: identity for per-client fair admission "
+                   "(0 = anonymous)");
   flags.define_i64("cache-entries", 16, "serve: compiled-trace cache slots");
   flags.define_i64("cache-mb", 512, "serve: compiled-trace cache budget");
   flags.define_string("log-level", "",
@@ -627,6 +708,7 @@ int main(int argc, char** argv) {
       const std::string& cmd = flags.positional()[0];
       if (cmd == "gen") rc = cmd_gen(flags);
       else if (cmd == "info") rc = cmd_info(flags);
+      else if (cmd == "check") rc = cmd_check(flags);
       else if (cmd == "predict") rc = cmd_predict(flags);
       else if (cmd == "simulate") rc = cmd_simulate(flags);
       else if (cmd == "analyze") rc = cmd_analyze(flags);
@@ -642,6 +724,10 @@ int main(int argc, char** argv) {
     }
     write_profile();
     return rc;
+  } catch (const core::BudgetExceeded& e) {
+    // Same meaning as a daemon kBudgetExceeded response, same exit code.
+    std::fprintf(stderr, "vppb: %s\n", e.what());
+    return 5;
   } catch (const vppb::Error& e) {
     std::fprintf(stderr, "vppb: %s\n", e.what());
     return 1;
