@@ -1,19 +1,39 @@
 // Engine-throughput benchmark: how many replayed trace steps per second
-// does core::simulate sustain, and how long does a processor sweep take
+// does the engine sustain, and how long does a processor sweep take
 // serially vs. on the util::ThreadPool?
+//
+// Two throughput numbers are reported:
+//
+//  * steps_per_sec — the headline: repeated runs on one reused
+//    core::SimEngine, i.e. the batched-driver path every sweep point
+//    and every vppbd request takes.  Allocation-free in steady state.
+//  * steps_per_sec_oneshot — repeated core::simulate() calls, paying
+//    the full engine construction per run (the cold-start path).
+//
+// The sweep is timed twice: serially (jobs=1) and with a thread pool
+// sized to the hardware (at least 2 workers, so the pool path is
+// exercised even on a single-core host, where jobs=1 vs jobs=1 would
+// compare nothing).  Both job counts are emitted.
 //
 // Results go to a JSON file (BENCH_engine.json by default) so the perf
 // trajectory of the scheduler is comparable across PRs:
 //
 //   build/bench/bench_engine_steps [--threads 64] [--scale 0.2]
 //       [--cpus 8] [--min-ms 500] [--jobs 0] [--out BENCH_engine.json]
+//       [--min-steps-per-sec N]
+//
+// --min-steps-per-sec turns the benchmark into a regression assertion:
+// a headline below the floor exits non-zero (tools/bench_gate compares
+// against the checked-in baseline instead, with a relative margin).
 //
 // The `bench`-labelled CTest target runs exactly this (see
 // bench/CMakeLists.txt); it is excluded from the default `ctest` run.
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <numeric>
+#include <thread>
 #include <vector>
 
 #include "core/engine.hpp"
@@ -45,7 +65,10 @@ int main(int argc, char** argv) {
   flags.define_double("scale", 0.2, "problem scale of the trace");
   flags.define_i64("cpus", 8, "simulated CPU count for the steps/sec run");
   flags.define_i64("min-ms", 500, "minimum wall time per measurement");
-  flags.define_i64("jobs", 0, "sweep workers (0 = all hardware threads)");
+  flags.define_i64("jobs", 0,
+                   "parallel-sweep workers (0 = hardware threads, min 2)");
+  flags.define_i64("min-steps-per-sec", 0,
+                   "fail (exit 1) if the headline falls below this floor");
   flags.define_string("out", "BENCH_engine.json", "JSON output file");
   flags.parse(argc, argv);
 
@@ -53,8 +76,11 @@ int main(int argc, char** argv) {
   const double scale = flags.dbl("scale");
   const int cpus = static_cast<int>(flags.i64("cpus"));
   const double min_s = static_cast<double>(flags.i64("min-ms")) / 1e3;
-  const int jobs = util::ThreadPool::resolve_jobs(
-      static_cast<int>(flags.i64("jobs")));
+  const int jobs_flag = static_cast<int>(flags.i64("jobs"));
+  const int jobs =
+      jobs_flag > 0
+          ? jobs_flag
+          : std::max(2, static_cast<int>(std::thread::hardware_concurrency()));
 
   // The paper's clearly-sublinear SPLASH kernel: serial transpose phases
   // between parallel row FFTs, i.e. plenty of scheduler traffic.
@@ -70,32 +96,51 @@ int main(int argc, char** argv) {
   cfg.hw.cpus = cpus;
   cfg.build_timeline = false;
 
-  // Steps/sec of a single simulation, repeated until min-ms elapsed.
+  // Headline: steps/sec on one reused engine, repeated until min-ms.
   int runs = 0;
   double speedup = 0.0;
-  const Clock::time_point t0 = Clock::now();
   double elapsed = 0.0;
-  do {
-    speedup = core::simulate(compiled, cfg).speedup;
-    ++runs;
-    elapsed = seconds_since(t0);
-  } while (elapsed < min_s);
+  {
+    core::SimEngine engine;
+    const Clock::time_point t0 = Clock::now();
+    do {
+      speedup = engine.run(compiled, cfg).speedup;
+      ++runs;
+      elapsed = seconds_since(t0);
+    } while (elapsed < min_s);
+  }
   const double steps_per_sec =
       static_cast<double>(steps_per_run) * runs / elapsed;
 
-  // 8-point sweep: serial wall time vs. thread-pool wall time.
+  // Cold-start reference: a fresh engine per run via simulate().
+  int runs_oneshot = 0;
+  double elapsed_oneshot = 0.0;
+  {
+    const Clock::time_point t0 = Clock::now();
+    do {
+      (void)core::simulate(compiled, cfg);
+      ++runs_oneshot;
+      elapsed_oneshot = seconds_since(t0);
+    } while (elapsed_oneshot < min_s);
+  }
+  const double steps_per_sec_oneshot =
+      static_cast<double>(steps_per_run) * runs_oneshot / elapsed_oneshot;
+
+  // 8-point sweep: serial wall time vs. thread-pool wall time.  Both go
+  // through the batched SweepRunner; the serial leg shows the per-point
+  // cost, the parallel leg what the pool adds or recovers on this host.
   std::vector<int> counts(8);
   std::iota(counts.begin(), counts.end(), 1);
   double serial_s = 0.0, parallel_s = 0.0;
-  int sweep_runs = 0;
   {
+    int reps = 0;
     const Clock::time_point s0 = Clock::now();
     do {
       core::sweep_cpus(compiled, counts, cfg);
-      ++sweep_runs;
+      ++reps;
       serial_s = seconds_since(s0);
     } while (serial_s < min_s);
-    serial_s /= sweep_runs;
+    serial_s /= reps;
   }
   {
     core::SweepOptions opt;
@@ -118,19 +163,33 @@ int main(int argc, char** argv) {
       << "  \"steps_per_run\": " << steps_per_run << ",\n"
       << "  \"sim_cpus\": " << cpus << ",\n"
       << "  \"runs\": " << runs << ",\n"
+      << "  \"runs_oneshot\": " << runs_oneshot << ",\n"
       << "  \"speedup\": " << speedup << ",\n"
       << "  \"steps_per_sec\": " << static_cast<std::int64_t>(steps_per_sec)
       << ",\n"
+      << "  \"steps_per_sec_oneshot\": "
+      << static_cast<std::int64_t>(steps_per_sec_oneshot) << ",\n"
       << "  \"sweep_points\": " << counts.size() << ",\n"
       << "  \"sweep_serial_ms\": " << serial_s * 1e3 << ",\n"
+      << "  \"sweep_serial_jobs\": 1,\n"
       << "  \"sweep_parallel_ms\": " << parallel_s * 1e3 << ",\n"
       << "  \"sweep_jobs\": " << jobs << "\n"
       << "}\n";
   std::printf(
-      "engine: %zu steps/run, %d runs, %.0f steps/sec (cpus=%d)\n"
+      "engine: %zu steps/run, %d runs, %.0f steps/sec batched, "
+      "%.0f steps/sec one-shot (cpus=%d)\n"
       "sweep:  %zu points, serial %.1f ms, parallel %.1f ms (jobs=%d)\n"
       "wrote %s\n",
-      steps_per_run, runs, steps_per_sec, cpus, counts.size(), serial_s * 1e3,
-      parallel_s * 1e3, jobs, flags.str("out").c_str());
+      steps_per_run, runs, steps_per_sec, steps_per_sec_oneshot, cpus,
+      counts.size(), serial_s * 1e3, parallel_s * 1e3, jobs,
+      flags.str("out").c_str());
+
+  const double floor = static_cast<double>(flags.i64("min-steps-per-sec"));
+  if (floor > 0.0 && steps_per_sec < floor) {
+    std::fprintf(stderr,
+                 "FAIL: steps_per_sec %.0f below required floor %.0f\n",
+                 steps_per_sec, floor);
+    return 1;
+  }
   return 0;
 }

@@ -1,6 +1,7 @@
 #include "core/compiler.hpp"
 
 #include <algorithm>
+#include <unordered_map>
 
 #include "util/error.hpp"
 
@@ -11,6 +12,78 @@ const CompiledThread& CompiledTrace::thread(ThreadId tid) const {
   VPPB_CHECK_MSG(it != threads.end(), "no compiled thread T" << tid);
   return it->second;
 }
+
+namespace {
+
+/// Raw-id -> dense-slot map for one object kind.  Slots are handed out
+/// in first-touch order over the (ascending-tid, step-order) walk of
+/// the program, so the numbering is a pure function of the trace.
+class SlotMap {
+ public:
+  std::uint32_t slot(std::uint32_t id) {
+    const auto [it, inserted] =
+        map_.try_emplace(id, static_cast<std::uint32_t>(map_.size()));
+    return it->second;
+  }
+  std::uint32_t count() const { return static_cast<std::uint32_t>(map_.size()); }
+
+ private:
+  std::unordered_map<std::uint32_t, std::uint32_t> map_;
+};
+
+/// Assigns the engine-internal dense object slots of one step.  A cond
+/// wait names its mutex in `arg`, so that id maps into the mutex table
+/// too (slot2).
+void assign_slots(Step& s, SlotMap& mutexes, SlotMap& semas, SlotMap& conds,
+                  SlotMap& rwlocks) {
+  switch (trace::op_obj_kind(s.op)) {
+    case trace::ObjKind::kMutex: s.slot = mutexes.slot(s.obj.id); break;
+    case trace::ObjKind::kSema: s.slot = semas.slot(s.obj.id); break;
+    case trace::ObjKind::kCond: s.slot = conds.slot(s.obj.id); break;
+    case trace::ObjKind::kRwlock: s.slot = rwlocks.slot(s.obj.id); break;
+    default: break;
+  }
+  if (s.op == trace::Op::kCondWait || s.op == trace::Op::kCondTimedwait)
+    s.slot2 = mutexes.slot(static_cast<std::uint32_t>(s.arg));
+}
+
+}  // namespace
+
+std::shared_ptr<const FlatProgram> build_flat_program(
+    const std::map<ThreadId, CompiledThread>& threads) {
+  auto fp = std::make_shared<FlatProgram>();
+  std::size_t total = 0;
+  for (const auto& [tid, ct] : threads) total += ct.steps.size();
+  fp->total_steps = total;
+  fp->n_threads = threads.size();
+  FlatThread* table = fp->arena.make_array<FlatThread>(threads.size());
+  fp->threads = table;
+  SlotMap mutexes, semas, conds, rwlocks;
+  std::size_t i = 0;
+  for (const auto& [tid, ct] : threads) {
+    FlatThread& ft = table[i++];
+    ft.tid = tid;
+    ft.n_steps = static_cast<std::uint32_t>(ct.steps.size());
+    ft.bound = ct.bound;
+    ft.created_in_log = ct.created_in_log;
+    ft.initial_priority = ct.initial_priority;
+    ft.first_record_at = ct.first_record_at;
+    ft.total_cpu = ct.total_cpu;
+    Step* steps = fp->arena.make_array<Step>(ct.steps.size());
+    ft.steps = steps;
+    for (std::size_t k = 0; k < ct.steps.size(); ++k) {
+      steps[k] = ct.steps[k];
+      assign_slots(steps[k], mutexes, semas, conds, rwlocks);
+    }
+  }
+  fp->mutex_ids = mutexes.count();
+  fp->sema_ids = semas.count();
+  fp->cond_ids = conds.count();
+  fp->rwlock_ids = rwlocks.count();
+  return fp;
+}
+
+void CompiledTrace::rebuild_flat() { flat = build_flat_program(threads); }
 
 CompiledTrace compile(const trace::Trace& trace) {
   return compile(trace, nullptr);
@@ -148,6 +221,7 @@ CompiledTrace compile(const trace::Trace& trace, const RunGuard* guard) {
   out.setprio_values.erase(
       std::unique(out.setprio_values.begin(), out.setprio_values.end()),
       out.setprio_values.end());
+  out.rebuild_flat();
   return out;
 }
 

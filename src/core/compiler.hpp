@@ -11,12 +11,15 @@
 // its own events, which is exactly what the Simulator replays.
 #pragma once
 
+#include <cstdint>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "core/guard.hpp"
 #include "trace/trace.hpp"
+#include "util/arena.hpp"
 #include "util/time.hpp"
 
 namespace vppb::core {
@@ -36,6 +39,15 @@ struct Step {
   SimTime delay;     ///< recorded sleep length of a timed-out cond_timedwait
   std::uint32_t loc = 0;     ///< source location of the call
   SimTime logged_at;         ///< when the call happened in the recording
+  /// Engine-internal dense object slots, assigned by build_flat_program:
+  /// the replay keys its per-kind object tables by these (first-touch
+  /// order, 0..n-1) rather than the trace's raw ids, which recorders
+  /// derive from addresses and are therefore arbitrarily sparse.  `slot`
+  /// remaps obj.id (for synchronization-object ops); `slot2` remaps a
+  /// cond wait's recorded mutex (arg).  Results and events still carry
+  /// the raw ids — slots never leak out of the engine.
+  std::uint32_t slot = 0;
+  std::uint32_t slot2 = 0;
 };
 
 struct CompiledThread {
@@ -52,6 +64,43 @@ struct CompiledThread {
   SimTime total_cpu;  ///< sum of cpu + op_cost over all steps
 };
 
+/// The engine-facing view of one compiled thread: a dense record whose
+/// step array lives in the owning FlatProgram's arena.  Everything the
+/// replay hot path needs, nothing it does not (names etc. stay on
+/// CompiledThread).
+struct FlatThread {
+  ThreadId tid = 0;
+  const Step* steps = nullptr;  ///< arena-backed, contiguous
+  std::uint32_t n_steps = 0;
+  bool bound = false;
+  bool created_in_log = false;
+  int initial_priority = 0;
+  SimTime first_record_at;
+  SimTime total_cpu;
+};
+
+/// The data-oriented form of a CompiledTrace: every thread's step
+/// stream copied into one bump arena, plus a dense thread table in
+/// ascending-tid order (the same order the std::map iterates, so the
+/// engine's thread indices are unchanged) and the per-kind object-id
+/// bounds the engine uses to presize its slabs once per run instead of
+/// growing them mid-replay.  Immutable after build; shared by every
+/// simulation of the trace (all sweep points, all cached requests).
+struct FlatProgram {
+  util::Arena arena;
+  const FlatThread* threads = nullptr;  ///< arena-backed, ascending tid
+  std::size_t n_threads = 0;
+  std::size_t total_steps = 0;
+  /// Distinct objects of each kind (== the per-kind slot count): the
+  /// engine sizes its dense object tables to exactly these.  Cond-wait
+  /// steps contribute their recorded mutex (Step::arg) to the mutex
+  /// count.
+  std::uint32_t mutex_ids = 0;
+  std::uint32_t sema_ids = 0;
+  std::uint32_t cond_ids = 0;
+  std::uint32_t rwlock_ids = 0;
+};
+
 struct CompiledTrace {
   std::map<ThreadId, CompiledThread> threads;
   SimTime recorded_duration;
@@ -59,9 +108,26 @@ struct CompiledTrace {
   /// Collected once here so the engine's per-run priority table does
   /// not have to rescan every step of every thread.
   std::vector<int> setprio_values;
+  /// Flat replay form, built once by compile() and shared (immutably)
+  /// by every copy of this trace.  Code that mutates `threads` after
+  /// compilation (see machine::jittered) must call rebuild_flat(), or
+  /// the engine would replay the stale stream.
+  std::shared_ptr<const FlatProgram> flat;
 
   const CompiledThread& thread(ThreadId tid) const;
+
+  /// (Re)derives `flat` from `threads`.  Cheap relative to compile():
+  /// one pass copying the step streams into a fresh arena.
+  void rebuild_flat();
 };
+
+/// Builds the flat replay form of a compiled thread map: one arena
+/// holding every step stream plus the dense thread table.  compile()
+/// calls this via CompiledTrace::rebuild_flat(); the engine calls it
+/// directly for hand-built CompiledTraces that never went through
+/// compile() and so carry no flat form.
+std::shared_ptr<const FlatProgram> build_flat_program(
+    const std::map<ThreadId, CompiledThread>& threads);
 
 /// Compiles a validated trace.  Throws vppb::Error on traces that cannot
 /// be replayed (e.g. a return without a call).

@@ -87,11 +87,19 @@ class DispQueue {
     kTake,  ///< pop this entry and stop the scan
   };
 
+  /// Sizes the queue for `levels` buckets and empties it.  Re-configuring
+  /// to the same level count (a reused engine workspace running the same
+  /// program again) recycles the bucket storage instead of freeing it.
   void configure(int levels) {
+    if (static_cast<std::size_t>(levels) == buckets_.size()) {
+      clear();
+      return;
+    }
     buckets_.clear();
     buckets_.resize(static_cast<std::size_t>(levels));
     bits_.configure(levels);
     touched_.clear();
+    live_total_ = 0;
   }
 
   /// Queue `item` at `level`, ordered by `seq` within the bucket.  The
@@ -106,6 +114,7 @@ class DispQueue {
     }
     if (b.live == 0) bits_.set(level);
     ++b.live;
+    ++live_total_;
     std::size_t pos = b.q.size();
     while (pos > b.head && b.q[pos - 1].seq > seq) --pos;
     b.q.insert(b.q.begin() + static_cast<std::ptrdiff_t>(pos),
@@ -117,6 +126,7 @@ class DispQueue {
   void invalidate(int level) {
     Bucket& b = buckets_[static_cast<std::size_t>(level)];
     --b.live;
+    --live_total_;
     if (b.live == 0) reset_bucket(b, level);
   }
 
@@ -141,6 +151,7 @@ class DispQueue {
         Item out = b.q[i].item;
         if (i == b.head) ++b.head;
         --b.live;
+        --live_total_;
         if (b.live == 0) reset_bucket(b, level);
         return out;
       }
@@ -164,6 +175,7 @@ class DispQueue {
     Item out = b.q[b.head].item;
     ++b.head;
     --b.live;
+    --live_total_;
     if (b.live == 0) reset_bucket(b, level);
     return out;
   }
@@ -179,7 +191,13 @@ class DispQueue {
       bits_.clear(level);
     }
     touched_.clear();
+    live_total_ = 0;
   }
+
+  /// Entries inserted and not yet taken or invalidated, across all
+  /// buckets.  Zero means a scan cannot take anything, letting callers
+  /// skip it in O(1).
+  std::size_t live() const { return live_total_; }
 
  private:
   struct Bucket {
@@ -200,6 +218,7 @@ class DispQueue {
   std::vector<Bucket> buckets_;
   PrioBitmap bits_;
   std::vector<int> touched_;
+  std::size_t live_total_ = 0;
 };
 
 }  // namespace vppb::core

@@ -2,7 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
-#include <queue>
+#include <functional>
 #include <sstream>
 #include <vector>
 
@@ -17,13 +17,17 @@ namespace {
 
 using trace::Op;
 
+
 constexpr int kInitialTsLevel = 29;  // the Solaris TS default user level
 
 /// Simulated thread control block.
 struct Th {
   ThreadId tid = 0;
-  const CompiledThread* ct = nullptr;
-  std::size_t step = 0;
+  /// Flat step cursor into the FlatProgram's arena-backed stream: the
+  /// hot path advances one pointer instead of a (map node, index) pair.
+  const Step* sp = nullptr;
+  const Step* sp_end = nullptr;
+  const FlatThread* ft = nullptr;
 
   enum class St { kUnborn, kReady, kRunning, kBlocked, kSleeping, kDone };
   St st = St::kUnborn;
@@ -68,11 +72,6 @@ struct Th {
   std::uint32_t wait_mutex = 0;
   ThreadId join_target = 0;
 
-  /// Mutexes currently held (replay bookkeeping for the barrier rule).
-  std::vector<std::uint32_t> held_mutexes;
-  /// Mutexes to re-take after a barrier-rule block, in acquire order.
-  std::vector<std::uint32_t> reacquire;
-
   bool reaped = false;
   bool exited = false;
 
@@ -86,11 +85,13 @@ struct Th {
   SimTime state_since;
   SegState seg_state = SegState::kBlocked;
   int seg_cpu = -1;
-  ThreadStats stats;
   std::ptrdiff_t open_event = -1;
 
-  const Step& current_step() const { return ct->steps[step]; }
-  bool has_steps_left() const { return ct != nullptr && step < ct->steps.size(); }
+  /// On the phase-completion due list (see Engine::note_phase_due).
+  bool in_phase_due = false;
+
+  const Step& current_step() const { return *sp; }
+  bool has_steps_left() const { return sp < sp_end; }
 };
 
 /// Simulated LWP (kernel thread).
@@ -113,17 +114,48 @@ struct Lwp {
   bool slept = false;        ///< pending sleep-return boost
   bool in_free_heap = false; ///< queued in the free-LWP heap
   bool in_unplaced = false;  ///< on the attached-but-unplaced list
+  bool in_quantum_due = false;  ///< on the quantum-expiry due list
 };
 
 class Engine {
  public:
-  Engine(const CompiledTrace& compiled, const SimConfig& cfg,
-         const RunGuard* guard = nullptr)
-      : compiled_(compiled), cfg_(cfg), guard_(guard) {}
+  Engine() = default;
 
-  SimResult run();
+  /// One full simulation against this engine's workspace.  Every
+  /// container is reset — not reallocated — at entry, so repeat runs
+  /// (the batched sweep path) are allocation-free in steady state.
+  /// The reset also recovers from a previous run that threw (guard
+  /// budget trips leave the workspace dirty).
+  SimResult run(const CompiledTrace& compiled, const SimConfig& cfg,
+                const RunGuard* guard);
 
  private:
+  SimResult run_body();
+  void reset_workspace();
+
+  /// Any mutation that can change a scheduling decision (thread state,
+  /// queue membership, placement, priority, eligibility) bumps this
+  /// clock; assign() and the contention probe memoize on it.
+  void note_sched_change() { ++sched_clock_; }
+
+  /// Called wherever a thread can end up running with zero remaining
+  /// demand — the phase-completion condition process_due_now() used to
+  /// rediscover by scanning every CPU.
+  void note_phase_due(Th& t) {
+    if (!t.in_phase_due && t.st == Th::St::kRunning && t.remaining.is_zero()) {
+      t.in_phase_due = true;
+      phase_due_.push_back(t.idx);
+    }
+  }
+
+  /// Same for the quantum-expiry condition (placed LWP, quantum spent).
+  void note_quantum_due(Lwp& lwp) {
+    if (!lwp.in_quantum_due && lwp.cpu >= 0 && lwp.quantum_left.is_zero()) {
+      lwp.in_quantum_due = true;
+      quantum_due_.push_back(lwp.id);
+    }
+  }
+
   // ---- resource governance ----
   // Per-step checkpoint: cancellation + step budget every step; the
   // wall clock and result footprint only every 1024 steps (a clock
@@ -171,6 +203,14 @@ class Engine {
 
   // ---- execution ----
   bool process_due_now();
+  /// O(1) probe: can process_due_now() possibly do anything at now_?
+  /// Every due condition it handles is fed by the due lists or the
+  /// timer heap, so empty lists + no ripe timer means a guaranteed
+  /// no-op call, which the fixpoint loop skips.
+  bool any_due() const {
+    return !phase_due_.empty() || !quantum_due_.empty() ||
+           (!timers_.empty() && timers_.front().when <= now_);
+  }
   void apply_op(Th& t);
   void enter_op_cost(Th& t);
   void advance_step(Th& t);
@@ -210,9 +250,14 @@ class Engine {
   int idx_of(ThreadId tid) const;
   bool exists(ThreadId tid) const { return idx_of(tid) >= 0; }
 
-  const CompiledTrace& compiled_;
-  const SimConfig& cfg_;
+  const CompiledTrace* compiled_ = nullptr;
+  const SimConfig* cfg_ = nullptr;
   const RunGuard* guard_ = nullptr;  ///< null = no governance, zero cost
+  /// The flat program being replayed.  The shared_ptr keeps the arena
+  /// alive (and pins its address) for the whole run even if the caller
+  /// drops the CompiledTrace: every Th::sp points into it.
+  std::shared_ptr<const FlatProgram> prog_hold_;
+  const FlatProgram* prog_ = nullptr;
 
   SimTime now_;
   // Dense thread table in ascending-tid order (Th::idx indexes it; the
@@ -251,11 +296,28 @@ class Engine {
   std::vector<std::vector<KWaiter>> kq_bound_;  ///< per-CPU bound waiters
   std::vector<int> kq_bound_touched_;
 
-  /// Idle non-dedicated LWPs by ascending id (attach reuses the
-  /// lowest-numbered free LWP first, like the linear scan it replaces).
-  std::priority_queue<int, std::vector<int>, std::greater<>> free_lwps_;
+  /// Idle non-dedicated LWPs, one bit per LWP id.  Attach reuses the
+  /// lowest-numbered free LWP first (like the heap it replaces), found
+  /// by a countr_zero scan from free_hint_, the lowest word that can be
+  /// non-zero.  free_count_ gives O(1) emptiness.
+  std::vector<std::uint64_t> free_bits_;
+  int free_hint_ = 0;
+  std::size_t free_count_ = 0;
   /// LWPs with a thread but no CPU (stale entries dropped lazily).
   std::vector<int> unplaced_;
+  /// Entries of unplaced_ that are still attached and still CPU-less —
+  /// i.e. not stale.  Zero lets dispatch_lwps() skip the scan outright
+  /// (stale husks then wait for the next live scan to be compacted).
+  std::size_t unplaced_live_ = 0;
+
+  /// Incremental due lists, replacing the per-iteration CPU scans of
+  /// process_due_now(): every site that can make a running thread's
+  /// remaining demand zero (or zero an LWP's quantum) enrolls it here,
+  /// and the consumer revalidates — exactly the candidate-collection +
+  /// revalidation the scans performed, without touching the CPUs that
+  /// cannot be due.  The in_* flags keep entries unique.
+  std::vector<std::int32_t> phase_due_;   ///< thread idx, unordered
+  std::vector<int> quantum_due_;          ///< lwp id, unordered
 
   /// Pending wakeups: sleeper timers (wake_at) and future dispatch
   /// eligibility (ready_at), validated lazily against the thread.
@@ -273,9 +335,33 @@ class Engine {
 
   // Reusable scratch (hoisted out of the per-event hot paths).
   std::vector<int> due_scratch_;
-  std::vector<Th*> phase_scratch_;
   std::vector<Lwp*> disp_scratch_;
   std::vector<std::uint32_t> mutex_scratch_;
+
+  // Per-thread cold data, indexed by Th::idx.  Out-of-line so Th stays
+  // trivially copyable and the per-run thread-table rebuild is a plain
+  // copy; the inner vectors keep their capacity across runs.
+  std::vector<ThreadStats> stats_;
+  std::vector<std::vector<std::uint32_t>> held_of_;   ///< mutexes held
+  std::vector<std::vector<std::uint32_t>> reacq_of_;  ///< barrier re-take list
+  std::size_t done_count_ = 0;  ///< threads in St::kDone
+
+  // Scheduling memo.  assign() is a pure function of the scheduling
+  // state; sched_clock_ (bumped by note_sched_change) plus now_
+  // fingerprint that state.  After a pass that verifiably changed
+  // nothing, identical fingerprints skip the pass outright — which is
+  // exactly the re-run the old code performed after every event whose
+  // op touched no scheduling state (uncontended locks, step advances).
+  std::uint64_t sched_clock_ = 0;
+  std::uint64_t last_assign_clock_ = 0;
+  SimTime last_assign_now_;
+  bool assign_memo_valid_ = false;
+  /// Same fingerprint scheme for the is-any-LWP-waiting probe, which
+  /// next_event_time and the quantum-expiry scan both issue per event.
+  mutable std::uint64_t contended_clock_ = 0;
+  mutable SimTime contended_now_;
+  mutable bool contended_valid_ = false;
+  mutable bool contended_val_ = false;
 
   /// Self-observation: plain (non-atomic) increments on the hot paths,
   /// published into result_.engine once at the end of run().  Keeping
@@ -322,6 +408,7 @@ void Engine::rq_take_out(Th& t) {
 /// requeued (fresh bucket/seq) when it is ready, unbound, unattached
 /// and not suspended; dequeued otherwise.  Idempotent.
 void Engine::rq_put(Th& t) {
+  note_sched_change();
   rq_take_out(t);
   if (t.bound || t.suspended || t.lwp != -1 || t.st != Th::St::kReady) return;
   t.rq_bucket = rank_of(t.prio);
@@ -331,11 +418,22 @@ void Engine::rq_put(Th& t) {
 
 void Engine::mark_free(Lwp& lwp) {
   if (lwp.dedicated || lwp.in_free_heap) return;
+  note_sched_change();
   lwp.in_free_heap = true;
-  free_lwps_.push(lwp.id);
+  const std::size_t w = static_cast<std::size_t>(lwp.id) >> 6;
+  if (free_bits_.size() <= w) free_bits_.resize(w + 1, 0);
+  free_bits_[w] |= 1ull << (lwp.id & 63);
+  if (static_cast<int>(w) < free_hint_) free_hint_ = static_cast<int>(w);
+  ++free_count_;
 }
 
 void Engine::mark_unplaced(Lwp& lwp) {
+  // Only ever called on an attached, CPU-less LWP that is not already
+  // counted (placement and detachment both decrement), so the live
+  // count moves in lock-step with the "attached and unplaced" set even
+  // when the vector still holds the physical husk of an earlier stint.
+  note_sched_change();
+  ++unplaced_live_;
   if (lwp.in_unplaced) return;
   lwp.in_unplaced = true;
   unplaced_.push_back(lwp.id);
@@ -361,24 +459,27 @@ SegState Engine::seg_state_of(Th::St st) const {
 
 void Engine::emit_segment(Th& t, SimTime upto) {
   if (upto > t.state_since) {
-    if (cfg_.build_timeline) {
+    if (cfg_->build_timeline) {
       result_.segments.push_back(
           Segment{t.tid, t.state_since, upto, t.seg_state, t.seg_cpu});
     }
     const SimTime d = upto - t.state_since;
+    ThreadStats& stats = stats_[static_cast<std::size_t>(t.idx)];
     switch (t.seg_state) {
-      case SegState::kRunning: t.stats.cpu_time += d; break;
-      case SegState::kRunnable: t.stats.runnable_time += d; break;
-      case SegState::kBlocked: t.stats.blocked_time += d; break;
-      case SegState::kSleeping: t.stats.sleeping_time += d; break;
+      case SegState::kRunning: stats.cpu_time += d; break;
+      case SegState::kRunnable: stats.runnable_time += d; break;
+      case SegState::kBlocked: stats.blocked_time += d; break;
+      case SegState::kSleeping: stats.sleeping_time += d; break;
     }
   }
   t.state_since = upto;
 }
 
 void Engine::set_state(Th& t, Th::St st) {
+  note_sched_change();
   if (t.st == Th::St::kRunning && st != Th::St::kRunning) --running_count_;
   if (t.st != Th::St::kRunning && st == Th::St::kRunning) ++running_count_;
+  if (st == Th::St::kDone && t.st != Th::St::kDone) ++done_count_;
   emit_segment(t, now_);
   t.st = st;
   t.seg_state = seg_state_of(st);
@@ -393,7 +494,7 @@ void Engine::set_state(Th& t, Th::St st) {
 void Engine::emit_lwp_segment(Lwp& lwp) {
   // The seg_* fields exist only to feed the gantt; skip the bookkeeping
   // entirely when no timeline is wanted.
-  if (!cfg_.build_timeline) return;
+  if (!cfg_->build_timeline) return;
   if (now_ > lwp.seg_since && (lwp.seg_thread != 0 || lwp.seg_cpu >= 0)) {
     result_.lwp_segments.push_back(LwpSegment{
         lwp.id, lwp.seg_since, now_, lwp.seg_thread, lwp.seg_cpu});
@@ -406,7 +507,7 @@ void Engine::emit_lwp_segment(Lwp& lwp) {
 Lwp& Engine::new_lwp(bool dedicated, int bound_cpu) {
   Lwp lwp;
   lwp.id = static_cast<int>(lwps_.size());
-  lwp.quantum_left = cfg_.sched.ts_table.entry(lwp.ts_level).quantum;
+  lwp.quantum_left = cfg_->sched.ts_table.entry(lwp.ts_level).quantum;
   lwp.dedicated = dedicated;
   lwp.bound_cpu = bound_cpu;
   lwp.enqueued_at = now_;
@@ -415,28 +516,36 @@ Lwp& Engine::new_lwp(bool dedicated, int bound_cpu) {
 }
 
 void Engine::init_threads() {
-  // One-pass remap of the trace's thread ids onto dense indices
-  // (compiled_.threads iterates in ascending tid order).
-  const std::size_t count = compiled_.threads.size();
+  // One-pass remap of the trace's thread ids onto dense indices (the
+  // flat table is in ascending tid order).  Rebuilt per run — Th is a
+  // plain copyable record now, so this is a bulk copy into storage the
+  // previous run already sized.
+  const std::size_t count = prog_->n_threads;
+  threads_.clear();
   threads_.reserve(count);
+  tids_.clear();
   tids_.reserve(count);
-  for (const auto& [tid, ct] : compiled_.threads) {
+  tid_to_idx_.clear();
+  for (std::size_t i = 0; i < count; ++i) {
+    const FlatThread& ft = prog_->threads[i];
     Th t;
-    t.tid = tid;
-    t.idx = static_cast<std::int32_t>(threads_.size());
-    t.ct = &ct;
-    const ThreadPolicy& pol = cfg_.sched.policy_of(tid);
+    t.tid = ft.tid;
+    t.idx = static_cast<std::int32_t>(i);
+    t.sp = ft.steps;
+    t.sp_end = ft.steps + ft.n_steps;
+    t.ft = &ft;
+    const ThreadPolicy& pol = cfg_->sched.policy_of(ft.tid);
     t.prio_overridden = pol.override_priority;
-    t.prio = pol.override_priority ? pol.priority : ct.initial_priority;
+    t.prio = pol.override_priority ? pol.priority : ft.initial_priority;
     if (pol.override_binding) {
       t.bound = pol.binding != Binding::kUnbound;
       t.bound_cpu = pol.binding == Binding::kBoundCpu ? pol.cpu : -1;
     } else {
-      t.bound = ct.bound;
+      t.bound = ft.bound;
     }
-    if (t.bound_cpu >= cfg_.hw.cpus) t.bound_cpu = cfg_.hw.cpus - 1;
-    tids_.push_back(tid);
-    threads_.push_back(std::move(t));
+    if (t.bound_cpu >= cfg_->hw.cpus) t.bound_cpu = cfg_->hw.cpus - 1;
+    tids_.push_back(ft.tid);
+    threads_.push_back(t);
   }
   // Direct tid -> idx table when the ids are reasonably dense;
   // hand-written traces with wild ids fall back to binary search.
@@ -448,29 +557,48 @@ void Engine::init_threads() {
       tid_to_idx_[static_cast<std::size_t>(t.tid)] = t.idx;
   }
   joiners_.resize(count);
-  lwps_.reserve(count + static_cast<std::size_t>(cfg_.hw.cpus) + 4);
+  for (WaitQueue& q : joiners_) q.clear();
+  stats_.assign(count, ThreadStats{});
+  if (held_of_.size() < count) {
+    held_of_.resize(count);
+    reacq_of_.resize(count);
+  }
+  for (std::size_t i = 0; i < count; ++i) {
+    held_of_[i].clear();
+    reacq_of_[i].clear();
+  }
+  lwps_.clear();
+  lwps_.reserve(count + static_cast<std::size_t>(cfg_->hw.cpus) + 4);
 
   // Every user priority a thread can ever hold: the initial/policy
   // priorities plus every thr_setprio argument in the trace.  The
   // dispatch-queue buckets are ranks into this table.
+  prios_.clear();
   prios_.push_back(0);
   for (const Th& t : threads_) prios_.push_back(t.prio);
-  prios_.insert(prios_.end(), compiled_.setprio_values.begin(),
-                compiled_.setprio_values.end());
+  prios_.insert(prios_.end(), compiled_->setprio_values.begin(),
+                compiled_->setprio_values.end());
   std::sort(prios_.begin(), prios_.end());
   prios_.erase(std::unique(prios_.begin(), prios_.end()), prios_.end());
   rq_.configure(static_cast<int>(prios_.size()));
   // kq_ is configured lazily by dispatch_queued(): its bucket array is
   // prios × TS levels, and most runs never see > 64 waiting LWPs.
-  kq_bound_.resize(static_cast<std::size_t>(cfg_.hw.cpus));
+  kq_ready_ = false;
+  for (auto& list : kq_bound_) list.clear();
+  kq_bound_touched_.clear();
+  kq_bound_.resize(static_cast<std::size_t>(cfg_->hw.cpus));
+
+  // Per-kind object tables presized from the program's id bounds and
+  // reset in place (wait-queue buffers survive).
+  objects_.configure(*prog_);
 
   // Main starts at time zero; threads never created by a logged
   // thr_create (hand-written traces) appear at their first record.
   for (Th& t : threads_) {
     if (t.tid == 1) {
       spawn_thread(t.tid, SimTime::zero());
-    } else if (!t.ct->created_in_log) {
-      spawn_thread(t.tid, t.ct->first_record_at);
+    } else if (!t.ft->created_in_log) {
+      spawn_thread(t.tid, t.ft->first_record_at);
     }
   }
 }
@@ -478,12 +606,14 @@ void Engine::init_threads() {
 void Engine::spawn_thread(ThreadId tid, SimTime at) {
   Th& t = th(tid);
   VPPB_CHECK_MSG(t.st == Th::St::kUnborn, "T" << tid << " spawned twice");
-  t.stats.tid = tid;
-  t.stats.created_at = at;
+  ThreadStats& stats = stats_[static_cast<std::size_t>(t.idx)];
+  stats.tid = tid;
+  stats.created_at = at;
   t.state_since = at;
   if (!t.has_steps_left()) {
     t.st = Th::St::kDone;  // metadata-only thread
     t.exited = true;
+    ++done_count_;
     return;
   }
   t.remaining = t.current_step().cpu;
@@ -518,9 +648,15 @@ bool Engine::dispatchable(const Lwp& lwp) const {
 /// Lowest-numbered free non-dedicated LWP, growing the unbound pool
 /// lazily (up to its configured size) once the existing ones are busy.
 Lwp* Engine::acquire_free_lwp() {
-  while (!free_lwps_.empty()) {
-    const int id = free_lwps_.top();
-    free_lwps_.pop();
+  while (free_count_ > 0) {
+    std::size_t w = static_cast<std::size_t>(free_hint_);
+    while (free_bits_[w] == 0) ++w;
+    const std::uint64_t word = free_bits_[w];
+    const int id = static_cast<int>((w << 6) +
+                   static_cast<std::size_t>(std::countr_zero(word)));
+    free_bits_[w] = word & (word - 1);
+    free_hint_ = static_cast<int>(w);  // words below were seen empty
+    --free_count_;
     Lwp& lwp = lwps_[static_cast<std::size_t>(id)];
     lwp.in_free_heap = false;
     if (!lwp.dedicated && lwp.thread == ult::kNoThread) return &lwp;
@@ -533,6 +669,16 @@ Lwp* Engine::acquire_free_lwp() {
 }
 
 void Engine::attach_unbound_threads() {
+  // When no LWP could possibly be acquired, the scan below would only
+  // take the best eligible thread and put it straight back at the same
+  // seq — a telescope this gate collapses.  (Stale free-heap entries
+  // cannot exist: an entry is popped the moment it is consumed, so a
+  // queued id is always genuinely free.)
+  if (free_count_ == 0 && unbound_lwps_made_ >= unbound_pool_size_) return;
+  // Nothing queued for an LWP: the scan below would walk an empty
+  // bitmap.  (Live count, not emptiness: lazily-deleted husks do not
+  // make a scan productive.)
+  if (rq_.live() == 0) return;
   // Pop eligible threads off the library dispatch queue in (priority,
   // FIFO) order and pair each with the lowest free LWP — the same
   // pairing the sort-then-scan produced, without building either list.
@@ -560,9 +706,9 @@ void Engine::attach_unbound_threads() {
     if (lwp->slept) {
       // The LWP was idle (asleep in the kernel); returning to the
       // dispatch queue boosts its TS level (ts_slpret).
-      if (cfg_.sched.ts_dynamics) {
-        lwp->ts_level = cfg_.sched.ts_table.entry(lwp->ts_level).on_sleep_return;
-        lwp->quantum_left = cfg_.sched.ts_table.entry(lwp->ts_level).quantum;
+      if (cfg_->sched.ts_dynamics) {
+        lwp->ts_level = cfg_->sched.ts_table.entry(lwp->ts_level).on_sleep_return;
+        lwp->quantum_left = cfg_->sched.ts_table.entry(lwp->ts_level).quantum;
       }
       lwp->slept = false;
     }
@@ -588,9 +734,12 @@ void Engine::place(Lwp& lwp, int cpu) {
   if (migrated) ++ec_.migrations;
   set_state(t, Th::St::kRunning);
   t.seg_cpu = cpu;
-  if (migrated) t.remaining += cfg_.hw.migration_penalty;
-  t.remaining += cfg_.cost.context_switch_cost;
+  if (migrated) t.remaining += cfg_->hw.migration_penalty;
+  t.remaining += cfg_->cost.context_switch_cost;
   t.last_cpu = cpu;
+  --unplaced_live_;
+  note_phase_due(t);
+  note_quantum_due(lwp);
 }
 
 void Engine::unplace(Lwp& lwp) {
@@ -610,8 +759,8 @@ void Engine::unplace(Lwp& lwp) {
 }
 
 void Engine::dispatch_lwps() {
-  if (unplaced_.empty()) return;
-  const auto& table = cfg_.sched.ts_table;
+  if (unplaced_live_ == 0) return;
+  const auto& table = cfg_->sched.ts_table;
 
   // One pass over the unplaced list: drop stale entries (placed or
   // detached since), apply starvation relief (ts_lwait) per waiter,
@@ -627,7 +776,7 @@ void Engine::dispatch_lwps() {
     }
     unplaced_[keep++] = lid;
     if (!dispatchable(lwp)) continue;
-    if (cfg_.sched.ts_dynamics) {
+    if (cfg_->sched.ts_dynamics) {
       const TsEntry& e = table.entry(lwp.ts_level);
       if (now_ - lwp.enqueued_at > e.max_wait) {
         lwp.ts_level = e.on_starve;
@@ -672,7 +821,7 @@ void Engine::dispatch_linear() {
   const std::size_t npos = static_cast<std::size_t>(-1);
 
   // Fill idle CPUs in ascending order with the best allowed waiter.
-  for (int cpu = 0; idle_cpus_ > 0 && cpu < cfg_.hw.cpus && !disp_scratch_.empty();
+  for (int cpu = 0; idle_cpus_ > 0 && cpu < cfg_->hw.cpus && !disp_scratch_.empty();
        ++cpu) {
     if (cpu_lwp_[static_cast<std::size_t>(cpu)] != -1) continue;
     std::size_t best = npos;
@@ -695,7 +844,7 @@ void Engine::dispatch_linear() {
     Lwp* contender = disp_scratch_[ci];
     int victim_cpu = -1;
     std::pair<int, int> victim_key(contender->th->prio, contender->ts_level);
-    for (int cpu = 0; cpu < cfg_.hw.cpus; ++cpu) {
+    for (int cpu = 0; cpu < cfg_->hw.cpus; ++cpu) {
       const int lid = cpu_lwp_[static_cast<std::size_t>(cpu)];
       if (lid < 0) continue;
       if (contender->bound_cpu >= 0 && contender->bound_cpu != cpu) continue;
@@ -766,7 +915,7 @@ void Engine::dispatch_queued() {
 
   // Fill idle CPUs in ascending order with the best allowed waiter:
   // the unbound queue's head vs the CPU's own bound list.
-  for (int cpu = 0; idle_cpus_ > 0 && cpu < cfg_.hw.cpus; ++cpu) {
+  for (int cpu = 0; idle_cpus_ > 0 && cpu < cfg_->hw.cpus; ++cpu) {
     if (cpu_lwp_[static_cast<std::size_t>(cpu)] != -1) continue;
     const auto* ub = kq_.top();
     const std::size_t bi = best_bound_for(cpu);
@@ -802,7 +951,7 @@ void Engine::dispatch_queued() {
 
     int victim_cpu = -1;
     std::pair<int, int> victim_key(contender.uprio, contender.ts);
-    for (int cpu = 0; cpu < cfg_.hw.cpus; ++cpu) {
+    for (int cpu = 0; cpu < cfg_->hw.cpus; ++cpu) {
       const int lid = cpu_lwp_[static_cast<std::size_t>(cpu)];
       if (lid < 0) continue;
       if (contender.lwp->bound_cpu >= 0 && contender.lwp->bound_cpu != cpu)
@@ -830,8 +979,26 @@ void Engine::dispatch_queued() {
 }
 
 void Engine::assign() {
+  // Memoized fixpoint: skip the whole pass while the scheduling state
+  // still fingerprints identically to a state where a full pass
+  // verifiably changed nothing.  Sound because every scheduling input
+  // bumps sched_clock_ (see note_sched_change callers) and re-running
+  // an assignment pass at an unchanged state reproduces its no-op:
+  // starvation relief cannot re-fire at the same now_ (enqueued_at was
+  // reset), and stale-entry compaction is semantically invisible.
+  if (assign_memo_valid_ && sched_clock_ == last_assign_clock_ &&
+      now_ == last_assign_now_) {
+    return;
+  }
+  const std::uint64_t before = sched_clock_;
   attach_unbound_threads();
   dispatch_lwps();
+  // Only a pass that changed nothing proves the state is a fixpoint; a
+  // pass that placed or preempted may have enabled further moves, and
+  // the old always-rerun code would have found them next call.
+  assign_memo_valid_ = sched_clock_ == before;
+  last_assign_clock_ = sched_clock_;
+  last_assign_now_ = now_;
 }
 
 // ---------------------------------------------------------------------------
@@ -839,16 +1006,30 @@ void Engine::assign() {
 
 bool Engine::lwp_waiting_for_cpu() const {
   // Every attached LWP without a CPU is on unplaced_ (stale entries are
-  // compacted by dispatch_lwps; here they are just skipped).
+  // compacted by dispatch_lwps; here they are just skipped).  The probe
+  // runs several times per event, so memoize it on the same
+  // (sched_clock_, now_) fingerprint assign() uses.
+  if (contended_valid_ && contended_clock_ == sched_clock_ &&
+      contended_now_ == now_) {
+    return contended_val_;
+  }
+  bool waiting = false;
   for (const int lid : unplaced_) {
     const Lwp& lwp = lwps_[static_cast<std::size_t>(lid)];
-    if (lwp.cpu < 0 && dispatchable(lwp)) return true;
+    if (lwp.cpu < 0 && dispatchable(lwp)) {
+      waiting = true;
+      break;
+    }
   }
-  return false;
+  contended_valid_ = true;
+  contended_clock_ = sched_clock_;
+  contended_now_ = now_;
+  contended_val_ = waiting;
+  return waiting;
 }
 
 double Engine::rate_factor() const {
-  const double alpha = cfg_.hw.memory_contention_alpha;
+  const double alpha = cfg_->hw.memory_contention_alpha;
   if (alpha <= 0.0 || running_count_ <= 1) return 1.0;
   return 1.0 + alpha * static_cast<double>(running_count_ - 1);
 }
@@ -864,7 +1045,7 @@ SimTime Engine::next_event_time() {
   // Running threads are exactly the placed LWPs' threads.  rate == 1.0
   // (no memory contention) keeps the arithmetic integral: scaled(1.0)
   // is the identity for any representable duration.
-  for (int cpu = 0; cpu < cfg_.hw.cpus; ++cpu) {
+  for (int cpu = 0; cpu < cfg_->hw.cpus; ++cpu) {
     const int lid = cpu_lwp_[static_cast<std::size_t>(cpu)];
     if (lid < 0) continue;
     const Lwp& lwp = lwps_[static_cast<std::size_t>(lid)];
@@ -898,7 +1079,7 @@ void Engine::advance_to(SimTime when) {
   const SimTime dt = when - now_;
   if (dt.is_zero()) return;
   const double rate = rate_factor();
-  for (int cpu = 0; cpu < cfg_.hw.cpus; ++cpu) {
+  for (int cpu = 0; cpu < cfg_->hw.cpus; ++cpu) {
     const int lid = cpu_lwp_[static_cast<std::size_t>(cpu)];
     if (lid < 0) continue;
     Lwp& lwp = lwps_[static_cast<std::size_t>(lid)];
@@ -910,6 +1091,8 @@ void Engine::advance_to(SimTime when) {
         lwp.quantum_left > dt ? lwp.quantum_left - dt : SimTime::zero();
     lwp.running_total += dt;
     result_.cpu_stats[static_cast<std::size_t>(cpu)].busy += dt;
+    note_phase_due(t);
+    note_quantum_due(lwp);
   }
   now_ = when;
 }
@@ -962,48 +1145,47 @@ bool Engine::process_due_now() {
 
   // Quantum expiry: the running LWP's level decays and — when another
   // LWP is waiting for a CPU — it goes to the back of the dispatch
-  // queue.  Without contention the refresh happens in place.  Only a
-  // placed LWP can expire, so the CPU map is the candidate set;
-  // processing stays in ascending LWP-id order.
-  const bool contended = lwp_waiting_for_cpu();
-  due_scratch_.clear();
-  phase_scratch_.clear();
-  for (int cpu = 0; cpu < cfg_.hw.cpus; ++cpu) {
-    const int lid = cpu_lwp_[static_cast<std::size_t>(cpu)];
-    if (lid < 0) continue;
-    Lwp& lwp = lwps_[static_cast<std::size_t>(lid)];
-    if (lwp.quantum_left.is_zero()) due_scratch_.push_back(lid);
-    // Phase-completion candidates, collected in the same pass; the
-    // revalidation below drops any the expiry processing unplaces,
-    // and nothing in this pass can create a new completion.
-    Th& t = *lwp.th;
-    if (t.st == Th::St::kRunning && t.remaining.is_zero())
-      phase_scratch_.push_back(&t);
-  }
-  if (!due_scratch_.empty()) {
+  // queue.  Without contention the refresh happens in place.  The due
+  // list is exactly the candidate set the old per-CPU scan collected
+  // (every site that can zero a placed LWP's quantum enrolls it), with
+  // the same revalidation and the same ascending LWP-id order.
+  if (!quantum_due_.empty()) {
+    due_scratch_.assign(quantum_due_.begin(), quantum_due_.end());
+    quantum_due_.clear();
     if (due_scratch_.size() > 1)
       std::sort(due_scratch_.begin(), due_scratch_.end());
+    const bool contended = lwp_waiting_for_cpu();
     for (const int lid : due_scratch_) {
       Lwp& lwp = lwps_[static_cast<std::size_t>(lid)];
+      lwp.in_quantum_due = false;
       if (lwp.cpu < 0 || !lwp.quantum_left.is_zero()) continue;
-      if (cfg_.sched.ts_dynamics)
-        lwp.ts_level = cfg_.sched.ts_table.entry(lwp.ts_level).on_expiry;
-      lwp.quantum_left = cfg_.sched.ts_table.entry(lwp.ts_level).quantum;
+      if (cfg_->sched.ts_dynamics)
+        lwp.ts_level = cfg_->sched.ts_table.entry(lwp.ts_level).on_expiry;
+      lwp.quantum_left = cfg_->sched.ts_table.entry(lwp.ts_level).quantum;
       if (contended) {
         lwp.disp_seq = next_disp_seq_++;
         unplace(lwp);
         changed = true;
+      } else {
+        // A zero quantum in the TS table would leave it due; keep the
+        // candidate set complete, as the rescans did.
+        note_quantum_due(lwp);
       }
     }
   }
 
   // Phase completions for running threads, in deterministic tid order.
-  if (!phase_scratch_.empty()) {
-    if (phase_scratch_.size() > 1)
-      std::sort(phase_scratch_.begin(), phase_scratch_.end(),
-                [](const Th* a, const Th* b) { return a->idx < b->idx; });
-    for (Th* tp : phase_scratch_) {
-      Th& t = *tp;
+  // Snapshot the due list: completions created while processing (a
+  // zero-cost op entering its next zero phase) belong to the next
+  // round, exactly as they were invisible to the old scan's snapshot.
+  if (!phase_due_.empty()) {
+    due_scratch_.assign(phase_due_.begin(), phase_due_.end());
+    phase_due_.clear();
+    if (due_scratch_.size() > 1)
+      std::sort(due_scratch_.begin(), due_scratch_.end());
+    for (const int idx : due_scratch_) {
+      Th& t = threads_[static_cast<std::size_t>(idx)];
+      t.in_phase_due = false;
       if (t.st != Th::St::kRunning || !t.remaining.is_zero()) continue;
       if (t.phase == Th::Phase::kCompute) {
         apply_op(t);
@@ -1022,7 +1204,7 @@ void Engine::apply_op(Th& t) {
   const Step& s = t.current_step();
 
   // Open the event entry shown by the Visualizer.
-  if (cfg_.build_timeline) {
+  if (cfg_->build_timeline) {
     SimEvent ev;
     ev.at = now_;
     ev.done = now_;
@@ -1050,6 +1232,7 @@ void Engine::apply_op(Th& t) {
       if (!t.bound) {
         lwp.thread = ult::kNoThread;
         lwp.th = nullptr;
+        --unplaced_live_;
         t.lwp = -1;
         lwp.slept = true;
         mark_free(lwp);
@@ -1121,7 +1304,7 @@ void Engine::apply_op(Th& t) {
       enter_op_cost(t);
       break;
     case Op::kSemaInit:
-      objects_.sema(s.obj.id).count = s.arg;
+      objects_.sema(s.slot).count = s.arg;
       enter_op_cost(t);
       break;
     case Op::kMutexLock:
@@ -1159,6 +1342,7 @@ void Engine::apply_op(Th& t) {
           emit_lwp_segment(*lwp);
           lwp->thread = ult::kNoThread;
           lwp->th = nullptr;
+          --unplaced_live_;
           lwp->seg_thread = 0;
           t.lwp = -1;
           mark_free(*lwp);
@@ -1183,16 +1367,17 @@ void Engine::enter_op_cost(Th& t) {
     // Creating a bound thread takes 6.7x longer (paper §3.2).
     const auto child = static_cast<ThreadId>(s.outcome);
     if (exists(child) && th(child).bound)
-      factor = cfg_.cost.bound_create_factor;
+      factor = cfg_->cost.bound_create_factor;
   } else if (t.bound && trace::op_obj_kind(s.op) != trace::ObjKind::kThread &&
              trace::op_obj_kind(s.op) != trace::ObjKind::kNone &&
              trace::op_obj_kind(s.op) != trace::ObjKind::kMark &&
              trace::op_obj_kind(s.op) != trace::ObjKind::kIo) {
     // Synchronization by bound threads takes 5.9x longer (paper §3.2).
-    factor = cfg_.cost.bound_sync_factor;
+    factor = cfg_->cost.bound_sync_factor;
   }
   t.phase = Th::Phase::kOpCost;
   t.remaining = factor == 1.0 ? s.op_cost : s.op_cost.scaled(factor);
+  note_phase_due(t);
 }
 
 void Engine::advance_step(Th& t) {
@@ -1200,7 +1385,7 @@ void Engine::advance_step(Th& t) {
     result_.events[static_cast<std::size_t>(t.open_event)].done = now_;
     t.open_event = -1;
   }
-  ++t.step;
+  ++t.sp;
   t.phase = Th::Phase::kCompute;
   if (!t.has_steps_left()) {
     // Trace ended without an explicit thr_exit (hand-written traces):
@@ -1209,6 +1394,7 @@ void Engine::advance_step(Th& t) {
     return;
   }
   t.remaining = t.current_step().cpu;
+  note_phase_due(t);
 }
 
 void Engine::finish_thread(Th& t) {
@@ -1222,6 +1408,7 @@ void Engine::finish_thread(Th& t) {
     emit_lwp_segment(lwp);
     lwp.thread = ult::kNoThread;
     lwp.th = nullptr;
+    --unplaced_live_;
     lwp.seg_thread = 0;
     lwp.slept = true;
     t.lwp = -1;
@@ -1229,8 +1416,8 @@ void Engine::finish_thread(Th& t) {
   }
   set_state(t, Th::St::kDone);
   t.exited = true;
-  t.stats.exited_at = now_;
-  t.step = t.ct->steps.size();
+  stats_[static_cast<std::size_t>(t.idx)].exited_at = now_;
+  t.sp = t.sp_end;
   thread_exited(t);
 }
 
@@ -1267,13 +1454,13 @@ void Engine::thread_exited(Th& t) {
 SimTime Engine::wake_delay(const Th& woken) const {
   // An event on one CPU propagates to another after the communication
   // delay (paper §3.2).  Wakeups within one CPU are immediate.
-  if (cfg_.hw.cpus <= 1 || cfg_.hw.comm_delay.is_zero()) return SimTime::zero();
+  if (cfg_->hw.cpus <= 1 || cfg_->hw.comm_delay.is_zero()) return SimTime::zero();
   // The waker is the thread currently applying an op; threads_ lookups
   // here would be circular, so use a conservative rule: a thread that
   // last ran on some CPU is assumed to be woken from a different one
   // whenever more than one CPU exists.
   (void)woken;
-  return cfg_.hw.comm_delay;
+  return cfg_->hw.comm_delay;
 }
 
 void Engine::block(Th& t, Th::Wait wait, std::uint32_t obj) {
@@ -1284,6 +1471,7 @@ void Engine::block(Th& t, Th::Wait wait, std::uint32_t obj) {
       emit_lwp_segment(*lwp);
       lwp->thread = ult::kNoThread;
       lwp->th = nullptr;
+      --unplaced_live_;
       lwp->seg_thread = 0;
       t.lwp = -1;
       lwp->slept = true;  // will boost when it picks up new work
@@ -1323,7 +1511,7 @@ bool Engine::try_take_mutex(Th& t, std::uint32_t mutex_id) {
   SimMutex& m = objects_.mutex(mutex_id);
   if (m.owner != ult::kNoThread) return false;
   m.owner = t.tid;
-  t.held_mutexes.push_back(mutex_id);
+  held_of_[static_cast<std::size_t>(t.idx)].push_back(mutex_id);
   return true;
 }
 
@@ -1332,16 +1520,17 @@ void Engine::do_unlock_mutex(Th& t, std::uint32_t mutex_id) {
   VPPB_CHECK_MSG(m.owner == t.tid, "replay: T" << t.tid << " releases mutex#"
                                                << mutex_id
                                                << " it does not hold");
-  std::erase(t.held_mutexes, mutex_id);
+  std::erase(held_of_[static_cast<std::size_t>(t.idx)], mutex_id);
   const ThreadId next = m.waiters.pop();
   m.owner = next;
   if (next == ult::kNoThread) return;
   Th& w = th(next);
-  w.held_mutexes.push_back(mutex_id);
+  held_of_[static_cast<std::size_t>(w.idx)].push_back(mutex_id);
   if (w.wait == Th::Wait::kMutexReacquire) {
     // Part of a barrier re-acquisition chain: keep going.
-    VPPB_CHECK(!w.reacquire.empty() && w.reacquire.front() == mutex_id);
-    w.reacquire.erase(w.reacquire.begin());
+    auto& reacq = reacq_of_[static_cast<std::size_t>(w.idx)];
+    VPPB_CHECK(!reacq.empty() && reacq.front() == mutex_id);
+    reacq.erase(reacq.begin());
     continue_reacquire(w);
     return;
   }
@@ -1350,10 +1539,11 @@ void Engine::do_unlock_mutex(Th& t, std::uint32_t mutex_id) {
 }
 
 void Engine::continue_reacquire(Th& t) {
-  while (!t.reacquire.empty()) {
-    const std::uint32_t id = t.reacquire.front();
+  auto& reacq = reacq_of_[static_cast<std::size_t>(t.idx)];
+  while (!reacq.empty()) {
+    const std::uint32_t id = reacq.front();
     if (try_take_mutex(t, id)) {
-      t.reacquire.erase(t.reacquire.begin());
+      reacq.erase(reacq.begin());
       continue;
     }
     objects_.mutex(id).waiters.push(t.tid, t.prio);
@@ -1445,13 +1635,13 @@ void Engine::op_join(Th& t, const Step& s) {
 }
 
 void Engine::op_mutex(Th& t, const Step& s) {
-  SimMutex& m = objects_.mutex(s.obj.id);
+  SimMutex& m = objects_.mutex(s.slot);
   switch (s.op) {
     case Op::kMutexLock:
-      if (try_take_mutex(t, s.obj.id)) {
+      if (try_take_mutex(t, s.slot)) {
         enter_op_cost(t);
       } else {
-        block(t, Th::Wait::kMutex, s.obj.id);
+        block(t, Th::Wait::kMutex, s.slot);
         m.waiters.push(t.tid, t.prio);
       }
       break;
@@ -1460,10 +1650,10 @@ void Engine::op_mutex(Th& t, const Step& s) {
       // file, the simulation will do a mutex_lock, otherwise no action
       // is taken".
       if (s.outcome == 1) {
-        if (try_take_mutex(t, s.obj.id)) {
+        if (try_take_mutex(t, s.slot)) {
           enter_op_cost(t);
         } else {
-          block(t, Th::Wait::kMutex, s.obj.id);
+          block(t, Th::Wait::kMutex, s.slot);
           m.waiters.push(t.tid, t.prio);
         }
       } else {
@@ -1471,7 +1661,7 @@ void Engine::op_mutex(Th& t, const Step& s) {
       }
       break;
     case Op::kMutexUnlock:
-      do_unlock_mutex(t, s.obj.id);
+      do_unlock_mutex(t, s.slot);
       enter_op_cost(t);
       break;
     default: VPPB_CHECK(false);
@@ -1479,14 +1669,14 @@ void Engine::op_mutex(Th& t, const Step& s) {
 }
 
 void Engine::op_sema(Th& t, const Step& s) {
-  SimSema& sem = objects_.sema(s.obj.id);
+  SimSema& sem = objects_.sema(s.slot);
   switch (s.op) {
     case Op::kSemaWait:
       if (sem.count > 0) {
         --sem.count;
         enter_op_cost(t);
       } else {
-        block(t, Th::Wait::kSema, s.obj.id);
+        block(t, Th::Wait::kSema, s.slot);
         sem.waiters.push(t.tid, t.prio);
       }
       break;
@@ -1496,7 +1686,7 @@ void Engine::op_sema(Th& t, const Step& s) {
           --sem.count;
           enter_op_cost(t);
         } else {
-          block(t, Th::Wait::kSema, s.obj.id);
+          block(t, Th::Wait::kSema, s.slot);
           sem.waiters.push(t.tid, t.prio);
         }
       } else {
@@ -1520,11 +1710,11 @@ void Engine::op_sema(Th& t, const Step& s) {
 }
 
 void Engine::op_cond(Th& t, const Step& s) {
-  SimCond& c = objects_.cond(s.obj.id);
+  SimCond& c = objects_.cond(s.slot);
   switch (s.op) {
     case Op::kCondWait:
     case Op::kCondTimedwait: {
-      const auto mutex_id = static_cast<std::uint32_t>(s.arg);
+      const std::uint32_t mutex_id = s.slot2;  // the wait's recorded mutex
       // Release the mutex exactly as the library does internally.
       do_unlock_mutex(t, mutex_id);
 
@@ -1540,6 +1730,7 @@ void Engine::op_cond(Th& t, const Step& s) {
           if (!t.bound) {
             lwp->thread = ult::kNoThread;
             lwp->th = nullptr;
+            --unplaced_live_;
             t.lwp = -1;
             mark_free(*lwp);
           }
@@ -1561,6 +1752,7 @@ void Engine::op_cond(Th& t, const Step& s) {
           if (!t.bound) {
             lwp2->thread = ult::kNoThread;
             lwp2->th = nullptr;
+            --unplaced_live_;
             t.lwp = -1;
             mark_free(*lwp2);
           }
@@ -1571,7 +1763,7 @@ void Engine::op_cond(Th& t, const Step& s) {
         break;
       }
 
-      block(t, Th::Wait::kCond, s.obj.id);
+      block(t, Th::Wait::kCond, s.slot);
       t.wait_mutex = mutex_id;
       c.waiters.push(t.tid, t.prio);
 
@@ -1617,12 +1809,13 @@ void Engine::op_cond(Th& t, const Step& s) {
         VPPB_CHECK_MSG(!c.pending, "two pending broadcasts on cond#"
                                        << s.obj.id);
         c.pending = SimCond::PendingBroadcast{t.tid, needed};
-        t.reacquire = t.held_mutexes;
-        // do_unlock_mutex edits held_mutexes; iterate a scratch copy.
-        mutex_scratch_.assign(t.held_mutexes.begin(), t.held_mutexes.end());
+        const auto& held = held_of_[static_cast<std::size_t>(t.idx)];
+        reacq_of_[static_cast<std::size_t>(t.idx)] = held;
+        // do_unlock_mutex edits the held list; iterate a scratch copy.
+        mutex_scratch_.assign(held.begin(), held.end());
         for (const std::uint32_t id : mutex_scratch_)
           do_unlock_mutex(t, id);
-        block(t, Th::Wait::kBarrier, s.obj.id);
+        block(t, Th::Wait::kBarrier, s.slot);
       }
       break;
     }
@@ -1631,13 +1824,13 @@ void Engine::op_cond(Th& t, const Step& s) {
 }
 
 void Engine::op_rwlock(Th& t, const Step& s) {
-  SimRwlock& rw = objects_.rwlock(s.obj.id);
+  SimRwlock& rw = objects_.rwlock(s.slot);
   auto rd_acquire = [&]() {
     if (rw.writer == ult::kNoThread && rw.waiting_writers == 0) {
       ++rw.readers;
       enter_op_cost(t);
     } else {
-      block(t, Th::Wait::kRwRead, s.obj.id);
+      block(t, Th::Wait::kRwRead, s.slot);
       rw.reader_q.push(t.tid, t.prio);
     }
   };
@@ -1647,7 +1840,7 @@ void Engine::op_rwlock(Th& t, const Step& s) {
       enter_op_cost(t);
     } else {
       ++rw.waiting_writers;
-      block(t, Th::Wait::kRwWrite, s.obj.id);
+      block(t, Th::Wait::kRwWrite, s.slot);
       rw.writer_q.push(t.tid, t.prio);
     }
   };
@@ -1698,7 +1891,8 @@ void Engine::replay_deadlock() {
   std::ostringstream os;
   os << "replay deadlock at t=" << now_ << ":\n";
   for (const Th& t : threads_) {
-    os << "  T" << t.tid << " step " << t.step << "/" << t.ct->steps.size();
+    os << "  T" << t.tid << " step " << (t.sp - t.ft->steps) << "/"
+       << t.ft->n_steps;
     switch (t.st) {
       case Th::St::kUnborn: os << " unborn"; break;
       case Th::St::kReady: os << " ready"; break;
@@ -1741,24 +1935,69 @@ struct EngineMetrics {
   }
 };
 
-SimResult Engine::run() {
+void Engine::reset_workspace() {
+  // Every per-run scalar and container back to its initial state,
+  // keeping allocations.  Containers sized per run (threads_, joiners_,
+  // object slabs, …) are handled by init_threads; everything here must
+  // also recover from a previous run that threw mid-flight.
+  now_ = SimTime::zero();
+  result_ = SimResult{};
+  ec_ = EngineCounters{};
+  zombies_.clear();
+  any_joiners_.clear();
+  timers_.clear();
+  std::fill(free_bits_.begin(), free_bits_.end(), 0);
+  free_hint_ = 0;
+  free_count_ = 0;
+  unplaced_.clear();
+  unplaced_live_ = 0;
+  phase_due_.clear();
+  quantum_due_.clear();
+  next_lib_seq_ = 1;
+  next_disp_seq_ = 1;
+  unbound_pool_size_ = 0;
+  unbound_lwps_made_ = 0;
+  running_count_ = 0;
+  done_count_ = 0;
+  idle_cpus_ = 0;
+  sched_clock_ = 0;
+  assign_memo_valid_ = false;
+  contended_valid_ = false;
+}
+
+SimResult Engine::run(const CompiledTrace& compiled, const SimConfig& cfg,
+                      const RunGuard* guard) {
+  compiled_ = &compiled;
+  cfg_ = &cfg;
+  guard_ = guard;
+  // Hand-built CompiledTraces (tests, tools) may lack the flat form;
+  // derive it on the spot.  Holding the shared_ptr — not just the raw
+  // pointer — matters: all step cursors point into its arena.
+  prog_hold_ = compiled.flat != nullptr ? compiled.flat
+                                        : build_flat_program(compiled.threads);
+  prog_ = prog_hold_.get();
+  reset_workspace();
+  return run_body();
+}
+
+SimResult Engine::run_body() {
   obs::Span run_span("engine.run", "engine");
-  run_span.arg("cpus", cfg_.hw.cpus);
+  run_span.arg("cpus", cfg_->hw.cpus);
   const auto wall0 = std::chrono::steady_clock::now();
-  VPPB_CHECK_MSG(cfg_.hw.cpus >= 1, "need at least one CPU");
-  VPPB_CHECK_MSG(cfg_.sched.lwps >= 0, "negative LWP count");
+  VPPB_CHECK_MSG(cfg_->hw.cpus >= 1, "need at least one CPU");
+  VPPB_CHECK_MSG(cfg_->sched.lwps >= 0, "negative LWP count");
 
   {
     obs::Span init_span("engine.init", "engine");
-    unbound_pool_size_ = cfg_.sched.lwps > 0
-                             ? cfg_.sched.lwps
-                             : static_cast<int>(compiled_.threads.size());
-    cpu_running_.assign(static_cast<std::size_t>(cfg_.hw.cpus),
+    unbound_pool_size_ = cfg_->sched.lwps > 0
+                             ? cfg_->sched.lwps
+                             : static_cast<int>(prog_->n_threads);
+    cpu_running_.assign(static_cast<std::size_t>(cfg_->hw.cpus),
                         ult::kNoThread);
-    cpu_lwp_.assign(static_cast<std::size_t>(cfg_.hw.cpus), -1);
-    idle_cpus_ = cfg_.hw.cpus;
-    result_.cpu_stats.resize(static_cast<std::size_t>(cfg_.hw.cpus));
-    for (int c = 0; c < cfg_.hw.cpus; ++c)
+    cpu_lwp_.assign(static_cast<std::size_t>(cfg_->hw.cpus), -1);
+    idle_cpus_ = cfg_->hw.cpus;
+    result_.cpu_stats.resize(static_cast<std::size_t>(cfg_->hw.cpus));
+    for (int c = 0; c < cfg_->hw.cpus; ++c)
       result_.cpu_stats[static_cast<std::size_t>(c)].cpu = c;
 
     init_threads();
@@ -1770,16 +2009,12 @@ SimResult Engine::run() {
       bool changed = true;
       while (changed) {
         assign();
-        changed = process_due_now();
+        changed = any_due() && process_due_now();
       }
 
       const SimTime next = next_event_time();
       if (next == SimTime::max()) {
-        bool all_done = true;
-        for (const Th& t : threads_) {
-          if (t.st != Th::St::kDone) all_done = false;
-        }
-        if (all_done) break;
+        if (done_count_ == threads_.size()) break;
         replay_deadlock();
       }
       if (guard_ != nullptr) {
@@ -1801,17 +2036,17 @@ SimResult Engine::run() {
   // Finalize.
   obs::Span finalize_span("engine.finalize", "engine");
   result_.total = now_;
-  result_.recorded_duration = compiled_.recorded_duration;
+  result_.recorded_duration = compiled_->recorded_duration;
   result_.speedup = result_.total.is_zero()
                         ? 1.0
-                        : static_cast<double>(compiled_.recorded_duration.ns()) /
+                        : static_cast<double>(compiled_->recorded_duration.ns()) /
                               static_cast<double>(result_.total.ns());
-  result_.cpus = cfg_.hw.cpus;
+  result_.cpus = cfg_->hw.cpus;
   result_.lwps = unbound_pool_size_;
-  for (Th& t : threads_) {
+  for (const Th& t : threads_) {
     // Every thread is done here; its last segment was flushed when it
     // exited, so only the stats remain to be published.
-    result_.threads.emplace(t.tid, t.stats);
+    result_.threads.emplace(t.tid, stats_[static_cast<std::size_t>(t.idx)]);
   }
   for (Lwp& lwp : lwps_) emit_lwp_segment(lwp);
   for (const Lwp& lwp : lwps_) {
@@ -1853,15 +2088,29 @@ SimResult Engine::run() {
 
 }  // namespace
 
+struct SimEngine::Impl {
+  Engine engine;
+};
+
+SimEngine::SimEngine() : impl_(std::make_unique<Impl>()) {}
+SimEngine::~SimEngine() = default;
+SimEngine::SimEngine(SimEngine&&) noexcept = default;
+SimEngine& SimEngine::operator=(SimEngine&&) noexcept = default;
+
+SimResult SimEngine::run(const CompiledTrace& compiled, const SimConfig& config,
+                         const RunGuard* guard) {
+  return impl_->engine.run(compiled, config, guard);
+}
+
 SimResult simulate(const CompiledTrace& compiled, const SimConfig& config) {
-  Engine engine(compiled, config);
-  return engine.run();
+  Engine engine;
+  return engine.run(compiled, config, nullptr);
 }
 
 SimResult simulate(const CompiledTrace& compiled, const SimConfig& config,
                    const RunGuard* guard) {
-  Engine engine(compiled, config, guard);
-  return engine.run();
+  Engine engine;
+  return engine.run(compiled, config, guard);
 }
 
 SimResult simulate(const trace::Trace& trace, const SimConfig& config) {

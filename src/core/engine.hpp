@@ -23,6 +23,8 @@
 //    reference machine's job — see src/machine).
 #pragma once
 
+#include <memory>
+
 #include "core/compiler.hpp"
 #include "core/config.hpp"
 #include "core/guard.hpp"
@@ -30,6 +32,41 @@
 #include "trace/trace.hpp"
 
 namespace vppb::core {
+
+/// A reusable simulation engine: one instance owns a workspace (thread
+/// tables, dispatch queues, wait queues, timers, object slabs) that
+/// run() resets — preserving every allocation — instead of rebuilding.
+/// After the first run on a trace, subsequent runs are allocation-free
+/// in steady state, which is what makes batched sweeps (many configs,
+/// one compiled trace) cheap: the per-run constant cost drops to a
+/// workspace reset.
+///
+/// Results are bit-identical to the one-shot simulate() path: a reset
+/// workspace is observationally a fresh one (sequence counters, wait
+/// queues and slabs all restart from their initial state), and the
+/// determinism suite pins that with the golden digests.
+///
+/// Not thread-safe; use one SimEngine per thread (SweepRunner pools
+/// them for parallel sweeps).
+class SimEngine {
+ public:
+  SimEngine();
+  ~SimEngine();
+  SimEngine(SimEngine&&) noexcept;
+  SimEngine& operator=(SimEngine&&) noexcept;
+  SimEngine(const SimEngine&) = delete;
+  SimEngine& operator=(const SimEngine&) = delete;
+
+  /// Simulates `compiled` under `config`, exactly like simulate() —
+  /// including guard semantics — but against this engine's reused
+  /// workspace.
+  SimResult run(const CompiledTrace& compiled, const SimConfig& config,
+                const RunGuard* guard = nullptr);
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
 
 /// Simulates the compiled trace.  Throws vppb::Error on unreplayable
 /// traces (e.g. a replay deadlock, which indicates either a broken log

@@ -3,11 +3,11 @@
 // rules of paper §3.2 applied by the engine.
 #pragma once
 
-#include <deque>
 #include <map>
 #include <optional>
 #include <vector>
 
+#include "core/compiler.hpp"
 #include "trace/event.hpp"
 #include "ult/wait_queue.hpp"
 
@@ -19,11 +19,21 @@ using ult::WaitQueue;
 struct SimMutex {
   ThreadId owner = ult::kNoThread;
   WaitQueue waiters;
+
+  void reset() {
+    owner = ult::kNoThread;
+    waiters.clear();
+  }
 };
 
 struct SimSema {
   std::int64_t count = 0;
   WaitQueue waiters;
+
+  void reset() {
+    count = 0;
+    waiters.clear();
+  }
 };
 
 struct SimCond {
@@ -44,6 +54,12 @@ struct SimCond {
     std::int64_t needed = 0;
   };
   std::optional<PendingBroadcast> pending;
+
+  void reset() {
+    waiters.clear();
+    pending_signals = 0;
+    pending.reset();
+  }
 };
 
 struct SimRwlock {
@@ -52,27 +68,46 @@ struct SimRwlock {
   int waiting_writers = 0;
   WaitQueue reader_q;
   WaitQueue writer_q;
+
+  void reset() {
+    readers = 0;
+    writer = ult::kNoThread;
+    waiting_writers = 0;
+    reader_q.clear();
+    writer_q.clear();
+  }
 };
 
-/// Lazily-created objects of one kind.  The compiler assigns per-kind
-/// sequential ids, so small ids index a deque directly (a deque keeps
-/// references stable across growth — the engine holds references while
-/// creating other objects); stray large ids from hand-written traces
-/// fall back to a map.
+/// Objects of one kind, keyed by the compiler's per-kind sequential
+/// ids.  The dense table is sized once per run from the FlatProgram's
+/// id bounds and NEVER grows mid-run, so references handed out by at()
+/// stay valid while the engine creates or wakes other objects of the
+/// same kind (the unlock → reacquire chain holds one mutex reference
+/// while queueing on another).  Stray ids beyond the presized range —
+/// hand-written traces replayed without hints, or ids past the dense
+/// cap — land in a node-stable map.
 template <typename T>
 class ObjectSlab {
  public:
+  /// Sizes the dense table for ids [0, ids) (capped) and resets every
+  /// object to its initial state, keeping allocated storage — the
+  /// wait-queue buffers survive, which is what makes a reused engine
+  /// workspace allocation-free in steady state.
+  void configure(std::uint32_t ids) {
+    const std::size_t want = std::min<std::size_t>(ids, kDenseLimit);
+    if (want > dense_.size()) dense_.resize(want);
+    for (T& obj : dense_) obj.reset();
+    sparse_.clear();
+  }
+
   T& at(std::uint32_t id) {
-    if (id < kDenseLimit) {
-      if (id >= dense_.size()) dense_.resize(id + 1);
-      return dense_[id];
-    }
+    if (id < dense_.size()) return dense_[id];
     return sparse_[id];
   }
 
  private:
-  static constexpr std::uint32_t kDenseLimit = 4096;
-  std::deque<T> dense_;
+  static constexpr std::uint32_t kDenseLimit = 1 << 20;
+  std::vector<T> dense_;
   std::map<std::uint32_t, T> sparse_;
 };
 
@@ -82,6 +117,15 @@ struct ObjectTable {
   ObjectSlab<SimSema> semas;
   ObjectSlab<SimCond> conds;
   ObjectSlab<SimRwlock> rwlocks;
+
+  /// Presizes every slab from the program's id bounds and resets all
+  /// object state for a fresh run.
+  void configure(const FlatProgram& fp) {
+    mutexes.configure(fp.mutex_ids);
+    semas.configure(fp.sema_ids);
+    conds.configure(fp.cond_ids);
+    rwlocks.configure(fp.rwlock_ids);
+  }
 
   SimMutex& mutex(std::uint32_t id) { return mutexes.at(id); }
   SimSema& sema(std::uint32_t id) { return semas.at(id); }

@@ -74,6 +74,37 @@ const SweepPoint& SpeedupCurve::best() const {
                            });
 }
 
+SimEngine SweepRunner::acquire() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!idle_.empty()) {
+    SimEngine engine = std::move(idle_.back());
+    idle_.pop_back();
+    return engine;
+  }
+  return SimEngine{};
+}
+
+void SweepRunner::release(SimEngine engine) {
+  std::lock_guard<std::mutex> lock(mu_);
+  idle_.push_back(std::move(engine));
+}
+
+SimResult SweepRunner::run(const CompiledTrace& compiled,
+                           const SimConfig& config, const RunGuard* guard) {
+  SimEngine engine = acquire();
+  // A throwing run (cancel, tripped budget) abandons the engine: its
+  // workspace would reset fine on the next run, but never pooling a
+  // half-run workspace keeps the invariant trivially auditable.
+  SimResult result = engine.run(compiled, config, guard);
+  release(std::move(engine));
+  return result;
+}
+
+SweepRunner& SweepRunner::shared() {
+  static SweepRunner runner;
+  return runner;
+}
+
 SpeedupCurve sweep_cpus(const CompiledTrace& compiled,
                         std::span<const int> cpu_counts,
                         const SimConfig& base) {
@@ -83,6 +114,13 @@ SpeedupCurve sweep_cpus(const CompiledTrace& compiled,
 SpeedupCurve sweep_cpus(const CompiledTrace& compiled,
                         std::span<const int> cpu_counts,
                         const SimConfig& base, const SweepOptions& options) {
+  return SweepRunner::shared().sweep(compiled, cpu_counts, base, options);
+}
+
+SpeedupCurve SweepRunner::sweep(const CompiledTrace& compiled,
+                                std::span<const int> cpu_counts,
+                                const SimConfig& base,
+                                const SweepOptions& options) {
   VPPB_CHECK_MSG(!cpu_counts.empty(), "empty CPU sweep");
   obs::Span sweep_span("core.sweep", "engine");
   sweep_span.arg("points", static_cast<std::int64_t>(cpu_counts.size()));
@@ -105,7 +143,7 @@ SpeedupCurve sweep_cpus(const CompiledTrace& compiled,
     SimConfig cfg = base;
     cfg.hw.cpus = cpus;
     if (!options.honor_build_timeline) cfg.build_timeline = false;
-    SimResult r = simulate(compiled, cfg, options.guard);
+    SimResult r = run(compiled, cfg, options.guard);
     SweepPoint& p = points[i];
     p.cpus = cpus;
     p.speedup = r.speedup;

@@ -8,11 +8,13 @@
 // perfect f ~= 0.29 curve).
 #pragma once
 
+#include <mutex>
 #include <span>
 #include <vector>
 
 #include "core/compiler.hpp"
 #include "core/config.hpp"
+#include "core/engine.hpp"
 #include "core/guard.hpp"
 #include "core/result.hpp"
 #include "util/time.hpp"
@@ -86,6 +88,45 @@ struct SweepOptions {
   /// rethrows the first BudgetExceeded after all dispatched points have
   /// drained — no tasks are left running in the pool.
   const RunGuard* guard = nullptr;
+};
+
+/// The batched sweep driver: a pool of reusable SimEngines behind a
+/// mutex, so every simulation it runs — a whole sweep or a single
+/// what-if point — lands on an engine whose workspace is already
+/// allocated and merely reset.  The compiled trace is shared immutably
+/// by every point; only the SimConfig varies.  Results are bit-identical
+/// to the one-shot simulate() path (the determinism suite pins this),
+/// so callers switch freely between the two.
+///
+/// Thread-safe: concurrent calls check out distinct engines, and the
+/// pool grows to the high-water concurrency.  An engine whose run
+/// throws (cancelled guard, tripped budget) is discarded rather than
+/// returned, so the pool only ever holds engines that completed
+/// cleanly.
+class SweepRunner {
+ public:
+  /// One simulation on a pooled engine; guard semantics as simulate().
+  SimResult run(const CompiledTrace& compiled, const SimConfig& config,
+                const RunGuard* guard = nullptr);
+
+  /// Batched sweep: sweep_cpus semantics, every point on a pooled
+  /// engine.  With options.jobs > 1 the points still run concurrently —
+  /// each worker checks out its own engine.
+  SpeedupCurve sweep(const CompiledTrace& compiled,
+                     std::span<const int> cpu_counts, const SimConfig& base,
+                     const SweepOptions& options = SweepOptions{});
+
+  /// The process-wide runner: the CLI, the vppbd handlers and the sweep
+  /// entry points below all share it, so any repeated prediction work
+  /// in the process reuses the same warmed engines.
+  static SweepRunner& shared();
+
+ private:
+  SimEngine acquire();
+  void release(SimEngine engine);
+
+  std::mutex mu_;
+  std::vector<SimEngine> idle_;
 };
 
 /// Simulates the compiled trace at each CPU count (other parameters from

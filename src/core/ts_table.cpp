@@ -4,16 +4,6 @@
 
 namespace vppb::core {
 
-int TsTable::clamp(int level) const {
-  if (level < 0) return 0;
-  if (level >= kTsLevels) return kTsLevels - 1;
-  return level;
-}
-
-const TsEntry& TsTable::entry(int level) const {
-  return entries[static_cast<std::size_t>(clamp(level))];
-}
-
 TsTable TsTable::solaris_default() {
   TsTable t;
   for (int level = 0; level < kTsLevels; ++level) {

@@ -40,8 +40,16 @@ class TsTable {
   /// ablation bench to show what the TS dynamics contribute.
   static TsTable flat(SimTime quantum);
 
-  const TsEntry& entry(int level) const;
-  int clamp(int level) const;
+  /// Inline: the engine consults the table on every dispatch and
+  /// quantum event; an out-of-line call here is measurable.
+  int clamp(int level) const {
+    if (level < 0) return 0;
+    if (level >= kTsLevels) return kTsLevels - 1;
+    return level;
+  }
+  const TsEntry& entry(int level) const {
+    return entries[static_cast<std::size_t>(clamp(level))];
+  }
 
   std::array<TsEntry, kTsLevels> entries{};
 };

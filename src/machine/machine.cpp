@@ -22,6 +22,9 @@ core::CompiledTrace jittered(const core::CompiledTrace& compiled,
       ct.total_cpu += s.cpu + s.op_cost;
     }
   }
+  // The copy shares the source's flat program; the steps just changed,
+  // so derive a fresh one or the engine would replay unjittered demands.
+  out.rebuild_flat();
   return out;
 }
 

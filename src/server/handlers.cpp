@@ -57,7 +57,8 @@ Response handle_predict(const Request& req, TraceCache& cache,
   // parallelism from concurrent requests sharing the pool, and a
   // deterministic per-request path keeps responses bit-identical to the
   // offline `vppb predict` (which the combined digest proves).  The
-  // loop mirrors core::sweep_cpus(jobs=1) point for point, with a
+  // loop mirrors core::sweep_cpus(jobs=1) point for point — every point
+  // on a pooled reused engine via the shared SweepRunner — with a
   // deadline checkpoint between points so a sweep cannot overstay.
   std::vector<core::SimResult> results;
   std::vector<core::SweepPoint> points;
@@ -66,7 +67,8 @@ Response handle_predict(const Request& req, TraceCache& cache,
     core::SimConfig cfg = base;
     cfg.hw.cpus = cpus;
     cfg.build_timeline = false;
-    core::SimResult r = core::simulate(entry->compiled, cfg, guard);
+    core::SimResult r =
+        core::SweepRunner::shared().run(entry->compiled, cfg, guard);
     points.push_back(core::SweepPoint{cpus, r.speedup, r.speedup / cpus,
                                       r.total});
     results.push_back(std::move(r));
@@ -98,7 +100,8 @@ Response handle_simulate(const Request& req, TraceCache& cache,
   cfg.hw.cpus = req.cpus;
 
   deadline.check("simulation");
-  const core::SimResult r = core::simulate(entry->compiled, cfg, guard);
+  const core::SimResult r =
+      core::SweepRunner::shared().run(entry->compiled, cfg, guard);
   resp.total_ns = r.total.ns();
   resp.speedup = r.speedup;
   resp.cpus = r.cpus;
@@ -127,7 +130,8 @@ Response handle_analyze(const Request& req, TraceCache& cache,
   cfg.hw.cpus = req.cpus;
 
   deadline.check("simulation");
-  const core::SimResult r = core::simulate(entry->compiled, cfg, guard);
+  const core::SimResult r =
+      core::SweepRunner::shared().run(entry->compiled, cfg, guard);
   resp.total_ns = r.total.ns();
   resp.speedup = r.speedup;
   resp.cpus = r.cpus;

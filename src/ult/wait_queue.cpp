@@ -6,8 +6,8 @@ namespace vppb::ult {
 
 namespace {
 
-/// Heap comparator: "a is woken after b", i.e. a is worse.  std::*_heap
-/// keeps the maximum (the next thread to wake) at the front.
+/// "a is woken after b" — std::*_heap keeps the next thread to wake
+/// (priority desc, seq asc — a strict total order) at the front.
 struct Cmp {
   bool operator()(const WaitQueue::Entry& a, const WaitQueue::Entry& b) const {
     if (a.priority != b.priority) return a.priority < b.priority;
@@ -17,30 +17,67 @@ struct Cmp {
 
 }  // namespace
 
-void WaitQueue::push(ThreadId tid, int priority) {
-  entries_.push_back(Entry{tid, priority, next_seq_++});
+void WaitQueue::sift_up_last() {
   std::push_heap(entries_.begin(), entries_.end(), Cmp{});
 }
 
-ThreadId WaitQueue::pop() {
-  if (entries_.empty()) return kNoThread;
+ThreadId WaitQueue::pop_slow() {
   std::pop_heap(entries_.begin(), entries_.end(), Cmp{});
   const ThreadId tid = entries_.back().tid;
   entries_.pop_back();
   return tid;
 }
 
+void WaitQueue::to_heap() {
+  entries_.erase(entries_.begin(),
+                 entries_.begin() + static_cast<std::ptrdiff_t>(head_));
+  head_ = 0;
+  fifo_ = false;
+  std::make_heap(entries_.begin(), entries_.end(), Cmp{});
+}
+
 bool WaitQueue::remove(ThreadId tid) {
+  if (fifo_) {
+    auto it = std::find_if(entries_.begin() + static_cast<std::ptrdiff_t>(head_),
+                           entries_.end(),
+                           [tid](const Entry& e) { return e.tid == tid; });
+    if (it == entries_.end()) return false;
+    // Erase in place: the live range stays in arrival order.
+    entries_.erase(it);
+    if (head_ == entries_.size()) {
+      head_ = 0;
+      entries_.clear();
+    }
+    return true;
+  }
   auto it = std::find_if(entries_.begin(), entries_.end(),
                          [tid](const Entry& e) { return e.tid == tid; });
   if (it == entries_.end()) return false;
   *it = entries_.back();
   entries_.pop_back();
   std::make_heap(entries_.begin(), entries_.end(), Cmp{});
+  if (entries_.empty()) fifo_ = true;
   return true;
 }
 
 bool WaitQueue::update_priority(ThreadId tid, int priority) {
+  if (fifo_) {
+    for (std::size_t i = head_; i < entries_.size(); ++i) {
+      if (entries_[i].tid != tid) continue;
+      if (priority == fifo_prio_) return true;  // order unchanged
+      to_heap();
+      // to_heap() shifted indices by the old head; refind and reheap.
+      for (auto& e : entries_) {
+        if (e.tid == tid) {
+          e.priority = priority;
+          break;
+        }
+      }
+      std::make_heap(entries_.begin(), entries_.end(), Cmp{});
+      return true;
+    }
+    return false;
+  }
   for (auto& e : entries_) {
     if (e.tid == tid) {
       e.priority = priority;
@@ -53,7 +90,8 @@ bool WaitQueue::update_priority(ThreadId tid, int priority) {
 
 std::vector<ThreadId> WaitQueue::snapshot() const {
   // Wake order: priority desc, seq asc.
-  std::vector<Entry> sorted(entries_.begin(), entries_.end());
+  std::vector<Entry> sorted(entries_.begin() + static_cast<std::ptrdiff_t>(head_),
+                            entries_.end());
   std::sort(sorted.begin(), sorted.end(), [](const Entry& a, const Entry& b) {
     if (a.priority != b.priority) return a.priority > b.priority;
     return a.seq < b.seq;

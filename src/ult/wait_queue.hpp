@@ -16,10 +16,57 @@ constexpr ThreadId kNoThread = -1;
 class WaitQueue {
  public:
   /// Enqueue a sleeper with its current priority (higher = better).
-  void push(ThreadId tid, int priority);
+  /// Inline: the engine calls this on every block.  While every queued
+  /// sleeper shares one priority — overwhelmingly the common case, since
+  /// most traces never call thr_setprio — the queue runs in FIFO mode:
+  /// push is a plain append and pop consumes from a head cursor, both
+  /// O(1) with no heap maintenance.  The first push of a *different*
+  /// priority converts the live entries into a heap in place; the heap
+  /// pops in exactly the order (priority desc, seq asc) the FIFO run
+  /// would have produced for equal priorities, so the two modes are
+  /// observationally identical.
+  void push(ThreadId tid, int priority) {
+    if (fifo_) {
+      if (head_ == entries_.size()) {
+        // Empty: restart the FIFO run at this priority.
+        head_ = 0;
+        entries_.clear();
+        fifo_prio_ = priority;
+      } else if (priority != fifo_prio_) {
+        to_heap();
+        entries_.push_back(Entry{tid, priority, next_seq_++});
+        sift_up_last();
+        return;
+      }
+      entries_.push_back(Entry{tid, priority, next_seq_++});
+      return;
+    }
+    entries_.push_back(Entry{tid, priority, next_seq_++});
+    if (entries_.size() > 1) sift_up_last();
+  }
 
   /// Remove and return the best sleeper, or kNoThread when empty.
-  ThreadId pop();
+  /// Inline fast paths: the empty probe (every unlock/post/signal pops
+  /// speculatively) and the FIFO-mode cursor advance cost no call.
+  ThreadId pop() {
+    if (fifo_) {
+      if (head_ == entries_.size()) return kNoThread;
+      const ThreadId tid = entries_[head_++].tid;
+      if (head_ == entries_.size()) {
+        head_ = 0;
+        entries_.clear();
+      }
+      return tid;
+    }
+    if (entries_.empty()) return kNoThread;
+    if (entries_.size() == 1) {
+      const ThreadId tid = entries_.front().tid;
+      entries_.clear();
+      fifo_ = true;  // drained: the next run starts uniform again
+      return tid;
+    }
+    return pop_slow();
+  }
 
   /// Remove a specific sleeper (timed wait that fired, targeted signal).
   /// Returns true if it was present.
@@ -29,8 +76,20 @@ class WaitQueue {
   /// within the new priority level.  Returns true if it was present.
   bool update_priority(ThreadId tid, int priority);
 
-  bool empty() const { return entries_.empty(); }
-  std::size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.size() == head_; }
+  std::size_t size() const { return entries_.size() - head_; }
+
+  /// Empties the queue and rewinds the arrival counter, preserving the
+  /// entry storage.  A cleared queue is indistinguishable from a
+  /// freshly constructed one (the seq restart matters: seq breaks
+  /// priority ties, so a reused engine workspace must hand out the
+  /// same sequence a fresh run would).
+  void clear() {
+    entries_.clear();
+    head_ = 0;
+    fifo_ = true;
+    next_seq_ = 0;
+  }
 
   /// Snapshot of queued ids in wake order (for diagnostics/tests).
   std::vector<ThreadId> snapshot() const;
@@ -42,13 +101,23 @@ class WaitQueue {
   };
 
  private:
-  // (priority desc, seq asc) is a strict total order (seq is unique),
-  // so a binary max-heap pops exactly the entry a linear scan would
-  // pick, in O(log n) — which matters when many threads pile onto one
-  // object (a barrier mutex collects O(threads) sleepers).  remove()
-  // and update_priority() stay O(n): they only happen on timed-wait
-  // expiry and thr_setprio, both rare.
-  std::vector<Entry> entries_;  // max-heap under wakes_after
+  void sift_up_last();
+  ThreadId pop_slow();
+  /// Leaves FIFO mode: discards the consumed prefix and heapifies the
+  /// live entries.  Seqs are preserved, so wake order is unchanged.
+  void to_heap();
+
+  // FIFO mode (fifo_): entries_[head_..) are live, share fifo_prio_,
+  // and sit in arrival (= wake) order.  Heap mode: head_ == 0 and
+  // entries_ is a max-heap under (priority desc, seq asc) — it pops
+  // exactly the entry a linear scan would pick, in O(log n), which
+  // matters when sleepers at mixed priorities pile onto one object.
+  // remove() and update_priority() stay O(n): they only happen on
+  // timed-wait expiry and thr_setprio, both rare.
+  std::vector<Entry> entries_;
+  std::size_t head_ = 0;
+  bool fifo_ = true;
+  int fifo_prio_ = 0;
   std::uint64_t next_seq_ = 0;
 };
 

@@ -1,0 +1,124 @@
+// Bump allocator for flat, immutable data built in one pass and freed
+// in one pass (the compiled-trace step stream and its SoA thread
+// tables).  Allocation is a pointer bump within the current block; a
+// full block chains a new one of twice the size.  reset() recycles the
+// blocks without returning them to the heap, which is what lets a
+// reusable engine workspace rebuild per-run tables with zero
+// allocations after warm-up.
+//
+// Arena memory is only ever handed out for trivially-destructible
+// types: nothing is destroyed on reset, the storage is simply reused.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <vector>
+
+namespace vppb::util {
+
+class Arena {
+ public:
+  explicit Arena(std::size_t first_block_bytes = 64 * 1024)
+      : first_block_bytes_(first_block_bytes == 0 ? 64 : first_block_bytes) {}
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+  Arena(Arena&&) = default;
+  Arena& operator=(Arena&&) = default;
+
+  /// Raw allocation: `bytes` bytes at `align` alignment (power of two).
+  void* allocate(std::size_t bytes, std::size_t align) {
+    std::size_t p = (cur_ + (align - 1)) & ~(align - 1);
+    if (p + bytes > end_) {
+      grow(bytes + align);
+      p = (cur_ + (align - 1)) & ~(align - 1);
+    }
+    cur_ = p + bytes;
+    bytes_used_ += bytes;
+    return reinterpret_cast<void*>(p);
+  }
+
+  /// `n` value-initialized Ts.  T must be trivially destructible: the
+  /// arena never runs destructors (see header comment).
+  template <typename T>
+  T* make_array(std::size_t n) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "arena storage is recycled without destruction");
+    T* out = static_cast<T*>(allocate(n * sizeof(T), alignof(T)));
+    for (std::size_t i = 0; i < n; ++i) ::new (out + i) T();
+    return out;
+  }
+
+  /// A single value-initialized T (same contract as make_array).
+  template <typename T, typename... Args>
+  T* make(Args&&... args) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "arena storage is recycled without destruction");
+    T* out = static_cast<T*>(allocate(sizeof(T), alignof(T)));
+    return ::new (out) T(static_cast<Args&&>(args)...);
+  }
+
+  /// Rewinds to empty, keeping every block for reuse.  Previously
+  /// returned pointers become dangling-but-allocated storage; nothing
+  /// is freed or destroyed.
+  void reset() {
+    next_block_ = 0;
+    bytes_used_ = 0;
+    if (blocks_.empty()) {
+      cur_ = end_ = 0;
+    } else {
+      use_block(0);
+    }
+  }
+
+  /// Bytes handed out since construction/reset (excludes alignment pad).
+  std::size_t bytes_used() const { return bytes_used_; }
+
+  /// Bytes of block storage owned (survives reset).
+  std::size_t bytes_reserved() const {
+    std::size_t total = 0;
+    for (const Block& b : blocks_) total += b.size;
+    return total;
+  }
+
+ private:
+  struct Block {
+    std::unique_ptr<std::byte[]> data;
+    std::size_t size = 0;
+  };
+
+  void use_block(std::size_t i) {
+    cur_ = reinterpret_cast<std::uintptr_t>(blocks_[i].data.get());
+    end_ = cur_ + blocks_[i].size;
+    next_block_ = i + 1;
+  }
+
+  void grow(std::size_t need) {
+    // Reuse an already-owned block when one is big enough (post-reset
+    // path); otherwise chain a new block, doubling as we go.
+    while (next_block_ < blocks_.size()) {
+      if (blocks_[next_block_].size >= need) {
+        use_block(next_block_);
+        return;
+      }
+      ++next_block_;
+    }
+    std::size_t size = blocks_.empty() ? first_block_bytes_
+                                       : blocks_.back().size * 2;
+    while (size < need) size *= 2;
+    blocks_.push_back(Block{std::make_unique<std::byte[]>(size), size});
+    use_block(blocks_.size() - 1);
+  }
+
+  std::size_t first_block_bytes_;
+  std::vector<Block> blocks_;
+  std::size_t next_block_ = 0;  ///< next owned block grow() may reuse
+  std::uintptr_t cur_ = 0;
+  std::uintptr_t end_ = 0;
+  std::size_t bytes_used_ = 0;
+};
+
+}  // namespace vppb::util
