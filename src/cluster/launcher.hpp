@@ -1,0 +1,85 @@
+// LocalCluster: fork/exec N vppbd shards as real child processes.
+//
+// Used by `vppb cluster` (the one-command local deployment), the
+// shard-kill failover tests, and the scaling bench.  Shards are
+// separate *processes*, not in-process Server instances, because that
+// is the failure mode the cluster tier exists to survive: a SIGKILLed
+// child takes its sockets, cache, and in-flight requests with it,
+// exactly like a crashed production shard — something an in-process
+// server shutdown (graceful drain) cannot simulate.
+//
+// fork is immediately followed by exec of the vppb binary ("serve"
+// subcommand): forking without exec from a threaded parent (the tests,
+// the proxy) would clone locked mutexes into the child.  Each shard
+// listens on <dir>/shard<i>.sock with --shard-id i+1, and start()
+// blocks until every shard answers a ready health probe (or the
+// timeout expires — then it throws with the stragglers named).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <sys/types.h>
+#include <utility>
+#include <vector>
+
+#include "cluster/membership.hpp"
+
+namespace vppb::cluster {
+
+struct ClusterOptions {
+  /// Path to the vppb binary to exec ("/proc/self/exe" for the CLI,
+  /// the VPPB_EXE compile definition for tests/bench).
+  std::string exe;
+  /// Directory for the shard sockets; created if missing.
+  std::string dir;
+  int shards = 2;
+  /// Per-shard --jobs (0 = all hardware threads).
+  int jobs = 0;
+  /// Per-shard --cache-entries (0 = keep the serve default).
+  std::size_t cache_entries = 0;
+  /// Extra `vppb serve` arguments appended verbatim to every shard.
+  std::vector<std::string> serve_args;
+  /// Extra environment entries set in each child before exec (e.g.
+  /// VPPB_FAULT for deterministic per-shard service-time injection).
+  std::vector<std::pair<std::string, std::string>> env;
+  std::int64_t ready_timeout_ms = 15000;
+};
+
+class LocalCluster {
+ public:
+  explicit LocalCluster(ClusterOptions opt);
+  ~LocalCluster();  ///< calls stop()
+
+  LocalCluster(const LocalCluster&) = delete;
+  LocalCluster& operator=(const LocalCluster&) = delete;
+
+  /// Spawns every shard and waits for all of them to answer ready.
+  /// Throws vppb::Error when one fails to come up in time.
+  void start();
+
+  /// SIGTERM + waitpid every live shard (graceful drain).  Idempotent.
+  void stop();
+
+  /// SIGKILL + waitpid shard `i` — the crash the failover layer exists
+  /// for.  The shard's endpoint stays configured; restart_shard revives
+  /// it.
+  void kill_shard(std::size_t i);
+
+  /// Spawns shard `i` again on its original endpoint (fresh process,
+  /// new epoch, cold cache) and waits for it to answer ready.
+  void restart_shard(std::size_t i);
+
+  const std::vector<ShardEndpoint>& shards() const { return endpoints_; }
+  pid_t pid(std::size_t i) const { return pids_[i]; }
+
+ private:
+  pid_t spawn(std::size_t i);
+  bool wait_ready(std::size_t i, std::int64_t timeout_ms) const;
+  void reap(std::size_t i, int sig);
+
+  ClusterOptions opt_;
+  std::vector<ShardEndpoint> endpoints_;
+  std::vector<pid_t> pids_;  ///< -1 = not running
+};
+
+}  // namespace vppb::cluster

@@ -1,0 +1,529 @@
+#include "cluster/proxy.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <unistd.h>
+
+#include "obs/log.hpp"
+#include "obs/metrics.hpp"
+#include "server/trace_cache.hpp"
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace vppb::cluster {
+namespace {
+
+using obs::LogLevel;
+using server::Request;
+using server::ReqType;
+using server::Response;
+using server::StatsBody;
+using server::Status;
+
+/// Registry handles for the proxy, registered once (same pattern as
+/// the cache metrics): the routing tier's own behavior — forwards,
+/// failovers, hedges, dedup hits — is visible in `vppb request
+/// metricsdump` against the proxy.
+struct ProxyMetrics {
+  obs::Counter& requests;
+  obs::Counter& forwards;
+  obs::Counter& failovers;
+  obs::Counter& hedges;
+  obs::Counter& hedge_wins;
+  obs::Counter& dedup_hits;
+  obs::Counter& no_shards;
+  obs::Gauge& shards_up;
+
+  static ProxyMetrics& get() {
+    auto& reg = obs::Registry::global();
+    static ProxyMetrics m{
+        reg.counter("vppb_proxy_requests_total",
+                    "Requests received by the proxy"),
+        reg.counter("vppb_proxy_forwards_total",
+                    "Forward attempts sent to shards"),
+        reg.counter("vppb_proxy_failovers_total",
+                    "Forwards re-routed after a shard transport failure"),
+        reg.counter("vppb_proxy_hedges_total", "Hedge attempts launched"),
+        reg.counter("vppb_proxy_hedge_wins_total",
+                    "Requests answered by the hedge, not the primary"),
+        reg.counter("vppb_proxy_dedup_hits_total",
+                    "Requests collapsed into an identical in-flight one"),
+        reg.counter("vppb_proxy_no_shards_total",
+                    "Requests failed because every shard was down"),
+        reg.gauge("vppb_proxy_shards_up", "Healthy shards in the ring"),
+    };
+    return m;
+  }
+};
+
+std::uint64_t fnv1a(const std::uint8_t* data, std::size_t n) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= data[i];
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+std::int64_t elapsed_ms(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+bool is_compute(ReqType t) {
+  return t == ReqType::kPredict || t == ReqType::kSimulate ||
+         t == ReqType::kAnalyze;
+}
+
+}  // namespace
+
+void merge_stats(StatsBody& into, const StatsBody& from) {
+  into.requests += from.requests;
+  for (std::size_t i = 0; i < server::kReqTypeCount; ++i)
+    into.by_type[i] += from.by_type[i];
+  into.errors += from.errors;
+  into.overloads += from.overloads;
+  into.deadlines += from.deadlines;
+  into.cache_hits += from.cache_hits;
+  into.cache_misses += from.cache_misses;
+  into.cache_evictions += from.cache_evictions;
+  into.cache_waits += from.cache_waits;
+  into.cache_entries += from.cache_entries;
+  into.cache_bytes += from.cache_bytes;
+  into.latency_count += from.latency_count;
+  // Order statistics do not merge; the per-shard maximum is an honest
+  // upper bound ("no shard's p99 exceeds this"), which is the side an
+  // operator wants to be wrong on.
+  into.p50_us = std::max(into.p50_us, from.p50_us);
+  into.p90_us = std::max(into.p90_us, from.p90_us);
+  into.p99_us = std::max(into.p99_us, from.p99_us);
+  into.max_us = std::max(into.max_us, from.max_us);
+  into.budget_kills += from.budget_kills;
+  into.poisoned += from.poisoned;
+  into.poison_strikes += from.poison_strikes;
+  into.quarantined += from.quarantined;
+  into.watchdog_cancels += from.watchdog_cancels;
+  into.watchdog_replacements += from.watchdog_replacements;
+}
+
+std::string merge_prometheus(
+    const std::vector<std::pair<std::string, std::string>>& sections) {
+  // Series key -> summed value, plus first-appearance ordering and the
+  // HELP/TYPE comment block captured from the first section to carry
+  // each family.
+  std::vector<std::string> order;                    // series keys
+  std::unordered_map<std::string, double> values;
+  std::unordered_map<std::string, std::string> comments;  // family -> block
+  std::vector<std::string> family_order;
+
+  for (const auto& [label, text] : sections) {
+    std::string pending_comments;
+    std::size_t pos = 0;
+    while (pos < text.size()) {
+      std::size_t eol = text.find('\n', pos);
+      if (eol == std::string::npos) eol = text.size();
+      const std::string line = text.substr(pos, eol - pos);
+      pos = eol + 1;
+      if (line.empty()) continue;
+      if (line[0] == '#') {
+        pending_comments += line;
+        pending_comments += '\n';
+        continue;
+      }
+      const std::size_t sp = line.rfind(' ');
+      if (sp == std::string::npos || sp == 0) continue;  // not a sample
+      const std::string key = line.substr(0, sp);
+      const double val = std::strtod(line.c_str() + sp + 1, nullptr);
+      // Family name: the series key up to '{' (or the whole key).
+      const std::string family = key.substr(0, key.find('{'));
+      if (!pending_comments.empty()) {
+        if (comments.emplace(family, pending_comments).second)
+          family_order.push_back(family);
+        pending_comments.clear();
+      } else if (comments.emplace(family, std::string()).second) {
+        family_order.push_back(family);
+      }
+      auto [it, fresh] = values.emplace(key, val);
+      if (fresh) {
+        order.push_back(key);
+      } else {
+        it->second += val;
+      }
+    }
+    (void)label;
+  }
+
+  // Emit family by family in first-appearance order, each series in
+  // first-appearance order within it.
+  std::string out;
+  for (const std::string& family : family_order) {
+    out += comments[family];
+    for (const std::string& key : order) {
+      if (key.substr(0, key.find('{')) != family) continue;
+      const double v = values[key];
+      if (v == static_cast<double>(static_cast<long long>(v))) {
+        out += strprintf("%s %lld\n", key.c_str(),
+                         static_cast<long long>(v));
+      } else {
+        out += strprintf("%s %.6g\n", key.c_str(), v);
+      }
+    }
+  }
+  return out;
+}
+
+Proxy::Proxy(ProxyOptions opt)
+    : opt_(std::move(opt)),
+      membership_(opt_.shards, opt_.membership),
+      hedge_pool_(std::max(2, opt_.hedge_jobs)) {}
+
+Proxy::~Proxy() { stop(); }
+
+void Proxy::start() {
+  VPPB_CHECK_MSG(!running_.load(), "proxy already started");
+  if (!opt_.unix_path.empty()) {
+    listener_ = util::listen_unix(opt_.unix_path);
+    endpoint_ = opt_.unix_path;
+  } else {
+    port_ = opt_.tcp_port;
+    listener_ = util::listen_tcp(port_);
+    endpoint_ = strprintf("127.0.0.1:%u", port_);
+  }
+  membership_.start();  // one synchronous probe round populates the ring
+  ProxyMetrics::get().shards_up.set(
+      static_cast<std::int64_t>(membership_.up_count()));
+  running_.store(true);
+  accept_thread_ = std::thread(&Proxy::accept_loop, this);
+  obs::logf(LogLevel::kInfo, "proxy",
+            "routing on %s across %zu shards (%zu up, hedge %lld ms)",
+            endpoint_.c_str(), membership_.shard_count(),
+            membership_.up_count(),
+            static_cast<long long>(opt_.hedge_ms));
+}
+
+void Proxy::stop() {
+  if (!running_.exchange(false)) {
+    if (accept_thread_.joinable()) accept_thread_.join();
+    return;
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  listener_.close();
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    for (auto& c : conns_) c->sock.shutdown_read();
+  }
+  for (auto& c : conns_)
+    if (c->thread.joinable()) c->thread.join();
+  conns_.clear();
+  {
+    std::unique_lock<std::mutex> lock(drain_mu_);
+    drain_cv_.wait(lock, [&]() { return tasks_live_ == 0; });
+  }
+  membership_.stop();
+  if (!opt_.unix_path.empty()) ::unlink(opt_.unix_path.c_str());
+  obs::logf(LogLevel::kInfo, "proxy", "stopped (drained) on %s",
+            endpoint_.c_str());
+}
+
+void Proxy::accept_loop() {
+  while (running_.load()) {
+    util::Socket s = util::accept_with_timeout(listener_, 100);
+    if (!s.valid()) continue;
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    if (!running_.load()) break;
+    conns_.push_back(std::make_unique<Conn>());
+    Conn* conn = conns_.back().get();
+    conn->sock = std::move(s);
+    conn->thread = std::thread(&Proxy::serve_connection, this, conn);
+  }
+}
+
+void Proxy::serve_connection(Conn* conn) {
+  try {
+    std::vector<std::uint8_t> payload;
+    while (server::read_frame(conn->sock, payload)) {
+      Response resp;
+      try {
+        resp = execute(server::decode_request(payload));
+      } catch (const Error& e) {
+        // Undecodable request, unreadable trace file, every shard
+        // down: a typed answer on an intact connection.
+        resp.status = Status::kError;
+        resp.error = e.what();
+      }
+      server::write_frame(conn->sock, server::encode(resp));
+    }
+  } catch (const Error& e) {
+    obs::logf(LogLevel::kDebug, "proxy", "connection dropped: %s", e.what());
+  }
+}
+
+Response Proxy::error_response(const Request& req,
+                               const std::string& what) const {
+  Response resp;
+  resp.type = req.type;
+  resp.status = Status::kError;
+  resp.error = what;
+  return resp;
+}
+
+Response Proxy::execute(const Request& req) {
+  ProxyMetrics::get().requests.inc();
+  const auto t0 = std::chrono::steady_clock::now();
+  if (!is_compute(req.type)) return aggregate(req);
+
+  // Route by the trace's content digest — the same FNV-1a the shard's
+  // TraceCache will key the compiled trace by.
+  std::uint64_t key = 0;
+  try {
+    key = server::content_key_of_file(req.trace_path);
+  } catch (const Error& e) {
+    return error_response(
+        req, strprintf("proxy cannot read trace %s: %s",
+                       req.trace_path.c_str(), e.what()));
+  }
+  return single_flight(req, key, t0);
+}
+
+Response Proxy::single_flight(const Request& req, std::uint64_t route_key,
+                              std::chrono::steady_clock::time_point t0) {
+  // De-dup key: the full encoded request, so only byte-identical
+  // requests (same trace content *and* same parameters, deadline,
+  // client id) collapse.
+  const std::vector<std::uint8_t> encoded = server::encode(req);
+  const std::uint64_t fkey = fnv1a(encoded.data(), encoded.size());
+
+  std::shared_ptr<Flight> flight;
+  bool leader = false;
+  {
+    std::lock_guard<std::mutex> lock(flight_mu_);
+    auto it = flights_.find(fkey);
+    if (it == flights_.end()) {
+      flight = std::make_shared<Flight>();
+      flights_.emplace(fkey, flight);
+      leader = true;
+    } else {
+      flight = it->second;
+    }
+  }
+  if (!leader) {
+    ProxyMetrics::get().dedup_hits.inc();
+    std::unique_lock<std::mutex> lock(flight->mu);
+    flight->cv.wait(lock, [&]() { return flight->done; });
+    if (flight->error) std::rethrow_exception(flight->error);
+    return flight->resp;
+  }
+
+  Response resp;
+  std::exception_ptr error;
+  try {
+    resp = forward_failover(req, route_key, t0);
+  } catch (...) {
+    error = std::current_exception();
+  }
+  {
+    std::lock_guard<std::mutex> lock(flight_mu_);
+    flights_.erase(fkey);
+  }
+  {
+    std::lock_guard<std::mutex> lock(flight->mu);
+    flight->done = true;
+    flight->resp = resp;
+    flight->error = error;
+  }
+  flight->cv.notify_all();
+  if (error) std::rethrow_exception(error);
+  return resp;
+}
+
+Response Proxy::forward_once(std::size_t idx, const Request& req) {
+  ProxyMetrics::get().forwards.inc();
+  server::Client conn = membership_.take_conn(idx);
+  server::RetryPolicy once;
+  once.max_attempts = 1;  // retries belong to the failover layer
+  once.request_timeout_ms = opt_.forward_timeout_ms;
+  Response resp = conn.call_retry(req, once);
+  // Only a connection that completed a clean request/response exchange
+  // is safe to reuse; a thrown transport error never reaches here.
+  membership_.give_back(idx, std::move(conn));
+  return resp;
+}
+
+bool Proxy::hedged_forward(const Request& req,
+                           const std::vector<std::size_t>& candidates,
+                           std::chrono::steady_clock::time_point t0,
+                           Response* out) {
+  ProxyMetrics& pm = ProxyMetrics::get();
+  auto hedge = std::make_shared<Hedge>();
+  auto launch = [this, hedge, req](std::size_t idx) {
+    {
+      std::lock_guard<std::mutex> lock(drain_mu_);
+      ++tasks_live_;
+    }
+    {
+      std::lock_guard<std::mutex> lock(hedge->mu);
+      ++hedge->launched;
+    }
+    hedge_pool_.post([this, hedge, req, idx]() {
+      try {
+        Response r = forward_once(idx, req);
+        std::lock_guard<std::mutex> lock(hedge->mu);
+        if (!hedge->done) {
+          hedge->done = true;
+          hedge->winner = idx;
+          hedge->resp = std::move(r);
+        }
+      } catch (...) {
+        // Transport failure, or anything else: an exception escaping a
+        // posted task would terminate the process, so every failure
+        // becomes "this attempt lost" and the shard gets ejected.
+        std::lock_guard<std::mutex> lock(hedge->mu);
+        ++hedge->failed;
+        hedge->failed_shards.push_back(idx);
+      }
+      hedge->cv.notify_all();
+      // Notify while holding the lock: stop() may destroy the proxy the
+      // instant it sees tasks_live_ == 0, so an unlocked notify here
+      // could touch a dead condition variable (a losing hedge attempt
+      // routinely outlives its request).
+      std::lock_guard<std::mutex> lock(drain_mu_);
+      if (--tasks_live_ == 0) drain_cv_.notify_all();
+    });
+  };
+
+  launch(candidates[0]);
+  bool hedged = false;
+  {
+    std::unique_lock<std::mutex> lock(hedge->mu);
+    hedge->cv.wait_for(lock, std::chrono::milliseconds(opt_.hedge_ms),
+                       [&]() {
+                         return hedge->done ||
+                                hedge->failed >= hedge->launched;
+                       });
+    // Hedge only when the primary is still silent and the request's
+    // remaining deadline could actually absorb another attempt — a
+    // hedge the client cannot wait for is pure load.
+    const bool deadline_allows =
+        req.deadline_ms == 0 ||
+        req.deadline_ms - elapsed_ms(t0) > opt_.hedge_ms;
+    if (!hedge->done && candidates.size() > 1 && deadline_allows) {
+      lock.unlock();
+      pm.hedges.inc();
+      hedged = true;
+      launch(candidates[1]);
+      lock.lock();
+    }
+    hedge->cv.wait(lock, [&]() {
+      return hedge->done || hedge->failed >= hedge->launched;
+    });
+  }
+
+  // Eject outside hedge->mu: eject takes the membership lock and
+  // notifies the prober.
+  std::vector<std::size_t> failed;
+  bool done = false;
+  std::size_t winner = 0;
+  {
+    std::lock_guard<std::mutex> lock(hedge->mu);
+    failed = hedge->failed_shards;
+    done = hedge->done;
+    winner = hedge->winner;
+    if (done) *out = hedge->resp;
+  }
+  for (std::size_t idx : failed) {
+    pm.failovers.inc();
+    membership_.eject(idx);
+  }
+  if (done && hedged && winner == candidates[1]) pm.hedge_wins.inc();
+  pm.shards_up.set(static_cast<std::int64_t>(membership_.up_count()));
+  return done;
+}
+
+Response Proxy::forward_failover(const Request& req, std::uint64_t route_key,
+                                 std::chrono::steady_clock::time_point t0) {
+  ProxyMetrics& pm = ProxyMetrics::get();
+  const std::size_t rounds = std::max<std::size_t>(
+      std::size_t{1}, membership_.shard_count());
+  for (std::size_t round = 0; round < rounds; ++round) {
+    const std::vector<std::size_t> candidates =
+        membership_.route(route_key, membership_.shard_count());
+    if (candidates.empty()) break;
+    if (opt_.hedge_ms > 0 && candidates.size() > 1) {
+      Response resp;
+      if (hedged_forward(req, candidates, t0, &resp)) return resp;
+      continue;  // every attempt died on transport: re-route
+    }
+    try {
+      return forward_once(candidates[0], req);
+    } catch (const Error& e) {
+      obs::logf(LogLevel::kWarn, "proxy",
+                "shard %llu failed mid-forward (%s); failing over",
+                static_cast<unsigned long long>(
+                    membership_.endpoint(candidates[0]).id),
+                e.what());
+      pm.failovers.inc();
+      membership_.eject(candidates[0]);
+      pm.shards_up.set(static_cast<std::int64_t>(membership_.up_count()));
+    }
+  }
+  pm.no_shards.inc();
+  return error_response(req, "no healthy shards: every backend is down "
+                             "or failed mid-request");
+}
+
+Response Proxy::aggregate(const Request& req) {
+  Response out;
+  out.type = req.type;
+  out.status = Status::kOk;
+
+  Request probe;
+  probe.type = req.type;
+  std::vector<std::pair<std::string, std::string>> metric_sections;
+  metric_sections.emplace_back("proxy",
+                               obs::Registry::global().prometheus_text());
+
+  const std::vector<ShardView> before = membership_.snapshot();
+  for (std::size_t i = 0; i < before.size(); ++i) {
+    server::ShardInfo info;
+    info.shard_id = before[i].endpoint.id;
+    info.endpoint = before[i].endpoint.display();
+    info.epoch = before[i].epoch;
+    info.healthy = false;
+    info.stats = before[i].last_stats;
+    if (before[i].healthy) {
+      try {
+        Response r = forward_once(i, probe);
+        if (r.status == Status::kOk) {
+          info.healthy = true;
+          info.epoch = r.epoch;
+          info.stats = r.stats;
+          membership_.note_stats(i, r.stats, r.epoch);
+          out.ready = out.ready || r.ready;
+          out.in_flight += r.in_flight;
+          out.admission_limit += r.admission_limit;
+          if (req.type == ReqType::kMetricsDump)
+            metric_sections.emplace_back(info.endpoint, r.report);
+        }
+      } catch (const Error&) {
+        membership_.eject(i);
+        ProxyMetrics::get().shards_up.set(
+            static_cast<std::int64_t>(membership_.up_count()));
+      }
+    }
+    merge_stats(out.stats, info.stats);
+    out.shards.push_back(std::move(info));
+  }
+  if (req.type == ReqType::kMetricsDump)
+    out.report = merge_prometheus(metric_sections);
+  // Health from the routing tier's own perspective: ready as long as
+  // any shard can take traffic.
+  if (req.type == ReqType::kHealth) {
+    bool any_up = false;
+    for (const auto& sh : out.shards) any_up = any_up || sh.healthy;
+    out.ready = out.ready && any_up;
+  }
+  return out;
+}
+
+}  // namespace vppb::cluster

@@ -1,0 +1,188 @@
+// vppb proxy — the consistent-hash routing tier in front of N vppbd
+// shards.
+//
+// The proxy speaks the exact varint frame protocol on both sides: to a
+// client it looks like one (very large) vppbd; to a shard it looks like
+// one more client.  Compute requests (predict / simulate / analyze)
+// are routed by the FNV-1a digest of the trace file's bytes — the same
+// function the TraceCache keys by — so each shard's cache sees a
+// disjoint, stable slice of the trace population and a cluster of N
+// shards has ~N times the effective cache, not N copies of one.
+//
+// Layered on the routing:
+//
+//   Single-flight   Identical concurrent requests (same encoded bytes)
+//                   collapse into one upstream forward; followers wait
+//                   and share the leader's response.  This sits *above*
+//                   each shard's cache single-flight: the shard's
+//                   version collapses concurrent compiles of one trace,
+//                   the proxy's collapses identical whole requests
+//                   before they spend shard admission slots.
+//
+//   Failover        A transport error on a forward ejects the shard
+//                   (Membership re-probes it with backoff) and re-routes
+//                   to the ring successor, so a shard death costs
+//                   clients nothing but latency: typed errors never
+//                   reach a healthy client because of a dead shard.
+//
+//   Hedged retries  With hedge_ms > 0, a routed request that has not
+//                   answered within the hedge window is also sent to
+//                   the ring successor; first definitive answer wins.
+//                   Deadline-aware: a request whose remaining deadline
+//                   budget cannot absorb the hedge window is never
+//                   hedged (the hedge would answer a client that
+//                   already gave up).
+//
+//   Aggregation     stats / health / metricsdump fan out to every
+//                   shard and come back merged (counters summed,
+//                   latency percentiles upper-bounded by the per-shard
+//                   maxima) plus a per-shard ShardInfo breakdown, so
+//                   `vppb stats --watch` works unchanged against the
+//                   proxy.  Down shards contribute their last-known
+//                   stats, marked unhealthy.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "cluster/membership.hpp"
+#include "server/protocol.hpp"
+#include "util/socket.hpp"
+#include "util/thread_pool.hpp"
+
+namespace vppb::cluster {
+
+struct ProxyOptions {
+  /// Listen endpoint, same convention as ServerOptions: unix path
+  /// preferred, loopback TCP otherwise (0 = ephemeral).
+  std::string unix_path;
+  std::uint16_t tcp_port = 0;
+
+  std::vector<ShardEndpoint> shards;
+  MembershipOptions membership;
+
+  /// Hedge window for routed compute requests; 0 disables hedging.
+  std::int64_t hedge_ms = 0;
+  /// Per-forward receive timeout; a shard silent past this is treated
+  /// as dead (ejected + failover).  0 = wait forever (then only a
+  /// closed connection triggers failover).
+  int forward_timeout_ms = 30000;
+  /// Worker threads for hedged forwards (a hedged request occupies up
+  /// to two while in flight).  Non-hedged forwards run on the
+  /// connection's own IO thread and never touch this pool.
+  int hedge_jobs = 8;
+};
+
+class Proxy {
+ public:
+  explicit Proxy(ProxyOptions opt);
+  ~Proxy();  ///< calls stop()
+
+  Proxy(const Proxy&) = delete;
+  Proxy& operator=(const Proxy&) = delete;
+
+  /// Binds the endpoint, probes every shard once, and starts serving.
+  /// Not an error if all shards are down (the prober keeps trying; the
+  /// proxy answers kError until one comes up).
+  void start();
+  void stop();  ///< graceful drain; idempotent
+
+  const std::string& endpoint() const { return endpoint_; }
+  std::uint16_t tcp_port() const { return port_; }
+  Membership& membership() { return membership_; }
+
+ private:
+  struct Conn {
+    util::Socket sock;
+    std::thread thread;
+  };
+
+  /// Cross-tier single-flight state: one per distinct in-flight
+  /// encoded request; followers wait on it.
+  struct Flight {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+    server::Response resp;
+    std::exception_ptr error;
+  };
+
+  /// Shared state of one hedged forward (primary + optional hedge).
+  struct Hedge {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;                ///< a definitive response landed
+    std::size_t winner = 0;           ///< shard index that answered
+    server::Response resp;
+    int launched = 0;
+    int failed = 0;
+    std::vector<std::size_t> failed_shards;
+  };
+
+  void accept_loop();
+  void serve_connection(Conn* conn);
+  server::Response execute(const server::Request& req);
+  server::Response single_flight(const server::Request& req,
+                                 std::uint64_t route_key,
+                                 std::chrono::steady_clock::time_point t0);
+  server::Response forward_failover(const server::Request& req,
+                                    std::uint64_t route_key,
+                                    std::chrono::steady_clock::time_point t0);
+  /// One forward on one connection; throws vppb::Error on transport
+  /// failure (the caller ejects).  Clean exchanges pool the connection.
+  server::Response forward_once(std::size_t idx, const server::Request& req);
+  /// Primary + hedge via the pool; false when every launched attempt
+  /// died on transport (the caller re-routes).
+  bool hedged_forward(const server::Request& req,
+                      const std::vector<std::size_t>& candidates,
+                      std::chrono::steady_clock::time_point t0,
+                      server::Response* out);
+  server::Response aggregate(const server::Request& req);
+  server::Response error_response(const server::Request& req,
+                                  const std::string& what) const;
+
+  ProxyOptions opt_;
+  Membership membership_;
+  util::ThreadPool hedge_pool_;
+
+  util::Socket listener_;
+  std::string endpoint_;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> running_{false};
+  std::thread accept_thread_;
+
+  std::mutex conn_mu_;
+  std::vector<std::unique_ptr<Conn>> conns_;
+
+  std::mutex flight_mu_;
+  std::unordered_map<std::uint64_t, std::shared_ptr<Flight>> flights_;
+
+  // Posted-but-unfinished hedge tasks; stop() waits for zero so an
+  // abandoned attempt can never outlive the proxy it captures.
+  std::mutex drain_mu_;
+  std::condition_variable drain_cv_;
+  int tasks_live_ = 0;
+};
+
+/// Sums `from` into `into`: counters add; latency percentiles take the
+/// per-shard maximum (an upper bound — order statistics do not merge).
+void merge_stats(server::StatsBody& into, const server::StatsBody& from);
+
+/// Merges Prometheus text expositions: samples with the same series
+/// key are summed, HELP/TYPE comments are kept from their first
+/// appearance, family order follows first appearance.  Input order is
+/// (section label, exposition text); labels are only used in error
+/// logging.
+std::string merge_prometheus(
+    const std::vector<std::pair<std::string, std::string>>& sections);
+
+}  // namespace vppb::cluster

@@ -1,0 +1,81 @@
+#include "cluster/ring.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace vppb::cluster {
+namespace {
+
+/// splitmix64: scrambles (shard_id, vnode index) into a ring point.
+/// The low bits of small sequential ids are far too regular to place
+/// points with; this finalizer passes avalanche tests, which is all a
+/// ring position needs.
+std::uint64_t mix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t point_hash(std::uint64_t shard_id, int vnode) {
+  return mix(mix(shard_id) ^ static_cast<std::uint64_t>(vnode));
+}
+
+}  // namespace
+
+Ring::Ring(int vnodes) : vnodes_(std::max(1, vnodes)) {}
+
+void Ring::add(std::uint64_t shard_id) {
+  if (contains(shard_id)) return;
+  for (int v = 0; v < vnodes_; ++v) {
+    // On the (astronomically unlikely) collision of two shards' points,
+    // first writer keeps the point; the loser just has one fewer vnode.
+    points_.emplace(point_hash(shard_id, v), shard_id);
+  }
+  shards_.push_back(shard_id);
+}
+
+void Ring::remove(std::uint64_t shard_id) {
+  if (!contains(shard_id)) return;
+  for (auto it = points_.begin(); it != points_.end();) {
+    if (it->second == shard_id) {
+      it = points_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  shards_.erase(std::remove(shards_.begin(), shards_.end(), shard_id),
+                shards_.end());
+}
+
+bool Ring::contains(std::uint64_t shard_id) const {
+  return std::find(shards_.begin(), shards_.end(), shard_id) !=
+         shards_.end();
+}
+
+std::uint64_t Ring::owner(std::uint64_t key) const {
+  if (points_.empty()) throw Error("consistent-hash ring is empty");
+  auto it = points_.lower_bound(mix(key));
+  if (it == points_.end()) it = points_.begin();  // wrap
+  return it->second;
+}
+
+std::vector<std::uint64_t> Ring::owners(std::uint64_t key,
+                                        std::size_t n) const {
+  std::vector<std::uint64_t> out;
+  if (points_.empty() || n == 0) return out;
+  n = std::min(n, shards_.size());
+  auto it = points_.lower_bound(mix(key));
+  // Walk clockwise collecting distinct shards; one full lap visits
+  // every shard, so the loop is bounded by points_.size().
+  for (std::size_t seen = 0; seen < points_.size() && out.size() < n;
+       ++seen, ++it) {
+    if (it == points_.end()) it = points_.begin();
+    if (std::find(out.begin(), out.end(), it->second) == out.end())
+      out.push_back(it->second);
+  }
+  return out;
+}
+
+}  // namespace vppb::cluster

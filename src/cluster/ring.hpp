@@ -1,0 +1,57 @@
+// Consistent-hash ring for the vppb proxy routing tier.
+//
+// Each shard occupies `vnodes` pseudo-random points on a 64-bit ring;
+// a key is owned by the first shard point clockwise from the key's
+// hash.  Virtual nodes smooth the load split (with one point per shard
+// the largest arc is unboundedly lucky; with 64 the per-shard share of
+// a uniform key population concentrates near 1/N), and they bound
+// remapping: removing a shard moves only the keys that shard owned —
+// every other key keeps its owner, which is what preserves the other
+// shards' warm caches across a failover.
+//
+// Keys are the same FNV-1a content digests the TraceCache keys by
+// (server::content_key), so "which shard serves this trace" and "which
+// cache slot holds it" agree by construction.
+//
+// The ring itself is a passive value type — no locking, no membership
+// policy.  cluster::Membership owns one and mutates it under its own
+// lock as shards are ejected and re-probed.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+namespace vppb::cluster {
+
+class Ring {
+ public:
+  /// `vnodes` points per shard; clamped to >= 1.
+  explicit Ring(int vnodes = 64);
+
+  /// Adds a shard's points.  Adding a present shard is a no-op.
+  void add(std::uint64_t shard_id);
+
+  /// Removes a shard's points.  Removing an absent shard is a no-op.
+  void remove(std::uint64_t shard_id);
+
+  bool contains(std::uint64_t shard_id) const;
+  std::size_t shard_count() const { return shards_.size(); }
+  bool empty() const { return points_.empty(); }
+
+  /// The shard owning `key`: first point clockwise from hash(key).
+  /// Throws vppb::Error on an empty ring.
+  std::uint64_t owner(std::uint64_t key) const;
+
+  /// Up to `n` distinct shards in ring order starting at the owner —
+  /// the owner first, then the natural failover/hedging successors.
+  /// Shorter than `n` when fewer shards are on the ring.
+  std::vector<std::uint64_t> owners(std::uint64_t key, std::size_t n) const;
+
+ private:
+  int vnodes_;
+  std::map<std::uint64_t, std::uint64_t> points_;  ///< ring point -> shard
+  std::vector<std::uint64_t> shards_;              ///< present shard ids
+};
+
+}  // namespace vppb::cluster

@@ -89,6 +89,59 @@ ReqType req_type(std::uint64_t v) {
   return static_cast<ReqType>(v);
 }
 
+// ---- StatsBody (shared by the top-level response and each per-shard
+// entry of an aggregated cluster response) -----------------------------------
+
+void put_stats(std::vector<std::uint8_t>& out, const StatsBody& s) {
+  put_u64(out, s.requests);
+  for (std::uint64_t n : s.by_type) put_u64(out, n);
+  put_u64(out, s.errors);
+  put_u64(out, s.overloads);
+  put_u64(out, s.deadlines);
+  put_u64(out, s.cache_hits);
+  put_u64(out, s.cache_misses);
+  put_u64(out, s.cache_evictions);
+  put_u64(out, s.cache_waits);
+  put_u64(out, s.cache_entries);
+  put_u64(out, s.cache_bytes);
+  put_u64(out, s.latency_count);
+  put_double(out, s.p50_us);
+  put_double(out, s.p90_us);
+  put_double(out, s.p99_us);
+  put_double(out, s.max_us);
+  put_u64(out, s.budget_kills);
+  put_u64(out, s.poisoned);
+  put_u64(out, s.poison_strikes);
+  put_u64(out, s.quarantined);
+  put_u64(out, s.watchdog_cancels);
+  put_u64(out, s.watchdog_replacements);
+}
+
+void get_stats(Reader& in, StatsBody& s) {
+  s.requests = in.u64();
+  for (std::uint64_t& n : s.by_type) n = in.u64();
+  s.errors = in.u64();
+  s.overloads = in.u64();
+  s.deadlines = in.u64();
+  s.cache_hits = in.u64();
+  s.cache_misses = in.u64();
+  s.cache_evictions = in.u64();
+  s.cache_waits = in.u64();
+  s.cache_entries = in.u64();
+  s.cache_bytes = in.u64();
+  s.latency_count = in.u64();
+  s.p50_us = in.dbl();
+  s.p90_us = in.dbl();
+  s.p99_us = in.dbl();
+  s.max_us = in.dbl();
+  s.budget_kills = in.u64();
+  s.poisoned = in.u64();
+  s.poison_strikes = in.u64();
+  s.quarantined = in.u64();
+  s.watchdog_cancels = in.u64();
+  s.watchdog_replacements = in.u64();
+}
+
 void check_version(Reader& in) {
   const std::uint64_t version = in.u64();
   VPPB_CHECK_MSG(version == kProtocolVersion,
@@ -180,32 +233,20 @@ std::vector<std::uint8_t> encode(const Response& resp) {
   put_u64(out, resp.events);
   put_str(out, resp.svg);
   put_str(out, resp.report);
-  const StatsBody& s = resp.stats;
-  put_u64(out, s.requests);
-  for (std::uint64_t n : s.by_type) put_u64(out, n);
-  put_u64(out, s.errors);
-  put_u64(out, s.overloads);
-  put_u64(out, s.deadlines);
-  put_u64(out, s.cache_hits);
-  put_u64(out, s.cache_misses);
-  put_u64(out, s.cache_evictions);
-  put_u64(out, s.cache_waits);
-  put_u64(out, s.cache_entries);
-  put_u64(out, s.cache_bytes);
-  put_u64(out, s.latency_count);
-  put_double(out, s.p50_us);
-  put_double(out, s.p90_us);
-  put_double(out, s.p99_us);
-  put_double(out, s.max_us);
-  put_u64(out, s.budget_kills);
-  put_u64(out, s.poisoned);
-  put_u64(out, s.poison_strikes);
-  put_u64(out, s.quarantined);
-  put_u64(out, s.watchdog_cancels);
-  put_u64(out, s.watchdog_replacements);
+  put_stats(out, resp.stats);
   put_u64(out, resp.ready ? 1 : 0);
   put_u64(out, resp.in_flight);
   put_u64(out, resp.admission_limit);
+  put_u64(out, resp.shard_id);
+  put_u64(out, resp.epoch);
+  put_u64(out, resp.shards.size());
+  for (const ShardInfo& sh : resp.shards) {
+    put_u64(out, sh.shard_id);
+    put_u64(out, sh.epoch);
+    put_u64(out, sh.healthy ? 1 : 0);
+    put_str(out, sh.endpoint);
+    put_stats(out, sh.stats);
+  }
   return out;
 }
 
@@ -240,32 +281,22 @@ Response decode_response(const std::uint8_t* data, std::size_t size) {
   resp.events = in.u64();
   resp.svg = in.str();
   resp.report = in.str();
-  StatsBody& s = resp.stats;
-  s.requests = in.u64();
-  for (std::uint64_t& n : s.by_type) n = in.u64();
-  s.errors = in.u64();
-  s.overloads = in.u64();
-  s.deadlines = in.u64();
-  s.cache_hits = in.u64();
-  s.cache_misses = in.u64();
-  s.cache_evictions = in.u64();
-  s.cache_waits = in.u64();
-  s.cache_entries = in.u64();
-  s.cache_bytes = in.u64();
-  s.latency_count = in.u64();
-  s.p50_us = in.dbl();
-  s.p90_us = in.dbl();
-  s.p99_us = in.dbl();
-  s.max_us = in.dbl();
-  s.budget_kills = in.u64();
-  s.poisoned = in.u64();
-  s.poison_strikes = in.u64();
-  s.quarantined = in.u64();
-  s.watchdog_cancels = in.u64();
-  s.watchdog_replacements = in.u64();
+  get_stats(in, resp.stats);
   resp.ready = in.u64() != 0;
   resp.in_flight = in.u64();
   resp.admission_limit = in.u64();
+  resp.shard_id = in.u64();
+  resp.epoch = in.u64();
+  const std::uint64_t nshards = in.u64();
+  VPPB_CHECK_MSG(nshards <= 1024, "implausible shard count " << nshards);
+  resp.shards.resize(static_cast<std::size_t>(nshards));
+  for (ShardInfo& sh : resp.shards) {
+    sh.shard_id = in.u64();
+    sh.epoch = in.u64();
+    sh.healthy = in.u64() != 0;
+    sh.endpoint = in.str();
+    get_stats(in, sh.stats);
+  }
   VPPB_CHECK_MSG(in.at_end(), "trailing bytes in response frame");
   return resp;
 }

@@ -25,7 +25,7 @@
 
 namespace vppb::server {
 
-constexpr std::uint8_t kProtocolVersion = 4;  ///< v4: governance (client_id, budget/poison statuses)
+constexpr std::uint8_t kProtocolVersion = 5;  ///< v5: cluster (shard identity/epoch in health, per-shard aggregated stats)
 /// Upper bound on a frame payload (a full SVG render fits comfortably;
 /// a corrupt or hostile length prefix does not).
 constexpr std::size_t kMaxFrame = 64u << 20;
@@ -111,6 +111,18 @@ struct StatsBody {
   std::uint64_t watchdog_replacements = 0;  ///< wedged workers replaced
 };
 
+/// One backend's slice of an aggregated cluster response (protocol v5).
+/// The proxy fills one per configured shard for stats / health /
+/// metricsdump requests; a plain vppbd always answers with an empty
+/// shard list.
+struct ShardInfo {
+  std::uint64_t shard_id = 0;  ///< operator-assigned identity (0 = unset)
+  std::uint64_t epoch = 0;     ///< changes on every shard (re)start
+  bool healthy = false;        ///< in the routing ring right now
+  std::string endpoint;        ///< "path.sock" or "127.0.0.1:port"
+  StatsBody stats;             ///< this shard's own counters
+};
+
 struct Response {
   Status status = Status::kOk;
   ReqType type = ReqType::kPredict;  ///< echoes the request type
@@ -138,6 +150,13 @@ struct Response {
   bool ready = false;              ///< accepting and serving requests
   std::uint64_t in_flight = 0;     ///< admitted requests currently running
   std::uint64_t admission_limit = 0;
+
+  // cluster (protocol v5)
+  std::uint64_t shard_id = 0;  ///< identity of the answering shard (0 = unset)
+  std::uint64_t epoch = 0;     ///< start-time epoch of the answering process
+  /// Per-shard breakdown of an aggregated proxy response; empty from a
+  /// plain vppbd and for non-aggregating request types.
+  std::vector<ShardInfo> shards;
 };
 
 std::vector<std::uint8_t> encode(const Request& req);

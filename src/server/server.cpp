@@ -43,6 +43,12 @@ void Server::start() {
     listener_ = util::listen_tcp(port_);
     endpoint_ = strprintf("127.0.0.1:%u", port_);
   }
+  // Epoch: unique per process start.  Mixing the pid into the clock
+  // reading keeps two shards forked in the same tick distinguishable.
+  epoch_ = static_cast<std::uint64_t>(
+               std::chrono::steady_clock::now().time_since_epoch().count()) ^
+           (static_cast<std::uint64_t>(::getpid()) << 48);
+  if (epoch_ == 0) epoch_ = 1;
   running_.store(true);
   watchdog_stop_.store(false);
   if (opt_.watchdog_interval_ms > 0)
@@ -127,6 +133,11 @@ void Server::serve_connection(Conn* conn) {
         resp.error = e.what();
         metrics_.count_error();
       }
+      // Every response names its origin, not just the probe types: the
+      // routing tier attributes compute answers (failover, hedging) by
+      // the shard identity stamped here.
+      resp.shard_id = opt_.shard_id;
+      resp.epoch = epoch_;
       write_frame(conn->sock, encode(resp));
     }
   } catch (const Error& e) {
@@ -497,6 +508,8 @@ void Server::fill_cache_stats(StatsBody& out) {
 Response Server::stats_response() {
   Response resp;
   resp.type = ReqType::kStats;
+  resp.shard_id = opt_.shard_id;
+  resp.epoch = epoch_;
   metrics_.snapshot(resp.stats);  // includes this stats request itself
   fill_cache_stats(resp.stats);
   return resp;
@@ -505,6 +518,8 @@ Response Server::stats_response() {
 Response Server::health_response() {
   Response resp;
   resp.type = ReqType::kHealth;
+  resp.shard_id = opt_.shard_id;
+  resp.epoch = epoch_;
   resp.ready = running_.load();
   resp.in_flight = static_cast<std::uint64_t>(
       in_flight_.load(std::memory_order_acquire));
@@ -533,6 +548,8 @@ Response Server::metricsdump_response() {
 
   Response resp;
   resp.type = ReqType::kMetricsDump;
+  resp.shard_id = opt_.shard_id;
+  resp.epoch = epoch_;
   resp.report = reg.prometheus_text();
   metrics_.snapshot(resp.stats);  // keep the structured body populated too
   fill_cache_stats(resp.stats);

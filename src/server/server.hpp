@@ -110,6 +110,10 @@ struct ServerOptions {
   /// 0 disables the per-client check; the global admission_limit always
   /// applies.
   int per_client_limit = 0;
+
+  /// Shard identity reported in health/stats responses (protocol v5).
+  /// Assigned by the operator or the cluster launcher; 0 = standalone.
+  std::uint64_t shard_id = 0;
 };
 
 class Server {
@@ -130,6 +134,11 @@ class Server {
   /// Human-readable bound endpoint ("path.sock" or "127.0.0.1:port").
   const std::string& endpoint() const { return endpoint_; }
   std::uint16_t tcp_port() const { return port_; }
+
+  /// Start-time epoch: unique per process start, so a routing tier can
+  /// tell "the same shard restarted" (same id, new epoch — cold cache)
+  /// from a long-lived healthy backend.  0 before start().
+  std::uint64_t epoch() const { return epoch_; }
 
   TraceCache& cache() { return cache_; }
   Metrics& metrics() { return metrics_; }
@@ -189,6 +198,7 @@ class Server {
   util::Socket listener_;
   std::string endpoint_;
   std::uint16_t port_ = 0;
+  std::uint64_t epoch_ = 0;
   std::atomic<bool> running_{false};
   std::atomic<int> in_flight_{0};
   std::thread accept_thread_;

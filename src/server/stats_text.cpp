@@ -52,6 +52,24 @@ std::string render_stats_text(const StatsBody& s) {
   return out;
 }
 
+std::string render_cluster_stats_text(const Response& r) {
+  std::string out = render_stats_text(r.stats);
+  if (r.shards.empty()) return out;
+  out += "\nshards:\n";
+  TextTable table;
+  table.header({"shard", "epoch", "state", "endpoint", "requests", "errors",
+                "cache hits", "entries"});
+  for (const ShardInfo& sh : r.shards) {
+    table.row({u64str(sh.shard_id), strprintf("%08llx",
+                   static_cast<unsigned long long>(sh.epoch & 0xffffffffu)),
+               sh.healthy ? "up" : "down", sh.endpoint,
+               u64str(sh.stats.requests), u64str(sh.stats.errors),
+               u64str(sh.stats.cache_hits), u64str(sh.stats.cache_entries)});
+  }
+  out += table.render();
+  return out;
+}
+
 std::string render_health_text(const Response& r) {
   std::string out;
   out += strprintf("ready:           %s\n", r.ready ? "yes" : "no");

@@ -21,4 +21,11 @@ std::string render_stats_text(const StatsBody& s);
 /// a one-line summary of the failure counters.
 std::string render_health_text(const Response& r);
 
+/// The cluster-aware stats view: the merged counter table first (so
+/// `vppb stats --watch` reads unchanged against a proxy), then one row
+/// per shard with its identity, epoch, health, and headline counters.
+/// Falls back to render_stats_text when the response carries no shard
+/// breakdown (a plain vppbd).
+std::string render_cluster_stats_text(const Response& r);
+
 }  // namespace vppb::server

@@ -9,9 +9,8 @@
 #include "util/strings.hpp"
 
 namespace vppb::server {
-namespace {
 
-std::uint64_t fnv1a(const std::uint8_t* data, std::size_t n) {
+std::uint64_t content_key(const std::uint8_t* data, std::size_t n) {
   std::uint64_t h = 1469598103934665603ULL;
   for (std::size_t i = 0; i < n; ++i) {
     h ^= data[i];
@@ -19,6 +18,13 @@ std::uint64_t fnv1a(const std::uint8_t* data, std::size_t n) {
   }
   return h;
 }
+
+std::uint64_t content_key_of_file(const std::string& path) {
+  const std::vector<std::uint8_t> bytes = trace::read_file_bytes(path);
+  return content_key(bytes.data(), bytes.size());
+}
+
+namespace {
 
 /// Estimated in-memory footprint of a parsed + compiled trace.  The
 /// budget must charge this on top of the file bytes: a compact binary
@@ -96,7 +102,7 @@ std::shared_ptr<const TraceCache::Entry> TraceCache::get(
   // Reading and digesting the bytes is per-request work by design: it
   // is what notices a changed file.  Parsing and compiling are not.
   const std::vector<std::uint8_t> bytes = trace::read_file_bytes(path);
-  const std::uint64_t key = fnv1a(bytes.data(), bytes.size());
+  const std::uint64_t key = content_key(bytes.data(), bytes.size());
 
   std::unique_lock<std::mutex> lock(mu_);
   check_poisoned_locked(key);
@@ -189,7 +195,7 @@ void TraceCache::record_strike(const std::string& path) noexcept {
   std::uint64_t key = 0;
   try {
     const std::vector<std::uint8_t> bytes = trace::read_file_bytes(path);
-    key = fnv1a(bytes.data(), bytes.size());
+    key = content_key(bytes.data(), bytes.size());
   } catch (...) {
     return;  // unreadable content cannot recur, so nothing to quarantine
   }
@@ -216,7 +222,7 @@ void TraceCache::record_strike(const std::string& path) noexcept {
 void TraceCache::check_poisoned(const std::string& path) {
   if (poison_keys_.load(std::memory_order_acquire) == 0) return;
   const std::vector<std::uint8_t> bytes = trace::read_file_bytes(path);
-  const std::uint64_t key = fnv1a(bytes.data(), bytes.size());
+  const std::uint64_t key = content_key(bytes.data(), bytes.size());
   std::lock_guard<std::mutex> lock(mu_);
   check_poisoned_locked(key);
 }

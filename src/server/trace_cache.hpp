@@ -56,6 +56,16 @@ class Poisoned : public Error {
   explicit Poisoned(const std::string& what) : Error(what) {}
 };
 
+/// The FNV-1a content digest the cache keys by.  Exposed so the cluster
+/// routing tier hashes trace content with the *same* function: a trace's
+/// routing shard and its cache key agree by construction, which is what
+/// makes each shard's cache see a disjoint, stable slice of traces.
+std::uint64_t content_key(const std::uint8_t* data, std::size_t n);
+
+/// content_key over the raw bytes of the file at `path`.  Throws
+/// vppb::Error when the file cannot be read.
+std::uint64_t content_key_of_file(const std::string& path);
+
 class TraceCache {
  public:
   struct Entry {

@@ -192,6 +192,29 @@ int run(std::uint64_t seed, std::uint64_t iterations,
     req.deadline_ms = 100;
     seeds.push_back(server::encode(req));
   }
+  {
+    // Protocol v5 aggregated cluster response: shard identity/epoch
+    // plus a per-shard stats breakdown — the widest response layout,
+    // so mutants reach the shard-list decode loop and its bounds
+    // checks (implausible counts, truncated mid-shard strings).
+    server::Response resp;
+    resp.type = server::ReqType::kStats;
+    resp.shard_id = 1;
+    resp.epoch = 0x1122334455667788ULL;
+    resp.stats.requests = 7;
+    resp.stats.cache_hits = 3;
+    for (std::uint64_t id = 1; id <= 2; ++id) {
+      server::ShardInfo sh;
+      sh.shard_id = id;
+      sh.epoch = 0xabcd0000 + id;
+      sh.healthy = id == 1;
+      sh.endpoint = "cdir/shard.sock";
+      sh.stats.requests = id * 3;
+      sh.stats.p99_us = 1234.5;
+      resp.shards.push_back(sh);
+    }
+    seeds.push_back(server::encode(resp));
+  }
   // Self-check: undamaged seeds must load strictly, or every mutant
   // would be exercising nothing but the header check.
   trace::from_binary(seeds[0].data(), seeds[0].size());

@@ -1,0 +1,596 @@
+// Tests for the cluster tier: the consistent-hash ring (distribution +
+// minimal remapping), protocol v5 framing edges (shard identity/epoch,
+// aggregated stats bodies, hostile shard counts), proxy routing with
+// digest parity against the offline path, cross-tier single-flight
+// de-duplication, hedged retries, aggregation, and the shard-kill
+// failover test: a SIGKILLed backend must cost clients nothing but
+// latency — no transport errors, no typed errors, identical digests.
+//
+// Run with `ctest -L cluster`; the suite is also built under
+// -DVPPB_SANITIZE=thread in the sanitizer CI lane.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cluster/launcher.hpp"
+#include "cluster/membership.hpp"
+#include "cluster/proxy.hpp"
+#include "cluster/ring.hpp"
+#include "recorder/recorder.hpp"
+#include "server/client.hpp"
+#include "server/handlers.hpp"
+#include "server/protocol.hpp"
+#include "server/server.hpp"
+#include "server/stats_text.hpp"
+#include "server/trace_cache.hpp"
+#include "solaris/program.hpp"
+#include "trace/io.hpp"
+#include "util/error.hpp"
+#include "util/fault.hpp"
+#include "workloads/synthetic.hpp"
+
+#ifndef VPPB_EXE
+#define VPPB_EXE ""
+#endif
+
+namespace vppb::cluster {
+namespace {
+
+using server::Client;
+using server::ReqType;
+using server::Request;
+using server::Response;
+using server::Status;
+
+// ---- helpers ---------------------------------------------------------------
+
+/// A fresh path under the system temp dir; removed on destruction.
+class TempFile {
+ public:
+  explicit TempFile(const std::string& tag) {
+    static std::atomic<int> counter{0};
+    path_ = (std::filesystem::temp_directory_path() /
+             ("vppb_cluster_" + tag + "_" + std::to_string(::getpid()) +
+              "_" + std::to_string(counter.fetch_add(1))))
+                .string();
+  }
+  ~TempFile() { std::remove(path_.c_str()); }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+/// Records a fork-join trace whose content (and therefore content key
+/// and routing shard) varies with `threads` and `work`.
+void write_trace(const std::string& path, int threads, std::int64_t work_us) {
+  sol::Program program;
+  const trace::Trace t = rec::record_program(program, [&]() {
+    workloads::fork_join(threads, SimTime::micros(work_us));
+  });
+  trace::save_file(t, path);
+}
+
+Request predict_request(const std::string& path) {
+  Request req;
+  req.type = ReqType::kPredict;
+  req.trace_path = path;
+  req.max_cpus = 4;
+  return req;
+}
+
+/// The offline answer the cluster must agree with bit-for-bit: the
+/// same handler the shards run, against a private cache.
+Response offline_predict(const std::string& path) {
+  server::TraceCache cache(4, 256u << 20);
+  return server::handle_predict(predict_request(path), cache);
+}
+
+// ---- ring ------------------------------------------------------------------
+
+TEST(RingTest, SpreadsKeysAcrossShards) {
+  Ring ring(64);
+  for (std::uint64_t id = 1; id <= 4; ++id) ring.add(id);
+  std::map<std::uint64_t, int> per_shard;
+  for (std::uint64_t k = 0; k < 4000; ++k) ++per_shard[ring.owner(k * 7919)];
+  ASSERT_EQ(per_shard.size(), 4u);
+  for (const auto& [id, n] : per_shard) {
+    // With 64 vnodes the split concentrates near 1/4; accept a wide
+    // band so the test pins "no starved shard", not a distribution.
+    EXPECT_GT(n, 4000 / 10) << "shard " << id << " starved";
+  }
+}
+
+TEST(RingTest, RemovalOnlyMovesTheRemovedShardsKeys) {
+  Ring ring(64);
+  for (std::uint64_t id = 1; id <= 4; ++id) ring.add(id);
+  std::map<std::uint64_t, std::uint64_t> before;
+  for (std::uint64_t k = 0; k < 2000; ++k) before[k] = ring.owner(k * 7919);
+  ring.remove(2);
+  for (std::uint64_t k = 0; k < 2000; ++k) {
+    const std::uint64_t now = ring.owner(k * 7919);
+    if (before[k] != 2) {
+      EXPECT_EQ(now, before[k]) << "key " << k
+                                << " moved although its owner survived";
+    } else {
+      EXPECT_NE(now, 2u);
+    }
+  }
+}
+
+TEST(RingTest, OwnersAreDistinctAndStartAtOwner) {
+  Ring ring(32);
+  for (std::uint64_t id = 1; id <= 3; ++id) ring.add(id);
+  for (std::uint64_t k = 0; k < 50; ++k) {
+    const auto owners = ring.owners(k * 104729, 3);
+    ASSERT_EQ(owners.size(), 3u);
+    EXPECT_EQ(owners[0], ring.owner(k * 104729));
+    EXPECT_EQ(std::set<std::uint64_t>(owners.begin(), owners.end()).size(),
+              3u);
+  }
+}
+
+TEST(RingTest, EmptyRingThrowsTyped) {
+  Ring ring(8);
+  EXPECT_THROW(ring.owner(1), Error);
+  ring.add(9);
+  ring.remove(9);
+  EXPECT_THROW(ring.owner(1), Error);
+}
+
+// ---- endpoints -------------------------------------------------------------
+
+TEST(EndpointTest, ParseVariants) {
+  EXPECT_EQ(ShardEndpoint::parse(1, "a/b.sock").unix_path, "a/b.sock");
+  EXPECT_EQ(ShardEndpoint::parse(1, "7070").tcp_port, 7070);
+  EXPECT_EQ(ShardEndpoint::parse(1, ":7070").tcp_port, 7070);
+  EXPECT_EQ(ShardEndpoint::parse(1, "127.0.0.1:7071").tcp_port, 7071);
+  EXPECT_EQ(ShardEndpoint::parse(1, "localhost:7072").tcp_port, 7072);
+  EXPECT_THROW(ShardEndpoint::parse(1, "10.0.0.1:7070"), Error);
+  EXPECT_THROW(ShardEndpoint::parse(1, "127.0.0.1:0"), Error);
+  EXPECT_THROW(ShardEndpoint::parse(1, "127.0.0.1:99999"), Error);
+  EXPECT_THROW(ShardEndpoint::parse(1, ""), Error);
+}
+
+// ---- protocol v5 framing ---------------------------------------------------
+
+TEST(ProtocolV5Test, ClusterResponseRoundTrip) {
+  Response resp;
+  resp.status = Status::kOk;
+  resp.type = ReqType::kStats;
+  resp.shard_id = 7;
+  resp.epoch = 0x1122334455667788ULL;
+  resp.stats.requests = 11;
+  for (std::uint64_t id = 1; id <= 3; ++id) {
+    server::ShardInfo sh;
+    sh.shard_id = id;
+    sh.epoch = 0xabc0 + id;
+    sh.healthy = id != 2;
+    sh.endpoint = id == 1 ? "cdir/shard0.sock" : "127.0.0.1:9000";
+    sh.stats.requests = id * 5;
+    sh.stats.cache_hits = id;
+    sh.stats.p99_us = 123.5 * static_cast<double>(id);
+    sh.stats.watchdog_cancels = id;
+    resp.shards.push_back(sh);
+  }
+  const Response back = server::decode_response(server::encode(resp));
+  EXPECT_EQ(back.shard_id, resp.shard_id);
+  EXPECT_EQ(back.epoch, resp.epoch);
+  ASSERT_EQ(back.shards.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(back.shards[i].shard_id, resp.shards[i].shard_id);
+    EXPECT_EQ(back.shards[i].epoch, resp.shards[i].epoch);
+    EXPECT_EQ(back.shards[i].healthy, resp.shards[i].healthy);
+    EXPECT_EQ(back.shards[i].endpoint, resp.shards[i].endpoint);
+    EXPECT_EQ(back.shards[i].stats.requests, resp.shards[i].stats.requests);
+    EXPECT_EQ(back.shards[i].stats.p99_us, resp.shards[i].stats.p99_us);
+    EXPECT_EQ(back.shards[i].stats.watchdog_cancels,
+              resp.shards[i].stats.watchdog_cancels);
+  }
+}
+
+TEST(ProtocolV5Test, EveryTruncationRejectedCleanly) {
+  Response resp;
+  resp.type = ReqType::kStats;
+  resp.shard_id = 1;
+  server::ShardInfo sh;
+  sh.shard_id = 2;
+  sh.endpoint = "cdir/shard1.sock";
+  sh.stats.requests = 9;
+  resp.shards.push_back(sh);
+  const std::vector<std::uint8_t> full = server::encode(resp);
+  for (std::size_t cut = 0; cut < full.size(); ++cut) {
+    const std::vector<std::uint8_t> prefix(full.begin(),
+                                           full.begin() + cut);
+    EXPECT_THROW((void)server::decode_response(prefix), Error)
+        << "prefix of " << cut << " bytes decoded";
+  }
+  EXPECT_NO_THROW((void)server::decode_response(full));
+}
+
+TEST(ProtocolV5Test, ImplausibleShardCountRejected) {
+  Response resp;
+  resp.type = ReqType::kStats;
+  // With no shards, the count varint is the final payload byte; patch
+  // it to a hostile count and the decoder must refuse to allocate.
+  std::vector<std::uint8_t> bytes = server::encode(resp);
+  ASSERT_EQ(bytes.back(), 0u);
+  bytes.pop_back();
+  bytes.push_back(0x88);  // LEB128(5000)
+  bytes.push_back(0x27);
+  try {
+    (void)server::decode_response(bytes);
+    FAIL() << "hostile shard count decoded";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("shard count"), std::string::npos);
+  }
+}
+
+TEST(StatsTextTest, ClusterRenderAddsShardTable) {
+  Response resp;
+  resp.type = ReqType::kStats;
+  resp.stats.requests = 10;
+  server::ShardInfo up;
+  up.shard_id = 1;
+  up.healthy = true;
+  up.endpoint = "cdir/shard0.sock";
+  up.stats.requests = 6;
+  server::ShardInfo down;
+  down.shard_id = 2;
+  down.endpoint = "cdir/shard1.sock";
+  resp.shards = {up, down};
+  const std::string text = server::render_cluster_stats_text(resp);
+  EXPECT_NE(text.find("shards:"), std::string::npos);
+  EXPECT_NE(text.find("up"), std::string::npos);
+  EXPECT_NE(text.find("down"), std::string::npos);
+  EXPECT_NE(text.find("cdir/shard1.sock"), std::string::npos);
+  // A plain vppbd response renders exactly as before.
+  resp.shards.clear();
+  EXPECT_EQ(server::render_cluster_stats_text(resp),
+            server::render_stats_text(resp.stats));
+}
+
+// ---- merge helpers ---------------------------------------------------------
+
+TEST(MergeTest, StatsCountersSumAndPercentilesUpperBound) {
+  server::StatsBody a, b;
+  a.requests = 3;
+  a.cache_hits = 2;
+  a.p99_us = 100.0;
+  a.latency_count = 3;
+  b.requests = 5;
+  b.cache_hits = 1;
+  b.p99_us = 900.0;
+  b.latency_count = 5;
+  server::StatsBody merged;
+  merge_stats(merged, a);
+  merge_stats(merged, b);
+  EXPECT_EQ(merged.requests, 8u);
+  EXPECT_EQ(merged.cache_hits, 3u);
+  EXPECT_EQ(merged.latency_count, 8u);
+  EXPECT_DOUBLE_EQ(merged.p99_us, 900.0);
+}
+
+TEST(MergeTest, PrometheusSamplesSumAcrossSections) {
+  const std::string a =
+      "# HELP vppb_cache_hits_total Trace-cache lookups\n"
+      "# TYPE vppb_cache_hits_total counter\n"
+      "vppb_cache_hits_total 3\n"
+      "vppb_reqs{type=\"predict\"} 2\n";
+  const std::string b =
+      "# HELP vppb_cache_hits_total Trace-cache lookups\n"
+      "# TYPE vppb_cache_hits_total counter\n"
+      "vppb_cache_hits_total 4\n"
+      "vppb_reqs{type=\"predict\"} 5\n"
+      "vppb_reqs{type=\"stats\"} 1\n";
+  const std::string merged = merge_prometheus({{"s0", a}, {"s1", b}});
+  EXPECT_NE(merged.find("vppb_cache_hits_total 7"), std::string::npos);
+  EXPECT_NE(merged.find("vppb_reqs{type=\"predict\"} 7"), std::string::npos);
+  EXPECT_NE(merged.find("vppb_reqs{type=\"stats\"} 1"), std::string::npos);
+  // HELP appears once, not once per section.
+  const std::size_t first = merged.find("# HELP vppb_cache_hits_total");
+  ASSERT_NE(first, std::string::npos);
+  EXPECT_EQ(merged.find("# HELP vppb_cache_hits_total", first + 1),
+            std::string::npos);
+}
+
+// ---- proxy over in-process shards ------------------------------------------
+
+/// Two in-process vppbd shards plus a proxy, all on temp unix sockets.
+struct TwoShardRig {
+  TempFile sock_a{"shard_a"}, sock_b{"shard_b"}, sock_p{"proxy"};
+  std::unique_ptr<server::Server> shard_a, shard_b;
+  std::unique_ptr<Proxy> proxy;
+
+  explicit TwoShardRig(std::int64_t hedge_ms = 0,
+                       util::FaultPlan* faults_a = nullptr) {
+    server::ServerOptions sa;
+    sa.unix_path = sock_a.path();
+    sa.jobs = 2;
+    sa.shard_id = 1;
+    static util::FaultPlan inert;
+    sa.faults = faults_a ? faults_a : &inert;
+    server::ServerOptions sb = sa;
+    sb.unix_path = sock_b.path();
+    sb.shard_id = 2;
+    sb.faults = &inert;
+    shard_a = std::make_unique<server::Server>(sa);
+    shard_b = std::make_unique<server::Server>(sb);
+    shard_a->start();
+    shard_b->start();
+
+    ProxyOptions popt;
+    popt.unix_path = sock_p.path();
+    popt.hedge_ms = hedge_ms;
+    popt.shards.push_back(ShardEndpoint::parse(1, sock_a.path()));
+    popt.shards.push_back(ShardEndpoint::parse(2, sock_b.path()));
+    proxy = std::make_unique<Proxy>(popt);
+    proxy->start();
+  }
+
+  ~TwoShardRig() {
+    proxy->stop();
+    shard_a->stop();
+    shard_b->stop();
+  }
+
+  Client connect() { return Client::connect_unix(sock_p.path()); }
+};
+
+TEST(ProxyTest, RoutesByContentAndMatchesOfflineDigests) {
+  TwoShardRig rig;
+  Client client = rig.connect();
+  std::set<std::uint64_t> shards_seen;
+  for (int i = 0; i < 8; ++i) {
+    TempFile trace("route");
+    write_trace(trace.path(), 2 + i % 3, 200 + 40 * i);
+    const Response via_proxy = client.call(predict_request(trace.path()));
+    ASSERT_EQ(via_proxy.status, Status::kOk) << via_proxy.error;
+    shards_seen.insert(via_proxy.shard_id);
+    const Response offline = offline_predict(trace.path());
+    EXPECT_EQ(via_proxy.digest, offline.digest)
+        << "proxy answer differs from the offline CLI for trace " << i;
+    ASSERT_EQ(via_proxy.points.size(), offline.points.size());
+    for (std::size_t p = 0; p < offline.points.size(); ++p)
+      EXPECT_EQ(via_proxy.points[p].digest, offline.points[p].digest);
+    // Routing agreement: the shard that answered is the ring owner of
+    // the trace's content key.
+    const std::uint64_t key = server::content_key_of_file(trace.path());
+    const auto route = rig.proxy->membership().route(key, 1);
+    ASSERT_EQ(route.size(), 1u);
+    EXPECT_EQ(rig.proxy->membership().endpoint(route[0]).id,
+              via_proxy.shard_id);
+  }
+  // 8 distinct contents virtually never all land on one of two shards;
+  // if they did, the routing tier would not be spreading load at all.
+  EXPECT_EQ(shards_seen.size(), 2u);
+}
+
+TEST(ProxyTest, AggregatesStatsAcrossShards) {
+  TwoShardRig rig;
+  Client client = rig.connect();
+  TempFile trace("agg");
+  write_trace(trace.path(), 3, 300);
+  ASSERT_EQ(client.call(predict_request(trace.path())).status, Status::kOk);
+
+  Request stats;
+  stats.type = ReqType::kStats;
+  const Response r = client.call(stats);
+  ASSERT_EQ(r.status, Status::kOk);
+  ASSERT_EQ(r.shards.size(), 2u);
+  EXPECT_TRUE(r.shards[0].healthy);
+  EXPECT_TRUE(r.shards[1].healthy);
+  EXPECT_NE(r.shards[0].epoch, r.shards[1].epoch);
+  EXPECT_EQ(r.stats.requests,
+            r.shards[0].stats.requests + r.shards[1].stats.requests);
+  EXPECT_GE(r.stats.by_type[static_cast<int>(ReqType::kPredict)], 1u);
+
+  Request health;
+  health.type = ReqType::kHealth;
+  const Response h = client.call(health);
+  ASSERT_EQ(h.status, Status::kOk);
+  EXPECT_TRUE(h.ready);
+  EXPECT_GT(h.admission_limit, 0u);
+
+  Request dump;
+  dump.type = ReqType::kMetricsDump;
+  const Response d = client.call(dump);
+  ASSERT_EQ(d.status, Status::kOk);
+  EXPECT_NE(d.report.find("vppb_proxy_requests_total"), std::string::npos);
+  EXPECT_NE(d.report.find("vppb_cache_hits_total"), std::string::npos);
+}
+
+TEST(ProxyTest, SingleFlightCollapsesIdenticalRequests) {
+  // One deliberately slow shard (cooperative 400 ms stall per request)
+  // behind the proxy: a leader plus three identical followers must
+  // reach the shard as ONE request.
+  util::FaultPlan slow = util::FaultPlan::parse("delay-ms:1:0:400");
+  TempFile sock_s{"sf_shard"}, sock_p{"sf_proxy"};
+  server::ServerOptions so;
+  so.unix_path = sock_s.path();
+  so.jobs = 2;
+  so.shard_id = 1;
+  so.faults = &slow;
+  server::Server shard(so);
+  shard.start();
+  ProxyOptions popt;
+  popt.unix_path = sock_p.path();
+  popt.shards.push_back(ShardEndpoint::parse(1, sock_s.path()));
+  Proxy proxy(popt);
+  proxy.start();
+
+  TempFile trace("sf");
+  write_trace(trace.path(), 3, 250);
+  const Request req = predict_request(trace.path());
+
+  std::vector<std::thread> callers;
+  std::vector<Response> responses(4);
+  for (int i = 0; i < 4; ++i) {
+    callers.emplace_back([&, i]() {
+      Client c = Client::connect_unix(sock_p.path());
+      responses[static_cast<std::size_t>(i)] = c.call(req);
+    });
+    // The leader must be in flight before the followers arrive for
+    // them to dedup against it; the shard stalls 400 ms, so 80 ms of
+    // stagger leaves a wide margin.
+    std::this_thread::sleep_for(std::chrono::milliseconds(80));
+  }
+  for (auto& t : callers) t.join();
+  for (const Response& r : responses) {
+    ASSERT_EQ(r.status, Status::kOk) << r.error;
+    EXPECT_EQ(r.digest, responses[0].digest);
+  }
+
+  Client c = Client::connect_unix(sock_p.path());
+  Request stats;
+  stats.type = ReqType::kStats;
+  const Response r = c.call(stats);
+  ASSERT_EQ(r.shards.size(), 1u);
+  EXPECT_EQ(r.shards[0].stats.by_type[static_cast<int>(ReqType::kPredict)],
+            1u)
+      << "identical concurrent requests were not collapsed";
+  proxy.stop();
+  shard.stop();
+}
+
+TEST(ProxyTest, HedgeAnswersFromSuccessorWhenPrimaryStalls) {
+  // Shard 1 stalls every compute request 1500 ms; the proxy hedges
+  // after 50 ms.  A request routed to shard 1 must come back from
+  // shard 2 well before the primary would have answered.
+  util::FaultPlan slow = util::FaultPlan::parse("delay-ms:1:0:1500");
+  TwoShardRig rig(/*hedge_ms=*/50, &slow);
+  Client client = rig.connect();
+
+  // Find a trace whose ring owner is the slow shard.
+  std::unique_ptr<TempFile> trace;
+  for (int i = 0; i < 24; ++i) {
+    auto t = std::make_unique<TempFile>("hedge");
+    write_trace(t->path(), 2 + i % 4, 150 + 37 * i);
+    const std::uint64_t key = server::content_key_of_file(t->path());
+    const auto route = rig.proxy->membership().route(key, 1);
+    ASSERT_FALSE(route.empty());
+    if (rig.proxy->membership().endpoint(route[0]).id == 1) {
+      trace = std::move(t);
+      break;
+    }
+  }
+  ASSERT_TRUE(trace) << "no trace routed to shard 1 in 24 tries";
+
+  const auto t0 = std::chrono::steady_clock::now();
+  const Response r = client.call(predict_request(trace->path()));
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+                           std::chrono::steady_clock::now() - t0)
+                           .count();
+  ASSERT_EQ(r.status, Status::kOk) << r.error;
+  EXPECT_EQ(r.shard_id, 2u) << "answer did not come from the hedge";
+  EXPECT_LT(elapsed, 1500) << "hedge did not beat the stalled primary";
+  EXPECT_EQ(r.digest, offline_predict(trace->path()).digest);
+}
+
+// ---- shard-kill failover against real processes ----------------------------
+
+TEST(ClusterFailoverTest, ShardKillIsInvisibleToClients) {
+  ASSERT_STRNE(VPPB_EXE, "") << "VPPB_EXE not compiled in";
+  TempFile dir_guard("cluster_dir");
+  ClusterOptions copt;
+  copt.exe = VPPB_EXE;
+  copt.dir = dir_guard.path();
+  copt.shards = 2;
+  copt.jobs = 1;
+  LocalCluster shards(copt);
+  shards.start();
+
+  TempFile sock_p{"failover_proxy"};
+  ProxyOptions popt;
+  popt.unix_path = sock_p.path();
+  popt.shards = shards.shards();
+  Proxy proxy(popt);
+  proxy.start();
+  ASSERT_EQ(proxy.membership().up_count(), 2u);
+
+  // Traces for both shards, with their expected digests, so the kill
+  // provably re-routes *some* of them.
+  struct Case {
+    std::unique_ptr<TempFile> file;
+    std::uint64_t digest = 0;
+    std::uint64_t shard = 0;
+  };
+  std::vector<Case> cases;
+  Client client = Client::connect_unix(sock_p.path());
+  std::set<std::uint64_t> shards_seen;
+  for (int i = 0; i < 8; ++i) {
+    Case c;
+    c.file = std::make_unique<TempFile>("failover");
+    write_trace(c.file->path(), 2 + i % 3, 180 + 29 * i);
+    const Response r = client.call(predict_request(c.file->path()));
+    ASSERT_EQ(r.status, Status::kOk) << r.error;
+    c.digest = r.digest;
+    c.shard = r.shard_id;
+    shards_seen.insert(r.shard_id);
+    cases.push_back(std::move(c));
+  }
+  ASSERT_EQ(shards_seen.size(), 2u);
+  const std::uint64_t old_epoch_1 = proxy.membership().snapshot()[0].epoch;
+
+  // SIGKILL shard 1: no drain, no goodbye — in-flight state is gone.
+  shards.kill_shard(0);
+
+  // Every request — including those routed to the corpse — must come
+  // back kOk with the same digest, through the surviving shard.  The
+  // first request to the dead shard pays the ejection; none may see a
+  // transport or typed error.
+  for (const Case& c : cases) {
+    Response r;
+    ASSERT_NO_THROW(r = client.call(predict_request(c.file->path())))
+        << "transport error leaked to a client during failover";
+    ASSERT_EQ(r.status, Status::kOk) << r.error;
+    EXPECT_EQ(r.digest, c.digest);
+    EXPECT_EQ(r.shard_id, 2u) << "answer from a dead shard?";
+  }
+  EXPECT_EQ(proxy.membership().up_count(), 1u);
+
+  // Aggregated health keeps answering, with the corpse marked down.
+  Request health;
+  health.type = ReqType::kHealth;
+  const Response h = client.call(health);
+  ASSERT_EQ(h.status, Status::kOk);
+  EXPECT_TRUE(h.ready);
+  ASSERT_EQ(h.shards.size(), 2u);
+  EXPECT_FALSE(h.shards[0].healthy);
+  EXPECT_TRUE(h.shards[1].healthy);
+
+  // Restart: the prober must fold the shard back in (with a new epoch)
+  // without anyone telling the proxy.
+  shards.restart_shard(0);
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (proxy.membership().up_count() < 2 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  ASSERT_EQ(proxy.membership().up_count(), 2u) << "re-probe never recovered";
+  EXPECT_NE(proxy.membership().snapshot()[0].epoch, old_epoch_1)
+      << "a restarted shard must present a fresh epoch";
+
+  // And the revived shard serves its arc again, digest-identical.
+  for (const Case& c : cases) {
+    const Response r = client.call(predict_request(c.file->path()));
+    ASSERT_EQ(r.status, Status::kOk) << r.error;
+    EXPECT_EQ(r.digest, c.digest);
+    EXPECT_EQ(r.shard_id, c.shard);
+  }
+
+  proxy.stop();
+  shards.stop();
+}
+
+}  // namespace
+}  // namespace vppb::cluster

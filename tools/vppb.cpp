@@ -9,7 +9,9 @@
 //   vppb validate <workload> Table-1-style row: real vs predicted
 //   vppb convert <in> <out>  text <-> binary trace conversion
 //   vppb serve               run the resident prediction daemon (vppbd)
-//   vppb request <type> ...  query a running daemon
+//   vppb proxy               consistent-hash routing tier over N shards
+//   vppb cluster             fork N shards + proxy in one command
+//   vppb request <type> ...  query a running daemon (or proxy)
 //
 // Trace files are sniffed: both the text and the binary format load.
 #include <algorithm>
@@ -20,8 +22,12 @@
 #include <filesystem>
 #include <fstream>
 #include <limits>
+#include <optional>
 #include <thread>
 
+#include "cluster/launcher.hpp"
+#include "cluster/membership.hpp"
+#include "cluster/proxy.hpp"
 #include "core/engine.hpp"
 #include "core/sweep.hpp"
 #include "machine/validate.hpp"
@@ -79,9 +85,17 @@ int usage() {
       "  convert <in> <out>   (binary iff <out> ends in .bin)\n"
       "  serve [--socket PATH | --port N] [--jobs N] [--admission N]\n"
       "        [--cache-entries N] [--cache-mb N] [--per-client N]\n"
+      "        [--shard-id N]   (identity reported in health/stats)\n"
       "        budgets as above, plus the watchdog/quarantine knobs:\n"
       "        [--watchdog-ms N] [--escalate-ms N] [--poison-strikes N]\n"
       "        [--quarantine-ms N]\n"
+      "  proxy --shards EP[,EP...] [--socket PATH | --port N]\n"
+      "        [--hedge-ms N] [--vnodes N] [--forward-timeout-ms N]\n"
+      "        consistent-hash routing tier; each EP is a unix socket\n"
+      "        path or a loopback port; exit 1 on bad config\n"
+      "  cluster [--shards N] [--dir D] [--socket PATH | --port N]\n"
+      "          [--jobs N] [--cache-entries N] [--hedge-ms N]\n"
+      "          fork N vppbd shards under D + serve a proxy over them\n"
       "  request <predict|simulate|analyze|stats|health|metricsdump>\n"
       "          [trace] [--socket PATH | --port N] [--deadline-ms N]\n"
       "          [--timeout-ms N] [--retries N] [--client-id N] + the\n"
@@ -413,6 +427,7 @@ int cmd_serve(Flags& flags) {
   opt.poison_strikes = static_cast<int>(flags.i64("poison-strikes"));
   opt.quarantine_ms = flags.i64("quarantine-ms");
   opt.per_client_limit = static_cast<int>(flags.i64("per-client"));
+  opt.shard_id = static_cast<std::uint64_t>(flags.i64("shard-id"));
 
   // Block the shutdown signals before any thread exists, so every
   // server/pool thread inherits the mask and only sigwait sees them.
@@ -442,6 +457,92 @@ int cmd_serve(Flags& flags) {
   srv.stop();
   std::printf("vppbd: drained, bye\n");
   return 0;
+}
+
+/// Shared by `vppb proxy` and `vppb cluster`: run an already-started
+/// proxy until SIGINT/SIGTERM, then drain.  The signal mask must be
+/// blocked by the caller *before* the proxy's threads exist.
+int run_proxy_until_signal(cluster::Proxy& proxy, sigset_t* set) {
+  std::printf("vppb proxy: routing on %s across %zu shards (%zu up)\n",
+              proxy.endpoint().c_str(), proxy.membership().shard_count(),
+              proxy.membership().up_count());
+  std::fflush(stdout);
+  int sig = 0;
+  sigwait(set, &sig);
+  std::printf("vppb proxy: caught %s, draining...\n",
+              sig == SIGTERM ? "SIGTERM" : "SIGINT");
+  std::fflush(stdout);
+  proxy.stop();
+  std::printf("vppb proxy: drained, bye\n");
+  return 0;
+}
+
+cluster::ProxyOptions proxy_options_from_flags(Flags& flags) {
+  cluster::ProxyOptions opt;
+  opt.unix_path = flags.str("socket");
+  opt.tcp_port = static_cast<std::uint16_t>(flags.i64("port"));
+  if (opt.unix_path.empty() && opt.tcp_port == 0)
+    opt.unix_path = "vppb-proxy.sock";
+  opt.hedge_ms = flags.i64("hedge-ms");
+  opt.forward_timeout_ms = static_cast<int>(flags.i64("forward-timeout-ms"));
+  opt.membership.vnodes = static_cast<int>(flags.i64("vnodes"));
+  return opt;
+}
+
+int cmd_proxy(Flags& flags) {
+  cluster::ProxyOptions opt = proxy_options_from_flags(flags);
+  std::uint64_t next_id = 1;
+  for (const auto spec : split(flags.str("shards"), ',')) {
+    if (spec.empty()) continue;
+    opt.shards.push_back(
+        cluster::ShardEndpoint::parse(next_id++, std::string(spec)));
+  }
+  if (opt.shards.empty())
+    throw Error("proxy needs --shards EP[,EP...] (unix socket paths "
+                "or loopback ports)");
+
+  sigset_t set;
+  sigemptyset(&set);
+  sigaddset(&set, SIGINT);
+  sigaddset(&set, SIGTERM);
+  pthread_sigmask(SIG_BLOCK, &set, nullptr);
+
+  cluster::Proxy proxy(std::move(opt));
+  proxy.start();
+  return run_proxy_until_signal(proxy, &set);
+}
+
+int cmd_cluster(Flags& flags) {
+  cluster::ClusterOptions copt;
+  // /proc/self/exe: the running binary re-execs itself as the shards,
+  // so a cluster is always version-homogeneous.
+  copt.exe = "/proc/self/exe";
+  copt.dir = flags.str("dir");
+  std::int64_t nshards = 0;
+  if (!parse_i64(flags.str("shards"), nshards) || nshards < 1)
+    throw Error("cluster: --shards must be a shard count >= 1");
+  copt.shards = static_cast<int>(nshards);
+  copt.jobs = static_cast<int>(flags.i64("jobs"));
+  copt.cache_entries = static_cast<std::size_t>(flags.i64("cache-entries"));
+  copt.serve_args = {"--cache-mb", std::to_string(flags.i64("cache-mb")),
+                     "--per-client", std::to_string(flags.i64("per-client"))};
+
+  sigset_t set;
+  sigemptyset(&set);
+  sigaddset(&set, SIGINT);
+  sigaddset(&set, SIGTERM);
+  pthread_sigmask(SIG_BLOCK, &set, nullptr);
+
+  cluster::LocalCluster shards(copt);
+  shards.start();
+  cluster::ProxyOptions popt = proxy_options_from_flags(flags);
+  popt.shards = shards.shards();
+  cluster::Proxy proxy(std::move(popt));
+  proxy.start();
+  const int rc = run_proxy_until_signal(proxy, &set);
+  shards.stop();
+  std::printf("vppb cluster: %d shard(s) drained\n", copt.shards);
+  return rc;
 }
 
 server::Client connect_client(Flags& flags) {
@@ -551,7 +652,9 @@ int cmd_request(Flags& flags) {
                   r.report.c_str());
       break;
     case server::ReqType::kStats:
-      std::printf("%s", server::render_stats_text(r.stats).c_str());
+      // Cluster-aware: a proxy response carries a per-shard breakdown
+      // after the merged table; a plain vppbd renders as before.
+      std::printf("%s", server::render_cluster_stats_text(r).c_str());
       break;
     case server::ReqType::kHealth:
       std::printf("%s", server::render_health_text(r).c_str());
@@ -566,9 +669,13 @@ int cmd_request(Flags& flags) {
 }
 
 /// `vppb stats [--watch]`: the stats request in a loop, rendered with
-/// the same code path as `vppb request stats`.
+/// the same code path as `vppb request stats`.  Against a proxy the
+/// render gains a per-shard table; against a plain vppbd it is
+/// unchanged.  In --watch mode a transient connection failure (daemon
+/// restarting, proxy failing over) renders a "reconnecting" row and
+/// retries with decorrelated-jitter backoff instead of exiting — a
+/// dashboard must outlive the thing it watches.
 int cmd_stats(Flags& flags) {
-  server::Client client = connect_client(flags);
   server::Request req;
   req.type = server::ReqType::kStats;
   const bool watch = flags.boolean("watch");
@@ -576,17 +683,52 @@ int cmd_stats(Flags& flags) {
       1, flags.i64("interval-ms"));
   std::int64_t count = flags.i64("count");
   if (count <= 0) count = watch ? std::numeric_limits<std::int64_t>::max() : 1;
-  for (std::int64_t i = 0; i < count; ++i) {
-    if (i > 0)
-      std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
-    const server::Response r = client.call(req);
+
+  std::optional<server::Client> client;
+  std::uint64_t rng = 0x2545f4914f6cdd1dULL;
+  std::int64_t backoff_ms = 0;
+  const auto next_backoff = [&rng, &backoff_ms]() {
+    rng ^= rng >> 12;
+    rng ^= rng << 25;
+    rng ^= rng >> 27;
+    const std::int64_t lo = 100, cap = 5000;
+    const std::int64_t hi =
+        std::max(lo, std::min(cap, backoff_ms > 0 ? backoff_ms * 3 : lo));
+    backoff_ms = lo + static_cast<std::int64_t>(
+                          (rng * 2685821657736338717ULL) %
+                          static_cast<std::uint64_t>(hi - lo + 1));
+    return backoff_ms;
+  };
+
+  for (std::int64_t taken = 0; taken < count;) {
+    server::Response r;
+    try {
+      if (!client) client.emplace(connect_client(flags));
+      r = client->call(req);
+    } catch (const Error& e) {
+      client.reset();  // the connection state is unknown; redial
+      if (!watch) {
+        std::fprintf(stderr, "vppb: stats failed: %s\n", e.what());
+        return 1;
+      }
+      const std::int64_t wait = next_backoff();
+      if (watch) std::printf("\033[H\033[2J");
+      std::printf("reconnecting: %s (retry in %lld ms)\n", e.what(),
+                  static_cast<long long>(wait));
+      std::fflush(stdout);
+      std::this_thread::sleep_for(std::chrono::milliseconds(wait));
+      continue;
+    }
+    backoff_ms = 0;  // a clean exchange resets the backoff schedule
     if (r.status != server::Status::kOk) {
       std::fprintf(stderr, "vppb: stats failed: %s\n", r.error.c_str());
       return 1;
     }
     if (watch) std::printf("\033[H\033[2J");  // home + clear
-    std::printf("%s", server::render_stats_text(r.stats).c_str());
+    std::printf("%s", server::render_cluster_stats_text(r).c_str());
     if (watch) std::fflush(stdout);
+    if (++taken < count)
+      std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
   }
   return 0;
 }
@@ -665,6 +807,21 @@ int main(int argc, char** argv) {
                    "(0 = anonymous)");
   flags.define_i64("cache-entries", 16, "serve: compiled-trace cache slots");
   flags.define_i64("cache-mb", 512, "serve: compiled-trace cache budget");
+  flags.define_i64("shard-id", 0,
+                   "serve: shard identity reported in health/stats "
+                   "(0 = standalone)");
+  flags.define_string("shards", "2",
+                      "proxy: comma-separated shard endpoints; "
+                      "cluster: shard count");
+  flags.define_string("dir", "vppb-cluster",
+                      "cluster: directory for shard sockets");
+  flags.define_i64("hedge-ms", 0,
+                   "proxy/cluster: hedge window for routed requests "
+                   "(0 = no hedging)");
+  flags.define_i64("vnodes", 64, "proxy/cluster: ring points per shard");
+  flags.define_i64("forward-timeout-ms", 30000,
+                   "proxy/cluster: per-forward receive timeout "
+                   "(0 = wait forever)");
   flags.define_string("log-level", "",
                       "trace|debug|info|warn|error|off (overrides $VPPB_LOG)");
   flags.define_bool("log-json", false, "emit log lines as JSON objects");
@@ -715,6 +872,8 @@ int main(int argc, char** argv) {
       else if (cmd == "validate") rc = cmd_validate(flags);
       else if (cmd == "convert") rc = cmd_convert(flags);
       else if (cmd == "serve") rc = cmd_serve(flags);
+      else if (cmd == "proxy") rc = cmd_proxy(flags);
+      else if (cmd == "cluster") rc = cmd_cluster(flags);
       else if (cmd == "request") rc = cmd_request(flags);
       else if (cmd == "stats") rc = cmd_stats(flags);
       else rc = usage();
