@@ -16,15 +16,27 @@
 
 namespace vppb::cluster {
 
+namespace {
+
+std::uint64_t next_rand(std::uint64_t& state) {
+  state ^= state >> 12;
+  state ^= state << 25;
+  state ^= state >> 27;
+  return state * 2685821657736338717ULL;
+}
+
+}  // namespace
+
 LocalCluster::LocalCluster(ClusterOptions opt) : opt_(std::move(opt)) {
   if (opt_.shards < 1) throw Error("a cluster needs at least one shard");
   if (opt_.exe.empty()) throw Error("LocalCluster needs the vppb binary path");
+  rng_ = opt_.backoff_seed ? opt_.backoff_seed : 1;
   for (int i = 0; i < opt_.shards; ++i) {
     ShardEndpoint ep;
     ep.id = static_cast<std::uint64_t>(i) + 1;
     ep.unix_path = strprintf("%s/shard%d.sock", opt_.dir.c_str(), i);
     endpoints_.push_back(std::move(ep));
-    pids_.push_back(-1);
+    procs_.emplace_back();
   }
 }
 
@@ -87,7 +99,8 @@ bool LocalCluster::wait_ready(std::size_t i, std::int64_t timeout_ms) const {
 
 void LocalCluster::start() {
   if (!opt_.dir.empty()) ::mkdir(opt_.dir.c_str(), 0755);  // EEXIST is fine
-  for (std::size_t i = 0; i < endpoints_.size(); ++i) pids_[i] = spawn(i);
+  for (std::size_t i = 0; i < endpoints_.size(); ++i)
+    procs_[i].pid = spawn(i);
   std::string stragglers;
   for (std::size_t i = 0; i < endpoints_.size(); ++i) {
     if (!wait_ready(i, opt_.ready_timeout_ms))
@@ -102,15 +115,23 @@ void LocalCluster::start() {
 }
 
 void LocalCluster::reap(std::size_t i, int sig) {
-  if (pids_[i] <= 0) return;
-  ::kill(pids_[i], sig);
+  ShardProc& p = procs_[i];
+  if (p.pid <= 0) return;
+  // A stopped process cannot run its SIGTERM handler (the signal stays
+  // pending forever) — wake it first so the blocking waitpid below
+  // cannot hang on a paused shard.
+  if (p.paused) {
+    ::kill(p.pid, SIGCONT);
+    p.paused = false;
+  }
+  ::kill(p.pid, sig);
   int status = 0;
-  ::waitpid(pids_[i], &status, 0);
-  pids_[i] = -1;
+  ::waitpid(p.pid, &status, 0);
+  p.pid = -1;
 }
 
 void LocalCluster::stop() {
-  for (std::size_t i = 0; i < pids_.size(); ++i) reap(i, SIGTERM);
+  for (std::size_t i = 0; i < procs_.size(); ++i) reap(i, SIGTERM);
 }
 
 void LocalCluster::kill_shard(std::size_t i) {
@@ -119,9 +140,87 @@ void LocalCluster::kill_shard(std::size_t i) {
             endpoints_[i].unix_path.c_str());
 }
 
+void LocalCluster::pause_shard(std::size_t i) {
+  ShardProc& p = procs_[i];
+  if (p.pid <= 0 || p.paused) return;
+  ::kill(p.pid, SIGSTOP);
+  p.paused = true;
+  obs::logf(obs::LogLevel::kWarn, "cluster", "paused shard %zu (%s)", i,
+            endpoints_[i].unix_path.c_str());
+}
+
+void LocalCluster::resume_shard(std::size_t i) {
+  ShardProc& p = procs_[i];
+  if (p.pid <= 0 || !p.paused) return;
+  ::kill(p.pid, SIGCONT);
+  p.paused = false;
+  obs::logf(obs::LogLevel::kInfo, "cluster", "resumed shard %zu (%s)", i,
+            endpoints_[i].unix_path.c_str());
+}
+
+std::vector<std::size_t> LocalCluster::reap_exited() {
+  std::vector<std::size_t> exited;
+  for (std::size_t i = 0; i < procs_.size(); ++i) {
+    ShardProc& p = procs_[i];
+    if (p.pid <= 0) continue;
+    int status = 0;
+    if (::waitpid(p.pid, &status, WNOHANG) == p.pid) {
+      p.pid = -1;
+      p.paused = false;
+      exited.push_back(i);
+      obs::logf(obs::LogLevel::kWarn, "cluster",
+                "shard %zu (%s) exited on its own (status %d)", i,
+                endpoints_[i].unix_path.c_str(), status);
+    }
+  }
+  return exited;
+}
+
 void LocalCluster::restart_shard(std::size_t i) {
-  if (pids_[i] > 0) reap(i, SIGTERM);
-  pids_[i] = spawn(i);
+  ShardProc& p = procs_[i];
+  if (p.pid > 0) {
+    // The shard may already be a zombie (crashed, not yet reaped) —
+    // collect it without signaling; otherwise drain it gracefully.
+    int status = 0;
+    if (::waitpid(p.pid, &status, WNOHANG) == p.pid) {
+      p.pid = -1;
+      p.paused = false;
+    } else {
+      reap(i, SIGTERM);
+    }
+  }
+
+  // Crash-loop governance: restarts spaced further apart than the
+  // cool-off window are routine operations and reset the streak; rapid
+  // ones back off with decorrelated jitter and eventually refuse.
+  const auto now = std::chrono::steady_clock::now();
+  const auto cooloff =
+      std::chrono::milliseconds(opt_.restart_backoff_cap_ms * 10);
+  if (p.last_restart != std::chrono::steady_clock::time_point{} &&
+      now - p.last_restart > cooloff) {
+    p.restarts = 0;
+    p.prev_backoff_ms = 0;
+  }
+  if (p.restarts >= opt_.max_crash_restarts)
+    throw Error(strprintf(
+        "shard %zu (%s) is crash-looping: %d restarts without a quiet "
+        "period; refusing to restart again",
+        i, endpoints_[i].unix_path.c_str(), p.restarts));
+  if (p.restarts > 0) {
+    const std::int64_t lo = opt_.restart_backoff_base_ms;
+    const std::int64_t hi = std::max(
+        lo, std::min(opt_.restart_backoff_cap_ms,
+                     p.prev_backoff_ms > 0 ? p.prev_backoff_ms * 3 : lo));
+    const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+    p.prev_backoff_ms =
+        lo + static_cast<std::int64_t>(next_rand(rng_) % span);
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(p.prev_backoff_ms));
+  }
+  ++p.restarts;
+  p.last_restart = now;
+
+  p.pid = spawn(i);
   if (!wait_ready(i, opt_.ready_timeout_ms))
     throw Error("restarted shard never became ready: " +
                 endpoints_[i].unix_path);

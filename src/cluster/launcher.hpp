@@ -16,6 +16,7 @@
 // timeout expires — then it throws with the stragglers named).
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <string>
 #include <sys/types.h>
@@ -43,6 +44,16 @@ struct ClusterOptions {
   /// VPPB_FAULT for deterministic per-shard service-time injection).
   std::vector<std::pair<std::string, std::string>> env;
   std::int64_t ready_timeout_ms = 15000;
+
+  /// Crash-loop governance for restart_shard: restarts inside the
+  /// cool-off window (10x the backoff cap since the previous restart)
+  /// count as a crash loop.  Each one waits a decorrelated-jitter
+  /// backoff before re-forking, and past max_crash_restarts the
+  /// restart refuses (throws) instead of flapping forever.
+  int max_crash_restarts = 8;
+  std::int64_t restart_backoff_base_ms = 50;
+  std::int64_t restart_backoff_cap_ms = 2000;
+  std::uint64_t backoff_seed = 1;  ///< jitter PRNG seed (deterministic)
 };
 
 class LocalCluster {
@@ -65,21 +76,45 @@ class LocalCluster {
   /// it.
   void kill_shard(std::size_t i);
 
+  /// SIGSTOP shard `i`: the gray failure.  The process holds its
+  /// sockets and accepts connects (kernel backlog) but never answers —
+  /// only forward/probe timeouts can tell it from a healthy shard.
+  void pause_shard(std::size_t i);
+  void resume_shard(std::size_t i);  ///< SIGCONT
+
+  /// Reaps (waitpid, WNOHANG) any shard that exited on its own — a
+  /// crash, not a kill_shard — and returns their indices.  Without
+  /// this a crashed child stays a zombie until stop().
+  std::vector<std::size_t> reap_exited();
+
   /// Spawns shard `i` again on its original endpoint (fresh process,
-  /// new epoch, cold cache) and waits for it to answer ready.
+  /// new epoch, cold cache) and waits for it to answer ready.  Reaps a
+  /// zombie first if the shard crashed; a crash loop backs off with
+  /// decorrelated jitter and throws past max_crash_restarts.
   void restart_shard(std::size_t i);
 
   const std::vector<ShardEndpoint>& shards() const { return endpoints_; }
-  pid_t pid(std::size_t i) const { return pids_[i]; }
+  pid_t pid(std::size_t i) const { return procs_[i].pid; }
+  bool alive(std::size_t i) const { return procs_[i].pid > 0; }
+  int restarts(std::size_t i) const { return procs_[i].restarts; }
 
  private:
+  struct ShardProc {
+    pid_t pid = -1;  ///< -1 = not running
+    bool paused = false;
+    int restarts = 0;  ///< consecutive crash-loop restarts
+    std::int64_t prev_backoff_ms = 0;
+    std::chrono::steady_clock::time_point last_restart{};
+  };
+
   pid_t spawn(std::size_t i);
   bool wait_ready(std::size_t i, std::int64_t timeout_ms) const;
   void reap(std::size_t i, int sig);
 
   ClusterOptions opt_;
   std::vector<ShardEndpoint> endpoints_;
-  std::vector<pid_t> pids_;  ///< -1 = not running
+  std::vector<ShardProc> procs_;
+  std::uint64_t rng_ = 1;  ///< restart-backoff jitter state
 };
 
 }  // namespace vppb::cluster

@@ -73,7 +73,8 @@ ShardEndpoint ShardEndpoint::parse(std::uint64_t id,
 
 Membership::Membership(std::vector<ShardEndpoint> shards,
                        MembershipOptions opt)
-    : opt_(opt), ring_(opt.vnodes), rng_(opt.seed ? opt.seed : 1) {
+    : opt_(opt), ring_(opt.vnodes), full_ring_(opt.vnodes),
+      rng_(opt.seed ? opt.seed : 1) {
   shards_.reserve(shards.size());
   for (auto& ep : shards) {
     for (const Shard& existing : shards_) {
@@ -84,6 +85,7 @@ Membership::Membership(std::vector<ShardEndpoint> shards,
     if (ep.id == 0) throw Error("shard id 0 is reserved for standalone");
     Shard s;
     s.endpoint = std::move(ep);
+    full_ring_.add(s.endpoint.id);
     shards_.push_back(std::move(s));
   }
   if (shards_.empty()) throw Error("a cluster needs at least one shard");

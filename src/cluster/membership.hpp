@@ -94,6 +94,15 @@ class Membership {
   /// down.
   std::vector<std::size_t> route(std::uint64_t key, std::size_t n) const;
 
+  /// The shard id that owns `key` when every shard is healthy — the
+  /// key's *primary*, regardless of who is in the live ring right now.
+  /// The replica failover layer uses it to tell "routing to the
+  /// primary" from "routing to a stand-in" (and only reorders
+  /// stand-ins).  Computed on an immutable all-shards ring; no lock.
+  std::uint64_t configured_owner(std::uint64_t key) const {
+    return full_ring_.owner(key);
+  }
+
   /// Marks shard `idx` down, removes it from the ring, and wakes the
   /// prober.  Idempotent while the shard stays down.
   void eject(std::size_t idx);
@@ -144,6 +153,7 @@ class Membership {
   mutable std::mutex mu_;
   std::condition_variable cv_;  ///< wakes the prober (eject, stop)
   Ring ring_;
+  Ring full_ring_;  ///< every configured shard; immutable after ctor
   std::uint64_t rng_;
   bool running_ = false;
   std::thread prober_;

@@ -32,6 +32,9 @@ struct ProxyMetrics {
   obs::Counter& hedge_wins;
   obs::Counter& dedup_hits;
   obs::Counter& no_shards;
+  obs::Counter& quota_rejections;
+  obs::Counter& brownout_sheds;
+  obs::Counter& stale_serves;
   obs::Gauge& shards_up;
 
   static ProxyMetrics& get() {
@@ -50,6 +53,12 @@ struct ProxyMetrics {
                     "Requests collapsed into an identical in-flight one"),
         reg.counter("vppb_proxy_no_shards_total",
                     "Requests failed because every shard was down"),
+        reg.counter("vppb_proxy_quota_rejections_total",
+                    "Requests rejected by the global per-client quota"),
+        reg.counter("vppb_proxy_brownout_sheds_total",
+                    "Cold computes shed while the proxy was in brownout"),
+        reg.counter("vppb_proxy_stale_serves_total",
+                    "Answers served from the proxy response cache"),
         reg.gauge("vppb_proxy_shards_up", "Healthy shards in the ring"),
     };
     return m;
@@ -75,6 +84,18 @@ bool is_compute(ReqType t) {
   return t == ReqType::kPredict || t == ReqType::kSimulate ||
          t == ReqType::kAnalyze;
 }
+
+/// RAII in-flight accounting for the brownout load trigger.
+class InflightScope {
+ public:
+  explicit InflightScope(std::atomic<int>& n) : n_(n) { ++n_; }
+  ~InflightScope() { --n_; }
+  InflightScope(const InflightScope&) = delete;
+  InflightScope& operator=(const InflightScope&) = delete;
+
+ private:
+  std::atomic<int>& n_;
+};
 
 }  // namespace
 
@@ -105,6 +126,9 @@ void merge_stats(StatsBody& into, const StatsBody& from) {
   into.quarantined += from.quarantined;
   into.watchdog_cancels += from.watchdog_cancels;
   into.watchdog_replacements += from.watchdog_replacements;
+  into.quota_rejections += from.quota_rejections;
+  into.brownout_sheds += from.brownout_sheds;
+  into.stale_serves += from.stale_serves;
 }
 
 std::string merge_prometheus(
@@ -176,6 +200,7 @@ std::string merge_prometheus(
 Proxy::Proxy(ProxyOptions opt)
     : opt_(std::move(opt)),
       membership_(opt_.shards, opt_.membership),
+      quota_(opt_.quota),
       hedge_pool_(std::max(2, opt_.hedge_jobs)) {}
 
 Proxy::~Proxy() { stop(); }
@@ -235,6 +260,7 @@ void Proxy::accept_loop() {
     conns_.push_back(std::make_unique<Conn>());
     Conn* conn = conns_.back().get();
     conn->sock = std::move(s);
+    conn->key = next_conn_key_.fetch_add(1);
     conn->thread = std::thread(&Proxy::serve_connection, this, conn);
   }
 }
@@ -245,7 +271,7 @@ void Proxy::serve_connection(Conn* conn) {
     while (server::read_frame(conn->sock, payload)) {
       Response resp;
       try {
-        resp = execute(server::decode_request(payload));
+        resp = execute(server::decode_request(payload), conn->key);
       } catch (const Error& e) {
         // Undecodable request, unreadable trace file, every shard
         // down: a typed answer on an intact connection.
@@ -268,10 +294,48 @@ Response Proxy::error_response(const Request& req,
   return resp;
 }
 
-Response Proxy::execute(const Request& req) {
-  ProxyMetrics::get().requests.inc();
+bool Proxy::brownout_active(std::size_t* live, std::size_t* total) const {
+  const std::size_t up = membership_.up_count();
+  const std::size_t all = membership_.shard_count();
+  if (live) *live = up;
+  if (total) *total = all;
+  if (opt_.brownout_min_live_pct > 0 &&
+      up * 100 < all * static_cast<std::size_t>(opt_.brownout_min_live_pct))
+    return true;
+  if (opt_.brownout_max_inflight > 0 &&
+      inflight_.load() >= opt_.brownout_max_inflight)
+    return true;
+  return false;
+}
+
+Response Proxy::execute(const Request& req, std::uint64_t conn_key) {
+  ProxyMetrics& pm = ProxyMetrics::get();
+  pm.requests.inc();
   const auto t0 = std::chrono::steady_clock::now();
+  // Health and stats never queue behind compute and are never shed:
+  // in a brownout they are exactly the requests an operator needs.
   if (!is_compute(req.type)) return aggregate(req);
+
+  // Global per-client quota, enforced once for the whole cluster.
+  // Anonymous callers resolve to this connection's key.
+  const std::uint64_t ident =
+      req.client_id != 0 ? req.client_id : conn_key;
+  if (quota_.enabled()) {
+    const ClientQuota::Verdict v = quota_.admit(ident, t0);
+    if (!v.admitted) {
+      pm.quota_rejections.inc();
+      Response resp;
+      resp.type = req.type;
+      resp.status = Status::kQuotaExceeded;
+      resp.retry_after_ms = v.retry_after_ms;
+      resp.error = strprintf(
+          "client %llu over its cluster-wide rate quota "
+          "(%.4g rps, burst %.4g); retry in %lld ms",
+          static_cast<unsigned long long>(ident), opt_.quota.rps,
+          opt_.quota.burst, static_cast<long long>(v.retry_after_ms));
+      return resp;
+    }
+  }
 
   // Route by the trace's content digest — the same FNV-1a the shard's
   // TraceCache will key the compiled trace by.
@@ -283,15 +347,49 @@ Response Proxy::execute(const Request& req) {
         req, strprintf("proxy cannot read trace %s: %s",
                        req.trace_path.c_str(), e.what()));
   }
-  return single_flight(req, key, t0);
+  const std::uint64_t ckey = response_cache_key(req, key);
+
+  // Brownout: shed by priority.  Repeats answer slightly stale from
+  // the response cache (digest-safe), cold computes are turned away
+  // with a hint instead of piling onto a degraded cluster.
+  if (brownout_active()) {
+    Response cached;
+    if (cache_lookup(ckey, opt_.stale_ms, &cached)) {
+      pm.stale_serves.inc();
+      stale_serves_.fetch_add(1);
+      cached.brownout = true;
+      return cached;
+    }
+    pm.brownout_sheds.inc();
+    brownout_sheds_.fetch_add(1);
+    Response resp;
+    resp.type = req.type;
+    resp.status = Status::kOverloaded;
+    resp.brownout = true;
+    resp.retry_after_ms = opt_.membership.probe_cap_ms;
+    resp.error = "proxy brownout: shedding cold compute requests until "
+                 "the cluster recovers; retry later";
+    return resp;
+  }
+
+  // Forward with the resolved identity stamped, so shard-side fairness
+  // can still tell anonymous proxied callers apart.
+  Request fwd = req;
+  if (fwd.client_id == 0) fwd.origin_id = ident;
+  InflightScope scope(inflight_);
+  return single_flight(fwd, key, ckey, t0);
 }
 
 Response Proxy::single_flight(const Request& req, std::uint64_t route_key,
+                              std::uint64_t cache_key,
                               std::chrono::steady_clock::time_point t0) {
-  // De-dup key: the full encoded request, so only byte-identical
-  // requests (same trace content *and* same parameters, deadline,
-  // client id) collapse.
-  const std::vector<std::uint8_t> encoded = server::encode(req);
+  // De-dup key: the encoded request with the proxy's own origin stamp
+  // zeroed, so requests that arrived byte-identical (same trace
+  // content *and* same parameters, deadline, client id) still collapse
+  // across connections; the leader's origin represents the flight.
+  Request canon = req;
+  canon.origin_id = 0;
+  const std::vector<std::uint8_t> encoded = server::encode(canon);
   const std::uint64_t fkey = fnv1a(encoded.data(), encoded.size());
 
   std::shared_ptr<Flight> flight;
@@ -318,7 +416,7 @@ Response Proxy::single_flight(const Request& req, std::uint64_t route_key,
   Response resp;
   std::exception_ptr error;
   try {
-    resp = forward_failover(req, route_key, t0);
+    resp = forward_failover(req, route_key, cache_key, t0);
   } catch (...) {
     error = std::current_exception();
   }
@@ -440,32 +538,133 @@ bool Proxy::hedged_forward(const Request& req,
   return done;
 }
 
+std::uint64_t Proxy::response_cache_key(const Request& req,
+                                        std::uint64_t route_key) {
+  Request canon = req;
+  canon.trace_path.clear();  // content, not path, identifies the trace
+  canon.client_id = 0;
+  canon.origin_id = 0;
+  canon.deadline_ms = 0;
+  const std::vector<std::uint8_t> encoded = server::encode(canon);
+  std::uint64_t h = fnv1a(encoded.data(), encoded.size());
+  // Splice the trace content key in (boost-style hash combine).
+  h ^= route_key + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  return h;
+}
+
+bool Proxy::cache_lookup(std::uint64_t cache_key, std::int64_t max_age_ms,
+                         Response* out) {
+  if (max_age_ms <= 0 || opt_.response_cache_entries == 0) return false;
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  auto it = rcache_.find(cache_key);
+  if (it == rcache_.end()) return false;
+  const std::int64_t age =
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now() - it->second.at)
+          .count();
+  if (age > max_age_ms) return false;
+  it->second.tick = ++cache_tick_;
+  *out = it->second.resp;
+  out->served_stale = true;
+  out->stale_age_ms = age;
+  return true;
+}
+
+void Proxy::cache_store(std::uint64_t cache_key, const Response& resp) {
+  if (opt_.response_cache_entries == 0) return;
+  if (resp.status != Status::kOk || !resp.svg.empty()) return;
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  CachedResponse& e = rcache_[cache_key];
+  const std::pair<std::uint64_t, std::uint64_t> served{resp.shard_id,
+                                                       resp.epoch};
+  if (std::find(e.warm.begin(), e.warm.end(), served) == e.warm.end())
+    e.warm.push_back(served);
+  e.resp = resp;
+  e.at = std::chrono::steady_clock::now();
+  e.tick = ++cache_tick_;
+  while (rcache_.size() > opt_.response_cache_entries) {
+    auto oldest = rcache_.begin();
+    for (auto it = rcache_.begin(); it != rcache_.end(); ++it)
+      if (it->second.tick < oldest->second.tick) oldest = it;
+    rcache_.erase(oldest);
+  }
+}
+
+bool Proxy::cache_warm(std::uint64_t cache_key, std::uint64_t shard_id,
+                       std::uint64_t epoch) const {
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  auto it = rcache_.find(cache_key);
+  if (it == rcache_.end()) return false;
+  const std::pair<std::uint64_t, std::uint64_t> want{shard_id, epoch};
+  return std::find(it->second.warm.begin(), it->second.warm.end(), want) !=
+         it->second.warm.end();
+}
+
 Response Proxy::forward_failover(const Request& req, std::uint64_t route_key,
+                                 std::uint64_t cache_key,
                                  std::chrono::steady_clock::time_point t0) {
   ProxyMetrics& pm = ProxyMetrics::get();
-  const std::size_t rounds = std::max<std::size_t>(
-      std::size_t{1}, membership_.shard_count());
+  const std::size_t shard_count = membership_.shard_count();
+  const std::size_t rounds = std::max<std::size_t>(std::size_t{1},
+                                                   shard_count);
+  const std::size_t want = std::clamp<std::size_t>(
+      static_cast<std::size_t>(std::max(1, opt_.replicas)), std::size_t{1},
+      std::max<std::size_t>(std::size_t{1}, shard_count));
+  const std::uint64_t primary_id = membership_.configured_owner(route_key);
   for (std::size_t round = 0; round < rounds; ++round) {
-    const std::vector<std::size_t> candidates =
-        membership_.route(route_key, membership_.shard_count());
+    std::vector<std::size_t> candidates =
+        membership_.route(route_key, want);
     if (candidates.empty()) break;
+    // Replica-read preference: the primary always comes first while it
+    // is on the ring (cache affinity).  When the walk starts at a
+    // stand-in, a replica that has already served this exact request
+    // — its cache is warm for it — beats a cold ring successor.
+    if (candidates.size() > 1 &&
+        membership_.endpoint(candidates[0]).id != primary_id) {
+      const std::vector<ShardView> snap = membership_.snapshot();
+      std::stable_partition(
+          candidates.begin(), candidates.end(), [&](std::size_t i) {
+            return cache_warm(cache_key, snap[i].endpoint.id,
+                              snap[i].epoch);
+          });
+    }
     if (opt_.hedge_ms > 0 && candidates.size() > 1) {
       Response resp;
-      if (hedged_forward(req, candidates, t0, &resp)) return resp;
+      if (hedged_forward(req, candidates, t0, &resp)) {
+        cache_store(cache_key, resp);
+        return resp;
+      }
       continue;  // every attempt died on transport: re-route
     }
-    try {
-      return forward_once(candidates[0], req);
-    } catch (const Error& e) {
-      obs::logf(LogLevel::kWarn, "proxy",
-                "shard %llu failed mid-forward (%s); failing over",
-                static_cast<unsigned long long>(
-                    membership_.endpoint(candidates[0]).id),
-                e.what());
-      pm.failovers.inc();
-      membership_.eject(candidates[0]);
-      pm.shards_up.set(static_cast<std::int64_t>(membership_.up_count()));
+    // The replica walk: primary first, then up to replicas-1 ring
+    // successors, each tried in order before the key is rehashed on
+    // the shrunken ring.
+    for (std::size_t idx : candidates) {
+      try {
+        Response resp = forward_once(idx, req);
+        cache_store(cache_key, resp);
+        return resp;
+      } catch (const Error& e) {
+        obs::logf(LogLevel::kWarn, "proxy",
+                  "shard %llu failed mid-forward (%s); failing over",
+                  static_cast<unsigned long long>(
+                      membership_.endpoint(idx).id),
+                  e.what());
+        pm.failovers.inc();
+        membership_.eject(idx);
+        pm.shards_up.set(static_cast<std::int64_t>(membership_.up_count()));
+      }
     }
+  }
+  // Every owner (and every re-route) is gone.  A slightly-stale cached
+  // answer is digest-identical to what a live shard would compute —
+  // strictly better than a typed error for a read of a deterministic
+  // function.
+  Response cached;
+  if (cache_lookup(cache_key, opt_.stale_ms, &cached)) {
+    pm.stale_serves.inc();
+    stale_serves_.fetch_add(1);
+    return cached;
   }
   pm.no_shards.inc();
   return error_response(req, "no healthy shards: every backend is down "
@@ -523,6 +722,16 @@ Response Proxy::aggregate(const Request& req) {
     for (const auto& sh : out.shards) any_up = any_up || sh.healthy;
     out.ready = out.ready && any_up;
   }
+  // The proxy's own resilience layers are part of the cluster's story:
+  // the merged stats carry its quota/brownout/stale counters (shards
+  // report zeros for these), and health says when load is being shed.
+  out.stats.quota_rejections += quota_.rejections();
+  out.stats.brownout_sheds += brownout_sheds_.load();
+  out.stats.stale_serves += stale_serves_.load();
+  std::size_t live = 0, total = 0;
+  out.brownout = brownout_active(&live, &total);
+  out.live_shards = live;
+  out.total_shards = total;
   return out;
 }
 

@@ -40,6 +40,35 @@
 //                   `vppb stats --watch` works unchanged against the
 //                   proxy.  Down shards contribute their last-known
 //                   stats, marked unhealthy.
+//
+//   Global quota    A per-client token bucket (cluster/quota.hpp) in
+//                   front of the routing: one identity's rate budget
+//                   is enforced once, at the proxy, instead of K times
+//                   across K shards.  Rejections are typed
+//                   kQuotaExceeded with a retry_after_ms refill hint.
+//                   Anonymous callers are resolved to the proxy's
+//                   connection key, which is also stamped into the
+//                   forwarded request's origin_id so shard-level
+//                   per-client fairness still tells them apart behind
+//                   the proxy's pooled connections.
+//
+//   Replicas        Failover walks the key's R-owner ring walk
+//                   (Ring::owners) in order before rehashing: the
+//                   primary first — cache affinity — then, when the
+//                   primary is off the ring, stand-ins that have
+//                   already served this exact request (warm for it)
+//                   ahead of cold successors.
+//
+//   Brownout        When the live-shard fraction or the proxy's own
+//                   in-flight compute load crosses a threshold, the
+//                   proxy sheds by priority: health/stats always
+//                   answer, repeat computes are served slightly stale
+//                   from the proxy's response cache (digest-safe:
+//                   responses are deterministic in the request), cold
+//                   computes are shed kOverloaded with a retry hint.
+//                   The degraded state is surfaced in health/stats.
+//                   The same response cache is the last resort when
+//                   every shard is down mid-request.
 #pragma once
 
 #include <atomic>
@@ -55,6 +84,7 @@
 #include <vector>
 
 #include "cluster/membership.hpp"
+#include "cluster/quota.hpp"
 #include "server/protocol.hpp"
 #include "util/socket.hpp"
 #include "util/thread_pool.hpp"
@@ -80,6 +110,25 @@ struct ProxyOptions {
   /// to two while in flight).  Non-hedged forwards run on the
   /// connection's own IO thread and never touch this pool.
   int hedge_jobs = 8;
+
+  /// Cluster-wide per-client rate quota; quota.rps <= 0 disables.
+  QuotaOptions quota;
+  /// Owner-walk length for compute failover/hedging: the primary plus
+  /// replicas-1 ring successors are tried in order before the key is
+  /// rehashed on the shrunken ring.  Clamped to [1, shard count].
+  int replicas = 2;
+  /// Brownout trigger: live shards strictly below this percentage of
+  /// configured shards (0 = never by liveness).
+  int brownout_min_live_pct = 0;
+  /// Brownout trigger: proxy-level in-flight compute requests at or
+  /// above this (0 = never by load).
+  int brownout_max_inflight = 0;
+  /// Oldest proxy-cached response servable during brownout or total
+  /// outage; 0 disables stale serving.
+  std::int64_t stale_ms = 30000;
+  /// Response cache capacity (kOk compute responses; SVG-bearing
+  /// responses are never cached — they dwarf everything else).
+  std::size_t response_cache_entries = 256;
 };
 
 class Proxy {
@@ -100,10 +149,26 @@ class Proxy {
   std::uint16_t tcp_port() const { return port_; }
   Membership& membership() { return membership_; }
 
+  /// True when a brownout trigger holds right now; fills the live /
+  /// configured shard counts either way (also used by aggregation).
+  bool brownout_active(std::size_t* live = nullptr,
+                       std::size_t* total = nullptr) const;
+
  private:
   struct Conn {
     util::Socket sock;
     std::thread thread;
+    std::uint64_t key = 0;  ///< fallback identity for anonymous clients
+  };
+
+  /// One proxy-cached compute response: the answer, when it landed,
+  /// and which shard incarnations have served this exact request
+  /// (warm-replica preference during failover).
+  struct CachedResponse {
+    server::Response resp;
+    std::chrono::steady_clock::time_point at;
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> warm;  ///< (id, epoch)
+    std::uint64_t tick = 0;  ///< LRU stamp
   };
 
   /// Cross-tier single-flight state: one per distinct in-flight
@@ -130,12 +195,15 @@ class Proxy {
 
   void accept_loop();
   void serve_connection(Conn* conn);
-  server::Response execute(const server::Request& req);
+  server::Response execute(const server::Request& req,
+                           std::uint64_t conn_key);
   server::Response single_flight(const server::Request& req,
                                  std::uint64_t route_key,
+                                 std::uint64_t cache_key,
                                  std::chrono::steady_clock::time_point t0);
   server::Response forward_failover(const server::Request& req,
                                     std::uint64_t route_key,
+                                    std::uint64_t cache_key,
                                     std::chrono::steady_clock::time_point t0);
   /// One forward on one connection; throws vppb::Error on transport
   /// failure (the caller ejects).  Clean exchanges pool the connection.
@@ -150,8 +218,25 @@ class Proxy {
   server::Response error_response(const server::Request& req,
                                   const std::string& what) const;
 
+  /// Digest-safe cache identity of a compute request: the route key
+  /// (trace content) plus every parameter that shapes the result —
+  /// caller identity and deadline excluded, they never change the
+  /// computed answer.
+  static std::uint64_t response_cache_key(const server::Request& req,
+                                          std::uint64_t route_key);
+  /// A cached kOk response younger than `max_age_ms`, marked
+  /// served_stale with its age; nullopt on miss/expired/disabled.
+  bool cache_lookup(std::uint64_t cache_key, std::int64_t max_age_ms,
+                    server::Response* out);
+  /// Remembers a kOk compute response (and that shard id/epoch served
+  /// it).  SVG-bearing responses are skipped.
+  void cache_store(std::uint64_t cache_key, const server::Response& resp);
+  bool cache_warm(std::uint64_t cache_key, std::uint64_t shard_id,
+                  std::uint64_t epoch) const;
+
   ProxyOptions opt_;
   Membership membership_;
+  ClientQuota quota_;
   util::ThreadPool hedge_pool_;
 
   util::Socket listener_;
@@ -165,6 +250,15 @@ class Proxy {
 
   std::mutex flight_mu_;
   std::unordered_map<std::uint64_t, std::shared_ptr<Flight>> flights_;
+
+  std::atomic<std::uint64_t> next_conn_key_{1};
+  std::atomic<int> inflight_{0};  ///< compute requests being forwarded
+  std::atomic<std::uint64_t> brownout_sheds_{0};
+  std::atomic<std::uint64_t> stale_serves_{0};
+
+  mutable std::mutex cache_mu_;
+  std::unordered_map<std::uint64_t, CachedResponse> rcache_;
+  std::uint64_t cache_tick_ = 0;
 
   // Posted-but-unfinished hedge tasks; stop() waits for zero so an
   // abandoned attempt can never outlive the proxy it captures.

@@ -56,6 +56,7 @@ Response Client::call(const Request& req) {
 Response Client::call_retry(const Request& req, RetryPolicy& policy) {
   std::uint64_t rng = policy.seed ? policy.seed : 1;
   std::int64_t prev_sleep = policy.base_ms;
+  std::int64_t min_sleep = 0;  ///< retry-after hint from a quota rejection
   Response last;
   bool have_response = false;
   std::exception_ptr last_err;
@@ -65,6 +66,8 @@ Response Client::call_retry(const Request& req, RetryPolicy& policy) {
     if (attempt > 0) {
       std::int64_t ms = next_sleep_ms(prev_sleep, policy, rng);
       prev_sleep = ms;
+      ms = std::max(ms, min_sleep);
+      min_sleep = 0;
       // The backoff schedule must fit inside the request's own deadline:
       // sleeping past it guarantees every further attempt comes back
       // kDeadlineExceeded, a double-spend of a budget already gone.
@@ -98,9 +101,16 @@ Response Client::call_retry(const Request& req, RetryPolicy& policy) {
       }
       continue;
     }
-    if (last.status != Status::kOverloaded) return last;
-    // Overloaded: the server is alive and said "later" — same
-    // connection, backoff, retry.
+    if (last.status != Status::kOverloaded &&
+        last.status != Status::kQuotaExceeded)
+      return last;
+    // Overloaded / quota-exhausted: the server is alive and said
+    // "later" — same connection, backoff, retry.  A quota rejection
+    // carries the refill time; sleeping less than that guarantees
+    // another rejection, so the hint floors the next sleep (still
+    // clamped to the request's remaining deadline above).
+    if (last.status == Status::kQuotaExceeded && last.retry_after_ms > 0)
+      min_sleep = last.retry_after_ms;
   }
   // Out of attempts or out of deadline budget.  With a response in hand
   // (kOverloaded) return it; with nothing but transport failures,

@@ -5,11 +5,12 @@
 //
 // call() is the raw single-shot primitive.  call_retry() layers the
 // resilience policy on top: transient failures — Status::kOverloaded,
-// transport errors, receive timeouts — are retried with exponential
-// backoff and decorrelated jitter (reconnecting when the transport
-// broke), while definitive answers (kOk, kError, kDeadlineExceeded,
-// kBudgetExceeded, kPoisoned) return immediately — a budget kill or a
-// quarantine rejection will only repeat on retry.  A request that
+// kQuotaExceeded (sleeping at least its retry_after_ms hint), transport
+// errors, receive timeouts — are retried with exponential backoff and
+// decorrelated jitter (reconnecting when the transport broke), while
+// definitive answers (kOk, kError, kDeadlineExceeded, kBudgetExceeded,
+// kPoisoned) return immediately — a budget kill or a quarantine
+// rejection will only repeat on retry.  A request that
 // missed its deadline is never retried, and the backoff sleeps
 // themselves are clamped to the request's remaining deadline_ms budget:
 // the deadline is spent, and sleeping past it would double-spend it.

@@ -115,6 +115,9 @@ void put_stats(std::vector<std::uint8_t>& out, const StatsBody& s) {
   put_u64(out, s.quarantined);
   put_u64(out, s.watchdog_cancels);
   put_u64(out, s.watchdog_replacements);
+  put_u64(out, s.quota_rejections);
+  put_u64(out, s.brownout_sheds);
+  put_u64(out, s.stale_serves);
 }
 
 void get_stats(Reader& in, StatsBody& s) {
@@ -140,6 +143,9 @@ void get_stats(Reader& in, StatsBody& s) {
   s.quarantined = in.u64();
   s.watchdog_cancels = in.u64();
   s.watchdog_replacements = in.u64();
+  s.quota_rejections = in.u64();
+  s.brownout_sheds = in.u64();
+  s.stale_serves = in.u64();
 }
 
 void check_version(Reader& in) {
@@ -159,6 +165,7 @@ const char* to_string(Status s) {
     case Status::kDeadlineExceeded: return "deadline-exceeded";
     case Status::kBudgetExceeded: return "budget-exceeded";
     case Status::kPoisoned: return "poisoned";
+    case Status::kQuotaExceeded: return "quota-exceeded";
   }
   return "?";
 }
@@ -188,6 +195,7 @@ std::vector<std::uint8_t> encode(const Request& req) {
   put_u64(out, req.want_svg ? 1 : 0);
   put_i64(out, req.deadline_ms);
   put_u64(out, req.client_id);
+  put_u64(out, req.origin_id);
   return out;
 }
 
@@ -204,6 +212,7 @@ Request decode_request(const std::uint8_t* data, std::size_t size) {
   req.want_svg = in.u64() != 0;
   req.deadline_ms = in.i64();
   req.client_id = in.u64();
+  req.origin_id = in.u64();
   VPPB_CHECK_MSG(in.at_end(), "trailing bytes in request frame");
   return req;
 }
@@ -247,6 +256,12 @@ std::vector<std::uint8_t> encode(const Response& resp) {
     put_str(out, sh.endpoint);
     put_stats(out, sh.stats);
   }
+  put_i64(out, resp.retry_after_ms);
+  put_u64(out, resp.brownout ? 1 : 0);
+  put_u64(out, resp.live_shards);
+  put_u64(out, resp.total_shards);
+  put_u64(out, resp.served_stale ? 1 : 0);
+  put_i64(out, resp.stale_age_ms);
   return out;
 }
 
@@ -255,8 +270,9 @@ Response decode_response(const std::uint8_t* data, std::size_t size) {
   check_version(in);
   Response resp;
   const std::uint64_t status = in.u64();
-  VPPB_CHECK_MSG(status <= static_cast<std::uint64_t>(Status::kPoisoned),
-                 "unknown response status " << status);
+  VPPB_CHECK_MSG(
+      status <= static_cast<std::uint64_t>(Status::kQuotaExceeded),
+      "unknown response status " << status);
   resp.status = static_cast<Status>(status);
   resp.type = req_type(in.u64());
   resp.error = in.str();
@@ -297,6 +313,12 @@ Response decode_response(const std::uint8_t* data, std::size_t size) {
     sh.endpoint = in.str();
     get_stats(in, sh.stats);
   }
+  resp.retry_after_ms = in.i64();
+  resp.brownout = in.u64() != 0;
+  resp.live_shards = in.u64();
+  resp.total_shards = in.u64();
+  resp.served_stale = in.u64() != 0;
+  resp.stale_age_ms = in.i64();
   VPPB_CHECK_MSG(in.at_end(), "trailing bytes in response frame");
   return resp;
 }

@@ -25,7 +25,7 @@
 
 namespace vppb::server {
 
-constexpr std::uint8_t kProtocolVersion = 5;  ///< v5: cluster (shard identity/epoch in health, per-shard aggregated stats)
+constexpr std::uint8_t kProtocolVersion = 6;  ///< v6: cluster resilience (origin identity, quota-exceeded + retry-after, brownout/stale markers)
 /// Upper bound on a frame payload (a full SVG render fits comfortably;
 /// a corrupt or hostile length prefix does not).
 constexpr std::size_t kMaxFrame = 64u << 20;
@@ -51,6 +51,8 @@ enum class Status : std::uint8_t {
                           ///< simulated time, result bytes) stopped the run
   kPoisoned = 5,          ///< trace content is quarantined after repeated
                           ///< crashes/budget kills; rejected pre-dispatch
+  kQuotaExceeded = 6,     ///< the client spent its cluster-wide rate quota;
+                          ///< retry_after_ms says when a token refills
 };
 
 const char* to_string(Status s);
@@ -72,6 +74,12 @@ struct Request {
   /// for one identity are rejected kOverloaded while other clients'
   /// slots stay available.
   std::uint64_t client_id = 0;
+  /// Identity stamped by the routing tier (protocol v6): the proxy
+  /// resolves anonymous requests to its own per-connection key so a
+  /// shard's per-client fairness still distinguishes callers that all
+  /// arrive over the proxy's pooled connections.  A shard uses it only
+  /// when client_id is 0; 0 = not behind a proxy.
+  std::uint64_t origin_id = 0;
 };
 
 /// One sweep point of a predict response.
@@ -109,6 +117,13 @@ struct StatsBody {
   std::uint64_t quarantined = 0;     ///< content keys quarantined right now
   std::uint64_t watchdog_cancels = 0;       ///< overdue requests cancelled
   std::uint64_t watchdog_replacements = 0;  ///< wedged workers replaced
+  // Cluster-resilience counters (protocol v6); a plain vppbd reports
+  // zeros, the proxy fills them from its own admission and brownout
+  // layers.
+  std::uint64_t quota_rejections = 0;  ///< responses with kQuotaExceeded
+  std::uint64_t brownout_sheds = 0;    ///< cold computes shed in brownout
+  std::uint64_t stale_serves = 0;      ///< answers served from the proxy
+                                       ///< response cache (served_stale)
 };
 
 /// One backend's slice of an aggregated cluster response (protocol v5).
@@ -157,6 +172,18 @@ struct Response {
   /// Per-shard breakdown of an aggregated proxy response; empty from a
   /// plain vppbd and for non-aggregating request types.
   std::vector<ShardInfo> shards;
+
+  // cluster resilience (protocol v6)
+  /// With kQuotaExceeded (and brownout sheds): milliseconds until the
+  /// client's next token refills / the proxy expects capacity back.
+  std::int64_t retry_after_ms = 0;
+  bool brownout = false;          ///< the proxy is shedding load by priority
+  std::uint64_t live_shards = 0;  ///< health/stats: shards in the ring now
+  std::uint64_t total_shards = 0;
+  /// This answer came from the proxy's response cache instead of a
+  /// shard (digest-safe: responses are deterministic in the request).
+  bool served_stale = false;
+  std::int64_t stale_age_ms = 0;  ///< age of the cached answer served
 };
 
 std::vector<std::uint8_t> encode(const Request& req);

@@ -212,7 +212,13 @@ Response Server::execute(const Request& req, std::uint64_t conn_key) {
 
   // Per-client fair admission before the global gate: one flooding
   // client exhausts its own quota, not the shared slots.
-  const std::uint64_t client = req.client_id != 0 ? req.client_id : conn_key;
+  // Identity order: explicit client_id, then the origin the routing
+  // tier stamped (all proxy traffic shares pooled connections, so the
+  // conn key alone cannot tell proxied callers apart), then the
+  // connection itself.
+  const std::uint64_t client = req.client_id != 0   ? req.client_id
+                               : req.origin_id != 0 ? req.origin_id
+                                                    : conn_key;
   const bool client_gated = opt_.per_client_limit > 0;
   if (client_gated && !client_admit(client)) {
     metrics_.count_overload();

@@ -13,7 +13,7 @@ std::string u64str(std::uint64_t v) {
 
 }  // namespace
 
-std::string render_stats_text(const StatsBody& s) {
+std::string render_stats_text(const StatsBody& s, bool aggregated) {
   TextTable table;
   table.header({"counter", "value"});
   table.row({"requests", u64str(s.requests)});
@@ -30,6 +30,9 @@ std::string render_stats_text(const StatsBody& s) {
   table.row({"quarantined now", u64str(s.quarantined)});
   table.row({"watchdog cancels", u64str(s.watchdog_cancels)});
   table.row({"worker replacements", u64str(s.watchdog_replacements)});
+  table.row({"quota rejections", u64str(s.quota_rejections)});
+  table.row({"brownout sheds", u64str(s.brownout_sheds)});
+  table.row({"stale serves", u64str(s.stale_serves)});
   table.row({"cache hits", u64str(s.cache_hits)});
   table.row({"cache misses", u64str(s.cache_misses)});
   table.row({"cache evictions", u64str(s.cache_evictions)});
@@ -44,17 +47,33 @@ std::string render_stats_text(const StatsBody& s) {
                          static_cast<double>(lookups));
   }
   if (s.latency_count > 0) {
-    out += strprintf("latency (us): p50 %.0f  p90 %.0f  p99 %.0f  max %.0f "
-                     "over %s requests\n",
-                     s.p50_us, s.p90_us, s.p99_us, s.max_us,
-                     u64str(s.latency_count).c_str());
+    if (aggregated) {
+      // Merged across shards: these are per-shard maxima (no shard's
+      // percentile exceeds the figure), not a merged distribution.
+      out += strprintf("latency (us, per-shard max): p50 <= %.0f  "
+                       "p90 <= %.0f  p99 <= %.0f  max %.0f "
+                       "over %s requests\n",
+                       s.p50_us, s.p90_us, s.p99_us, s.max_us,
+                       u64str(s.latency_count).c_str());
+    } else {
+      out += strprintf("latency (us): p50 %.0f  p90 %.0f  p99 %.0f  "
+                       "max %.0f over %s requests\n",
+                       s.p50_us, s.p90_us, s.p99_us, s.max_us,
+                       u64str(s.latency_count).c_str());
+    }
   }
   return out;
 }
 
 std::string render_cluster_stats_text(const Response& r) {
-  std::string out = render_stats_text(r.stats);
+  std::string out = render_stats_text(r.stats, !r.shards.empty());
   if (r.shards.empty()) return out;
+  if (r.brownout) {
+    out += strprintf("BROWNOUT: proxy shedding load (%s of %s shards "
+                     "live)\n",
+                     u64str(r.live_shards).c_str(),
+                     u64str(r.total_shards).c_str());
+  }
   out += "\nshards:\n";
   TextTable table;
   table.header({"shard", "epoch", "state", "endpoint", "requests", "errors",
@@ -73,6 +92,12 @@ std::string render_cluster_stats_text(const Response& r) {
 std::string render_health_text(const Response& r) {
   std::string out;
   out += strprintf("ready:           %s\n", r.ready ? "yes" : "no");
+  if (r.total_shards > 0) {
+    out += strprintf("cluster:         %s / %s shards live%s\n",
+                     u64str(r.live_shards).c_str(),
+                     u64str(r.total_shards).c_str(),
+                     r.brownout ? " (BROWNOUT: shedding load)" : "");
+  }
   out += strprintf("in flight:       %s / %s\n", u64str(r.in_flight).c_str(),
                    u64str(r.admission_limit).c_str());
   out += strprintf("requests served: %s (%s errors, %s overloads, "

@@ -15,7 +15,12 @@ namespace vppb::server {
 /// The `vppb request stats` / `vppb stats` view: a counter table (one
 /// row per request type), cache effectiveness including the hit rate,
 /// and the latency distribution when any request has executed.
-std::string render_stats_text(const StatsBody& s);
+///
+/// `aggregated` marks the percentiles as cluster-merged: order
+/// statistics do not merge, so the proxy reports the per-shard maximum
+/// — an upper bound — and the render must say so instead of letting it
+/// read as a true merged percentile.
+std::string render_stats_text(const StatsBody& s, bool aggregated = false);
 
 /// The `vppb request health` view: readiness, in-flight occupancy, and
 /// a one-line summary of the failure counters.

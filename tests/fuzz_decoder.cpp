@@ -193,6 +193,27 @@ int run(std::uint64_t seed, std::uint64_t iterations,
     seeds.push_back(server::encode(req));
   }
   {
+    // Protocol v6 request: both identity fields populated, so mutants
+    // reach the client_id/origin_id varint decodes at the payload tail.
+    server::Request req;
+    req.type = server::ReqType::kPredict;
+    req.trace_path = "corpus/seed.trace";
+    req.max_cpus = 4;
+    req.client_id = 0x1122334455667788ULL;
+    req.origin_id = 0x99aabbccddeeff00ULL;
+    seeds.push_back(server::encode(req));
+  }
+  {
+    // Protocol v6 quota rejection: the typed status above the old
+    // bound plus a retry_after_ms hint.
+    server::Response resp;
+    resp.type = server::ReqType::kPredict;
+    resp.status = server::Status::kQuotaExceeded;
+    resp.error = "client over quota";
+    resp.retry_after_ms = 750;
+    seeds.push_back(server::encode(resp));
+  }
+  {
     // Protocol v5 aggregated cluster response: shard identity/epoch
     // plus a per-shard stats breakdown — the widest response layout,
     // so mutants reach the shard-list decode loop and its bounds
@@ -213,6 +234,29 @@ int run(std::uint64_t seed, std::uint64_t iterations,
       sh.stats.p99_us = 1234.5;
       resp.shards.push_back(sh);
     }
+    seeds.push_back(server::encode(resp));
+  }
+  {
+    // Protocol v6 brownout health payload: degraded-cluster markers
+    // (brownout flag, live/total counts, stale-serve fields) plus a
+    // shard row, so mutants hit the resilience tail after the list.
+    server::Response resp;
+    resp.type = server::ReqType::kHealth;
+    resp.ready = true;
+    resp.brownout = true;
+    resp.live_shards = 1;
+    resp.total_shards = 4;
+    resp.served_stale = true;
+    resp.stale_age_ms = 2500;
+    resp.retry_after_ms = 100;
+    server::ShardInfo sh;
+    sh.shard_id = 1;
+    sh.healthy = true;
+    sh.endpoint = "cdir/shard0.sock";
+    sh.stats.brownout_sheds = 9;
+    sh.stats.stale_serves = 4;
+    sh.stats.quota_rejections = 2;
+    resp.shards.push_back(sh);
     seeds.push_back(server::encode(resp));
   }
   // Self-check: undamaged seeds must load strictly, or every mutant

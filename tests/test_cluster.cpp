@@ -219,13 +219,20 @@ TEST(ProtocolV5Test, EveryTruncationRejectedCleanly) {
 TEST(ProtocolV5Test, ImplausibleShardCountRejected) {
   Response resp;
   resp.type = ReqType::kStats;
-  // With no shards, the count varint is the final payload byte; patch
-  // it to a hostile count and the decoder must refuse to allocate.
+  // With no shards and default resilience fields, the payload ends in
+  // the count varint followed by six zero bytes (retry_after_ms,
+  // brownout, live/total shards, served_stale, stale_age_ms); patch
+  // the count to a hostile value and the decoder must refuse to
+  // allocate.
   std::vector<std::uint8_t> bytes = server::encode(resp);
-  ASSERT_EQ(bytes.back(), 0u);
-  bytes.pop_back();
+  constexpr std::size_t kTrailing = 6;
+  ASSERT_GE(bytes.size(), kTrailing + 1);
+  for (std::size_t i = bytes.size() - kTrailing - 1; i < bytes.size(); ++i)
+    ASSERT_EQ(bytes[i], 0u) << "byte " << i;
+  bytes.resize(bytes.size() - kTrailing - 1);
   bytes.push_back(0x88);  // LEB128(5000)
   bytes.push_back(0x27);
+  bytes.insert(bytes.end(), kTrailing, 0u);
   try {
     (void)server::decode_response(bytes);
     FAIL() << "hostile shard count decoded";
@@ -589,6 +596,452 @@ TEST(ClusterFailoverTest, ShardKillIsInvisibleToClients) {
   }
 
   proxy.stop();
+  shards.stop();
+}
+
+// ---- protocol v6: identity, quota, brownout fields -------------------------
+
+TEST(ProtocolV6Test, ResilienceFieldsRoundTrip) {
+  Request req;
+  req.type = ReqType::kPredict;
+  req.trace_path = "t.trace";
+  req.client_id = 0x1111222233334444ULL;
+  req.origin_id = 0x5555666677778888ULL;
+  const Request rback = server::decode_request(server::encode(req));
+  EXPECT_EQ(rback.client_id, req.client_id);
+  EXPECT_EQ(rback.origin_id, req.origin_id);
+
+  Response resp;
+  resp.type = ReqType::kPredict;
+  resp.status = Status::kQuotaExceeded;
+  resp.error = "over quota";
+  resp.retry_after_ms = 750;
+  resp.brownout = true;
+  resp.live_shards = 1;
+  resp.total_shards = 4;
+  resp.served_stale = true;
+  resp.stale_age_ms = 2500;
+  resp.stats.quota_rejections = 3;
+  resp.stats.brownout_sheds = 2;
+  resp.stats.stale_serves = 1;
+  const Response back = server::decode_response(server::encode(resp));
+  EXPECT_EQ(back.status, Status::kQuotaExceeded);
+  EXPECT_EQ(back.retry_after_ms, 750);
+  EXPECT_TRUE(back.brownout);
+  EXPECT_EQ(back.live_shards, 1u);
+  EXPECT_EQ(back.total_shards, 4u);
+  EXPECT_TRUE(back.served_stale);
+  EXPECT_EQ(back.stale_age_ms, 2500);
+  EXPECT_EQ(back.stats.quota_rejections, 3u);
+  EXPECT_EQ(back.stats.brownout_sheds, 2u);
+  EXPECT_EQ(back.stats.stale_serves, 1u);
+  EXPECT_STREQ(server::to_string(Status::kQuotaExceeded), "quota-exceeded");
+}
+
+// ---- client quota ----------------------------------------------------------
+
+TEST(QuotaTest, BurstThenExactRefill) {
+  QuotaOptions qopt;
+  qopt.rps = 1.0;
+  qopt.burst = 3.0;
+  ClientQuota quota(qopt);
+  ASSERT_TRUE(quota.enabled());
+  const auto t0 = std::chrono::steady_clock::time_point{} +
+                  std::chrono::hours(1);
+  for (int i = 0; i < 3; ++i)
+    EXPECT_TRUE(quota.admit(7, t0).admitted) << "burst request " << i;
+  const auto rejected = quota.admit(7, t0);
+  EXPECT_FALSE(rejected.admitted);
+  // Empty bucket at 1 rps: the next token is exactly one second out.
+  EXPECT_EQ(rejected.retry_after_ms, 1000);
+  EXPECT_EQ(quota.rejections(), 1u);
+
+  // 1.5 s later the bucket holds 1.5 tokens: one admission, then a
+  // rejection whose hint is the 500 ms to the next full token.
+  const auto t1 = t0 + std::chrono::milliseconds(1500);
+  EXPECT_TRUE(quota.admit(7, t1).admitted);
+  const auto again = quota.admit(7, t1);
+  EXPECT_FALSE(again.admitted);
+  EXPECT_EQ(again.retry_after_ms, 500);
+}
+
+TEST(QuotaTest, ClientsAreIndependent) {
+  QuotaOptions qopt;
+  qopt.rps = 1.0;
+  qopt.burst = 1.0;
+  ClientQuota quota(qopt);
+  const auto t0 = std::chrono::steady_clock::time_point{} +
+                  std::chrono::hours(1);
+  EXPECT_TRUE(quota.admit(1, t0).admitted);
+  EXPECT_FALSE(quota.admit(1, t0).admitted);
+  // A different identity still has its full burst.
+  EXPECT_TRUE(quota.admit(2, t0).admitted);
+}
+
+TEST(QuotaTest, DisabledAdmitsEverything) {
+  ClientQuota quota(QuotaOptions{});
+  EXPECT_FALSE(quota.enabled());
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < 100; ++i) EXPECT_TRUE(quota.admit(1, t0).admitted);
+}
+
+// ---- global quota through the proxy ----------------------------------------
+
+TEST(ProxyQuotaTest, FloodAcrossFourShardsHeldToOneQuota) {
+  // Four shards behind one proxy with a 3-request burst and a
+  // negligible refill rate.  A flooding client gets exactly ONE
+  // cluster-wide budget — 3 admissions — no matter how many shards its
+  // traces hash to; before this lived in the proxy, K shards would
+  // each have granted their own budget (K times the quota).
+  std::vector<TempFile> socks;
+  for (int i = 0; i < 5; ++i)
+    socks.emplace_back("quota" + std::to_string(i));
+  std::vector<std::unique_ptr<server::Server>> shards;
+  ProxyOptions popt;
+  for (int i = 0; i < 4; ++i) {
+    server::ServerOptions so;
+    so.unix_path = socks[static_cast<std::size_t>(i)].path();
+    so.jobs = 1;
+    so.shard_id = static_cast<std::uint64_t>(i) + 1;
+    shards.push_back(std::make_unique<server::Server>(so));
+    shards.back()->start();
+    popt.shards.push_back(ShardEndpoint::parse(
+        static_cast<std::uint64_t>(i) + 1,
+        socks[static_cast<std::size_t>(i)].path()));
+  }
+  popt.unix_path = socks[4].path();
+  popt.quota.rps = 0.0001;
+  popt.quota.burst = 3.0;
+  Proxy proxy(popt);
+  proxy.start();
+  ASSERT_EQ(proxy.membership().up_count(), 4u);
+
+  // Distinct traces so the flood provably spans multiple shards.
+  std::vector<std::unique_ptr<TempFile>> traces;
+  std::set<std::uint64_t> owners;
+  for (int i = 0; i < 8; ++i) {
+    traces.push_back(std::make_unique<TempFile>("qt"));
+    write_trace(traces.back()->path(), 2 + i % 3, 170 + 23 * i);
+    const std::uint64_t key =
+        server::content_key_of_file(traces.back()->path());
+    const auto route = proxy.membership().route(key, 1);
+    ASSERT_EQ(route.size(), 1u);
+    owners.insert(proxy.membership().endpoint(route[0]).id);
+  }
+  ASSERT_GE(owners.size(), 3u) << "traces did not spread across shards";
+
+  Client flooder = Client::connect_unix(socks[4].path());
+  int admitted = 0, quota_rejected = 0;
+  for (int i = 0; i < 16; ++i) {
+    Request req = predict_request(
+        traces[static_cast<std::size_t>(i) % traces.size()]->path());
+    req.client_id = 77;
+    const Response r = flooder.call(req);
+    if (r.status == Status::kOk) {
+      ++admitted;
+    } else {
+      ASSERT_EQ(r.status, Status::kQuotaExceeded) << r.error;
+      EXPECT_GT(r.retry_after_ms, 0);
+      EXPECT_NE(r.error.find("quota"), std::string::npos);
+      ++quota_rejected;
+    }
+  }
+  EXPECT_EQ(admitted, 3) << "flood was not held to exactly one burst";
+  EXPECT_EQ(quota_rejected, 13);
+
+  // The well-behaved client is untouched by the flooder's rejection
+  // storm, and its answer matches the offline digest.
+  Client polite = Client::connect_unix(socks[4].path());
+  Request req = predict_request(traces[0]->path());
+  req.client_id = 88;
+  const Response r = polite.call(req);
+  ASSERT_EQ(r.status, Status::kOk) << r.error;
+  EXPECT_EQ(r.digest, offline_predict(traces[0]->path()).digest);
+
+  // The proxy's aggregated stats surface the rejections.
+  Request stats;
+  stats.type = ReqType::kStats;
+  const Response s = polite.call(stats);
+  ASSERT_EQ(s.status, Status::kOk);
+  EXPECT_EQ(s.stats.quota_rejections, 13u);
+
+  proxy.stop();
+  for (auto& sh : shards) sh->stop();
+}
+
+// ---- brownout --------------------------------------------------------------
+
+TEST(ProxyBrownoutTest, ShedsColdServesCachedStale) {
+  TempFile sock_a{"bo_a"}, sock_b{"bo_b"}, sock_p{"bo_p"};
+  server::ServerOptions sa;
+  sa.unix_path = sock_a.path();
+  sa.jobs = 1;
+  sa.shard_id = 1;
+  server::ServerOptions sb = sa;
+  sb.unix_path = sock_b.path();
+  sb.shard_id = 2;
+  auto shard_a = std::make_unique<server::Server>(sa);
+  auto shard_b = std::make_unique<server::Server>(sb);
+  shard_a->start();
+  shard_b->start();
+
+  ProxyOptions popt;
+  popt.unix_path = sock_p.path();
+  popt.shards.push_back(ShardEndpoint::parse(1, sock_a.path()));
+  popt.shards.push_back(ShardEndpoint::parse(2, sock_b.path()));
+  // 1 of 2 live (50%) is below the 60% floor -> brownout.
+  popt.brownout_min_live_pct = 60;
+  popt.stale_ms = 60000;
+  // Slow re-probe so the downed shard stays ejected for the test body.
+  popt.membership.probe_base_ms = 2000;
+  popt.membership.probe_cap_ms = 4000;
+  Proxy proxy(popt);
+  proxy.start();
+  ASSERT_EQ(proxy.membership().up_count(), 2u);
+  EXPECT_FALSE(proxy.brownout_active());
+
+  // Warm the proxy response cache while the cluster is whole.
+  TempFile warm("bo_warm");
+  write_trace(warm.path(), 3, 240);
+  Client client = Client::connect_unix(sock_p.path());
+  const Response first = client.call(predict_request(warm.path()));
+  ASSERT_EQ(first.status, Status::kOk) << first.error;
+  EXPECT_FALSE(first.served_stale);
+
+  // Take shard 2 down hard; eject it so the ring shrinks immediately.
+  shard_b->stop();
+  proxy.membership().eject(1);
+  std::size_t live = 0, total = 0;
+  ASSERT_TRUE(proxy.brownout_active(&live, &total));
+  EXPECT_EQ(live, 1u);
+  EXPECT_EQ(total, 2u);
+
+  // Repeat request: served from the proxy cache, marked stale+brownout,
+  // digest-identical to the fresh answer.
+  const Response cached = client.call(predict_request(warm.path()));
+  ASSERT_EQ(cached.status, Status::kOk) << cached.error;
+  EXPECT_TRUE(cached.served_stale);
+  EXPECT_TRUE(cached.brownout);
+  EXPECT_GE(cached.stale_age_ms, 0);
+  EXPECT_EQ(cached.digest, first.digest);
+
+  // Cold compute: shed with a typed overload carrying the brownout
+  // marker and a retry hint — never forwarded to the surviving shard.
+  TempFile cold("bo_cold");
+  write_trace(cold.path(), 4, 300);
+  const Response shed = client.call(predict_request(cold.path()));
+  EXPECT_EQ(shed.status, Status::kOverloaded);
+  EXPECT_TRUE(shed.brownout);
+  EXPECT_GT(shed.retry_after_ms, 0);
+  EXPECT_NE(shed.error.find("brownout"), std::string::npos);
+
+  // Health still answers, surfacing the degraded state.
+  Request health;
+  health.type = ReqType::kHealth;
+  const Response h = client.call(health);
+  ASSERT_EQ(h.status, Status::kOk);
+  EXPECT_TRUE(h.brownout);
+  EXPECT_EQ(h.live_shards, 1u);
+  EXPECT_EQ(h.total_shards, 2u);
+  EXPECT_NE(server::render_health_text(h).find("BROWNOUT"),
+            std::string::npos);
+
+  proxy.stop();
+  shard_a->stop();
+}
+
+// ---- membership epoch transitions ------------------------------------------
+
+TEST(MembershipEpochTest, TransientBlipKeepsEpochRestartChangesIt) {
+  TempFile sock{"epoch_shard"};
+  server::ServerOptions so;
+  so.unix_path = sock.path();
+  so.jobs = 1;
+  so.shard_id = 1;
+  auto shard = std::make_unique<server::Server>(so);
+  shard->start();
+
+  MembershipOptions mopt;
+  mopt.probe_base_ms = 10;
+  mopt.probe_cap_ms = 50;
+  Membership m({ShardEndpoint::parse(1, sock.path())}, mopt);
+  m.start();
+  ASSERT_EQ(m.up_count(), 1u);
+  const std::uint64_t epoch_orig = m.snapshot()[0].epoch;
+  ASSERT_NE(epoch_orig, 0u);
+
+  // Transient blip: ejected while the process lives on.  The prober
+  // re-admits it, and the SAME epoch proves nothing restarted (the
+  // shard's cache is still warm).
+  m.eject(0);
+  EXPECT_EQ(m.up_count(), 0u);
+  auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (m.up_count() < 1 && std::chrono::steady_clock::now() < deadline)
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  ASSERT_EQ(m.up_count(), 1u) << "blip never recovered";
+  EXPECT_EQ(m.snapshot()[0].epoch, epoch_orig)
+      << "a blip must not look like a restart";
+  EXPECT_EQ(m.snapshot()[0].ejections, 1u);
+
+  // Real restart on the same endpoint: a new process binds the same
+  // socket.  After the down/up cycle the epoch MUST differ — that is
+  // how the proxy knows the cache went cold.
+  shard->stop();
+  shard.reset();
+  m.eject(0);
+  shard = std::make_unique<server::Server>(so);
+  shard->start();
+  deadline = std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (m.up_count() < 1 && std::chrono::steady_clock::now() < deadline)
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  ASSERT_EQ(m.up_count(), 1u) << "restart never recovered";
+  EXPECT_NE(m.snapshot()[0].epoch, epoch_orig)
+      << "restart-with-same-endpoint must present a fresh epoch";
+  EXPECT_EQ(m.snapshot()[0].ejections, 2u);
+
+  m.stop();
+  shard->stop();
+}
+
+TEST(MembershipEpochTest, DownShardIsReprobedWithBackoffUntilItReturns) {
+  TempFile sock{"backoff_shard"};
+  server::ServerOptions so;
+  so.unix_path = sock.path();
+  so.jobs = 1;
+  so.shard_id = 1;
+  auto shard = std::make_unique<server::Server>(so);
+  shard->start();
+
+  MembershipOptions mopt;
+  mopt.probe_base_ms = 20;
+  mopt.probe_cap_ms = 200;
+  Membership m({ShardEndpoint::parse(1, sock.path())}, mopt);
+  m.start();
+  ASSERT_EQ(m.up_count(), 1u);
+
+  // Kill the shard for real, eject, and hold it down long enough that
+  // the prober must fail several times (walking up its backoff).
+  shard->stop();
+  shard.reset();
+  m.eject(0);
+  std::this_thread::sleep_for(std::chrono::milliseconds(400));
+  EXPECT_EQ(m.up_count(), 0u) << "prober resurrected a dead shard";
+
+  // Bring it back: recovery must happen on its own, bounded by the
+  // backoff cap (plus generous scheduling slack).
+  shard = std::make_unique<server::Server>(so);
+  shard->start();
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (m.up_count() < 1 && std::chrono::steady_clock::now() < deadline)
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_EQ(m.up_count(), 1u) << "backed-off prober never recovered";
+
+  m.stop();
+  shard->stop();
+}
+
+// ---- launcher: zombies, pause/resume, crash-loop governance ----------------
+
+TEST(LauncherTest, ReapExitedCollectsSelfCrashedShard) {
+  ASSERT_STRNE(VPPB_EXE, "") << "VPPB_EXE not compiled in";
+  TempFile dir_guard("reap_dir");
+  ClusterOptions copt;
+  copt.exe = VPPB_EXE;
+  copt.dir = dir_guard.path();
+  copt.shards = 1;
+  copt.jobs = 1;
+  LocalCluster shards(copt);
+  shards.start();
+  ASSERT_TRUE(shards.alive(0));
+  EXPECT_TRUE(shards.reap_exited().empty());
+
+  // The shard dies on its own — no kill_shard, so nobody waitpid()s it
+  // and it sits as a zombie until reap_exited collects it.
+  ::kill(shards.pid(0), SIGKILL);
+  std::vector<std::size_t> exited;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (exited.empty() && std::chrono::steady_clock::now() < deadline) {
+    exited = shards.reap_exited();
+    if (exited.empty())
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  ASSERT_EQ(exited.size(), 1u);
+  EXPECT_EQ(exited[0], 0u);
+  EXPECT_FALSE(shards.alive(0));
+
+  // And the slot restarts cleanly afterwards.
+  shards.restart_shard(0);
+  EXPECT_TRUE(shards.alive(0));
+  shards.stop();
+}
+
+TEST(LauncherTest, PausedShardStopsAnsweringAndResumes) {
+  ASSERT_STRNE(VPPB_EXE, "") << "VPPB_EXE not compiled in";
+  TempFile dir_guard("pause_dir");
+  ClusterOptions copt;
+  copt.exe = VPPB_EXE;
+  copt.dir = dir_guard.path();
+  copt.shards = 1;
+  copt.jobs = 1;
+  LocalCluster shards(copt);
+  shards.start();
+
+  auto probe_ok = [&]() {
+    try {
+      Client c = Client::connect_unix(shards.shards()[0].unix_path);
+      Request req;
+      req.type = ReqType::kHealth;
+      server::RetryPolicy once;
+      once.max_attempts = 1;
+      once.request_timeout_ms = 300;
+      return c.call_retry(req, once).status == Status::kOk;
+    } catch (const Error&) {
+      return false;
+    }
+  };
+  ASSERT_TRUE(probe_ok());
+
+  // SIGSTOPped: connects may still land in the kernel backlog, but no
+  // response arrives inside the timeout — the gray-failure signature.
+  shards.pause_shard(0);
+  EXPECT_FALSE(probe_ok());
+  shards.resume_shard(0);
+  EXPECT_TRUE(probe_ok());
+
+  // stop() must also cope with a paused shard (SIGCONT before SIGTERM,
+  // else the blocking waitpid would hang this test forever).
+  shards.pause_shard(0);
+  shards.stop();
+  EXPECT_FALSE(shards.alive(0));
+}
+
+TEST(LauncherTest, CrashLoopBacksOffThenRefuses) {
+  ASSERT_STRNE(VPPB_EXE, "") << "VPPB_EXE not compiled in";
+  TempFile dir_guard("loop_dir");
+  ClusterOptions copt;
+  copt.exe = VPPB_EXE;
+  copt.dir = dir_guard.path();
+  copt.shards = 1;
+  copt.jobs = 1;
+  copt.max_crash_restarts = 3;
+  copt.restart_backoff_base_ms = 10;
+  copt.restart_backoff_cap_ms = 30;
+  LocalCluster shards(copt);
+  shards.start();
+
+  // Three rapid crash->restart cycles are tolerated (with backoff)...
+  for (int i = 0; i < 3; ++i) {
+    shards.kill_shard(0);
+    shards.restart_shard(0);
+    EXPECT_EQ(shards.restarts(0), i + 1);
+  }
+  // ...the fourth inside the cool-off window is refused: a shard that
+  // cannot stay up should stay down until an operator looks at it.
+  shards.kill_shard(0);
+  EXPECT_THROW(shards.restart_shard(0), Error);
+  EXPECT_FALSE(shards.alive(0));
   shards.stop();
 }
 

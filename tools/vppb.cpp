@@ -91,17 +91,21 @@ int usage() {
       "        [--quarantine-ms N]\n"
       "  proxy --shards EP[,EP...] [--socket PATH | --port N]\n"
       "        [--hedge-ms N] [--vnodes N] [--forward-timeout-ms N]\n"
+      "        [--quota-rps R] [--quota-burst B] [--replicas N]\n"
+      "        [--brownout-live-pct P] [--brownout-inflight N]\n"
+      "        [--stale-ms N]\n"
       "        consistent-hash routing tier; each EP is a unix socket\n"
       "        path or a loopback port; exit 1 on bad config\n"
       "  cluster [--shards N] [--dir D] [--socket PATH | --port N]\n"
       "          [--jobs N] [--cache-entries N] [--hedge-ms N]\n"
+      "          + the proxy resilience flags above\n"
       "          fork N vppbd shards under D + serve a proxy over them\n"
       "  request <predict|simulate|analyze|stats|health|metricsdump>\n"
       "          [trace] [--socket PATH | --port N] [--deadline-ms N]\n"
       "          [--timeout-ms N] [--retries N] [--client-id N] + the\n"
       "          predict/simulate/analyze flags above; --svg F saves the\n"
       "          simulate render; exit 3 overloaded, 4 deadline, 5 budget\n"
-      "          exceeded, 6 poisoned\n"
+      "          exceeded, 6 poisoned, 7 quota exceeded\n"
       "  stats [--watch] [--interval-ms N] [--count N]\n"
       "        live daemon counter view (stats request in a loop)\n"
       "  info/predict/simulate/analyze/convert accept --salvage: load the\n"
@@ -486,6 +490,14 @@ cluster::ProxyOptions proxy_options_from_flags(Flags& flags) {
   opt.hedge_ms = flags.i64("hedge-ms");
   opt.forward_timeout_ms = static_cast<int>(flags.i64("forward-timeout-ms"));
   opt.membership.vnodes = static_cast<int>(flags.i64("vnodes"));
+  opt.quota.rps = flags.dbl("quota-rps");
+  opt.quota.burst = flags.dbl("quota-burst");
+  opt.replicas = static_cast<int>(flags.i64("replicas"));
+  opt.brownout_min_live_pct =
+      static_cast<int>(flags.i64("brownout-live-pct"));
+  opt.brownout_max_inflight =
+      static_cast<int>(flags.i64("brownout-inflight"));
+  opt.stale_ms = flags.i64("stale-ms");
   return opt;
 }
 
@@ -611,6 +623,10 @@ int cmd_request(Flags& flags) {
   if (r.status == server::Status::kPoisoned) {
     std::fprintf(stderr, "vppb: %s\n", r.error.c_str());
     return 6;
+  }
+  if (r.status == server::Status::kQuotaExceeded) {
+    std::fprintf(stderr, "vppb: %s\n", r.error.c_str());
+    return 7;
   }
   if (r.status == server::Status::kError) {
     std::fprintf(stderr, "vppb: server error: %s\n", r.error.c_str());
@@ -822,6 +838,23 @@ int main(int argc, char** argv) {
   flags.define_i64("forward-timeout-ms", 30000,
                    "proxy/cluster: per-forward receive timeout "
                    "(0 = wait forever)");
+  flags.define_double("quota-rps", 0.0,
+                      "proxy/cluster: cluster-wide per-client rate quota "
+                      "in requests/s (0 = off)");
+  flags.define_double("quota-burst", 8.0,
+                      "proxy/cluster: per-client quota burst allowance");
+  flags.define_i64("replicas", 2,
+                   "proxy/cluster: owner-walk length for compute "
+                   "failover/hedging");
+  flags.define_i64("brownout-live-pct", 0,
+                   "proxy/cluster: shed cold computes when live shards "
+                   "drop below this percent of configured (0 = off)");
+  flags.define_i64("brownout-inflight", 0,
+                   "proxy/cluster: shed cold computes at this many "
+                   "proxy-level in-flight computes (0 = off)");
+  flags.define_i64("stale-ms", 30000,
+                   "proxy/cluster: oldest proxy-cached response servable "
+                   "during brownout/outage (0 = never stale-serve)");
   flags.define_string("log-level", "",
                       "trace|debug|info|warn|error|off (overrides $VPPB_LOG)");
   flags.define_bool("log-json", false, "emit log lines as JSON objects");
