@@ -6,6 +6,7 @@
 
 #include "obs/log.hpp"
 #include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "server/trace_cache.hpp"
 #include "util/error.hpp"
 #include "util/strings.hpp"
@@ -17,8 +18,16 @@ using obs::LogLevel;
 using server::Request;
 using server::ReqType;
 using server::Response;
+using server::StageSpan;
 using server::StatsBody;
 using server::Status;
+using server::WireSpan;
+
+/// Cap on the merged trace-collect response: shards dump up to 32k
+/// spans per ring, and the proxy concatenates all of them plus its own;
+/// the total must stay under kMaxFrame (64 MiB) at ~60 encoded bytes a
+/// span.
+constexpr std::size_t kMergedSpanCap = 1u << 19;
 
 /// Registry handles for the proxy, registered once (same pattern as
 /// the cache metrics): the routing tier's own behavior — forwards,
@@ -129,6 +138,26 @@ void merge_stats(StatsBody& into, const StatsBody& from) {
   into.quota_rejections += from.quota_rejections;
   into.brownout_sheds += from.brownout_sheds;
   into.stale_serves += from.stale_serves;
+  // SLO state merges pessimistically: the cluster's objective is the
+  // strictest configured one, and the cluster's burn is the worst
+  // shard's burn — an operator paged on the merged number is paged no
+  // later than they would be watching every shard.
+  const auto min_nonzero = [](double a, double b) {
+    if (a == 0.0) return b;
+    if (b == 0.0) return a;
+    return std::min(a, b);
+  };
+  into.slo_p99_ms = min_nonzero(into.slo_p99_ms, from.slo_p99_ms);
+  into.slo_availability =
+      std::max(into.slo_availability, from.slo_availability);
+  into.lat_burn_1m = std::max(into.lat_burn_1m, from.lat_burn_1m);
+  into.lat_burn_5m = std::max(into.lat_burn_5m, from.lat_burn_5m);
+  into.lat_burn_1h = std::max(into.lat_burn_1h, from.lat_burn_1h);
+  into.avail_burn_1m = std::max(into.avail_burn_1m, from.avail_burn_1m);
+  into.avail_burn_5m = std::max(into.avail_burn_5m, from.avail_burn_5m);
+  into.avail_burn_1h = std::max(into.avail_burn_1h, from.avail_burn_1h);
+  into.sampled_requests += from.sampled_requests;
+  into.trace_dropped += from.trace_dropped;
 }
 
 std::string merge_prometheus(
@@ -147,7 +176,7 @@ std::string merge_prometheus(
     while (pos < text.size()) {
       std::size_t eol = text.find('\n', pos);
       if (eol == std::string::npos) eol = text.size();
-      const std::string line = text.substr(pos, eol - pos);
+      std::string line = text.substr(pos, eol - pos);
       pos = eol + 1;
       if (line.empty()) continue;
       if (line[0] == '#') {
@@ -155,6 +184,11 @@ std::string merge_prometheus(
         pending_comments += '\n';
         continue;
       }
+      // Histogram bucket lines may carry an OpenMetrics exemplar suffix
+      // (` # {trace_id="..."} value`); exemplars do not merge — cut the
+      // line back to the plain sample before parsing.
+      const std::size_t ex = line.find(" # ");
+      if (ex != std::string::npos) line.resize(ex);
       const std::size_t sp = line.rfind(' ');
       if (sp == std::string::npos || sp == 0) continue;  // not a sample
       const std::string key = line.substr(0, sp);
@@ -201,7 +235,9 @@ Proxy::Proxy(ProxyOptions opt)
     : opt_(std::move(opt)),
       membership_(opt_.shards, opt_.membership),
       quota_(opt_.quota),
-      hedge_pool_(std::max(2, opt_.hedge_jobs)) {}
+      hedge_pool_(std::max(2, opt_.hedge_jobs)) {
+  slo_.configure(obs::SloOptions{opt_.slo_p99_ms, opt_.slo_availability});
+}
 
 Proxy::~Proxy() { stop(); }
 
@@ -218,6 +254,7 @@ void Proxy::start() {
   membership_.start();  // one synchronous probe round populates the ring
   ProxyMetrics::get().shards_up.set(
       static_cast<std::int64_t>(membership_.up_count()));
+  if (opt_.tracing) obs::Tracer::global().enable();
   running_.store(true);
   accept_thread_ = std::thread(&Proxy::accept_loop, this);
   obs::logf(LogLevel::kInfo, "proxy",
@@ -270,14 +307,20 @@ void Proxy::serve_connection(Conn* conn) {
     std::vector<std::uint8_t> payload;
     while (server::read_frame(conn->sock, payload)) {
       Response resp;
+      std::uint64_t trace_id = 0;
       try {
-        resp = execute(server::decode_request(payload), conn->key);
+        const Request req = server::decode_request(payload);
+        trace_id = req.trace_id;
+        resp = execute(req, conn->key);
       } catch (const Error& e) {
         // Undecodable request, unreadable trace file, every shard
         // down: a typed answer on an intact connection.
         resp.status = Status::kError;
         resp.error = e.what();
       }
+      // Echo the caller's trace id even on stale-cache answers, whose
+      // stored copy carries whatever id first populated them.
+      resp.trace_id = trace_id;
       server::write_frame(conn->sock, server::encode(resp));
     }
   } catch (const Error& e) {
@@ -311,6 +354,12 @@ bool Proxy::brownout_active(std::size_t* live, std::size_t* total) const {
 Response Proxy::execute(const Request& req, std::uint64_t conn_key) {
   ProxyMetrics& pm = ProxyMetrics::get();
   pm.requests.inc();
+  if (req.trace_id != 0) sampled_.fetch_add(1);
+  // Propagated trace context: the proxy's own spans for this request
+  // carry the caller's trace id, so trace-collect stitches the routing
+  // tier and the shards into one distributed trace.
+  obs::TraceContext tctx(req.sampled ? req.trace_id : 0);
+  obs::Span span("proxy.execute", "proxy");
   const auto t0 = std::chrono::steady_clock::now();
   // Health and stats never queue behind compute and are never shed:
   // in a brownout they are exactly the requests an operator needs.
@@ -337,9 +386,15 @@ Response Proxy::execute(const Request& req, std::uint64_t conn_key) {
     }
   }
 
+  // Proxy-side stage timeline; the shard's stages come back in its
+  // response and are grafted under the forward stage at depth+1.
+  std::unique_ptr<obs::Timeline> tl;
+  if (req.want_timeline) tl = std::make_unique<obs::Timeline>();
+
   // Route by the trace's content digest — the same FNV-1a the shard's
   // TraceCache will key the compiled trace by.
   std::uint64_t key = 0;
+  const std::int64_t route0 = tl ? tl->now_us() : 0;
   try {
     key = server::content_key_of_file(req.trace_path);
   } catch (const Error& e) {
@@ -347,6 +402,7 @@ Response Proxy::execute(const Request& req, std::uint64_t conn_key) {
         req, strprintf("proxy cannot read trace %s: %s",
                        req.trace_path.c_str(), e.what()));
   }
+  if (tl) tl->stage("route", route0, tl->now_us() - route0);
   const std::uint64_t ckey = response_cache_key(req, key);
 
   // Brownout: shed by priority.  Repeats answer slightly stale from
@@ -358,6 +414,13 @@ Response Proxy::execute(const Request& req, std::uint64_t conn_key) {
       pm.stale_serves.inc();
       stale_serves_.fetch_add(1);
       cached.brownout = true;
+      if (tl) {
+        tl->marker("stale-serve");
+        cached.timeline.clear();
+        for (const obs::Stage& s : tl->stages())
+          cached.timeline.push_back(
+              StageSpan{s.name, s.start_us, s.dur_us, s.depth});
+      }
       return cached;
     }
     pm.brownout_sheds.inc();
@@ -377,12 +440,34 @@ Response Proxy::execute(const Request& req, std::uint64_t conn_key) {
   Request fwd = req;
   if (fwd.client_id == 0) fwd.origin_id = ident;
   InflightScope scope(inflight_);
-  return single_flight(fwd, key, ckey, t0);
+  Response resp = single_flight(fwd, key, ckey, t0, tl.get());
+  // Cluster-level SLO: what this client actually experienced, failover
+  // and hedging included.  Rejections above (quota, brownout shed) are
+  // the proxy protecting the objective, not burning it.
+  const bool ok = resp.status != Status::kError &&
+                  resp.status != Status::kDeadlineExceeded &&
+                  resp.status != Status::kBudgetExceeded;
+  slo_.record(std::chrono::duration<double, std::micro>(
+                  std::chrono::steady_clock::now() - t0)
+                  .count(),
+              ok);
+  if (tl) {
+    // Compose: proxy stages at their recorded depth, shard stages
+    // (already shifted to this timeline and re-parented by the forward
+    // layer) appended after.
+    std::vector<StageSpan> merged;
+    for (const obs::Stage& s : tl->stages())
+      merged.push_back(StageSpan{s.name, s.start_us, s.dur_us, s.depth});
+    for (StageSpan& s : resp.timeline) merged.push_back(std::move(s));
+    resp.timeline = std::move(merged);
+  }
+  return resp;
 }
 
 Response Proxy::single_flight(const Request& req, std::uint64_t route_key,
                               std::uint64_t cache_key,
-                              std::chrono::steady_clock::time_point t0) {
+                              std::chrono::steady_clock::time_point t0,
+                              obs::Timeline* tl) {
   // De-dup key: the encoded request with the proxy's own origin stamp
   // zeroed, so requests that arrived byte-identical (same trace
   // content *and* same parameters, deadline, client id) still collapse
@@ -416,7 +501,7 @@ Response Proxy::single_flight(const Request& req, std::uint64_t route_key,
   Response resp;
   std::exception_ptr error;
   try {
-    resp = forward_failover(req, route_key, cache_key, t0);
+    resp = forward_failover(req, route_key, cache_key, t0, tl);
   } catch (...) {
     error = std::current_exception();
   }
@@ -437,6 +522,8 @@ Response Proxy::single_flight(const Request& req, std::uint64_t route_key,
 
 Response Proxy::forward_once(std::size_t idx, const Request& req) {
   ProxyMetrics::get().forwards.inc();
+  obs::Span span("proxy.forward", "proxy");
+  span.arg("shard", static_cast<std::int64_t>(membership_.endpoint(idx).id));
   server::Client conn = membership_.take_conn(idx);
   server::RetryPolicy once;
   once.max_attempts = 1;  // retries belong to the failover layer
@@ -451,7 +538,7 @@ Response Proxy::forward_once(std::size_t idx, const Request& req) {
 bool Proxy::hedged_forward(const Request& req,
                            const std::vector<std::size_t>& candidates,
                            std::chrono::steady_clock::time_point t0,
-                           Response* out) {
+                           Response* out, obs::Timeline* tl) {
   ProxyMetrics& pm = ProxyMetrics::get();
   auto hedge = std::make_shared<Hedge>();
   auto launch = [this, hedge, req](std::size_t idx) {
@@ -464,6 +551,9 @@ bool Proxy::hedged_forward(const Request& req,
       ++hedge->launched;
     }
     hedge_pool_.post([this, hedge, req, idx]() {
+      // The pool thread needs its own trace context: thread-locals do
+      // not follow the request across the post.
+      obs::TraceContext tctx(req.sampled ? req.trace_id : 0);
       try {
         Response r = forward_once(idx, req);
         std::lock_guard<std::mutex> lock(hedge->mu);
@@ -508,6 +598,7 @@ bool Proxy::hedged_forward(const Request& req,
     if (!hedge->done && candidates.size() > 1 && deadline_allows) {
       lock.unlock();
       pm.hedges.inc();
+      if (tl) tl->marker("hedge");
       hedged = true;
       launch(candidates[1]);
       lock.lock();
@@ -580,6 +671,10 @@ void Proxy::cache_store(std::uint64_t cache_key, const Response& resp) {
   if (std::find(e.warm.begin(), e.warm.end(), served) == e.warm.end())
     e.warm.push_back(served);
   e.resp = resp;
+  // Per-request observability never replays: a stale serve gets the
+  // cached *answer*, not the timeline of whoever populated the cache.
+  e.resp.timeline.clear();
+  e.resp.spans.clear();
   e.at = std::chrono::steady_clock::now();
   e.tick = ++cache_tick_;
   while (rcache_.size() > opt_.response_cache_entries) {
@@ -602,7 +697,23 @@ bool Proxy::cache_warm(std::uint64_t cache_key, std::uint64_t shard_id,
 
 Response Proxy::forward_failover(const Request& req, std::uint64_t route_key,
                                  std::uint64_t cache_key,
-                                 std::chrono::steady_clock::time_point t0) {
+                                 std::chrono::steady_clock::time_point t0,
+                                 obs::Timeline* tl) {
+  // Grafts the answering shard's timeline under this proxy's: shift to
+  // when the (winning) forward began and nest one level deeper, so a
+  // depth-0 walk of the merged waterfall never double-counts shard time
+  // already covered by the forward stage.
+  const auto graft = [tl](Response& resp, std::int64_t f0,
+                          const char* label) {
+    if (tl == nullptr) return;
+    for (StageSpan& s : resp.timeline) {
+      s.start_us += f0;
+      s.depth += 1;
+    }
+    tl->stage(strprintf("%s shard=%llu", label,
+                        static_cast<unsigned long long>(resp.shard_id)),
+              f0, tl->now_us() - f0);
+  };
   ProxyMetrics& pm = ProxyMetrics::get();
   const std::size_t shard_count = membership_.shard_count();
   const std::size_t rounds = std::max<std::size_t>(std::size_t{1},
@@ -630,7 +741,9 @@ Response Proxy::forward_failover(const Request& req, std::uint64_t route_key,
     }
     if (opt_.hedge_ms > 0 && candidates.size() > 1) {
       Response resp;
-      if (hedged_forward(req, candidates, t0, &resp)) {
+      const std::int64_t f0 = tl ? tl->now_us() : 0;
+      if (hedged_forward(req, candidates, t0, &resp, tl)) {
+        graft(resp, f0, "forward");
         cache_store(cache_key, resp);
         return resp;
       }
@@ -641,7 +754,9 @@ Response Proxy::forward_failover(const Request& req, std::uint64_t route_key,
     // the shrunken ring.
     for (std::size_t idx : candidates) {
       try {
+        const std::int64_t f0 = tl ? tl->now_us() : 0;
         Response resp = forward_once(idx, req);
+        graft(resp, f0, "forward");
         cache_store(cache_key, resp);
         return resp;
       } catch (const Error& e) {
@@ -650,6 +765,7 @@ Response Proxy::forward_failover(const Request& req, std::uint64_t route_key,
                   static_cast<unsigned long long>(
                       membership_.endpoint(idx).id),
                   e.what());
+        if (tl) tl->marker("failover");
         pm.failovers.inc();
         membership_.eject(idx);
         pm.shards_up.set(static_cast<std::int64_t>(membership_.up_count()));
@@ -664,6 +780,7 @@ Response Proxy::forward_failover(const Request& req, std::uint64_t route_key,
   if (cache_lookup(cache_key, opt_.stale_ms, &cached)) {
     pm.stale_serves.inc();
     stale_serves_.fetch_add(1);
+    if (tl) tl->marker("stale-serve");
     return cached;
   }
   pm.no_shards.inc();
@@ -683,6 +800,7 @@ Response Proxy::aggregate(const Request& req) {
                                obs::Registry::global().prometheus_text());
 
   const std::vector<ShardView> before = membership_.snapshot();
+  bool shard_burning = false;
   for (std::size_t i = 0; i < before.size(); ++i) {
     server::ShardInfo info;
     info.shard_id = before[i].endpoint.id;
@@ -701,8 +819,13 @@ Response Proxy::aggregate(const Request& req) {
           out.ready = out.ready || r.ready;
           out.in_flight += r.in_flight;
           out.admission_limit += r.admission_limit;
+          shard_burning = shard_burning || r.slo_burning;
           if (req.type == ReqType::kMetricsDump)
             metric_sections.emplace_back(info.endpoint, r.report);
+          if (req.type == ReqType::kTraceDump)
+            out.spans.insert(out.spans.end(),
+                             std::make_move_iterator(r.spans.begin()),
+                             std::make_move_iterator(r.spans.end()));
         }
       } catch (const Error&) {
         membership_.eject(i);
@@ -712,6 +835,37 @@ Response Proxy::aggregate(const Request& req) {
     }
     merge_stats(out.stats, info.stats);
     out.shards.push_back(std::move(info));
+  }
+  if (req.type == ReqType::kTraceDump) {
+    // The proxy's own rings join the merged dump as pid 0 (shard ids
+    // start at 1), on the same absolute unix-ns timebase the shards
+    // used, so the collector needs no clock negotiation.
+    const obs::Tracer& tracer = obs::Tracer::global();
+    const std::int64_t epoch_unix = tracer.epoch_unix_ns();
+    for (const obs::Tracer::SnapshotEvent& se : tracer.snapshot(1u << 15)) {
+      WireSpan w;
+      w.pid = 0;
+      w.tid = se.tid;
+      w.name = se.ev.name != nullptr ? se.ev.name : "?";
+      w.cat = se.ev.cat != nullptr ? se.ev.cat : "vppb";
+      w.start_unix_ns = epoch_unix + se.ev.start_ns;
+      w.dur_ns = se.ev.dur_ns;
+      w.trace_id = se.ev.trace_id;
+      if (se.ev.arg_name != nullptr) {
+        w.arg_name = se.ev.arg_name;
+        w.arg_value = se.ev.arg_value;
+      }
+      out.spans.push_back(std::move(w));
+    }
+    if (out.spans.size() > kMergedSpanCap) {
+      obs::logf(LogLevel::kWarn, "proxy",
+                "tracedump truncated: %zu spans merged, keeping newest %zu",
+                out.spans.size(), kMergedSpanCap);
+      out.spans.erase(out.spans.begin(),
+                      out.spans.end() - static_cast<std::ptrdiff_t>(
+                                            kMergedSpanCap));
+      out.stats.trace_dropped += 1;  // surfaced as a truncation warning
+    }
   }
   if (req.type == ReqType::kMetricsDump)
     out.report = merge_prometheus(metric_sections);
@@ -728,6 +882,25 @@ Response Proxy::aggregate(const Request& req) {
   out.stats.quota_rejections += quota_.rejections();
   out.stats.brownout_sheds += brownout_sheds_.load();
   out.stats.stale_serves += stale_serves_.load();
+  out.stats.sampled_requests += sampled_.load();
+  out.stats.trace_dropped += obs::Tracer::global().dropped_count();
+  // Cluster SLO verdict: the proxy's own client-facing burn, or any
+  // shard already in breach.
+  const obs::BurnRates burn = slo_.burn();
+  if (slo_.enabled()) {
+    out.stats.slo_p99_ms = opt_.slo_p99_ms;
+    out.stats.slo_availability = opt_.slo_availability;
+    out.stats.lat_burn_1m = std::max(out.stats.lat_burn_1m, burn.lat_1m);
+    out.stats.lat_burn_5m = std::max(out.stats.lat_burn_5m, burn.lat_5m);
+    out.stats.lat_burn_1h = std::max(out.stats.lat_burn_1h, burn.lat_1h);
+    out.stats.avail_burn_1m =
+        std::max(out.stats.avail_burn_1m, burn.avail_1m);
+    out.stats.avail_burn_5m =
+        std::max(out.stats.avail_burn_5m, burn.avail_5m);
+    out.stats.avail_burn_1h =
+        std::max(out.stats.avail_burn_1h, burn.avail_1h);
+  }
+  out.slo_burning = burn.burning || shard_burning;
   std::size_t live = 0, total = 0;
   out.brownout = brownout_active(&live, &total);
   out.live_shards = live;

@@ -85,6 +85,8 @@
 
 #include "cluster/membership.hpp"
 #include "cluster/quota.hpp"
+#include "obs/slo.hpp"
+#include "obs/timeline.hpp"
 #include "server/protocol.hpp"
 #include "util/socket.hpp"
 #include "util/thread_pool.hpp"
@@ -129,6 +131,16 @@ struct ProxyOptions {
   /// Response cache capacity (kOk compute responses; SVG-bearing
   /// responses are never cached — they dwarf everything else).
   std::size_t response_cache_entries = 256;
+
+  /// Always-on span capture, same convention as ServerOptions: the
+  /// proxy's own rings feed the cluster-wide `vppb trace-collect`.
+  bool tracing = true;
+  /// Cluster-level SLO objectives over routed compute requests
+  /// (0 = objective off).  Independent of the per-shard objectives:
+  /// this is the latency/availability a *client* of the cluster sees,
+  /// failover and hedging included.
+  double slo_p99_ms = 0.0;
+  double slo_availability = 0.0;
 };
 
 class Proxy {
@@ -197,14 +209,21 @@ class Proxy {
   void serve_connection(Conn* conn);
   server::Response execute(const server::Request& req,
                            std::uint64_t conn_key);
+  /// `tl` (optional) is the proxy-side stage timeline for
+  /// want_timeline requests.  It is only ever stamped from the leader
+  /// connection's thread (hedge attempts run on the pool but the
+  /// orchestration — and every stamp — stays on the caller), which is
+  /// the Timeline's single-writer requirement.
   server::Response single_flight(const server::Request& req,
                                  std::uint64_t route_key,
                                  std::uint64_t cache_key,
-                                 std::chrono::steady_clock::time_point t0);
+                                 std::chrono::steady_clock::time_point t0,
+                                 obs::Timeline* tl);
   server::Response forward_failover(const server::Request& req,
                                     std::uint64_t route_key,
                                     std::uint64_t cache_key,
-                                    std::chrono::steady_clock::time_point t0);
+                                    std::chrono::steady_clock::time_point t0,
+                                    obs::Timeline* tl);
   /// One forward on one connection; throws vppb::Error on transport
   /// failure (the caller ejects).  Clean exchanges pool the connection.
   server::Response forward_once(std::size_t idx, const server::Request& req);
@@ -213,7 +232,7 @@ class Proxy {
   bool hedged_forward(const server::Request& req,
                       const std::vector<std::size_t>& candidates,
                       std::chrono::steady_clock::time_point t0,
-                      server::Response* out);
+                      server::Response* out, obs::Timeline* tl);
   server::Response aggregate(const server::Request& req);
   server::Response error_response(const server::Request& req,
                                   const std::string& what) const;
@@ -237,6 +256,7 @@ class Proxy {
   ProxyOptions opt_;
   Membership membership_;
   ClientQuota quota_;
+  obs::SloTracker slo_;
   util::ThreadPool hedge_pool_;
 
   util::Socket listener_;
@@ -255,6 +275,7 @@ class Proxy {
   std::atomic<int> inflight_{0};  ///< compute requests being forwarded
   std::atomic<std::uint64_t> brownout_sheds_{0};
   std::atomic<std::uint64_t> stale_serves_{0};
+  std::atomic<std::uint64_t> sampled_{0};  ///< trace-carrying requests seen
 
   mutable std::mutex cache_mu_;
   std::unordered_map<std::uint64_t, CachedResponse> rcache_;

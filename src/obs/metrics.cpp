@@ -22,14 +22,27 @@ Histogram::Histogram(std::string name, std::string help,
   }
   buckets_ =
       std::make_unique<std::atomic<std::uint64_t>[]>(bounds_.size() + 1);
-  for (std::size_t i = 0; i <= bounds_.size(); ++i) buckets_[i].store(0);
+  exemplar_ids_ =
+      std::make_unique<std::atomic<std::uint64_t>[]>(bounds_.size() + 1);
+  exemplar_bits_ =
+      std::make_unique<std::atomic<std::uint64_t>[]>(bounds_.size() + 1);
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) {
+    buckets_[i].store(0);
+    exemplar_ids_[i].store(0);
+    exemplar_bits_[i].store(0);
+  }
 }
 
-void Histogram::observe(double v) {
+void Histogram::observe(double v, std::uint64_t exemplar_trace_id) {
   // First edge >= v; past-the-end means the +Inf overflow bucket.
   const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
   const std::size_t idx = static_cast<std::size_t>(it - bounds_.begin());
   buckets_[idx].fetch_add(1, std::memory_order_relaxed);
+  if (exemplar_trace_id != 0) {
+    exemplar_bits_[idx].store(std::bit_cast<std::uint64_t>(v),
+                              std::memory_order_relaxed);
+    exemplar_ids_[idx].store(exemplar_trace_id, std::memory_order_relaxed);
+  }
   count_.fetch_add(1, std::memory_order_relaxed);
   std::uint64_t old = sum_bits_.load(std::memory_order_relaxed);
   while (true) {
@@ -42,6 +55,11 @@ void Histogram::observe(double v) {
 
 double Histogram::sum() const {
   return std::bit_cast<double>(sum_bits_.load(std::memory_order_relaxed));
+}
+
+double Histogram::exemplar_value(std::size_t i) const {
+  return std::bit_cast<double>(exemplar_bits_[i].load(
+      std::memory_order_relaxed));
 }
 
 const std::vector<double>& latency_us_bounds() {
@@ -135,16 +153,25 @@ std::string Registry::prometheus_text() const {
   for (const auto& [name, h] : histograms_) {
     append_help_type(out, name, h->help(), "histogram");
     std::uint64_t cum = 0;
-    for (std::size_t i = 0; i < h->bounds().size(); ++i) {
+    for (std::size_t i = 0; i <= h->bounds().size(); ++i) {
       cum += h->bucket_count(i);
-      std::snprintf(buf, sizeof(buf), "%s_bucket{le=\"%s\"} %" PRIu64 "\n",
-                    name.c_str(), format_double(h->bounds()[i]).c_str(), cum);
+      const std::string le = i < h->bounds().size()
+                                 ? format_double(h->bounds()[i])
+                                 : std::string("+Inf");
+      std::snprintf(buf, sizeof(buf), "%s_bucket{le=\"%s\"} %" PRIu64,
+                    name.c_str(), le.c_str(), cum);
       out += buf;
+      // OpenMetrics-style exemplar: the last trace id observed into
+      // this (non-cumulative) bucket, linking the latency band to a
+      // concrete distributed trace.
+      if (const std::uint64_t ex = h->exemplar_trace_id(i); ex != 0) {
+        std::snprintf(buf, sizeof(buf), " # {trace_id=\"%016" PRIx64
+                      "\"} %s", ex,
+                      format_double(h->exemplar_value(i)).c_str());
+        out += buf;
+      }
+      out += '\n';
     }
-    cum += h->bucket_count(h->bounds().size());
-    std::snprintf(buf, sizeof(buf), "%s_bucket{le=\"+Inf\"} %" PRIu64 "\n",
-                  name.c_str(), cum);
-    out += buf;
     std::snprintf(buf, sizeof(buf), "%s_sum %s\n", name.c_str(),
                   format_double(h->sum()).c_str());
     out += buf;

@@ -114,13 +114,24 @@ class Histogram {
   Histogram(const Histogram&) = delete;
   Histogram& operator=(const Histogram&) = delete;
 
-  void observe(double v);
+  /// `exemplar_trace_id`, when nonzero, is captured as the bucket's
+  /// exemplar (last writer wins): the exposition links the bucket to a
+  /// concrete distributed trace an operator can pull with trace-collect.
+  void observe(double v, std::uint64_t exemplar_trace_id = 0);
 
   const std::vector<double>& bounds() const { return bounds_; }
   /// Non-cumulative count of bucket i; index bounds().size() is +Inf.
   std::uint64_t bucket_count(std::size_t i) const {
     return buckets_[i].load(std::memory_order_relaxed);
   }
+  /// Last captured exemplar trace id for bucket i (0 = none) and the
+  /// observation it came from.  The pair is racy across writers —
+  /// id and value may briefly disagree — which is fine for a debugging
+  /// breadcrumb.
+  std::uint64_t exemplar_trace_id(std::size_t i) const {
+    return exemplar_ids_[i].load(std::memory_order_relaxed);
+  }
+  double exemplar_value(std::size_t i) const;
   std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
   double sum() const;
   const std::string& name() const { return name_; }
@@ -131,6 +142,8 @@ class Histogram {
   std::string help_;
   std::vector<double> bounds_;
   std::unique_ptr<std::atomic<std::uint64_t>[]> buckets_;  // bounds+1 cells
+  std::unique_ptr<std::atomic<std::uint64_t>[]> exemplar_ids_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> exemplar_bits_;  // double
   std::atomic<std::uint64_t> count_{0};
   std::atomic<std::uint64_t> sum_bits_{0};  // bit-packed double
 };

@@ -6,12 +6,30 @@
 #include <cstdio>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+
 namespace vppb::obs {
+
+namespace {
+// Thread-local distributed-trace id stamped onto recorded events.
+thread_local std::uint64_t tl_trace_id = 0;
+}  // namespace
+
+TraceContext::TraceContext(std::uint64_t trace_id) : saved_(tl_trace_id) {
+  tl_trace_id = trace_id;
+}
+
+TraceContext::~TraceContext() { tl_trace_id = saved_; }
+
+std::uint64_t TraceContext::current() { return tl_trace_id; }
 
 Tracer::Tracer() {
   epoch_ns_ = std::chrono::duration_cast<std::chrono::nanoseconds>(
                   std::chrono::steady_clock::now().time_since_epoch())
                   .count();
+  epoch_unix_ns_ = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                       std::chrono::system_clock::now().time_since_epoch())
+                       .count();
 }
 
 Tracer& Tracer::global() {
@@ -43,6 +61,15 @@ Tracer::Ring& Tracer::ring_for_this_thread() {
 void Tracer::record(const SpanEvent& ev) {
   Ring& r = ring_for_this_thread();
   const std::uint64_t n = r.n.load(std::memory_order_relaxed);
+  if (n >= kRingCapacity) {
+    // Overwriting the oldest surviving event: account the drop where
+    // operators look (the metrics registry), not only in the export
+    // footnote, so trace-collect can warn about truncated rings.
+    static Counter& drops = Registry::global().counter(
+        "vppb_trace_dropped_total",
+        "Span events overwritten in full tracer rings");
+    drops.inc();
+  }
   r.slots[n % kRingCapacity] = ev;
   // Publish after the slot write so a concurrent export never reads an
   // unwritten slot (single writer per ring).
@@ -98,8 +125,8 @@ void append_escaped(std::string& out, const char* s) {
   }
 }
 
-void append_event(std::string& out, const SpanEvent& ev, std::uint32_t tid,
-                  bool* first) {
+void append_event(std::string& out, const SpanEvent& ev, std::uint64_t pid,
+                  std::uint32_t tid, bool* first) {
   if (!*first) out += ",\n";
   *first = false;
   char buf[160];
@@ -111,27 +138,56 @@ void append_event(std::string& out, const SpanEvent& ev, std::uint32_t tid,
   // the fractional part.
   if (ev.dur_ns >= 0) {
     std::snprintf(buf, sizeof(buf),
-                  R"(","ph":"X","ts":%.3f,"dur":%.3f,"pid":1,"tid":%u)",
+                  R"(","ph":"X","ts":%.3f,"dur":%.3f,"pid":%)" PRIu64
+                  R"(,"tid":%u)",
                   static_cast<double>(ev.start_ns) / 1e3,
-                  static_cast<double>(ev.dur_ns) / 1e3, tid);
+                  static_cast<double>(ev.dur_ns) / 1e3, pid, tid);
   } else {
     std::snprintf(buf, sizeof(buf),
-                  R"(","ph":"i","s":"t","ts":%.3f,"pid":1,"tid":%u)",
-                  static_cast<double>(ev.start_ns) / 1e3, tid);
+                  R"(","ph":"i","s":"t","ts":%.3f,"pid":%)" PRIu64
+                  R"(,"tid":%u)",
+                  static_cast<double>(ev.start_ns) / 1e3, pid, tid);
   }
   out += buf;
-  if (ev.arg_name != nullptr) {
-    out += R"(,"args":{")";
-    append_escaped(out, ev.arg_name);
-    std::snprintf(buf, sizeof(buf), R"(":%)" PRId64 "}", ev.arg_value);
-    out += buf;
+  if (ev.arg_name != nullptr || ev.trace_id != 0) {
+    out += R"(,"args":{)";
+    bool first_arg = true;
+    if (ev.trace_id != 0) {
+      std::snprintf(buf, sizeof(buf), R"("trace_id":"%016)" PRIx64 "\"",
+                    ev.trace_id);
+      out += buf;
+      first_arg = false;
+    }
+    if (ev.arg_name != nullptr) {
+      if (!first_arg) out += ',';
+      out += '"';
+      append_escaped(out, ev.arg_name);
+      std::snprintf(buf, sizeof(buf), R"(":%)" PRId64, ev.arg_value);
+      out += buf;
+    }
+    out += '}';
   }
   out += '}';
 }
 
 }  // namespace
 
-std::string Tracer::chrome_json() const {
+std::vector<Tracer::SnapshotEvent> Tracer::snapshot(
+    std::size_t max_events) const {
+  std::lock_guard<std::mutex> lk(rings_mu_);
+  std::vector<SnapshotEvent> out;
+  for (const auto& r : rings_) {
+    const std::uint64_t n = r->n.load(std::memory_order_acquire);
+    std::uint64_t kept = std::min<std::uint64_t>(n, kRingCapacity);
+    if (max_events != 0) kept = std::min<std::uint64_t>(kept, max_events);
+    for (std::uint64_t i = n - kept; i < n; ++i) {
+      out.push_back({r->tid, r->slots[i % kRingCapacity]});
+    }
+  }
+  return out;
+}
+
+std::string Tracer::chrome_json(std::uint64_t pid) const {
   std::lock_guard<std::mutex> lk(rings_mu_);
   std::string out = "{\"traceEvents\":[\n";
   bool first = true;
@@ -142,7 +198,7 @@ std::string Tracer::chrome_json() const {
     if (n > kept) dropped += n - kept;
     // Oldest surviving event first.
     for (std::uint64_t i = n - kept; i < n; ++i) {
-      append_event(out, r->slots[i % kRingCapacity], r->tid, &first);
+      append_event(out, r->slots[i % kRingCapacity], pid, r->tid, &first);
     }
   }
   if (dropped > 0) {
@@ -153,7 +209,7 @@ std::string Tracer::chrome_json() const {
     note.dur_ns = -1;
     note.arg_name = "dropped";
     note.arg_value = static_cast<std::int64_t>(dropped);
-    append_event(out, note, 0, &first);
+    append_event(out, note, pid, 0, &first);
   }
   out += "\n]}\n";
   return out;
@@ -187,6 +243,7 @@ void instant(const char* name, const char* cat, const char* arg_name,
   ev.dur_ns = -1;
   ev.arg_name = arg_name;
   ev.arg_value = arg_value;
+  ev.trace_id = TraceContext::current();
   t.record(ev);
 }
 

@@ -40,6 +40,29 @@ struct SpanEvent {
   std::int64_t dur_ns = -1;   ///< -1 = instant event
   const char* arg_name = nullptr;  ///< optional single numeric arg
   std::int64_t arg_value = 0;
+  /// Distributed-trace id propagated from the request that was being
+  /// served when the span was recorded (0 = not request-scoped).
+  std::uint64_t trace_id = 0;
+};
+
+/// Scoped thread-local trace context: while alive, every Span/instant
+/// recorded on this thread is tagged with `trace_id`, so spans emitted
+/// deep inside the engine/cache are attributable to the distributed
+/// trace of the request being served.  Nests (restores the previous id
+/// on destruction); crossing threads means installing a new context on
+/// the worker, which is what the server's dispatch path does.
+class TraceContext {
+ public:
+  explicit TraceContext(std::uint64_t trace_id);
+  ~TraceContext();
+  TraceContext(const TraceContext&) = delete;
+  TraceContext& operator=(const TraceContext&) = delete;
+
+  /// The calling thread's current trace id (0 = none).
+  static std::uint64_t current();
+
+ private:
+  std::uint64_t saved_;
 };
 
 class Tracer {
@@ -68,9 +91,28 @@ class Tracer {
   std::size_t event_count() const;
   std::size_t dropped_count() const;
 
+  /// System-clock (unix) ns corresponding to tracer timestamp 0.
+  /// Lets a collector place this process's events on a host-wide
+  /// timeline: absolute time of an event = epoch_unix_ns() + start_ns.
+  std::int64_t epoch_unix_ns() const { return epoch_unix_ns_; }
+
+  /// One event as seen by snapshot(): the ring's stable export tid
+  /// plus the event itself.
+  struct SnapshotEvent {
+    std::uint32_t tid = 0;
+    SpanEvent ev;
+  };
+
+  /// Copies every currently-held event (oldest surviving first per
+  /// ring), up to `max_events` most-recent per ring (0 = no cap).
+  /// Safe concurrently with emitting threads, same caveat as the JSON
+  /// export: a ring that wraps mid-copy can yield a stale mix.
+  std::vector<SnapshotEvent> snapshot(std::size_t max_events = 0) const;
+
   /// Chrome trace-event JSON: {"traceEvents":[...]}.  Timestamps are
-  /// fractional microseconds.
-  std::string chrome_json() const;
+  /// fractional microseconds; `pid` labels this process's lane (the
+  /// cluster collector passes the shard id).
+  std::string chrome_json(std::uint64_t pid = 1) const;
   /// Writes chrome_json() to `path` (temp + rename); throws vppb-style
   /// std::runtime_error on IO failure.
   void write_chrome_json(const std::string& path) const;
@@ -87,6 +129,7 @@ class Tracer {
 
   std::atomic<bool> enabled_{false};
   std::int64_t epoch_ns_ = 0;  ///< steady-clock origin of timestamps
+  std::int64_t epoch_unix_ns_ = 0;  ///< system-clock time of timestamp 0
   mutable std::mutex rings_mu_;
   // Ring pointers are immortal once registered: emitting threads hold
   // raw pointers in thread-local storage.
@@ -104,6 +147,7 @@ class Span {
       ev_.name = name;
       ev_.cat = cat;
       ev_.start_ns = t.now_ns();
+      ev_.trace_id = TraceContext::current();
       active_ = true;
     }
   }

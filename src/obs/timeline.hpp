@@ -1,0 +1,64 @@
+// Per-request stage timeline: the compact waterfall a response carries
+// back to the client (protocol v7).  Unlike the span tracer — a
+// process-wide ring sampled after the fact — a Timeline belongs to one
+// request and travels with it: the server stamps queue/cache/simulate
+// stages, the proxy prepends routing/forward stages and nests the
+// shard's stages one level deeper.
+//
+// Offsets are microseconds since the timeline's construction (request
+// arrival at the recording tier).  A stage with dur_us == -1 is an
+// instant marker (hedge fired, failover, stale-serve).  `depth` is the
+// nesting level for display: a proxy's "forward" stage at depth 0
+// contains the shard's own stages re-parented at depth 1, so summing
+// durations at one depth never double-counts.
+//
+// Not internally synchronized: stages are stamped by one thread at a
+// time (IO thread -> worker -> IO thread, sequenced by the server's
+// request handoff), which is the only use.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace vppb::obs {
+
+struct Stage {
+  std::string name;
+  std::int64_t start_us = 0;
+  std::int64_t dur_us = 0;  ///< -1 = instant marker
+  std::uint32_t depth = 0;
+};
+
+class Timeline {
+ public:
+  Timeline() : t0_(std::chrono::steady_clock::now()) {}
+
+  /// Microseconds since construction.
+  std::int64_t now_us() const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(
+               std::chrono::steady_clock::now() - t0_)
+        .count();
+  }
+
+  void stage(std::string name, std::int64_t start_us, std::int64_t dur_us,
+             std::uint32_t depth = 0) {
+    stages_.push_back({std::move(name), start_us, dur_us, depth});
+  }
+
+  /// Instant marker at the current time.
+  void marker(std::string name, std::uint32_t depth = 0) {
+    stages_.push_back({std::move(name), now_us(), -1, depth});
+  }
+
+  std::vector<Stage>& stages() { return stages_; }
+  const std::vector<Stage>& stages() const { return stages_; }
+
+ private:
+  std::chrono::steady_clock::time_point t0_;
+  std::vector<Stage> stages_;
+};
+
+}  // namespace vppb::obs

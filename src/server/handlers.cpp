@@ -36,17 +36,30 @@ core::SimConfig base_config(const Request& req) {
   return cfg;
 }
 
+/// Fetches the cache entry, stamping the timeline stage as
+/// "cache-lookup" (hit) or "compile" (this request paid parse+compile).
+std::shared_ptr<const TraceCache::Entry> timed_get(
+    TraceCache& cache, const Request& req, const core::RunGuard* guard,
+    obs::Timeline* tl) {
+  if (tl == nullptr) return cache.get(req.trace_path, guard);
+  const std::int64_t t0 = tl->now_us();
+  bool loaded = false;
+  auto entry = cache.get(req.trace_path, guard, &loaded);
+  tl->stage(loaded ? "compile" : "cache-lookup", t0, tl->now_us() - t0);
+  return entry;
+}
+
 }  // namespace
 
 Response handle_predict(const Request& req, TraceCache& cache,
                         const Deadline& deadline,
-                        const core::RunGuard* guard) {
+                        const core::RunGuard* guard, obs::Timeline* tl) {
   check_range("max-cpus", req.max_cpus, 1, kMaxRequestCpus);
   Response resp;
   resp.type = ReqType::kPredict;
   deadline.check("trace load");
   const std::shared_ptr<const TraceCache::Entry> entry =
-      cache.get(req.trace_path, guard);
+      timed_get(cache, req, guard, tl);
   const core::SimConfig base = base_config(req);
 
   std::vector<int> cpu_counts;
@@ -62,17 +75,23 @@ Response handle_predict(const Request& req, TraceCache& cache,
   // deadline checkpoint between points so a sweep cannot overstay.
   std::vector<core::SimResult> results;
   std::vector<core::SweepPoint> points;
+  const std::int64_t sweep0 = tl != nullptr ? tl->now_us() : 0;
   for (const int cpus : cpu_counts) {
     deadline.check("CPU sweep");
+    const std::int64_t pt0 = tl != nullptr ? tl->now_us() : 0;
     core::SimConfig cfg = base;
     cfg.hw.cpus = cpus;
     cfg.build_timeline = false;
     core::SimResult r =
         core::SweepRunner::shared().run(entry->compiled, cfg, guard);
+    if (tl != nullptr)
+      tl->stage(strprintf("cpus=%d", cpus), pt0, tl->now_us() - pt0, 1);
     points.push_back(core::SweepPoint{cpus, r.speedup, r.speedup / cpus,
                                       r.total});
     results.push_back(std::move(r));
   }
+  if (tl != nullptr)
+    tl->stage("simulate", sweep0, tl->now_us() - sweep0);
   const core::SpeedupCurve curve(points);
 
   for (std::size_t i = 0; i < curve.points().size(); ++i) {
@@ -89,19 +108,21 @@ Response handle_predict(const Request& req, TraceCache& cache,
 
 Response handle_simulate(const Request& req, TraceCache& cache,
                          const Deadline& deadline,
-                         const core::RunGuard* guard) {
+                         const core::RunGuard* guard, obs::Timeline* tl) {
   check_range("cpus", req.cpus, 1, kMaxRequestCpus);
   Response resp;
   resp.type = ReqType::kSimulate;
   deadline.check("trace load");
   const std::shared_ptr<const TraceCache::Entry> entry =
-      cache.get(req.trace_path, guard);
+      timed_get(cache, req, guard, tl);
   core::SimConfig cfg = base_config(req);
   cfg.hw.cpus = req.cpus;
 
   deadline.check("simulation");
+  const std::int64_t sim0 = tl != nullptr ? tl->now_us() : 0;
   const core::SimResult r =
       core::SweepRunner::shared().run(entry->compiled, cfg, guard);
+  if (tl != nullptr) tl->stage("simulate", sim0, tl->now_us() - sim0);
   resp.total_ns = r.total.ns();
   resp.speedup = r.speedup;
   resp.cpus = r.cpus;
@@ -110,28 +131,32 @@ Response handle_simulate(const Request& req, TraceCache& cache,
   resp.digest = core::digest(r);
   if (req.want_svg) {
     deadline.check("SVG render");
+    const std::int64_t svg0 = tl != nullptr ? tl->now_us() : 0;
     viz::Visualizer v(r, entry->trace);
     v.compress_threads();
     resp.svg = viz::render_svg(v, viz::RenderOptions{});
+    if (tl != nullptr) tl->stage("render-svg", svg0, tl->now_us() - svg0);
   }
   return resp;
 }
 
 Response handle_analyze(const Request& req, TraceCache& cache,
                         const Deadline& deadline,
-                        const core::RunGuard* guard) {
+                        const core::RunGuard* guard, obs::Timeline* tl) {
   check_range("cpus", req.cpus, 1, kMaxRequestCpus);
   Response resp;
   resp.type = ReqType::kAnalyze;
   deadline.check("trace load");
   const std::shared_ptr<const TraceCache::Entry> entry =
-      cache.get(req.trace_path, guard);
+      timed_get(cache, req, guard, tl);
   core::SimConfig cfg = base_config(req);
   cfg.hw.cpus = req.cpus;
 
   deadline.check("simulation");
+  const std::int64_t sim0 = tl != nullptr ? tl->now_us() : 0;
   const core::SimResult r =
       core::SweepRunner::shared().run(entry->compiled, cfg, guard);
+  if (tl != nullptr) tl->stage("simulate", sim0, tl->now_us() - sim0);
   resp.total_ns = r.total.ns();
   resp.speedup = r.speedup;
   resp.cpus = r.cpus;
@@ -139,7 +164,9 @@ Response handle_analyze(const Request& req, TraceCache& cache,
   resp.events = r.events.size();
   resp.digest = core::digest(r);
   deadline.check("analysis report");
+  const std::int64_t an0 = tl != nullptr ? tl->now_us() : 0;
   resp.report = viz::analyze(r, entry->trace).to_string();
+  if (tl != nullptr) tl->stage("analyze-report", an0, tl->now_us() - an0);
   return resp;
 }
 

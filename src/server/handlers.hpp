@@ -8,6 +8,7 @@
 #pragma once
 
 #include "core/guard.hpp"
+#include "obs/timeline.hpp"
 #include "server/deadline.hpp"
 #include "server/protocol.hpp"
 #include "server/trace_cache.hpp"
@@ -19,14 +20,19 @@ namespace vppb::server {
 /// `guard` (optional) is threaded into the compile and simulate calls,
 /// where it is polled per step; a tripped budget or a watchdog cancel
 /// surfaces as core::BudgetExceeded for the dispatcher to type.
+/// `tl` (optional) receives the per-request stage waterfall
+/// (cache-lookup/compile/simulate/render) for protocol v7 timelines.
 Response handle_predict(const Request& req, TraceCache& cache,
                         const Deadline& deadline = Deadline(),
-                        const core::RunGuard* guard = nullptr);
+                        const core::RunGuard* guard = nullptr,
+                        obs::Timeline* tl = nullptr);
 Response handle_simulate(const Request& req, TraceCache& cache,
                          const Deadline& deadline = Deadline(),
-                         const core::RunGuard* guard = nullptr);
+                         const core::RunGuard* guard = nullptr,
+                         obs::Timeline* tl = nullptr);
 Response handle_analyze(const Request& req, TraceCache& cache,
                         const Deadline& deadline = Deadline(),
-                        const core::RunGuard* guard = nullptr);
+                        const core::RunGuard* guard = nullptr,
+                        obs::Timeline* tl = nullptr);
 
 }  // namespace vppb::server

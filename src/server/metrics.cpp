@@ -20,6 +20,7 @@ struct ServerMetrics {
   obs::Counter& poisoned;
   obs::Counter& watchdog_cancels;
   obs::Counter& watchdog_replacements;
+  obs::Counter& sampled;
   obs::Histogram& latency_us;
 
   static ServerMetrics& get() {
@@ -40,6 +41,8 @@ struct ServerMetrics {
                     "Overdue requests cancelled by the watchdog"),
         reg.counter("vppb_server_watchdog_replacements_total",
                     "Wedged workers replaced by the watchdog"),
+        reg.counter("vppb_server_sampled_requests_total",
+                    "Requests carrying a distributed trace id"),
         reg.histogram("vppb_server_latency_us",
                       "Admitted request latency, decode to response ready",
                       obs::latency_us_bounds()),
@@ -99,8 +102,14 @@ void Metrics::count_watchdog_replacement() {
   ++watchdog_replacements_;
 }
 
-void Metrics::record_latency_us(double us) {
-  ServerMetrics::get().latency_us.observe(us);
+void Metrics::count_sampled() {
+  ServerMetrics::get().sampled.inc();
+  std::lock_guard<std::mutex> lock(mu_);
+  ++sampled_;
+}
+
+void Metrics::record_latency_us(double us, std::uint64_t trace_id) {
+  ServerMetrics::get().latency_us.observe(us, trace_id);
   std::lock_guard<std::mutex> lock(mu_);
   ++latencies_seen_;
   if (latency_us_.size() < kMaxSamples) {
@@ -125,6 +134,7 @@ void Metrics::snapshot(StatsBody& out) const {
     out.poisoned = poisoned_;
     out.watchdog_cancels = watchdog_cancels_;
     out.watchdog_replacements = watchdog_replacements_;
+    out.sampled_requests = sampled_;
     out.latency_count = latencies_seen_;
     ring = latency_us_;  // percentile work happens off-lock
   }

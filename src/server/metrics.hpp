@@ -26,10 +26,14 @@ class Metrics {
   void count_watchdog_cancel();      ///< watchdog cancelled an overdue run
   void count_watchdog_replacement(); ///< watchdog replaced a wedged worker
 
+  void count_sampled();  ///< request arrived carrying a trace_id
+
   /// Records the server-side latency of an executed (admitted) request,
   /// from frame decode to response ready.  Overload rejections are
   /// counted, not timed — their latency is the admission check.
-  void record_latency_us(double us);
+  /// `trace_id`, when nonzero, is captured as the latency histogram
+  /// bucket's exemplar.
+  void record_latency_us(double us, std::uint64_t trace_id = 0);
 
   /// Fills the request-side counters and latency percentiles of `out`
   /// (the cache fields are the TraceCache's to fill).
@@ -46,6 +50,7 @@ class Metrics {
   std::uint64_t poisoned_ = 0;
   std::uint64_t watchdog_cancels_ = 0;
   std::uint64_t watchdog_replacements_ = 0;
+  std::uint64_t sampled_ = 0;
   std::uint64_t latencies_seen_ = 0;
   std::size_t ring_next_ = 0;
   std::vector<double> latency_us_;  ///< ring buffer once at kMaxSamples

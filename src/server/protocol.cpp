@@ -77,6 +77,7 @@ class Reader {
   }
 
   bool at_end() const { return pos_ == size_; }
+  std::size_t remaining() const { return size_ - pos_; }
 
  private:
   const std::uint8_t* data_;
@@ -118,6 +119,16 @@ void put_stats(std::vector<std::uint8_t>& out, const StatsBody& s) {
   put_u64(out, s.quota_rejections);
   put_u64(out, s.brownout_sheds);
   put_u64(out, s.stale_serves);
+  put_double(out, s.slo_p99_ms);
+  put_double(out, s.slo_availability);
+  put_double(out, s.lat_burn_1m);
+  put_double(out, s.lat_burn_5m);
+  put_double(out, s.lat_burn_1h);
+  put_double(out, s.avail_burn_1m);
+  put_double(out, s.avail_burn_5m);
+  put_double(out, s.avail_burn_1h);
+  put_u64(out, s.sampled_requests);
+  put_u64(out, s.trace_dropped);
 }
 
 void get_stats(Reader& in, StatsBody& s) {
@@ -146,6 +157,16 @@ void get_stats(Reader& in, StatsBody& s) {
   s.quota_rejections = in.u64();
   s.brownout_sheds = in.u64();
   s.stale_serves = in.u64();
+  s.slo_p99_ms = in.dbl();
+  s.slo_availability = in.dbl();
+  s.lat_burn_1m = in.dbl();
+  s.lat_burn_5m = in.dbl();
+  s.lat_burn_1h = in.dbl();
+  s.avail_burn_1m = in.dbl();
+  s.avail_burn_5m = in.dbl();
+  s.avail_burn_1h = in.dbl();
+  s.sampled_requests = in.u64();
+  s.trace_dropped = in.u64();
 }
 
 void check_version(Reader& in) {
@@ -178,6 +199,7 @@ const char* to_string(ReqType t) {
     case ReqType::kStats: return "stats";
     case ReqType::kHealth: return "health";
     case ReqType::kMetricsDump: return "metricsdump";
+    case ReqType::kTraceDump: return "tracedump";
   }
   return "?";
 }
@@ -196,6 +218,10 @@ std::vector<std::uint8_t> encode(const Request& req) {
   put_i64(out, req.deadline_ms);
   put_u64(out, req.client_id);
   put_u64(out, req.origin_id);
+  put_u64(out, req.trace_id);
+  put_u64(out, req.parent_span_id);
+  put_u64(out, req.sampled ? 1 : 0);
+  put_u64(out, req.want_timeline ? 1 : 0);
   return out;
 }
 
@@ -213,6 +239,10 @@ Request decode_request(const std::uint8_t* data, std::size_t size) {
   req.deadline_ms = in.i64();
   req.client_id = in.u64();
   req.origin_id = in.u64();
+  req.trace_id = in.u64();
+  req.parent_span_id = in.u64();
+  req.sampled = in.u64() != 0;
+  req.want_timeline = in.u64() != 0;
   VPPB_CHECK_MSG(in.at_end(), "trailing bytes in request frame");
   return req;
 }
@@ -262,6 +292,27 @@ std::vector<std::uint8_t> encode(const Response& resp) {
   put_u64(out, resp.total_shards);
   put_u64(out, resp.served_stale ? 1 : 0);
   put_i64(out, resp.stale_age_ms);
+  put_u64(out, resp.slo_burning ? 1 : 0);
+  put_u64(out, resp.trace_id);
+  put_u64(out, resp.timeline.size());
+  for (const StageSpan& st : resp.timeline) {
+    put_str(out, st.name);
+    put_i64(out, st.start_us);
+    put_i64(out, st.dur_us);
+    put_u64(out, st.depth);
+  }
+  put_u64(out, resp.spans.size());
+  for (const WireSpan& sp : resp.spans) {
+    put_u64(out, sp.pid);
+    put_u64(out, sp.tid);
+    put_str(out, sp.name);
+    put_str(out, sp.cat);
+    put_i64(out, sp.start_unix_ns);
+    put_i64(out, sp.dur_ns);
+    put_u64(out, sp.trace_id);
+    put_str(out, sp.arg_name);
+    put_i64(out, sp.arg_value);
+  }
   return out;
 }
 
@@ -319,6 +370,36 @@ Response decode_response(const std::uint8_t* data, std::size_t size) {
   resp.total_shards = in.u64();
   resp.served_stale = in.u64() != 0;
   resp.stale_age_ms = in.i64();
+  resp.slo_burning = in.u64() != 0;
+  resp.trace_id = in.u64();
+  const std::uint64_t nstages = in.u64();
+  VPPB_CHECK_MSG(nstages <= kMaxTimelineStages,
+                 "implausible timeline stage count " << nstages);
+  resp.timeline.resize(static_cast<std::size_t>(nstages));
+  for (StageSpan& st : resp.timeline) {
+    st.name = in.str();
+    st.start_us = in.i64();
+    st.dur_us = in.i64();
+    st.depth = static_cast<std::uint32_t>(in.u64());
+  }
+  const std::uint64_t nspans = in.u64();
+  // Bound against the bytes actually present (a span is >= 9 encoded
+  // bytes) so a hostile count in a tiny frame cannot force a giant
+  // allocation before the truncation is noticed.
+  VPPB_CHECK_MSG(nspans <= kMaxWireSpans && nspans * 9 <= in.remaining(),
+                 "implausible span count " << nspans);
+  resp.spans.resize(static_cast<std::size_t>(nspans));
+  for (WireSpan& sp : resp.spans) {
+    sp.pid = in.u64();
+    sp.tid = static_cast<std::uint32_t>(in.u64());
+    sp.name = in.str();
+    sp.cat = in.str();
+    sp.start_unix_ns = in.i64();
+    sp.dur_ns = in.i64();
+    sp.trace_id = in.u64();
+    sp.arg_name = in.str();
+    sp.arg_value = in.i64();
+  }
   VPPB_CHECK_MSG(in.at_end(), "trailing bytes in response frame");
   return resp;
 }

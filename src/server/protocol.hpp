@@ -25,7 +25,7 @@
 
 namespace vppb::server {
 
-constexpr std::uint8_t kProtocolVersion = 6;  ///< v6: cluster resilience (origin identity, quota-exceeded + retry-after, brownout/stale markers)
+constexpr std::uint8_t kProtocolVersion = 7;  ///< v7: distributed tracing (propagated trace context, per-request stage timeline tail, tracedump span drain, SLO burn rates)
 /// Upper bound on a frame payload (a full SVG render fits comfortably;
 /// a corrupt or hostile length prefix does not).
 constexpr std::size_t kMaxFrame = 64u << 20;
@@ -37,8 +37,10 @@ enum class ReqType : std::uint8_t {
   kStats = 3,     ///< server counters, cache hit rate, latencies
   kHealth = 4,    ///< readiness probe; bypasses admission control
   kMetricsDump = 5,  ///< Prometheus text exposition of the obs registry
+  kTraceDump = 6,    ///< drain the span tracer's rings (aggregated by the
+                     ///< proxy into a cluster-wide flame view)
 };
-constexpr std::size_t kReqTypeCount = 6;
+constexpr std::size_t kReqTypeCount = 7;
 
 const char* to_string(ReqType t);
 
@@ -80,6 +82,13 @@ struct Request {
   /// arrive over the proxy's pooled connections.  A shard uses it only
   /// when client_id is 0; 0 = not behind a proxy.
   std::uint64_t origin_id = 0;
+  // Distributed trace context (protocol v7).  The originating client
+  // mints trace_id; every tier propagates it unchanged and tags its
+  // spans with it, so one id stitches proxy + shard rings together.
+  std::uint64_t trace_id = 0;        ///< 0 = untraced request
+  std::uint64_t parent_span_id = 0;  ///< caller's span, for future nesting
+  bool sampled = false;   ///< tag spans with trace_id at every tier
+  bool want_timeline = false;  ///< return the per-request stage timeline
 };
 
 /// One sweep point of a predict response.
@@ -124,6 +133,19 @@ struct StatsBody {
   std::uint64_t brownout_sheds = 0;    ///< cold computes shed in brownout
   std::uint64_t stale_serves = 0;      ///< answers served from the proxy
                                        ///< response cache (served_stale)
+  // SLO / tracing telemetry (protocol v7).  Burn rates are multi-window
+  // error-budget consumption rates (1.0 = spending exactly the budget);
+  // zeros when no objective is configured.
+  double slo_p99_ms = 0.0;        ///< configured latency objective (0 = off)
+  double slo_availability = 0.0;  ///< configured availability objective
+  double lat_burn_1m = 0.0;
+  double lat_burn_5m = 0.0;
+  double lat_burn_1h = 0.0;
+  double avail_burn_1m = 0.0;
+  double avail_burn_5m = 0.0;
+  double avail_burn_1h = 0.0;
+  std::uint64_t sampled_requests = 0;  ///< requests carrying a trace_id
+  std::uint64_t trace_dropped = 0;     ///< span ring events overwritten
 };
 
 /// One backend's slice of an aggregated cluster response (protocol v5).
@@ -137,6 +159,38 @@ struct ShardInfo {
   std::string endpoint;        ///< "path.sock" or "127.0.0.1:port"
   StatsBody stats;             ///< this shard's own counters
 };
+
+/// One stage (or marker) of a per-request timeline (protocol v7).
+/// Offsets are microseconds since arrival at the outermost tier that
+/// recorded the timeline; depth nests a shard's stages under the
+/// proxy's forward stage so summing one depth never double-counts.
+struct StageSpan {
+  std::string name;
+  std::int64_t start_us = 0;
+  std::int64_t dur_us = 0;  ///< -1 = instant marker
+  std::uint32_t depth = 0;
+};
+
+/// One span drained from a process's tracer ring by a tracedump
+/// request (protocol v7).  Timestamps are absolute unix ns (each
+/// process adds its tracer epoch before answering), so a collector
+/// merges processes onto one clock without negotiation.
+struct WireSpan {
+  std::uint64_t pid = 0;  ///< shard id of the emitting process (0 = proxy
+                          ///< or standalone vppbd)
+  std::uint32_t tid = 0;  ///< emitting thread's stable export id
+  std::string name;
+  std::string cat;
+  std::int64_t start_unix_ns = 0;
+  std::int64_t dur_ns = -1;  ///< -1 = instant event
+  std::uint64_t trace_id = 0;
+  std::string arg_name;  ///< empty = no argument
+  std::int64_t arg_value = 0;
+};
+
+/// Decode-side plausibility caps for the v7 repeated fields.
+constexpr std::size_t kMaxTimelineStages = 4096;
+constexpr std::size_t kMaxWireSpans = 1u << 21;
 
 struct Response {
   Status status = Status::kOk;
@@ -184,6 +238,15 @@ struct Response {
   /// shard (digest-safe: responses are deterministic in the request).
   bool served_stale = false;
   std::int64_t stale_age_ms = 0;  ///< age of the cached answer served
+
+  // Distributed tracing & SLO (protocol v7).
+  bool slo_burning = false;     ///< stats/health: multi-window SLO breach
+  std::uint64_t trace_id = 0;   ///< echo of the request's trace context
+  /// Per-request stage waterfall; filled when the request asked
+  /// want_timeline, empty otherwise.
+  std::vector<StageSpan> timeline;
+  /// tracedump: spans drained from the answering process(es).
+  std::vector<WireSpan> spans;
 };
 
 std::vector<std::uint8_t> encode(const Request& req);

@@ -2,12 +2,14 @@
 
 #include <unistd.h>
 
+#include <algorithm>
 #include <chrono>
 #include <condition_variable>
 #include <thread>
 
 #include "obs/log.hpp"
 #include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "server/handlers.hpp"
 #include "util/error.hpp"
 #include "util/strings.hpp"
@@ -29,6 +31,7 @@ Server::Server(ServerOptions opt)
     pool_ = owned_pool_.get();
   }
   cache_.configure_quarantine(opt_.poison_strikes, opt_.quarantine_ms);
+  slo_.configure(obs::SloOptions{opt_.slo_p99_ms, opt_.slo_availability});
 }
 
 Server::~Server() { stop(); }
@@ -49,6 +52,9 @@ void Server::start() {
                std::chrono::steady_clock::now().time_since_epoch().count()) ^
            (static_cast<std::uint64_t>(::getpid()) << 48);
   if (epoch_ == 0) epoch_ = 1;
+  // Always-on span capture (tracedump drains these rings; bench_obs
+  // gates the enabled overhead < 3%).
+  if (opt_.tracing) obs::Tracer::global().enable();
   running_.store(true);
   watchdog_stop_.store(false);
   if (opt_.watchdog_interval_ms > 0)
@@ -124,8 +130,11 @@ void Server::serve_connection(Conn* conn) {
           faults_->should_fire(util::FaultSite::kCorruptFrame))
         payload[payload.size() / 2] ^= 0x20;
       Response resp;
+      std::uint64_t trace_id = 0;
       try {
-        resp = execute(decode_request(payload), conn->id);
+        const Request req = decode_request(payload);
+        trace_id = req.trace_id;
+        resp = execute(req, conn->id);
       } catch (const Error& e) {
         // Undecodable but correctly framed request: answer, keep the
         // connection (the framing itself is intact).
@@ -138,7 +147,27 @@ void Server::serve_connection(Conn* conn) {
       // the shard identity stamped here.
       resp.shard_id = opt_.shard_id;
       resp.epoch = epoch_;
-      write_frame(conn->sock, encode(resp));
+      resp.trace_id = trace_id;
+      if (resp.timeline.empty()) {
+        write_frame(conn->sock, encode(resp));
+      } else {
+        // The serialize stage cannot ride inside the bytes it measures;
+        // time a first encode, then re-encode with the stage appended
+        // (only timeline requests pay the double encode).
+        std::int64_t last_us = 0;
+        for (const StageSpan& sp : resp.timeline)
+          last_us = std::max(
+              last_us, sp.start_us + (sp.dur_us > 0 ? sp.dur_us : 0));
+        const auto s0 = std::chrono::steady_clock::now();
+        (void)encode(resp);
+        const std::int64_t ser_us =
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                std::chrono::steady_clock::now() - s0)
+                .count();
+        resp.timeline.push_back(StageSpan{
+            "serialize", last_us, std::max<std::int64_t>(ser_us, 1), 0});
+        write_frame(conn->sock, encode(resp));
+      }
     }
   } catch (const Error& e) {
     // Broken framing or a lost peer: the connection is the unit of
@@ -179,6 +208,7 @@ void Server::client_release(std::uint64_t client) {
 
 Response Server::execute(const Request& req, std::uint64_t conn_key) {
   metrics_.count_request(req.type);
+  if (req.trace_id != 0) metrics_.count_sampled();
   const auto t0 = std::chrono::steady_clock::now();
 
   // Health answers before admission: a readiness probe that can be
@@ -259,6 +289,15 @@ Response Server::execute(const Request& req, std::uint64_t conn_key) {
   st->type = req.type;
   st->trace_path = compute ? req.trace_path : std::string();
   st->admitted_at = t0;
+  std::int64_t posted_us = 0;
+  if (req.want_timeline && compute) {
+    st->timeline = std::make_unique<obs::Timeline>();
+    // Admission covers everything from frame decode to the pool post
+    // (quarantine + quota checks); queue is stamped by the worker when
+    // it actually picks the request up.
+    posted_us = st->timeline->now_us();
+    st->timeline->stage("admission", 0, posted_us);
+  }
   {
     std::lock_guard<std::mutex> lock(watch_mu_);
     watched_.push_back(st);
@@ -267,7 +306,10 @@ Response Server::execute(const Request& req, std::uint64_t conn_key) {
     std::lock_guard<std::mutex> lock(drain_mu_);
     ++tasks_live_;
   }
-  pool_->post([this, req, st]() {
+  pool_->post([this, req, st, posted_us]() {
+    if (st->timeline)
+      st->timeline->stage("queue", posted_us,
+                          st->timeline->now_us() - posted_us);
     Response r = dispatch(req, *st);
     {
       // The watchdog may have answered the client already; its verdict
@@ -317,13 +359,28 @@ Response Server::execute(const Request& req, std::uint64_t conn_key) {
       std::chrono::duration<double, std::micro>(
           std::chrono::steady_clock::now() - t0)
           .count();
-  metrics_.record_latency_us(latency_us);
+  metrics_.record_latency_us(latency_us, req.sampled ? req.trace_id : 0);
+  if (compute) {
+    // SLO accounting covers compute only: probes and dumps are not the
+    // service the objectives are about.  Overload and poison rejections
+    // count as ok — they are the server protecting the objective, and
+    // charging them would let one flooding client burn the error budget.
+    const bool ok = resp.status != Status::kError &&
+                    resp.status != Status::kDeadlineExceeded &&
+                    resp.status != Status::kBudgetExceeded;
+    slo_.record(latency_us, ok);
+  }
   obs::logf(LogLevel::kDebug, "server", "%s -> status %d in %.0f us",
             to_string(req.type), static_cast<int>(resp.status), latency_us);
   return resp;
 }
 
 Response Server::dispatch(const Request& req, ReqState& st) {
+  // Propagated trace context: every span this worker opens while the
+  // handler runs carries the caller's trace id, so a cross-process
+  // trace-collect can stitch proxy and shard spans into one trace.
+  obs::TraceContext tctx(req.sampled ? req.trace_id : 0);
+  Response resp = [&]() -> Response {
   try {
     // A request that spent its whole budget waiting for a worker is
     // abandoned here, before any compute.
@@ -347,17 +404,22 @@ Response Server::dispatch(const Request& req, ReqState& st) {
           faults_->param(util::FaultSite::kWedge)));
     switch (req.type) {
       case ReqType::kPredict:
-        return handle_predict(req, cache_, st.deadline, &st.guard);
+        return handle_predict(req, cache_, st.deadline, &st.guard,
+                              st.timeline.get());
       case ReqType::kSimulate:
-        return handle_simulate(req, cache_, st.deadline, &st.guard);
+        return handle_simulate(req, cache_, st.deadline, &st.guard,
+                               st.timeline.get());
       case ReqType::kAnalyze:
-        return handle_analyze(req, cache_, st.deadline, &st.guard);
+        return handle_analyze(req, cache_, st.deadline, &st.guard,
+                              st.timeline.get());
       case ReqType::kStats:
         return stats_response();
       case ReqType::kHealth:
         return health_response();  // normally answered pre-admission
       case ReqType::kMetricsDump:
         return metricsdump_response();
+      case ReqType::kTraceDump:
+        return tracedump_response();
     }
     throw Error("unhandled request type");
   } catch (const DeadlineExceeded& e) {
@@ -413,6 +475,16 @@ Response Server::dispatch(const Request& req, ReqState& st) {
     resp.error = e.what();
     return resp;
   }
+  }();
+  // The worker — not the IO thread — copies the timeline into the
+  // response, so a watchdog-answered request simply carries none and no
+  // reader ever races a wedged worker still stamping stages.
+  if (st.timeline != nullptr) {
+    for (const obs::Stage& sp : st.timeline->stages())
+      resp.timeline.push_back(
+          StageSpan{sp.name, sp.start_us, sp.dur_us, sp.depth});
+  }
+  return resp;
 }
 
 void Server::watchdog_loop() {
@@ -511,6 +583,20 @@ void Server::fill_cache_stats(StatsBody& out) {
   out.quarantined = cs.quarantined;
 }
 
+void Server::fill_slo(Response& resp) {
+  resp.stats.slo_p99_ms = opt_.slo_p99_ms;
+  resp.stats.slo_availability = opt_.slo_availability;
+  const obs::BurnRates burn = slo_.burn();
+  resp.stats.lat_burn_1m = burn.lat_1m;
+  resp.stats.lat_burn_5m = burn.lat_5m;
+  resp.stats.lat_burn_1h = burn.lat_1h;
+  resp.stats.avail_burn_1m = burn.avail_1m;
+  resp.stats.avail_burn_5m = burn.avail_5m;
+  resp.stats.avail_burn_1h = burn.avail_1h;
+  resp.stats.trace_dropped = obs::Tracer::global().dropped_count();
+  resp.slo_burning = burn.burning;
+}
+
 Response Server::stats_response() {
   Response resp;
   resp.type = ReqType::kStats;
@@ -518,6 +604,7 @@ Response Server::stats_response() {
   resp.epoch = epoch_;
   metrics_.snapshot(resp.stats);  // includes this stats request itself
   fill_cache_stats(resp.stats);
+  fill_slo(resp);
   return resp;
 }
 
@@ -532,6 +619,40 @@ Response Server::health_response() {
   resp.admission_limit = static_cast<std::uint64_t>(opt_.admission_limit);
   metrics_.snapshot(resp.stats);
   fill_cache_stats(resp.stats);
+  fill_slo(resp);
+  return resp;
+}
+
+Response Server::tracedump_response() {
+  Response resp;
+  resp.type = ReqType::kTraceDump;
+  resp.shard_id = opt_.shard_id;
+  resp.epoch = epoch_;
+  const obs::Tracer& tracer = obs::Tracer::global();
+  // Absolute unix-ns timestamps: each process stamps events against its
+  // own captured system-clock epoch, so the collector merges dumps from
+  // proxy + shards without any clock negotiation.
+  const std::int64_t epoch_unix = tracer.epoch_unix_ns();
+  // Per-ring cap keeps the dump (64 threads x cap) under kMaxFrame even
+  // with every ring full.
+  for (const obs::Tracer::SnapshotEvent& se : tracer.snapshot(1u << 15)) {
+    WireSpan w;
+    w.pid = opt_.shard_id;
+    w.tid = se.tid;
+    w.name = se.ev.name != nullptr ? se.ev.name : "?";
+    w.cat = se.ev.cat != nullptr ? se.ev.cat : "vppb";
+    w.start_unix_ns = epoch_unix + se.ev.start_ns;
+    w.dur_ns = se.ev.dur_ns;
+    w.trace_id = se.ev.trace_id;
+    if (se.ev.arg_name != nullptr) {
+      w.arg_name = se.ev.arg_name;
+      w.arg_value = se.ev.arg_value;
+    }
+    resp.spans.push_back(std::move(w));
+  }
+  metrics_.snapshot(resp.stats);
+  fill_cache_stats(resp.stats);
+  fill_slo(resp);
   return resp;
 }
 
@@ -551,6 +672,22 @@ Response Server::metricsdump_response() {
   reg.gauge("vppb_cache_bytes",
             "Charged trace bytes resident (file + footprint)")
       .set(static_cast<std::int64_t>(cs.bytes));
+  // Burn rates are dimensionless ratios; gauges are integral, so they
+  // export in milli-units (burn x1000) — 1000 = burning exactly at the
+  // objective's sustainable rate.
+  const obs::BurnRates burn = slo_.burn();
+  const auto milli = [](double v) {
+    return static_cast<std::int64_t>(v * 1000.0);
+  };
+  reg.gauge("vppb_slo_latency_burn_5m_milli",
+            "Latency error-budget burn rate over 5m, x1000")
+      .set(milli(burn.lat_5m));
+  reg.gauge("vppb_slo_availability_burn_5m_milli",
+            "Availability error-budget burn rate over 5m, x1000")
+      .set(milli(burn.avail_5m));
+  reg.gauge("vppb_slo_burning",
+            "1 when a multi-window burn-rate alert is firing")
+      .set(burn.burning ? 1 : 0);
 
   Response resp;
   resp.type = ReqType::kMetricsDump;
@@ -559,6 +696,7 @@ Response Server::metricsdump_response() {
   resp.report = reg.prometheus_text();
   metrics_.snapshot(resp.stats);  // keep the structured body populated too
   fill_cache_stats(resp.stats);
+  fill_slo(resp);
   return resp;
 }
 

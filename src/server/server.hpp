@@ -48,6 +48,8 @@
 #include <vector>
 
 #include "core/guard.hpp"
+#include "obs/slo.hpp"
+#include "obs/timeline.hpp"
 #include "server/deadline.hpp"
 #include "server/metrics.hpp"
 #include "server/protocol.hpp"
@@ -114,6 +116,18 @@ struct ServerOptions {
   /// Shard identity reported in health/stats responses (protocol v5).
   /// Assigned by the operator or the cluster launcher; 0 = standalone.
   std::uint64_t shard_id = 0;
+
+  /// Always-on span capture: start() enables the process-wide tracer so
+  /// tracedump always has rings to drain (overhead is gated < 3% by
+  /// bench_obs).  Embedders that manage the tracer themselves turn it
+  /// off.
+  bool tracing = true;
+
+  // --- SLO objectives (0 = objective off) ---
+  /// Latency objective: p99 of compute requests under this many ms.
+  double slo_p99_ms = 0.0;
+  /// Availability objective as a success fraction, e.g. 0.999.
+  double slo_availability = 0.0;
 };
 
 class Server {
@@ -166,6 +180,11 @@ class Server {
     ReqType type = ReqType::kPredict;
     std::string trace_path;
     std::chrono::steady_clock::time_point admitted_at{};
+    /// Stage timeline for want_timeline requests.  Stamped by the IO
+    /// thread before the post and by the worker during dispatch; the
+    /// worker copies it into its Response, so a watchdog-answered
+    /// request simply reports no timeline (no racing reader).
+    std::unique_ptr<obs::Timeline> timeline;
 
     // Watchdog-private escalation state (only its thread touches these).
     bool cancelled = false;
@@ -180,7 +199,11 @@ class Server {
   Response stats_response();
   Response health_response();
   Response metricsdump_response();
+  Response tracedump_response();
   void fill_cache_stats(StatsBody& out);
+  /// Stamps the SLO burn rates + tracing telemetry into a stats body
+  /// and the breach verdict onto the response.
+  void fill_slo(Response& resp);
 
   core::RunLimits request_limits(const Request& req) const;
   bool client_admit(std::uint64_t client);
@@ -194,6 +217,7 @@ class Server {
   util::ThreadPool* pool_ = nullptr;
   TraceCache cache_;
   Metrics metrics_;
+  obs::SloTracker slo_;
 
   util::Socket listener_;
   std::string endpoint_;

@@ -1,5 +1,7 @@
 #include "server/stats_text.hpp"
 
+#include <algorithm>
+
 #include "util/strings.hpp"
 #include "util/table.hpp"
 
@@ -33,6 +35,8 @@ std::string render_stats_text(const StatsBody& s, bool aggregated) {
   table.row({"quota rejections", u64str(s.quota_rejections)});
   table.row({"brownout sheds", u64str(s.brownout_sheds)});
   table.row({"stale serves", u64str(s.stale_serves)});
+  table.row({"sampled requests", u64str(s.sampled_requests)});
+  table.row({"trace drops", u64str(s.trace_dropped)});
   table.row({"cache hits", u64str(s.cache_hits)});
   table.row({"cache misses", u64str(s.cache_misses)});
   table.row({"cache evictions", u64str(s.cache_evictions)});
@@ -62,11 +66,37 @@ std::string render_stats_text(const StatsBody& s, bool aggregated) {
                        u64str(s.latency_count).c_str());
     }
   }
+  out += render_slo_text(s);
+  return out;
+}
+
+std::string render_slo_text(const StatsBody& s) {
+  if (s.slo_p99_ms <= 0.0 && s.slo_availability <= 0.0) return "";
+  std::string out = "SLO:";
+  if (s.slo_p99_ms > 0.0)
+    out += strprintf(" p99 < %.4g ms", s.slo_p99_ms);
+  if (s.slo_availability > 0.0)
+    out += strprintf("%s availability >= %.4g%%",
+                     s.slo_p99_ms > 0.0 ? "," : "",
+                     100.0 * s.slo_availability);
+  out += '\n';
+  // Burn rate 1.0 = spending error budget exactly at the sustainable
+  // pace; the alert thresholds are 14.4 (fast: 1m+5m) and 6.0 (slow:
+  // 5m+1h), the SRE-book multiwindow pairs.
+  if (s.slo_p99_ms > 0.0)
+    out += strprintf("  latency burn:      1m %.2f  5m %.2f  1h %.2f\n",
+                     s.lat_burn_1m, s.lat_burn_5m, s.lat_burn_1h);
+  if (s.slo_availability > 0.0)
+    out += strprintf("  availability burn: 1m %.2f  5m %.2f  1h %.2f\n",
+                     s.avail_burn_1m, s.avail_burn_5m, s.avail_burn_1h);
   return out;
 }
 
 std::string render_cluster_stats_text(const Response& r) {
   std::string out = render_stats_text(r.stats, !r.shards.empty());
+  if (r.slo_burning)
+    out += "SLO BURNING: error budget is being spent faster than the "
+           "multi-window alert thresholds allow\n";
   if (r.shards.empty()) return out;
   if (r.brownout) {
     out += strprintf("BROWNOUT: proxy shedding load (%s of %s shards "
@@ -77,13 +107,17 @@ std::string render_cluster_stats_text(const Response& r) {
   out += "\nshards:\n";
   TextTable table;
   table.header({"shard", "epoch", "state", "endpoint", "requests", "errors",
-                "cache hits", "entries"});
+                "cache hits", "entries", "p99 us", "burn 5m"});
   for (const ShardInfo& sh : r.shards) {
+    const double burn5m =
+        std::max(sh.stats.lat_burn_5m, sh.stats.avail_burn_5m);
     table.row({u64str(sh.shard_id), strprintf("%08llx",
                    static_cast<unsigned long long>(sh.epoch & 0xffffffffu)),
                sh.healthy ? "up" : "down", sh.endpoint,
                u64str(sh.stats.requests), u64str(sh.stats.errors),
-               u64str(sh.stats.cache_hits), u64str(sh.stats.cache_entries)});
+               u64str(sh.stats.cache_hits), u64str(sh.stats.cache_entries),
+               strprintf("%.0f", sh.stats.p99_us),
+               strprintf("%.2f", burn5m)});
   }
   out += table.render();
   return out;
@@ -109,6 +143,12 @@ std::string render_health_text(const Response& r) {
   out += strprintf("cache:           %s entries, %s bytes\n",
                    u64str(r.stats.cache_entries).c_str(),
                    u64str(r.stats.cache_bytes).c_str());
+  if (r.stats.slo_p99_ms > 0.0 || r.stats.slo_availability > 0.0) {
+    out += strprintf("SLO:             %s (lat burn 5m %.2f, avail burn "
+                     "5m %.2f)\n",
+                     r.slo_burning ? "BURNING" : "ok",
+                     r.stats.lat_burn_5m, r.stats.avail_burn_5m);
+  }
   return out;
 }
 

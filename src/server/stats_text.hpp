@@ -22,6 +22,12 @@ namespace vppb::server {
 /// read as a true merged percentile.
 std::string render_stats_text(const StatsBody& s, bool aggregated = false);
 
+/// Just the SLO block (objectives + multi-window burn rates); empty
+/// string when no objective is configured.  Appended by
+/// render_stats_text and reused by the --watch reconnect path, which
+/// grays out the last-good SLO state while the endpoint is away.
+std::string render_slo_text(const StatsBody& s);
+
 /// The `vppb request health` view: readiness, in-flight occupancy, and
 /// a one-line summary of the failure counters.
 std::string render_health_text(const Response& r);

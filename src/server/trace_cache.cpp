@@ -86,9 +86,10 @@ struct CacheMetrics {
 }  // namespace
 
 std::shared_ptr<const TraceCache::Entry> TraceCache::get(
-    const std::string& path, const core::RunGuard* guard) {
+    const std::string& path, const core::RunGuard* guard, bool* loaded) {
   obs::Span get_span("cache.get", "cache");
   CacheMetrics& cm = CacheMetrics::get();
+  if (loaded != nullptr) *loaded = false;
   // Injected faults surface as the same exception types the real
   // failures would: allocation failure and I/O error.  Both are thrown
   // before any shared state changes, so a faulted request leaves the
@@ -129,6 +130,7 @@ std::shared_ptr<const TraceCache::Entry> TraceCache::get(
 
   ++misses_;
   cm.misses.inc();
+  if (loaded != nullptr) *loaded = true;
   slots_.emplace(key, Slot{});  // loading marker
   lock.unlock();
 

@@ -102,9 +102,12 @@ class TraceCache {
   /// request's in-flight load counts as a hit.  Throws vppb::Error on
   /// unreadable or malformed traces, Poisoned on quarantined content.
   /// `guard` (optional) is polled during parse + compile so a cancelled
-  /// request abandons even the load stage.
+  /// request abandons even the load stage.  `loaded` (optional) reports
+  /// whether this call paid the parse+compile (request timelines name
+  /// the stage "compile" instead of "cache-lookup" when it did).
   std::shared_ptr<const Entry> get(const std::string& path,
-                                   const core::RunGuard* guard = nullptr);
+                                   const core::RunGuard* guard = nullptr,
+                                   bool* loaded = nullptr);
 
   /// Arms the circuit breaker: `strikes_to_trip` strikes quarantine a
   /// content key for `quarantine_ms`.  strikes_to_trip <= 0 disables it

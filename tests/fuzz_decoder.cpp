@@ -259,6 +259,59 @@ int run(std::uint64_t seed, std::uint64_t iterations,
     resp.shards.push_back(sh);
     seeds.push_back(server::encode(resp));
   }
+  {
+    // Protocol v7 traced request: the full trace-context tail
+    // (trace_id, parent span, sampled, want_timeline), so mutants
+    // reach the context varints after the identity fields.
+    server::Request req;
+    req.type = server::ReqType::kSimulate;
+    req.trace_path = "corpus/seed.trace";
+    req.cpus = 4;
+    req.client_id = 0x1111;
+    req.trace_id = 0xfeedfacecafebeefULL;
+    req.parent_span_id = 0x2222;
+    req.sampled = true;
+    req.want_timeline = true;
+    seeds.push_back(server::encode(req));
+  }
+  {
+    // Protocol v7 tracedump response: a stage timeline (duration and
+    // marker entries at mixed depths) plus wire spans (full and
+    // instant), so mutants reach both v7 list decodes — their count
+    // guards, string fields, and the negative-duration encodings.
+    server::Response resp;
+    resp.type = server::ReqType::kTraceDump;
+    resp.shard_id = 2;
+    resp.slo_burning = true;
+    resp.trace_id = 0xfeedfacecafebeefULL;
+    resp.stats.slo_p99_ms = 25.0;
+    resp.stats.lat_burn_5m = 14.5;
+    resp.stats.sampled_requests = 3;
+    resp.stats.trace_dropped = 1;
+    resp.timeline.push_back({"queue", 0, 150, 0});
+    resp.timeline.push_back({"forward shard=2", 150, 9000, 0});
+    resp.timeline.push_back({"simulate", 400, 8000, 1});
+    resp.timeline.push_back({"hedge", 700, -1, 0});
+    server::WireSpan sp;
+    sp.pid = 2;
+    sp.tid = 3;
+    sp.name = "server.dispatch";
+    sp.cat = "server";
+    sp.start_unix_ns = 1700000000123456789LL;
+    sp.dur_ns = 420000;
+    sp.trace_id = 0xfeedfacecafebeefULL;
+    sp.arg_name = "cpus";
+    sp.arg_value = 4;
+    resp.spans.push_back(sp);
+    server::WireSpan marker;
+    marker.pid = 0;
+    marker.name = "failover";
+    marker.cat = "proxy";
+    marker.start_unix_ns = 1700000000123400000LL;
+    marker.dur_ns = -1;
+    resp.spans.push_back(marker);
+    seeds.push_back(server::encode(resp));
+  }
   // Self-check: undamaged seeds must load strictly, or every mutant
   // would be exercising nothing but the header check.
   trace::from_binary(seeds[0].data(), seeds[0].size());

@@ -219,13 +219,14 @@ TEST(ProtocolV5Test, EveryTruncationRejectedCleanly) {
 TEST(ProtocolV5Test, ImplausibleShardCountRejected) {
   Response resp;
   resp.type = ReqType::kStats;
-  // With no shards and default resilience fields, the payload ends in
-  // the count varint followed by six zero bytes (retry_after_ms,
-  // brownout, live/total shards, served_stale, stale_age_ms); patch
-  // the count to a hostile value and the decoder must refuse to
+  // With no shards and default resilience/tracing fields, the payload
+  // ends in the count varint followed by ten zero bytes
+  // (retry_after_ms, brownout, live/total shards, served_stale,
+  // stale_age_ms, slo_burning, trace_id, timeline count, span count);
+  // patch the count to a hostile value and the decoder must refuse to
   // allocate.
   std::vector<std::uint8_t> bytes = server::encode(resp);
-  constexpr std::size_t kTrailing = 6;
+  constexpr std::size_t kTrailing = 10;
   ASSERT_GE(bytes.size(), kTrailing + 1);
   for (std::size_t i = bytes.size() - kTrailing - 1; i < bytes.size(); ++i)
     ASSERT_EQ(bytes[i], 0u) << "byte " << i;

@@ -24,6 +24,8 @@
 #include <limits>
 #include <optional>
 #include <thread>
+#include <unistd.h>
+#include <unordered_map>
 
 #include "cluster/launcher.hpp"
 #include "cluster/membership.hpp"
@@ -100,14 +102,30 @@ int usage() {
       "          [--jobs N] [--cache-entries N] [--hedge-ms N]\n"
       "          + the proxy resilience flags above\n"
       "          fork N vppbd shards under D + serve a proxy over them\n"
-      "  request <predict|simulate|analyze|stats|health|metricsdump>\n"
+      "  request <predict|simulate|analyze|stats|health|metricsdump|\n"
+      "           tracedump>\n"
       "          [trace] [--socket PATH | --port N] [--deadline-ms N]\n"
       "          [--timeout-ms N] [--retries N] [--client-id N] + the\n"
       "          predict/simulate/analyze flags above; --svg F saves the\n"
       "          simulate render; exit 3 overloaded, 4 deadline, 5 budget\n"
-      "          exceeded, 6 poisoned, 7 quota exceeded\n"
+      "          exceeded, 6 poisoned, 7 quota exceeded, 8 SLO burning\n"
+      "          (health only)\n"
+      "          --timeline prints the per-stage waterfall of this\n"
+      "          request (queue/admission/cache/compile/simulate/...);\n"
+      "          --trace-id N tags the request with a chosen distributed\n"
+      "          trace id (0 = mint one when --timeline is set)\n"
       "  stats [--watch] [--interval-ms N] [--count N]\n"
       "        live daemon counter view (stats request in a loop)\n"
+      "  top [--interval-ms N] [--count N]\n"
+      "        live per-shard dashboard: rps, p99, SLO burn rates,\n"
+      "        brownout/stale counters (against a proxy or a vppbd)\n"
+      "  trace-collect [--out F] [--socket PATH | --port N]\n"
+      "        drain span rings cluster-wide into one clock-aligned\n"
+      "        Chrome trace JSON (pid = shard id, 0 = proxy); load it\n"
+      "        at ui.perfetto.dev\n"
+      "  serve/proxy/cluster accept SLO objectives (--slo-p99-ms MS,\n"
+      "  --slo-availability F e.g. 0.999): stats/health/top surface\n"
+      "  multi-window burn rates; health exits 8 while burning\n"
       "  info/predict/simulate/analyze/convert accept --salvage: load the\n"
       "  longest valid prefix of a damaged trace instead of failing\n"
       "  workload names must be exact or a unique prefix of >= 4 chars\n"
@@ -432,6 +450,8 @@ int cmd_serve(Flags& flags) {
   opt.quarantine_ms = flags.i64("quarantine-ms");
   opt.per_client_limit = static_cast<int>(flags.i64("per-client"));
   opt.shard_id = static_cast<std::uint64_t>(flags.i64("shard-id"));
+  opt.slo_p99_ms = flags.dbl("slo-p99-ms");
+  opt.slo_availability = flags.dbl("slo-availability");
 
   // Block the shutdown signals before any thread exists, so every
   // server/pool thread inherits the mask and only sigwait sees them.
@@ -498,6 +518,8 @@ cluster::ProxyOptions proxy_options_from_flags(Flags& flags) {
   opt.brownout_max_inflight =
       static_cast<int>(flags.i64("brownout-inflight"));
   opt.stale_ms = flags.i64("stale-ms");
+  opt.slo_p99_ms = flags.dbl("slo-p99-ms");
+  opt.slo_availability = flags.dbl("slo-availability");
   return opt;
 }
 
@@ -538,6 +560,17 @@ int cmd_cluster(Flags& flags) {
   copt.cache_entries = static_cast<std::size_t>(flags.i64("cache-entries"));
   copt.serve_args = {"--cache-mb", std::to_string(flags.i64("cache-mb")),
                      "--per-client", std::to_string(flags.i64("per-client"))};
+  // Shards inherit the cluster's SLO objectives, so per-shard burn
+  // rates in `vppb top` are judged against the same targets the proxy
+  // judges the whole cluster by.
+  if (flags.dbl("slo-p99-ms") > 0.0) {
+    copt.serve_args.push_back("--slo-p99-ms");
+    copt.serve_args.push_back(strprintf("%g", flags.dbl("slo-p99-ms")));
+  }
+  if (flags.dbl("slo-availability") > 0.0) {
+    copt.serve_args.push_back("--slo-availability");
+    copt.serve_args.push_back(strprintf("%g", flags.dbl("slo-availability")));
+  }
 
   sigset_t set;
   sigemptyset(&set);
@@ -566,6 +599,244 @@ server::Client connect_client(Flags& flags) {
   return server::Client::connect_unix("vppb.sock");
 }
 
+/// A fresh distributed trace id: clock + pid, SplitMix64-finished so
+/// two requests minted in the same tick still diverge.  Uniqueness over
+/// the life of one trace-collect window is all that is needed.
+std::uint64_t mint_trace_id() {
+  std::uint64_t z = static_cast<std::uint64_t>(
+                        std::chrono::steady_clock::now()
+                            .time_since_epoch()
+                            .count()) ^
+                    (static_cast<std::uint64_t>(::getpid()) << 32);
+  z += 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  z ^= z >> 31;
+  return z != 0 ? z : 1;
+}
+
+/// The `--timeline` waterfall: one bar per stage, indented by nesting
+/// depth, scaled to the slowest stage end.  Depth-0 durations sum to
+/// (at most) the measured request latency — nested stages re-describe
+/// time their parent already covers and are excluded from the sum.
+void print_timeline(const std::vector<server::StageSpan>& timeline,
+                    double measured_ms) {
+  std::vector<server::StageSpan> stages = timeline;
+  std::stable_sort(stages.begin(), stages.end(),
+                   [](const server::StageSpan& a,
+                      const server::StageSpan& b) {
+                     return a.start_us < b.start_us;
+                   });
+  std::int64_t end_us = 1;
+  std::int64_t sum_us = 0;
+  for (const server::StageSpan& s : stages) {
+    end_us = std::max(end_us,
+                      s.start_us + (s.dur_us > 0 ? s.dur_us : 0));
+    if (s.depth == 0 && s.dur_us >= 0) sum_us += s.dur_us;
+  }
+  std::printf("\nrequest timeline (measured %.2f ms, stage sum %.2f ms):\n",
+              measured_ms, sum_us / 1000.0);
+  constexpr int kBar = 48;
+  for (const server::StageSpan& s : stages) {
+    std::string label(static_cast<std::size_t>(s.depth) * 2, ' ');
+    label += s.name;
+    if (s.dur_us < 0) {
+      // Marker (hedge / failover / stale-serve): an instant, not a
+      // duration.
+      const int at = static_cast<int>(s.start_us * kBar / end_us);
+      std::printf("  %-28s      ---  |%*s*%*s|\n", label.c_str(), at, "",
+                  kBar - at - 1, "");
+      continue;
+    }
+    const int from = static_cast<int>(s.start_us * kBar / end_us);
+    const int width = std::max(
+        1, static_cast<int>(s.dur_us * kBar / end_us));
+    const int to = std::min(kBar, from + width);
+    std::string bar(static_cast<std::size_t>(kBar), ' ');
+    for (int i = from; i < to; ++i) bar[static_cast<std::size_t>(i)] = '#';
+    std::printf("  %-28s %8.2fms |%s|\n", label.c_str(), s.dur_us / 1000.0,
+                bar.c_str());
+  }
+}
+
+void json_escape_into(std::string& out, const std::string& s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += strprintf("\\u%04x", c);
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+/// `vppb trace-collect`: drain the endpoint's span rings (via the
+/// proxy, every shard's plus the proxy's own) and write one merged
+/// Chrome trace JSON.  All processes timestamp spans in absolute unix
+/// ns, so alignment is a single subtraction of the earliest start; the
+/// pid lane is the shard id (0 = proxy).
+int cmd_trace_collect(Flags& flags) {
+  server::Request req;
+  req.type = server::ReqType::kTraceDump;
+  server::Client client = connect_client(flags);
+  server::RetryPolicy policy;
+  policy.max_attempts = static_cast<int>(flags.i64("retries")) + 1;
+  policy.request_timeout_ms = static_cast<int>(flags.i64("timeout-ms"));
+  const server::Response r = client.call_retry(req, policy);
+  if (r.status != server::Status::kOk) {
+    std::fprintf(stderr, "vppb: trace-collect failed: %s\n",
+                 r.error.c_str());
+    return 1;
+  }
+  if (r.stats.trace_dropped > 0) {
+    std::fprintf(stderr,
+                 "vppb: warning: %llu span(s) were overwritten in full "
+                 "rings before this collection — the merged trace is "
+                 "truncated\n",
+                 static_cast<unsigned long long>(r.stats.trace_dropped));
+  }
+
+  std::int64_t min_ns = std::numeric_limits<std::int64_t>::max();
+  for (const server::WireSpan& w : r.spans)
+    min_ns = std::min(min_ns, w.start_unix_ns);
+  if (r.spans.empty()) min_ns = 0;
+
+  std::string json = "{\"traceEvents\":[";
+  bool first = true;
+  for (const server::WireSpan& w : r.spans) {
+    if (!first) json += ',';
+    first = false;
+    json += "\n{\"name\":\"";
+    json_escape_into(json, w.name);
+    json += "\",\"cat\":\"";
+    json_escape_into(json, w.cat);
+    const double ts = static_cast<double>(w.start_unix_ns - min_ns) / 1000.0;
+    json += strprintf("\",\"pid\":%llu,\"tid\":%u,\"ts\":%.3f",
+                      static_cast<unsigned long long>(w.pid), w.tid, ts);
+    if (w.dur_ns >= 0) {
+      json += strprintf(",\"ph\":\"X\",\"dur\":%.3f",
+                        static_cast<double>(w.dur_ns) / 1000.0);
+    } else {
+      json += ",\"ph\":\"i\",\"s\":\"t\"";
+    }
+    const bool have_arg = !w.arg_name.empty();
+    if (w.trace_id != 0 || have_arg) {
+      json += ",\"args\":{";
+      if (w.trace_id != 0)
+        json += strprintf("\"trace_id\":\"%016llx\"",
+                          static_cast<unsigned long long>(w.trace_id));
+      if (have_arg) {
+        if (w.trace_id != 0) json += ',';
+        json += '"';
+        json_escape_into(json, w.arg_name);
+        json += strprintf("\":%lld",
+                          static_cast<long long>(w.arg_value));
+      }
+      json += '}';
+    }
+    json += '}';
+  }
+  json += "\n]}\n";
+  const std::string out = flags.str("trace-out");
+  util::atomic_write_file(out, json);
+  // One lane per process in the merged view.
+  std::vector<std::uint64_t> pids;
+  for (const server::WireSpan& w : r.spans)
+    if (std::find(pids.begin(), pids.end(), w.pid) == pids.end())
+      pids.push_back(w.pid);
+  std::printf("wrote %zu span(s) from %zu process(es) to %s\n",
+              r.spans.size(), pids.size(), out.c_str());
+  return 0;
+}
+
+/// `vppb top`: the live per-shard dashboard.  Re-issues the stats
+/// request on an interval and renders one row per shard — rps from the
+/// request-count delta, latency p99, the 5m burn rates — plus a cluster
+/// footer with the brownout/stale counters and the SLO verdict.
+int cmd_top(Flags& flags) {
+  server::Request req;
+  req.type = server::ReqType::kStats;
+  const std::int64_t interval_ms =
+      std::max<std::int64_t>(1, flags.i64("interval-ms"));
+  std::int64_t count = flags.i64("count");
+  if (count <= 0) count = std::numeric_limits<std::int64_t>::max();
+
+  std::optional<server::Client> client;
+  std::unordered_map<std::uint64_t, std::uint64_t> prev_requests;
+  bool have_prev = false;
+  for (std::int64_t taken = 0; taken < count;) {
+    server::Response r;
+    try {
+      if (!client) client.emplace(connect_client(flags));
+      r = client->call(req);
+    } catch (const Error& e) {
+      client.reset();
+      std::printf("\033[H\033[2Jreconnecting: %s\n", e.what());
+      std::fflush(stdout);
+      std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+      continue;
+    }
+    if (r.status != server::Status::kOk) {
+      std::fprintf(stderr, "vppb: top failed: %s\n", r.error.c_str());
+      return 1;
+    }
+    std::printf("\033[H\033[2J");
+    TextTable table;
+    table.header({"shard", "state", "rps", "p99 ms", "lat burn 5m",
+                  "avail burn 5m", "requests", "errors"});
+    const auto row = [&](std::uint64_t id, const char* state,
+                         const server::StatsBody& s) {
+      double rps = 0.0;
+      if (have_prev) {
+        const auto it = prev_requests.find(id);
+        const std::uint64_t before =
+            it != prev_requests.end() ? it->second : 0;
+        if (s.requests >= before)
+          rps = static_cast<double>(s.requests - before) * 1000.0 /
+                static_cast<double>(interval_ms);
+      }
+      prev_requests[id] = s.requests;
+      table.row({strprintf("%llu", static_cast<unsigned long long>(id)),
+                 state, strprintf("%.1f", rps),
+                 strprintf("%.2f", s.p99_us / 1000.0),
+                 strprintf("%.2f", s.lat_burn_5m),
+                 strprintf("%.2f", s.avail_burn_5m),
+                 strprintf("%llu",
+                           static_cast<unsigned long long>(s.requests)),
+                 strprintf("%llu",
+                           static_cast<unsigned long long>(s.errors))});
+    };
+    if (r.shards.empty()) {
+      row(r.shard_id, "up", r.stats);
+    } else {
+      for (const server::ShardInfo& sh : r.shards)
+        row(sh.shard_id, sh.healthy ? "up" : "down", sh.stats);
+    }
+    std::printf("%s", table.render().c_str());
+    if (!r.shards.empty()) {
+      std::printf("cluster: %llu/%llu shards live, %llu brownout sheds, "
+                  "%llu stale serves\n",
+                  static_cast<unsigned long long>(r.live_shards),
+                  static_cast<unsigned long long>(r.total_shards),
+                  static_cast<unsigned long long>(r.stats.brownout_sheds),
+                  static_cast<unsigned long long>(r.stats.stale_serves));
+    }
+    std::printf("%s", server::render_slo_text(r.stats).c_str());
+    if (r.slo_burning) std::printf("SLO BURNING\n");
+    std::fflush(stdout);
+    have_prev = true;
+    if (++taken < count)
+      std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+  }
+  return 0;
+}
+
 int cmd_request(Flags& flags) {
   if (flags.positional().size() < 2) return usage();
   const std::string& what = flags.positional()[1];
@@ -582,9 +853,12 @@ int cmd_request(Flags& flags) {
     req.type = server::ReqType::kHealth;
   } else if (what == "metricsdump") {
     req.type = server::ReqType::kMetricsDump;
+  } else if (what == "tracedump") {
+    req.type = server::ReqType::kTraceDump;
   } else {
     throw Error("unknown request type '" + what +
-                "' (predict simulate analyze stats health metricsdump)");
+                "' (predict simulate analyze stats health metricsdump "
+                "tracedump)");
   }
   if (req.type == server::ReqType::kPredict ||
       req.type == server::ReqType::kSimulate ||
@@ -602,12 +876,24 @@ int cmd_request(Flags& flags) {
   req.want_svg = !flags.str("svg").empty();
   req.deadline_ms = flags.i64("deadline-ms");
   req.client_id = static_cast<std::uint64_t>(flags.i64("client-id"));
+  req.want_timeline = flags.boolean("timeline");
+  if (flags.i64("trace-id") != 0 || req.want_timeline) {
+    const std::uint64_t given =
+        static_cast<std::uint64_t>(flags.i64("trace-id"));
+    req.trace_id = given != 0 ? given : mint_trace_id();
+    req.sampled = true;
+  }
 
   server::Client client = connect_client(flags);
   server::RetryPolicy policy;
   policy.max_attempts = static_cast<int>(flags.i64("retries")) + 1;
   policy.request_timeout_ms = static_cast<int>(flags.i64("timeout-ms"));
+  const auto rt0 = std::chrono::steady_clock::now();
   const server::Response r = client.call_retry(req, policy);
+  const double measured_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - rt0)
+          .count();
   if (r.status == server::Status::kOverloaded) {
     std::fprintf(stderr, "vppb: %s\n", r.error.c_str());
     return 3;
@@ -680,7 +966,19 @@ int cmd_request(Flags& flags) {
       // endpoint or a file.
       std::printf("%s", r.report.c_str());
       break;
+    case server::ReqType::kTraceDump:
+      std::printf("%zu span(s) held in the endpoint's rings "
+                  "(%llu overwritten); use `vppb trace-collect` for the "
+                  "merged Chrome trace\n",
+                  r.spans.size(),
+                  static_cast<unsigned long long>(r.stats.trace_dropped));
+      break;
   }
+  if (!r.timeline.empty()) print_timeline(r.timeline, measured_ms);
+  // Health is the probe an orchestrator keys restarts and paging on:
+  // an SLO in breach must be visible in the exit code, not just the
+  // text.
+  if (req.type == server::ReqType::kHealth && r.slo_burning) return 8;
   return 0;
 }
 
@@ -701,6 +999,7 @@ int cmd_stats(Flags& flags) {
   if (count <= 0) count = watch ? std::numeric_limits<std::int64_t>::max() : 1;
 
   std::optional<server::Client> client;
+  std::optional<server::Response> last_good;
   std::uint64_t rng = 0x2545f4914f6cdd1dULL;
   std::int64_t backoff_ms = 0;
   const auto next_backoff = [&rng, &backoff_ms]() {
@@ -731,11 +1030,20 @@ int cmd_stats(Flags& flags) {
       if (watch) std::printf("\033[H\033[2J");
       std::printf("reconnecting: %s (retry in %lld ms)\n", e.what(),
                   static_cast<long long>(wait));
+      if (last_good) {
+        // Keep the last-good SLO state on screen, grayed out, so the
+        // operator watching a burn does not lose the picture while the
+        // endpoint bounces.
+        const std::string slo = server::render_slo_text(last_good->stats);
+        if (!slo.empty())
+          std::printf("\033[90mlast known (stale):\n%s\033[0m", slo.c_str());
+      }
       std::fflush(stdout);
       std::this_thread::sleep_for(std::chrono::milliseconds(wait));
       continue;
     }
     backoff_ms = 0;  // a clean exchange resets the backoff schedule
+    last_good = r;
     if (r.status != server::Status::kOk) {
       std::fprintf(stderr, "vppb: stats failed: %s\n", r.error.c_str());
       return 1;
@@ -864,6 +1172,20 @@ int main(int argc, char** argv) {
   flags.define_bool("watch", false, "stats: refresh until interrupted");
   flags.define_i64("interval-ms", 1000, "stats --watch: refresh period");
   flags.define_i64("count", 0, "stats: snapshots to take (0 = default)");
+  flags.define_bool("timeline", false,
+                    "request: print the per-stage waterfall of this "
+                    "request");
+  flags.define_i64("trace-id", 0,
+                   "request: distributed trace id to propagate "
+                   "(0 = mint one when --timeline is set)");
+  flags.define_string("trace-out", "vppb-trace.json",
+                      "trace-collect: merged Chrome trace output file");
+  flags.define_double("slo-p99-ms", 0.0,
+                      "serve/proxy/cluster: latency SLO — p99 of compute "
+                      "requests under this many ms (0 = off)");
+  flags.define_double("slo-availability", 0.0,
+                      "serve/proxy/cluster: availability SLO as a success "
+                      "fraction, e.g. 0.999 (0 = off)");
 
   try {
     flags.parse(argc, argv);
@@ -909,6 +1231,8 @@ int main(int argc, char** argv) {
       else if (cmd == "cluster") rc = cmd_cluster(flags);
       else if (cmd == "request") rc = cmd_request(flags);
       else if (cmd == "stats") rc = cmd_stats(flags);
+      else if (cmd == "top") rc = cmd_top(flags);
+      else if (cmd == "trace-collect") rc = cmd_trace_collect(flags);
       else rc = usage();
     } catch (...) {
       write_profile();
