@@ -44,6 +44,7 @@
 #include "server/client.hpp"
 #include "server/handlers.hpp"
 #include "server/protocol.hpp"
+#include "server/server.hpp"
 #include "server/trace_cache.hpp"
 #include "solaris/program.hpp"
 #include "trace/binary.hpp"
@@ -259,6 +260,51 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(completed.load()), elapsed);
   }
 
+  // Authenticated-TCP overhead: the protocol-v8 handshake costs one
+  // HMAC exchange per *connection*; steady-state request throughput on
+  // persistent loopback connections must stay within a few percent of
+  // the unauthenticated path (bench_gate enforces >= 0.95x).  Health
+  // requests keep the shard compute out of the measurement — this is a
+  // wire-path benchmark, not an engine one.
+  auto tcp_flood = [&](const std::string& key) -> double {
+    server::ServerOptions so;
+    so.tcp_port = 0;  // ephemeral loopback
+    so.jobs = 2;
+    so.auth_key = key;
+    server::Server srv(so);
+    srv.start();
+    std::atomic<bool> stop{false};
+    std::atomic<std::uint64_t> completed{0};
+    std::vector<std::thread> floods;
+    for (int c = 0; c < 4; ++c) {
+      floods.emplace_back([&]() {
+        server::Client cli = server::Client::connect_tcp(
+            "127.0.0.1", srv.tcp_port(), key, 2000);
+        server::Request req;
+        req.type = server::ReqType::kHealth;
+        while (!stop.load(std::memory_order_relaxed)) {
+          if (cli.call(req).status != server::Status::kOk) return;
+          completed.fetch_add(1, std::memory_order_relaxed);
+        }
+      });
+    }
+    const Clock::time_point t0 = Clock::now();
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(flags.i64("min-ms")));
+    stop.store(true);
+    for (auto& th : floods) th.join();
+    const double elapsed =
+        std::chrono::duration<double>(Clock::now() - t0).count();
+    srv.stop();
+    return static_cast<double>(completed.load()) / elapsed;
+  };
+  const double plain_tcp_per_sec = tcp_flood("");
+  const double auth_tcp_per_sec = tcp_flood("bench-cluster-secret");
+  std::printf("tcp: plain %.1f req/s, authenticated %.1f req/s (%.3fx)\n",
+              plain_tcp_per_sec, auth_tcp_per_sec,
+              plain_tcp_per_sec > 0 ? auth_tcp_per_sec / plain_tcp_per_sec
+                                    : 0.0);
+
   std::ofstream out(flags.str("out"));
   out << "{\n"
       << "  \"clients\": " << nclients << ",\n"
@@ -273,6 +319,8 @@ int main(int argc, char** argv) {
     out << "  \"scaling_2x\": " << per_sec[2] / per_sec[1] << ",\n";
   if (per_sec.count(1) && per_sec.count(4) && per_sec[1] > 0)
     out << "  \"scaling_4x\": " << per_sec[4] / per_sec[1] << ",\n";
+  out << "  \"plain_tcp_per_sec\": " << plain_tcp_per_sec << ",\n"
+      << "  \"auth_tcp_per_sec\": " << auth_tcp_per_sec << ",\n";
   out << "  \"digest_ok\": " << (digest_ok.load() ? "true" : "false") << "\n"
       << "}\n";
   std::printf("wrote %s (digest_ok=%s)\n", flags.str("out").c_str(),

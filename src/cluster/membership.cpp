@@ -10,11 +10,6 @@
 namespace vppb::cluster {
 namespace {
 
-/// Cap on idle pooled connections per shard: enough to keep a flood of
-/// concurrent forwards off the dial path, small enough that N proxies
-/// x M shards cannot hold thousands of file descriptors open.
-constexpr std::size_t kPoolCap = 8;
-
 std::uint64_t next_rand(std::uint64_t& state) {
   state ^= state >> 12;
   state ^= state << 25;
@@ -40,7 +35,8 @@ std::int64_t next_backoff_ms(std::int64_t prev_ms,
 
 std::string ShardEndpoint::display() const {
   if (!unix_path.empty()) return unix_path;
-  return strprintf("127.0.0.1:%u", static_cast<unsigned>(tcp_port));
+  return strprintf("%s:%u", host.empty() ? "127.0.0.1" : host.c_str(),
+                   static_cast<unsigned>(tcp_port));
 }
 
 ShardEndpoint ShardEndpoint::parse(std::uint64_t id,
@@ -52,9 +48,20 @@ ShardEndpoint ShardEndpoint::parse(std::uint64_t id,
   std::string port_str;
   if (colon != std::string::npos) {
     const std::string host = spec.substr(0, colon);
-    if (!host.empty() && host != "127.0.0.1" && host != "localhost")
-      throw Error("shard endpoint '" + spec + "': only loopback TCP "
-                  "(127.0.0.1 / localhost) or a unix socket path");
+    if (!host.empty() && host != "127.0.0.1" && host != "localhost") {
+      // Remote shard: numeric IPv4 only.  A hostname would mean DNS,
+      // and a resolver stall is an unbounded wait the dial path
+      // refuses to take.
+      const bool numeric = std::all_of(
+          host.begin(), host.end(), [](unsigned char c) {
+            return std::isdigit(c) || c == '.';
+          });
+      if (!numeric)
+        throw Error("shard endpoint '" + spec + "': host must be a "
+                    "numeric IPv4 address, 127.0.0.1/localhost, or a "
+                    "unix socket path (no DNS)");
+      ep.host = host;
+    }
     port_str = spec.substr(colon + 1);
   } else if (std::all_of(spec.begin(), spec.end(),
                          [](unsigned char c) { return std::isdigit(c); })) {
@@ -83,6 +90,10 @@ Membership::Membership(std::vector<ShardEndpoint> shards,
                               static_cast<unsigned long long>(ep.id)));
     }
     if (ep.id == 0) throw Error("shard id 0 is reserved for standalone");
+    if (ep.unix_path.empty() && !ep.loopback() && opt_.auth_key.empty())
+      throw Error("shard endpoint '" + ep.display() + "' is not "
+                  "loopback: remote shards require an auth key "
+                  "(--auth-key-file / VPPB_AUTH_KEY)");
     Shard s;
     s.endpoint = std::move(ep);
     full_ring_.add(s.endpoint.id);
@@ -113,11 +124,10 @@ void Membership::stop() {
 
 server::Client Membership::dial(const ShardEndpoint& ep,
                                 int timeout_ms) const {
-  server::Client c = ep.unix_path.empty()
-                         ? server::Client::connect_tcp(ep.tcp_port)
-                         : server::Client::connect_unix(ep.unix_path);
-  (void)timeout_ms;
-  return c;
+  if (!ep.unix_path.empty())
+    return server::Client::connect_unix(ep.unix_path, timeout_ms);
+  return server::Client::connect_tcp(ep.host, ep.tcp_port, opt_.auth_key,
+                                     timeout_ms);
 }
 
 bool Membership::probe(std::size_t idx) {
@@ -168,6 +178,7 @@ void Membership::probe_loop() {
   while (running_) {
     const auto now = std::chrono::steady_clock::now();
     auto next_due = now + std::chrono::milliseconds(opt_.probe_cap_ms);
+    next_due = reap_idle(now, next_due);
     std::vector<std::size_t> due;
     for (std::size_t i = 0; i < shards_.size(); ++i) {
       Shard& s = shards_[i];
@@ -264,20 +275,52 @@ server::Client Membership::take_conn(std::size_t idx) {
     std::lock_guard<std::mutex> lock(mu_);
     Shard& s = shards_[idx];
     if (!s.pool.empty()) {
-      server::Client c = std::move(s.pool.back());
+      // Newest first: the hot end of the stack stays warm while the
+      // cold end ages toward the reaper.
+      server::Client c = std::move(s.pool.back().conn);
       s.pool.pop_back();
       return c;
     }
   }
-  return dial(shards_[idx].endpoint, 0);
+  return dial(shards_[idx].endpoint, opt_.dial_timeout_ms);
 }
 
 void Membership::give_back(std::size_t idx, server::Client conn) {
   std::lock_guard<std::mutex> lock(mu_);
   Shard& s = shards_[idx];
   // A connection to an ejected shard is stale by definition.
-  if (s.healthy && s.pool.size() < kPoolCap)
-    s.pool.push_back(std::move(conn));
+  if (s.healthy && s.pool.size() < opt_.pool_cap)
+    s.pool.push_back(
+        PooledConn{std::move(conn), std::chrono::steady_clock::now()});
+}
+
+std::size_t Membership::pooled_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::size_t n = 0;
+  for (const Shard& s : shards_) n += s.pool.size();
+  return n;
+}
+
+std::chrono::steady_clock::time_point Membership::reap_idle(
+    std::chrono::steady_clock::time_point now,
+    std::chrono::steady_clock::time_point fallback) {
+  if (opt_.pool_idle_ms <= 0) return fallback;
+  const auto window = std::chrono::milliseconds(opt_.pool_idle_ms);
+  auto next = fallback;
+  for (Shard& s : shards_) {
+    // Pools are stacks (take_conn pops the back), so the front is the
+    // coldest entry — expired connections form a prefix.
+    std::size_t expired = 0;
+    while (expired < s.pool.size() &&
+           s.pool[expired].idle_since + window <= now)
+      ++expired;
+    if (expired > 0)
+      s.pool.erase(s.pool.begin(),
+                   s.pool.begin() + static_cast<std::ptrdiff_t>(expired));
+    if (!s.pool.empty())
+      next = std::min(next, s.pool.front().idle_since + window);
+  }
+  return next;
 }
 
 }  // namespace vppb::cluster

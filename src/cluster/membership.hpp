@@ -44,15 +44,23 @@
 
 namespace vppb::cluster {
 
-/// One backend's address.  Unix path preferred when non-empty,
-/// loopback TCP otherwise — the same convention as ServerOptions.
+/// One backend's address.  Unix path preferred when non-empty, TCP
+/// otherwise — the same convention as ServerOptions.  `host` empty
+/// means loopback; a non-loopback host is a *remote* shard (protocol
+/// v8) and Membership refuses it without an auth key configured.
 struct ShardEndpoint {
   std::uint64_t id = 0;  ///< routing identity; must be unique, nonzero
   std::string unix_path;
+  std::string host;  ///< "" = loopback; else a numeric IPv4 address
   std::uint16_t tcp_port = 0;
 
   std::string display() const;
-  /// Parses "path.sock" or ":port" / "127.0.0.1:port" (loopback only).
+  bool loopback() const {
+    return host.empty() || host == "127.0.0.1" || host == "localhost";
+  }
+  /// Parses "path.sock", ":port" / "port" (loopback), or
+  /// "a.b.c.d:port" (numeric IPv4 — no DNS; a resolver stall is an
+  /// unbounded wait this layer refuses to take).
   static ShardEndpoint parse(std::uint64_t id, const std::string& spec);
 };
 
@@ -73,6 +81,19 @@ struct MembershipOptions {
   std::int64_t probe_cap_ms = 1000;
   int probe_timeout_ms = 2000;
   std::uint64_t seed = 1;  ///< jitter PRNG seed (deterministic tests)
+
+  // --- hostile-network hardening (protocol v8) ---
+  /// Bound on every dial (pool refill, probe, forward).  A black-holed
+  /// shard costs this much, never the kernel's SYN-retry minutes —
+  /// probes used to stall here and wedge the whole prober thread.
+  int dial_timeout_ms = 2000;
+  /// Shared key for TCP shards; required for any non-loopback endpoint.
+  std::string auth_key;
+  /// Idle pooled connections per shard: at most `pool_cap` are kept,
+  /// and one idle longer than `pool_idle_ms` is closed by the prober's
+  /// sweep — long-lived proxies stop pinning shard fds forever.
+  std::size_t pool_cap = 8;
+  std::int64_t pool_idle_ms = 30000;
 };
 
 class Membership {
@@ -130,7 +151,18 @@ class Membership {
   server::Client take_conn(std::size_t idx);
   void give_back(std::size_t idx, server::Client conn);
 
+  /// Total idle pooled connections across all shards (tests observe
+  /// the reaper through this).
+  std::size_t pooled_count() const;
+
  private:
+  /// An idle pooled connection and when it went idle (the reaper's
+  /// clock).
+  struct PooledConn {
+    server::Client conn;
+    std::chrono::steady_clock::time_point idle_since;
+  };
+
   struct Shard {
     ShardEndpoint endpoint;
     bool healthy = false;
@@ -141,10 +173,16 @@ class Membership {
     /// sleep (decorrelated jitter feeds on it).
     std::chrono::steady_clock::time_point next_probe{};
     std::int64_t prev_backoff_ms = 0;
-    std::vector<server::Client> pool;  ///< idle connections
+    std::vector<PooledConn> pool;  ///< idle connections, newest at back
   };
 
   void probe_loop();
+  /// Closes pooled connections idle past pool_idle_ms; returns the
+  /// next reap deadline (or `fallback` when every pool is empty).
+  /// Caller holds mu_.
+  std::chrono::steady_clock::time_point reap_idle(
+      std::chrono::steady_clock::time_point now,
+      std::chrono::steady_clock::time_point fallback);
   server::Client dial(const ShardEndpoint& ep, int timeout_ms) const;
 
   const MembershipOptions opt_;

@@ -7,6 +7,7 @@
 #include "obs/log.hpp"
 #include "obs/metrics.hpp"
 #include "obs/span.hpp"
+#include "server/auth.hpp"
 #include "server/trace_cache.hpp"
 #include "util/error.hpp"
 #include "util/strings.hpp"
@@ -44,6 +45,8 @@ struct ProxyMetrics {
   obs::Counter& quota_rejections;
   obs::Counter& brownout_sheds;
   obs::Counter& stale_serves;
+  obs::Counter& auth_failures;
+  obs::Counter& idle_reaps;
   obs::Gauge& shards_up;
 
   static ProxyMetrics& get() {
@@ -68,6 +71,10 @@ struct ProxyMetrics {
                     "Cold computes shed while the proxy was in brownout"),
         reg.counter("vppb_proxy_stale_serves_total",
                     "Answers served from the proxy response cache"),
+        reg.counter("vppb_proxy_auth_failures_total",
+                    "TCP connections rejected by the v8 handshake"),
+        reg.counter("vppb_proxy_idle_reaps_total",
+                    "Client connections reaped for idling past the limit"),
         reg.gauge("vppb_proxy_shards_up", "Healthy shards in the ring"),
     };
     return m;
@@ -231,8 +238,21 @@ std::string merge_prometheus(
   return out;
 }
 
+namespace {
+
+/// One key secures the whole path: unless the membership options name
+/// their own upstream key, the proxy's listener key is also used when
+/// dialing TCP shards.
+ProxyOptions normalize(ProxyOptions opt) {
+  if (opt.membership.auth_key.empty())
+    opt.membership.auth_key = opt.auth_key;
+  return opt;
+}
+
+}  // namespace
+
 Proxy::Proxy(ProxyOptions opt)
-    : opt_(std::move(opt)),
+    : opt_(normalize(std::move(opt))),
       membership_(opt_.shards, opt_.membership),
       quota_(opt_.quota),
       hedge_pool_(std::max(2, opt_.hedge_jobs)) {
@@ -303,9 +323,36 @@ void Proxy::accept_loop() {
 }
 
 void Proxy::serve_connection(Conn* conn) {
+  // Same accept-path gate as the shard server: TCP connections prove
+  // key knowledge before the first frame is read; Unix connections are
+  // local by construction and skip the handshake.
+  if (opt_.unix_path.empty()) {
+    server::AuthConfig auth;
+    auth.key = opt_.auth_key;
+    auth.handshake_timeout_ms = opt_.auth_timeout_ms;
+    try {
+      server::auth_accept(conn->sock, auth);
+    } catch (const server::AuthError& e) {
+      ProxyMetrics::get().auth_failures.inc();
+      obs::logf(LogLevel::kWarn, "proxy", "auth rejected: %s", e.what());
+      return;
+    } catch (const Error& e) {
+      ProxyMetrics::get().auth_failures.inc();
+      obs::logf(LogLevel::kDebug, "proxy", "handshake aborted: %s",
+                e.what());
+      return;
+    }
+    conn->sock.set_keepalive(30, 10, 3, 45000);
+  }
+  if (opt_.idle_timeout_ms > 0)
+    conn->sock.set_recv_timeout(static_cast<int>(opt_.idle_timeout_ms));
+  server::FrameLimits limits;
+  if (opt_.max_request_frame_bytes > 0)
+    limits.max_bytes = opt_.max_request_frame_bytes;
+  limits.frame_deadline_ms = opt_.frame_deadline_ms;
   try {
     std::vector<std::uint8_t> payload;
-    while (server::read_frame(conn->sock, payload)) {
+    while (server::read_frame(conn->sock, payload, limits)) {
       Response resp;
       std::uint64_t trace_id = 0;
       try {
@@ -323,9 +370,17 @@ void Proxy::serve_connection(Conn* conn) {
       resp.trace_id = trace_id;
       server::write_frame(conn->sock, server::encode(resp));
     }
+  } catch (const util::SocketTimeout& e) {
+    ProxyMetrics::get().idle_reaps.inc();
+    obs::logf(LogLevel::kInfo, "proxy", "idle connection reaped: %s",
+              e.what());
   } catch (const Error& e) {
     obs::logf(LogLevel::kDebug, "proxy", "connection dropped: %s", e.what());
   }
+  // Shut the wire down the moment we stop serving it: the Conn object
+  // outlives this thread (joined at stop()), and without the shutdown a
+  // peer blocked on recv would wait for the proxy's exit, not ours.
+  conn->sock.shutdown_both();
 }
 
 Response Proxy::error_response(const Request& req,

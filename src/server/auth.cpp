@@ -1,0 +1,233 @@
+#include "server/auth.hpp"
+
+#include <cstdio>
+#include <cstring>
+#include <random>
+
+#include "util/env.hpp"
+#include "util/hmac.hpp"
+#include "util/strings.hpp"
+
+namespace vppb::server {
+namespace {
+
+constexpr char kChallengeMagic[4] = {'V', 'P', 'B', '8'};
+constexpr char kProofMagic[4] = {'V', 'P', 'A', '8'};
+constexpr char kVerdictMagic[4] = {'V', 'P', 'V', '8'};
+constexpr std::uint8_t kHandshakeVersion = 8;
+
+[[noreturn]] void reject(const char* what) {
+  throw AuthError(strprintf("auth handshake: %s", what));
+}
+
+void check_magic(const std::uint8_t* data, const char expect[4],
+                 const char* which) {
+  if (std::memcmp(data, expect, 4) != 0)
+    reject(strprintf("bad %s magic (not a v8 peer?)", which).c_str());
+}
+
+void mac_for_role(const std::string& key, const char* role,
+                  const std::uint8_t* nonce_a, const std::uint8_t* nonce_b,
+                  std::uint8_t out[kAuthMacBytes]) {
+  std::uint8_t msg[16 + 2 * kAuthNonceBytes] = {};
+  const std::size_t role_len = std::strlen(role);
+  std::memcpy(msg, role, role_len);
+  std::memcpy(msg + 16, nonce_a, kAuthNonceBytes);
+  std::memcpy(msg + 16 + kAuthNonceBytes, nonce_b, kAuthNonceBytes);
+  const util::Sha256Digest d =
+      util::hmac_sha256(key.data(), key.size(), msg, sizeof msg);
+  std::memcpy(out, d.data(), kAuthMacBytes);
+}
+
+}  // namespace
+
+Challenge parse_challenge(const std::uint8_t* data, std::size_t n) {
+  if (n != kChallengeBytes) reject("challenge has wrong size");
+  check_magic(data, kChallengeMagic, "challenge");
+  if (data[4] != kHandshakeVersion) reject("challenge version mismatch");
+  if (data[6] != 0 || data[7] != 0) reject("nonzero reserved bytes");
+  Challenge c;
+  c.flags = data[5];
+  if ((c.flags & ~kAuthFlagRequired) != 0) reject("unknown challenge flags");
+  std::memcpy(c.nonce, data + 8, kAuthNonceBytes);
+  return c;
+}
+
+ClientProof parse_client_proof(const std::uint8_t* data, std::size_t n) {
+  if (n != kClientProofBytes) reject("client proof has wrong size");
+  check_magic(data, kProofMagic, "client proof");
+  if (data[4] != kHandshakeVersion) reject("client proof version mismatch");
+  if (data[5] != 0 || data[6] != 0 || data[7] != 0)
+    reject("nonzero reserved bytes");
+  ClientProof p;
+  std::memcpy(p.nonce, data + 8, kAuthNonceBytes);
+  std::memcpy(p.mac, data + 8 + kAuthNonceBytes, kAuthMacBytes);
+  return p;
+}
+
+Verdict parse_verdict(const std::uint8_t* data, std::size_t n) {
+  if (n != kVerdictBytes) reject("verdict has wrong size");
+  check_magic(data, kVerdictMagic, "verdict");
+  if (data[4] > 1) reject("unknown verdict status");
+  if (data[5] != 0 || data[6] != 0 || data[7] != 0)
+    reject("nonzero reserved bytes");
+  Verdict v;
+  v.status = data[4];
+  std::memcpy(v.mac, data + 8, kAuthMacBytes);
+  return v;
+}
+
+void encode_challenge(const Challenge& c, std::uint8_t out[kChallengeBytes]) {
+  std::memcpy(out, kChallengeMagic, 4);
+  out[4] = kHandshakeVersion;
+  out[5] = c.flags;
+  out[6] = out[7] = 0;
+  std::memcpy(out + 8, c.nonce, kAuthNonceBytes);
+}
+
+void encode_client_proof(const ClientProof& p,
+                         std::uint8_t out[kClientProofBytes]) {
+  std::memcpy(out, kProofMagic, 4);
+  out[4] = kHandshakeVersion;
+  out[5] = out[6] = out[7] = 0;
+  std::memcpy(out + 8, p.nonce, kAuthNonceBytes);
+  std::memcpy(out + 8 + kAuthNonceBytes, p.mac, kAuthMacBytes);
+}
+
+void encode_verdict(const Verdict& v, std::uint8_t out[kVerdictBytes]) {
+  std::memcpy(out, kVerdictMagic, 4);
+  out[4] = v.status;
+  out[5] = out[6] = out[7] = 0;
+  std::memcpy(out + 8, v.mac, kAuthMacBytes);
+}
+
+void client_mac(const std::string& key,
+                const std::uint8_t server_nonce[kAuthNonceBytes],
+                const std::uint8_t client_nonce[kAuthNonceBytes],
+                std::uint8_t out[kAuthMacBytes]) {
+  mac_for_role(key, "vppb-v8-client", server_nonce, client_nonce, out);
+}
+
+void server_mac(const std::string& key,
+                const std::uint8_t server_nonce[kAuthNonceBytes],
+                const std::uint8_t client_nonce[kAuthNonceBytes],
+                std::uint8_t out[kAuthMacBytes]) {
+  // Nonces swapped relative to the client role, so the two MACs are
+  // never interchangeable even under a reflected connection.
+  mac_for_role(key, "vppb-v8-server", client_nonce, server_nonce, out);
+}
+
+void random_nonce(std::uint8_t out[kAuthNonceBytes]) {
+  // std::random_device reads the system entropy source on every
+  // platform this builds on; one device per call keeps the function
+  // stateless (nonces are 32 bytes — quality matters more than speed,
+  // and a handshake happens once per connection).
+  std::random_device rd;
+  for (std::size_t i = 0; i < kAuthNonceBytes; i += 4) {
+    const std::uint32_t w = rd();
+    std::memcpy(out + i, &w, 4);
+  }
+}
+
+void auth_accept(util::Socket& sock, const AuthConfig& cfg) {
+  sock.set_recv_timeout(cfg.handshake_timeout_ms);
+  sock.set_send_timeout(cfg.handshake_timeout_ms);
+  Challenge ch;
+  ch.flags = cfg.required() ? kAuthFlagRequired : 0;
+  random_nonce(ch.nonce);
+  std::uint8_t ch_buf[kChallengeBytes];
+  encode_challenge(ch, ch_buf);
+  sock.send_all(ch_buf, sizeof ch_buf);
+  if (!cfg.required()) {
+    sock.set_recv_timeout(0);
+    sock.set_send_timeout(0);
+    return;
+  }
+  std::uint8_t proof_buf[kClientProofBytes];
+  const std::size_t got = sock.recv_exact(proof_buf, sizeof proof_buf);
+  // A truncated proof (peer hung up mid-preamble) parses as wrong-size
+  // and is rejected like any other malformed preamble.
+  const ClientProof proof = parse_client_proof(proof_buf, got);
+  std::uint8_t expect[kAuthMacBytes];
+  client_mac(cfg.key, ch.nonce, proof.nonce, expect);
+  if (!util::constant_time_equal(expect, proof.mac, kAuthMacBytes)) {
+    Verdict v;
+    v.status = 1;
+    std::uint8_t v_buf[kVerdictBytes];
+    encode_verdict(v, v_buf);
+    // Best effort: the peer learns *that* it failed, never why.
+    try {
+      sock.send_all(v_buf, sizeof v_buf);
+    } catch (const Error&) {
+    }
+    reject("peer failed the key proof");
+  }
+  Verdict v;
+  v.status = 0;
+  server_mac(cfg.key, ch.nonce, proof.nonce, v.mac);
+  std::uint8_t v_buf[kVerdictBytes];
+  encode_verdict(v, v_buf);
+  sock.send_all(v_buf, sizeof v_buf);
+  sock.set_recv_timeout(0);
+  sock.set_send_timeout(0);
+}
+
+void auth_connect(util::Socket& sock, const AuthConfig& cfg) {
+  sock.set_recv_timeout(cfg.handshake_timeout_ms);
+  sock.set_send_timeout(cfg.handshake_timeout_ms);
+  std::uint8_t ch_buf[kChallengeBytes];
+  const std::size_t got = sock.recv_exact(ch_buf, sizeof ch_buf);
+  const Challenge ch = parse_challenge(ch_buf, got);
+  const bool server_wants_auth = (ch.flags & kAuthFlagRequired) != 0;
+  if (!server_wants_auth) {
+    // Refusing the downgrade matters on a hostile network: a client
+    // configured with a key expects an authenticated endpoint, and an
+    // impostor could otherwise simply not ask for a proof.
+    if (cfg.required())
+      reject("server does not require authentication but a key is "
+             "configured here — refusing the downgrade");
+    sock.set_recv_timeout(0);
+    sock.set_send_timeout(0);
+    return;
+  }
+  if (!cfg.required())
+    reject("server requires authentication and no key is configured "
+           "(--auth-key-file / VPPB_AUTH_KEY)");
+  ClientProof proof;
+  random_nonce(proof.nonce);
+  client_mac(cfg.key, ch.nonce, proof.nonce, proof.mac);
+  std::uint8_t proof_buf[kClientProofBytes];
+  encode_client_proof(proof, proof_buf);
+  sock.send_all(proof_buf, sizeof proof_buf);
+  std::uint8_t v_buf[kVerdictBytes];
+  const std::size_t vgot = sock.recv_exact(v_buf, sizeof v_buf);
+  const Verdict v = parse_verdict(v_buf, vgot);
+  if (v.status != 0) reject("server rejected our key");
+  std::uint8_t expect[kAuthMacBytes];
+  server_mac(cfg.key, ch.nonce, proof.nonce, expect);
+  if (!util::constant_time_equal(expect, v.mac, kAuthMacBytes))
+    reject("server failed to prove key knowledge");
+  sock.set_recv_timeout(0);
+  sock.set_send_timeout(0);
+}
+
+std::string load_auth_key(const std::string& key_file) {
+  if (!key_file.empty()) {
+    std::FILE* f = std::fopen(key_file.c_str(), "rb");
+    if (f == nullptr)
+      throw Error("cannot read auth key file: " + key_file);
+    std::string key;
+    char buf[4096];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) key.append(buf, n);
+    std::fclose(f);
+    if (!key.empty() && key.back() == '\n') key.pop_back();
+    if (!key.empty() && key.back() == '\r') key.pop_back();
+    if (key.empty())
+      throw Error("auth key file is empty: " + key_file);
+    return key;
+  }
+  return util::env_or("VPPB_AUTH_KEY", "");
+}
+
+}  // namespace vppb::server

@@ -1,0 +1,135 @@
+// Authenticated connection handshake for TCP peers (protocol v8).
+//
+// Threat model: a TCP listener may be reachable from hosts the operator
+// does not control.  Before any protocol frame is accepted, the peer
+// must prove knowledge of a shared key via an HMAC-SHA256
+// challenge–response:
+//
+//   server -> client   Challenge  (40 bytes: magic, version, flags,
+//                                  32-byte random nonce)
+//   client -> server   ClientProof(72 bytes: magic, version, 32-byte
+//                                  client nonce, HMAC over both nonces)
+//   server -> client   Verdict    (40 bytes: magic, status, HMAC over
+//                                  both nonces in the server role)
+//
+// Every message is fixed-size, so the unauthenticated read path never
+// allocates and never reads more than kMaxPreambleBytes from a peer
+// that has not yet proven itself.  Nonces are fresh per connection, so
+// a captured proof replayed against a new connection fails (the new
+// challenge nonce changes the MAC).  The verdict carries the server's
+// own MAC in the opposite role, so the client also authenticates the
+// server — a spoofed endpoint cannot silently absorb trace paths.
+// MACs are compared in constant time.
+//
+// Unix-domain sockets skip all of this: filesystem permissions on the
+// socket path are the local trust boundary, and the loopback digest
+// baseline must stay byte-identical.
+//
+// What this does NOT provide: transport encryption or integrity for the
+// frames that follow.  The key authenticates the *peer*; anyone who can
+// read the wire can read traces in flight.  Run over a trusted network
+// or a tunnel when confidentiality matters.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "util/error.hpp"
+#include "util/socket.hpp"
+
+namespace vppb::server {
+
+/// Thrown when a peer fails (or refuses) authentication — the wire
+/// analogue of Status::kAuthFailed.  Distinct from Error so callers can
+/// map it to a typed rejection instead of a generic transport failure.
+class AuthError : public Error {
+ public:
+  explicit AuthError(const std::string& what) : Error(what) {}
+};
+
+inline constexpr std::size_t kAuthNonceBytes = 32;
+inline constexpr std::size_t kAuthMacBytes = 32;
+/// Sizes of the three fixed handshake messages.
+inline constexpr std::size_t kChallengeBytes = 4 + 1 + 1 + 2 + kAuthNonceBytes;
+inline constexpr std::size_t kClientProofBytes =
+    4 + 1 + 3 + kAuthNonceBytes + kAuthMacBytes;
+inline constexpr std::size_t kVerdictBytes = 4 + 1 + 3 + kAuthMacBytes;
+/// The most a peer can make the other side read before authenticating.
+inline constexpr std::size_t kMaxPreambleBytes = kClientProofBytes;
+
+/// Challenge flags.
+inline constexpr std::uint8_t kAuthFlagRequired = 0x01;
+
+struct AuthConfig {
+  std::string key;  ///< shared secret; empty = auth disabled
+  /// Bound on each handshake read/write; a peer that connects and goes
+  /// silent is dropped after this.
+  int handshake_timeout_ms = 5000;
+
+  bool required() const { return !key.empty(); }
+};
+
+/// Parsed forms of the handshake messages, exposed (with their parsers)
+/// so tests and the fuzzer can exercise the exact bytes-to-struct path
+/// the handshake uses.  Parsers throw AuthError on any malformed input:
+/// wrong size, wrong magic, wrong version, nonzero reserved bytes.
+struct Challenge {
+  std::uint8_t flags = 0;
+  std::uint8_t nonce[kAuthNonceBytes] = {};
+};
+struct ClientProof {
+  std::uint8_t nonce[kAuthNonceBytes] = {};
+  std::uint8_t mac[kAuthMacBytes] = {};
+};
+struct Verdict {
+  std::uint8_t status = 0;  ///< 0 = accepted, 1 = auth failed
+  std::uint8_t mac[kAuthMacBytes] = {};
+};
+
+Challenge parse_challenge(const std::uint8_t* data, std::size_t n);
+ClientProof parse_client_proof(const std::uint8_t* data, std::size_t n);
+Verdict parse_verdict(const std::uint8_t* data, std::size_t n);
+
+/// Encoders, for the handshake itself and for building fuzz corpora.
+void encode_challenge(const Challenge& c, std::uint8_t out[kChallengeBytes]);
+void encode_client_proof(const ClientProof& p,
+                         std::uint8_t out[kClientProofBytes]);
+void encode_verdict(const Verdict& v, std::uint8_t out[kVerdictBytes]);
+
+/// The client-side MAC: HMAC(key, "vppb-v8-client" || server_nonce ||
+/// client_nonce), and the server-side MAC with role string
+/// "vppb-v8-server" and the nonces swapped.
+void client_mac(const std::string& key,
+                const std::uint8_t server_nonce[kAuthNonceBytes],
+                const std::uint8_t client_nonce[kAuthNonceBytes],
+                std::uint8_t out[kAuthMacBytes]);
+void server_mac(const std::string& key,
+                const std::uint8_t server_nonce[kAuthNonceBytes],
+                const std::uint8_t client_nonce[kAuthNonceBytes],
+                std::uint8_t out[kAuthMacBytes]);
+
+/// Server side of the handshake, run on a freshly accepted TCP
+/// connection before any frame is read.  Sends the challenge, verifies
+/// the proof, answers with a verdict.  Throws AuthError when the peer
+/// is malformed or fails the MAC (after sending a rejecting verdict on
+/// a best-effort basis), SocketTimeout when the peer stalls past the
+/// handshake timeout.
+void auth_accept(util::Socket& sock, const AuthConfig& cfg);
+
+/// Client side: reads the challenge, proves key knowledge, checks the
+/// verdict and the server's own MAC.  Throws AuthError when the server
+/// demands a key we do not have, rejects our proof, or fails to prove
+/// itself.
+void auth_connect(util::Socket& sock, const AuthConfig& cfg);
+
+/// Resolves the shared key: the contents of `key_file` when non-empty
+/// (one trailing newline trimmed, as produced by `openssl rand` or
+/// `echo`), else $VPPB_AUTH_KEY, else empty (auth disabled).  Throws
+/// Error when key_file is named but unreadable or empty.
+std::string load_auth_key(const std::string& key_file);
+
+/// Fills `out` with nonce bytes from the system entropy source.
+void random_nonce(std::uint8_t out[kAuthNonceBytes]);
+
+}  // namespace vppb::server

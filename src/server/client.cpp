@@ -32,17 +32,45 @@ std::int64_t next_sleep_ms(std::int64_t prev_ms, const RetryPolicy& p,
 
 }  // namespace
 
-Client Client::connect_unix(const std::string& path) {
-  return Client(util::connect_unix(path), EndpointKind::kUnix, path, 0);
+Client Client::connect_unix(const std::string& path,
+                            int connect_timeout_ms) {
+  Client c(util::connect_unix(path, connect_timeout_ms),
+           EndpointKind::kUnix, path, 0);
+  c.connect_timeout_ms_ = connect_timeout_ms;
+  return c;
 }
 
 Client Client::connect_tcp(std::uint16_t port) {
-  return Client(util::connect_tcp(port), EndpointKind::kTcp, "", port);
+  // Ambient key: a local tool pointed at an authenticated loopback
+  // daemon just exports VPPB_AUTH_KEY and keeps its call sites.
+  return connect_tcp(std::string(), port, load_auth_key(std::string()), 0);
+}
+
+Client Client::connect_tcp(const std::string& host, std::uint16_t port,
+                           const std::string& auth_key,
+                           int connect_timeout_ms) {
+  Client c(util::connect_tcp(host, port, connect_timeout_ms),
+           EndpointKind::kTcp, "", port);
+  c.host_ = host;
+  c.auth_key_ = auth_key;
+  c.connect_timeout_ms_ = connect_timeout_ms;
+  AuthConfig cfg;
+  cfg.key = auth_key;
+  if (connect_timeout_ms > 0) cfg.handshake_timeout_ms = connect_timeout_ms;
+  auth_connect(c.sock_, cfg);
+  return c;
 }
 
 void Client::reconnect() {
-  sock_ = kind_ == EndpointKind::kUnix ? util::connect_unix(path_)
-                                       : util::connect_tcp(port_);
+  if (kind_ == EndpointKind::kUnix) {
+    sock_ = util::connect_unix(path_, connect_timeout_ms_);
+    return;
+  }
+  sock_ = util::connect_tcp(host_, port_, connect_timeout_ms_);
+  AuthConfig cfg;
+  cfg.key = auth_key_;
+  if (connect_timeout_ms_ > 0) cfg.handshake_timeout_ms = connect_timeout_ms_;
+  auth_connect(sock_, cfg);
 }
 
 Response Client::call(const Request& req) {
@@ -88,6 +116,9 @@ Response Client::call_retry(const Request& req, RetryPolicy& policy) {
         sock_.set_recv_timeout(policy.request_timeout_ms);
       last = call(req);
       have_response = true;
+    } catch (const AuthError&) {
+      // Definitive: the same key fails the same way on every retry.
+      throw;
     } catch (const Error&) {
       // Transport failure (dropped connection, timeout, torn frame):
       // the connection state is unknown — a fresh one is the only safe
@@ -96,6 +127,8 @@ Response Client::call_retry(const Request& req, RetryPolicy& policy) {
       last_err = std::current_exception();
       try {
         reconnect();
+      } catch (const AuthError&) {
+        throw;  // typed rejection, not an outage — retrying cannot help
       } catch (const Error&) {
         continue;  // endpoint still down; back off and try again
       }

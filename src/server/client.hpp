@@ -21,6 +21,7 @@
 #include <cstdint>
 #include <string>
 
+#include "server/auth.hpp"
 #include "server/protocol.hpp"
 #include "util/socket.hpp"
 
@@ -43,8 +44,20 @@ struct RetryPolicy {
 
 class Client {
  public:
-  static Client connect_unix(const std::string& path);
+  /// `connect_timeout_ms` bounds the connect itself (0 = wait forever);
+  /// a black-holed endpoint throws util::SocketTimeout instead of
+  /// pinning the caller.
+  static Client connect_unix(const std::string& path,
+                             int connect_timeout_ms = 0);
+  /// TCP connect + the v8 handshake.  The loopback overload reads the
+  /// ambient key ($VPPB_AUTH_KEY, usually unset); the full overload
+  /// takes an explicit key for remote/authenticated shards.  Throws
+  /// AuthError when the server demands a key we lack (or rejects the
+  /// one we have) — definitive, never retried.
   static Client connect_tcp(std::uint16_t port);
+  static Client connect_tcp(const std::string& host, std::uint16_t port,
+                            const std::string& auth_key,
+                            int connect_timeout_ms = 0);
 
   /// Sends one request and blocks for its response.  Throws vppb::Error
   /// on transport failure (including the server closing mid-response);
@@ -69,8 +82,11 @@ class Client {
 
   util::Socket sock_;
   EndpointKind kind_ = EndpointKind::kUnix;
-  std::string path_;       ///< Unix socket path (kUnix)
-  std::uint16_t port_ = 0;  ///< loopback TCP port (kTcp)
+  std::string path_;        ///< Unix socket path (kUnix)
+  std::string host_;        ///< TCP host ("" = loopback)
+  std::uint16_t port_ = 0;  ///< TCP port (kTcp)
+  std::string auth_key_;    ///< carried so reconnect() re-authenticates
+  int connect_timeout_ms_ = 0;
 };
 
 }  // namespace vppb::server

@@ -21,6 +21,8 @@ struct ServerMetrics {
   obs::Counter& watchdog_cancels;
   obs::Counter& watchdog_replacements;
   obs::Counter& sampled;
+  obs::Counter& auth_failures;
+  obs::Counter& idle_reaps;
   obs::Histogram& latency_us;
 
   static ServerMetrics& get() {
@@ -43,6 +45,10 @@ struct ServerMetrics {
                     "Wedged workers replaced by the watchdog"),
         reg.counter("vppb_server_sampled_requests_total",
                     "Requests carrying a distributed trace id"),
+        reg.counter("vppb_server_auth_failures_total",
+                    "TCP peers rejected by the authenticated handshake"),
+        reg.counter("vppb_server_idle_reaps_total",
+                    "Connections closed for idling past the deadline"),
         reg.histogram("vppb_server_latency_us",
                       "Admitted request latency, decode to response ready",
                       obs::latency_us_bounds()),
@@ -108,6 +114,18 @@ void Metrics::count_sampled() {
   ++sampled_;
 }
 
+void Metrics::count_auth_failure() {
+  ServerMetrics::get().auth_failures.inc();
+  std::lock_guard<std::mutex> lock(mu_);
+  ++auth_failures_;
+}
+
+void Metrics::count_idle_reap() {
+  ServerMetrics::get().idle_reaps.inc();
+  std::lock_guard<std::mutex> lock(mu_);
+  ++idle_reaps_;
+}
+
 void Metrics::record_latency_us(double us, std::uint64_t trace_id) {
   ServerMetrics::get().latency_us.observe(us, trace_id);
   std::lock_guard<std::mutex> lock(mu_);
@@ -135,6 +153,8 @@ void Metrics::snapshot(StatsBody& out) const {
     out.watchdog_cancels = watchdog_cancels_;
     out.watchdog_replacements = watchdog_replacements_;
     out.sampled_requests = sampled_;
+    out.auth_failures = auth_failures_;
+    out.idle_reaps = idle_reaps_;
     out.latency_count = latencies_seen_;
     ring = latency_us_;  // percentile work happens off-lock
   }

@@ -28,6 +28,9 @@ class Metrics {
 
   void count_sampled();  ///< request arrived carrying a trace_id
 
+  void count_auth_failure();  ///< TCP peer rejected by the v8 handshake
+  void count_idle_reap();     ///< connection closed past the idle deadline
+
   /// Records the server-side latency of an executed (admitted) request,
   /// from frame decode to response ready.  Overload rejections are
   /// counted, not timed — their latency is the admission check.
@@ -51,6 +54,8 @@ class Metrics {
   std::uint64_t watchdog_cancels_ = 0;
   std::uint64_t watchdog_replacements_ = 0;
   std::uint64_t sampled_ = 0;
+  std::uint64_t auth_failures_ = 0;
+  std::uint64_t idle_reaps_ = 0;
   std::uint64_t latencies_seen_ = 0;
   std::size_t ring_next_ = 0;
   std::vector<double> latency_us_;  ///< ring buffer once at kMaxSamples

@@ -1,5 +1,6 @@
 #include "server/protocol.hpp"
 
+#include <algorithm>
 #include <cstring>
 
 #include "util/error.hpp"
@@ -129,6 +130,8 @@ void put_stats(std::vector<std::uint8_t>& out, const StatsBody& s) {
   put_double(out, s.avail_burn_1h);
   put_u64(out, s.sampled_requests);
   put_u64(out, s.trace_dropped);
+  put_u64(out, s.auth_failures);
+  put_u64(out, s.idle_reaps);
 }
 
 void get_stats(Reader& in, StatsBody& s) {
@@ -167,6 +170,8 @@ void get_stats(Reader& in, StatsBody& s) {
   s.avail_burn_1h = in.dbl();
   s.sampled_requests = in.u64();
   s.trace_dropped = in.u64();
+  s.auth_failures = in.u64();
+  s.idle_reaps = in.u64();
 }
 
 void check_version(Reader& in) {
@@ -187,6 +192,7 @@ const char* to_string(Status s) {
     case Status::kBudgetExceeded: return "budget-exceeded";
     case Status::kPoisoned: return "poisoned";
     case Status::kQuotaExceeded: return "quota-exceeded";
+    case Status::kAuthFailed: return "auth-failed";
   }
   return "?";
 }
@@ -322,7 +328,7 @@ Response decode_response(const std::uint8_t* data, std::size_t size) {
   Response resp;
   const std::uint64_t status = in.u64();
   VPPB_CHECK_MSG(
-      status <= static_cast<std::uint64_t>(Status::kQuotaExceeded),
+      status <= static_cast<std::uint64_t>(Status::kAuthFailed),
       "unknown response status " << status);
   resp.status = static_cast<Status>(status);
   resp.type = req_type(in.u64());
@@ -428,6 +434,11 @@ void write_frame(util::Socket& sock,
 }
 
 bool read_frame(util::Socket& sock, std::vector<std::uint8_t>& payload) {
+  return read_frame(sock, payload, FrameLimits{});
+}
+
+bool read_frame(util::Socket& sock, std::vector<std::uint8_t>& payload,
+                const FrameLimits& limits) {
   std::uint8_t header[4];
   const std::size_t got = sock.recv_exact(header, sizeof header);
   if (got == 0) return false;  // clean end-of-stream between frames
@@ -437,11 +448,13 @@ bool read_frame(util::Socket& sock, std::vector<std::uint8_t>& payload) {
                           static_cast<std::uint32_t>(header[1]) << 8 |
                           static_cast<std::uint32_t>(header[2]) << 16 |
                           static_cast<std::uint32_t>(header[3]) << 24;
-  if (n == 0 || n > kMaxFrame)
+  const std::size_t cap = std::min(limits.max_bytes, kMaxFrame);
+  if (n == 0 || n > cap)
     throw Error(strprintf("frame length %u out of range (1..%zu) — "
-                          "not a vppbd peer?", n, kMaxFrame));
+                          "not a vppbd peer?", n, cap));
   payload.resize(n);
-  const std::size_t body = sock.recv_exact(payload.data(), n);
+  const std::size_t body =
+      sock.recv_exact_deadline(payload.data(), n, limits.frame_deadline_ms);
   if (body < n)
     throw Error(strprintf("truncated frame payload (%zu of %u bytes)",
                           body, n));

@@ -25,7 +25,7 @@
 
 namespace vppb::server {
 
-constexpr std::uint8_t kProtocolVersion = 7;  ///< v7: distributed tracing (propagated trace context, per-request stage timeline tail, tracedump span drain, SLO burn rates)
+constexpr std::uint8_t kProtocolVersion = 8;  ///< v8: hostile-network hardening (HMAC-SHA256 authenticated TCP handshake, kAuthFailed, bounded preambles, partition-tolerant deadlines)
 /// Upper bound on a frame payload (a full SVG render fits comfortably;
 /// a corrupt or hostile length prefix does not).
 constexpr std::size_t kMaxFrame = 64u << 20;
@@ -55,6 +55,9 @@ enum class Status : std::uint8_t {
                           ///< crashes/budget kills; rejected pre-dispatch
   kQuotaExceeded = 6,     ///< the client spent its cluster-wide rate quota;
                           ///< retry_after_ms says when a token refills
+  kAuthFailed = 7,        ///< the peer failed (or refused) the v8 TCP key
+                          ///< proof; rejected pre-dispatch, connection
+                          ///< closed
 };
 
 const char* to_string(Status s);
@@ -146,6 +149,10 @@ struct StatsBody {
   double avail_burn_1h = 0.0;
   std::uint64_t sampled_requests = 0;  ///< requests carrying a trace_id
   std::uint64_t trace_dropped = 0;     ///< span ring events overwritten
+  // Hostile-network counters (protocol v8).
+  std::uint64_t auth_failures = 0;  ///< TCP peers rejected by the handshake
+  std::uint64_t idle_reaps = 0;     ///< connections closed for idling past
+                                    ///< the server's idle deadline
 };
 
 /// One backend's slice of an aggregated cluster response (protocol v5).
@@ -264,5 +271,19 @@ void write_frame(util::Socket& sock, const std::vector<std::uint8_t>& payload);
 /// end-of-stream at a frame boundary; throws vppb::Error on a
 /// truncated header/payload or an out-of-range length prefix.
 bool read_frame(util::Socket& sock, std::vector<std::uint8_t>& payload);
+
+/// Per-frame ceilings for reads from peers that have not earned full
+/// trust (protocol v8).  `max_bytes` rejects a length prefix above the
+/// cap before any allocation; `frame_deadline_ms` bounds the *total*
+/// time a started frame may take to arrive, so a peer trickling one
+/// byte per receive-timeout window cannot hold a 64 MiB read open for
+/// days.
+struct FrameLimits {
+  std::size_t max_bytes = kMaxFrame;
+  int frame_deadline_ms = 0;  ///< 0 = unbounded
+};
+
+bool read_frame(util::Socket& sock, std::vector<std::uint8_t>& payload,
+                const FrameLimits& limits);
 
 }  // namespace vppb::server

@@ -10,6 +10,7 @@
 #include "obs/log.hpp"
 #include "obs/metrics.hpp"
 #include "obs/span.hpp"
+#include "server/auth.hpp"
 #include "server/handlers.hpp"
 #include "util/error.hpp"
 #include "util/strings.hpp"
@@ -117,9 +118,40 @@ void Server::accept_loop() {
 }
 
 void Server::serve_connection(Conn* conn) {
+  // TCP peers must pass the v8 handshake before the first frame is
+  // read; the rejection is typed, bounded (fixed-size preamble, never a
+  // length-prefixed allocation), and pre-dispatch.  Unix sockets skip
+  // it — the socket file's permissions are the local trust boundary.
+  if (opt_.unix_path.empty()) {
+    try {
+      AuthConfig cfg;
+      cfg.key = opt_.auth_key;
+      cfg.handshake_timeout_ms = static_cast<int>(opt_.auth_timeout_ms);
+      auth_accept(conn->sock, cfg);
+    } catch (const AuthError& e) {
+      metrics_.count_auth_failure();
+      obs::logf(LogLevel::kWarn, "server", "auth failed: %s", e.what());
+      return;
+    } catch (const Error& e) {
+      metrics_.count_auth_failure();
+      obs::logf(LogLevel::kDebug, "server", "handshake dropped: %s",
+                e.what());
+      return;
+    }
+    // Half-open connections (peer host gone without a FIN) must die
+    // deterministically, not after the kernel's multi-hour default.
+    conn->sock.set_keepalive(/*idle_s=*/30, /*interval_s=*/10,
+                             /*probes=*/3, /*user_timeout_ms=*/45000);
+  }
+  if (opt_.idle_timeout_ms > 0)
+    conn->sock.set_recv_timeout(static_cast<int>(opt_.idle_timeout_ms));
+  FrameLimits limits;
+  if (opt_.max_request_frame_bytes > 0)
+    limits.max_bytes = opt_.max_request_frame_bytes;
+  limits.frame_deadline_ms = static_cast<int>(opt_.frame_deadline_ms);
   try {
     std::vector<std::uint8_t> payload;
-    while (read_frame(conn->sock, payload)) {
+    while (read_frame(conn->sock, payload, limits)) {
       // Fault injection happens where real damage would: between the
       // wire and the decoder.  A corrupted payload must come back as a
       // typed kError response; a short read must cost exactly this
@@ -169,11 +201,24 @@ void Server::serve_connection(Conn* conn) {
         write_frame(conn->sock, encode(resp));
       }
     }
+  } catch (const util::SocketTimeout& e) {
+    // Idle past the deadline, or a started frame trickling in too
+    // slowly: reap the connection.  The slot it held is free again and
+    // the server owes this peer nothing.
+    metrics_.count_idle_reap();
+    obs::logf(LogLevel::kInfo, "server", "idle connection reaped: %s",
+              e.what());
   } catch (const Error& e) {
     // Broken framing or a lost peer: the connection is the unit of
     // failure — drop it, the server lives on.
     obs::logf(LogLevel::kDebug, "server", "connection dropped: %s", e.what());
   }
+  // The Conn object lives until stop() joins its thread, but the wire
+  // must not: shut the socket down now so a peer blocked on recv sees
+  // EOF the moment we stop serving it.  shutdown (not close) — stop()
+  // may concurrently shutdown_read() this fd, and closing here would
+  // race that against fd reuse.
+  conn->sock.shutdown_both();
 }
 
 core::RunLimits Server::request_limits(const Request& req) const {

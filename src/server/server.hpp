@@ -117,6 +117,29 @@ struct ServerOptions {
   /// Assigned by the operator or the cluster launcher; 0 = standalone.
   std::uint64_t shard_id = 0;
 
+  // --- hostile-network hardening (protocol v8) ---
+  /// Shared key for the TCP handshake (empty = open listener).  Unix
+  /// sockets never authenticate: the socket file's permissions are the
+  /// local trust boundary, and the loopback digest baseline must stay
+  /// byte-identical.
+  std::string auth_key;
+  /// Bound on each handshake read/write; a peer that connects and then
+  /// goes silent is dropped after this.
+  std::int64_t auth_timeout_ms = 5000;
+  /// Idle-connection reap: a connection with no new frame for this many
+  /// milliseconds is closed (slowloris defense).  0 = never reap,
+  /// preserving the long-lived-idle-client behaviour local tools rely
+  /// on.
+  std::int64_t idle_timeout_ms = 0;
+  /// Total time a *started* frame may take to arrive before the
+  /// connection is dropped (defeats one-byte-per-window trickling).
+  /// 0 = unbounded.
+  std::int64_t frame_deadline_ms = 0;
+  /// Ceiling on accepted request frames, bytes (hostile peers should
+  /// not get to pick allocation sizes up to the full 64 MiB protocol
+  /// cap).  0 = the protocol cap.
+  std::size_t max_request_frame_bytes = 0;
+
   /// Always-on span capture: start() enables the process-wide tracer so
   /// tracedump always has rings to drain (overhead is gated < 3% by
   /// bench_obs).  Embedders that manage the tracer themselves turn it

@@ -6,6 +6,9 @@
 // ignored by another).  The full registry — keep this table in sync
 // with README.md "Environment variables":
 //
+//   VPPB_AUTH_KEY shared secret for the protocol-v8 TCP handshake
+//                 (server/auth.hpp; --auth-key-file wins when both are
+//                 set; unix sockets never authenticate)
 //   VPPB_FAULT    deterministic fault-injection plan for vppbd
 //                 (util/fault.hpp; `site:period[:limit[:param]]`, comma
 //                 separated)

@@ -1,0 +1,179 @@
+#include "util/hmac.hpp"
+
+#include <cstring>
+
+namespace vppb::util {
+namespace {
+
+// FIPS 180-4 round constants: fractional parts of the cube roots of the
+// first 64 primes.
+constexpr std::uint32_t kK[64] = {
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1,
+    0x923f82a4, 0xab1c5ed5, 0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3,
+    0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174, 0xe49b69c1, 0xefbe4786,
+    0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
+    0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147,
+    0x06ca6351, 0x14292967, 0x27b70a85, 0x2e1b2138, 0x4d2c6dfc, 0x53380d13,
+    0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85, 0xa2bfe8a1, 0xa81a664b,
+    0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070,
+    0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a,
+    0x5b9cca4f, 0x682e6ff3, 0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208,
+    0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2};
+
+inline std::uint32_t rotr(std::uint32_t x, int n) {
+  return (x >> n) | (x << (32 - n));
+}
+
+struct Sha256Ctx {
+  std::uint32_t h[8] = {0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a,
+                        0x510e527f, 0x9b05688c, 0x1f83d9ab, 0x5be0cd19};
+  std::uint8_t block[64];
+  std::size_t block_fill = 0;
+  std::uint64_t total_bytes = 0;
+
+  void compress(const std::uint8_t* p) {
+    std::uint32_t w[64];
+    for (int i = 0; i < 16; ++i) {
+      w[i] = (std::uint32_t{p[4 * i]} << 24) |
+             (std::uint32_t{p[4 * i + 1]} << 16) |
+             (std::uint32_t{p[4 * i + 2]} << 8) | std::uint32_t{p[4 * i + 3]};
+    }
+    for (int i = 16; i < 64; ++i) {
+      const std::uint32_t s0 =
+          rotr(w[i - 15], 7) ^ rotr(w[i - 15], 18) ^ (w[i - 15] >> 3);
+      const std::uint32_t s1 =
+          rotr(w[i - 2], 17) ^ rotr(w[i - 2], 19) ^ (w[i - 2] >> 10);
+      w[i] = w[i - 16] + s0 + w[i - 7] + s1;
+    }
+    std::uint32_t a = h[0], b = h[1], c = h[2], d = h[3], e = h[4], f = h[5],
+                  g = h[6], hh = h[7];
+    for (int i = 0; i < 64; ++i) {
+      const std::uint32_t s1 = rotr(e, 6) ^ rotr(e, 11) ^ rotr(e, 25);
+      const std::uint32_t ch = (e & f) ^ (~e & g);
+      const std::uint32_t t1 = hh + s1 + ch + kK[i] + w[i];
+      const std::uint32_t s0 = rotr(a, 2) ^ rotr(a, 13) ^ rotr(a, 22);
+      const std::uint32_t maj = (a & b) ^ (a & c) ^ (b & c);
+      const std::uint32_t t2 = s0 + maj;
+      hh = g;
+      g = f;
+      f = e;
+      e = d + t1;
+      d = c;
+      c = b;
+      b = a;
+      a = t1 + t2;
+    }
+    h[0] += a;
+    h[1] += b;
+    h[2] += c;
+    h[3] += d;
+    h[4] += e;
+    h[5] += f;
+    h[6] += g;
+    h[7] += hh;
+  }
+
+  void update(const void* data, std::size_t n) {
+    const auto* p = static_cast<const std::uint8_t*>(data);
+    total_bytes += n;
+    if (block_fill != 0) {
+      const std::size_t take = std::min(n, sizeof(block) - block_fill);
+      std::memcpy(block + block_fill, p, take);
+      block_fill += take;
+      p += take;
+      n -= take;
+      if (block_fill == sizeof(block)) {
+        compress(block);
+        block_fill = 0;
+      }
+    }
+    while (n >= sizeof(block)) {
+      compress(p);
+      p += sizeof(block);
+      n -= sizeof(block);
+    }
+    if (n != 0) {
+      std::memcpy(block, p, n);
+      block_fill = n;
+    }
+  }
+
+  Sha256Digest finish() {
+    const std::uint64_t bit_len = total_bytes * 8;
+    const std::uint8_t pad_byte = 0x80;
+    update(&pad_byte, 1);
+    const std::uint8_t zero = 0;
+    while (block_fill != 56) update(&zero, 1);
+    std::uint8_t len_be[8];
+    for (int i = 0; i < 8; ++i) {
+      len_be[i] = static_cast<std::uint8_t>(bit_len >> (56 - 8 * i));
+    }
+    // The length bytes land exactly on the block boundary; update()
+    // compresses the final block as a side effect.
+    update(len_be, 8);
+    Sha256Digest out;
+    for (int i = 0; i < 8; ++i) {
+      out[4 * i] = static_cast<std::uint8_t>(h[i] >> 24);
+      out[4 * i + 1] = static_cast<std::uint8_t>(h[i] >> 16);
+      out[4 * i + 2] = static_cast<std::uint8_t>(h[i] >> 8);
+      out[4 * i + 3] = static_cast<std::uint8_t>(h[i]);
+    }
+    return out;
+  }
+};
+
+}  // namespace
+
+Sha256Digest sha256(const void* data, std::size_t n) {
+  Sha256Ctx ctx;
+  ctx.update(data, n);
+  return ctx.finish();
+}
+
+Sha256Digest hmac_sha256(const void* key, std::size_t key_len,
+                         const void* msg, std::size_t msg_len) {
+  constexpr std::size_t kBlock = 64;
+  std::uint8_t k[kBlock] = {0};
+  if (key_len > kBlock) {
+    const Sha256Digest kd = sha256(key, key_len);
+    std::memcpy(k, kd.data(), kd.size());
+  } else {
+    std::memcpy(k, key, key_len);
+  }
+  std::uint8_t ipad[kBlock], opad[kBlock];
+  for (std::size_t i = 0; i < kBlock; ++i) {
+    ipad[i] = static_cast<std::uint8_t>(k[i] ^ 0x36);
+    opad[i] = static_cast<std::uint8_t>(k[i] ^ 0x5c);
+  }
+  Sha256Ctx inner;
+  inner.update(ipad, kBlock);
+  inner.update(msg, msg_len);
+  const Sha256Digest inner_d = inner.finish();
+  Sha256Ctx outer;
+  outer.update(opad, kBlock);
+  outer.update(inner_d.data(), inner_d.size());
+  return outer.finish();
+}
+
+bool constant_time_equal(const void* a, const void* b, std::size_t n) {
+  const auto* pa = static_cast<const volatile std::uint8_t*>(a);
+  const auto* pb = static_cast<const volatile std::uint8_t*>(b);
+  std::uint8_t diff = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    diff = static_cast<std::uint8_t>(diff | (pa[i] ^ pb[i]));
+  }
+  return diff == 0;
+}
+
+std::string to_hex(const Sha256Digest& d) {
+  static const char* hex = "0123456789abcdef";
+  std::string out;
+  out.reserve(2 * d.size());
+  for (std::uint8_t b : d) {
+    out.push_back(hex[b >> 4]);
+    out.push_back(hex[b & 0xf]);
+  }
+  return out;
+}
+
+}  // namespace vppb::util

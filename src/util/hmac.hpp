@@ -1,0 +1,42 @@
+// SHA-256 and HMAC-SHA256 (FIPS 180-4 / RFC 2104) for the protocol-v8
+// authenticated handshake.
+//
+// Self-contained — no OpenSSL, no allocation beyond the caller's
+// buffers — because the build must not grow a crypto dependency for
+// one keyed MAC.  The handshake only needs collision resistance against
+// an online attacker forging a challenge response, which HMAC-SHA256
+// over a 32-byte shared key provides with a wide margin.
+//
+// `constant_time_equal` compares MACs without data-dependent branches
+// so a remote peer cannot binary-search the expected digest through
+// response timing.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace vppb::util {
+
+/// SHA-256 digest size in bytes.
+inline constexpr std::size_t kSha256Bytes = 32;
+
+using Sha256Digest = std::array<std::uint8_t, kSha256Bytes>;
+
+/// One-shot SHA-256 of `n` bytes at `data`.
+Sha256Digest sha256(const void* data, std::size_t n);
+
+/// HMAC-SHA256 over `msg` with `key` (any key length; keys longer than
+/// the 64-byte block are pre-hashed per RFC 2104).
+Sha256Digest hmac_sha256(const void* key, std::size_t key_len,
+                         const void* msg, std::size_t msg_len);
+
+/// Timing-safe comparison: examines every byte regardless of where the
+/// first difference is.  Returns true when the `n`-byte buffers match.
+bool constant_time_equal(const void* a, const void* b, std::size_t n);
+
+/// Lowercase hex rendering of a digest, for logs and tests.
+std::string to_hex(const Sha256Digest& d);
+
+}  // namespace vppb::util

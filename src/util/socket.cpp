@@ -1,5 +1,7 @@
 #include "util/socket.hpp"
 
+#include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <poll.h>
@@ -9,6 +11,7 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 
 #include "util/error.hpp"
@@ -53,6 +56,63 @@ int connect_retry(int fd, const sockaddr* addr, socklen_t len) {
   return -1;
 }
 
+void set_nonblocking(int fd, bool on) {
+  const int fl = ::fcntl(fd, F_GETFL, 0);
+  if (fl < 0) fail("fcntl(F_GETFL)");
+  const int want = on ? (fl | O_NONBLOCK) : (fl & ~O_NONBLOCK);
+  if (::fcntl(fd, F_SETFL, want) != 0) fail("fcntl(F_SETFL)");
+}
+
+/// connect(2) bounded by a deadline: the socket goes non-blocking for
+/// the attempt and the in-progress connect is polled with the time that
+/// remains, so a black-holed address (SYN never answered) fails with
+/// ETIMEDOUT after `timeout_ms` instead of sitting in the kernel's
+/// minutes-long SYN retry schedule.  `timeout_ms` <= 0 falls back to
+/// the unbounded legacy path.  On success the socket is blocking again.
+int connect_deadline(int fd, const sockaddr* addr, socklen_t len,
+                     int timeout_ms) {
+  if (timeout_ms <= 0) return connect_retry(fd, addr, len);
+  set_nonblocking(fd, true);
+  int rc = ::connect(fd, addr, len);
+  if (rc != 0 && errno != EINPROGRESS && errno != EINTR &&
+      errno != EALREADY) {
+    return -1;
+  }
+  if (rc != 0) {
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::milliseconds(timeout_ms);
+    for (;;) {
+      const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                            deadline - std::chrono::steady_clock::now())
+                            .count();
+      if (left <= 0) {
+        errno = ETIMEDOUT;
+        return -1;
+      }
+      pollfd pfd{fd, POLLOUT, 0};
+      const int n = ::poll(&pfd, 1, static_cast<int>(left));
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return -1;
+      }
+      if (n == 0) {
+        errno = ETIMEDOUT;
+        return -1;
+      }
+      int err = 0;
+      socklen_t elen = sizeof(err);
+      if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &elen) != 0) return -1;
+      if (err != 0) {
+        errno = err;
+        return -1;
+      }
+      break;
+    }
+  }
+  set_nonblocking(fd, false);
+  return 0;
+}
+
 /// Disables Nagle on a TCP socket.  The framed protocol is small
 /// request/response pairs — a 4-byte header plus a payload written
 /// back-to-back — and Nagle holds the second write hostage to the
@@ -82,6 +142,16 @@ sockaddr_in loopback_addr(std::uint16_t port) {
   return addr;
 }
 
+sockaddr_in host_addr(const std::string& host, std::uint16_t port) {
+  if (host.empty() || host == "localhost") return loopback_addr(port);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1)
+    throw Error("not a numeric IPv4 address (no DNS here): " + host);
+  return addr;
+}
+
 }  // namespace
 
 Socket& Socket::operator=(Socket&& other) noexcept {
@@ -104,12 +174,31 @@ void Socket::shutdown_read() {
   if (fd_ >= 0) ::shutdown(fd_, SHUT_RD);
 }
 
+void Socket::shutdown_both() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+std::size_t Socket::recv_some(void* data, std::size_t n) {
+  for (;;) {
+    const ssize_t r = ::recv(fd_, data, n, 0);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK)
+        throw SocketTimeout("recv timed out waiting for the peer");
+      fail("recv");
+    }
+    return static_cast<std::size_t>(r);
+  }
+}
+
 void Socket::send_all(const void* data, std::size_t n) {
   const auto* p = static_cast<const std::uint8_t*>(data);
   while (n > 0) {
     const ssize_t sent = ::send(fd_, p, n, MSG_NOSIGNAL);
     if (sent < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK)
+        throw SocketTimeout("send timed out: peer not reading");
       fail("send");
     }
     p += sent;
@@ -134,12 +223,80 @@ std::size_t Socket::recv_exact(void* data, std::size_t n) {
   return got;
 }
 
+std::size_t Socket::recv_exact_deadline(void* data, std::size_t n,
+                                        int deadline_ms) {
+  if (deadline_ms <= 0) return recv_exact(data, n);
+  auto* p = static_cast<std::uint8_t*>(data);
+  std::size_t got = 0;
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(deadline_ms);
+  while (got < n) {
+    const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                          deadline - std::chrono::steady_clock::now())
+                          .count();
+    if (left <= 0)
+      throw SocketTimeout(strprintf(
+          "recv deadline lapsed with %zu of %zu bytes read", got, n));
+    pollfd pfd{fd_, POLLIN, 0};
+    const int pn = ::poll(&pfd, 1, static_cast<int>(left));
+    if (pn < 0) {
+      if (errno == EINTR) continue;
+      fail("poll");
+    }
+    if (pn == 0) continue;  // deadline check at the top of the loop
+    const ssize_t r = ::recv(fd_, p + got, n - got, MSG_DONTWAIT);
+    if (r < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK)
+        continue;
+      fail("recv");
+    }
+    if (r == 0) break;  // end of stream
+    got += static_cast<std::size_t>(r);
+  }
+  return got;
+}
+
 void Socket::set_recv_timeout(int ms) {
   timeval tv{};
   tv.tv_sec = ms / 1000;
   tv.tv_usec = (ms % 1000) * 1000;
   if (::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv)) != 0)
     fail("setsockopt(SO_RCVTIMEO)");
+}
+
+void Socket::set_send_timeout(int ms) {
+  timeval tv{};
+  tv.tv_sec = ms / 1000;
+  tv.tv_usec = (ms % 1000) * 1000;
+  if (::setsockopt(fd_, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv)) != 0)
+    fail("setsockopt(SO_SNDTIMEO)");
+}
+
+void Socket::set_keepalive(int idle_s, int interval_s, int probes,
+                           int user_timeout_ms) {
+  const int one = 1;
+  // Fails (and is ignored) on AF_UNIX sockets, where there is no
+  // network to lose a peer to.
+  if (::setsockopt(fd_, SOL_SOCKET, SO_KEEPALIVE, &one, sizeof(one)) != 0)
+    return;
+#ifdef TCP_KEEPIDLE
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_KEEPIDLE, &idle_s, sizeof(idle_s));
+#endif
+#ifdef TCP_KEEPINTVL
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_KEEPINTVL, &interval_s,
+               sizeof(interval_s));
+#endif
+#ifdef TCP_KEEPCNT
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_KEEPCNT, &probes, sizeof(probes));
+#endif
+#ifdef TCP_USER_TIMEOUT
+  // Also bounds the time unacked *transmit* data may sit in flight, so
+  // a half-open connection dies even when we are the one sending.
+  const unsigned int ut = static_cast<unsigned int>(user_timeout_ms);
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_USER_TIMEOUT, &ut, sizeof(ut));
+#else
+  (void)user_timeout_ms;
+#endif
 }
 
 Socket listen_unix(const std::string& path, int backlog) {
@@ -170,23 +327,41 @@ Socket listen_tcp(std::uint16_t& port, int backlog) {
 }
 
 Socket connect_unix(const std::string& path) {
+  return connect_unix(path, 0);
+}
+
+Socket connect_unix(const std::string& path, int timeout_ms) {
   Socket s = new_socket(AF_UNIX);
   const sockaddr_un addr = unix_addr(path);
-  if (connect_retry(s.fd(), reinterpret_cast<const sockaddr*>(&addr),
-                    sizeof(addr)) != 0)
+  if (connect_deadline(s.fd(), reinterpret_cast<const sockaddr*>(&addr),
+                       sizeof(addr), timeout_ms) != 0) {
+    if (errno == ETIMEDOUT)
+      throw SocketTimeout(strprintf("connect %s: timed out after %d ms",
+                                    path.c_str(), timeout_ms));
     throw Error(strprintf("connect %s: %s", path.c_str(),
                           std::strerror(errno)));
+  }
   return s;
 }
 
 Socket connect_tcp(std::uint16_t port) {
+  return connect_tcp(std::string(), port, 0);
+}
+
+Socket connect_tcp(const std::string& host, std::uint16_t port,
+                   int timeout_ms) {
   Socket s = new_socket(AF_INET);
   set_tcp_nodelay(s.fd());
-  const sockaddr_in addr = loopback_addr(port);
-  if (connect_retry(s.fd(), reinterpret_cast<const sockaddr*>(&addr),
-                    sizeof(addr)) != 0)
-    throw Error(strprintf("connect port %u: %s", port,
+  const sockaddr_in addr = host_addr(host, port);
+  const char* shown = host.empty() ? "127.0.0.1" : host.c_str();
+  if (connect_deadline(s.fd(), reinterpret_cast<const sockaddr*>(&addr),
+                       sizeof(addr), timeout_ms) != 0) {
+    if (errno == ETIMEDOUT)
+      throw SocketTimeout(strprintf("connect %s:%u: timed out after %d ms",
+                                    shown, port, timeout_ms));
+    throw Error(strprintf("connect %s:%u: %s", shown, port,
                           std::strerror(errno)));
+  }
   return s;
 }
 

@@ -12,6 +12,13 @@
 //            delays inside every shard.
 //   mixed    both at once (at most one crashed and one paused shard at
 //            any moment, so the 4-shard default always has quorum).
+//   partition  network faults instead of process faults: two shards sit
+//            behind netem relays — one gets a 2 s full partition
+//            mid-run (existing connections cut, new ones black-holed),
+//            the other a lossy, slow link (5% seeded connection drop +
+//            50 ms per-chunk delay) for the whole run.  The shard
+//            processes stay healthy throughout; every fault is in the
+//            wire.
 //
 // The schedule — which step kills, pauses, restarts, resumes which
 // shard — is a pure function of --seed: the same seed replays the same
@@ -53,6 +60,7 @@
 #include "solaris/program.hpp"
 #include "trace/io.hpp"
 #include "util/error.hpp"
+#include "util/netem.hpp"
 #include "workloads/synthetic.hpp"
 
 #ifndef VPPB_EXE
@@ -126,6 +134,7 @@ struct Report {
   std::uint64_t errors = 0;  // typed failures + transport, post-retry
   std::uint64_t digest_mismatches = 0;
   std::uint64_t kills = 0, restarts = 0, pauses = 0, resumes = 0;
+  std::uint64_t netem_cut = 0, netem_blackholed_bytes = 0;
   bool reconverged = false;
   bool quarantine_drained = false;
   bool epochs_fresh = false;
@@ -155,6 +164,9 @@ void write_report(const Options& opt, const Report& r, bool pass) {
       << "  \"restarts\": " << r.restarts << ",\n"
       << "  \"pauses\": " << r.pauses << ",\n"
       << "  \"resumes\": " << r.resumes << ",\n"
+      << "  \"netem_cut\": " << r.netem_cut << ",\n"
+      << "  \"netem_blackholed_bytes\": " << r.netem_blackholed_bytes
+      << ",\n"
       << "  \"reconverged\": " << (r.reconverged ? "true" : "false") << ",\n"
       << "  \"epochs_fresh\": " << (r.epochs_fresh ? "true" : "false")
       << ",\n"
@@ -234,19 +246,51 @@ int run(const Options& opt) {
   copt.restart_backoff_base_ms = 5;
   copt.restart_backoff_cap_ms = 40;
   copt.backoff_seed = opt.seed;
-  if (opt.schedule != "killer") {
+  if (opt.schedule == "gray" || opt.schedule == "mixed") {
     // In-shard faults for the gray schedules: every 23rd service
     // delayed 400 ms (trips hedges), every 41st reply frame corrupted
-    // (trips decode errors -> ejection + failover).
+    // (trips decode errors -> ejection + failover).  The partition
+    // schedule keeps shards pristine: its faults live in the wire.
     copt.env.emplace_back("VPPB_FAULT", "delay-ms:23:0:400,corrupt-frame:41");
   }
   cluster::LocalCluster shards(copt);
   shards.start();
 
+  // The partition schedule interposes netem relays between the proxy
+  // and two shards: the proxy dials the relay's socket believing it is
+  // the shard, and the relay applies its fault schedule to the wire.
+  const bool partitioned = opt.schedule == "partition";
+  std::vector<std::unique_ptr<util::NetemRelay>> relays;
+  std::vector<cluster::ShardEndpoint> endpoints = shards.shards();
+  if (partitioned) {
+    if (opt.shards < 3)
+      throw Error("partition schedule needs at least 3 shards for quorum");
+    const char* const schedules[2] = {
+        // Shard 0: a 2 s total partition opening 1 s in — connections
+        // alive at the window start are cut, connections opened inside
+        // it are black-holed (accepted, nothing forwarded), then cut.
+        "partition:1000:2000",
+        // Shard 1: a bad link for the whole run — 5% of connections
+        // seeded to drop after a random prefix, 50 ms added per chunk.
+        "drop:5,delay-ms:50",
+    };
+    for (int i = 0; i < 2; ++i) {
+      util::NetemOptions nopt;
+      nopt.listen_unix = dir + "/netem" + std::to_string(i) + ".sock";
+      nopt.target_unix = endpoints[static_cast<std::size_t>(i)].unix_path;
+      nopt.schedule = schedules[i];
+      nopt.seed = opt.seed + static_cast<std::uint64_t>(i);
+      relays.push_back(std::make_unique<util::NetemRelay>(std::move(nopt)));
+      relays.back()->start();
+      endpoints[static_cast<std::size_t>(i)].unix_path =
+          dir + "/netem" + std::to_string(i) + ".sock";
+    }
+  }
+
   const std::string proxy_sock = dir + "/chaos_proxy.sock";
   cluster::ProxyOptions popt;
   popt.unix_path = proxy_sock;
-  popt.shards = shards.shards();
+  popt.shards = endpoints;
   popt.replicas = 2;
   popt.hedge_ms = 100;
   popt.forward_timeout_ms = 1500;
@@ -308,6 +352,9 @@ int run(const Options& opt) {
       }
     }
     issue_request(proxy_sock, traces, rep);
+    // Pace the partition run so the request stream spans the relay's
+    // fault windows (the window clock is wall time, not steps).
+    if (partitioned) std::this_thread::sleep_for(std::chrono::milliseconds(40));
     // Aggregate requests ride along: health/stats must answer through
     // any fault (they are never shed and tolerate down shards).
     if (step % 10 == 5) {
@@ -398,19 +445,28 @@ int run(const Options& opt) {
   }
 
   proxy.stop();
+  for (auto& relay : relays) {
+    rep.netem_cut += relay->cut_connections();
+    rep.netem_blackholed_bytes += relay->blackholed_bytes();
+    relay->stop();
+  }
   shards.stop();
 
+  // A partition run that never cut or black-holed anything proves
+  // nothing: require evidence the wire faults actually fired.
+  const bool faults_fired =
+      !partitioned || rep.netem_cut + rep.netem_blackholed_bytes > 0;
   const bool pass = rep.digest_mismatches == 0 &&
                     rep.error_rate() <= opt.max_error_rate &&
                     rep.reconverged && rep.epochs_fresh &&
-                    rep.quarantine_drained;
+                    rep.quarantine_drained && faults_fired;
   write_report(opt, rep, pass);
   std::printf(
       "chaos_harness: schedule=%s seed=%llu steps=%d shards=%d | "
       "%llu requests, %llu ok (%llu stale), %llu errors (rate %.4f <= "
       "%.4f), %llu mismatches | kills %llu restarts %llu pauses %llu "
-      "resumes %llu | reconverged=%d epochs_fresh=%d quarantine_drained=%d "
-      "-> %s\n",
+      "resumes %llu netem_cut %llu netem_blackholed %llu | "
+      "reconverged=%d epochs_fresh=%d quarantine_drained=%d -> %s\n",
       opt.schedule.c_str(), static_cast<unsigned long long>(opt.seed),
       opt.steps, opt.shards,
       static_cast<unsigned long long>(rep.requests),
@@ -423,6 +479,8 @@ int run(const Options& opt) {
       static_cast<unsigned long long>(rep.restarts),
       static_cast<unsigned long long>(rep.pauses),
       static_cast<unsigned long long>(rep.resumes),
+      static_cast<unsigned long long>(rep.netem_cut),
+      static_cast<unsigned long long>(rep.netem_blackholed_bytes),
       rep.reconverged ? 1 : 0, rep.epochs_fresh ? 1 : 0,
       rep.quarantine_drained ? 1 : 0, pass ? "PASS" : "FAIL");
   return pass ? 0 : 1;
@@ -448,13 +506,14 @@ int main(int argc, char** argv) {
     else {
       std::fprintf(stderr,
                    "usage: chaos_harness [--seed N] "
-                   "[--schedule killer|gray|mixed] [--steps N] [--shards N] "
+                   "[--schedule killer|gray|mixed|partition] "
+                   "[--steps N] [--shards N] "
                    "[--max-error-rate R] [--converge-ms N] [--out FILE]\n");
       return 2;
     }
   }
   if (opt.schedule != "killer" && opt.schedule != "gray" &&
-      opt.schedule != "mixed") {
+      opt.schedule != "mixed" && opt.schedule != "partition") {
     std::fprintf(stderr, "chaos_harness: unknown schedule '%s'\n",
                  opt.schedule.c_str());
     return 2;

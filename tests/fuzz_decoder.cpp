@@ -24,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "server/auth.hpp"
 #include "server/protocol.hpp"
 #include "trace/binary.hpp"
 #include "trace/chunked.hpp"
@@ -171,6 +172,26 @@ bool check_input(const std::vector<std::uint8_t>& bytes, Stats& stats) {
   } catch (const Error&) {
     ++stats.proto_rejected;
   }
+  // Protocol v8 handshake preambles: fixed-size parsers on the
+  // pre-auth path, where a crash would be reachable by anyone who can
+  // open a TCP connection.  AuthError derives from Error, so the
+  // oracle is the same: typed rejection or clean acceptance, nothing
+  // else.
+  try {
+    (void)server::parse_challenge(bytes.data(), bytes.size());
+  } catch (const Error&) {
+    ++stats.proto_rejected;
+  }
+  try {
+    (void)server::parse_client_proof(bytes.data(), bytes.size());
+  } catch (const Error&) {
+    ++stats.proto_rejected;
+  }
+  try {
+    (void)server::parse_verdict(bytes.data(), bytes.size());
+  } catch (const Error&) {
+    ++stats.proto_rejected;
+  }
   return ok;
 }
 
@@ -311,6 +332,33 @@ int run(std::uint64_t seed, std::uint64_t iterations,
     marker.dur_ns = -1;
     resp.spans.push_back(marker);
     seeds.push_back(server::encode(resp));
+  }
+  {
+    // Protocol v8 handshake preambles, one of each message: valid
+    // magic/version bytes so mutants get past the first check and into
+    // the flag, reserved-byte, and length validation.
+    server::Challenge ch;
+    ch.flags = server::kAuthFlagRequired;
+    for (std::size_t i = 0; i < server::kAuthNonceBytes; ++i)
+      ch.nonce[i] = static_cast<std::uint8_t>(0xc0 + i);
+    std::uint8_t ch_buf[server::kChallengeBytes];
+    server::encode_challenge(ch, ch_buf);
+    seeds.emplace_back(ch_buf, ch_buf + sizeof ch_buf);
+
+    server::ClientProof proof;
+    for (std::size_t i = 0; i < server::kAuthNonceBytes; ++i)
+      proof.nonce[i] = static_cast<std::uint8_t>(0x10 + i);
+    server::client_mac("fuzz-key", ch.nonce, proof.nonce, proof.mac);
+    std::uint8_t p_buf[server::kClientProofBytes];
+    server::encode_client_proof(proof, p_buf);
+    seeds.emplace_back(p_buf, p_buf + sizeof p_buf);
+
+    server::Verdict v;
+    v.status = 0;
+    server::server_mac("fuzz-key", ch.nonce, proof.nonce, v.mac);
+    std::uint8_t v_buf[server::kVerdictBytes];
+    server::encode_verdict(v, v_buf);
+    seeds.emplace_back(v_buf, v_buf + sizeof v_buf);
   }
   // Self-check: undamaged seeds must load strictly, or every mutant
   // would be exercising nothing but the header check.

@@ -154,10 +154,25 @@ TEST(EndpointTest, ParseVariants) {
   EXPECT_EQ(ShardEndpoint::parse(1, ":7070").tcp_port, 7070);
   EXPECT_EQ(ShardEndpoint::parse(1, "127.0.0.1:7071").tcp_port, 7071);
   EXPECT_EQ(ShardEndpoint::parse(1, "localhost:7072").tcp_port, 7072);
-  EXPECT_THROW(ShardEndpoint::parse(1, "10.0.0.1:7070"), Error);
+  // Remote shards (protocol v8): numeric IPv4 parses, host is kept,
+  // but a named host would need DNS and is refused.
+  const ShardEndpoint remote = ShardEndpoint::parse(1, "10.0.0.1:7070");
+  EXPECT_EQ(remote.host, "10.0.0.1");
+  EXPECT_EQ(remote.tcp_port, 7070);
+  EXPECT_FALSE(remote.loopback());
+  EXPECT_THROW(ShardEndpoint::parse(1, "shard-a.internal:7070"), Error);
   EXPECT_THROW(ShardEndpoint::parse(1, "127.0.0.1:0"), Error);
   EXPECT_THROW(ShardEndpoint::parse(1, "127.0.0.1:99999"), Error);
   EXPECT_THROW(ShardEndpoint::parse(1, ""), Error);
+}
+
+TEST(EndpointTest, RemoteShardRequiresAuthKey) {
+  MembershipOptions mopt;
+  EXPECT_THROW(
+      Membership({ShardEndpoint::parse(1, "10.0.0.1:7070")}, mopt), Error);
+  mopt.auth_key = "cluster-secret";
+  Membership ok({ShardEndpoint::parse(1, "10.0.0.1:7070")}, mopt);
+  EXPECT_EQ(ok.shard_count(), 1u);
 }
 
 // ---- protocol v5 framing ---------------------------------------------------

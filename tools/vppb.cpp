@@ -36,6 +36,7 @@
 #include "obs/log.hpp"
 #include "obs/span.hpp"
 #include "recorder/recorder.hpp"
+#include "server/auth.hpp"
 #include "server/client.hpp"
 #include "server/server.hpp"
 #include "server/stats_text.hpp"
@@ -49,6 +50,7 @@
 #include "util/error.hpp"
 #include "util/fault.hpp"
 #include "util/flags.hpp"
+#include "util/netem.hpp"
 #include "util/strings.hpp"
 #include "util/thread_pool.hpp"
 #include "util/table.hpp"
@@ -109,7 +111,7 @@ int usage() {
       "          predict/simulate/analyze flags above; --svg F saves the\n"
       "          simulate render; exit 3 overloaded, 4 deadline, 5 budget\n"
       "          exceeded, 6 poisoned, 7 quota exceeded, 8 SLO burning\n"
-      "          (health only)\n"
+      "          (health only), 9 authentication rejected\n"
       "          --timeline prints the per-stage waterfall of this\n"
       "          request (queue/admission/cache/compile/simulate/...);\n"
       "          --trace-id N tags the request with a chosen distributed\n"
@@ -119,6 +121,11 @@ int usage() {
       "  top [--interval-ms N] [--count N]\n"
       "        live per-shard dashboard: rps, p99, SLO burn rates,\n"
       "        brownout/stale counters (against a proxy or a vppbd)\n"
+      "  netem --target EP [--socket PATH | --port N] [--schedule S]\n"
+      "        [--seed N]\n"
+      "        fault-injection relay between two vppb endpoints; S is\n"
+      "        comma-separated delay-ms:N drop:P partition:START:DUR\n"
+      "        half-open:N trickle:B (seeded, reproducible)\n"
       "  trace-collect [--out F] [--socket PATH | --port N]\n"
       "        drain span rings cluster-wide into one clock-aligned\n"
       "        Chrome trace JSON (pid = shard id, 0 = proxy); load it\n"
@@ -129,6 +136,11 @@ int usage() {
       "  info/predict/simulate/analyze/convert accept --salvage: load the\n"
       "  longest valid prefix of a damaged trace instead of failing\n"
       "  workload names must be exact or a unique prefix of >= 4 chars\n"
+      "  serve/proxy TCP listeners run the v8 challenge-response\n"
+      "  handshake; --auth-key-file F (or $VPPB_AUTH_KEY) makes the key\n"
+      "  proof mandatory, and request uses the same flag/env to answer.\n"
+      "  Partition tolerance knobs: --connect-timeout-ms,\n"
+      "  --idle-timeout-ms, --frame-deadline-ms, --max-request-frame-mb\n"
       "  global: --profile F (or $VPPB_PROFILE) writes a Chrome trace of\n"
       "  the run; --log-level L / --log-json override $VPPB_LOG\n");
   return 2;
@@ -452,6 +464,11 @@ int cmd_serve(Flags& flags) {
   opt.shard_id = static_cast<std::uint64_t>(flags.i64("shard-id"));
   opt.slo_p99_ms = flags.dbl("slo-p99-ms");
   opt.slo_availability = flags.dbl("slo-availability");
+  opt.auth_key = server::load_auth_key(flags.str("auth-key-file"));
+  opt.idle_timeout_ms = flags.i64("idle-timeout-ms");
+  opt.frame_deadline_ms = flags.i64("frame-deadline-ms");
+  opt.max_request_frame_bytes =
+      static_cast<std::size_t>(flags.i64("max-request-frame-mb")) << 20;
 
   // Block the shutdown signals before any thread exists, so every
   // server/pool thread inherits the mask and only sigwait sees them.
@@ -520,6 +537,14 @@ cluster::ProxyOptions proxy_options_from_flags(Flags& flags) {
   opt.stale_ms = flags.i64("stale-ms");
   opt.slo_p99_ms = flags.dbl("slo-p99-ms");
   opt.slo_availability = flags.dbl("slo-availability");
+  opt.auth_key = server::load_auth_key(flags.str("auth-key-file"));
+  opt.idle_timeout_ms = flags.i64("idle-timeout-ms");
+  opt.frame_deadline_ms = flags.i64("frame-deadline-ms");
+  opt.max_request_frame_bytes =
+      static_cast<std::size_t>(flags.i64("max-request-frame-mb")) << 20;
+  if (flags.i64("connect-timeout-ms") > 0)
+    opt.membership.dial_timeout_ms =
+        static_cast<int>(flags.i64("connect-timeout-ms"));
   return opt;
 }
 
@@ -591,12 +616,18 @@ int cmd_cluster(Flags& flags) {
 }
 
 server::Client connect_client(Flags& flags) {
+  const int ct = static_cast<int>(flags.i64("connect-timeout-ms"));
   const std::string sock = flags.str("socket");
-  if (!sock.empty()) return server::Client::connect_unix(sock);
+  if (!sock.empty()) return server::Client::connect_unix(sock, ct);
   const auto port = flags.i64("port");
-  if (port != 0)
-    return server::Client::connect_tcp(static_cast<std::uint16_t>(port));
-  return server::Client::connect_unix("vppb.sock");
+  if (port != 0) {
+    // --auth-key-file wins; otherwise $VPPB_AUTH_KEY (load_auth_key's
+    // ambient fallback) so scripted clients need no flag.
+    return server::Client::connect_tcp(
+        flags.str("host"), static_cast<std::uint16_t>(port),
+        server::load_auth_key(flags.str("auth-key-file")), ct);
+  }
+  return server::Client::connect_unix("vppb.sock", ct);
 }
 
 /// A fresh distributed trace id: clock + pid, SplitMix64-finished so
@@ -914,6 +945,10 @@ int cmd_request(Flags& flags) {
     std::fprintf(stderr, "vppb: %s\n", r.error.c_str());
     return 7;
   }
+  if (r.status == server::Status::kAuthFailed) {
+    std::fprintf(stderr, "vppb: %s\n", r.error.c_str());
+    return 9;
+  }
   if (r.status == server::Status::kError) {
     std::fprintf(stderr, "vppb: server error: %s\n", r.error.c_str());
     return 1;
@@ -1057,6 +1092,52 @@ int cmd_stats(Flags& flags) {
   return 0;
 }
 
+/// `vppb netem`: the fault-injection relay as a standalone command, so
+/// hostile-network experiments need no test harness — point a proxy's
+/// --shards at the relay, point the relay's --target at the real shard,
+/// and pick a schedule.
+int cmd_netem(Flags& flags) {
+  util::NetemOptions opt;
+  opt.listen_unix = flags.str("socket");
+  opt.listen_port = static_cast<std::uint16_t>(flags.i64("port"));
+  const std::string target = flags.str("target");
+  if (target.empty())
+    throw Error("netem needs --target (a unix socket path, a port, or "
+                "host:port)");
+  const cluster::ShardEndpoint tep = cluster::ShardEndpoint::parse(1, target);
+  opt.target_unix = tep.unix_path;
+  opt.target_host = tep.host;
+  opt.target_port = tep.tcp_port;
+  opt.schedule = flags.str("schedule");
+  opt.seed = static_cast<std::uint64_t>(flags.i64("seed"));
+  if (flags.i64("connect-timeout-ms") > 0)
+    opt.connect_timeout_ms = static_cast<int>(flags.i64("connect-timeout-ms"));
+
+  sigset_t set;
+  sigemptyset(&set);
+  sigaddset(&set, SIGINT);
+  sigaddset(&set, SIGTERM);
+  pthread_sigmask(SIG_BLOCK, &set, nullptr);
+
+  util::NetemRelay relay(std::move(opt));
+  relay.start();
+  std::printf("vppb netem: relaying %s -> %s%s%s\n",
+              relay.endpoint().c_str(), target.c_str(),
+              flags.str("schedule").empty() ? "" : " with schedule ",
+              flags.str("schedule").c_str());
+  std::fflush(stdout);
+  int sig = 0;
+  sigwait(&set, &sig);
+  relay.stop();
+  std::printf("vppb netem: %llu connection(s), %llu cut, %llu bytes "
+              "forwarded, %llu black-holed\n",
+              static_cast<unsigned long long>(relay.connections()),
+              static_cast<unsigned long long>(relay.cut_connections()),
+              static_cast<unsigned long long>(relay.forwarded_bytes()),
+              static_cast<unsigned long long>(relay.blackholed_bytes()));
+  return 0;
+}
+
 int cmd_convert(Flags& flags) {
   if (flags.positional().size() < 3) return usage();
   const trace::Trace t = load_trace(flags, flags.positional()[1]);
@@ -1186,6 +1267,33 @@ int main(int argc, char** argv) {
   flags.define_double("slo-availability", 0.0,
                       "serve/proxy/cluster: availability SLO as a success "
                       "fraction, e.g. 0.999 (0 = off)");
+  flags.define_string("auth-key-file", "",
+                      "shared key file for the v8 TCP handshake "
+                      "(also $VPPB_AUTH_KEY; unix sockets never "
+                      "authenticate)");
+  flags.define_i64("connect-timeout-ms", 0,
+                   "request/proxy/netem: bound on connect; a black-holed "
+                   "address fails in this long (0 = wait forever)");
+  flags.define_i64("idle-timeout-ms", 0,
+                   "serve/proxy: reap client connections idle this long "
+                   "(0 = never)");
+  flags.define_i64("frame-deadline-ms", 0,
+                   "serve/proxy: total read deadline per request frame; "
+                   "defeats byte-trickle senders (0 = unbounded)");
+  flags.define_i64("max-request-frame-mb", 0,
+                   "serve/proxy: hard cap on a request frame "
+                   "(0 = protocol max, 64 MiB)");
+  flags.define_string("host", "",
+                      "request: TCP host to dial (numeric IPv4; "
+                      "default loopback)");
+  flags.define_string("target", "",
+                      "netem: forward target (unix socket path, port, or "
+                      "host:port)");
+  flags.define_string("schedule", "",
+                      "netem: fault schedule, e.g. "
+                      "'delay-ms:50,drop:5,partition:2000:2000' "
+                      "(empty = transparent relay)");
+  flags.define_i64("seed", 1, "netem: schedule PRNG seed");
 
   try {
     flags.parse(argc, argv);
@@ -1230,6 +1338,7 @@ int main(int argc, char** argv) {
       else if (cmd == "proxy") rc = cmd_proxy(flags);
       else if (cmd == "cluster") rc = cmd_cluster(flags);
       else if (cmd == "request") rc = cmd_request(flags);
+      else if (cmd == "netem") rc = cmd_netem(flags);
       else if (cmd == "stats") rc = cmd_stats(flags);
       else if (cmd == "top") rc = cmd_top(flags);
       else if (cmd == "trace-collect") rc = cmd_trace_collect(flags);
@@ -1244,6 +1353,11 @@ int main(int argc, char** argv) {
     // Same meaning as a daemon kBudgetExceeded response, same exit code.
     std::fprintf(stderr, "vppb: %s\n", e.what());
     return 5;
+  } catch (const server::AuthError& e) {
+    // A definitive key rejection, distinct from transport failure (1):
+    // retrying cannot help, rotating the key can.
+    std::fprintf(stderr, "vppb: %s\n", e.what());
+    return 9;
   } catch (const vppb::Error& e) {
     std::fprintf(stderr, "vppb: %s\n", e.what());
     return 1;
